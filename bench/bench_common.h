@@ -1,0 +1,107 @@
+// Shared utilities for the per-figure/table benchmark harnesses.
+//
+// Every harness accepts:
+//   --scale=small|paper   (default small: minutes on a laptop; paper: the
+//                          publication's sizes — hours)
+//   --keys=N --queries=N --samples=N --seed=N   (explicit overrides)
+//
+// Output is whitespace-aligned tables on stdout, one series per paper
+// line/panel, so EXPERIMENTS.md can quote them directly.
+
+#ifndef PROTEUS_BENCH_BENCH_COMMON_H_
+#define PROTEUS_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/range_filter.h"
+#include "core/query.h"
+#include "util/timer.h"
+
+namespace proteus {
+namespace bench {
+
+struct Args {
+  bool paper_scale = false;
+  uint64_t keys = 0;     // 0 = harness default
+  uint64_t queries = 0;
+  uint64_t samples = 0;
+  uint64_t seed = 42;
+
+  uint64_t KeysOr(uint64_t small, uint64_t paper) const {
+    if (keys != 0) return keys;
+    return paper_scale ? paper : small;
+  }
+  uint64_t QueriesOr(uint64_t small, uint64_t paper) const {
+    if (queries != 0) return queries;
+    return paper_scale ? paper : small;
+  }
+  uint64_t SamplesOr(uint64_t small, uint64_t paper) const {
+    if (samples != 0) return samples;
+    return paper_scale ? paper : small;
+  }
+};
+
+inline Args ParseArgs(int argc, char** argv) {
+  Args args;
+  for (int i = 1; i < argc; ++i) {
+    const char* a = argv[i];
+    if (std::strncmp(a, "--scale=", 8) == 0) {
+      args.paper_scale = std::strcmp(a + 8, "paper") == 0;
+    } else if (std::strncmp(a, "--keys=", 7) == 0) {
+      args.keys = std::strtoull(a + 7, nullptr, 10);
+    } else if (std::strncmp(a, "--queries=", 10) == 0) {
+      args.queries = std::strtoull(a + 10, nullptr, 10);
+    } else if (std::strncmp(a, "--samples=", 10) == 0) {
+      args.samples = std::strtoull(a + 10, nullptr, 10);
+    } else if (std::strncmp(a, "--seed=", 7) == 0) {
+      args.seed = std::strtoull(a + 7, nullptr, 10);
+    } else if (std::strcmp(a, "--help") == 0) {
+      std::printf(
+          "flags: --scale=small|paper --keys=N --queries=N --samples=N "
+          "--seed=N\n");
+      std::exit(0);
+    }
+  }
+  return args;
+}
+
+/// Observed FPR of an integer range filter on (empty) queries.
+inline double MeasureFpr(const RangeFilter& filter,
+                         const std::vector<RangeQuery>& queries) {
+  size_t fp = 0;
+  for (const auto& q : queries) fp += filter.MayContain(q.lo, q.hi);
+  return queries.empty() ? 0.0
+                         : static_cast<double>(fp) /
+                               static_cast<double>(queries.size());
+}
+
+inline double MeasureFprStr(const StrRangeFilter& filter,
+                            const std::vector<StrRangeQuery>& queries) {
+  size_t fp = 0;
+  for (const auto& q : queries) fp += filter.MayContain(q.lo, q.hi);
+  return queries.empty() ? 0.0
+                         : static_cast<double>(fp) /
+                               static_cast<double>(queries.size());
+}
+
+/// Throughput helper: mean query latency in nanoseconds.
+template <typename Fn>
+double MeanLatencyNanos(size_t n, Fn&& fn) {
+  Stopwatch timer;
+  for (size_t i = 0; i < n; ++i) fn(i);
+  return static_cast<double>(timer.ElapsedNanos()) / static_cast<double>(n);
+}
+
+inline void PrintHeader(const char* title) {
+  std::printf("\n=== %s ===\n", title);
+}
+
+}  // namespace bench
+}  // namespace proteus
+
+#endif  // PROTEUS_BENCH_BENCH_COMMON_H_

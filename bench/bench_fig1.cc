@@ -1,0 +1,108 @@
+// Figure 1: FPR heatmap over the workload space (query correlation degree
+// x maximum range size) for SuRF, Rosetta, and Proteus at a fixed memory
+// budget. The paper's qualitative claim: SuRF and Rosetta are each good in
+// confined, mostly disjoint regions; Proteus is good almost everywhere.
+//
+// Output: one FPR grid per filter; rows = log2(CORRDEGREE), columns =
+// log2(RMAX). Darker (lower) is better in the paper's rendering.
+
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/proteus.h"
+#include "rosetta/rosetta.h"
+#include "surf/surf.h"
+#include "workload/datasets.h"
+#include "workload/queries.h"
+
+namespace proteus {
+namespace {
+
+using bench::Args;
+
+void Run(const Args& args) {
+  const size_t n_keys = args.KeysOr(50000, 10000000);
+  const size_t n_samples = args.SamplesOr(2000, 20000);
+  const size_t n_eval = args.QueriesOr(8000, 1000000);
+  const double bpk = 12.0;
+  // Range sizes span the paper's 2^1..2^19; correlation degrees must reach
+  // far enough (2^44 ~ "essentially uncorrelated" at this key density) to
+  // cover SuRF's favorable regime.
+  const std::vector<uint32_t> exps = {1, 4, 7, 10, 13, 16, 19};
+  const std::vector<uint32_t> corr_exps = {4, 12, 20, 28, 36, 44};
+
+  auto keys = GenerateKeys(Dataset::kUniform, n_keys, args.seed);
+
+  // SuRF is workload-oblivious: build each suffix configuration once and
+  // pick the best that fits the budget per cell.
+  std::vector<std::unique_ptr<SurfIntFilter>> surfs;
+  surfs.push_back(SurfIntFilter::Build(keys, Surf::Options{}));
+  for (uint32_t bits : {2u, 4u, 8u}) {
+    Surf::Options real;
+    real.suffix_mode = SurfSuffixMode::kReal;
+    real.suffix_bits = bits;
+    surfs.push_back(SurfIntFilter::Build(keys, real));
+    Surf::Options hash;
+    hash.suffix_mode = SurfSuffixMode::kHash;
+    hash.suffix_bits = bits;
+    surfs.push_back(SurfIntFilter::Build(keys, hash));
+  }
+  uint64_t budget = static_cast<uint64_t>(bpk * static_cast<double>(n_keys));
+
+  enum { kProteus, kSurf, kRosetta, kNumFilters };
+  const char* names[] = {"Proteus", "SuRF (best config <= budget)",
+                         "Rosetta"};
+  std::vector<std::vector<std::vector<double>>> grid(
+      kNumFilters, std::vector<std::vector<double>>(
+                       corr_exps.size(), std::vector<double>(exps.size(), 1.0)));
+
+  for (size_t row = 0; row < corr_exps.size(); ++row) {  // correlation degree
+    for (size_t col = 0; col < exps.size(); ++col) {     // range size
+      QuerySpec spec;
+      spec.dist = QueryDist::kCorrelated;
+      spec.corr_degree = uint64_t{1} << corr_exps[row];
+      spec.range_max = uint64_t{1} << exps[col];
+      auto samples = GenerateQueries(keys, spec, n_samples, args.seed + 1);
+      auto eval = GenerateQueries(keys, spec, n_eval, args.seed + 2);
+
+      auto proteus = ProteusFilter::BuildSelfDesigned(keys, samples, bpk);
+      grid[kProteus][row][col] = bench::MeasureFpr(*proteus, eval);
+
+      double best_surf = 1.0;
+      for (const auto& s : surfs) {
+        if (s->SizeBits() > budget) continue;
+        best_surf = std::min(best_surf, bench::MeasureFpr(*s, eval));
+      }
+      grid[kSurf][row][col] = best_surf;
+
+      auto rosetta = RosettaFilter::BuildSelfConfigured(keys, samples, bpk);
+      grid[kRosetta][row][col] = bench::MeasureFpr(*rosetta, eval);
+    }
+  }
+
+  for (int f = 0; f < kNumFilters; ++f) {
+    bench::PrintHeader(names[f]);
+    std::printf("corr\\range");
+    for (uint32_t e : exps) std::printf("  2^%-5u", e);
+    std::printf("\n");
+    for (size_t row = 0; row < corr_exps.size(); ++row) {
+      std::printf("2^%-8u", corr_exps[row]);
+      for (size_t col = 0; col < exps.size(); ++col) {
+        std::printf("  %7.4f", grid[f][row][col]);
+      }
+      std::printf("\n");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace proteus
+
+int main(int argc, char** argv) {
+  auto args = proteus::bench::ParseArgs(argc, argv);
+  std::printf("Figure 1: self-designing filters across the workload space\n");
+  std::printf("(uniform keys, correlated queries; 12 BPK; lower is better)\n");
+  proteus::Run(args);
+  return 0;
+}

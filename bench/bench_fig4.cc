@@ -1,0 +1,166 @@
+// Figure 4: the CPFPR model predicts the FPR of every design.
+//  (a) 1PBF: expected vs observed FPR across prefix lengths, varying RMAX
+//      on Uniform-Uniform (top) and CORRDEGREE on Uniform-Correlated
+//      (bottom, RMAX fixed at 2^7).
+//  (b) 2PBF: expected/observed matrix over (l1, l2), Normal-Split.
+//  (c) Proteus: expected/observed matrix over (trie depth, Bloom prefix
+//      length), Normal-Split. "inf" marks infeasible (grey) cells.
+
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/one_pbf.h"
+#include "core/proteus.h"
+#include "core/two_pbf.h"
+#include "model/cpfpr.h"
+#include "workload/datasets.h"
+#include "workload/queries.h"
+
+namespace proteus {
+namespace {
+
+using bench::Args;
+
+void RunOnePbf(const Args& args) {
+  const size_t n_keys = args.KeysOr(100000, 10000000);
+  const size_t n_samples = args.SamplesOr(5000, 10000);
+  const size_t n_eval = args.QueriesOr(20000, 1000000);
+  const double bpk = 10.0;
+  uint64_t budget = static_cast<uint64_t>(bpk * static_cast<double>(n_keys));
+
+  auto keys = GenerateKeys(Dataset::kUniform, n_keys, args.seed);
+  const std::vector<uint32_t> lens = {20, 25, 30, 35, 40, 45, 50, 55, 60, 64};
+
+  bench::PrintHeader("Figure 4a.1 — 1PBF, Uniform-Uniform, varying RMAX");
+  std::printf("%-10s", "len");
+  for (uint32_t e : {3u, 7u, 11u, 15u, 19u}) {
+    std::printf("  exp2^%-3u  obs2^%-3u", e, e);
+  }
+  std::printf("\n");
+  for (uint32_t l : lens) {
+    std::printf("%-10u", l);
+    for (uint32_t e : {3u, 7u, 11u, 15u, 19u}) {
+      QuerySpec spec;
+      spec.dist = QueryDist::kUniform;
+      spec.range_max = uint64_t{1} << e;
+      auto samples = GenerateQueries(keys, spec, n_samples, args.seed + e);
+      auto eval = GenerateQueries(keys, spec, n_eval, args.seed + 100 + e);
+      CpfprModel model(keys, samples);
+      double expected = model.OnePbfFpr(l, budget);
+      auto filter = OnePbfFilter::BuildWithConfig(keys, l, bpk);
+      double observed = bench::MeasureFpr(*filter, eval);
+      std::printf("  %8.4f  %8.4f", expected, observed);
+    }
+    std::printf("\n");
+  }
+
+  bench::PrintHeader(
+      "Figure 4a.2 — 1PBF, Uniform-Correlated, varying CORRDEGREE (RMAX 2^7)");
+  std::printf("%-10s", "len");
+  for (uint32_t e : {3u, 7u, 11u, 15u, 19u}) {
+    std::printf("  exp2^%-3u  obs2^%-3u", e, e);
+  }
+  std::printf("\n");
+  for (uint32_t l : lens) {
+    std::printf("%-10u", l);
+    for (uint32_t e : {3u, 7u, 11u, 15u, 19u}) {
+      QuerySpec spec;
+      spec.dist = QueryDist::kCorrelated;
+      spec.range_max = uint64_t{1} << 7;
+      spec.corr_degree = uint64_t{1} << e;
+      auto samples = GenerateQueries(keys, spec, n_samples, args.seed + e);
+      auto eval = GenerateQueries(keys, spec, n_eval, args.seed + 200 + e);
+      CpfprModel model(keys, samples);
+      double expected = model.OnePbfFpr(l, budget);
+      auto filter = OnePbfFilter::BuildWithConfig(keys, l, bpk);
+      double observed = bench::MeasureFpr(*filter, eval);
+      std::printf("  %8.4f  %8.4f", expected, observed);
+    }
+    std::printf("\n");
+  }
+}
+
+void RunMatrices(const Args& args) {
+  const size_t n_keys = args.KeysOr(100000, 10000000);
+  const size_t n_samples = args.SamplesOr(5000, 10000);
+  const size_t n_eval = args.QueriesOr(20000, 1000000);
+  const double bpk = 10.0;
+  uint64_t budget = static_cast<uint64_t>(bpk * static_cast<double>(n_keys));
+
+  auto keys = GenerateKeys(Dataset::kNormal, n_keys, args.seed);
+  QuerySpec spec;  // Normal-Split: short correlated + long uniform
+  spec.dist = QueryDist::kSplit;
+  spec.range_max = uint64_t{1} << 19;
+  spec.split_corr_range_max = uint64_t{1} << 3;
+  spec.corr_degree = uint64_t{1} << 3;
+  auto samples = GenerateQueries(keys, spec, n_samples, args.seed + 7);
+  auto eval = GenerateQueries(keys, spec, n_eval, args.seed + 8);
+  CpfprModel model(keys, samples);
+
+  const std::vector<uint32_t> l1s = {8, 16, 24, 32, 40, 48};
+  const std::vector<uint32_t> l2s = {40, 46, 52, 58, 64};
+
+  bench::PrintHeader("Figure 4b — 2PBF expected / observed over (l1, l2)");
+  std::printf("%-8s", "l1\\l2");
+  for (uint32_t l2 : l2s) std::printf("   exp@%-4u    obs@%-4u", l2, l2);
+  std::printf("\n");
+  for (uint32_t l1 : l1s) {
+    std::printf("%-8u", l1);
+    for (uint32_t l2 : l2s) {
+      if (l2 <= l1) {
+        std::printf("   %8s    %8s", "-", "-");
+        continue;
+      }
+      double expected = model.TwoPbfFpr(l1, l2, 0.5, budget);
+      auto filter = TwoPbfFilter::BuildWithConfig(
+          keys, TwoPbfFilter::Config{l1, l2, 0.5}, bpk);
+      double observed = bench::MeasureFpr(*filter, eval);
+      std::printf("   %8.4f    %8.4f", expected, observed);
+    }
+    std::printf("\n");
+  }
+  TwoPbfDesign best2 = model.SelectTwoPbf(budget);
+  std::printf("selected 2PBF design: l1=%u l2=%u frac=%.1f expected=%.4f\n",
+              best2.l1, best2.l2, best2.frac1, best2.expected_fpr);
+
+  bench::PrintHeader(
+      "Figure 4c — Proteus expected / observed over (trie depth, Bloom len)");
+  std::printf("%-8s", "t\\b");
+  for (uint32_t l2 : l2s) std::printf("   exp@%-4u    obs@%-4u", l2, l2);
+  std::printf("\n");
+  for (uint32_t l1 : l1s) {
+    std::printf("%-8u", l1);
+    for (uint32_t l2 : l2s) {
+      if (l2 <= l1) {
+        std::printf("   %8s    %8s", "-", "-");
+        continue;
+      }
+      double expected = model.ProteusFpr(l1, l2, budget);
+      if (expected > 1.0) {
+        std::printf("   %8s    %8s", "inf", "inf");
+        continue;
+      }
+      auto filter = ProteusFilter::BuildWithConfig(
+          keys, ProteusFilter::Config{l1, l2}, bpk);
+      double observed = bench::MeasureFpr(*filter, eval);
+      std::printf("   %8.4f    %8.4f", expected, observed);
+    }
+    std::printf("\n");
+  }
+  ProteusDesign best = model.SelectProteus(budget);
+  std::printf(
+      "selected Proteus design: trie=%u bloom=%u expected=%.4f\n",
+      best.trie_depth, best.bf_prefix_len, best.expected_fpr);
+}
+
+}  // namespace
+}  // namespace proteus
+
+int main(int argc, char** argv) {
+  auto args = proteus::bench::ParseArgs(argc, argv);
+  std::printf("Figure 4: CPFPR model accuracy across the design space\n");
+  proteus::RunOnePbf(args);
+  proteus::RunMatrices(args);
+  return 0;
+}

@@ -1,0 +1,139 @@
+// Figure 5: Proteus configures optimal designs on diverse workloads, vs
+// SuRF (best over all real/hash suffix configurations that fit the budget)
+// and Rosetta, across memory budgets.
+//
+// Rows: dataset-workload pairs from the paper; columns: query shapes
+// (point / small range / large range / mixed); series: FPR at BPK in
+// {8..18}. Proteus' chosen (trie, bloom) design is printed per cell.
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/proteus.h"
+#include "rosetta/rosetta.h"
+#include "surf/surf.h"
+#include "workload/datasets.h"
+#include "workload/queries.h"
+
+namespace proteus {
+namespace {
+
+using bench::Args;
+
+struct Row {
+  const char* name;
+  Dataset dataset;
+  QueryDist dist;
+};
+
+struct Col {
+  const char* name;
+  uint64_t range_max;      // 0 = point queries
+  double point_fraction;   // mixed column uses 0.5
+};
+
+void Run(const Args& args) {
+  const size_t n_keys = args.KeysOr(100000, 10000000);
+  const size_t n_samples = args.SamplesOr(2000, 20000);
+  const size_t n_eval = args.QueriesOr(10000, 1000000);
+  const std::vector<double> bpks = {8, 10, 12, 14, 16, 18};
+
+  const Row rows[] = {
+      {"Uniform-Uniform", Dataset::kUniform, QueryDist::kUniform},
+      {"Uniform-Correlated", Dataset::kUniform, QueryDist::kCorrelated},
+      {"Normal-Uniform", Dataset::kNormal, QueryDist::kUniform},
+      {"Normal-Split", Dataset::kNormal, QueryDist::kSplit},
+      {"Books-Real", Dataset::kBooks, QueryDist::kReal},
+      {"Facebook-Real", Dataset::kFacebook, QueryDist::kReal},
+  };
+  const Col cols[] = {
+      {"point", 0, 0.0},
+      {"small-range(2^6)", uint64_t{1} << 6, 0.0},
+      {"large-range(2^14)", uint64_t{1} << 14, 0.0},
+      {"mixed(point+2^10)", uint64_t{1} << 10, 0.5},
+  };
+
+  for (const Row& row : rows) {
+    std::vector<uint64_t> keys, real_points;
+    if (row.dist == QueryDist::kReal) {
+      GenerateKeysAndQueryPoints(row.dataset, n_keys, n_keys / 10, args.seed,
+                                 &keys, &real_points);
+    } else {
+      keys = GenerateKeys(row.dataset, n_keys, args.seed);
+    }
+
+    // SuRF configurations are workload-independent: build once per dataset.
+    std::vector<std::unique_ptr<SurfIntFilter>> surfs;
+    surfs.push_back(SurfIntFilter::Build(keys, Surf::Options{}));
+    for (uint32_t bits : {2u, 4u, 8u}) {
+      Surf::Options real;
+      real.suffix_mode = SurfSuffixMode::kReal;
+      real.suffix_bits = bits;
+      surfs.push_back(SurfIntFilter::Build(keys, real));
+      Surf::Options hash;
+      hash.suffix_mode = SurfSuffixMode::kHash;
+      hash.suffix_bits = bits;
+      surfs.push_back(SurfIntFilter::Build(keys, hash));
+    }
+
+    for (const Col& col : cols) {
+      QuerySpec spec;
+      spec.dist = row.dist;
+      spec.range_max = col.range_max;
+      spec.point_fraction = col.point_fraction;
+      spec.corr_degree = uint64_t{1} << 10;
+      auto samples =
+          GenerateQueries(keys, spec, n_samples, args.seed + 3, real_points);
+      auto eval =
+          GenerateQueries(keys, spec, n_eval, args.seed + 4, real_points);
+
+      bench::PrintHeader(
+          (std::string(row.name) + " / " + col.name).c_str());
+      std::printf("%-6s %-9s %-22s %-9s %-9s %-14s\n", "bpk", "proteus",
+                  "proteus-design", "rosetta", "surf", "surf-config");
+      for (double bpk : bpks) {
+        uint64_t budget =
+            static_cast<uint64_t>(bpk * static_cast<double>(n_keys));
+        auto proteus = ProteusFilter::BuildSelfDesigned(keys, samples, bpk);
+        double fpr_p = bench::MeasureFpr(*proteus, eval);
+        auto rosetta =
+            RosettaFilter::BuildSelfConfigured(keys, samples, bpk);
+        double fpr_r = bench::MeasureFpr(*rosetta, eval);
+        double fpr_s = 2.0;
+        std::string best_name = "none-fits";
+        for (const auto& s : surfs) {
+          if (s->SizeBits() > budget) continue;
+          double f = bench::MeasureFpr(*s, eval);
+          if (f < fpr_s) {
+            fpr_s = f;
+            best_name = s->Name();
+          }
+        }
+        char design[32];
+        std::snprintf(design, sizeof(design), "(t=%u,b=%u)",
+                      proteus->config().trie_depth,
+                      proteus->config().bf_prefix_len);
+        if (fpr_s > 1.0) {
+          std::printf("%-6.0f %-9.4f %-22s %-9.4f %-9s %-14s\n", bpk, fpr_p,
+                      design, fpr_r, "-", best_name.c_str());
+        } else {
+          std::printf("%-6.0f %-9.4f %-22s %-9.4f %-9.4f %-14s\n", bpk, fpr_p,
+                      design, fpr_r, fpr_s, best_name.c_str());
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace proteus
+
+int main(int argc, char** argv) {
+  auto args = proteus::bench::ParseArgs(argc, argv);
+  std::printf(
+      "Figure 5: FPR vs memory budget across datasets and workloads\n");
+  proteus::Run(args);
+  return 0;
+}

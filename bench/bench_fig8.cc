@@ -1,0 +1,25 @@
+// Figure 8: Proteus under an immediate, extreme workload shift (the
+// distribution flips at the halfway point with no mixing). This is the
+// --instant variant of the Figure 7 harness, Proteus only, matching the
+// paper's presentation. See bench_fig7.cc for the mechanics.
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+int main(int argc, char** argv) {
+  // Delegate to the fig7 binary logic by exec-ing it with --instant when
+  // available; otherwise instruct the user. Keeping one implementation
+  // avoids the two harnesses drifting apart.
+  std::string self(argv[0]);
+  auto slash = self.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : self.substr(0, slash);
+  std::string cmd = dir + "/bench_fig7 --instant";
+  for (int i = 1; i < argc; ++i) {
+    cmd += " ";
+    cmd += argv[i];
+  }
+  std::printf("(delegating to: %s)\n", cmd.c_str());
+  return std::system(cmd.c_str());
+}

@@ -1,0 +1,169 @@
+// Micro-benchmarks (google-benchmark): per-operation costs of every
+// substrate — hashing, Bloom probes, rank/select, trie and FST navigation,
+// filter queries, skiplist, and the RLE codec. These are the constants
+// behind the end-to-end numbers in Figures 6-9.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bloom/bloom_filter.h"
+#include "core/proteus.h"
+#include "hash/clhash.h"
+#include "hash/murmur3.h"
+#include "lsm/rle.h"
+#include "lsm/skiplist.h"
+#include "rosetta/rosetta.h"
+#include "surf/surf.h"
+#include "trie/bit_trie.h"
+#include "util/random.h"
+#include "util/rank_select.h"
+#include "workload/datasets.h"
+#include "workload/queries.h"
+
+namespace proteus {
+namespace {
+
+void BM_Murmur3Int(benchmark::State& state) {
+  Rng rng(1);
+  uint64_t x = rng.Next();
+  for (auto _ : state) {
+    x = Murmur3Int64(x, 7);
+    benchmark::DoNotOptimize(x);
+  }
+}
+BENCHMARK(BM_Murmur3Int);
+
+void BM_ClHashString(benchmark::State& state) {
+  std::string s(static_cast<size_t>(state.range(0)), 'k');
+  uint64_t h = 0;
+  for (auto _ : state) {
+    h = ClHash64(s, h);
+    benchmark::DoNotOptimize(h);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ClHashString)->Arg(8)->Arg(32)->Arg(256);
+
+void BM_BloomProbe(benchmark::State& state) {
+  auto keys = GenerateKeys(Dataset::kUniform, 100000, 3);
+  BloomFilter bf(keys.size() * 12,
+                 BloomFilter::OptimalHashes(keys.size() * 12, keys.size()));
+  for (uint64_t k : keys) bf.InsertInt(k);
+  Rng rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bf.MayContainInt(rng.Next()));
+  }
+}
+BENCHMARK(BM_BloomProbe);
+
+void BM_RankSelect(benchmark::State& state) {
+  Rng rng(5);
+  BitVector bv;
+  for (int i = 0; i < 1 << 20; ++i) bv.PushBack(rng.NextBelow(2));
+  RankSelect rs(&bv);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.Rank1(i));
+    i = (i + 977) & ((1 << 20) - 1);
+  }
+}
+BENCHMARK(BM_RankSelect);
+
+void BM_BitTrieSeek(benchmark::State& state) {
+  auto keys = GenerateKeys(Dataset::kUniform, 100000, 6);
+  uint32_t depth = static_cast<uint32_t>(state.range(0));
+  BitTrie trie;
+  trie.Build(UniquePrefixes(keys, depth), depth);
+  Rng rng(7);
+  uint64_t mask = depth == 64 ? ~uint64_t{0} : ((uint64_t{1} << depth) - 1);
+  for (auto _ : state) {
+    uint64_t out;
+    benchmark::DoNotOptimize(trie.SeekGeq(rng.Next() & mask, &out));
+  }
+}
+BENCHMARK(BM_BitTrieSeek)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_SurfRangeQuery(benchmark::State& state) {
+  auto keys = GenerateKeys(Dataset::kUniform, 100000, 8);
+  auto surf = SurfIntFilter::Build(keys, Surf::Options{});
+  Rng rng(9);
+  for (auto _ : state) {
+    uint64_t lo = rng.Next();
+    benchmark::DoNotOptimize(surf->MayContain(lo, lo + 1024));
+  }
+}
+BENCHMARK(BM_SurfRangeQuery);
+
+void BM_ProteusQuery(benchmark::State& state) {
+  auto keys = GenerateKeys(Dataset::kUniform, 100000, 10);
+  QuerySpec spec;
+  spec.range_max = uint64_t{1} << 10;
+  auto samples = GenerateQueries(keys, spec, 2000, 11);
+  auto filter = ProteusFilter::BuildSelfDesigned(keys, samples, 12.0);
+  auto eval = GenerateQueries(keys, spec, 10000, 12);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& q = eval[i++ % eval.size()];
+    benchmark::DoNotOptimize(filter->MayContain(q.lo, q.hi));
+  }
+}
+BENCHMARK(BM_ProteusQuery);
+
+void BM_RosettaQuery(benchmark::State& state) {
+  auto keys = GenerateKeys(Dataset::kUniform, 100000, 13);
+  QuerySpec spec;
+  spec.range_max = uint64_t{1} << static_cast<uint32_t>(state.range(0));
+  auto samples = GenerateQueries(keys, spec, 2000, 14);
+  auto filter = RosettaFilter::BuildSelfConfigured(keys, samples, 12.0);
+  auto eval = GenerateQueries(keys, spec, 10000, 15);
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& q = eval[i++ % eval.size()];
+    benchmark::DoNotOptimize(filter->MayContain(q.lo, q.hi));
+  }
+}
+BENCHMARK(BM_RosettaQuery)->Arg(4)->Arg(12);
+
+void BM_ProteusBuild(benchmark::State& state) {
+  auto keys =
+      GenerateKeys(Dataset::kNormal, static_cast<size_t>(state.range(0)), 16);
+  QuerySpec spec;
+  spec.dist = QueryDist::kCorrelated;
+  spec.range_max = uint64_t{1} << 10;
+  auto samples = GenerateQueries(keys, spec, 2000, 17);
+  for (auto _ : state) {
+    auto filter = ProteusFilter::BuildSelfDesigned(keys, samples, 12.0);
+    benchmark::DoNotOptimize(filter->SizeBits());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_ProteusBuild)->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
+
+void BM_SkipListPut(benchmark::State& state) {
+  SkipList list;
+  Rng rng(18);
+  for (auto _ : state) {
+    uint64_t k = rng.Next();
+    list.Put(EncodeKeyBE(k), "value");
+  }
+}
+BENCHMARK(BM_SkipListPut);
+
+void BM_RleCompressHalfZero(benchmark::State& state) {
+  std::string value = MakeValuePayload(123, 512);
+  for (auto _ : state) {
+    auto out = RleCompress(value);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) * 512);
+}
+BENCHMARK(BM_RleCompressHalfZero);
+
+}  // namespace
+}  // namespace proteus
+
+BENCHMARK_MAIN();

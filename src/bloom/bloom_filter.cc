@@ -1,0 +1,70 @@
+#include "bloom/bloom_filter.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace proteus {
+
+BloomFilter::BloomFilter(uint64_t n_bits, uint32_t n_hashes)
+    : n_bits_(std::max<uint64_t>(n_bits, 64)),
+      n_hashes_(std::clamp<uint32_t>(n_hashes, 1, kMaxHashes)),
+      words_((n_bits_ + 63) / 64, 0) {}
+
+uint32_t BloomFilter::OptimalHashes(uint64_t m_bits, uint64_t n_items) {
+  if (n_items == 0) return 1;
+  double ratio = static_cast<double>(m_bits) / static_cast<double>(n_items);
+  uint32_t k = static_cast<uint32_t>(std::ceil(ratio * std::log(2.0)));
+  return std::clamp<uint32_t>(k, 1, kMaxHashes);
+}
+
+double BloomFilter::TheoreticalFpr(uint64_t m_bits, uint64_t n_items) {
+  if (n_items == 0) return 0.0;
+  if (m_bits == 0) return 1.0;
+  uint32_t k = OptimalHashes(m_bits, n_items);
+  // Eq. 6 of the paper: p = (1 - e^{-ln 2})^k == 0.5^k when k is the
+  // unclamped optimum; with the clamp we evaluate the general formula.
+  double m = static_cast<double>(m_bits);
+  double n = static_cast<double>(n_items);
+  return std::pow(1.0 - std::exp(-static_cast<double>(k) * n / m),
+                  static_cast<double>(k));
+}
+
+void BloomFilter::InsertHash(uint64_t h1, uint64_t h2) {
+  for (uint32_t i = 0; i < n_hashes_; ++i) {
+    uint64_t bit = BitIndex(h1, h2, i);
+    words_[bit >> 6] |= uint64_t{1} << (bit & 63);
+  }
+}
+
+bool BloomFilter::MayContainHash(uint64_t h1, uint64_t h2) const {
+  for (uint32_t i = 0; i < n_hashes_; ++i) {
+    uint64_t bit = BitIndex(h1, h2, i);
+    if (((words_[bit >> 6] >> (bit & 63)) & 1) == 0) return false;
+  }
+  return true;
+}
+
+void BloomFilter::AppendTo(std::string* out) const {
+  uint64_t header[2] = {n_bits_, n_hashes_};
+  out->append(reinterpret_cast<const char*>(header), sizeof(header));
+  out->append(reinterpret_cast<const char*>(words_.data()),
+              words_.size() * sizeof(uint64_t));
+}
+
+bool BloomFilter::ParseFrom(std::string_view* in, BloomFilter* out) {
+  if (in->size() < 16) return false;
+  uint64_t header[2];
+  std::memcpy(header, in->data(), sizeof(header));
+  uint64_t n_bits = header[0];
+  uint64_t n_words = (n_bits + 63) / 64;
+  if (in->size() < 16 + n_words * 8) return false;
+  out->n_bits_ = n_bits;
+  out->n_hashes_ = static_cast<uint32_t>(header[1]);
+  out->words_.resize(n_words);
+  std::memcpy(out->words_.data(), in->data() + 16, n_words * 8);
+  in->remove_prefix(16 + n_words * 8);
+  return true;
+}
+
+}  // namespace proteus

@@ -1,0 +1,85 @@
+// A standard Bloom filter (Bloom 1970), the probabilistic building block
+// of 1PBF, 2PBF, Proteus, and Rosetta.
+//
+// Hashing follows the paper's setup (Section 4.3): MurmurHash3 for integer
+// keys, CLHASH-style hashing for strings, with k = ceil(m/n * ln 2) hash
+// functions capped at 32 (footnote 2). Probes use Kirsch–Mitzenmacher
+// double hashing, which preserves the asymptotic FPR of Eq. 6.
+
+#ifndef PROTEUS_BLOOM_BLOOM_FILTER_H_
+#define PROTEUS_BLOOM_BLOOM_FILTER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "hash/clhash.h"
+#include "hash/murmur3.h"
+
+namespace proteus {
+
+class BloomFilter {
+ public:
+  /// Maximum number of hash functions (paper footnote 2).
+  static constexpr uint32_t kMaxHashes = 32;
+
+  BloomFilter() = default;
+
+  /// A filter of `n_bits` bits using `n_hashes` hash functions.
+  BloomFilter(uint64_t n_bits, uint32_t n_hashes);
+
+  /// k = ceil(m/n * ln 2), clamped to [1, kMaxHashes].
+  static uint32_t OptimalHashes(uint64_t m_bits, uint64_t n_items);
+
+  /// Theoretical FPR of Eq. 6: (1 - e^{-ln 2})^k with k as above.
+  static double TheoreticalFpr(uint64_t m_bits, uint64_t n_items);
+
+  // --- Generic probe API over a pre-hashed (h1, h2) pair. ---
+  void InsertHash(uint64_t h1, uint64_t h2);
+  bool MayContainHash(uint64_t h1, uint64_t h2) const;
+
+  // --- Integer items (hashed with MurmurHash3). ---
+  void InsertInt(uint64_t item) {
+    InsertHash(Murmur3Int64(item, 0x5D336E36A3C9BF71ull),
+               Murmur3Int64(item, 0xA5A9FFDE6D3D34C1ull));
+  }
+  bool MayContainInt(uint64_t item) const {
+    return MayContainHash(Murmur3Int64(item, 0x5D336E36A3C9BF71ull),
+                          Murmur3Int64(item, 0xA5A9FFDE6D3D34C1ull));
+  }
+
+  // --- Byte-string items (hashed with the CLHASH-style hash). ---
+  void InsertBytes(std::string_view s) {
+    InsertHash(ClHash64(s, 0x5D336E36A3C9BF71ull),
+               ClHash64(s, 0xA5A9FFDE6D3D34C1ull));
+  }
+  bool MayContainBytes(std::string_view s) const {
+    return MayContainHash(ClHash64(s, 0x5D336E36A3C9BF71ull),
+                          ClHash64(s, 0xA5A9FFDE6D3D34C1ull));
+  }
+
+  uint64_t n_bits() const { return n_bits_; }
+  uint32_t n_hashes() const { return n_hashes_; }
+  bool empty() const { return n_bits_ == 0; }
+
+  /// Total memory in bits (bit array; metadata is O(1)).
+  uint64_t SizeBits() const { return words_.size() * 64; }
+
+  /// Serialization for SST filter blocks.
+  void AppendTo(std::string* out) const;
+  static bool ParseFrom(std::string_view* in, BloomFilter* out);
+
+ private:
+  uint64_t BitIndex(uint64_t h1, uint64_t h2, uint32_t i) const {
+    return (h1 + i * h2) % n_bits_;
+  }
+
+  uint64_t n_bits_ = 0;
+  uint32_t n_hashes_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace proteus
+
+#endif  // PROTEUS_BLOOM_BLOOM_FILTER_H_

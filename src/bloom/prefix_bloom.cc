@@ -1,0 +1,157 @@
+#include "bloom/prefix_bloom.h"
+
+#include <algorithm>
+
+namespace proteus {
+
+namespace {
+// Salts so that prefixes of different lengths never collide when multiple
+// prefix Bloom filters share hashing code.
+constexpr uint64_t kSeed1 = 0x71AFD7ED558CCD5Dull;
+constexpr uint64_t kSeed2 = 0xEB382D699DDFEA08ull;
+
+inline uint64_t SaltedLen(uint64_t seed, uint32_t l) {
+  return seed ^ (uint64_t{l} * 0x9E3779B97F4A7C15ull);
+}
+}  // namespace
+
+PrefixBloom::PrefixBloom(const std::vector<uint64_t>& sorted_keys,
+                         uint64_t n_bits, uint32_t prefix_len)
+    : prefix_len_(prefix_len) {
+  n_items_ = CountUniquePrefixes(sorted_keys, prefix_len);
+  bf_ = BloomFilter(n_bits, BloomFilter::OptimalHashes(n_bits, n_items_));
+  uint64_t prev = 0;
+  bool first = true;
+  for (uint64_t key : sorted_keys) {
+    uint64_t p = PrefixBits64(key, prefix_len);
+    if (first || p != prev) {
+      bf_.InsertHash(Murmur3Int64(p, SaltedLen(kSeed1, prefix_len_)),
+                     Murmur3Int64(p, SaltedLen(kSeed2, prefix_len_)));
+      prev = p;
+      first = false;
+    }
+  }
+}
+
+bool PrefixBloom::ProbePrefix(uint64_t prefix_value) const {
+  return bf_.MayContainHash(
+      Murmur3Int64(prefix_value, SaltedLen(kSeed1, prefix_len_)),
+      Murmur3Int64(prefix_value, SaltedLen(kSeed2, prefix_len_)));
+}
+
+bool PrefixBloom::MayContain(uint64_t lo, uint64_t hi,
+                             uint64_t probe_limit) const {
+  uint64_t first = PrefixBits64(lo, prefix_len_);
+  uint64_t last = PrefixBits64(hi, prefix_len_);
+  if (last - first + 1 > probe_limit) return true;
+  for (uint64_t p = first;; ++p) {
+    if (ProbePrefix(p)) return true;
+    if (p == last) break;
+  }
+  return false;
+}
+
+StrPrefixBloom::StrPrefixBloom(const std::vector<std::string>& sorted_keys,
+                               uint64_t n_bits, uint32_t prefix_len)
+    : prefix_len_(prefix_len) {
+  // Count unique prefixes first (keys are sorted, so equal prefixes are
+  // adjacent), then insert.
+  std::string prev;
+  bool first = true;
+  n_items_ = 0;
+  for (const std::string& key : sorted_keys) {
+    std::string p = StrPrefix(key, prefix_len);
+    if (first || p != prev) {
+      ++n_items_;
+      prev = std::move(p);
+      first = false;
+    }
+  }
+  bf_ = BloomFilter(n_bits, BloomFilter::OptimalHashes(n_bits, n_items_));
+  first = true;
+  prev.clear();
+  for (const std::string& key : sorted_keys) {
+    std::string p = StrPrefix(key, prefix_len);
+    if (first || p != prev) {
+      bf_.InsertHash(ClHash64(p, SaltedLen(kSeed1, prefix_len_)),
+                     ClHash64(p, SaltedLen(kSeed2, prefix_len_)));
+      prev = std::move(p);
+      first = false;
+    }
+  }
+}
+
+bool StrPrefixBloom::ProbePrefix(std::string_view padded_prefix) const {
+  return bf_.MayContainHash(
+      ClHash64(padded_prefix, SaltedLen(kSeed1, prefix_len_)),
+      ClHash64(padded_prefix, SaltedLen(kSeed2, prefix_len_)));
+}
+
+bool StrPrefixBloom::MayContain(std::string_view lo, std::string_view hi,
+                                uint64_t probe_limit) const {
+  uint64_t count = StrPrefixCountInRange(lo, hi, prefix_len_);
+  if (count > probe_limit) return true;
+  std::string p = StrPrefix(lo, prefix_len_);
+  std::string last = StrPrefix(hi, prefix_len_);
+  for (;;) {
+    if (ProbePrefix(p)) return true;
+    if (p == last) break;
+    std::string next;
+    if (!StrPrefixSuccessor(p, prefix_len_, &next)) break;
+    p = std::move(next);
+  }
+  return false;
+}
+
+uint64_t CountUniquePrefixes(const std::vector<uint64_t>& sorted_keys,
+                             uint32_t l) {
+  if (sorted_keys.empty() || l == 0) return sorted_keys.empty() ? 0 : 1;
+  uint64_t count = 1;
+  for (size_t i = 1; i < sorted_keys.size(); ++i) {
+    if (PrefixBits64(sorted_keys[i], l) !=
+        PrefixBits64(sorted_keys[i - 1], l)) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+std::vector<uint64_t> CountUniquePrefixesAll(
+    const std::vector<uint64_t>& sorted_keys) {
+  std::vector<uint64_t> counts(65, 0);
+  if (sorted_keys.empty()) return counts;
+  // A key contributes a new l-prefix exactly when l > lcp(prev, key); so
+  // |K_l| = 1 + #{i : lcp(k_{i-1}, k_i) < l}. Histogram the LCPs and prefix-
+  // sum (Section 4.3, "Count Key Prefixes").
+  std::vector<uint64_t> lcp_hist(65, 0);
+  for (size_t i = 1; i < sorted_keys.size(); ++i) {
+    lcp_hist[LcpBits64(sorted_keys[i - 1], sorted_keys[i])]++;
+  }
+  uint64_t below = 0;  // #{i : lcp < l}
+  for (uint32_t l = 0; l <= 64; ++l) {
+    counts[l] = 1 + below;
+    if (l < 64) below += lcp_hist[l];
+  }
+  counts[0] = 1;
+  return counts;
+}
+
+std::vector<uint64_t> StrCountUniquePrefixesAll(
+    const std::vector<std::string>& sorted_keys, uint32_t max_bits) {
+  std::vector<uint64_t> counts(max_bits + 1, 0);
+  if (sorted_keys.empty()) return counts;
+  std::vector<uint64_t> lcp_hist(max_bits + 1, 0);
+  for (size_t i = 1; i < sorted_keys.size(); ++i) {
+    uint64_t lcp = StrLcpBits(sorted_keys[i - 1], sorted_keys[i], max_bits);
+    lcp_hist[lcp]++;
+  }
+  uint64_t below = 0;
+  for (uint32_t l = 0; l <= max_bits; ++l) {
+    counts[l] = 1 + below;
+    if (l < max_bits) below += lcp_hist[l];
+  }
+  counts[0] = 1;
+  return counts;
+}
+
+}  // namespace proteus

@@ -1,0 +1,98 @@
+// Prefix Bloom filters (Section 2.1): a Bloom filter populated with the
+// l-bit prefixes of the key set. A range [lo, hi] is answered by probing
+// every l-bit prefix region overlapping the range; the filter returns
+// negative only if all probes are negative.
+//
+// PrefixBloom handles 64-bit integer keys; StrPrefixBloom handles byte
+// strings under the trailing-NUL padding convention of Section 7.1.
+
+#ifndef PROTEUS_BLOOM_PREFIX_BLOOM_H_
+#define PROTEUS_BLOOM_PREFIX_BLOOM_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bloom/bloom_filter.h"
+#include "util/bits.h"
+#include "util/bitstring.h"
+
+namespace proteus {
+
+class PrefixBloom {
+ public:
+  PrefixBloom() = default;
+
+  /// Builds a filter of `n_bits` bits over the `prefix_len`-bit prefixes of
+  /// `sorted_keys` (duplicated prefixes are inserted once).
+  PrefixBloom(const std::vector<uint64_t>& sorted_keys, uint64_t n_bits,
+              uint32_t prefix_len);
+
+  /// Probes the single l-bit prefix that `prefix_value` denotes
+  /// (right-aligned, as produced by PrefixBits64).
+  bool ProbePrefix(uint64_t prefix_value) const;
+
+  /// True if any l-bit prefix overlapping [lo, hi] probes positive.
+  /// Probing short-circuits on the first positive. If the number of
+  /// overlapping prefixes exceeds `probe_limit`, conservatively returns
+  /// true (never a false negative).
+  bool MayContain(uint64_t lo, uint64_t hi,
+                  uint64_t probe_limit = kDefaultProbeLimit) const;
+
+  uint32_t prefix_len() const { return prefix_len_; }
+  uint64_t n_items() const { return n_items_; }
+  uint64_t SizeBits() const { return bf_.SizeBits(); }
+  const BloomFilter& bloom() const { return bf_; }
+
+  static constexpr uint64_t kDefaultProbeLimit = uint64_t{1} << 26;
+
+ private:
+  BloomFilter bf_;
+  uint32_t prefix_len_ = 0;
+  uint64_t n_items_ = 0;
+};
+
+class StrPrefixBloom {
+ public:
+  StrPrefixBloom() = default;
+
+  StrPrefixBloom(const std::vector<std::string>& sorted_keys, uint64_t n_bits,
+                 uint32_t prefix_len);
+
+  /// Probes one prefix given as a padded ceil(l/8)-byte buffer (the output
+  /// format of StrPrefix / StrPrefixBytes).
+  bool ProbePrefix(std::string_view padded_prefix) const;
+
+  bool MayContain(std::string_view lo, std::string_view hi,
+                  uint64_t probe_limit = kDefaultProbeLimit) const;
+
+  uint32_t prefix_len() const { return prefix_len_; }
+  uint64_t n_items() const { return n_items_; }
+  uint64_t SizeBits() const { return bf_.SizeBits(); }
+  const BloomFilter& bloom() const { return bf_; }
+
+  static constexpr uint64_t kDefaultProbeLimit = uint64_t{1} << 22;
+
+ private:
+  BloomFilter bf_;
+  uint32_t prefix_len_ = 0;
+  uint64_t n_items_ = 0;
+};
+
+/// Number of unique `l`-bit prefixes among sorted integer keys — |K_l| in
+/// the paper's notation. O(n) via successive LCPs.
+uint64_t CountUniquePrefixes(const std::vector<uint64_t>& sorted_keys,
+                             uint32_t l);
+
+/// |K_l| for every l in [0, 64] at once (index l of the result).
+std::vector<uint64_t> CountUniquePrefixesAll(
+    const std::vector<uint64_t>& sorted_keys);
+
+/// |K_l| for every l in [0, max_bits] over sorted string keys.
+std::vector<uint64_t> StrCountUniquePrefixesAll(
+    const std::vector<std::string>& sorted_keys, uint32_t max_bits);
+
+}  // namespace proteus
+
+#endif  // PROTEUS_BLOOM_PREFIX_BLOOM_H_

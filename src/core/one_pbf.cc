@@ -1,0 +1,37 @@
+#include "core/one_pbf.h"
+
+namespace proteus {
+
+std::unique_ptr<OnePbfFilter> OnePbfFilter::BuildSelfDesigned(
+    const std::vector<uint64_t>& sorted_keys,
+    const std::vector<RangeQuery>& sample_queries, double bits_per_key) {
+  CpfprModel model(sorted_keys, sample_queries);
+  return BuildFromModel(sorted_keys, model, bits_per_key);
+}
+
+std::unique_ptr<OnePbfFilter> OnePbfFilter::BuildFromModel(
+    const std::vector<uint64_t>& sorted_keys, const CpfprModel& model,
+    double bits_per_key) {
+  uint64_t budget = static_cast<uint64_t>(
+      bits_per_key * static_cast<double>(sorted_keys.size()));
+  OnePbfDesign design = model.SelectOnePbf(budget);
+  auto filter = BuildWithConfig(sorted_keys, design.prefix_len, bits_per_key);
+  filter->modeled_fpr_ = design.expected_fpr;
+  return filter;
+}
+
+std::unique_ptr<OnePbfFilter> OnePbfFilter::BuildWithConfig(
+    const std::vector<uint64_t>& sorted_keys, uint32_t prefix_len,
+    double bits_per_key) {
+  auto filter = std::unique_ptr<OnePbfFilter>(new OnePbfFilter());
+  uint64_t budget = static_cast<uint64_t>(
+      bits_per_key * static_cast<double>(sorted_keys.size()));
+  filter->bf_ = PrefixBloom(sorted_keys, budget, prefix_len);
+  return filter;
+}
+
+bool OnePbfFilter::MayContain(uint64_t lo, uint64_t hi) const {
+  return bf_.MayContain(lo, hi);
+}
+
+}  // namespace proteus

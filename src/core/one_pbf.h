@@ -1,0 +1,53 @@
+// 1PBF — a self-designing single prefix Bloom filter (Section 4): the
+// simplest Protean Range Filter. The CPFPR model (Eq. 1) selects the one
+// prefix length that minimizes expected FPR on the sampled queries.
+
+#ifndef PROTEUS_CORE_ONE_PBF_H_
+#define PROTEUS_CORE_ONE_PBF_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bloom/prefix_bloom.h"
+#include "core/query.h"
+#include "core/range_filter.h"
+#include "model/cpfpr.h"
+
+namespace proteus {
+
+class OnePbfFilter : public RangeFilter {
+ public:
+  static std::unique_ptr<OnePbfFilter> BuildSelfDesigned(
+      const std::vector<uint64_t>& sorted_keys,
+      const std::vector<RangeQuery>& sample_queries, double bits_per_key);
+
+  static std::unique_ptr<OnePbfFilter> BuildFromModel(
+      const std::vector<uint64_t>& sorted_keys, const CpfprModel& model,
+      double bits_per_key);
+
+  /// Forced prefix length (Figure 4a sweeps).
+  static std::unique_ptr<OnePbfFilter> BuildWithConfig(
+      const std::vector<uint64_t>& sorted_keys, uint32_t prefix_len,
+      double bits_per_key);
+
+  bool MayContain(uint64_t lo, uint64_t hi) const override;
+  uint64_t SizeBits() const override { return bf_.SizeBits(); }
+  std::string Name() const override {
+    return "1PBF(l" + std::to_string(bf_.prefix_len()) + ")";
+  }
+
+  uint32_t prefix_len() const { return bf_.prefix_len(); }
+  double modeled_fpr() const { return modeled_fpr_; }
+
+ private:
+  OnePbfFilter() = default;
+
+  PrefixBloom bf_;
+  double modeled_fpr_ = -1.0;
+};
+
+}  // namespace proteus
+
+#endif  // PROTEUS_CORE_ONE_PBF_H_

@@ -1,0 +1,93 @@
+#include "core/proteus.h"
+
+#include <algorithm>
+
+#include "util/bits.h"
+
+namespace proteus {
+
+std::unique_ptr<ProteusFilter> ProteusFilter::BuildSelfDesigned(
+    const std::vector<uint64_t>& sorted_keys,
+    const std::vector<RangeQuery>& sample_queries, double bits_per_key) {
+  CpfprModel model(sorted_keys, sample_queries);
+  return BuildFromModel(sorted_keys, model, bits_per_key);
+}
+
+std::unique_ptr<ProteusFilter> ProteusFilter::BuildFromModel(
+    const std::vector<uint64_t>& sorted_keys, const CpfprModel& model,
+    double bits_per_key) {
+  uint64_t budget = static_cast<uint64_t>(
+      bits_per_key * static_cast<double>(sorted_keys.size()));
+  ProteusDesign design = model.SelectProteus(budget);
+  auto filter = BuildWithConfig(
+      sorted_keys, Config{design.trie_depth, design.bf_prefix_len},
+      bits_per_key);
+  filter->modeled_fpr_ = design.expected_fpr;
+  return filter;
+}
+
+std::unique_ptr<ProteusFilter> ProteusFilter::BuildWithConfig(
+    const std::vector<uint64_t>& sorted_keys, Config config,
+    double bits_per_key) {
+  auto filter = std::unique_ptr<ProteusFilter>(new ProteusFilter());
+  filter->config_ = config;
+  uint64_t budget = static_cast<uint64_t>(
+      bits_per_key * static_cast<double>(sorted_keys.size()));
+  if (config.trie_depth > 0) {
+    filter->trie_.Build(UniquePrefixes(sorted_keys, config.trie_depth),
+                        config.trie_depth);
+  }
+  if (config.bf_prefix_len > 0) {
+    uint64_t trie_bits = filter->trie_.SizeBits();
+    uint64_t bf_bits = budget > trie_bits ? budget - trie_bits : 64;
+    filter->bf_ =
+        PrefixBloom(sorted_keys, bf_bits, config.bf_prefix_len);
+  }
+  return filter;
+}
+
+bool ProteusFilter::MayContain(uint64_t lo, uint64_t hi) const {
+  const uint32_t l1 = config_.trie_depth;
+  const uint32_t l2 = config_.bf_prefix_len;
+  if (l1 == 0) {
+    if (l2 == 0) return true;  // no structure: always positive
+    return bf_.MayContain(lo, hi);
+  }
+  const uint64_t from = PrefixBits64(lo, l1);
+  const uint64_t to = PrefixBits64(hi, l1);
+  uint64_t v;
+  if (!trie_.SeekGeq(from, &v)) return false;
+  while (v <= to) {
+    if (l2 == 0) return true;  // trie hit and nothing to refine with
+    // Probe the l2-prefixes of Q that fall under the matched l1-prefix.
+    uint64_t region_lo = PrefixRangeLo64(v, l1);
+    uint64_t region_hi = PrefixRangeHi64(v, l1);
+    uint64_t probe_lo = std::max(lo, region_lo);
+    uint64_t probe_hi = std::min(hi, region_hi);
+    uint64_t first = PrefixBits64(probe_lo, l2);
+    uint64_t last = PrefixBits64(probe_hi, l2);
+    if (last - first + 1 > PrefixBloom::kDefaultProbeLimit) return true;
+    for (uint64_t p = first;; ++p) {
+      if (bf_.ProbePrefix(p)) return true;
+      if (p == last) break;
+    }
+    // Advance to the next trie leaf.
+    if (v == to) break;
+    uint64_t max_prefix =
+        l1 == 64 ? ~uint64_t{0} : ((uint64_t{1} << l1) - 1);
+    if (v == max_prefix) break;
+    if (!trie_.SeekGeq(v + 1, &v)) break;
+  }
+  return false;
+}
+
+uint64_t ProteusFilter::SizeBits() const {
+  return trie_.SizeBits() + bf_.SizeBits();
+}
+
+std::string ProteusFilter::Name() const {
+  return "Proteus(t" + std::to_string(config_.trie_depth) + ",b" +
+         std::to_string(config_.bf_prefix_len) + ")";
+}
+
+}  // namespace proteus

@@ -1,0 +1,74 @@
+// The Proteus self-designing range filter (Section 4): a uniform-depth
+// bit trie over l1-bit prefixes combined with a prefix Bloom filter over
+// l2-bit prefixes, l1 < l2. Either component may be absent; the CPFPR
+// model picks (l1, l2) from sampled queries to minimize expected FPR
+// within a memory budget.
+//
+// Query algorithm (Section 4.2): walk the trie for members of Q_l1 in
+// order; for every trie hit, probe the Bloom filter for the l2-prefixes of
+// Q below that hit; positive on the first Bloom hit (or trie hit when no
+// Bloom filter is configured); negative when the trie walk is exhausted.
+
+#ifndef PROTEUS_CORE_PROTEUS_H_
+#define PROTEUS_CORE_PROTEUS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bloom/prefix_bloom.h"
+#include "core/query.h"
+#include "core/range_filter.h"
+#include "model/cpfpr.h"
+#include "trie/bit_trie.h"
+
+namespace proteus {
+
+class ProteusFilter : public RangeFilter {
+ public:
+  struct Config {
+    uint32_t trie_depth = 0;     // l1; 0 = no trie
+    uint32_t bf_prefix_len = 0;  // l2; 0 = no Bloom filter
+  };
+
+  /// Self-designing build: models the design space on `sample_queries`
+  /// (which must be empty ranges) and instantiates the best configuration
+  /// within `bits_per_key * keys` bits. This is the paper's headline
+  /// construction path.
+  static std::unique_ptr<ProteusFilter> BuildSelfDesigned(
+      const std::vector<uint64_t>& sorted_keys,
+      const std::vector<RangeQuery>& sample_queries, double bits_per_key);
+
+  /// As above but reusing an already-gathered model (e.g. when sweeping
+  /// memory budgets over one workload).
+  static std::unique_ptr<ProteusFilter> BuildFromModel(
+      const std::vector<uint64_t>& sorted_keys, const CpfprModel& model,
+      double bits_per_key);
+
+  /// Forced-configuration build, used for the Figure 4c design-space sweep
+  /// and for tests. The Bloom filter receives whatever remains of the
+  /// budget after the (measured) trie.
+  static std::unique_ptr<ProteusFilter> BuildWithConfig(
+      const std::vector<uint64_t>& sorted_keys, Config config,
+      double bits_per_key);
+
+  bool MayContain(uint64_t lo, uint64_t hi) const override;
+  uint64_t SizeBits() const override;
+  std::string Name() const override;
+
+  const Config& config() const { return config_; }
+  double modeled_fpr() const { return modeled_fpr_; }
+
+ private:
+  ProteusFilter() = default;
+
+  Config config_;
+  BitTrie trie_;
+  PrefixBloom bf_;
+  double modeled_fpr_ = -1.0;  // < 0 when built with a forced config
+};
+
+}  // namespace proteus
+
+#endif  // PROTEUS_CORE_PROTEUS_H_

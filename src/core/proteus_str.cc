@@ -1,0 +1,110 @@
+#include "core/proteus_str.h"
+
+#include <algorithm>
+
+#include "util/bitstring.h"
+
+namespace proteus {
+
+std::unique_ptr<ProteusStrFilter> ProteusStrFilter::BuildSelfDesigned(
+    const std::vector<std::string>& sorted_keys,
+    const std::vector<StrRangeQuery>& sample_queries, double bits_per_key,
+    uint32_t max_key_bits, StrCpfprOptions model_options) {
+  StrCpfprModel model(sorted_keys, sample_queries, max_key_bits,
+                      model_options);
+  uint64_t budget = static_cast<uint64_t>(
+      bits_per_key * static_cast<double>(sorted_keys.size()));
+  ProteusDesign design = model.SelectProteus(budget);
+  auto filter = BuildWithConfig(
+      sorted_keys,
+      Config{design.trie_depth, design.bf_prefix_len, max_key_bits},
+      bits_per_key);
+  filter->modeled_fpr_ = design.expected_fpr;
+  return filter;
+}
+
+std::unique_ptr<ProteusStrFilter> ProteusStrFilter::BuildWithConfig(
+    const std::vector<std::string>& sorted_keys, Config config,
+    double bits_per_key) {
+  auto filter = std::unique_ptr<ProteusStrFilter>(new ProteusStrFilter());
+  filter->config_ = config;
+  uint64_t budget = static_cast<uint64_t>(
+      bits_per_key * static_cast<double>(sorted_keys.size()));
+  if (config.trie_depth > 0) {
+    filter->trie_.Build(StrUniquePrefixes(sorted_keys, config.trie_depth),
+                        config.trie_depth);
+  }
+  if (config.bf_prefix_len > 0) {
+    uint64_t trie_bits = filter->trie_.SizeBits();
+    uint64_t bf_bits = budget > trie_bits ? budget - trie_bits : 64;
+    filter->bf_ = StrPrefixBloom(sorted_keys, bf_bits, config.bf_prefix_len);
+  }
+  return filter;
+}
+
+bool ProteusStrFilter::MayContain(std::string_view lo,
+                                  std::string_view hi) const {
+  const uint32_t l1 = config_.trie_depth;
+  const uint32_t l2 = config_.bf_prefix_len;
+  if (l1 == 0) {
+    if (l2 == 0) return true;
+    return bf_.MayContain(lo, hi);
+  }
+  std::string from = StrPrefix(lo, l1);
+  std::string to = StrPrefix(hi, l1);
+  std::string v;
+  if (!trie_.SeekGeq(from, &v)) return false;
+  while (v <= to) {
+    if (l2 == 0) return true;
+    // Probe the l2-prefixes of Q under this trie leaf.
+    // Region bounds: v zero-padded (== v under padding semantics) through
+    // v followed by all-one bits.
+    std::string probe_lo;
+    if (StrComparePrefix(lo, v, l1) == 0) {
+      probe_lo = StrPrefix(lo, l2);
+    } else {
+      probe_lo = StrPrefix(v, l2);  // region start: v + zero padding
+    }
+    std::string probe_hi;
+    if (StrComparePrefix(hi, v, l1) == 0) {
+      probe_hi = StrPrefix(hi, l2);
+    } else {
+      // Region end: v's bits then ones up to l2.
+      std::string region_end((l2 + 7) / 8, '\xFF');
+      for (uint32_t b = 0; b < l1; ++b) {
+        if (!StrGetBit(v, b)) {
+          region_end[b >> 3] = static_cast<char>(
+              static_cast<uint8_t>(region_end[b >> 3]) & ~(1u << (7 - (b & 7))));
+        }
+      }
+      probe_hi = StrPrefix(region_end, l2);
+    }
+    uint64_t n_probes = StrPrefixCountInRange(probe_lo, probe_hi, l2);
+    if (n_probes > StrPrefixBloom::kDefaultProbeLimit) return true;
+    std::string p = probe_lo;
+    for (;;) {
+      if (bf_.ProbePrefix(p)) return true;
+      if (p == probe_hi) break;
+      std::string next;
+      if (!StrPrefixSuccessor(p, l2, &next)) break;
+      p = std::move(next);
+    }
+    // Next trie leaf.
+    if (v == to) break;
+    std::string next_v;
+    if (!StrPrefixSuccessor(v, l1, &next_v)) break;
+    if (!trie_.SeekGeq(next_v, &v)) break;
+  }
+  return false;
+}
+
+uint64_t ProteusStrFilter::SizeBits() const {
+  return trie_.SizeBits() + bf_.SizeBits();
+}
+
+std::string ProteusStrFilter::Name() const {
+  return "Proteus-str(t" + std::to_string(config_.trie_depth) + ",b" +
+         std::to_string(config_.bf_prefix_len) + ")";
+}
+
+}  // namespace proteus

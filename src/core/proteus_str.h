@@ -1,0 +1,59 @@
+// Proteus over variable-length string keys (Section 7): the same hybrid
+// trie + prefix Bloom filter, with bit-level prefixes of the padded key
+// space and lexicographic order.
+
+#ifndef PROTEUS_CORE_PROTEUS_STR_H_
+#define PROTEUS_CORE_PROTEUS_STR_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bloom/prefix_bloom.h"
+#include "core/query.h"
+#include "core/range_filter.h"
+#include "model/cpfpr_str.h"
+#include "trie/bit_trie.h"
+
+namespace proteus {
+
+class ProteusStrFilter : public StrRangeFilter {
+ public:
+  struct Config {
+    uint32_t trie_depth = 0;     // bits; 0 = no trie
+    uint32_t bf_prefix_len = 0;  // bits; 0 = no Bloom filter
+    uint32_t max_key_bits = 0;
+  };
+
+  /// Self-designing build over sorted string keys and empty sample
+  /// queries. `max_key_bits` bounds the padded key space; `model_options`
+  /// controls the coarse design grid (Section 7.2).
+  static std::unique_ptr<ProteusStrFilter> BuildSelfDesigned(
+      const std::vector<std::string>& sorted_keys,
+      const std::vector<StrRangeQuery>& sample_queries, double bits_per_key,
+      uint32_t max_key_bits, StrCpfprOptions model_options = StrCpfprOptions());
+
+  static std::unique_ptr<ProteusStrFilter> BuildWithConfig(
+      const std::vector<std::string>& sorted_keys, Config config,
+      double bits_per_key);
+
+  bool MayContain(std::string_view lo, std::string_view hi) const override;
+  uint64_t SizeBits() const override;
+  std::string Name() const override;
+
+  const Config& config() const { return config_; }
+  double modeled_fpr() const { return modeled_fpr_; }
+
+ private:
+  ProteusStrFilter() = default;
+
+  Config config_;
+  StrBitTrie trie_;
+  StrPrefixBloom bf_;
+  double modeled_fpr_ = -1.0;
+};
+
+}  // namespace proteus
+
+#endif  // PROTEUS_CORE_PROTEUS_STR_H_

@@ -1,0 +1,57 @@
+// The common interface all range filters in this library implement.
+//
+// A range filter answers approximate range-emptiness queries over a static
+// key set K: MayContain(lo, hi) returns false only if K ∩ [lo, hi] is
+// certainly empty (never a false negative), and true otherwise (possibly a
+// false positive). Point queries are ranges with lo == hi.
+//
+// Integer keys (Sections 5–6 of the paper) and string keys (Section 7) get
+// separate interfaces; most filters implement both via sibling classes.
+
+#ifndef PROTEUS_CORE_RANGE_FILTER_H_
+#define PROTEUS_CORE_RANGE_FILTER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace proteus {
+
+/// Range filter over 64-bit unsigned integer keys.
+class RangeFilter {
+ public:
+  virtual ~RangeFilter() = default;
+
+  /// True if the key set may intersect the inclusive range [lo, hi].
+  virtual bool MayContain(uint64_t lo, uint64_t hi) const = 0;
+
+  /// Memory footprint of the filter in bits (all components included).
+  virtual uint64_t SizeBits() const = 0;
+
+  /// Human-readable filter name, e.g. "Proteus" or "SuRF-Real8".
+  virtual std::string Name() const = 0;
+
+  /// Bits per key, given the number of keys the filter was built on.
+  double Bpk(uint64_t n_keys) const {
+    return n_keys == 0 ? 0.0 : static_cast<double>(SizeBits()) / n_keys;
+  }
+};
+
+/// Range filter over variable-length byte-string keys (lexicographic order,
+/// trailing-NUL padding semantics per Section 7.1).
+class StrRangeFilter {
+ public:
+  virtual ~StrRangeFilter() = default;
+
+  virtual bool MayContain(std::string_view lo, std::string_view hi) const = 0;
+  virtual uint64_t SizeBits() const = 0;
+  virtual std::string Name() const = 0;
+
+  double Bpk(uint64_t n_keys) const {
+    return n_keys == 0 ? 0.0 : static_cast<double>(SizeBits()) / n_keys;
+  }
+};
+
+}  // namespace proteus
+
+#endif  // PROTEUS_CORE_RANGE_FILTER_H_

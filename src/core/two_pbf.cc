@@ -1,0 +1,67 @@
+#include "core/two_pbf.h"
+
+#include <algorithm>
+
+#include "util/bits.h"
+
+namespace proteus {
+
+std::unique_ptr<TwoPbfFilter> TwoPbfFilter::BuildSelfDesigned(
+    const std::vector<uint64_t>& sorted_keys,
+    const std::vector<RangeQuery>& sample_queries, double bits_per_key) {
+  CpfprModel model(sorted_keys, sample_queries);
+  return BuildFromModel(sorted_keys, model, bits_per_key);
+}
+
+std::unique_ptr<TwoPbfFilter> TwoPbfFilter::BuildFromModel(
+    const std::vector<uint64_t>& sorted_keys, const CpfprModel& model,
+    double bits_per_key) {
+  uint64_t budget = static_cast<uint64_t>(
+      bits_per_key * static_cast<double>(sorted_keys.size()));
+  TwoPbfDesign design = model.SelectTwoPbf(budget);
+  auto filter = BuildWithConfig(
+      sorted_keys, Config{design.l1, design.l2, design.frac1}, bits_per_key);
+  filter->modeled_fpr_ = design.expected_fpr;
+  return filter;
+}
+
+std::unique_ptr<TwoPbfFilter> TwoPbfFilter::BuildWithConfig(
+    const std::vector<uint64_t>& sorted_keys, Config config,
+    double bits_per_key) {
+  auto filter = std::unique_ptr<TwoPbfFilter>(new TwoPbfFilter());
+  filter->config_ = config;
+  uint64_t budget = static_cast<uint64_t>(
+      bits_per_key * static_cast<double>(sorted_keys.size()));
+  if (config.l1 == 0) {
+    filter->bf2_ = PrefixBloom(sorted_keys, budget, config.l2);
+    return filter;
+  }
+  uint64_t m1 = static_cast<uint64_t>(static_cast<double>(budget) *
+                                      config.frac1);
+  filter->bf1_ = PrefixBloom(sorted_keys, m1, config.l1);
+  filter->bf2_ = PrefixBloom(sorted_keys, budget - m1, config.l2);
+  return filter;
+}
+
+bool TwoPbfFilter::MayContain(uint64_t lo, uint64_t hi) const {
+  const uint32_t l1 = config_.l1;
+  const uint32_t l2 = config_.l2;
+  if (l1 == 0) return bf2_.MayContain(lo, hi);
+  uint64_t first = PrefixBits64(lo, l1);
+  uint64_t last = PrefixBits64(hi, l1);
+  if (last - first + 1 > PrefixBloom::kDefaultProbeLimit) return true;
+  for (uint64_t v = first;; ++v) {
+    if (bf1_.ProbePrefix(v)) {
+      // Doubt the coarse positive at the fine filter.
+      uint64_t region_lo = PrefixRangeLo64(v, l1);
+      uint64_t region_hi = PrefixRangeHi64(v, l1);
+      uint64_t probe_lo = std::max(lo, region_lo);
+      uint64_t probe_hi = std::min(hi, region_hi);
+      if (bf2_.MayContain(probe_lo, probe_hi)) return true;
+    }
+    if (v == last) break;
+  }
+  return false;
+}
+
+}  // namespace proteus

@@ -1,0 +1,65 @@
+// 2PBF — a self-designing pair of prefix Bloom filters (Section 4),
+// equivalent to a two-level Rosetta. A range query first probes the
+// coarse (l1) filter per region; every coarse positive is "doubted" by
+// probing the fine (l2) filter over the region's l2-prefixes. The CPFPR
+// model (Eq. 4) selects (l1, l2) and the memory split.
+
+#ifndef PROTEUS_CORE_TWO_PBF_H_
+#define PROTEUS_CORE_TWO_PBF_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bloom/prefix_bloom.h"
+#include "core/query.h"
+#include "core/range_filter.h"
+#include "model/cpfpr.h"
+
+namespace proteus {
+
+class TwoPbfFilter : public RangeFilter {
+ public:
+  struct Config {
+    uint32_t l1 = 0;  // 0 = no coarse filter (degenerates to 1PBF)
+    uint32_t l2 = 64;
+    double frac1 = 0.5;
+  };
+
+  static std::unique_ptr<TwoPbfFilter> BuildSelfDesigned(
+      const std::vector<uint64_t>& sorted_keys,
+      const std::vector<RangeQuery>& sample_queries, double bits_per_key);
+
+  static std::unique_ptr<TwoPbfFilter> BuildFromModel(
+      const std::vector<uint64_t>& sorted_keys, const CpfprModel& model,
+      double bits_per_key);
+
+  static std::unique_ptr<TwoPbfFilter> BuildWithConfig(
+      const std::vector<uint64_t>& sorted_keys, Config config,
+      double bits_per_key);
+
+  bool MayContain(uint64_t lo, uint64_t hi) const override;
+  uint64_t SizeBits() const override {
+    return bf1_.SizeBits() + bf2_.SizeBits();
+  }
+  std::string Name() const override {
+    return "2PBF(l" + std::to_string(config_.l1) + ",l" +
+           std::to_string(config_.l2) + ")";
+  }
+
+  const Config& config() const { return config_; }
+  double modeled_fpr() const { return modeled_fpr_; }
+
+ private:
+  TwoPbfFilter() = default;
+
+  Config config_;
+  PrefixBloom bf1_;  // coarse; unused when l1 == 0
+  PrefixBloom bf2_;  // fine
+  double modeled_fpr_ = -1.0;
+};
+
+}  // namespace proteus
+
+#endif  // PROTEUS_CORE_TWO_PBF_H_

@@ -1,0 +1,43 @@
+#include "hash/clhash.h"
+
+#include <cstring>
+
+#include "hash/murmur3.h"
+
+namespace proteus {
+
+uint64_t ClHash64(const void* data, size_t len, uint64_t seed) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  // Two accumulators processed over 128-bit stripes, emulating CLHASH's
+  // lane structure with integer multiply-add in place of carry-less
+  // multiplication.
+  uint64_t h1 = seed ^ 0x9AE16A3B2F90404Full;
+  uint64_t h2 = ~seed * 0xC3A5C85C97CB3127ull;
+  const uint64_t k1 = 0xB492B66FBE98F273ull;
+  const uint64_t k2 = 0x9DDFEA08EB382D69ull;
+  size_t i = 0;
+  while (i + 16 <= len) {
+    uint64_t a, b;
+    std::memcpy(&a, p + i, 8);
+    std::memcpy(&b, p + i + 8, 8);
+    h1 = (h1 ^ (a * k1)) * k2;
+    h1 ^= h1 >> 29;
+    h2 = (h2 ^ (b * k2)) * k1;
+    h2 ^= h2 >> 31;
+    i += 16;
+  }
+  uint64_t tail1 = 0;
+  uint64_t tail2 = 0;
+  size_t rem = len - i;
+  if (rem > 8) {
+    std::memcpy(&tail1, p + i, 8);
+    std::memcpy(&tail2, p + i + 8, rem - 8);
+  } else if (rem > 0) {
+    std::memcpy(&tail1, p + i, rem);
+  }
+  h1 = (h1 ^ (tail1 * k1)) * k2;
+  h2 = (h2 ^ ((tail2 + rem) * k2)) * k1;
+  return Fmix64(h1 ^ (h2 * 0x9E3779B97F4A7C15ull) ^ len);
+}
+
+}  // namespace proteus

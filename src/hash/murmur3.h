@@ -1,0 +1,42 @@
+// MurmurHash3 (Austin Appleby, public domain) — the integer-key hash used
+// by the paper's Bloom filters (Section 4.3, footnote 2).
+//
+// We provide the x64 128-bit variant for byte buffers plus the 64-bit
+// finalizer (fmix64) as a fast path for word-sized keys.
+
+#ifndef PROTEUS_HASH_MURMUR3_H_
+#define PROTEUS_HASH_MURMUR3_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+
+namespace proteus {
+
+/// MurmurHash3's 64-bit finalizer: a high-quality bijective mixer.
+inline uint64_t Fmix64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xFF51AFD7ED558CCDull;
+  k ^= k >> 33;
+  k *= 0xC4CEB9FE1A85EC53ull;
+  k ^= k >> 33;
+  return k;
+}
+
+/// Hashes a word-sized key with a seed; used for integer prefix hashing.
+inline uint64_t Murmur3Int64(uint64_t key, uint64_t seed) {
+  return Fmix64(key ^ (seed * 0xC6A4A7935BD1E995ull));
+}
+
+/// MurmurHash3_x64_128 over an arbitrary byte buffer.
+std::pair<uint64_t, uint64_t> Murmur3X64_128(const void* data, size_t len,
+                                             uint64_t seed);
+
+/// Convenience 64-bit digest of the 128-bit variant.
+inline uint64_t Murmur3Bytes64(const void* data, size_t len, uint64_t seed) {
+  return Murmur3X64_128(data, len, seed).first;
+}
+
+}  // namespace proteus
+
+#endif  // PROTEUS_HASH_MURMUR3_H_

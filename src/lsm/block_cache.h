@@ -1,0 +1,66 @@
+// A byte-capacity LRU cache for decompressed data blocks, keyed by
+// (file id, block offset) — miniLSM's stand-in for the RocksDB block
+// cache (Section 6.2 warms and sizes it explicitly).
+
+#ifndef PROTEUS_LSM_BLOCK_CACHE_H_
+#define PROTEUS_LSM_BLOCK_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <string>
+#include <unordered_map>
+
+namespace proteus {
+
+class BlockCache {
+ public:
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t inserts = 0;
+    uint64_t evictions = 0;
+  };
+
+  explicit BlockCache(uint64_t capacity_bytes)
+      : capacity_(capacity_bytes) {}
+
+  /// Returns the cached block payload or nullptr.
+  std::shared_ptr<const std::string> Get(uint64_t file_id, uint64_t offset);
+
+  void Insert(uint64_t file_id, uint64_t offset,
+              std::shared_ptr<const std::string> payload);
+
+  /// Drops all blocks of a deleted file.
+  void EraseFile(uint64_t file_id);
+
+  const Stats& stats() const { return stats_; }
+  void ResetStats() { stats_ = Stats{}; }
+  uint64_t used_bytes() const { return used_; }
+  uint64_t capacity() const { return capacity_; }
+
+ private:
+  using Key = std::pair<uint64_t, uint64_t>;
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      return std::hash<uint64_t>()(k.first * 0x9E3779B97F4A7C15ull ^
+                                   k.second);
+    }
+  };
+  struct Entry {
+    Key key;
+    std::shared_ptr<const std::string> payload;
+  };
+
+  void EvictIfNeeded();
+
+  uint64_t capacity_;
+  uint64_t used_ = 0;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map_;
+  Stats stats_;
+};
+
+}  // namespace proteus
+
+#endif  // PROTEUS_LSM_BLOCK_CACHE_H_

@@ -1,0 +1,393 @@
+#include "lsm/db.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/timer.h"
+
+namespace proteus {
+namespace {
+
+constexpr size_t kMaxLevels = 8;
+
+/// K-way merge over SST iterators with newest-wins deduplication.
+class MergingIterator {
+ public:
+  void Add(const SstReader* reader, int age) {
+    items_.push_back({SstReader::Iterator(reader), age});
+  }
+  void Init() { FindBest(); }
+  bool Valid() const { return best_ >= 0; }
+  std::string_view key() const { return items_[best_].it.key(); }
+  std::string_view value() const { return items_[best_].it.value(); }
+  void Next() {
+    std::string current(items_[best_].it.key());
+    for (auto& item : items_) {
+      if (item.it.Valid() && item.it.key() == current) item.it.Next();
+    }
+    FindBest();
+  }
+
+ private:
+  struct Item {
+    SstReader::Iterator it;
+    int age;  // smaller = newer
+  };
+
+  void FindBest() {
+    best_ = -1;
+    for (size_t i = 0; i < items_.size(); ++i) {
+      if (!items_[i].it.Valid()) continue;
+      if (best_ < 0 || items_[i].it.key() < items_[best_].it.key() ||
+          (items_[i].it.key() == items_[best_].it.key() &&
+           items_[i].age < items_[best_].age)) {
+        best_ = static_cast<int>(i);
+      }
+    }
+  }
+
+  std::vector<Item> items_;
+  int best_ = -1;
+};
+
+/// Entry source over the MemTable (flush path).
+class MemTableSource {
+ public:
+  explicit MemTableSource(const SkipList& mem) {
+    mem.ForEach([this](std::string_view k, std::string_view v) {
+      entries_.emplace_back(k, v);
+    });
+  }
+  bool Valid() const { return index_ < entries_.size(); }
+  std::string_view key() const { return entries_[index_].first; }
+  std::string_view value() const { return entries_[index_].second; }
+  void Next() { ++index_; }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+  size_t index_ = 0;
+};
+
+void WipeSstFiles(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return;
+  while (dirent* e = ::readdir(d)) {
+    std::string name = e->d_name;
+    if (name.size() > 4 && name.substr(name.size() - 4) == ".sst") {
+      ::unlink((dir + "/" + name).c_str());
+    }
+  }
+  ::closedir(d);
+}
+
+}  // namespace
+
+Db::Db(DbOptions options)
+    : options_(std::move(options)),
+      cache_(options_.block_cache_bytes),
+      query_queue_(options_.queue_options) {
+  ::mkdir(options_.dir.c_str(), 0755);
+  WipeSstFiles(options_.dir);
+  levels_.resize(kMaxLevels);
+  compact_cursor_.resize(kMaxLevels, 0);
+}
+
+Db::~Db() = default;
+
+void Db::Put(std::string_view key, std::string_view value) {
+  ++stats_.puts;
+  int64_t delta = mem_.Put(key, value);
+  mem_bytes_ = static_cast<size_t>(static_cast<int64_t>(mem_bytes_) + delta);
+  if (mem_bytes_ >= options_.memtable_bytes) Flush();
+}
+
+Db::FilePtr Db::FinishFile(SstWriter* writer, std::vector<std::string>* keys,
+                           const std::string& path) {
+  writer->Finish();
+  auto meta = std::make_shared<FileMeta>();
+  meta->id = next_file_id_++;
+  meta->path = path;
+  meta->smallest = writer->smallest();
+  meta->largest = writer->largest();
+  meta->n_entries = writer->n_entries();
+  meta->file_size = writer->file_size();
+  if (options_.filter_policy != nullptr) {
+    Stopwatch timer;
+    meta->filter =
+        options_.filter_policy->Build(*keys, query_queue_.Snapshot());
+    stats_.filter_build_ns += timer.ElapsedNanos();
+    if (meta->filter != nullptr) {
+      stats_.filter_bits_built += meta->filter->SizeBits();
+      stats_.keys_filtered += keys->size();
+    }
+  }
+  meta->reader = std::make_unique<SstReader>();
+  meta->reader->Open(path, meta->id, &cache_);
+  return meta;
+}
+
+template <typename Iter>
+std::vector<Db::FilePtr> Db::WriteSstFiles(Iter&& entries, int target_level,
+                                           size_t max_data_bytes) {
+  std::vector<FilePtr> out;
+  SstWriter::Options wopts;
+  wopts.block_size = options_.block_size;
+  wopts.compress = target_level >= options_.compress_min_level;
+  while (entries.Valid()) {
+    std::string path =
+        options_.dir + "/" + std::to_string(next_file_id_) + ".sst";
+    SstWriter writer(path, wopts);
+    std::vector<std::string> keys;
+    size_t data_bytes = 0;
+    while (entries.Valid() && data_bytes < max_data_bytes) {
+      writer.Add(entries.key(), entries.value());
+      keys.emplace_back(entries.key());
+      data_bytes += entries.key().size() + entries.value().size();
+      entries.Next();
+    }
+    out.push_back(FinishFile(&writer, &keys, path));
+  }
+  return out;
+}
+
+void Db::Flush() {
+  if (mem_.size() == 0) return;
+  MemTableSource source(mem_);
+  auto files =
+      WriteSstFiles(source, /*target_level=*/0, ~size_t{0});
+  for (auto& f : files) {
+    levels_[0].insert(levels_[0].begin(), std::move(f));  // newest first
+  }
+  ++stats_.flushes;
+  mem_.Clear();
+  mem_bytes_ = 0;
+  MaybeCompact();
+}
+
+uint64_t Db::LevelLimitBytes(size_t level) const {
+  double limit = static_cast<double>(options_.l1_size_bytes);
+  for (size_t i = 1; i < level; ++i) limit *= options_.level_size_multiplier;
+  return static_cast<uint64_t>(limit);
+}
+
+uint64_t Db::LevelBytes(size_t level) const {
+  uint64_t total = 0;
+  for (const auto& f : levels_[level]) total += f->file_size;
+  return total;
+}
+
+void Db::RemoveFile(const FilePtr& f) {
+  cache_.EraseFile(f->id);
+  ::unlink(f->path.c_str());
+}
+
+void Db::CompactL0() {
+  if (levels_[0].empty()) return;
+  ++stats_.compactions;
+  std::string smallest = levels_[0][0]->smallest;
+  std::string largest = levels_[0][0]->largest;
+  for (const auto& f : levels_[0]) {
+    smallest = std::min(smallest, f->smallest);
+    largest = std::max(largest, f->largest);
+  }
+  MergingIterator merge;
+  int age = 0;
+  for (const auto& f : levels_[0]) merge.Add(f->reader.get(), age++);
+  std::vector<FilePtr> l1_keep;
+  for (const auto& f : levels_[1]) {
+    if (f->largest < smallest || f->smallest > largest) {
+      l1_keep.push_back(f);
+    } else {
+      merge.Add(f->reader.get(), age++);
+    }
+  }
+  merge.Init();
+  auto outputs = WriteSstFiles(merge, /*target_level=*/1,
+                               options_.sst_target_bytes);
+  for (const auto& f : levels_[0]) RemoveFile(f);
+  for (const auto& f : levels_[1]) {
+    bool kept = false;
+    for (const auto& k : l1_keep) {
+      if (k->id == f->id) {
+        kept = true;
+        break;
+      }
+    }
+    if (!kept) RemoveFile(f);
+  }
+  levels_[0].clear();
+  for (auto& f : outputs) l1_keep.push_back(std::move(f));
+  std::sort(l1_keep.begin(), l1_keep.end(),
+            [](const FilePtr& a, const FilePtr& b) {
+              return a->smallest < b->smallest;
+            });
+  levels_[1] = std::move(l1_keep);
+}
+
+void Db::CompactLevel(size_t level) {
+  if (levels_[level].empty() || level + 1 >= kMaxLevels) return;
+  ++stats_.compactions;
+  size_t pick = compact_cursor_[level] % levels_[level].size();
+  compact_cursor_[level] = pick + 1;
+  FilePtr input = levels_[level][pick];
+
+  MergingIterator merge;
+  merge.Add(input->reader.get(), 0);
+  std::vector<FilePtr> next_keep;
+  for (const auto& f : levels_[level + 1]) {
+    if (f->largest < input->smallest || f->smallest > input->largest) {
+      next_keep.push_back(f);
+    } else {
+      merge.Add(f->reader.get(), 1);
+    }
+  }
+  merge.Init();
+  auto outputs = WriteSstFiles(merge, static_cast<int>(level + 1),
+                               options_.sst_target_bytes);
+  for (const auto& f : levels_[level + 1]) {
+    bool kept = false;
+    for (const auto& k : next_keep) {
+      if (k->id == f->id) {
+        kept = true;
+        break;
+      }
+    }
+    if (!kept) RemoveFile(f);
+  }
+  RemoveFile(input);
+  levels_[level].erase(levels_[level].begin() + pick);
+  for (auto& f : outputs) next_keep.push_back(std::move(f));
+  std::sort(next_keep.begin(), next_keep.end(),
+            [](const FilePtr& a, const FilePtr& b) {
+              return a->smallest < b->smallest;
+            });
+  levels_[level + 1] = std::move(next_keep);
+}
+
+void Db::MaybeCompact() {
+  if (static_cast<int>(levels_[0].size()) >=
+      options_.l0_compaction_trigger) {
+    CompactL0();
+  }
+  for (size_t level = 1; level + 1 < kMaxLevels; ++level) {
+    while (LevelBytes(level) > LevelLimitBytes(level)) CompactLevel(level);
+  }
+}
+
+void Db::CompactAll() {
+  Flush();
+  if (!levels_[0].empty()) CompactL0();
+  for (size_t level = 1; level + 1 < kMaxLevels; ++level) {
+    while (LevelBytes(level) > LevelLimitBytes(level)) CompactLevel(level);
+  }
+}
+
+bool Db::Seek(std::string_view lo, std::string_view hi, std::string* key,
+              std::string* value) {
+  ++stats_.seeks;
+  bool found = false;
+  std::string best_key, best_value;
+  int best_age = 1 << 30;
+  auto consider = [&](std::string_view k, std::string_view v, int age) {
+    if (k > hi) return;
+    if (!found || k < best_key || (k == best_key && age < best_age)) {
+      found = true;
+      best_key.assign(k);
+      best_value.assign(v);
+      best_age = age;
+    }
+  };
+
+  SkipList::Entry entry;
+  if (mem_.SeekGeq(lo, &entry)) consider(entry.key, entry.value, 0);
+
+  int age = 1;
+  std::string fk, fv;
+  for (const auto& f : levels_[0]) {
+    int file_age = age++;
+    if (f->largest < lo || f->smallest > hi) continue;
+    std::string_view clip_lo = lo > f->smallest ? lo : f->smallest;
+    std::string_view clip_hi = hi < f->largest ? hi : f->largest;
+    ++stats_.filter_checks;
+    if (f->filter != nullptr && !f->filter->MayContain(clip_lo, clip_hi)) {
+      ++stats_.filter_negatives;
+      continue;
+    }
+    ++stats_.sst_seeks;
+    int rc = f->reader->SeekInRange(lo, hi, &fk, &fv);
+    if (rc == 0) {
+      consider(fk, fv, file_age);
+    } else if (rc == 1 && f->filter != nullptr) {
+      ++stats_.false_positive_files;
+    }
+  }
+
+  for (size_t level = 1; level < kMaxLevels; ++level) {
+    int level_age = 1000 + static_cast<int>(level);
+    for (const auto& f : levels_[level]) {
+      if (f->largest < lo) continue;
+      if (f->smallest > hi) break;
+      std::string_view clip_lo = lo > f->smallest ? lo : f->smallest;
+      std::string_view clip_hi = hi < f->largest ? hi : f->largest;
+      ++stats_.filter_checks;
+      if (f->filter != nullptr && !f->filter->MayContain(clip_lo, clip_hi)) {
+        ++stats_.filter_negatives;
+        continue;
+      }
+      ++stats_.sst_seeks;
+      int rc = f->reader->SeekInRange(lo, hi, &fk, &fv);
+      if (rc == 0) {
+        consider(fk, fv, level_age);
+        break;  // smallest in-range key of this level found
+      }
+      if (rc == 1 && f->filter != nullptr) ++stats_.false_positive_files;
+    }
+  }
+
+  if (!found) {
+    ++stats_.empty_seeks;
+    query_queue_.OnEmptyQuery(lo, hi);
+    return false;
+  }
+  if (key != nullptr) key->assign(best_key);
+  if (value != nullptr) value->assign(best_value);
+  return true;
+}
+
+std::vector<size_t> Db::LevelFileCounts() const {
+  std::vector<size_t> out;
+  for (const auto& level : levels_) out.push_back(level.size());
+  return out;
+}
+
+uint64_t Db::TotalSstBytes() const {
+  uint64_t total = 0;
+  for (const auto& level : levels_) {
+    for (const auto& f : level) total += f->file_size;
+  }
+  return total;
+}
+
+uint64_t Db::TotalFilterBits() const {
+  uint64_t total = 0;
+  for (const auto& level : levels_) {
+    for (const auto& f : level) {
+      if (f->filter != nullptr) total += f->filter->SizeBits();
+    }
+  }
+  return total;
+}
+
+uint64_t Db::TotalKeys() const {
+  uint64_t total = mem_.size();
+  for (const auto& level : levels_) {
+    for (const auto& f : level) total += f->n_entries;
+  }
+  return total;
+}
+
+}  // namespace proteus

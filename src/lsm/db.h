@@ -1,0 +1,145 @@
+// miniLSM — the storage engine standing in for RocksDB in Sections 6–7
+// (see DESIGN.md substitutions).
+//
+// Architecture (mirroring the paper's description of RocksDB):
+//  * a skiplist MemTable buffering writes,
+//  * L0 SST files flushed directly from the MemTable (overlapping ranges,
+//    newest first),
+//  * levels L1..Lmax of range-partitioned, non-overlapping SST files with
+//    leveled compaction (size ratio between levels),
+//  * a per-SST filter built at flush/compaction time by the configured
+//    FilterPolicy from the SST's keys and the sample query queue,
+//  * an LRU block cache for data blocks; index blocks and filters stay
+//    pinned in memory (Section 6.2's tuning),
+//  * closed Seek(lo, hi): consult every overlapping SST's filter first,
+//    then fetch the smallest key >= lo only from files whose filter
+//    passes (Section 6.1, "Range Query Implementation").
+//
+// Compactions run synchronously on the writing thread (deterministic and
+// sufficient for reproducing the paper's read-path effects). No WAL: the
+// benchmarks never recover from a crash.
+
+#ifndef PROTEUS_LSM_DB_H_
+#define PROTEUS_LSM_DB_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lsm/block_cache.h"
+#include "lsm/filter_policy.h"
+#include "lsm/query_queue.h"
+#include "lsm/skiplist.h"
+#include "lsm/sst.h"
+
+namespace proteus {
+
+struct DbOptions {
+  std::string dir = "/tmp/proteus_db";
+  size_t memtable_bytes = 8u << 20;
+  size_t sst_target_bytes = 16u << 20;  // per compaction-output file
+  size_t block_size = 4096;
+  uint64_t block_cache_bytes = 64u << 20;
+  int l0_compaction_trigger = 4;
+  uint64_t l1_size_bytes = 64u << 20;
+  double level_size_multiplier = 10.0;
+  /// Levels >= this are compressed (the paper leaves L0/L1 raw and
+  /// compresses deeper levels; Section 6.1).
+  int compress_min_level = 2;
+  std::shared_ptr<FilterPolicy> filter_policy;  // null = no filters
+  SampleQueryQueue::Options queue_options;
+};
+
+struct DbStats {
+  uint64_t puts = 0;
+  uint64_t seeks = 0;
+  uint64_t empty_seeks = 0;
+  uint64_t filter_checks = 0;
+  uint64_t filter_negatives = 0;
+  uint64_t sst_seeks = 0;             // files actually probed on disk
+  uint64_t false_positive_files = 0;  // filter passed, file had nothing
+  uint64_t flushes = 0;
+  uint64_t compactions = 0;
+  uint64_t filter_build_ns = 0;
+  uint64_t filter_bits_built = 0;
+  uint64_t keys_filtered = 0;  // keys covered by built filters
+};
+
+class Db {
+ public:
+  explicit Db(DbOptions options);
+  ~Db();
+  Db(const Db&) = delete;
+  Db& operator=(const Db&) = delete;
+
+  void Put(std::string_view key, std::string_view value);
+
+  /// Closed Seek: finds the smallest key in [lo, hi]. Returns true and
+  /// fills key/value (if non-null) when found; false for an empty range.
+  /// Empty results feed the sample query queue.
+  bool Seek(std::string_view lo, std::string_view hi,
+            std::string* key = nullptr, std::string* value = nullptr);
+
+  /// Forces a MemTable flush (and any triggered compactions).
+  void Flush();
+
+  /// Compacts until every level is within its size limit and L0 is empty
+  /// (the paper's "wait for all background compactions" setup step).
+  void CompactAll();
+
+  SampleQueryQueue& query_queue() { return query_queue_; }
+  const DbStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = DbStats{}; }
+  BlockCache& cache() { return cache_; }
+
+  /// Files per level (diagnostics / tests).
+  std::vector<size_t> LevelFileCounts() const;
+  uint64_t TotalSstBytes() const;
+  uint64_t TotalFilterBits() const;
+  uint64_t TotalKeys() const;
+
+ private:
+  struct FileMeta {
+    uint64_t id = 0;
+    std::string path;
+    std::string smallest, largest;
+    uint64_t n_entries = 0;
+    uint64_t file_size = 0;
+    std::unique_ptr<SstReader> reader;
+    std::unique_ptr<SstFilter> filter;
+  };
+  using FilePtr = std::shared_ptr<FileMeta>;
+
+  /// Writes one SST from a sorted entry stream; builds its filter.
+  template <typename Iter>
+  std::vector<FilePtr> WriteSstFiles(Iter&& entries, int target_level,
+                                     size_t max_data_bytes);
+
+  FilePtr FinishFile(SstWriter* writer, std::vector<std::string>* keys,
+                     const std::string& path);
+
+  void MaybeCompact();
+  void CompactL0();
+  void CompactLevel(size_t level);
+  uint64_t LevelLimitBytes(size_t level) const;
+  uint64_t LevelBytes(size_t level) const;
+  void RemoveFile(const FilePtr& f);
+
+  DbOptions options_;
+  BlockCache cache_;
+  SampleQueryQueue query_queue_;
+  SkipList mem_;
+  size_t mem_bytes_ = 0;
+  uint64_t next_file_id_ = 1;
+  // levels_[0]: newest-first overlapping files; levels_[n>=1]: sorted by
+  // smallest key, non-overlapping.
+  std::vector<std::vector<FilePtr>> levels_;
+  std::vector<size_t> compact_cursor_;  // round-robin pick per level
+  DbStats stats_;
+};
+
+}  // namespace proteus
+
+#endif  // PROTEUS_LSM_DB_H_

@@ -1,0 +1,272 @@
+#include "lsm/filter_policy.h"
+
+#include <algorithm>
+
+#include "bloom/bloom_filter.h"
+#include "core/proteus.h"
+#include "core/proteus_str.h"
+#include "core/query.h"
+#include "rosetta/rosetta.h"
+#include "surf/surf.h"
+
+namespace proteus {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Helpers: decode integer-mode inputs.
+// ---------------------------------------------------------------------------
+
+std::vector<uint64_t> DecodeKeys(const std::vector<std::string>& keys) {
+  std::vector<uint64_t> out;
+  out.reserve(keys.size());
+  for (const auto& k : keys) out.push_back(DecodeKeyBE(k));
+  return out;
+}
+
+std::vector<RangeQuery> DecodeQueries(
+    const std::vector<std::pair<std::string, std::string>>& qs) {
+  std::vector<RangeQuery> out;
+  out.reserve(qs.size());
+  for (const auto& [lo, hi] : qs) {
+    out.push_back({DecodeKeyBE(lo), DecodeKeyBE(hi)});
+  }
+  return out;
+}
+
+// Clips sample queries to [smallest, largest] of the SST and drops those
+// falling entirely outside (per-SST filters only see their own range).
+std::vector<RangeQuery> ClipQueries(std::vector<RangeQuery> qs, uint64_t lo,
+                                    uint64_t hi) {
+  std::vector<RangeQuery> out;
+  out.reserve(qs.size());
+  for (const auto& q : qs) {
+    if (q.hi < lo || q.lo > hi) continue;
+    out.push_back(q);
+  }
+  return out;
+}
+
+class IntFilterAdapter : public SstFilter {
+ public:
+  explicit IntFilterAdapter(std::unique_ptr<RangeFilter> filter)
+      : filter_(std::move(filter)) {}
+  bool MayContain(std::string_view lo, std::string_view hi) const override {
+    return filter_->MayContain(DecodeKeyBE(lo), DecodeKeyBE(hi));
+  }
+  uint64_t SizeBits() const override { return filter_->SizeBits(); }
+
+ private:
+  std::unique_ptr<RangeFilter> filter_;
+};
+
+class StrFilterAdapter : public SstFilter {
+ public:
+  explicit StrFilterAdapter(std::unique_ptr<StrRangeFilter> filter)
+      : filter_(std::move(filter)) {}
+  bool MayContain(std::string_view lo, std::string_view hi) const override {
+    return filter_->MayContain(lo, hi);
+  }
+  uint64_t SizeBits() const override { return filter_->SizeBits(); }
+
+ private:
+  std::unique_ptr<StrRangeFilter> filter_;
+};
+
+// ---------------------------------------------------------------------------
+// Policies
+// ---------------------------------------------------------------------------
+
+class NullPolicy : public FilterPolicy {
+ public:
+  std::unique_ptr<SstFilter> Build(
+      const std::vector<std::string>&,
+      const std::vector<std::pair<std::string, std::string>>&) const override {
+    return nullptr;
+  }
+  std::string Name() const override { return "none"; }
+};
+
+class BloomSstFilter : public SstFilter {
+ public:
+  BloomSstFilter(const std::vector<std::string>& keys, double bpk) {
+    uint64_t bits = static_cast<uint64_t>(bpk * keys.size());
+    bf_ = BloomFilter(bits, BloomFilter::OptimalHashes(bits, keys.size()));
+    for (const auto& k : keys) bf_.InsertBytes(k);
+  }
+  bool MayContain(std::string_view lo, std::string_view hi) const override {
+    if (lo != hi) return true;  // point filter: cannot rule out ranges
+    return bf_.MayContainBytes(lo);
+  }
+  uint64_t SizeBits() const override { return bf_.SizeBits(); }
+
+ private:
+  BloomFilter bf_;
+};
+
+class BloomPolicy : public FilterPolicy {
+ public:
+  explicit BloomPolicy(double bpk) : bpk_(bpk) {}
+  std::unique_ptr<SstFilter> Build(
+      const std::vector<std::string>& keys,
+      const std::vector<std::pair<std::string, std::string>>&) const override {
+    if (keys.empty()) return nullptr;
+    return std::make_unique<BloomSstFilter>(keys, bpk_);
+  }
+  std::string Name() const override { return "bloom"; }
+
+ private:
+  double bpk_;
+};
+
+class ProteusIntPolicy : public FilterPolicy {
+ public:
+  explicit ProteusIntPolicy(double bpk) : bpk_(bpk) {}
+  std::unique_ptr<SstFilter> Build(
+      const std::vector<std::string>& keys,
+      const std::vector<std::pair<std::string, std::string>>& samples)
+      const override {
+    if (keys.empty()) return nullptr;
+    auto int_keys = DecodeKeys(keys);
+    auto queries = ClipQueries(DecodeQueries(samples), int_keys.front(),
+                               int_keys.back());
+    if (queries.empty()) {
+      // No workload signal: default to a full-key prefix Bloom filter.
+      return std::make_unique<IntFilterAdapter>(ProteusFilter::BuildWithConfig(
+          int_keys, ProteusFilter::Config{0, 64}, bpk_));
+    }
+    return std::make_unique<IntFilterAdapter>(
+        ProteusFilter::BuildSelfDesigned(int_keys, queries, bpk_));
+  }
+  std::string Name() const override { return "proteus"; }
+
+ private:
+  double bpk_;
+};
+
+class ProteusStrPolicy : public FilterPolicy {
+ public:
+  ProteusStrPolicy(double bpk, uint32_t max_key_bits, uint32_t stride)
+      : bpk_(bpk), max_key_bits_(max_key_bits), stride_(stride) {}
+  std::unique_ptr<SstFilter> Build(
+      const std::vector<std::string>& keys,
+      const std::vector<std::pair<std::string, std::string>>& samples)
+      const override {
+    if (keys.empty()) return nullptr;
+    std::vector<StrRangeQuery> queries;
+    for (const auto& [lo, hi] : samples) {
+      if (hi < keys.front() || lo > keys.back()) continue;
+      queries.push_back({lo, hi});
+    }
+    if (queries.empty()) {
+      return std::make_unique<StrFilterAdapter>(
+          ProteusStrFilter::BuildWithConfig(
+              keys,
+              ProteusStrFilter::Config{0, max_key_bits_, max_key_bits_},
+              bpk_));
+    }
+    StrCpfprOptions options;
+    options.bloom_grid = std::max<uint32_t>(1, 128 / stride_);
+    return std::make_unique<StrFilterAdapter>(
+        ProteusStrFilter::BuildSelfDesigned(keys, queries, bpk_,
+                                            max_key_bits_, options));
+  }
+  std::string Name() const override { return "proteus-str"; }
+
+ private:
+  double bpk_;
+  uint32_t max_key_bits_;
+  uint32_t stride_;
+};
+
+class SurfIntPolicy : public FilterPolicy {
+ public:
+  SurfIntPolicy(int mode, uint32_t bits) : mode_(mode), bits_(bits) {}
+  std::unique_ptr<SstFilter> Build(
+      const std::vector<std::string>& keys,
+      const std::vector<std::pair<std::string, std::string>>&) const override {
+    if (keys.empty()) return nullptr;
+    Surf::Options options;
+    options.suffix_mode = static_cast<SurfSuffixMode>(mode_);
+    options.suffix_bits = bits_;
+    return std::make_unique<IntFilterAdapter>(
+        SurfIntFilter::Build(DecodeKeys(keys), options));
+  }
+  std::string Name() const override {
+    return "surf" + std::to_string(mode_) + "-" + std::to_string(bits_);
+  }
+
+ private:
+  int mode_;
+  uint32_t bits_;
+};
+
+class SurfStrPolicy : public FilterPolicy {
+ public:
+  SurfStrPolicy(int mode, uint32_t bits) : mode_(mode), bits_(bits) {}
+  std::unique_ptr<SstFilter> Build(
+      const std::vector<std::string>& keys,
+      const std::vector<std::pair<std::string, std::string>>&) const override {
+    if (keys.empty()) return nullptr;
+    Surf::Options options;
+    options.suffix_mode = static_cast<SurfSuffixMode>(mode_);
+    options.suffix_bits = bits_;
+    return std::make_unique<StrFilterAdapter>(SurfStrFilter::Build(keys, options));
+  }
+  std::string Name() const override { return "surf-str"; }
+
+ private:
+  int mode_;
+  uint32_t bits_;
+};
+
+class RosettaIntPolicy : public FilterPolicy {
+ public:
+  explicit RosettaIntPolicy(double bpk) : bpk_(bpk) {}
+  std::unique_ptr<SstFilter> Build(
+      const std::vector<std::string>& keys,
+      const std::vector<std::pair<std::string, std::string>>& samples)
+      const override {
+    if (keys.empty()) return nullptr;
+    auto int_keys = DecodeKeys(keys);
+    auto queries = ClipQueries(DecodeQueries(samples), int_keys.front(),
+                               int_keys.back());
+    if (queries.empty()) queries.push_back({int_keys.front(), int_keys.front()});
+    return std::make_unique<IntFilterAdapter>(
+        RosettaFilter::BuildSelfConfigured(int_keys, queries, bpk_));
+  }
+  std::string Name() const override { return "rosetta"; }
+
+ private:
+  double bpk_;
+};
+
+}  // namespace
+
+std::unique_ptr<FilterPolicy> MakeNullFilterPolicy() {
+  return std::make_unique<NullPolicy>();
+}
+std::unique_ptr<FilterPolicy> MakeBloomFilterPolicy(double bits_per_key) {
+  return std::make_unique<BloomPolicy>(bits_per_key);
+}
+std::unique_ptr<FilterPolicy> MakeProteusIntPolicy(double bits_per_key) {
+  return std::make_unique<ProteusIntPolicy>(bits_per_key);
+}
+std::unique_ptr<FilterPolicy> MakeProteusStrPolicy(double bits_per_key,
+                                                   uint32_t max_key_bits,
+                                                   uint32_t prefix_stride) {
+  return std::make_unique<ProteusStrPolicy>(bits_per_key, max_key_bits,
+                                            prefix_stride);
+}
+std::unique_ptr<FilterPolicy> MakeSurfIntPolicy(int suffix_mode,
+                                                uint32_t suffix_bits) {
+  return std::make_unique<SurfIntPolicy>(suffix_mode, suffix_bits);
+}
+std::unique_ptr<FilterPolicy> MakeSurfStrPolicy(int suffix_mode,
+                                                uint32_t suffix_bits) {
+  return std::make_unique<SurfStrPolicy>(suffix_mode, suffix_bits);
+}
+std::unique_ptr<FilterPolicy> MakeRosettaIntPolicy(double bits_per_key) {
+  return std::make_unique<RosettaIntPolicy>(bits_per_key);
+}
+
+}  // namespace proteus

@@ -1,0 +1,70 @@
+// Pluggable per-SST filter construction — miniLSM's analogue of RocksDB's
+// FilterPolicy, extended to range filters fed by the sample query queue.
+//
+// Policies exist for every filter the paper evaluates: none, full-key
+// Bloom, Proteus (self-designing), SuRF (Base/Real/Hash), and Rosetta.
+// Integer mode treats LSM keys as 8-byte big-endian encodings of uint64
+// (order-preserving); string mode passes raw keys through.
+
+#ifndef PROTEUS_LSM_FILTER_POLICY_H_
+#define PROTEUS_LSM_FILTER_POLICY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace proteus {
+
+/// A built filter attached to one SST file.
+class SstFilter {
+ public:
+  virtual ~SstFilter() = default;
+  virtual bool MayContain(std::string_view lo, std::string_view hi) const = 0;
+  virtual uint64_t SizeBits() const = 0;
+};
+
+class FilterPolicy {
+ public:
+  virtual ~FilterPolicy() = default;
+
+  /// Builds a filter over the SST's sorted keys. `sample_queries` is the
+  /// query-queue snapshot (encoded keys, same representation as `keys`).
+  virtual std::unique_ptr<SstFilter> Build(
+      const std::vector<std::string>& keys,
+      const std::vector<std::pair<std::string, std::string>>& sample_queries)
+      const = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+/// No filtering: every Seek touches the SSTs (the paper's no-filter floor).
+std::unique_ptr<FilterPolicy> MakeNullFilterPolicy();
+
+/// Full-key Bloom filter (point filtering only; ranges always positive).
+std::unique_ptr<FilterPolicy> MakeBloomFilterPolicy(double bits_per_key);
+
+/// Proteus over integer-encoded keys.
+std::unique_ptr<FilterPolicy> MakeProteusIntPolicy(double bits_per_key);
+
+/// Proteus over raw string keys, padded to `max_key_bits` (Section 7).
+/// `prefix_stride` > 1 enables the coarse Bloom-prefix search grid.
+std::unique_ptr<FilterPolicy> MakeProteusStrPolicy(double bits_per_key,
+                                                   uint32_t max_key_bits,
+                                                   uint32_t prefix_stride = 1);
+
+/// SuRF over integer-encoded keys.
+std::unique_ptr<FilterPolicy> MakeSurfIntPolicy(int suffix_mode,
+                                                uint32_t suffix_bits);
+
+/// SuRF over raw string keys.
+std::unique_ptr<FilterPolicy> MakeSurfStrPolicy(int suffix_mode,
+                                                uint32_t suffix_bits);
+
+/// Rosetta over integer-encoded keys.
+std::unique_ptr<FilterPolicy> MakeRosettaIntPolicy(double bits_per_key);
+
+}  // namespace proteus
+
+#endif  // PROTEUS_LSM_FILTER_POLICY_H_

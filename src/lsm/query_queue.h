@@ -1,0 +1,60 @@
+// The sample query queue (Section 6.1): a fixed-size FIFO of recently
+// executed empty range queries. Seeded with an initial sample; updated
+// with every `sample_rate`-th executed empty query. Filter construction at
+// flush/compaction time snapshots the queue, which is how Proteus (and
+// Rosetta) track workload shifts (Section 6.4).
+
+#ifndef PROTEUS_LSM_QUERY_QUEUE_H_
+#define PROTEUS_LSM_QUERY_QUEUE_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <vector>
+
+namespace proteus {
+
+struct SampleQueueOptions {
+  size_t capacity = 20000;     // ~320 KB of queries (Section 6.1)
+  uint32_t sample_rate = 100;  // record every 100th empty query
+};
+
+class SampleQueryQueue {
+ public:
+  using Options = SampleQueueOptions;
+
+  explicit SampleQueryQueue(Options options = Options()) : options_(options) {}
+
+  /// Seeds the queue with an initial sample (bypasses rate limiting).
+  void Seed(const std::vector<std::pair<std::string, std::string>>& queries) {
+    for (const auto& q : queries) Push(q.first, q.second);
+  }
+
+  /// Records an executed *empty* query, subject to the sampling rate.
+  void OnEmptyQuery(std::string_view lo, std::string_view hi) {
+    if (++counter_ % options_.sample_rate != 0) return;
+    Push(lo, hi);
+  }
+
+  /// Snapshot of the current sample set (filter construction input).
+  std::vector<std::pair<std::string, std::string>> Snapshot() const {
+    return {queue_.begin(), queue_.end()};
+  }
+
+  size_t size() const { return queue_.size(); }
+  uint64_t seen() const { return counter_; }
+
+ private:
+  void Push(std::string_view lo, std::string_view hi) {
+    queue_.emplace_back(std::string(lo), std::string(hi));
+    if (queue_.size() > options_.capacity) queue_.pop_front();
+  }
+
+  Options options_;
+  std::deque<std::pair<std::string, std::string>> queue_;
+  uint64_t counter_ = 0;
+};
+
+}  // namespace proteus
+
+#endif  // PROTEUS_LSM_QUERY_QUEUE_H_

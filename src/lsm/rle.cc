@@ -1,0 +1,109 @@
+#include "lsm/rle.h"
+
+#include <cstdint>
+
+namespace proteus {
+namespace {
+
+void PutVarint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>(v | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+bool GetVarint(std::string_view* in, uint64_t* v) {
+  *v = 0;
+  int shift = 0;
+  while (!in->empty() && shift <= 63) {
+    uint8_t byte = static_cast<uint8_t>((*in)[0]);
+    in->remove_prefix(1);
+    *v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return true;
+    shift += 7;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::string RleCompress(std::string_view input) {
+  std::string out;
+  out.reserve(input.size() / 2 + 16);
+  out.push_back(1);  // RLE tag
+  PutVarint(&out, input.size());
+  size_t i = 0;
+  while (i < input.size()) {
+    if (input[i] == '\0') {
+      size_t j = i;
+      while (j < input.size() && input[j] == '\0') ++j;
+      out.push_back(0);  // zero-run token
+      PutVarint(&out, j - i);
+      i = j;
+    } else {
+      size_t j = i;
+      // Literal run: stop at a zero run of length >= 4 (shorter runs are
+      // cheaper inline).
+      size_t zeros = 0;
+      while (j < input.size()) {
+        if (input[j] == '\0') {
+          if (++zeros >= 4) {
+            j -= zeros - 1;
+            break;
+          }
+        } else {
+          zeros = 0;
+        }
+        ++j;
+      }
+      if (j > input.size()) j = input.size();
+      out.push_back(1);  // literal token
+      PutVarint(&out, j - i);
+      out.append(input.substr(i, j - i));
+      i = j;
+    }
+  }
+  if (out.size() >= input.size() + 1) {
+    std::string raw;
+    raw.reserve(input.size() + 1);
+    raw.push_back(0);  // raw tag
+    raw.append(input);
+    return raw;
+  }
+  return out;
+}
+
+bool RleDecompress(std::string_view input, std::string* output) {
+  output->clear();
+  if (input.empty()) return false;
+  uint8_t tag = static_cast<uint8_t>(input[0]);
+  input.remove_prefix(1);
+  if (tag == 0) {
+    output->assign(input.data(), input.size());
+    return true;
+  }
+  if (tag != 1) return false;
+  uint64_t total;
+  if (!GetVarint(&input, &total)) return false;
+  output->reserve(total);
+  while (!input.empty()) {
+    uint8_t token = static_cast<uint8_t>(input[0]);
+    input.remove_prefix(1);
+    uint64_t len;
+    if (!GetVarint(&input, &len)) return false;
+    if (token == 0) {
+      output->append(len, '\0');
+    } else if (token == 1) {
+      if (input.size() < len) return false;
+      output->append(input.substr(0, len));
+      input.remove_prefix(len);
+    } else {
+      return false;
+    }
+    if (output->size() > total) return false;
+  }
+  return output->size() == total;
+}
+
+}  // namespace proteus

@@ -1,0 +1,132 @@
+// A probabilistic skiplist over byte-string keys — the MemTable substrate
+// (RocksDB's default memtable is a skiplist; Section 6.1).
+//
+// Single-writer, in-process, no arena tricks: nodes are heap-allocated and
+// owned by the list. Supports insert-or-assign and ordered iteration from
+// a lower bound, which is all the LSM layer needs.
+
+#ifndef PROTEUS_LSM_SKIPLIST_H_
+#define PROTEUS_LSM_SKIPLIST_H_
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "util/random.h"
+
+namespace proteus {
+
+class SkipList {
+ public:
+  static constexpr int kMaxHeight = 12;
+
+  SkipList() : rng_(0xC0FFEE), head_(new Node("", "", kMaxHeight)) {}
+  ~SkipList() {
+    Clear();
+    delete head_;
+  }
+
+  /// Removes all entries (memtable reset after a flush).
+  void Clear() {
+    Node* n = head_->next[0];
+    while (n != nullptr) {
+      Node* next = n->next[0];
+      delete n;
+      n = next;
+    }
+    for (int i = 0; i < kMaxHeight; ++i) head_->next[i] = nullptr;
+    size_ = 0;
+  }
+  SkipList(const SkipList&) = delete;
+  SkipList& operator=(const SkipList&) = delete;
+
+  /// Inserts or overwrites. Returns the net byte delta (for memtable
+  /// accounting).
+  int64_t Put(std::string_view key, std::string_view value) {
+    std::array<Node*, kMaxHeight> prev;
+    Node* node = FindGreaterOrEqual(key, &prev);
+    if (node != nullptr && node->key == key) {
+      int64_t delta = static_cast<int64_t>(value.size()) -
+                      static_cast<int64_t>(node->value.size());
+      node->value.assign(value.data(), value.size());
+      return delta;
+    }
+    int height = RandomHeight();
+    Node* fresh = new Node(std::string(key), std::string(value), height);
+    for (int i = 0; i < height; ++i) {
+      fresh->next[i] = prev[i]->next[i];
+      prev[i]->next[i] = fresh;
+    }
+    ++size_;
+    return static_cast<int64_t>(key.size() + value.size());
+  }
+
+  /// Smallest entry with key >= `key`, or nullptr.
+  struct Entry {
+    std::string_view key;
+    std::string_view value;
+  };
+  bool SeekGeq(std::string_view key, Entry* out) const {
+    Node* node = FindGreaterOrEqual(key, nullptr);
+    if (node == nullptr) return false;
+    out->key = node->key;
+    out->value = node->value;
+    return true;
+  }
+
+  bool Get(std::string_view key, std::string* value) const {
+    Node* node = FindGreaterOrEqual(key, nullptr);
+    if (node == nullptr || node->key != key) return false;
+    value->assign(node->value);
+    return true;
+  }
+
+  uint64_t size() const { return size_; }
+
+  /// In-order visitation (flush path).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (Node* n = head_->next[0]; n != nullptr; n = n->next[0]) {
+      fn(std::string_view(n->key), std::string_view(n->value));
+    }
+  }
+
+ private:
+  struct Node {
+    Node(std::string k, std::string v, int height)
+        : key(std::move(k)), value(std::move(v)) {
+      for (int i = 0; i < height; ++i) next[i] = nullptr;
+    }
+    std::string key;
+    std::string value;
+    std::array<Node*, kMaxHeight> next{};
+  };
+
+  int RandomHeight() {
+    int h = 1;
+    while (h < kMaxHeight && (rng_.Next() & 3) == 0) ++h;  // p = 1/4
+    return h;
+  }
+
+  Node* FindGreaterOrEqual(std::string_view key,
+                           std::array<Node*, kMaxHeight>* prev) const {
+    Node* node = head_;
+    for (int level = kMaxHeight - 1; level >= 0; --level) {
+      while (node->next[level] != nullptr && node->next[level]->key < key) {
+        node = node->next[level];
+      }
+      if (prev != nullptr) (*prev)[level] = node;
+    }
+    return node->next[0];
+  }
+
+  Rng rng_;
+  Node* head_;
+  uint64_t size_ = 0;
+};
+
+}  // namespace proteus
+
+#endif  // PROTEUS_LSM_SKIPLIST_H_

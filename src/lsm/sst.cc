@@ -1,0 +1,157 @@
+#include "lsm/sst.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+
+#include "lsm/rle.h"
+
+namespace proteus {
+namespace {
+
+constexpr uint64_t kSstMagic = 0x50524F5445555353ull;  // "PROTEUSS"
+
+void PutFixed64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+uint64_t GetFixed64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+}  // namespace
+
+SstWriter::SstWriter(std::string path, Options options)
+    : path_(std::move(path)), options_(options) {}
+
+void SstWriter::Add(std::string_view key, std::string_view value) {
+  if (n_entries_ == 0) smallest_.assign(key);
+  largest_.assign(key);
+  last_key_in_block_.assign(key);
+  data_block_.Add(key, value);
+  ++n_entries_;
+  if (data_block_.SizeEstimate() >= options_.block_size) FlushBlock();
+}
+
+void SstWriter::FlushBlock() {
+  if (data_block_.empty()) return;
+  std::string payload = data_block_.Finish();
+  std::string on_disk;
+  if (options_.compress) {
+    on_disk = RleCompress(payload);
+  } else {
+    on_disk.push_back(0);  // raw tag
+    on_disk.append(payload);
+  }
+  std::string handle;
+  PutFixed64(&handle, offset_);
+  PutFixed64(&handle, on_disk.size());
+  index_block_.Add(last_key_in_block_, handle);
+  file_buffer_.append(on_disk);
+  offset_ += on_disk.size();
+  ++stats_.blocks_written;
+  stats_.bytes_written += on_disk.size();
+}
+
+bool SstWriter::Finish() {
+  FlushBlock();
+  std::string index_payload = index_block_.Finish();
+  std::string index_disk;
+  index_disk.push_back(0);  // index stored raw
+  index_disk.append(index_payload);
+  uint64_t index_offset = offset_;
+  file_buffer_.append(index_disk);
+  offset_ += index_disk.size();
+  std::string footer;
+  PutFixed64(&footer, index_offset);
+  PutFixed64(&footer, index_disk.size());
+  PutFixed64(&footer, n_entries_);
+  PutFixed64(&footer, kSstMagic);
+  file_buffer_.append(footer);
+  offset_ += footer.size();
+
+  FILE* f = std::fopen(path_.c_str(), "wb");
+  if (f == nullptr) return false;
+  size_t written =
+      std::fwrite(file_buffer_.data(), 1, file_buffer_.size(), f);
+  bool ok = written == file_buffer_.size() && std::fflush(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+SstReader::~SstReader() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+bool SstReader::ReadRaw(uint64_t offset, uint64_t size, std::string* out) const {
+  out->resize(size);
+  ssize_t got = ::pread(fd_, out->data(), size, static_cast<off_t>(offset));
+  return got == static_cast<ssize_t>(size);
+}
+
+bool SstReader::Open(const std::string& path, uint64_t file_id,
+                     BlockCache* cache) {
+  path_ = path;
+  file_id_ = file_id;
+  cache_ = cache;
+  fd_ = ::open(path.c_str(), O_RDONLY);
+  if (fd_ < 0) return false;
+  off_t file_size = ::lseek(fd_, 0, SEEK_END);
+  if (file_size < 32) return false;
+  std::string footer;
+  if (!ReadRaw(static_cast<uint64_t>(file_size) - 32, 32, &footer)) {
+    return false;
+  }
+  if (GetFixed64(footer.data() + 24) != kSstMagic) return false;
+  uint64_t index_offset = GetFixed64(footer.data());
+  uint64_t index_size = GetFixed64(footer.data() + 8);
+  n_entries_ = GetFixed64(footer.data() + 16);
+  std::string index_disk;
+  if (!ReadRaw(index_offset, index_size, &index_disk)) return false;
+  std::string index_payload;
+  if (!RleDecompress(index_disk, &index_payload)) return false;
+  return index_.Init(std::move(index_payload));
+}
+
+bool SstReader::ReadDataBlock(size_t block_index, BlockReader* out,
+                              bool use_cache) const {
+  std::string_view handle = index_.ValueAt(block_index);
+  uint64_t offset = GetFixed64(handle.data());
+  uint64_t size = GetFixed64(handle.data() + 8);
+  if (use_cache && cache_ != nullptr) {
+    auto cached = cache_->Get(file_id_, offset);
+    if (cached != nullptr) return out->Init(*cached);
+  }
+  std::string disk;
+  if (!ReadRaw(offset, size, &disk)) return false;
+  auto payload = std::make_shared<std::string>();
+  if (!RleDecompress(disk, payload.get())) return false;
+  if (use_cache && cache_ != nullptr) {
+    cache_->Insert(file_id_, offset, payload);
+  }
+  return out->Init(*payload);
+}
+
+int SstReader::SeekInRange(std::string_view lo, std::string_view hi,
+                           std::string* key, std::string* value) const {
+  // First block whose last key >= lo holds the smallest candidate.
+  size_t b = index_.LowerBound(lo);
+  if (b == index_.n_entries()) return 1;
+  BlockReader block;
+  if (!ReadDataBlock(b, &block, /*use_cache=*/true)) return -1;
+  size_t i = block.LowerBound(lo);
+  if (i == block.n_entries()) return 1;  // cannot happen if index is sound
+  std::string_view k = block.KeyAt(i);
+  if (k > hi) return 1;
+  key->assign(k);
+  value->assign(block.ValueAt(i));
+  return 0;
+}
+
+}  // namespace proteus

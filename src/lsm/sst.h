@@ -1,0 +1,157 @@
+// SST (Static Sorted Table) files: writer, reader, and file metadata.
+//
+// Layout:
+//   [compressed data block]*  [compressed index block]  [footer]
+// The index block maps each data block's last key to (offset, size).
+// Footer (fixed width): index_offset, index_size, n_entries, magic.
+//
+// As in the paper's tuned RocksDB (Section 6.1), index and filter stay
+// pinned in memory: SstReader keeps the parsed index block, and the filter
+// object lives in FileMeta. Data blocks are read from disk on demand
+// through the LRU block cache.
+
+#ifndef PROTEUS_LSM_SST_H_
+#define PROTEUS_LSM_SST_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "lsm/block.h"
+#include "lsm/block_cache.h"
+
+namespace proteus {
+
+struct SstStats {
+  uint64_t blocks_written = 0;
+  uint64_t bytes_written = 0;
+};
+
+class SstWriter {
+ public:
+  struct Options {
+    size_t block_size = 4096;   // uncompressed target
+    bool compress = true;       // RLE data blocks
+  };
+
+  SstWriter(std::string path, Options options);
+
+  /// Keys must arrive in strictly increasing order.
+  void Add(std::string_view key, std::string_view value);
+
+  /// Writes index + footer, closes the file. Returns false on I/O error.
+  bool Finish();
+
+  uint64_t n_entries() const { return n_entries_; }
+  uint64_t file_size() const { return offset_; }
+  const std::string& smallest() const { return smallest_; }
+  const std::string& largest() const { return largest_; }
+  const SstStats& stats() const { return stats_; }
+
+ private:
+  void FlushBlock();
+
+  std::string path_;
+  Options options_;
+  std::string file_buffer_;
+  BlockBuilder data_block_;
+  BlockBuilder index_block_;
+  uint64_t offset_ = 0;
+  uint64_t n_entries_ = 0;
+  std::string smallest_, largest_, last_key_in_block_;
+  SstStats stats_;
+};
+
+class SstReader {
+ public:
+  /// Opens the file and pins the index block in memory.
+  bool Open(const std::string& path, uint64_t file_id, BlockCache* cache);
+
+  uint64_t n_entries() const { return n_entries_; }
+  uint64_t n_blocks() const { return index_.n_entries(); }
+
+  /// Finds the smallest entry with key in [lo, hi]. Touches at most one
+  /// data block (keys in [lo, hi] beyond the first block are larger).
+  /// Returns 0 = found, 1 = none in range, -1 = corruption/IO error.
+  int SeekInRange(std::string_view lo, std::string_view hi, std::string* key,
+                  std::string* value) const;
+
+  /// Streams all entries in order (compaction path; bypasses the cache).
+  template <typename Fn>
+  bool ForEach(Fn&& fn) const {
+    for (size_t b = 0; b < index_.n_entries(); ++b) {
+      BlockReader block;
+      if (!ReadDataBlock(b, &block, /*use_cache=*/false)) return false;
+      for (size_t i = 0; i < block.n_entries(); ++i) {
+        fn(block.KeyAt(i), block.ValueAt(i));
+      }
+    }
+    return true;
+  }
+
+  const std::string& path() const { return path_; }
+
+  /// Streaming cursor over all entries in key order (compaction merge).
+  class Iterator {
+   public:
+    explicit Iterator(const SstReader* reader) : reader_(reader) {
+      LoadBlock();
+    }
+    bool Valid() const { return valid_; }
+    std::string_view key() const { return block_.KeyAt(entry_); }
+    std::string_view value() const { return block_.ValueAt(entry_); }
+    void Next() {
+      if (++entry_ >= block_.n_entries()) {
+        ++block_index_;
+        LoadBlock();
+      }
+    }
+
+   private:
+    void LoadBlock() {
+      entry_ = 0;
+      valid_ = false;
+      while (block_index_ < reader_->n_blocks()) {
+        if (reader_->ReadDataBlock(block_index_, &block_,
+                                   /*use_cache=*/false)) {
+          if (block_.n_entries() > 0) {
+            valid_ = true;
+            return;
+          }
+        }
+        ++block_index_;
+      }
+    }
+
+    const SstReader* reader_;
+    size_t block_index_ = 0;
+    size_t entry_ = 0;
+    bool valid_ = false;
+    BlockReader block_;
+  };
+
+ private:
+  friend class Iterator;
+  bool ReadDataBlock(size_t block_index, BlockReader* out,
+                     bool use_cache) const;
+  bool ReadRaw(uint64_t offset, uint64_t size, std::string* out) const;
+
+  std::string path_;
+  int fd_ = -1;
+  uint64_t file_id_ = 0;
+  uint64_t n_entries_ = 0;
+  BlockCache* cache_ = nullptr;
+  BlockReader index_;  // entries: last_key -> fixed64 offset, fixed64 size
+
+ public:
+  ~SstReader();
+  SstReader() = default;
+  SstReader(const SstReader&) = delete;
+  SstReader& operator=(const SstReader&) = delete;
+};
+
+}  // namespace proteus
+
+#endif  // PROTEUS_LSM_SST_H_

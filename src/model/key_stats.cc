@@ -1,0 +1,107 @@
+#include "model/key_stats.h"
+
+#include <algorithm>
+
+#include "util/bits.h"
+#include "util/bitstring.h"
+
+namespace proteus {
+namespace {
+
+// Shared tail: turns per-key LCP data into |K_l| and unique-prefix counts.
+//
+// lcp_hist[c] counts adjacent sorted pairs with LCP exactly c; a key opens a
+// new l-prefix exactly when its LCP with the previous key is < l, so
+// |K_l| = 1 + #{pairs with lcp < l}.
+//
+// m_hist[c] counts keys whose max LCP with either sorted neighbor is c; a
+// key is the only key under its l-prefix iff l > m, so
+// unique_counts[l] = #{keys with m < l}.
+KeyStats Finalize(uint32_t max_len, uint64_t n_keys,
+                  std::vector<uint64_t> lcp_hist,
+                  std::vector<uint64_t> m_hist) {
+  KeyStats stats;
+  stats.max_len = max_len;
+  stats.n_keys = n_keys;
+  stats.k_counts.assign(max_len + 1, 0);
+  stats.unique_counts.assign(max_len + 1, 0);
+  if (n_keys == 0) return stats;
+  if (n_keys == 1) {
+    for (uint32_t l = 0; l <= max_len; ++l) {
+      stats.k_counts[l] = 1;
+      stats.unique_counts[l] = 1;  // the root subtree already holds one key
+    }
+    return stats;
+  }
+  uint64_t pairs_below = 0;
+  uint64_t keys_below = 0;
+  for (uint32_t l = 0; l <= max_len; ++l) {
+    stats.k_counts[l] = 1 + pairs_below;
+    stats.unique_counts[l] = keys_below;
+    if (l < max_len) {
+      pairs_below += lcp_hist[l];
+      keys_below += m_hist[l];
+    }
+  }
+  stats.k_counts[0] = 1;
+  stats.unique_counts[0] = 0;
+  return stats;
+}
+
+}  // namespace
+
+KeyStats KeyStats::FromSortedInts(const std::vector<uint64_t>& sorted_keys) {
+  const uint32_t max_len = 64;
+  const size_t n = sorted_keys.size();
+  std::vector<uint64_t> lcp_hist(max_len + 1, 0);
+  std::vector<uint64_t> m_hist(max_len + 1, 0);
+  std::vector<uint32_t> lcp_prev(n, 0);  // LCP with previous key
+  for (size_t i = 1; i < n; ++i) {
+    uint32_t c = LcpBits64(sorted_keys[i - 1], sorted_keys[i]);
+    lcp_prev[i] = c;
+    lcp_hist[c]++;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t m = 0;
+    if (i > 0) m = std::max(m, lcp_prev[i]);
+    if (i + 1 < n) m = std::max(m, lcp_prev[i + 1]);
+    m_hist[m]++;
+  }
+  return Finalize(max_len, n, std::move(lcp_hist), std::move(m_hist));
+}
+
+KeyStats KeyStats::FromSortedStrings(
+    const std::vector<std::string>& sorted_keys, uint32_t max_bits) {
+  const size_t n = sorted_keys.size();
+  std::vector<uint64_t> lcp_hist(max_bits + 1, 0);
+  std::vector<uint64_t> m_hist(max_bits + 1, 0);
+  // Keys equal under padding collapse into one logical key.
+  std::vector<uint32_t> lcp_prev;
+  lcp_prev.reserve(n);
+  uint64_t n_distinct = 0;
+  size_t prev_index = 0;
+  for (size_t i = 0; i < n; ++i) {
+    if (i == 0) {
+      n_distinct = 1;
+      lcp_prev.push_back(0);
+      prev_index = 0;
+      continue;
+    }
+    uint64_t c = StrLcpBits(sorted_keys[prev_index], sorted_keys[i], max_bits);
+    if (c >= max_bits) continue;  // duplicate under padding
+    lcp_prev.push_back(static_cast<uint32_t>(c));
+    lcp_hist[c]++;
+    prev_index = i;
+    ++n_distinct;
+  }
+  for (size_t i = 0; i < n_distinct; ++i) {
+    uint32_t m = 0;
+    if (i > 0) m = std::max(m, lcp_prev[i]);
+    if (i + 1 < n_distinct) m = std::max(m, lcp_prev[i + 1]);
+    m_hist[m]++;
+  }
+  return Finalize(max_bits, n_distinct, std::move(lcp_hist),
+                  std::move(m_hist));
+}
+
+}  // namespace proteus

@@ -1,0 +1,43 @@
+// Key-set statistics feeding the CPFPR model (Section 4.3, "Count Key
+// Prefixes"): the number of unique l-bit prefixes |K_l| for every l, and
+// the number of prefixes at each depth whose subtree holds a single key
+// (which the trie memory model uses to account for suffix-extended
+// branches). Both are derived in O(n) from successive LCPs of the sorted
+// key set.
+
+#ifndef PROTEUS_MODEL_KEY_STATS_H_
+#define PROTEUS_MODEL_KEY_STATS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace proteus {
+
+struct KeyStats {
+  /// Maximum key length in bits (64 for integer keys).
+  uint32_t max_len = 64;
+
+  /// Number of keys (distinct full keys).
+  uint64_t n_keys = 0;
+
+  /// k_counts[l] = |K_l|, the number of unique l-bit key prefixes.
+  std::vector<uint64_t> k_counts;
+
+  /// unique_counts[l] = number of l-bit prefixes containing exactly one
+  /// key. Monotone non-decreasing in l.
+  std::vector<uint64_t> unique_counts;
+
+  /// Builds stats from a sorted, deduplicated integer key set.
+  static KeyStats FromSortedInts(const std::vector<uint64_t>& sorted_keys);
+
+  /// Builds stats from a sorted string key set (trailing-NUL padding
+  /// semantics; keys identical under padding up to max_bits are treated as
+  /// one key).
+  static KeyStats FromSortedStrings(const std::vector<std::string>& sorted_keys,
+                                    uint32_t max_bits);
+};
+
+}  // namespace proteus
+
+#endif  // PROTEUS_MODEL_KEY_STATS_H_

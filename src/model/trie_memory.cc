@@ -1,0 +1,67 @@
+#include "model/trie_memory.h"
+
+#include <algorithm>
+
+namespace proteus {
+namespace {
+
+// Mirrors RankSelect::SizeBits: superblock ranks (one word per 512 bits,
+// plus sentinel) and select samples (one word per 512 ones / zeros).
+uint64_t RankBits(uint64_t n_bits) {
+  uint64_t superblocks = n_bits / 512 + 2;
+  uint64_t samples = n_bits / 512 + 2;  // ones + zeros samples combined
+  return 64 * (superblocks + samples);
+}
+
+uint64_t RoundUp64(uint64_t bits) { return (bits + 63) / 64 * 64; }
+
+uint64_t LevelCost(uint64_t n_nodes) {
+  uint64_t child_bits = 2 * n_nodes;
+  uint64_t ext_bits = n_nodes;
+  return RoundUp64(child_bits) + RankBits(child_bits) + RoundUp64(ext_bits) +
+         RankBits(ext_bits);
+}
+
+}  // namespace
+
+TrieMemoryModel::TrieMemoryModel(const KeyStats& stats) {
+  const uint32_t max_len = stats.max_len;
+  size_bits_.assign(max_len + 1, 0);
+  if (stats.n_keys == 0) return;
+
+  // For each depth d, estimate the number of single-subtree ("unique")
+  // prefixes at each level under depth-d deduplication. unique_counts is
+  // computed against full keys and only ever undercounts once prefixes
+  // merge at depth d; the counting bound  u_i^(d) >= 2|K_i| - |K_d|
+  // (every shared i-prefix holds >= 2 distinct d-prefixes) recovers the
+  // collapse for clustered key sets. We take the max of both bounds.
+  for (uint32_t d = 1; d <= max_len; ++d) {
+    const uint64_t k_d = stats.k_counts[d];
+    uint64_t total = 0;
+    uint64_t u_prev = 0;
+    uint64_t suffix_bits = 0;
+    for (uint32_t i = 0; i < d; ++i) {
+      const uint64_t k_i = stats.k_counts[i];
+      uint64_t u_i = stats.unique_counts[i];
+      if (2 * k_i > k_d) u_i = std::max(u_i, 2 * k_i - k_d);
+      u_i = std::max(u_i, u_prev);  // uniqueness is monotone in depth
+      u_i = std::min(u_i, k_i);
+      if (i == 0 && stats.n_keys == 1) u_i = 1;
+      const uint64_t n_i = i == 0 ? 1 : (k_i > u_prev ? k_i - u_prev : 0);
+      total += LevelCost(n_i);
+      suffix_bits += (u_i - u_prev) * (d - i);
+      u_prev = u_i;
+    }
+    size_bits_[d] = total + RoundUp64(suffix_bits);
+  }
+}
+
+uint32_t TrieMemoryModel::MaxFeasibleDepth(uint64_t budget_bits) const {
+  uint32_t best = 0;
+  for (uint32_t d = 0; d < size_bits_.size(); ++d) {
+    if (size_bits_[d] <= budget_bits) best = d;
+  }
+  return best;
+}
+
+}  // namespace proteus

@@ -1,0 +1,47 @@
+// The trie memory model (Section 4.3, "Calculate Trie Memory"): estimates
+// the size in bits of the uniform-depth bit trie (src/trie/bit_trie.h) at
+// every candidate depth, from key statistics alone.
+//
+// Derivation. With n_i structural nodes at depth i and e_i single-key
+// subtrees truncated at depth i:
+//   n_0 = 1,   n_i = |K_i| - unique_counts[i-1]   (i >= 1)
+//   e_i = unique_counts[i] - unique_counts[i-1]
+// Each level stores 2 child bits + 1 extension bit per node plus rank
+// indexes; each truncated subtree at depth i stores (d - i) suffix bits.
+//
+// Like the paper, this slightly overestimates deep tries: uniqueness is
+// computed against full keys, so prefixes that merge at depth d are still
+// counted as separate structure. Leftover memory simply flows to the Bloom
+// filter (Section 4.3).
+
+#ifndef PROTEUS_MODEL_TRIE_MEMORY_H_
+#define PROTEUS_MODEL_TRIE_MEMORY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "model/key_stats.h"
+
+namespace proteus {
+
+class TrieMemoryModel {
+ public:
+  TrieMemoryModel() = default;
+  explicit TrieMemoryModel(const KeyStats& stats);
+
+  /// Estimated size in bits of a trie of the given depth (0 = no trie,
+  /// costing 0 bits).
+  uint64_t TrieSizeBits(uint32_t depth) const {
+    return depth < size_bits_.size() ? size_bits_[depth] : ~uint64_t{0};
+  }
+
+  /// Largest depth whose estimated size fits the budget.
+  uint32_t MaxFeasibleDepth(uint64_t budget_bits) const;
+
+ private:
+  std::vector<uint64_t> size_bits_;  // index = depth
+};
+
+}  // namespace proteus
+
+#endif  // PROTEUS_MODEL_TRIE_MEMORY_H_

@@ -1,0 +1,33 @@
+#include "trie/bit_trie.h"
+
+namespace proteus {
+
+std::vector<uint64_t> UniquePrefixes(const std::vector<uint64_t>& sorted_keys,
+                                     uint32_t depth) {
+  std::vector<uint64_t> out;
+  out.reserve(sorted_keys.size());
+  bool first = true;
+  uint64_t prev = 0;
+  for (uint64_t k : sorted_keys) {
+    uint64_t p = PrefixBits64(k, depth);
+    if (first || p != prev) {
+      out.push_back(p);
+      prev = p;
+      first = false;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> StrUniquePrefixes(
+    const std::vector<std::string>& sorted_keys, uint32_t depth) {
+  std::vector<std::string> out;
+  out.reserve(sorted_keys.size());
+  for (const std::string& k : sorted_keys) {
+    std::string p = StrPrefix(k, depth);
+    if (out.empty() || p != out.back()) out.push_back(std::move(p));
+  }
+  return out;
+}
+
+}  // namespace proteus

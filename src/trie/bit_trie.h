@@ -1,0 +1,340 @@
+// The Proteus FST: a uniform-depth binary trie over d-bit key prefixes
+// (Section 4.1 of the paper).
+//
+// Structure. Level i (i in [0, d)) holds the trie nodes at depth i; each
+// node owns two child bits (does an extension by 0 / by 1 exist?). A node
+// whose subtree contains a single distinct d-bit prefix is truncated there:
+// its child bits are both zero and the remaining (d - i) key bits are stored
+// verbatim in a per-level suffix array — the paper's "explicitly stored key
+// bits" extension. Nodes that reach depth d are leaves and store nothing.
+//
+// For a binary alphabet, the LOUDS-Dense child-bitmap encoding costs 2 bits
+// per node, which is within one bit per edge of LOUDS-Sparse at any shape,
+// so the bit trie uses the bitmap encoding at every level (the byte-level
+// SuRF implementation in src/surf keeps the real Dense/Sparse split). Each
+// level carries rank support for child navigation plus an extension bitmap
+// with rank support for suffix indexing.
+//
+// The same template serves 64-bit integer keys (IntBitOps; depth <= 64) and
+// variable-length string keys (StrBitOps; arbitrary depth, trailing-NUL
+// padding semantics).
+
+#ifndef PROTEUS_TRIE_BIT_TRIE_H_
+#define PROTEUS_TRIE_BIT_TRIE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/bit_vector.h"
+#include "util/bits.h"
+#include "util/bitstring.h"
+#include "util/rank_select.h"
+
+namespace proteus {
+
+/// Bit operations over right-aligned d-bit integer prefixes (d <= 64).
+struct IntBitOps {
+  using Key = uint64_t;
+
+  /// Bit i (0 = most significant of the d-bit value).
+  static bool GetBit(const Key& k, uint32_t i, uint32_t d) {
+    return (k >> (d - 1 - i)) & 1;
+  }
+  static void SetBit(Key* k, uint32_t i, bool v, uint32_t d) {
+    uint64_t mask = uint64_t{1} << (d - 1 - i);
+    if (v) {
+      *k |= mask;
+    } else {
+      *k &= ~mask;
+    }
+  }
+  static Key Empty(uint32_t /*d*/) { return 0; }
+  /// Compares bits [from, d) of a and b.
+  static int CompareFrom(const Key& a, const Key& b, uint32_t from,
+                         uint32_t d) {
+    if (from >= d) return 0;
+    uint64_t mask = (d - from == 64) ? ~uint64_t{0}
+                                     : ((uint64_t{1} << (d - from)) - 1);
+    uint64_t av = a & mask;
+    uint64_t bv = b & mask;
+    return av < bv ? -1 : (av > bv ? 1 : 0);
+  }
+};
+
+/// Bit operations over padded byte-string prefixes of d bits.
+struct StrBitOps {
+  using Key = std::string;  // always exactly ceil(d/8) bytes
+
+  static bool GetBit(const Key& k, uint32_t i, uint32_t /*d*/) {
+    return StrGetBit(k, i);
+  }
+  static void SetBit(Key* k, uint32_t i, bool v, uint32_t /*d*/) {
+    uint8_t byte = static_cast<uint8_t>((*k)[i >> 3]);
+    uint8_t mask = static_cast<uint8_t>(1u << (7 - (i & 7)));
+    (*k)[i >> 3] = static_cast<char>(v ? (byte | mask) : (byte & ~mask));
+  }
+  static Key Empty(uint32_t d) { return Key((d + 7) / 8, '\0'); }
+  static int CompareFrom(const Key& a, const Key& b, uint32_t from,
+                         uint32_t d) {
+    for (uint32_t i = from; i < d; ++i) {
+      bool ab = StrGetBit(a, i);
+      bool bb = StrGetBit(b, i);
+      if (ab != bb) return ab ? 1 : -1;
+    }
+    return 0;
+  }
+};
+
+template <typename Ops>
+class BitTrieT {
+ public:
+  using Key = typename Ops::Key;
+
+  BitTrieT() = default;
+
+  /// Builds the trie over the d-bit prefixes of `sorted_prefixes`, which
+  /// must be sorted and deduplicated d-bit prefixes in the Ops
+  /// representation (right-aligned uint64, or ceil(d/8)-byte strings).
+  void Build(const std::vector<Key>& sorted_prefixes, uint32_t depth) {
+    depth_ = depth;
+    n_values_ = sorted_prefixes.size();
+    levels_.assign(depth, Level{});
+    if (depth == 0 || sorted_prefixes.empty()) {
+      Finish();
+      return;
+    }
+    // BFS over [begin, end) ranges of the sorted prefix array.
+    struct Range {
+      uint32_t begin, end;
+    };
+    std::vector<Range> current = {{0, static_cast<uint32_t>(
+                                          sorted_prefixes.size())}};
+    for (uint32_t i = 0; i < depth_ && !current.empty(); ++i) {
+      Level& level = levels_[i];
+      std::vector<Range> next;
+      next.reserve(current.size() * 2);
+      for (const Range& r : current) {
+        if (r.end - r.begin == 1) {
+          // Single-prefix subtree: truncate and store the suffix bits.
+          level.child_bits.PushBack(false);
+          level.child_bits.PushBack(false);
+          level.ext.PushBack(true);
+          const Key& k = sorted_prefixes[r.begin];
+          for (uint32_t b = i; b < depth_; ++b) {
+            level.suffixes.PushBack(Ops::GetBit(k, b, depth_));
+          }
+          continue;
+        }
+        level.ext.PushBack(false);
+        // Split the range on bit i.
+        uint32_t split = r.begin;
+        while (split < r.end &&
+               !Ops::GetBit(sorted_prefixes[split], i, depth_)) {
+          ++split;
+        }
+        bool has0 = split > r.begin;
+        bool has1 = split < r.end;
+        level.child_bits.PushBack(has0);
+        level.child_bits.PushBack(has1);
+        if (i + 1 < depth_) {
+          if (has0) next.push_back({r.begin, split});
+          if (has1) next.push_back({split, r.end});
+        }
+      }
+      current = std::move(next);
+    }
+    Finish();
+  }
+
+  uint32_t depth() const { return depth_; }
+  uint64_t n_values() const { return n_values_; }
+  bool empty() const { return n_values_ == 0; }
+
+  /// True if the exact d-bit prefix is stored.
+  bool Contains(const Key& prefix) const {
+    Key found;
+    if (!SeekGeq(prefix, &found)) return false;
+    return Ops::CompareFrom(found, prefix, 0, depth_) == 0;
+  }
+
+  /// Finds the smallest stored d-bit value >= `target`. Returns false if no
+  /// such value exists.
+  bool SeekGeq(const Key& target, Key* out) const {
+    if (depth_ == 0 || n_values_ == 0) return false;
+    Key path = Ops::Empty(depth_);
+    // Stack of (level, node, branch taken) along the exact-match descent.
+    struct Frame {
+      uint32_t level, node;
+    };
+    std::vector<Frame> stack;
+    stack.reserve(depth_);
+    uint32_t i = 0;
+    uint32_t j = 0;
+    for (;;) {
+      const Level& level = levels_[i];
+      if (level.ext.Get(j)) {
+        // Pseudo-leaf: candidate value is path[0,i) + stored suffix.
+        Key value = path;
+        ReadSuffix(i, j, &value);
+        if (Ops::CompareFrom(value, target, i, depth_) >= 0) {
+          *out = value;
+          return true;
+        }
+        return Backtrack(stack, target, out);
+      }
+      bool b = Ops::GetBit(target, i, depth_);
+      uint32_t pos = 2 * j + (b ? 1 : 0);
+      if (level.child_bits.Get(pos)) {
+        stack.push_back({i, j});
+        Ops::SetBit(&path, i, b, depth_);
+        uint32_t child = static_cast<uint32_t>(level.rank.Rank1(pos));
+        if (i + 1 == depth_) {
+          *out = path;
+          return true;  // followed target exactly to full depth
+        }
+        i += 1;
+        j = child;
+        continue;
+      }
+      if (!b && level.child_bits.Get(2 * j + 1)) {
+        // Deviate upward: take the 1-branch, then go leftmost.
+        Ops::SetBit(&path, i, true, depth_);
+        uint32_t child = static_cast<uint32_t>(level.rank.Rank1(2 * j + 1));
+        if (i + 1 == depth_) {
+          *out = path;
+          return true;
+        }
+        *out = LeftmostFrom(i + 1, child, path);
+        return true;
+      }
+      return Backtrack(stack, target, out);
+    }
+  }
+
+  /// True if any stored value lies in [lo_prefix, hi_prefix] (inclusive,
+  /// both given as d-bit values).
+  bool RangeMayContain(const Key& lo_prefix, const Key& hi_prefix) const {
+    Key found;
+    if (!SeekGeq(lo_prefix, &found)) return false;
+    return Ops::CompareFrom(found, hi_prefix, 0, depth_) <= 0;
+  }
+
+  /// Total memory footprint in bits: child bitmaps, extension bitmaps,
+  /// suffix arrays, and rank indexes.
+  uint64_t SizeBits() const {
+    uint64_t total = 0;
+    for (const Level& level : levels_) {
+      total += level.child_bits.SizeBits() + level.rank.SizeBits();
+      total += level.ext.SizeBits() + level.ext_rank.SizeBits();
+      total += level.suffixes.SizeBits();
+    }
+    return total;
+  }
+
+  /// Number of structural nodes at each level (diagnostics / model tests).
+  std::vector<uint64_t> NodesPerLevel() const {
+    std::vector<uint64_t> out;
+    out.reserve(levels_.size());
+    for (const Level& level : levels_) out.push_back(level.ext.size());
+    return out;
+  }
+
+ private:
+  struct Level {
+    BitVector child_bits;  // 2 bits per node
+    RankSelect rank;       // over child_bits
+    BitVector ext;         // 1 bit per node: truncated single-prefix subtree
+    RankSelect ext_rank;   // over ext
+    BitVector suffixes;    // stride (depth - level) per pseudo-leaf
+  };
+
+  void Finish() {
+    for (Level& level : levels_) {
+      level.rank.Build(&level.child_bits);
+      level.ext_rank.Build(&level.ext);
+    }
+  }
+
+  /// Copies the suffix of pseudo-leaf (level i, node j) into bits [i, d) of
+  /// *value.
+  void ReadSuffix(uint32_t i, uint32_t j, Key* value) const {
+    const Level& level = levels_[i];
+    uint64_t ext_index = level.ext_rank.Rank1(j);  // pseudo-leaves before j
+    uint64_t stride = depth_ - i;
+    uint64_t base = ext_index * stride;
+    for (uint32_t b = 0; b < stride; ++b) {
+      Ops::SetBit(value, i + b, level.suffixes.Get(base + b), depth_);
+    }
+  }
+
+  /// Smallest stored value in the subtree rooted at (level i, node j),
+  /// where bits [0, i) of `path` spell the route to that node.
+  Key LeftmostFrom(uint32_t i, uint32_t j, Key path) const {
+    for (;;) {
+      const Level& level = levels_[i];
+      if (level.ext.Get(j)) {
+        ReadSuffix(i, j, &path);
+        return path;
+      }
+      bool go_right = !level.child_bits.Get(2 * j);
+      uint32_t pos = 2 * j + (go_right ? 1 : 0);
+      Ops::SetBit(&path, i, go_right, depth_);
+      uint32_t child = static_cast<uint32_t>(level.rank.Rank1(pos));
+      if (i + 1 == depth_) return path;
+      i += 1;
+      j = child;
+    }
+  }
+
+  template <typename Stack>
+  bool Backtrack(Stack& stack, const Key& target, Key* out) const {
+    Key path = Ops::Empty(depth_);
+    // Reconstruct the path bits lazily from the target: every stacked frame
+    // followed the target bit exactly.
+    while (!stack.empty()) {
+      auto frame = stack.back();
+      stack.pop_back();
+      bool took = Ops::GetBit(target, frame.level, depth_);
+      if (!took) {
+        const Level& level = levels_[frame.level];
+        if (level.child_bits.Get(2 * frame.node + 1)) {
+          // Rebuild path prefix [0, frame.level) from target.
+          for (uint32_t b = 0; b < frame.level; ++b) {
+            Ops::SetBit(&path, b, Ops::GetBit(target, b, depth_), depth_);
+          }
+          Ops::SetBit(&path, frame.level, true, depth_);
+          uint32_t child =
+              static_cast<uint32_t>(level.rank.Rank1(2 * frame.node + 1));
+          if (frame.level + 1 == depth_) {
+            *out = path;
+            return true;
+          }
+          *out = LeftmostFrom(frame.level + 1, child, path);
+          return true;
+        }
+      }
+    }
+    return false;
+  }
+
+  uint32_t depth_ = 0;
+  uint64_t n_values_ = 0;
+  std::vector<Level> levels_;
+};
+
+using BitTrie = BitTrieT<IntBitOps>;
+using StrBitTrie = BitTrieT<StrBitOps>;
+
+/// Builds the sorted, deduplicated d-bit prefix list for integer keys.
+std::vector<uint64_t> UniquePrefixes(const std::vector<uint64_t>& sorted_keys,
+                                     uint32_t depth);
+
+/// Builds the sorted, deduplicated d-bit padded prefix list for string keys.
+std::vector<std::string> StrUniquePrefixes(
+    const std::vector<std::string>& sorted_keys, uint32_t depth);
+
+}  // namespace proteus
+
+#endif  // PROTEUS_TRIE_BIT_TRIE_H_

@@ -1,0 +1,106 @@
+// A growable, packed bit vector with LSB-first addressing inside words.
+//
+// This is the raw storage backing the rank/select structures and the LOUDS
+// encodings. Unlike bits.h (which uses MSB-first key semantics), BitVector
+// uses the conventional LSB-first layout: bit i lives in word i/64 at
+// position i%64. Rank/select results are unaffected by the choice as long
+// as it is consistent, and LSB-first keeps the hot paths branch-free.
+
+#ifndef PROTEUS_UTIL_BIT_VECTOR_H_
+#define PROTEUS_UTIL_BIT_VECTOR_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace proteus {
+
+class BitVector {
+ public:
+  BitVector() = default;
+  explicit BitVector(uint64_t n_bits, bool value = false)
+      : n_bits_(n_bits),
+        words_((n_bits + 63) / 64, value ? ~uint64_t{0} : uint64_t{0}) {
+    TrimLastWord();
+  }
+
+  uint64_t size() const { return n_bits_; }
+  bool empty() const { return n_bits_ == 0; }
+
+  bool Get(uint64_t i) const { return (words_[i >> 6] >> (i & 63)) & 1; }
+
+  void Set(uint64_t i, bool v = true) {
+    uint64_t mask = uint64_t{1} << (i & 63);
+    if (v) {
+      words_[i >> 6] |= mask;
+    } else {
+      words_[i >> 6] &= ~mask;
+    }
+  }
+
+  /// Appends one bit at the end.
+  void PushBack(bool v) {
+    if ((n_bits_ & 63) == 0) words_.push_back(0);
+    if (v) words_.back() |= uint64_t{1} << (n_bits_ & 63);
+    ++n_bits_;
+  }
+
+  /// Appends the low `len` bits of `bits`, lowest bit first.
+  void PushBits(uint64_t bits, int len) {
+    for (int i = 0; i < len; ++i) PushBack((bits >> i) & 1);
+  }
+
+  /// Total set bits; O(words).
+  uint64_t CountOnes() const {
+    uint64_t c = 0;
+    for (uint64_t w : words_) c += static_cast<uint64_t>(__builtin_popcountll(w));
+    return c;
+  }
+
+  /// First set bit in [from, limit), or `limit` if none. O(words scanned).
+  uint64_t NextSetBit(uint64_t from, uint64_t limit) const {
+    if (from >= limit) return limit;
+    uint64_t w = from >> 6;
+    uint64_t word = words_[w] & (~uint64_t{0} << (from & 63));
+    for (;;) {
+      if (word != 0) {
+        uint64_t pos = w * 64 +
+                       static_cast<uint64_t>(__builtin_ctzll(word));
+        return pos < limit ? pos : limit;
+      }
+      if (++w >= words_.size() || w * 64 >= limit) return limit;
+      word = words_[w];
+    }
+  }
+
+  const uint64_t* words() const { return words_.data(); }
+  uint64_t num_words() const { return words_.size(); }
+
+  /// Word i, with bits past size() guaranteed zero.
+  uint64_t word(uint64_t i) const { return words_[i]; }
+
+  /// Memory footprint of the raw bits, in bits (excludes rank/select).
+  uint64_t SizeBits() const { return words_.size() * 64; }
+
+  void Clear() {
+    n_bits_ = 0;
+    words_.clear();
+  }
+
+  bool operator==(const BitVector& o) const {
+    return n_bits_ == o.n_bits_ && words_ == o.words_;
+  }
+
+ private:
+  void TrimLastWord() {
+    if (n_bits_ & 63) {
+      words_.back() &= (uint64_t{1} << (n_bits_ & 63)) - 1;
+    }
+  }
+
+  uint64_t n_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace proteus
+
+#endif  // PROTEUS_UTIL_BIT_VECTOR_H_

@@ -1,0 +1,84 @@
+// Low-level bit-manipulation helpers shared by the succinct structures,
+// Bloom filters, and the CPFPR model.
+//
+// Bit-order convention used throughout the library: keys are bit strings
+// read most-significant bit first. "Prefix of length l" always means the
+// first l bits in that order (for a uint64_t key, its top l bits).
+
+#ifndef PROTEUS_UTIL_BITS_H_
+#define PROTEUS_UTIL_BITS_H_
+
+#include <bit>
+#include <cstdint>
+#include <cstring>
+
+namespace proteus {
+
+/// Number of set bits in a 64-bit word.
+inline int PopCount64(uint64_t x) { return std::popcount(x); }
+
+/// Index (0-based, from the LSB) of the r-th (1-based) set bit of x.
+/// Precondition: PopCount64(x) >= r >= 1.
+inline int Select64(uint64_t x, int r) {
+  // Byte-skipping implementation: cheap and portable (no PDEP dependency).
+  for (int byte = 0; byte < 8; ++byte) {
+    int c = std::popcount(static_cast<unsigned>((x >> (byte * 8)) & 0xFF));
+    if (r <= c) {
+      uint8_t b = static_cast<uint8_t>(x >> (byte * 8));
+      for (int bit = 0; bit < 8; ++bit) {
+        if (b & (1u << bit)) {
+          if (--r == 0) return byte * 8 + bit;
+        }
+      }
+    }
+    r -= c;
+  }
+  return -1;  // Unreachable when the precondition holds.
+}
+
+/// Length of the longest common prefix (in bits) of two 64-bit keys, viewing
+/// each as a 64-bit big-endian bit string. Returns 64 when a == b.
+inline uint32_t LcpBits64(uint64_t a, uint64_t b) {
+  uint64_t x = a ^ b;
+  return x == 0 ? 64u : static_cast<uint32_t>(std::countl_zero(x));
+}
+
+/// The l-bit prefix of `key` (its top l bits), right-aligned.
+/// PrefixBits64(k, 0) == 0 and PrefixBits64(k, 64) == k.
+inline uint64_t PrefixBits64(uint64_t key, uint32_t l) {
+  return l == 0 ? 0 : key >> (64 - l);
+}
+
+/// Number of distinct l-bit prefixes covering the inclusive range [lo, hi].
+/// This is |Q_l| from the CPFPR model (Section 3.1 of the paper).
+inline uint64_t PrefixCountInRange64(uint64_t lo, uint64_t hi, uint32_t l) {
+  return PrefixBits64(hi, l) - PrefixBits64(lo, l) + 1;
+}
+
+/// Smallest key having the given l-bit prefix.
+inline uint64_t PrefixRangeLo64(uint64_t prefix, uint32_t l) {
+  return l == 0 ? 0 : prefix << (64 - l);
+}
+
+/// Largest key having the given l-bit prefix.
+inline uint64_t PrefixRangeHi64(uint64_t prefix, uint32_t l) {
+  if (l == 0) return ~uint64_t{0};
+  return (prefix << (64 - l)) | (l == 64 ? 0 : (~uint64_t{0} >> l));
+}
+
+/// Ceiling division for positive integers.
+inline uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+/// Reads bit i (0 = MSB of word 0) from a packed word array.
+inline bool GetBitMsb(const uint64_t* words, uint64_t i) {
+  return (words[i >> 6] >> (63 - (i & 63))) & 1;
+}
+
+/// Sets bit i (0 = MSB of word 0) in a packed word array.
+inline void SetBitMsb(uint64_t* words, uint64_t i) {
+  words[i >> 6] |= uint64_t{1} << (63 - (i & 63));
+}
+
+}  // namespace proteus
+
+#endif  // PROTEUS_UTIL_BITS_H_

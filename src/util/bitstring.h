@@ -1,0 +1,132 @@
+// Bit-level operations over variable-length (string) keys.
+//
+// Section 7 of the paper maps variable-length keys onto a fixed-length key
+// space by padding with trailing NUL bytes. We adopt the same convention:
+// every std::string key is treated as an infinite bit string whose bits
+// beyond the stored bytes are zero. Bit 0 is the MSB of byte 0.
+
+#ifndef PROTEUS_UTIL_BITSTRING_H_
+#define PROTEUS_UTIL_BITSTRING_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace proteus {
+
+/// Bit i of `s` under the trailing-NUL-padding convention.
+inline bool StrGetBit(std::string_view s, uint64_t i) {
+  uint64_t byte = i >> 3;
+  if (byte >= s.size()) return false;
+  return (static_cast<uint8_t>(s[byte]) >> (7 - (i & 7))) & 1;
+}
+
+/// Longest common prefix, in bits, of two padded keys; capped at max_bits.
+inline uint64_t StrLcpBits(std::string_view a, std::string_view b,
+                           uint64_t max_bits) {
+  uint64_t max_bytes = (max_bits + 7) / 8;
+  uint64_t n = std::min<uint64_t>({a.size(), b.size(), max_bytes});
+  uint64_t byte = 0;
+  while (byte < n && a[byte] == b[byte]) ++byte;
+  uint64_t lcp;
+  if (byte == n) {
+    // One string is a (byte-)prefix of the other within the compared window;
+    // the shorter is implicitly NUL-padded, so compare against zero bytes.
+    std::string_view longer = a.size() >= b.size() ? a : b;
+    uint64_t limit = std::min<uint64_t>(longer.size(), max_bytes);
+    uint64_t k = byte;
+    while (k < limit && longer[k] == '\0') ++k;
+    if (k == limit) {
+      lcp = max_bits;  // identical under padding up to the cap
+    } else {
+      uint8_t diff = static_cast<uint8_t>(longer[k]);
+      lcp = k * 8 + static_cast<uint64_t>(__builtin_clz(diff) - 24);
+    }
+  } else {
+    uint8_t diff = static_cast<uint8_t>(a[byte]) ^ static_cast<uint8_t>(b[byte]);
+    lcp = byte * 8 + static_cast<uint64_t>(__builtin_clz(diff) - 24);
+  }
+  return std::min(lcp, max_bits);
+}
+
+/// Writes the l-bit prefix of `s` into `out` as ceil(l/8) bytes, with the
+/// final partial byte masked to zero beyond the prefix. Returns the number
+/// of bytes written. `out` must have room for (l + 7) / 8 bytes.
+inline size_t StrPrefixBytes(std::string_view s, uint64_t l, char* out) {
+  size_t n_bytes = static_cast<size_t>((l + 7) / 8);
+  size_t copy = std::min(n_bytes, s.size());
+  std::copy_n(s.data(), copy, out);
+  std::fill(out + copy, out + n_bytes, '\0');
+  uint32_t rem = static_cast<uint32_t>(l & 7);
+  if (rem != 0) {
+    out[n_bytes - 1] = static_cast<char>(static_cast<uint8_t>(out[n_bytes - 1]) &
+                                         (0xFF << (8 - rem)));
+  }
+  return n_bytes;
+}
+
+/// The l-bit prefix of `s` as a padded string of exactly ceil(l/8) bytes.
+inline std::string StrPrefix(std::string_view s, uint64_t l) {
+  std::string out((l + 7) / 8, '\0');
+  StrPrefixBytes(s, l, out.data());
+  return out;
+}
+
+/// Compares the l-bit prefixes of a and b: negative/zero/positive like
+/// memcmp, under the padding convention.
+inline int StrComparePrefix(std::string_view a, std::string_view b,
+                            uint64_t l) {
+  uint64_t lcp = StrLcpBits(a, b, l);
+  if (lcp >= l) return 0;
+  return StrGetBit(a, lcp) ? 1 : -1;
+}
+
+/// Number of distinct l-bit prefixes covering [lo, hi] (inclusive), i.e.
+/// |Q_l| for string queries. Saturates at 2^62 — the CPFPR model only needs
+/// exponential bins, so exact counts above the cap are irrelevant.
+inline uint64_t StrPrefixCountInRange(std::string_view lo, std::string_view hi,
+                                      uint64_t l) {
+  static constexpr uint64_t kCap = uint64_t{1} << 62;
+  if (l == 0) return 1;
+  if (l <= 64) {
+    // Fast path: prefixes fit in a word.
+    uint64_t plo = 0, phi = 0;
+    for (uint64_t i = 0; i < l; ++i) {
+      plo = (plo << 1) | (StrGetBit(lo, i) ? 1 : 0);
+      phi = (phi << 1) | (StrGetBit(hi, i) ? 1 : 0);
+    }
+    return phi - plo + 1;
+  }
+  // Wide path: big-endian multiprecision subtraction over ceil(l/8) bytes,
+  // saturating once the difference exceeds the cap.
+  uint64_t lcp = StrLcpBits(lo, hi, l);
+  if (lcp >= l) return 1;
+  if (l - lcp > 62) return kCap;
+  uint64_t plo = 0, phi = 0;
+  for (uint64_t i = lcp; i < l; ++i) {
+    plo = (plo << 1) | (StrGetBit(lo, i) ? 1 : 0);
+    phi = (phi << 1) | (StrGetBit(hi, i) ? 1 : 0);
+  }
+  return phi - plo + 1;
+}
+
+/// Successor of the l-bit prefix of `s` within the l-bit prefix space,
+/// returned as a padded ceil(l/8)-byte string. Returns false on overflow
+/// (the prefix was the all-ones maximum).
+inline bool StrPrefixSuccessor(std::string_view s, uint64_t l,
+                               std::string* out) {
+  *out = StrPrefix(s, l);
+  uint32_t rem = static_cast<uint32_t>(l & 7);
+  uint32_t carry = rem == 0 ? 1u : (1u << (8 - rem));
+  for (size_t i = out->size(); i-- > 0 && carry != 0;) {
+    uint32_t sum = static_cast<uint8_t>((*out)[i]) + carry;
+    (*out)[i] = static_cast<char>(sum & 0xFF);
+    carry = sum >> 8;
+  }
+  return carry == 0;
+}
+
+}  // namespace proteus
+
+#endif  // PROTEUS_UTIL_BITSTRING_H_

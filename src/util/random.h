@@ -1,0 +1,99 @@
+// Deterministic pseudo-random number generation.
+//
+// All experiments in this repository are seeded, and we avoid the standard
+// <random> distributions (whose outputs are implementation-defined) so that
+// workloads are reproducible bit-for-bit across standard libraries.
+
+#ifndef PROTEUS_UTIL_RANDOM_H_
+#define PROTEUS_UTIL_RANDOM_H_
+
+#include <cmath>
+#include <cstdint>
+
+namespace proteus {
+
+/// SplitMix64: fast, well-distributed 64-bit mixer. Used both as a stream
+/// generator and as a seeding function for Xoshiro256**.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9E3779B97F4A7C15ull);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// Xoshiro256** by Blackman & Vigna — the workhorse generator.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ull) {
+    uint64_t sm = seed;
+    for (auto& s : s_) s = SplitMix64(sm);
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound) with Lemire's multiply-shift rejection.
+  uint64_t NextBelow(uint64_t bound) {
+    if (bound == 0) return 0;
+    uint64_t threshold = -bound % bound;
+    for (;;) {
+      uint64_t x = Next();
+      __uint128_t m = static_cast<__uint128_t>(x) * bound;
+      if (static_cast<uint64_t>(m) >= threshold) {
+        return static_cast<uint64_t>(m >> 64);
+      }
+    }
+  }
+
+  /// Uniform in the inclusive range [lo, hi].
+  uint64_t NextInRange(uint64_t lo, uint64_t hi) {
+    uint64_t span = hi - lo;
+    if (span == ~uint64_t{0}) return Next();
+    return lo + NextBelow(span + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * 0x1.0p-53; }
+
+  /// Standard normal via Box–Muller (deterministic given the stream).
+  double NextGaussian() {
+    if (have_spare_) {
+      have_spare_ = false;
+      return spare_;
+    }
+    double u1, u2;
+    do {
+      u1 = NextDouble();
+    } while (u1 <= 1e-300);
+    u2 = NextDouble();
+    double mag = std::sqrt(-2.0 * std::log(u1));
+    spare_ = mag * std::sin(2.0 * M_PI * u2);
+    have_spare_ = true;
+    return mag * std::cos(2.0 * M_PI * u2);
+  }
+
+  /// Log-normal sample with the given parameters of the underlying normal.
+  double NextLogNormal(double mu, double sigma) {
+    return std::exp(mu + sigma * NextGaussian());
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+  bool have_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace proteus
+
+#endif  // PROTEUS_UTIL_RANDOM_H_

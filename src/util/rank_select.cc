@@ -1,0 +1,102 @@
+#include "util/rank_select.h"
+
+#include <bit>
+
+#include "util/bits.h"
+
+namespace proteus {
+
+void RankSelect::Build(const BitVector* bv) {
+  bv_ = bv;
+  n_ones_ = 0;
+  superblock_ranks_.clear();
+  select1_samples_.clear();
+  select0_samples_.clear();
+
+  const uint64_t n_words = bv->num_words();
+  const uint64_t words_per_sb = kSuperblockBits / 64;
+  superblock_ranks_.reserve(n_words / words_per_sb + 2);
+
+  uint64_t ones = 0;
+  uint64_t zeros = 0;
+  for (uint64_t w = 0; w < n_words; ++w) {
+    if (w % words_per_sb == 0) superblock_ranks_.push_back(ones);
+    const uint64_t valid =
+        (w == n_words - 1 && (bv->size() & 63)) ? (bv->size() & 63) : 64;
+    const uint64_t mask =
+        valid == 64 ? ~uint64_t{0} : ((uint64_t{1} << valid) - 1);
+    const uint64_t word = bv->word(w) & mask;
+    const uint64_t pop = static_cast<uint64_t>(std::popcount(word));
+    const uint64_t zpop = valid - pop;
+    // Record the word containing the (k*kSelectSample + 1)-th one/zero.
+    while (select1_samples_.size() * kSelectSample + 1 <= ones + pop &&
+           select1_samples_.size() * kSelectSample + 1 > ones) {
+      select1_samples_.push_back(w);
+    }
+    while (select0_samples_.size() * kSelectSample + 1 <= zeros + zpop &&
+           select0_samples_.size() * kSelectSample + 1 > zeros) {
+      select0_samples_.push_back(w);
+    }
+    ones += pop;
+    zeros += zpop;
+  }
+  n_ones_ = ones;
+  // Sentinel so Rank1(size()) at an exact superblock boundary stays in
+  // bounds.
+  superblock_ranks_.push_back(ones);
+  if (superblock_ranks_.empty()) superblock_ranks_.push_back(0);
+  if (select1_samples_.empty()) select1_samples_.push_back(0);
+  if (select0_samples_.empty()) select0_samples_.push_back(0);
+}
+
+uint64_t RankSelect::Rank1(uint64_t i) const {
+  const uint64_t words_per_sb = kSuperblockBits / 64;
+  uint64_t word = i >> 6;
+  uint64_t sb = word / words_per_sb;
+  uint64_t rank = superblock_ranks_[sb];
+  for (uint64_t w = sb * words_per_sb; w < word; ++w) {
+    rank += static_cast<uint64_t>(std::popcount(bv_->word(w)));
+  }
+  uint64_t rem = i & 63;
+  if (rem != 0 && word < bv_->num_words()) {
+    rank += static_cast<uint64_t>(
+        std::popcount(bv_->word(word) & ((uint64_t{1} << rem) - 1)));
+  }
+  return rank;
+}
+
+uint64_t RankSelect::Select1(uint64_t r) const {
+  uint64_t w = select1_samples_[(r - 1) / kSelectSample];
+  // Ones strictly before word w.
+  uint64_t count = Rank1(w * 64);
+  for (uint64_t i = w;; ++i) {
+    uint64_t pop = static_cast<uint64_t>(std::popcount(bv_->word(i)));
+    if (count + pop >= r) {
+      return i * 64 +
+             static_cast<uint64_t>(
+                 Select64(bv_->word(i), static_cast<int>(r - count)));
+    }
+    count += pop;
+  }
+}
+
+uint64_t RankSelect::Select0(uint64_t r) const {
+  uint64_t w = select0_samples_[(r - 1) / kSelectSample];
+  uint64_t count = w * 64 - Rank1(w * 64);  // zeros before word w
+  for (uint64_t i = w;; ++i) {
+    const uint64_t valid = (i == bv_->num_words() - 1 && (bv_->size() & 63))
+                               ? (bv_->size() & 63)
+                               : 64;
+    const uint64_t mask =
+        valid == 64 ? ~uint64_t{0} : ((uint64_t{1} << valid) - 1);
+    const uint64_t inv = (~bv_->word(i)) & mask;
+    const uint64_t pop = static_cast<uint64_t>(std::popcount(inv));
+    if (count + pop >= r) {
+      return i * 64 +
+             static_cast<uint64_t>(Select64(inv, static_cast<int>(r - count)));
+    }
+    count += pop;
+  }
+}
+
+}  // namespace proteus

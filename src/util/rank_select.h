@@ -1,0 +1,64 @@
+// Rank and select support over a BitVector.
+//
+// RankSelect is an immutable index built once over a finished BitVector.
+// Rank uses 512-bit superblocks holding absolute counts; a query pops at
+// most 7 words past the superblock boundary. Select keeps position samples
+// every kSelectSample-th one (and zero) and scans forward from the sample,
+// which is O(kSelectSample/64) words worst case — plenty for the LOUDS
+// navigation patterns in this library, which are rank-heavy.
+
+#ifndef PROTEUS_UTIL_RANK_SELECT_H_
+#define PROTEUS_UTIL_RANK_SELECT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "util/bit_vector.h"
+
+namespace proteus {
+
+class RankSelect {
+ public:
+  static constexpr uint64_t kSuperblockBits = 512;
+  static constexpr uint64_t kSelectSample = 512;
+
+  RankSelect() = default;
+
+  /// Builds the index over `bv`. The caller must keep `bv` alive and
+  /// unchanged for the lifetime of this index.
+  explicit RankSelect(const BitVector* bv) { Build(bv); }
+
+  void Build(const BitVector* bv);
+
+  /// Number of ones in bv[0, i)  (i may equal size()).
+  uint64_t Rank1(uint64_t i) const;
+
+  /// Number of zeros in bv[0, i).
+  uint64_t Rank0(uint64_t i) const { return i - Rank1(i); }
+
+  /// Position of the r-th (1-based) one. Precondition: 1 <= r <= ones().
+  uint64_t Select1(uint64_t r) const;
+
+  /// Position of the r-th (1-based) zero. Precondition: 1 <= r <= zeros().
+  uint64_t Select0(uint64_t r) const;
+
+  uint64_t ones() const { return n_ones_; }
+  uint64_t zeros() const { return bv_ ? bv_->size() - n_ones_ : 0; }
+
+  /// Index memory footprint in bits (excludes the BitVector itself).
+  uint64_t SizeBits() const {
+    return 64 * (superblock_ranks_.size() + select1_samples_.size() +
+                 select0_samples_.size());
+  }
+
+ private:
+  const BitVector* bv_ = nullptr;
+  uint64_t n_ones_ = 0;
+  std::vector<uint64_t> superblock_ranks_;   // absolute rank at block start
+  std::vector<uint64_t> select1_samples_;    // position of (k*sample+1)-th one
+  std::vector<uint64_t> select0_samples_;
+};
+
+}  // namespace proteus
+
+#endif  // PROTEUS_UTIL_RANK_SELECT_H_

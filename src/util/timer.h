@@ -1,0 +1,36 @@
+// Wall-clock stopwatch used by the benchmark harnesses and the Table 2
+// construction-cost breakdown.
+
+#ifndef PROTEUS_UTIL_TIMER_H_
+#define PROTEUS_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace proteus {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction or the last Reset, in nanoseconds.
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+  double ElapsedMillis() const { return ElapsedNanos() / 1e6; }
+  double ElapsedSeconds() const { return ElapsedNanos() / 1e9; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace proteus
+
+#endif  // PROTEUS_UTIL_TIMER_H_

@@ -1,0 +1,141 @@
+#include "workload/queries.h"
+
+#include <algorithm>
+
+#include "util/random.h"
+
+namespace proteus {
+
+bool ParseQueryDist(const std::string& name, QueryDist* out) {
+  if (name == "uniform") {
+    *out = QueryDist::kUniform;
+  } else if (name == "correlated") {
+    *out = QueryDist::kCorrelated;
+  } else if (name == "split") {
+    *out = QueryDist::kSplit;
+  } else if (name == "real") {
+    *out = QueryDist::kReal;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* QueryDistName(QueryDist d) {
+  switch (d) {
+    case QueryDist::kUniform: return "uniform";
+    case QueryDist::kCorrelated: return "correlated";
+    case QueryDist::kSplit: return "split";
+    case QueryDist::kReal: return "real";
+  }
+  return "?";
+}
+
+bool RangeIsEmpty(const std::vector<uint64_t>& sorted_keys, uint64_t lo,
+                  uint64_t hi) {
+  auto it = std::lower_bound(sorted_keys.begin(), sorted_keys.end(), lo);
+  return it == sorted_keys.end() || *it > hi;
+}
+
+namespace {
+
+uint64_t DrawOffset(Rng& rng, uint64_t range_max) {
+  if (range_max < 2) return 0;  // point query
+  return rng.NextInRange(2, range_max);
+}
+
+// Draws one candidate query; returns false if the draw is structurally
+// impossible (e.g. key at the top of the key space for Correlated).
+bool DrawCandidate(const std::vector<uint64_t>& keys, const QuerySpec& spec,
+                   const std::vector<uint64_t>& real_points, Rng& rng,
+                   RangeQuery* out) {
+  QueryDist dist = spec.dist;
+  uint64_t range_max = spec.range_max;
+  if (dist == QueryDist::kSplit) {
+    if (rng.NextBelow(2) == 0) {
+      dist = QueryDist::kCorrelated;
+      range_max = spec.split_corr_range_max;
+    } else {
+      dist = QueryDist::kUniform;
+    }
+  }
+  uint64_t offset =
+      (spec.point_fraction > 0 && rng.NextDouble() < spec.point_fraction)
+          ? 0
+          : DrawOffset(rng, range_max);
+  uint64_t left = 0;
+  switch (dist) {
+    case QueryDist::kUniform: {
+      uint64_t top = ~uint64_t{0} - (offset + 1);
+      left = rng.NextBelow(top);
+      break;
+    }
+    case QueryDist::kCorrelated: {
+      uint64_t key = keys[rng.NextBelow(keys.size())];
+      uint64_t delta = rng.NextInRange(1, spec.corr_degree);
+      if (key > ~uint64_t{0} - delta - offset) return false;
+      left = key + delta;
+      break;
+    }
+    case QueryDist::kReal: {
+      if (real_points.empty()) return false;
+      left = real_points[rng.NextBelow(real_points.size())];
+      if (left > ~uint64_t{0} - offset) return false;
+      break;
+    }
+    case QueryDist::kSplit:
+      return false;  // unreachable
+  }
+  out->lo = left;
+  out->hi = left + offset;
+  return true;
+}
+
+}  // namespace
+
+std::vector<RangeQuery> GenerateQueries(
+    const std::vector<uint64_t>& sorted_keys, const QuerySpec& spec, size_t n,
+    uint64_t seed, const std::vector<uint64_t>& real_points,
+    QueryGenStats* stats) {
+  Rng rng(seed ^ 0x9E37E7B9u);
+  std::vector<RangeQuery> out;
+  out.reserve(n);
+  constexpr int kMaxAttempts = 64;
+  while (out.size() < n) {
+    RangeQuery q;
+    bool ok = false;
+    for (int attempt = 0; attempt < kMaxAttempts; ++attempt) {
+      if (!DrawCandidate(sorted_keys, spec, real_points, rng, &q)) continue;
+      if (!spec.require_empty || RangeIsEmpty(sorted_keys, q.lo, q.hi)) {
+        ok = true;
+        break;
+      }
+    }
+    if (!ok && spec.require_empty) {
+      // Clamp: shrink the range to end just below the next key. Falls back
+      // to a fresh uniform empty point if even that fails.
+      if (DrawCandidate(sorted_keys, spec, real_points, rng, &q)) {
+        auto it =
+            std::lower_bound(sorted_keys.begin(), sorted_keys.end(), q.lo);
+        if (it != sorted_keys.end() && *it == q.lo) {
+          // Left bound is itself a key: nudge just past it.
+          if (q.lo == ~uint64_t{0}) continue;
+          q.lo += 1;
+          it = std::lower_bound(sorted_keys.begin(), sorted_keys.end(), q.lo);
+        }
+        if (it != sorted_keys.end() && *it <= q.hi) {
+          if (*it == q.lo) continue;  // no room: adjacent keys
+          q.hi = *it - 1;
+        }
+        if (q.hi < q.lo) continue;
+        if (!RangeIsEmpty(sorted_keys, q.lo, q.hi)) continue;
+        if (stats != nullptr) stats->clamped++;
+        ok = true;
+      }
+    }
+    if (ok) out.push_back(q);
+  }
+  return out;
+}
+
+}  // namespace proteus

@@ -1,0 +1,71 @@
+// Range-query generators reproducing Section 5's YCSB-E style workloads.
+//
+// Queries are [left, left + offset] with offset ~ U[2, RMAX] (0 for point
+// queries). Left bounds come from one of:
+//   Uniform     — uniform over the key space,
+//   Correlated  — key + U[1, CORRDEGREE] for a random key,
+//   Split       — 50/50 mix of small Correlated and large Uniform queries,
+//   Real        — values sampled from the same distribution as the keys.
+//
+// FPR experiments require *empty* queries (no key inside the range); the
+// generators enforce emptiness by rejection sampling with a bounded number
+// of attempts, then clamp the right bound below the next key as a last
+// resort (kept deterministic; clamp counts are reported for transparency).
+
+#ifndef PROTEUS_WORKLOAD_QUERIES_H_
+#define PROTEUS_WORKLOAD_QUERIES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/query.h"
+
+namespace proteus {
+
+enum class QueryDist {
+  kUniform,
+  kCorrelated,
+  kSplit,
+  kReal,
+};
+
+bool ParseQueryDist(const std::string& name, QueryDist* out);
+const char* QueryDistName(QueryDist d);
+
+struct QuerySpec {
+  QueryDist dist = QueryDist::kUniform;
+  /// Maximum range size; offsets are drawn from U[2, range_max]. 0 makes
+  /// every query a point query (offset 0).
+  uint64_t range_max = uint64_t{1} << 10;
+  /// Correlation degree: left in [key+1, key+corr_degree] (Correlated /
+  /// Split).
+  uint64_t corr_degree = uint64_t{1} << 10;
+  /// For Split: maximum range of the correlated half (the "small" mode);
+  /// the uniform half uses range_max. 0 = point queries for that half.
+  uint64_t split_corr_range_max = uint64_t{1} << 5;
+  /// Fraction of point queries mixed in (Figure 5's "mixed" column uses
+  /// 0.5); the rest are ranges.
+  double point_fraction = 0.0;
+  /// Require empty queries (for FPR measurement and model samples).
+  bool require_empty = true;
+};
+
+struct QueryGenStats {
+  uint64_t clamped = 0;  // emptiness enforced by clamping the right bound
+};
+
+/// Generates `n` queries against the sorted key set. `real_points` supplies
+/// left bounds for QueryDist::kReal (ignored otherwise).
+std::vector<RangeQuery> GenerateQueries(
+    const std::vector<uint64_t>& sorted_keys, const QuerySpec& spec, size_t n,
+    uint64_t seed, const std::vector<uint64_t>& real_points = {},
+    QueryGenStats* stats = nullptr);
+
+/// True if [lo, hi] contains no key (binary search).
+bool RangeIsEmpty(const std::vector<uint64_t>& sorted_keys, uint64_t lo,
+                  uint64_t hi);
+
+}  // namespace proteus
+
+#endif  // PROTEUS_WORKLOAD_QUERIES_H_

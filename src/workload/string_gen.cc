@@ -1,0 +1,180 @@
+#include "workload/string_gen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "util/random.h"
+
+namespace proteus {
+namespace {
+
+std::string DrawFixedKey(StrDataset dataset, size_t key_bytes, Rng& rng) {
+  std::string s(key_bytes, '\0');
+  size_t start = 0;
+  if (dataset == StrDataset::kNormal) {
+    // First 8 bytes: Normal(2^63, 0.01 * 2^64), big-endian.
+    double v =
+        9.223372036854776e18 + rng.NextGaussian() * 1.8446744073709552e17;
+    if (v < 0) v = 0;
+    if (v >= 1.8446744073709552e19) v = 1.8446744073709552e19 - 1;
+    uint64_t top = static_cast<uint64_t>(v);
+    for (size_t i = 0; i < 8 && i < key_bytes; ++i) {
+      s[i] = static_cast<char>(top >> (56 - 8 * i));
+    }
+    start = std::min<size_t>(8, key_bytes);
+  }
+  for (size_t i = start; i < key_bytes; ++i) {
+    s[i] = static_cast<char>(rng.NextBelow(256));
+  }
+  return s;
+}
+
+std::string DrawDomain(Rng& rng) {
+  static const char kAlphabet[] = "abcdefghijklmnopqrstuvwxyz0123456789-";
+  constexpr size_t kAlphabetSize = sizeof(kAlphabet) - 1;
+  // Log-normal total length, median ~21 bytes including the ".org" suffix,
+  // clamped to [5, 253] (the crawl's observed bounds).
+  double len_d = rng.NextLogNormal(std::log(17.0), 0.45);
+  size_t label_len = static_cast<size_t>(
+      std::clamp(len_d, 1.0, 253.0 - 4.0));
+  std::string s;
+  s.reserve(label_len + 4);
+  for (size_t i = 0; i < label_len; ++i) {
+    s.push_back(kAlphabet[rng.NextBelow(kAlphabetSize)]);
+  }
+  // Occasional subdomain structure.
+  if (label_len > 8 && rng.NextBelow(4) == 0) {
+    s[rng.NextInRange(2, label_len - 3)] = '.';
+  }
+  s += ".org";
+  if (s.size() < 5) s.append(5 - s.size(), 'a');
+  return s;
+}
+
+}  // namespace
+
+std::vector<std::string> GenerateStrKeys(StrDataset dataset, size_t n,
+                                         size_t key_bytes, uint64_t seed) {
+  Rng rng(seed ^ 0x57A1A6E5u);
+  std::set<std::string> keys;
+  while (keys.size() < n) {
+    keys.insert(dataset == StrDataset::kDomains
+                    ? DrawDomain(rng)
+                    : DrawFixedKey(dataset, key_bytes, rng));
+  }
+  return {keys.begin(), keys.end()};
+}
+
+bool StrAddDelta(std::string_view key, size_t max_bytes, uint64_t delta,
+                 std::string* out) {
+  out->assign(max_bytes, '\0');
+  size_t copy = std::min(key.size(), max_bytes);
+  std::copy_n(key.data(), copy, out->data());
+  // Add delta into the last 8 bytes with carry propagation.
+  uint64_t carry = delta;
+  for (size_t i = max_bytes; i-- > 0 && carry != 0;) {
+    uint64_t sum = static_cast<uint8_t>((*out)[i]) + (carry & 0xFF);
+    (*out)[i] = static_cast<char>(sum & 0xFF);
+    carry = (carry >> 8) + (sum >> 8);
+  }
+  return carry == 0;
+}
+
+bool StrRangeIsEmpty(const std::vector<std::string>& sorted_keys,
+                     std::string_view lo, std::string_view hi) {
+  // Padded comparison: a stored key k matches [lo, hi] iff lo <= pad(k)
+  // <= hi; since lo/hi are full padded length and keys are NUL-padded
+  // implicitly, plain lexicographic comparison with the unpadded key is
+  // equivalent (trailing NULs do not change order against a longer string
+  // unless equal-prefix, which padding handles as equality).
+  auto it = std::lower_bound(
+      sorted_keys.begin(), sorted_keys.end(), lo,
+      [](const std::string& key, std::string_view bound) {
+        // Compare pad(key) < bound.
+        std::string_view k(key);
+        size_t n = std::min(k.size(), bound.size());
+        int c = k.compare(0, n, bound.substr(0, n));
+        if (c != 0) return c < 0;
+        // key is a prefix of bound: padded key extends with NULs.
+        for (size_t i = n; i < bound.size(); ++i) {
+          if (bound[i] != '\0') return true;  // pad(key) < bound
+        }
+        return false;  // equal under padding
+      });
+  if (it == sorted_keys.end()) return true;
+  // pad(*it) > hi ?
+  std::string_view k(*it);
+  size_t n = std::min(k.size(), hi.size());
+  int c = k.compare(0, n, hi.substr(0, n));
+  if (c != 0) return c > 0;
+  return false;  // prefix-equal: pad(key) <= hi
+}
+
+std::vector<StrRangeQuery> GenerateStrQueries(
+    const std::vector<std::string>& sorted_keys, const StrQuerySpec& spec,
+    size_t n, uint64_t seed, const std::vector<std::string>& real_points) {
+  Rng rng(seed ^ 0x57A1A6E5u);
+  size_t max_bytes = spec.max_bytes;
+  if (max_bytes == 0) {
+    for (const auto& k : sorted_keys) max_bytes = std::max(max_bytes, k.size());
+  }
+  std::vector<StrRangeQuery> out;
+  out.reserve(n);
+  constexpr int kMaxAttempts = 64;
+  while (out.size() < n) {
+    bool ok = false;
+    StrRangeQuery q;
+    for (int attempt = 0; attempt < kMaxAttempts && !ok; ++attempt) {
+      StrQueryDist dist = spec.dist;
+      uint64_t range_max = spec.range_max;
+      if (dist == StrQueryDist::kSplit) {
+        if (rng.NextBelow(2) == 0) {
+          dist = StrQueryDist::kCorrelated;
+          range_max = spec.split_corr_range_max;
+        } else {
+          dist = StrQueryDist::kUniform;
+        }
+      }
+      uint64_t offset = range_max < 2 ? 0 : rng.NextInRange(2, range_max);
+      std::string left;
+      switch (dist) {
+        case StrQueryDist::kUniform: {
+          left.assign(max_bytes, '\0');
+          for (size_t i = 0; i < max_bytes; ++i) {
+            left[i] = static_cast<char>(rng.NextBelow(256));
+          }
+          break;
+        }
+        case StrQueryDist::kCorrelated: {
+          const std::string& key =
+              sorted_keys[rng.NextBelow(sorted_keys.size())];
+          uint64_t delta = rng.NextInRange(1, spec.corr_degree);
+          if (!StrAddDelta(key, max_bytes, delta, &left)) continue;
+          break;
+        }
+        case StrQueryDist::kReal: {
+          if (real_points.empty()) continue;
+          const std::string& p =
+              real_points[rng.NextBelow(real_points.size())];
+          left.assign(max_bytes, '\0');
+          std::copy_n(p.data(), std::min(p.size(), max_bytes), left.data());
+          break;
+        }
+        case StrQueryDist::kSplit:
+          continue;  // unreachable
+      }
+      std::string right;
+      if (!StrAddDelta(left, max_bytes, offset, &right)) continue;
+      if (!spec.require_empty || StrRangeIsEmpty(sorted_keys, left, right)) {
+        q.lo = std::move(left);
+        q.hi = std::move(right);
+        ok = true;
+      }
+    }
+    if (ok) out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace proteus

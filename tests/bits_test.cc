@@ -1,0 +1,173 @@
+// Unit tests for util/bits.h and util/bitstring.h.
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/bits.h"
+#include "util/bitstring.h"
+#include "util/random.h"
+
+namespace proteus {
+namespace {
+
+TEST(Bits, PopCount) {
+  EXPECT_EQ(PopCount64(0), 0);
+  EXPECT_EQ(PopCount64(~uint64_t{0}), 64);
+  EXPECT_EQ(PopCount64(0xF0F0), 8);
+}
+
+TEST(Bits, Select64Basic) {
+  EXPECT_EQ(Select64(0b1, 1), 0);
+  EXPECT_EQ(Select64(0b10, 1), 1);
+  EXPECT_EQ(Select64(0b1010, 2), 3);
+  EXPECT_EQ(Select64(~uint64_t{0}, 64), 63);
+  EXPECT_EQ(Select64(uint64_t{1} << 63, 1), 63);
+}
+
+TEST(Bits, Select64MatchesScan) {
+  Rng rng(42);
+  for (int trial = 0; trial < 200; ++trial) {
+    uint64_t w = rng.Next();
+    int ones = PopCount64(w);
+    int seen = 0;
+    for (int bit = 0; bit < 64; ++bit) {
+      if ((w >> bit) & 1) {
+        ++seen;
+        ASSERT_EQ(Select64(w, seen), bit) << "word=" << w << " r=" << seen;
+      }
+    }
+    ASSERT_EQ(seen, ones);
+  }
+}
+
+TEST(Bits, LcpBits64) {
+  EXPECT_EQ(LcpBits64(0, 0), 64u);
+  EXPECT_EQ(LcpBits64(0, 1), 63u);
+  EXPECT_EQ(LcpBits64(0, ~uint64_t{0}), 0u);
+  EXPECT_EQ(LcpBits64(uint64_t{0xFF} << 56, uint64_t{0xFE} << 56), 7u);
+}
+
+TEST(Bits, PrefixBits64) {
+  uint64_t k = 0xDEADBEEF12345678ull;
+  EXPECT_EQ(PrefixBits64(k, 0), 0u);
+  EXPECT_EQ(PrefixBits64(k, 64), k);
+  EXPECT_EQ(PrefixBits64(k, 8), 0xDEu);
+  EXPECT_EQ(PrefixBits64(k, 4), 0xDu);
+}
+
+TEST(Bits, PrefixCountInRange) {
+  // [4, 8] over a 4-bit key space (Figure 2 of the paper): the l-bit
+  // prefix counts are 2, 2, 3, 5 for l = 1..4 — here scaled to 64-bit keys
+  // by placing the nibble at the top.
+  auto scale = [](uint64_t v) { return v << 60; };
+  EXPECT_EQ(PrefixCountInRange64(scale(4), scale(8), 1), 2u);
+  EXPECT_EQ(PrefixCountInRange64(scale(4), scale(8), 2), 2u);
+  EXPECT_EQ(PrefixCountInRange64(scale(4), scale(8), 3), 3u);
+  EXPECT_EQ(PrefixCountInRange64(scale(4), scale(8), 4), 5u);
+}
+
+TEST(Bits, PrefixRangeRoundTrip) {
+  for (uint32_t l : {1u, 7u, 13u, 32u, 63u, 64u}) {
+    uint64_t prefix = 0x5A5A5A5A5A5A5A5Aull >> (64 - l);
+    uint64_t lo = PrefixRangeLo64(prefix, l);
+    uint64_t hi = PrefixRangeHi64(prefix, l);
+    EXPECT_EQ(PrefixBits64(lo, l), prefix);
+    EXPECT_EQ(PrefixBits64(hi, l), prefix);
+    if (hi != ~uint64_t{0}) EXPECT_NE(PrefixBits64(hi + 1, l), prefix);
+    if (lo != 0) EXPECT_NE(PrefixBits64(lo - 1, l), prefix);
+  }
+}
+
+TEST(BitString, GetBitPadding) {
+  std::string s = "\x80";  // bit 0 set
+  EXPECT_TRUE(StrGetBit(s, 0));
+  for (int i = 1; i < 32; ++i) EXPECT_FALSE(StrGetBit(s, i));
+}
+
+TEST(BitString, LcpBits) {
+  EXPECT_EQ(StrLcpBits("abc", "abc", 1000), 1000u);
+  EXPECT_EQ(StrLcpBits("abc", "abd", 1000), 21u);  // 'c'=0x63 ^ 'd'=0x64 -> bit 5 of byte 2
+  EXPECT_EQ(StrLcpBits("a", std::string("a\0\0", 3), 1000), 1000u);  // padding
+  std::string b("a\0x", 3);
+  EXPECT_EQ(StrLcpBits("a", b, 1000), 16u + 1u);  // 'x'=0x78, clz in byte = 1
+  EXPECT_EQ(StrLcpBits("", "", 64), 64u);
+}
+
+TEST(BitString, PrefixBytesMasksPartialByte) {
+  std::string s = "\xFF\xFF";
+  std::string p = StrPrefix(s, 11);
+  ASSERT_EQ(p.size(), 2u);
+  EXPECT_EQ(static_cast<uint8_t>(p[0]), 0xFF);
+  EXPECT_EQ(static_cast<uint8_t>(p[1]), 0xE0);  // top 3 bits of second byte
+}
+
+TEST(BitString, ComparePrefix) {
+  EXPECT_EQ(StrComparePrefix("abc", "abd", 16), 0);   // equal in 2 bytes
+  EXPECT_LT(StrComparePrefix("abc", "abd", 24), 0);
+  EXPECT_GT(StrComparePrefix("abd", "abc", 24), 0);
+  EXPECT_EQ(StrComparePrefix("a", std::string("a\0", 2), 64), 0);
+}
+
+TEST(BitString, PrefixCountInRangeSmall) {
+  // Single byte keys, l = 8: prefixes are the bytes themselves.
+  EXPECT_EQ(StrPrefixCountInRange("\x04", "\x08", 8), 5u);
+  EXPECT_EQ(StrPrefixCountInRange("\x04", "\x08", 5), 2u);  // 00000 vs 00001
+  EXPECT_EQ(StrPrefixCountInRange("a", "a", 800), 1u);
+}
+
+TEST(BitString, PrefixCountMatchesIntSemantics) {
+  // Encode 64-bit integers as 8-byte big-endian strings; counts must agree
+  // with PrefixCountInRange64 for l <= 64.
+  Rng rng(7);
+  for (int trial = 0; trial < 100; ++trial) {
+    uint64_t a = rng.Next();
+    uint64_t b = rng.Next();
+    if (a > b) std::swap(a, b);
+    std::string sa(8, '\0'), sb(8, '\0');
+    for (int i = 0; i < 8; ++i) {
+      sa[i] = static_cast<char>(a >> (56 - 8 * i));
+      sb[i] = static_cast<char>(b >> (56 - 8 * i));
+    }
+    for (uint32_t l : {1u, 5u, 8u, 17u, 33u, 64u}) {
+      ASSERT_EQ(StrPrefixCountInRange(sa, sb, l), PrefixCountInRange64(a, b, l))
+          << "l=" << l << " a=" << a << " b=" << b;
+    }
+  }
+}
+
+TEST(BitString, PrefixSuccessor) {
+  std::string out;
+  ASSERT_TRUE(StrPrefixSuccessor("\x01", 8, &out));
+  EXPECT_EQ(out, "\x02");
+  // Partial byte: successor of the 3-bit prefix 010 is 011 -> 0x60.
+  ASSERT_TRUE(StrPrefixSuccessor("\x40", 3, &out));
+  EXPECT_EQ(static_cast<uint8_t>(out[0]), 0x60);
+  // Carry across bytes.
+  std::string in("\x00\xFF", 2);
+  ASSERT_TRUE(StrPrefixSuccessor(in, 16, &out));
+  EXPECT_EQ(static_cast<uint8_t>(out[0]), 0x01);
+  EXPECT_EQ(static_cast<uint8_t>(out[1]), 0x00);
+  // Overflow.
+  std::string all_ones("\xFF\xFF", 2);
+  EXPECT_FALSE(StrPrefixSuccessor(all_ones, 16, &out));
+}
+
+TEST(BitString, SuccessorEnumeratesRange) {
+  // Enumerate all 5-bit prefixes between two keys and count them.
+  std::string lo = "\x10";  // 00010...
+  std::string hi = "\x90";  // 10010...
+  uint64_t expected = StrPrefixCountInRange(lo, hi, 5);
+  std::string p = StrPrefix(lo, 5);
+  std::string last = StrPrefix(hi, 5);
+  uint64_t n = 1;
+  while (p != last) {
+    ASSERT_TRUE(StrPrefixSuccessor(p, 5, &p));
+    ++n;
+    ASSERT_LE(n, 32u);
+  }
+  EXPECT_EQ(n, expected);
+}
+
+}  // namespace
+}  // namespace proteus

@@ -1,0 +1,193 @@
+// Property tests for the Protean Range Filters (Proteus, 1PBF, 2PBF):
+// the cardinal invariant is NO FALSE NEGATIVES — any range that contains a
+// key must return positive, for every configuration, dataset, and query
+// shape.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+#include <vector>
+
+#include "core/one_pbf.h"
+#include "core/proteus.h"
+#include "core/two_pbf.h"
+#include "util/random.h"
+#include "workload/datasets.h"
+#include "workload/queries.h"
+
+namespace proteus {
+namespace {
+
+// Ranges guaranteed to contain at least one key: centered on keys with
+// varying widths, plus exact point lookups.
+std::vector<RangeQuery> ContainingRanges(const std::vector<uint64_t>& keys,
+                                         uint64_t seed, size_t n) {
+  Rng rng(seed);
+  std::vector<RangeQuery> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t k = keys[rng.NextBelow(keys.size())];
+    uint64_t width = rng.NextBelow(4) == 0 ? 0 : (uint64_t{1} << rng.NextBelow(20));
+    uint64_t lo = k >= width ? k - width : 0;
+    uint64_t hi = k <= ~uint64_t{0} - width ? k + width : ~uint64_t{0};
+    out.push_back({lo, hi});
+  }
+  return out;
+}
+
+class NoFalseNegativesTest
+    : public ::testing::TestWithParam<std::tuple<Dataset, double /*bpk*/>> {};
+
+TEST_P(NoFalseNegativesTest, ProteusForcedConfigs) {
+  auto [dataset, bpk] = GetParam();
+  auto keys = GenerateKeys(dataset, 4000, 21);
+  auto probes = ContainingRanges(keys, 22, 1500);
+  for (auto config : {ProteusFilter::Config{0, 64},   // pure full-key BF
+                      ProteusFilter::Config{0, 40},   // pure prefix BF
+                      ProteusFilter::Config{16, 48},  // hybrid
+                      ProteusFilter::Config{24, 64},
+                      ProteusFilter::Config{20, 0}}) {  // pure trie
+    auto filter = ProteusFilter::BuildWithConfig(keys, config, bpk);
+    for (const auto& q : probes) {
+      ASSERT_TRUE(filter->MayContain(q.lo, q.hi))
+          << filter->Name() << " missed [" << q.lo << "," << q.hi << "]";
+    }
+  }
+}
+
+TEST_P(NoFalseNegativesTest, SelfDesignedFilters) {
+  auto [dataset, bpk] = GetParam();
+  auto keys = GenerateKeys(dataset, 4000, 23);
+  QuerySpec spec;
+  spec.dist = QueryDist::kUniform;
+  spec.range_max = uint64_t{1} << 10;
+  auto samples = GenerateQueries(keys, spec, 800, 24);
+  auto probes = ContainingRanges(keys, 25, 1000);
+
+  auto proteus = ProteusFilter::BuildSelfDesigned(keys, samples, bpk);
+  auto one = OnePbfFilter::BuildSelfDesigned(keys, samples, bpk);
+  auto two = TwoPbfFilter::BuildSelfDesigned(keys, samples, bpk);
+  for (const auto& q : probes) {
+    ASSERT_TRUE(proteus->MayContain(q.lo, q.hi)) << proteus->Name();
+    ASSERT_TRUE(one->MayContain(q.lo, q.hi)) << one->Name();
+    ASSERT_TRUE(two->MayContain(q.lo, q.hi)) << two->Name();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, NoFalseNegativesTest,
+    ::testing::Combine(::testing::Values(Dataset::kUniform, Dataset::kNormal,
+                                         Dataset::kBooks, Dataset::kFacebook),
+                       ::testing::Values(8.0, 14.0)),
+    [](const auto& info) {
+      return std::string(DatasetName(std::get<0>(info.param))) + "_bpk" +
+             std::to_string(static_cast<int>(std::get<1>(info.param)));
+    });
+
+TEST(ProteusFilter, PureTrieIsExactAtFullDepth) {
+  auto keys = GenerateKeys(Dataset::kUniform, 2000, 31);
+  auto filter = ProteusFilter::BuildWithConfig(
+      keys, ProteusFilter::Config{64, 0}, 64.0);
+  // Point queries: exact membership.
+  Rng rng(32);
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t q = rng.Next();
+    bool in = std::binary_search(keys.begin(), keys.end(), q);
+    EXPECT_EQ(filter->MayContain(q, q), in);
+  }
+  // Empty ranges between adjacent keys must be negative.
+  for (size_t i = 0; i + 1 < keys.size(); i += 17) {
+    if (keys[i] + 1 <= keys[i + 1] - 1 && keys[i] + 1 <= keys[i] + 2) {
+      EXPECT_FALSE(filter->MayContain(keys[i] + 1,
+                                      std::min(keys[i] + 2, keys[i + 1] - 1)));
+    }
+  }
+}
+
+TEST(ProteusFilter, SizeRespectsBudget) {
+  auto keys = GenerateKeys(Dataset::kNormal, 10000, 33);
+  for (double bpk : {8.0, 10.0, 14.0, 18.0}) {
+    QuerySpec spec;
+    auto samples = GenerateQueries(keys, spec, 1000, 34);
+    auto filter = ProteusFilter::BuildSelfDesigned(keys, samples, bpk);
+    // Small slack: word-granularity rounding and rank overhead.
+    EXPECT_LT(filter->Bpk(keys.size()), bpk * 1.20 + 1.0)
+        << filter->Name() << " bpk=" << bpk;
+  }
+}
+
+TEST(ProteusFilter, EmptyRangeFarFromKeysIsNegative) {
+  // Keys clustered high; queries far below must be filtered by any decent
+  // design.
+  std::vector<uint64_t> keys;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    keys.push_back((uint64_t{0xFFFF} << 48) + i * 12345);
+  }
+  auto filter = ProteusFilter::BuildWithConfig(
+      keys, ProteusFilter::Config{16, 32}, 12.0);
+  int positives = 0;
+  for (uint64_t q = 0; q < 200; ++q) {
+    if (filter->MayContain(q * 1000, q * 1000 + 500)) ++positives;
+  }
+  EXPECT_EQ(positives, 0);
+}
+
+TEST(TwoPbfFilter, DegeneratesToOnePbf) {
+  auto keys = GenerateKeys(Dataset::kUniform, 3000, 35);
+  auto two = TwoPbfFilter::BuildWithConfig(
+      keys, TwoPbfFilter::Config{0, 56, 0.0}, 12.0);
+  auto one = OnePbfFilter::BuildWithConfig(keys, 56, 12.0);
+  // Identical structure: same probes, same bits.
+  EXPECT_EQ(two->SizeBits(), one->SizeBits());
+  Rng rng(36);
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t a = rng.Next();
+    uint64_t b = a + rng.NextBelow(1 << 12);
+    if (b < a) continue;
+    EXPECT_EQ(two->MayContain(a, b), one->MayContain(a, b));
+  }
+}
+
+TEST(ProteusFilter, SelfDesignAdaptsToWorkloadShape) {
+  auto keys = GenerateKeys(Dataset::kUniform, 10000, 37);
+  // Large uniform ranges: expect a coarse design (short prefix / trie).
+  QuerySpec uni;
+  uni.dist = QueryDist::kUniform;
+  uni.range_max = uint64_t{1} << 19;
+  auto s_uni = GenerateQueries(keys, uni, 2000, 38);
+  auto f_uni = ProteusFilter::BuildSelfDesigned(keys, s_uni, 12.0);
+
+  // Tiny correlated ranges: expect a fine design (long Bloom prefix).
+  QuerySpec corr;
+  corr.dist = QueryDist::kCorrelated;
+  corr.range_max = uint64_t{1} << 3;
+  corr.corr_degree = uint64_t{1} << 8;
+  auto s_corr = GenerateQueries(keys, corr, 2000, 39);
+  auto f_corr = ProteusFilter::BuildSelfDesigned(keys, s_corr, 12.0);
+
+  uint32_t uni_granularity = std::max(f_uni->config().trie_depth,
+                                      f_uni->config().bf_prefix_len);
+  uint32_t corr_granularity = std::max(f_corr->config().trie_depth,
+                                       f_corr->config().bf_prefix_len);
+  EXPECT_LT(uni_granularity, 64u);
+  EXPECT_GE(corr_granularity, 56u);
+}
+
+TEST(OnePbfFilter, PointQueryConfigUsesFineGranularity) {
+  // With point queries, any prefix length beyond the key-collision depth
+  // performs near-identically (|Q_l| = 1 everywhere); the chosen design
+  // must be at least that fine and no worse than the full-key filter.
+  auto keys = GenerateKeys(Dataset::kUniform, 5000, 40);
+  QuerySpec spec;
+  spec.range_max = 0;  // point queries
+  auto samples = GenerateQueries(keys, spec, 1000, 41);
+  CpfprModel model(keys, samples);
+  uint64_t mem = static_cast<uint64_t>(12.0 * keys.size());
+  OnePbfDesign d = model.SelectOnePbf(mem);
+  EXPECT_GE(d.prefix_len, 20u);
+  EXPECT_LE(d.expected_fpr, model.OnePbfFpr(64, mem) + 1e-9);
+}
+
+}  // namespace
+}  // namespace proteus

@@ -1,0 +1,166 @@
+// Tests for MurmurHash3 and the CLHASH-style string hash: reference values,
+// determinism, avalanche, and bucket uniformity (chi-squared smoke test).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "hash/clhash.h"
+#include "hash/murmur3.h"
+#include "util/bits.h"
+#include "util/random.h"
+
+namespace proteus {
+namespace {
+
+TEST(Murmur3, Fmix64KnownValues) {
+  // fmix64 is bijective and fixes 0.
+  EXPECT_EQ(Fmix64(0), 0u);
+  EXPECT_NE(Fmix64(1), 1u);
+  EXPECT_NE(Fmix64(1), Fmix64(2));
+}
+
+TEST(Murmur3, EmptyInputSeedZeroIsZero) {
+  // Canonical MurmurHash3_x64_128 property: no blocks, no tail, and
+  // fmix64(0) == 0, so the digest of ("", seed=0) is (0, 0).
+  auto h = Murmur3X64_128("", 0, 0);
+  EXPECT_EQ(h.first, 0u);
+  EXPECT_EQ(h.second, 0u);
+}
+
+TEST(Murmur3, AlignmentIndependent) {
+  // The digest must not depend on buffer alignment.
+  std::string payload = "The quick brown fox jumps over the lazy dog";
+  auto base = Murmur3X64_128(payload.data(), payload.size(), 7);
+  for (int offset = 1; offset < 8; ++offset) {
+    std::string shifted(offset, '#');
+    shifted += payload;
+    auto h = Murmur3X64_128(shifted.data() + offset, payload.size(), 7);
+    EXPECT_EQ(h, base) << "offset " << offset;
+  }
+}
+
+TEST(Murmur3, SeedChangesDigest) {
+  std::string s = "proteus";
+  EXPECT_NE(Murmur3Bytes64(s.data(), s.size(), 1),
+            Murmur3Bytes64(s.data(), s.size(), 2));
+}
+
+TEST(Murmur3, AllTailLengths) {
+  // Exercise every tail-switch arm: lengths 0..32.
+  std::string base(32, 'x');
+  std::vector<uint64_t> seen;
+  for (size_t len = 0; len <= 32; ++len) {
+    seen.push_back(Murmur3Bytes64(base.data(), len, 99));
+  }
+  for (size_t i = 0; i < seen.size(); ++i) {
+    for (size_t j = i + 1; j < seen.size(); ++j) {
+      EXPECT_NE(seen[i], seen[j]) << i << " vs " << j;
+    }
+  }
+}
+
+TEST(ClHash, DeterministicAndSeeded) {
+  std::string s = "www.example.org";
+  EXPECT_EQ(ClHash64(s, 7), ClHash64(s, 7));
+  EXPECT_NE(ClHash64(s, 7), ClHash64(s, 8));
+}
+
+TEST(ClHash, LengthSensitive) {
+  // Keys that are prefixes of each other must hash differently (critical
+  // for prefix Bloom filters on padded strings).
+  std::string a = "abc";
+  std::string b("abc\0", 4);
+  EXPECT_NE(ClHash64(a, 1), ClHash64(b, 1));
+}
+
+TEST(ClHash, TailBytesAllContribute) {
+  // Regression: for 9..15-byte buffers, bytes past the first 8 must affect
+  // the digest (a miscomputed tail offset once dropped byte 8 entirely,
+  // collapsing all probes of a string prefix Bloom filter to one hash).
+  for (size_t len = 9; len <= 15; ++len) {
+    std::string a(len, 'q');
+    for (size_t pos = 8; pos < len; ++pos) {
+      std::string b = a;
+      b[pos] = 'r';
+      EXPECT_NE(ClHash64(a, 5), ClHash64(b, 5))
+          << "len=" << len << " pos=" << pos;
+    }
+  }
+}
+
+TEST(ClHash, AllLengthsDistinct) {
+  std::string base(64, 'z');
+  std::vector<uint64_t> seen;
+  for (size_t len = 0; len <= 64; ++len) {
+    seen.push_back(ClHash64(base.data(), len, 3));
+  }
+  for (size_t i = 0; i < seen.size(); ++i) {
+    for (size_t j = i + 1; j < seen.size(); ++j) {
+      EXPECT_NE(seen[i], seen[j]);
+    }
+  }
+}
+
+// Chi-squared uniformity smoke test: hash 200K random items into 256
+// buckets; the statistic should be within a generous bound around its
+// expectation (df = 255, mean 255, sd ~ sqrt(2*255) ~ 22.6).
+template <typename HashFn>
+void CheckUniform(HashFn&& fn, const char* what) {
+  constexpr int kBuckets = 256;
+  constexpr int kItems = 200000;
+  std::vector<int> counts(kBuckets, 0);
+  Rng rng(2024);
+  for (int i = 0; i < kItems; ++i) {
+    counts[fn(rng.Next()) % kBuckets]++;
+  }
+  double expected = static_cast<double>(kItems) / kBuckets;
+  double chi2 = 0;
+  for (int c : counts) {
+    double d = c - expected;
+    chi2 += d * d / expected;
+  }
+  EXPECT_LT(chi2, 255 + 8 * 22.6) << what << " chi2=" << chi2;
+  EXPECT_GT(chi2, 255 - 8 * 22.6) << what << " chi2=" << chi2;
+}
+
+TEST(HashUniformity, Murmur3Int) {
+  CheckUniform([](uint64_t x) { return Murmur3Int64(x, 12345); },
+               "Murmur3Int64");
+}
+
+TEST(HashUniformity, ClHashOnBinaryKeys) {
+  CheckUniform(
+      [](uint64_t x) {
+        char buf[8];
+        std::memcpy(buf, &x, 8);
+        return ClHash64(buf, 8, 12345);
+      },
+      "ClHash64");
+}
+
+TEST(HashUniformity, ClHashAvalanche) {
+  // Flipping one input bit should flip ~32 of 64 output bits on average.
+  Rng rng(5);
+  double total_flips = 0;
+  int samples = 2000;
+  for (int i = 0; i < samples; ++i) {
+    uint64_t x = rng.Next();
+    char buf[8];
+    std::memcpy(buf, &x, 8);
+    uint64_t h0 = ClHash64(buf, 8, 0);
+    uint64_t y = x ^ (uint64_t{1} << rng.NextBelow(64));
+    std::memcpy(buf, &y, 8);
+    uint64_t h1 = ClHash64(buf, 8, 0);
+    total_flips += PopCount64(h0 ^ h1);
+  }
+  double avg = total_flips / samples;
+  EXPECT_GT(avg, 28.0);
+  EXPECT_LT(avg, 36.0);
+}
+
+}  // namespace
+}  // namespace proteus

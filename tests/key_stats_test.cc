@@ -1,0 +1,133 @@
+// Tests for KeyStats and TrieMemoryModel: brute-force cross-checks of the
+// prefix counts, and model-vs-measured trie sizes.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+#include <vector>
+
+#include "model/key_stats.h"
+#include "model/trie_memory.h"
+#include "trie/bit_trie.h"
+#include "util/bits.h"
+#include "util/random.h"
+#include "workload/datasets.h"
+
+namespace proteus {
+namespace {
+
+std::vector<uint64_t> RandomSortedKeys(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::set<uint64_t> s;
+  while (s.size() < n) s.insert(rng.Next());
+  return {s.begin(), s.end()};
+}
+
+TEST(KeyStats, UniqueCountsMatchBruteForce) {
+  auto keys = RandomSortedKeys(400, 11);
+  KeyStats stats = KeyStats::FromSortedInts(keys);
+  for (uint32_t l = 1; l <= 64; l += 5) {
+    std::map<uint64_t, int> prefix_counts;
+    for (uint64_t k : keys) prefix_counts[PrefixBits64(k, l)]++;
+    uint64_t uniques = 0;
+    for (auto& [p, c] : prefix_counts) {
+      if (c == 1) ++uniques;
+    }
+    EXPECT_EQ(stats.unique_counts[l], uniques) << "l=" << l;
+    EXPECT_EQ(stats.k_counts[l], prefix_counts.size()) << "l=" << l;
+  }
+}
+
+TEST(KeyStats, SingleKey) {
+  KeyStats stats = KeyStats::FromSortedInts({42});
+  for (uint32_t l = 0; l <= 64; ++l) {
+    EXPECT_EQ(stats.k_counts[l], 1u);
+    EXPECT_EQ(stats.unique_counts[l], 1u);
+  }
+}
+
+TEST(KeyStats, EmptyKeys) {
+  KeyStats stats = KeyStats::FromSortedInts({});
+  EXPECT_EQ(stats.n_keys, 0u);
+  EXPECT_EQ(stats.k_counts[8], 0u);
+}
+
+TEST(KeyStats, StringsMatchIntSemantics) {
+  auto keys = RandomSortedKeys(200, 12);
+  std::vector<std::string> skeys;
+  for (uint64_t k : keys) {
+    std::string s(8, '\0');
+    for (int i = 0; i < 8; ++i) s[i] = static_cast<char>(k >> (56 - 8 * i));
+    skeys.push_back(std::move(s));
+  }
+  KeyStats si = KeyStats::FromSortedInts(keys);
+  KeyStats ss = KeyStats::FromSortedStrings(skeys, 64);
+  ASSERT_EQ(ss.n_keys, si.n_keys);
+  for (uint32_t l = 0; l <= 64; ++l) {
+    EXPECT_EQ(ss.k_counts[l], si.k_counts[l]) << l;
+    EXPECT_EQ(ss.unique_counts[l], si.unique_counts[l]) << l;
+  }
+}
+
+TEST(KeyStats, StringDuplicatesUnderPaddingCollapse) {
+  std::vector<std::string> keys = {std::string("ab"), std::string("ab\0", 3),
+                                   std::string("cd")};
+  KeyStats stats = KeyStats::FromSortedStrings(keys, 32);
+  EXPECT_EQ(stats.n_keys, 2u);
+}
+
+class TrieMemoryAccuracyTest
+    : public ::testing::TestWithParam<std::tuple<Dataset, uint32_t>> {};
+
+TEST_P(TrieMemoryAccuracyTest, ModelTracksMeasuredSize) {
+  auto [dataset, depth] = GetParam();
+  auto keys = GenerateKeys(dataset, 20000, 42);
+  KeyStats stats = KeyStats::FromSortedInts(keys);
+  TrieMemoryModel model(stats);
+  BitTrie trie;
+  trie.Build(UniquePrefixes(keys, depth), depth);
+  uint64_t measured = trie.SizeBits();
+  uint64_t modeled = model.TrieSizeBits(depth);
+  // The model may overestimate (uniqueness computed against full keys,
+  // Section 4.3) but must track the measured size closely enough to choose
+  // sensible designs: within 25% + a small constant.
+  EXPECT_GE(modeled + 4096, measured)
+      << DatasetName(dataset) << " d=" << depth << " modeled=" << modeled
+      << " measured=" << measured;
+  EXPECT_LE(static_cast<double>(modeled),
+            1.25 * static_cast<double>(measured) + 4096.0)
+      << DatasetName(dataset) << " d=" << depth << " modeled=" << modeled
+      << " measured=" << measured;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TrieMemoryAccuracyTest,
+    ::testing::Combine(::testing::Values(Dataset::kUniform, Dataset::kNormal,
+                                         Dataset::kBooks, Dataset::kFacebook),
+                       ::testing::Values(8u, 16u, 24u, 32u, 48u, 64u)),
+    [](const auto& info) {
+      return std::string(DatasetName(std::get<0>(info.param))) + "_d" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(TrieMemoryModel, MonotoneInDepth) {
+  auto keys = GenerateKeys(Dataset::kNormal, 5000, 7);
+  TrieMemoryModel model(KeyStats::FromSortedInts(keys));
+  for (uint32_t d = 1; d <= 64; ++d) {
+    EXPECT_GE(model.TrieSizeBits(d), model.TrieSizeBits(d - 1)) << d;
+  }
+}
+
+TEST(TrieMemoryModel, MaxFeasibleDepth) {
+  auto keys = GenerateKeys(Dataset::kUniform, 5000, 8);
+  TrieMemoryModel model(KeyStats::FromSortedInts(keys));
+  uint32_t d = model.MaxFeasibleDepth(keys.size() * 10);
+  EXPECT_GT(d, 0u);
+  EXPECT_LE(model.TrieSizeBits(d), keys.size() * 10);
+  if (d < 64) EXPECT_GT(model.TrieSizeBits(d + 1), keys.size() * 10);
+  EXPECT_EQ(model.MaxFeasibleDepth(0), 0u);
+}
+
+}  // namespace
+}  // namespace proteus

@@ -1,0 +1,220 @@
+// Integration tests for the miniLSM engine: differential testing against
+// std::map across randomized put/seek/flush/compaction schedules, filter
+// integration, compaction shape, and workload-adaptive filter rebuilds.
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "lsm/db.h"
+#include "surf/surf.h"
+#include "util/random.h"
+#include "workload/datasets.h"
+#include "workload/queries.h"
+
+namespace proteus {
+namespace {
+
+DbOptions SmallDbOptions(const std::string& name) {
+  DbOptions options;
+  options.dir = "/tmp/proteus_db_test_" + name;
+  options.memtable_bytes = 64 << 10;
+  options.sst_target_bytes = 128 << 10;
+  options.block_size = 1024;
+  options.block_cache_bytes = 1 << 20;
+  options.l0_compaction_trigger = 3;
+  options.l1_size_bytes = 256 << 10;
+  options.level_size_multiplier = 4.0;
+  options.compress_min_level = 2;
+  return options;
+}
+
+TEST(DbTest, DifferentialAgainstMap) {
+  auto options = SmallDbOptions("diff");
+  Db db(options);
+  std::map<std::string, std::string> ref;
+  Rng rng(11);
+  for (int op = 0; op < 30000; ++op) {
+    uint64_t k = rng.NextBelow(5000) * 1000;
+    std::string key = EncodeKeyBE(k);
+    if (rng.NextBelow(100) < 70) {
+      // Values are padded so the workload spans many flushes/compactions.
+      std::string value = "v" + std::to_string(op) + std::string(120, 'p');
+      db.Put(key, value);
+      ref[key] = value;
+    } else {
+      uint64_t span = rng.NextBelow(10000);
+      std::string lo = EncodeKeyBE(k > span ? k - span : 0);
+      std::string hi = EncodeKeyBE(k + span);
+      std::string got_key, got_value;
+      bool found = db.Seek(lo, hi, &got_key, &got_value);
+      auto it = ref.lower_bound(lo);
+      bool ref_found = it != ref.end() && it->first <= hi;
+      ASSERT_EQ(found, ref_found) << "op " << op;
+      if (found) {
+        ASSERT_EQ(got_key, it->first) << "op " << op;
+        ASSERT_EQ(got_value, it->second) << "op " << op;
+      }
+    }
+  }
+  EXPECT_GT(db.stats().flushes, 5u);
+  EXPECT_GT(db.stats().compactions, 0u);
+}
+
+TEST(DbTest, OverwritesReturnNewestValue) {
+  auto options = SmallDbOptions("overwrite");
+  Db db(options);
+  std::string key = EncodeKeyBE(42);
+  for (int round = 0; round < 10; ++round) {
+    db.Put(key, "round" + std::to_string(round));
+    db.Flush();  // spread versions across many SSTs
+  }
+  std::string got_key, got_value;
+  ASSERT_TRUE(db.Seek(key, key, &got_key, &got_value));
+  EXPECT_EQ(got_value, "round9");
+  db.CompactAll();
+  ASSERT_TRUE(db.Seek(key, key, &got_key, &got_value));
+  EXPECT_EQ(got_value, "round9");
+}
+
+TEST(DbTest, CompactionShapesLevels) {
+  auto options = SmallDbOptions("levels");
+  Db db(options);
+  Rng rng(12);
+  std::string value(256, 'x');
+  for (int i = 0; i < 20000; ++i) {
+    db.Put(EncodeKeyBE(rng.Next()), value);
+  }
+  db.CompactAll();
+  auto counts = db.LevelFileCounts();
+  EXPECT_EQ(counts[0], 0u);  // CompactAll drains L0
+  EXPECT_GT(counts[1] + counts[2] + counts[3], 0u);
+  // Non-overlapping invariant within levels >= 1 is exercised implicitly:
+  // differential seeks above would fail if broken. Sanity-check sizes.
+  for (size_t level = 1; level < counts.size(); ++level) {
+    if (counts[level] == 0) continue;
+    EXPECT_GT(db.TotalSstBytes(), 0u);
+  }
+}
+
+TEST(DbTest, FiltersCutSstProbes) {
+  // Same workload with and without Proteus filters: the filtered DB must
+  // probe far fewer SSTs on empty seeks.
+  auto keys = GenerateKeys(Dataset::kUniform, 20000, 13);
+  QuerySpec spec;
+  spec.dist = QueryDist::kUniform;
+  spec.range_max = uint64_t{1} << 8;
+  auto queries = GenerateQueries(keys, spec, 3000, 14);
+
+  auto run = [&](std::shared_ptr<FilterPolicy> policy, const char* name) {
+    auto options = SmallDbOptions(std::string("probes_") + name);
+    options.filter_policy = std::move(policy);
+    Db db(options);
+    // Seed the queue so flush-time filters know the workload.
+    std::vector<std::pair<std::string, std::string>> seed;
+    for (size_t i = 0; i < 500; ++i) {
+      seed.push_back({EncodeKeyBE(queries[i].lo), EncodeKeyBE(queries[i].hi)});
+    }
+    db.query_queue().Seed(seed);
+    std::string value(64, 'v');
+    for (uint64_t k : keys) db.Put(EncodeKeyBE(k), value);
+    db.CompactAll();
+    db.ResetStats();
+    for (const auto& q : queries) {
+      std::string unused_k, unused_v;
+      bool found = db.Seek(EncodeKeyBE(q.lo), EncodeKeyBE(q.hi), &unused_k,
+                           &unused_v);
+      EXPECT_FALSE(found);  // queries are empty by construction
+    }
+    return db.stats();
+  };
+
+  DbStats no_filter = run(nullptr, "none");
+  DbStats with_filter = run(MakeProteusIntPolicy(14.0), "proteus");
+  EXPECT_EQ(no_filter.sst_seeks, no_filter.filter_checks);
+  EXPECT_LT(with_filter.sst_seeks, no_filter.sst_seeks / 5)
+      << "filtered=" << with_filter.sst_seeks
+      << " unfiltered=" << no_filter.sst_seeks;
+}
+
+TEST(DbTest, NoFalseNegativesThroughFilters) {
+  // Seeks for present keys must always find them, whatever the policy.
+  auto keys = GenerateKeys(Dataset::kNormal, 5000, 15);
+  for (auto make : {+[]() { return MakeProteusIntPolicy(12.0); },
+                    +[]() { return MakeSurfIntPolicy(1, 4); },
+                    +[]() { return MakeRosettaIntPolicy(12.0); },
+                    +[]() { return MakeBloomFilterPolicy(12.0); }}) {
+    auto options = SmallDbOptions("nofn");
+    options.filter_policy = make();
+    Db db(options);
+    std::string value(32, 'v');
+    for (uint64_t k : keys) db.Put(EncodeKeyBE(k), value);
+    db.CompactAll();
+    Rng rng(16);
+    for (int i = 0; i < 1500; ++i) {
+      uint64_t k = keys[rng.NextBelow(keys.size())];
+      std::string got_key;
+      ASSERT_TRUE(db.Seek(EncodeKeyBE(k), EncodeKeyBE(k), &got_key, nullptr))
+          << "policy lost key " << k;
+      ASSERT_EQ(got_key, EncodeKeyBE(k));
+    }
+  }
+}
+
+TEST(DbTest, QueryQueueFeedsFilterConstruction) {
+  auto options = SmallDbOptions("queue");
+  options.filter_policy = MakeProteusIntPolicy(12.0);
+  options.queue_options.sample_rate = 1;  // record every empty query
+  Db db(options);
+  auto keys = GenerateKeys(Dataset::kUniform, 3000, 17);
+  std::string value(32, 'v');
+  for (uint64_t k : keys) db.Put(EncodeKeyBE(k), value);
+  QuerySpec spec;
+  spec.dist = QueryDist::kCorrelated;
+  spec.range_max = uint64_t{1} << 4;
+  spec.corr_degree = uint64_t{1} << 8;
+  auto queries = GenerateQueries(keys, spec, 2000, 18);
+  for (const auto& q : queries) {
+    db.Seek(EncodeKeyBE(q.lo), EncodeKeyBE(q.hi));
+  }
+  EXPECT_GT(db.query_queue().size(), 1000u);
+  // A flush now builds filters from the recorded workload.
+  db.Put(EncodeKeyBE(keys[0]), value);
+  db.Flush();
+  EXPECT_GT(db.stats().filter_bits_built, 0u);
+}
+
+TEST(DbTest, BlockCacheServesRepeatedReads) {
+  auto options = SmallDbOptions("cache");
+  Db db(options);
+  std::string value(128, 'v');
+  for (uint64_t i = 0; i < 5000; ++i) db.Put(EncodeKeyBE(i * 3), value);
+  db.CompactAll();
+  db.cache().ResetStats();
+  for (int round = 0; round < 3; ++round) {
+    for (uint64_t i = 0; i < 200; ++i) {
+      db.Seek(EncodeKeyBE(i * 3), EncodeKeyBE(i * 3));
+    }
+  }
+  const auto& stats = db.cache().stats();
+  EXPECT_GT(stats.hits, stats.misses)
+      << "hits=" << stats.hits << " misses=" << stats.misses;
+}
+
+TEST(DbTest, EmptySeekRecordsQueue) {
+  auto options = SmallDbOptions("record");
+  options.queue_options.sample_rate = 1;
+  Db db(options);
+  db.Put(EncodeKeyBE(100), "v");
+  db.Flush();
+  for (uint64_t i = 0; i < 50; ++i) {
+    EXPECT_FALSE(db.Seek(EncodeKeyBE(200 + i * 10), EncodeKeyBE(205 + i * 10)));
+  }
+  EXPECT_EQ(db.query_queue().size(), 50u);
+  EXPECT_EQ(db.stats().empty_seeks, 50u);
+}
+
+}  // namespace
+}  // namespace proteus

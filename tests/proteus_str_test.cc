@@ -1,0 +1,216 @@
+// Tests for string-key Proteus (Section 7): no false negatives, padding
+// semantics, model accuracy on the coarse grid, and self-design behavior
+// across string workloads.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/proteus_str.h"
+#include "model/cpfpr_str.h"
+#include "surf/surf.h"
+#include "util/random.h"
+#include "workload/string_gen.h"
+
+namespace proteus {
+namespace {
+
+TEST(StrAddDelta, BasicArithmetic) {
+  std::string out;
+  ASSERT_TRUE(StrAddDelta("ab", 4, 1, &out));
+  EXPECT_EQ(out, std::string("ab\0\x01", 4));
+  ASSERT_TRUE(StrAddDelta("ab", 4, 0x100, &out));
+  EXPECT_EQ(out, std::string("ab\x01\x00", 4));
+  // Carry through 0xFF.
+  std::string key("a\xFF\xFF\xFF", 4);
+  ASSERT_TRUE(StrAddDelta(key, 4, 1, &out));
+  EXPECT_EQ(out, std::string("b\x00\x00\x00", 4));
+  // Overflow.
+  std::string max(4, '\xFF');
+  EXPECT_FALSE(StrAddDelta(max, 4, 1, &out));
+}
+
+TEST(StrRangeIsEmptyTest, PaddingSemantics) {
+  std::vector<std::string> keys = {"apple", "banana", "cherry"};
+  // Range covering "banana" exactly (padded bounds).
+  std::string lo("banana\0\0", 8);
+  std::string hi("banana\0\1", 8);
+  EXPECT_FALSE(StrRangeIsEmpty(keys, lo, hi));
+  // Range strictly between keys.
+  EXPECT_TRUE(StrRangeIsEmpty(keys, "ax", "az"));
+  EXPECT_TRUE(StrRangeIsEmpty(keys, "d", "z"));
+  EXPECT_FALSE(StrRangeIsEmpty(keys, "a", "z"));
+}
+
+TEST(StrKeys, GeneratorsSortedUniqueDeterministic) {
+  for (StrDataset d :
+       {StrDataset::kUniform, StrDataset::kNormal, StrDataset::kDomains}) {
+    auto a = GenerateStrKeys(d, 2000, 25, 3);
+    auto b = GenerateStrKeys(d, 2000, 25, 3);
+    EXPECT_EQ(a, b);
+    EXPECT_TRUE(std::is_sorted(a.begin(), a.end()));
+    EXPECT_EQ(a.size(), 2000u);
+  }
+}
+
+TEST(StrKeys, DomainShape) {
+  auto domains = GenerateStrKeys(StrDataset::kDomains, 5000, 0, 4);
+  size_t min_len = 1000, max_len = 0;
+  std::vector<size_t> lengths;
+  for (const auto& d : domains) {
+    EXPECT_EQ(d.substr(d.size() - 4), ".org") << d;
+    min_len = std::min(min_len, d.size());
+    max_len = std::max(max_len, d.size());
+    lengths.push_back(d.size());
+  }
+  EXPECT_GE(min_len, 5u);
+  EXPECT_LE(max_len, 253u);
+  std::sort(lengths.begin(), lengths.end());
+  size_t median = lengths[lengths.size() / 2];
+  EXPECT_GT(median, 15u);
+  EXPECT_LT(median, 30u);
+}
+
+TEST(StrQueries, EmptyByConstruction) {
+  auto keys = GenerateStrKeys(StrDataset::kUniform, 3000, 16, 5);
+  for (StrQueryDist dist :
+       {StrQueryDist::kUniform, StrQueryDist::kCorrelated,
+        StrQueryDist::kSplit}) {
+    StrQuerySpec spec;
+    spec.dist = dist;
+    spec.range_max = uint64_t{1} << 20;
+    spec.corr_degree = uint64_t{1} << 16;
+    auto queries = GenerateStrQueries(keys, spec, 500, 6);
+    ASSERT_EQ(queries.size(), 500u);
+    for (const auto& q : queries) {
+      ASSERT_LE(q.lo, q.hi);
+      ASSERT_TRUE(StrRangeIsEmpty(keys, q.lo, q.hi));
+    }
+  }
+}
+
+class StrProteusNoFnTest : public ::testing::TestWithParam<StrDataset> {};
+
+TEST_P(StrProteusNoFnTest, NoFalseNegatives) {
+  size_t key_bytes = 16;
+  auto keys = GenerateStrKeys(GetParam(), 1500, key_bytes, 7);
+  size_t max_bytes = 0;
+  for (const auto& k : keys) max_bytes = std::max(max_bytes, k.size());
+  uint32_t max_bits = static_cast<uint32_t>(max_bytes * 8);
+
+  for (auto config : {ProteusStrFilter::Config{0, max_bits, max_bits},
+                      ProteusStrFilter::Config{24, 64, max_bits},
+                      ProteusStrFilter::Config{40, 0, max_bits},
+                      ProteusStrFilter::Config{16, max_bits, max_bits}}) {
+    auto filter = ProteusStrFilter::BuildWithConfig(keys, config, 14.0);
+    Rng rng(8);
+    for (int i = 0; i < 600; ++i) {
+      const std::string& k = keys[rng.NextBelow(keys.size())];
+      std::string padded(max_bytes, '\0');
+      std::copy_n(k.data(), std::min(k.size(), max_bytes), padded.data());
+      ASSERT_TRUE(filter->MayContain(padded, padded)) << filter->Name();
+      // Window around the key.
+      std::string hi;
+      ASSERT_TRUE(StrAddDelta(k, max_bytes, 1000, &hi));
+      ASSERT_TRUE(filter->MayContain(padded, hi)) << filter->Name();
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, StrProteusNoFnTest,
+                         ::testing::Values(StrDataset::kUniform,
+                                           StrDataset::kNormal,
+                                           StrDataset::kDomains),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case StrDataset::kUniform: return "uniform";
+                             case StrDataset::kNormal: return "normal";
+                             case StrDataset::kDomains: return "domains";
+                           }
+                           return "?";
+                         });
+
+TEST(StrProteus, SelfDesignBeatsSurfOnCorrelated) {
+  // The Figure 9 setting at small scale: Proteus picks a fine design for
+  // correlated string queries; SuRF's pruned trie cannot.
+  const size_t key_bytes = 25;  // 200-bit keys
+  auto keys = GenerateStrKeys(StrDataset::kUniform, 6000, key_bytes, 9);
+  uint32_t max_bits = key_bytes * 8;
+  StrQuerySpec spec;
+  spec.dist = StrQueryDist::kCorrelated;
+  spec.range_max = uint64_t{1} << 12;
+  spec.corr_degree = uint64_t{1} << 29;
+  auto samples = GenerateStrQueries(keys, spec, 1000, 10);
+  auto eval = GenerateStrQueries(keys, spec, 3000, 11);
+
+  auto proteus = ProteusStrFilter::BuildSelfDesigned(keys, samples, 14.0,
+                                                     max_bits);
+  Surf::Options sopt;
+  sopt.suffix_mode = SurfSuffixMode::kReal;
+  sopt.suffix_bits = 8;
+  auto surf = SurfStrFilter::Build(keys, sopt);
+
+  int fp_proteus = 0, fp_surf = 0;
+  for (const auto& q : eval) {
+    fp_proteus += proteus->MayContain(q.lo, q.hi);
+    fp_surf += surf->MayContain(q.lo, q.hi);
+  }
+  double fpr_proteus = static_cast<double>(fp_proteus) / eval.size();
+  double fpr_surf = static_cast<double>(fp_surf) / eval.size();
+  EXPECT_LT(fpr_proteus, fpr_surf)
+      << "proteus=" << fpr_proteus << " surf=" << fpr_surf;
+  EXPECT_LT(fpr_proteus, 0.5) << proteus->Name();
+}
+
+TEST(StrProteus, ModelAccuracyOnGrid) {
+  const size_t key_bytes = 10;  // 80-bit keys
+  auto keys = GenerateStrKeys(StrDataset::kUniform, 8000, key_bytes, 12);
+  uint32_t max_bits = key_bytes * 8;
+  StrQuerySpec spec;
+  spec.dist = StrQueryDist::kUniform;
+  spec.range_max = uint64_t{1} << 16;
+  auto samples = GenerateStrQueries(keys, spec, 1500, 13);
+  auto eval = GenerateStrQueries(keys, spec, 4000, 14);
+  StrCpfprModel model(keys, samples, max_bits);
+  uint64_t mem = static_cast<uint64_t>(14.0 * keys.size());
+  for (uint32_t l2 : {40u, 56u, 64u, 72u, 80u}) {
+    double expected = model.ProteusFpr(0, l2, mem);
+    if (expected > 1.0) continue;
+    auto filter = ProteusStrFilter::BuildWithConfig(
+        keys, ProteusStrFilter::Config{0, l2, max_bits}, 14.0);
+    int fp = 0;
+    for (const auto& q : eval) fp += filter->MayContain(q.lo, q.hi);
+    double observed = static_cast<double>(fp) / eval.size();
+    EXPECT_NEAR(expected, observed, 0.06 + 0.3 * expected) << "l2=" << l2;
+  }
+}
+
+TEST(StrProteus, DeepKeys1440Bits) {
+  const size_t key_bytes = 180;  // the paper's 1440-bit keys
+  auto keys = GenerateStrKeys(StrDataset::kNormal, 1200, key_bytes, 15);
+  uint32_t max_bits = key_bytes * 8;
+  StrQuerySpec spec;
+  spec.dist = StrQueryDist::kSplit;
+  spec.range_max = uint64_t{1} << 30;
+  spec.corr_degree = uint64_t{1} << 29;
+  spec.split_corr_range_max = uint64_t{1} << 10;
+  auto samples = GenerateStrQueries(keys, spec, 400, 16);
+  StrCpfprOptions grid;
+  grid.bloom_grid = 64;
+  grid.trie_grid = 32;
+  auto filter = ProteusStrFilter::BuildSelfDesigned(keys, samples, 12.0,
+                                                    max_bits, grid);
+  // Sanity: respects budget and never false-negatives.
+  EXPECT_LT(filter->Bpk(keys.size()), 12.0 * 1.3 + 1.0);
+  Rng rng(17);
+  for (int i = 0; i < 300; ++i) {
+    const std::string& k = keys[rng.NextBelow(keys.size())];
+    ASSERT_TRUE(filter->MayContain(k, k));
+  }
+}
+
+}  // namespace
+}  // namespace proteus

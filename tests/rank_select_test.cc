@@ -1,0 +1,140 @@
+// Unit and property tests for BitVector and RankSelect.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/bit_vector.h"
+#include "util/random.h"
+#include "util/rank_select.h"
+
+namespace proteus {
+namespace {
+
+TEST(BitVector, PushAndGet) {
+  BitVector bv;
+  for (int i = 0; i < 200; ++i) bv.PushBack(i % 3 == 0);
+  ASSERT_EQ(bv.size(), 200u);
+  for (int i = 0; i < 200; ++i) EXPECT_EQ(bv.Get(i), i % 3 == 0) << i;
+}
+
+TEST(BitVector, SetClear) {
+  BitVector bv(130, false);
+  bv.Set(0);
+  bv.Set(64);
+  bv.Set(129);
+  EXPECT_TRUE(bv.Get(0));
+  EXPECT_TRUE(bv.Get(64));
+  EXPECT_TRUE(bv.Get(129));
+  EXPECT_EQ(bv.CountOnes(), 3u);
+  bv.Set(64, false);
+  EXPECT_FALSE(bv.Get(64));
+  EXPECT_EQ(bv.CountOnes(), 2u);
+}
+
+TEST(BitVector, PushBits) {
+  BitVector bv;
+  bv.PushBits(0b1011, 4);
+  EXPECT_TRUE(bv.Get(0));
+  EXPECT_TRUE(bv.Get(1));
+  EXPECT_FALSE(bv.Get(2));
+  EXPECT_TRUE(bv.Get(3));
+}
+
+TEST(BitVector, AllOnesConstructorTrims) {
+  BitVector bv(70, true);
+  EXPECT_EQ(bv.CountOnes(), 70u);
+}
+
+class RankSelectRandomTest : public ::testing::TestWithParam<
+                                 std::tuple<uint64_t /*size*/, int /*density_pct*/>> {};
+
+TEST_P(RankSelectRandomTest, MatchesReference) {
+  auto [n, density] = GetParam();
+  Rng rng(n * 131 + static_cast<uint64_t>(density));
+  BitVector bv;
+  std::vector<uint64_t> prefix_ones(n + 1, 0);
+  for (uint64_t i = 0; i < n; ++i) {
+    bool one = rng.NextBelow(100) < static_cast<uint64_t>(density);
+    bv.PushBack(one);
+    prefix_ones[i + 1] = prefix_ones[i] + (one ? 1 : 0);
+  }
+  RankSelect rs(&bv);
+  ASSERT_EQ(rs.ones(), prefix_ones[n]);
+
+  // Rank at sampled positions plus boundaries.
+  for (uint64_t i = 0; i <= n; i += std::max<uint64_t>(1, n / 997)) {
+    ASSERT_EQ(rs.Rank1(i), prefix_ones[i]) << "rank1 at " << i;
+    ASSERT_EQ(rs.Rank0(i), i - prefix_ones[i]) << "rank0 at " << i;
+  }
+  ASSERT_EQ(rs.Rank1(n), prefix_ones[n]);
+
+  // Select1 / Select0 against a linear reference.
+  std::vector<uint64_t> one_pos, zero_pos;
+  for (uint64_t i = 0; i < n; ++i) {
+    (bv.Get(i) ? one_pos : zero_pos).push_back(i);
+  }
+  for (uint64_t r = 1; r <= one_pos.size();
+       r += std::max<uint64_t>(1, one_pos.size() / 499)) {
+    ASSERT_EQ(rs.Select1(r), one_pos[r - 1]) << "select1 " << r;
+  }
+  if (!one_pos.empty()) ASSERT_EQ(rs.Select1(one_pos.size()), one_pos.back());
+  for (uint64_t r = 1; r <= zero_pos.size();
+       r += std::max<uint64_t>(1, zero_pos.size() / 499)) {
+    ASSERT_EQ(rs.Select0(r), zero_pos[r - 1]) << "select0 " << r;
+  }
+  if (!zero_pos.empty()) {
+    ASSERT_EQ(rs.Select0(zero_pos.size()), zero_pos.back());
+  }
+
+  // Select/rank are inverse: Rank1(Select1(r)) == r - 1.
+  for (uint64_t r = 1; r <= rs.ones();
+       r += std::max<uint64_t>(1, rs.ones() / 250)) {
+    ASSERT_EQ(rs.Rank1(rs.Select1(r)), r - 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RankSelectRandomTest,
+    ::testing::Combine(::testing::Values(1, 63, 64, 65, 511, 512, 513, 4096,
+                                         100000),
+                       ::testing::Values(1, 10, 50, 90, 99)),
+    [](const auto& info) {
+      return "n" + std::to_string(std::get<0>(info.param)) + "_d" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(RankSelect, EmptyVector) {
+  BitVector bv;
+  RankSelect rs(&bv);
+  EXPECT_EQ(rs.ones(), 0u);
+  EXPECT_EQ(rs.Rank1(0), 0u);
+}
+
+TEST(RankSelect, AllOnes) {
+  BitVector bv(1000, true);
+  RankSelect rs(&bv);
+  EXPECT_EQ(rs.ones(), 1000u);
+  for (uint64_t r = 1; r <= 1000; r += 37) EXPECT_EQ(rs.Select1(r), r - 1);
+}
+
+TEST(RankSelect, AllZeros) {
+  BitVector bv(1000, false);
+  RankSelect rs(&bv);
+  EXPECT_EQ(rs.ones(), 0u);
+  for (uint64_t r = 1; r <= 1000; r += 37) EXPECT_EQ(rs.Select0(r), r - 1);
+}
+
+TEST(RankSelect, SparseOnes) {
+  BitVector bv(100000, false);
+  std::vector<uint64_t> pos = {0, 777, 12345, 54321, 99999};
+  for (uint64_t p : pos) bv.Set(p);
+  RankSelect rs(&bv);
+  ASSERT_EQ(rs.ones(), pos.size());
+  for (size_t r = 1; r <= pos.size(); ++r) {
+    EXPECT_EQ(rs.Select1(r), pos[r - 1]);
+  }
+}
+
+}  // namespace
+}  // namespace proteus

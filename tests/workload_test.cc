@@ -1,0 +1,163 @@
+// Tests for the dataset and query generators.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "workload/datasets.h"
+#include "workload/queries.h"
+
+namespace proteus {
+namespace {
+
+TEST(Datasets, SortedUniqueAndDeterministic) {
+  for (Dataset d : {Dataset::kUniform, Dataset::kNormal, Dataset::kBooks,
+                    Dataset::kFacebook}) {
+    auto a = GenerateKeys(d, 5000, 7);
+    auto b = GenerateKeys(d, 5000, 7);
+    EXPECT_EQ(a, b) << DatasetName(d);
+    EXPECT_TRUE(std::is_sorted(a.begin(), a.end())) << DatasetName(d);
+    EXPECT_EQ(std::adjacent_find(a.begin(), a.end()), a.end())
+        << DatasetName(d);
+    EXPECT_EQ(a.size(), 5000u) << DatasetName(d);
+    auto c = GenerateKeys(d, 5000, 8);
+    EXPECT_NE(a, c) << DatasetName(d);
+  }
+}
+
+TEST(Datasets, NormalIsCentered) {
+  auto keys = GenerateKeys(Dataset::kNormal, 20000, 1);
+  double mid = 9.223372036854776e18;
+  size_t near_mid = 0;
+  for (uint64_t k : keys) {
+    // Within 4 sd = 0.04 * 2^64 of the mean.
+    if (std::abs(static_cast<double>(k) - mid) < 7.4e17) ++near_mid;
+  }
+  EXPECT_GT(near_mid, keys.size() * 99 / 100);
+}
+
+TEST(Datasets, FacebookIsDense) {
+  auto keys = GenerateKeys(Dataset::kFacebook, 10000, 2);
+  uint64_t span = keys.back() - keys.front();
+  EXPECT_LT(span, 10000ull * 17);  // max gap 16
+  EXPECT_GE(span, 10000ull);       // min gap 1
+}
+
+TEST(Datasets, BooksIsSkewedLow) {
+  auto keys = GenerateKeys(Dataset::kBooks, 20000, 3);
+  // Median far below the midpoint of the key space.
+  uint64_t median = keys[keys.size() / 2];
+  EXPECT_LT(median, uint64_t{1} << 50);
+  // But a heavy tail exists.
+  EXPECT_GT(keys.back(), uint64_t{1} << 54);
+}
+
+TEST(Datasets, ValuePayloadCompressibleHalf) {
+  std::string v = MakeValuePayload(12345, 512);
+  ASSERT_EQ(v.size(), 512u);
+  for (size_t i = 0; i < 256; ++i) ASSERT_EQ(v[i], '\0');
+  size_t nonzero = 0;
+  for (size_t i = 256; i < 512; ++i) {
+    if (v[i] != '\0') ++nonzero;
+  }
+  EXPECT_GT(nonzero, 200u);  // random half
+  EXPECT_EQ(MakeValuePayload(12345, 512), v);  // deterministic
+}
+
+class QueryGenTest : public ::testing::TestWithParam<QueryDist> {};
+
+TEST_P(QueryGenTest, EmptyAndWellFormed) {
+  auto keys = GenerateKeys(Dataset::kNormal, 10000, 4);
+  std::vector<uint64_t> real_points;
+  std::vector<uint64_t> keys2;
+  GenerateKeysAndQueryPoints(Dataset::kNormal, 10000, 2000, 4, &keys2,
+                             &real_points);
+  QuerySpec spec;
+  spec.dist = GetParam();
+  spec.range_max = uint64_t{1} << 12;
+  spec.corr_degree = uint64_t{1} << 10;
+  QueryGenStats stats;
+  auto queries = GenerateQueries(keys, spec, 3000, 5, real_points, &stats);
+  ASSERT_EQ(queries.size(), 3000u);
+  for (const auto& q : queries) {
+    ASSERT_LE(q.lo, q.hi);
+    ASSERT_TRUE(RangeIsEmpty(keys, q.lo, q.hi))
+        << "[" << q.lo << "," << q.hi << "]";
+    ASSERT_LE(q.hi - q.lo, spec.range_max);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllDists, QueryGenTest,
+                         ::testing::Values(QueryDist::kUniform,
+                                           QueryDist::kCorrelated,
+                                           QueryDist::kSplit,
+                                           QueryDist::kReal),
+                         [](const auto& info) {
+                           return QueryDistName(info.param);
+                         });
+
+TEST(QueryGen, CorrelatedQueriesLandNearKeys) {
+  auto keys = GenerateKeys(Dataset::kUniform, 10000, 6);
+  QuerySpec spec;
+  spec.dist = QueryDist::kCorrelated;
+  spec.range_max = uint64_t{1} << 4;
+  spec.corr_degree = uint64_t{1} << 10;
+  auto queries = GenerateQueries(keys, spec, 2000, 7);
+  for (const auto& q : queries) {
+    auto it = std::lower_bound(keys.begin(), keys.end(), q.lo);
+    ASSERT_NE(it, keys.begin());
+    uint64_t pred = *(it - 1);
+    ASSERT_LE(q.lo - pred, spec.corr_degree);
+  }
+}
+
+TEST(QueryGen, PointQueries) {
+  auto keys = GenerateKeys(Dataset::kUniform, 5000, 8);
+  QuerySpec spec;
+  spec.range_max = 0;
+  auto queries = GenerateQueries(keys, spec, 1000, 9);
+  for (const auto& q : queries) EXPECT_EQ(q.lo, q.hi);
+}
+
+TEST(QueryGen, MixedPointFraction) {
+  auto keys = GenerateKeys(Dataset::kUniform, 5000, 10);
+  QuerySpec spec;
+  spec.range_max = uint64_t{1} << 10;
+  spec.point_fraction = 0.5;
+  auto queries = GenerateQueries(keys, spec, 4000, 11);
+  size_t points = 0;
+  for (const auto& q : queries) {
+    if (q.lo == q.hi) ++points;
+  }
+  EXPECT_GT(points, 1700u);
+  EXPECT_LT(points, 2300u);
+}
+
+TEST(QueryGen, NonEmptyAllowedWhenRequested) {
+  auto keys = GenerateKeys(Dataset::kFacebook, 10000, 12);
+  QuerySpec spec;
+  spec.dist = QueryDist::kUniform;
+  spec.range_max = uint64_t{1} << 8;
+  spec.require_empty = false;
+  auto queries = GenerateQueries(keys, spec, 500, 13);
+  EXPECT_EQ(queries.size(), 500u);
+}
+
+TEST(QueryGen, DenseDataCorrelatedStillEmpty) {
+  // Facebook-like density (gaps ~8) with correlated queries: the clamp
+  // path must still deliver empty ranges.
+  auto keys = GenerateKeys(Dataset::kFacebook, 20000, 14);
+  QuerySpec spec;
+  spec.dist = QueryDist::kCorrelated;
+  spec.range_max = uint64_t{1} << 6;
+  spec.corr_degree = uint64_t{1} << 6;
+  QueryGenStats stats;
+  auto queries = GenerateQueries(keys, spec, 1000, 15, {}, &stats);
+  for (const auto& q : queries) {
+    ASSERT_TRUE(RangeIsEmpty(keys, q.lo, q.hi));
+  }
+}
+
+}  // namespace
+}  // namespace proteus
