@@ -83,11 +83,14 @@ void SampleSizeAblation(const Args& args) {
               "design");
   for (size_t n : {250ul, 1000ul, 4000ul, 16000ul}) {
     auto samples = GenerateQueries(keys, spec, n, args.seed + 2);
-    auto filter = ProteusFilter::BuildSelfDesigned(keys, samples, 12.0);
+    FilterBuilder builder(keys);
+    builder.Sample(samples);
+    auto filter =
+        ProteusFilter::BuildFromSpec(FilterSpec("proteus"), builder, nullptr);
     double fpr = bench::MeasureFpr(*filter, eval);
     std::printf("%-10zu %-12.4f %-12.4f (t=%u,b=%u)\n", n,
-                filter->modeled_fpr(), fpr, filter->config().trie_depth,
-                filter->config().bf_prefix_len);
+                filter->modeled_fpr().value_or(-1.0), fpr,
+                filter->config().trie_depth, filter->config().bf_prefix_len);
   }
 }
 

@@ -4,6 +4,10 @@
 //   --scale=small|paper   (default small: minutes on a laptop; paper: the
 //                          publication's sizes — hours)
 //   --keys=N --queries=N --samples=N --seed=N   (explicit overrides)
+//   --filter=SPEC         (registry spec string, e.g. "proteus:bpk=12";
+//                          harnesses that accept it add the filter as an
+//                          extra series, so new families need no bench
+//                          plumbing)
 //
 // Output is whitespace-aligned tables on stdout, one series per paper
 // line/panel, so EXPERIMENTS.md can quote them directly.
@@ -13,11 +17,14 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "core/filter_builder.h"
+#include "lsm/filter_policy.h"
 #include "core/range_filter.h"
 #include "core/query.h"
 #include "util/timer.h"
@@ -31,6 +38,7 @@ struct Args {
   uint64_t queries = 0;
   uint64_t samples = 0;
   uint64_t seed = 42;
+  std::string filter;    // optional extra series: registry spec string
 
   uint64_t KeysOr(uint64_t small, uint64_t paper) const {
     if (keys != 0) return keys;
@@ -60,14 +68,61 @@ inline Args ParseArgs(int argc, char** argv) {
       args.samples = std::strtoull(a + 10, nullptr, 10);
     } else if (std::strncmp(a, "--seed=", 7) == 0) {
       args.seed = std::strtoull(a + 7, nullptr, 10);
+    } else if (std::strncmp(a, "--filter=", 9) == 0) {
+      args.filter = a + 9;
     } else if (std::strcmp(a, "--help") == 0) {
       std::printf(
           "flags: --scale=small|paper --keys=N --queries=N --samples=N "
-          "--seed=N\n");
+          "--seed=N --filter=SPEC\n");
       std::exit(0);
     }
   }
   return args;
+}
+
+/// Creates a policy from a spec string, exiting with a message on a bad
+/// spec ("none" yields the no-filter policy).
+inline std::shared_ptr<FilterPolicy> MakePolicyOrDie(const std::string& spec) {
+  std::string error;
+  auto policy = MakeFilterPolicy(spec, &error);
+  if (policy == nullptr) {
+    std::fprintf(stderr, "filter policy spec \"%s\": %s\n", spec.c_str(),
+                 error.c_str());
+    std::exit(1);
+  }
+  return policy;
+}
+
+/// Builds a filter from a registry spec string, exiting with a message on
+/// a bad spec (benches have no error recovery path worth taking).
+inline std::unique_ptr<RangeFilter> BuildFilter(
+    const std::string& spec, const std::vector<uint64_t>& keys,
+    const std::vector<RangeQuery>& samples) {
+  std::string error;
+  FilterBuilder builder(keys);
+  builder.Sample(samples);
+  auto filter = builder.Build(spec, &error);
+  if (filter == nullptr) {
+    std::fprintf(stderr, "filter spec \"%s\": %s\n", spec.c_str(),
+                 error.c_str());
+    std::exit(1);
+  }
+  return filter;
+}
+
+inline std::unique_ptr<StrRangeFilter> BuildStrFilter(
+    const std::string& spec, const std::vector<std::string>& keys,
+    const std::vector<StrRangeQuery>& samples) {
+  std::string error;
+  StrFilterBuilder builder(keys);
+  builder.Sample(samples);
+  auto filter = builder.Build(spec, &error);
+  if (filter == nullptr) {
+    std::fprintf(stderr, "filter spec \"%s\": %s\n", spec.c_str(),
+                 error.c_str());
+    std::exit(1);
+  }
+  return filter;
 }
 
 /// Observed FPR of an integer range filter on (empty) queries.

@@ -66,7 +66,8 @@ void Run(const Args& args) {
       auto samples = GenerateQueries(keys, spec, n_samples, args.seed + 1);
       auto eval = GenerateQueries(keys, spec, n_eval, args.seed + 2);
 
-      auto proteus = ProteusFilter::BuildSelfDesigned(keys, samples, bpk);
+      auto proteus = bench::BuildFilter(
+          "proteus:bpk=" + FormatSpecDouble(bpk), keys, samples);
       grid[kProteus][row][col] = bench::MeasureFpr(*proteus, eval);
 
       double best_surf = 1.0;

@@ -93,10 +93,17 @@ void Run(const Args& args) {
           (std::string(row.name) + " / " + col.name).c_str());
       std::printf("%-6s %-9s %-22s %-9s %-9s %-14s\n", "bpk", "proteus",
                   "proteus-design", "rosetta", "surf", "surf-config");
+      // One FilterBuilder per workload cell: the CPFPR model is gathered
+      // once and reused across the whole bpk sweep.
+      FilterBuilder builder(keys);
+      builder.Sample(samples);
       for (double bpk : bpks) {
         uint64_t budget =
             static_cast<uint64_t>(bpk * static_cast<double>(n_keys));
-        auto proteus = ProteusFilter::BuildSelfDesigned(keys, samples, bpk);
+        FilterSpec proteus_spec("proteus");
+        proteus_spec.Set("bpk", FormatSpecDouble(bpk));
+        auto proteus = ProteusFilter::BuildFromSpec(proteus_spec, builder,
+                                                    nullptr);
         double fpr_p = bench::MeasureFpr(*proteus, eval);
         auto rosetta =
             RosettaFilter::BuildSelfConfigured(keys, samples, bpk);
@@ -122,6 +129,20 @@ void Run(const Args& args) {
           std::printf("%-6.0f %-9.4f %-22s %-9.4f %-9.4f %-14s\n", bpk, fpr_p,
                       design, fpr_r, fpr_s, best_name.c_str());
         }
+      }
+      if (!args.filter.empty()) {
+        // Any registered family rides along with zero bench plumbing.
+        std::string error;
+        auto extra = builder.Build(args.filter, &error);
+        if (extra == nullptr) {
+          std::fprintf(stderr, "--filter=%s: %s\n", args.filter.c_str(),
+                       error.c_str());
+          std::exit(1);
+        }
+        std::printf("--filter=%s: %s fpr=%.4f bpk=%.2f\n",
+                    args.filter.c_str(), extra->Name().c_str(),
+                    bench::MeasureFpr(*extra, eval),
+                    extra->Bpk(keys.size()));
       }
     }
   }

@@ -52,18 +52,16 @@ void RunPanel(const Args& args, const Panel& panel) {
 
   for (double bpk : {8.0, 12.0, 16.0}) {
     struct Entry {
-      const char* name;
-      std::function<std::shared_ptr<FilterPolicy>()> make;
+      std::string name;
+      std::string spec;  // FilterRegistry policy spec string
     };
-    const Entry entries[] = {
-        {"none", [] { return std::shared_ptr<FilterPolicy>(); }},
-        {"proteus",
-         [&] { return std::shared_ptr<FilterPolicy>(MakeProteusIntPolicy(bpk)); }},
-        {"surf-real4",
-         [&] { return std::shared_ptr<FilterPolicy>(MakeSurfIntPolicy(1, 4)); }},
-        {"rosetta",
-         [&] { return std::shared_ptr<FilterPolicy>(MakeRosettaIntPolicy(bpk)); }},
+    std::vector<Entry> entries = {
+        {"none", "none"},
+        {"proteus", "proteus:bpk=" + FormatSpecDouble(bpk)},
+        {"surf-real4", "surf:mode=real,suffix=4"},
+        {"rosetta", "rosetta:bpk=" + FormatSpecDouble(bpk)},
     };
+    if (!args.filter.empty()) entries.push_back({args.filter, args.filter});
     for (const Entry& entry : entries) {
       DbOptions options;
       options.dir = "/tmp/proteus_bench_fig6";
@@ -71,7 +69,8 @@ void RunPanel(const Args& args, const Panel& panel) {
       options.sst_target_bytes = 8u << 20;
       options.block_cache_bytes = 32u << 20;
       options.l1_size_bytes = 16u << 20;
-      options.filter_policy = entry.make();
+      options.filter_policy =
+          bench::MakePolicyOrDie(entry.spec);
       Db db(options);
       std::vector<std::pair<std::string, std::string>> seed;
       for (const auto& q : seed_queries) {
@@ -109,7 +108,8 @@ void RunPanel(const Args& args, const Panel& panel) {
       double filter_bpk = static_cast<double>(db.TotalFilterBits()) /
                           static_cast<double>(n_keys);
       std::printf("%-6.0f %-12s %-11.0f %-10.3f %-12.1f %-9.4f %-10.2f\n",
-                  bpk, entry.name, ns_per_seek, sst_per_seek, modeled_ms,
+                  bpk, entry.name.c_str(), ns_per_seek, sst_per_seek,
+                  modeled_ms,
                   file_fpr, filter_bpk);
     }
   }

@@ -56,23 +56,17 @@ void RunDirection(const Args& args, const Direction& dir, bool instant,
   auto end_pool = GenerateQueries(all_keys, dir.end, n_seeks, args.seed + 2);
 
   struct Entry {
-    const char* name;
-    std::function<std::shared_ptr<FilterPolicy>()> make;
+    std::string name;
+    std::string spec;  // FilterRegistry policy spec string
   };
   std::vector<Entry> entries = {
-      {"proteus",
-       [] { return std::shared_ptr<FilterPolicy>(MakeProteusIntPolicy(14.0)); }},
+      {"proteus", "proteus:bpk=14"},
   };
   if (!proteus_only) {
-    entries.push_back({"surf-real4", [] {
-                         return std::shared_ptr<FilterPolicy>(
-                             MakeSurfIntPolicy(1, 4));
-                       }});
-    entries.push_back({"rosetta", [] {
-                         return std::shared_ptr<FilterPolicy>(
-                             MakeRosettaIntPolicy(14.0));
-                       }});
+    entries.push_back({"surf-real4", "surf:mode=real,suffix=4"});
+    entries.push_back({"rosetta", "rosetta:bpk=14"});
   }
+  if (!args.filter.empty()) entries.push_back({args.filter, args.filter});
 
   bench::PrintHeader(dir.name);
   for (const Entry& entry : entries) {
@@ -86,7 +80,8 @@ void RunDirection(const Args& args, const Direction& dir, bool instant,
     options.block_cache_bytes = 32u << 20;
     options.l1_size_bytes = 4u << 20;
     options.queue_options.sample_rate = 10;  // responsive queue at this scale
-    options.filter_policy = entry.make();
+    options.filter_policy =
+        bench::MakePolicyOrDie(entry.spec);
     Db db(options);
     std::vector<std::pair<std::string, std::string>> seed;
     for (size_t i = 0; i < 2000 && i < start_pool.size(); ++i) {
@@ -99,7 +94,7 @@ void RunDirection(const Args& args, const Direction& dir, bool instant,
     }
     db.CompactAll();
 
-    std::printf("-- %s --\n", entry.name);
+    std::printf("-- %s --\n", entry.name.c_str());
     std::printf("%-7s %-8s %-12s %-10s %-9s %-12s\n", "batch", "ratio",
                 "cum-sec", "ns/seek", "sst/seek", "fileFPR");
     Rng rng(args.seed + 7);

@@ -111,21 +111,25 @@ void RunDomainsLsm(const Args& args) {
               "ns/seek", "sst/seek", "fileFPR", "filterBPK");
   for (double bpk : {10.0, 14.0, 18.0, 22.0}) {
     struct Entry {
-      const char* name;
-      std::shared_ptr<FilterPolicy> policy;
+      std::string name;
+      std::string spec;  // FilterRegistry policy spec string
     };
     const uint32_t max_bits = max_bytes * 8;
-    const Entry entries[] = {
-        {"proteus-str", MakeProteusStrPolicy(bpk, max_bits, /*stride=*/4)},
-        {"surf-real8", MakeSurfStrPolicy(/*mode=real*/ 1, 8)},
+    std::vector<Entry> entries = {
+        {"proteus-str", "proteus-str:bpk=" + FormatSpecDouble(bpk) +
+                            ",max_key_bits=" + std::to_string(max_bits) +
+                            ",stride=4"},
+        {"surf-real8", "surf-str:mode=real,suffix=8"},
     };
+    if (!args.filter.empty()) entries.push_back({args.filter, args.filter});
     for (const Entry& entry : entries) {
       DbOptions options;
       options.dir = "/tmp/proteus_bench_fig9";
       options.memtable_bytes = 2u << 20;
       options.sst_target_bytes = 8u << 20;
       options.l1_size_bytes = 8u << 20;
-      options.filter_policy = entry.policy;
+      options.filter_policy =
+          bench::MakePolicyOrDie(entry.spec);
       Db db(options);
       std::vector<std::pair<std::string, std::string>> seed;
       for (const auto& q : seed_queries) seed.push_back({q.lo, q.hi});
@@ -147,7 +151,8 @@ void RunDomainsLsm(const Args& args) {
               : static_cast<double>(stats.false_positive_files) /
                     static_cast<double>(stats.filter_checks);
       std::printf("%-6.0f %-13s %-11.0f %-10.3f %-9.4f %-10.2f\n", bpk,
-                  entry.name, wall_ns / static_cast<double>(eval.size()),
+                  entry.name.c_str(),
+                  wall_ns / static_cast<double>(eval.size()),
                   static_cast<double>(stats.sst_seeks) /
                       static_cast<double>(eval.size()),
                   file_fpr,

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "bloom/bloom_filter.h"
+#include "core/filter_builder.h"
 #include "core/proteus.h"
 #include "hash/clhash.h"
 #include "hash/murmur3.h"
@@ -102,7 +103,7 @@ void BM_ProteusQuery(benchmark::State& state) {
   QuerySpec spec;
   spec.range_max = uint64_t{1} << 10;
   auto samples = GenerateQueries(keys, spec, 2000, 11);
-  auto filter = ProteusFilter::BuildSelfDesigned(keys, samples, 12.0);
+  auto filter = FilterBuilder(keys).Sample(samples).Build("proteus:bpk=12");
   auto eval = GenerateQueries(keys, spec, 10000, 12);
   size_t i = 0;
   for (auto _ : state) {
@@ -135,7 +136,7 @@ void BM_ProteusBuild(benchmark::State& state) {
   spec.range_max = uint64_t{1} << 10;
   auto samples = GenerateQueries(keys, spec, 2000, 17);
   for (auto _ : state) {
-    auto filter = ProteusFilter::BuildSelfDesigned(keys, samples, 12.0);
+    auto filter = FilterBuilder(keys).Sample(samples).Build("proteus:bpk=12");
     benchmark::DoNotOptimize(filter->SizeBits());
   }
   state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *

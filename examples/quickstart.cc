@@ -1,12 +1,16 @@
 // Quickstart: build a self-designing Proteus range filter over integer
-// keys and query it.
+// keys through the unified spec-string API, query it, and round-trip it
+// through serialization.
 //
-//   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart
+//   cmake -B build -S . && cmake --build build -j
+//   ./build/quickstart
 
 #include <cstdio>
+#include <string>
 #include <vector>
 
+#include "core/filter_builder.h"
+#include "core/filter_registry.h"
 #include "core/proteus.h"
 #include "workload/datasets.h"
 #include "workload/queries.h"
@@ -26,13 +30,22 @@ int main() {
   spec.corr_degree = 1 << 10;    // starting within 1024 of a key
   std::vector<RangeQuery> sample = GenerateQueries(keys, spec, 5000, 2);
 
-  // 3. Build: Proteus models the design space on the sample and picks the
-  //    best (trie depth, Bloom prefix length) for the memory budget.
-  double bits_per_key = 12.0;
-  auto filter = ProteusFilter::BuildSelfDesigned(keys, sample, bits_per_key);
-  std::printf("built %s: %.2f bits/key, modeled FPR %.4f\n",
-              filter->Name().c_str(), filter->Bpk(keys.size()),
-              filter->modeled_fpr());
+  // 3. Build through the FilterBuilder flow: Sample() observes the
+  //    workload, Design() (run implicitly) models the design space once,
+  //    Build() materializes any registered family from a spec string.
+  FilterBuilder builder(keys);
+  builder.Sample(sample);
+  auto filter = builder.Build("proteus:bpk=12");
+  std::printf("built %s: %.2f bits/key\n", filter->Name().c_str(),
+              filter->Bpk(keys.size()));
+
+  // The same builder (and its cached model) serves every family:
+  for (const char* alt : {"onepbf:bpk=12", "twopbf:bpk=12", "rosetta:bpk=12",
+                          "surf:mode=real,suffix=8"}) {
+    auto f = builder.Build(alt);
+    std::printf("  alternative %-28s -> %-16s %.2f bits/key\n", alt,
+                f->Name().c_str(), f->Bpk(keys.size()));
+  }
 
   // 4. Query: MayContain never false-negatives.
   std::printf("range around a key     -> %s\n",
@@ -41,7 +54,17 @@ int main() {
   std::printf("range far from any key -> %s\n",
               filter->MayContain(123, 456) ? "maybe" : "no");
 
-  // 5. Measure the FPR on fresh queries from the same workload.
+  // 5. Persist and reload: Serialize writes a versioned blob (this is what
+  //    an SST filter block stores); Deserialize restores it without the
+  //    keys.
+  std::string blob;
+  filter->Serialize(&blob);
+  auto restored = Filter::Deserialize(blob);
+  std::printf("serialized %zu bytes, restored %s (%llu bits)\n", blob.size(),
+              restored->Name().c_str(),
+              static_cast<unsigned long long>(restored->SizeBits()));
+
+  // 6. Measure the FPR on fresh queries from the same workload.
   auto eval = GenerateQueries(keys, spec, 20000, 3);
   size_t fp = 0;
   for (const auto& q : eval) fp += filter->MayContain(q.lo, q.hi);

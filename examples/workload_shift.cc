@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/filter_builder.h"
 #include "core/proteus.h"
 #include "lsm/query_queue.h"
 #include "surf/surf.h"
@@ -33,10 +34,14 @@ int main() {
     for (const auto& [lo, hi] : queue.Snapshot()) {
       sample.push_back({DecodeKeyBE(lo), DecodeKeyBE(hi)});
     }
-    auto filter = ProteusFilter::BuildSelfDesigned(keys, sample, 12.0);
+    FilterBuilder builder(keys);
+    builder.Sample(sample);
+    auto filter =
+        ProteusFilter::BuildFromSpec(FilterSpec("proteus"), builder, nullptr);
     std::printf("%s: redesigned to trie=%u bloom=%u (modeled FPR %.4f)\n",
                 when, filter->config().trie_depth,
-                filter->config().bf_prefix_len, filter->modeled_fpr());
+                filter->config().bf_prefix_len,
+                filter->modeled_fpr().value_or(-1.0));
     return filter;
   };
 

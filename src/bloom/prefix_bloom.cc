@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "util/serial.h"
+
 namespace proteus {
 
 namespace {
@@ -152,6 +154,32 @@ std::vector<uint64_t> StrCountUniquePrefixesAll(
   }
   counts[0] = 1;
   return counts;
+}
+
+// ---------------------------------------------------------------------------
+// Serialization
+// ---------------------------------------------------------------------------
+
+void PrefixBloom::AppendTo(std::string* out) const {
+  PutFixed32(out, prefix_len_);
+  PutFixed64(out, n_items_);
+  bf_.AppendTo(out);
+}
+
+bool PrefixBloom::ParseFrom(std::string_view* in, PrefixBloom* out) {
+  return GetFixed32(in, &out->prefix_len_) && GetFixed64(in, &out->n_items_) &&
+         BloomFilter::ParseFrom(in, &out->bf_);
+}
+
+void StrPrefixBloom::AppendTo(std::string* out) const {
+  PutFixed32(out, prefix_len_);
+  PutFixed64(out, n_items_);
+  bf_.AppendTo(out);
+}
+
+bool StrPrefixBloom::ParseFrom(std::string_view* in, StrPrefixBloom* out) {
+  return GetFixed32(in, &out->prefix_len_) && GetFixed64(in, &out->n_items_) &&
+         BloomFilter::ParseFrom(in, &out->bf_);
 }
 
 }  // namespace proteus

@@ -47,6 +47,10 @@ class PrefixBloom {
 
   static constexpr uint64_t kDefaultProbeLimit = uint64_t{1} << 26;
 
+  /// Serialization: prefix length + item count + the Bloom filter.
+  void AppendTo(std::string* out) const;
+  static bool ParseFrom(std::string_view* in, PrefixBloom* out);
+
  private:
   BloomFilter bf_;
   uint32_t prefix_len_ = 0;
@@ -73,6 +77,9 @@ class StrPrefixBloom {
   const BloomFilter& bloom() const { return bf_; }
 
   static constexpr uint64_t kDefaultProbeLimit = uint64_t{1} << 22;
+
+  void AppendTo(std::string* out) const;
+  static bool ParseFrom(std::string_view* in, StrPrefixBloom* out);
 
  private:
   BloomFilter bf_;

@@ -1,0 +1,99 @@
+#include "core/filter_builder.h"
+
+#include "core/filter_registry.h"
+#include "model/cpfpr.h"
+
+namespace proteus {
+namespace {
+
+void SetError(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+}
+
+const FilterFamily* Resolve(const FilterSpec& spec, std::string* error) {
+  const FilterFamily* family = FilterRegistry::Global().Find(spec.family());
+  if (family == nullptr) {
+    std::string known;
+    for (const std::string& name : FilterRegistry::Global().FamilyNames()) {
+      known += known.empty() ? "" : ", ";
+      known += name;
+    }
+    SetError(error, "unknown filter family \"" + spec.family() +
+                        "\" (registered: " + known + ")");
+  }
+  return family;
+}
+
+}  // namespace
+
+FilterBuilder::FilterBuilder(const std::vector<uint64_t>& sorted_keys)
+    : keys_(sorted_keys) {}
+
+FilterBuilder::~FilterBuilder() = default;
+
+FilterBuilder& FilterBuilder::Sample(const std::vector<RangeQuery>& queries) {
+  samples_.insert(samples_.end(), queries.begin(), queries.end());
+  model_.reset();
+  return *this;
+}
+
+const CpfprModel& FilterBuilder::Design() {
+  if (model_ == nullptr) {
+    model_ = std::make_unique<CpfprModel>(keys_, samples_);
+  }
+  return *model_;
+}
+
+const CpfprModel* FilterBuilder::DesignOrNull() {
+  if (samples_.empty()) return nullptr;
+  return &Design();
+}
+
+std::unique_ptr<RangeFilter> FilterBuilder::Build(std::string_view spec,
+                                                  std::string* error) {
+  FilterSpec parsed;
+  if (!FilterSpec::Parse(spec, &parsed, error)) return nullptr;
+  return Build(parsed, error);
+}
+
+std::unique_ptr<RangeFilter> FilterBuilder::Build(const FilterSpec& spec,
+                                                  std::string* error) {
+  const FilterFamily* family = Resolve(spec, error);
+  if (family == nullptr) return nullptr;
+  if (family->build_int == nullptr) {
+    SetError(error, "filter family \"" + spec.family() +
+                        "\" has no integer-key builder");
+    return nullptr;
+  }
+  return family->build_int(spec, *this, error);
+}
+
+StrFilterBuilder::StrFilterBuilder(const std::vector<std::string>& sorted_keys)
+    : keys_(sorted_keys) {}
+
+StrFilterBuilder& StrFilterBuilder::Sample(
+    const std::vector<StrRangeQuery>& queries) {
+  samples_.insert(samples_.end(), queries.begin(), queries.end());
+  return *this;
+}
+
+std::unique_ptr<StrRangeFilter> StrFilterBuilder::Build(std::string_view spec,
+                                                        std::string* error) {
+  FilterSpec parsed;
+  if (!FilterSpec::Parse(spec, &parsed, error)) return nullptr;
+  return Build(parsed, error);
+}
+
+std::unique_ptr<StrRangeFilter> StrFilterBuilder::Build(const FilterSpec& spec,
+                                                        std::string* error) {
+  const FilterFamily* family = Resolve(spec, error);
+  if (family == nullptr) return nullptr;
+  if (family->build_str == nullptr) {
+    SetError(error, "filter family \"" + spec.family() +
+                        "\" has no string-key builder");
+    return nullptr;
+  }
+  return family->build_str(spec, *this, error);
+}
+
+}  // namespace proteus

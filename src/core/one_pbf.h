@@ -1,31 +1,35 @@
 // 1PBF — a self-designing single prefix Bloom filter (Section 4): the
 // simplest Protean Range Filter. The CPFPR model (Eq. 1) selects the one
 // prefix length that minimizes expected FPR on the sampled queries.
+//
+// Spec parameters: bpk (default 12), prefix (forced prefix length, skips
+// the model — Figure 4a sweeps).
 
 #ifndef PROTEUS_CORE_ONE_PBF_H_
 #define PROTEUS_CORE_ONE_PBF_H_
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "bloom/prefix_bloom.h"
+#include "core/filter_spec.h"
 #include "core/query.h"
 #include "core/range_filter.h"
-#include "model/cpfpr.h"
 
 namespace proteus {
 
+class FilterBuilder;
+
 class OnePbfFilter : public RangeFilter {
  public:
-  static std::unique_ptr<OnePbfFilter> BuildSelfDesigned(
-      const std::vector<uint64_t>& sorted_keys,
-      const std::vector<RangeQuery>& sample_queries, double bits_per_key);
+  static constexpr uint32_t kFamilyId = 2;
 
-  static std::unique_ptr<OnePbfFilter> BuildFromModel(
-      const std::vector<uint64_t>& sorted_keys, const CpfprModel& model,
-      double bits_per_key);
+  static std::unique_ptr<OnePbfFilter> BuildFromSpec(const FilterSpec& spec,
+                                                     FilterBuilder& builder,
+                                                     std::string* error);
 
   /// Forced prefix length (Figure 4a sweeps).
   static std::unique_ptr<OnePbfFilter> BuildWithConfig(
@@ -38,14 +42,19 @@ class OnePbfFilter : public RangeFilter {
     return "1PBF(l" + std::to_string(bf_.prefix_len()) + ")";
   }
 
+  uint32_t FamilyId() const override { return kFamilyId; }
+  void SerializePayload(std::string* out) const override;
+  static std::unique_ptr<OnePbfFilter> DeserializePayload(
+      std::string_view* in);
+
   uint32_t prefix_len() const { return bf_.prefix_len(); }
-  double modeled_fpr() const { return modeled_fpr_; }
+  std::optional<double> modeled_fpr() const { return modeled_fpr_; }
 
  private:
   OnePbfFilter() = default;
 
   PrefixBloom bf_;
-  double modeled_fpr_ = -1.0;
+  std::optional<double> modeled_fpr_;
 };
 
 }  // namespace proteus

@@ -2,26 +2,56 @@
 
 #include <algorithm>
 
+#include "core/filter_builder.h"
+#include "model/cpfpr.h"
 #include "util/bits.h"
+#include "util/serial.h"
 
 namespace proteus {
+namespace {
 
-std::unique_ptr<ProteusFilter> ProteusFilter::BuildSelfDesigned(
-    const std::vector<uint64_t>& sorted_keys,
-    const std::vector<RangeQuery>& sample_queries, double bits_per_key) {
-  CpfprModel model(sorted_keys, sample_queries);
-  return BuildFromModel(sorted_keys, model, bits_per_key);
+bool ParseBudget(const FilterSpec& spec, const FilterBuilder& builder,
+                 double* bpk, uint64_t* budget, std::string* error) {
+  if (!spec.GetDouble("bpk", 12.0, bpk, error)) return false;
+  if (*bpk <= 0.0) {
+    if (error != nullptr) *error = "proteus bpk must be positive";
+    return false;
+  }
+  *budget = static_cast<uint64_t>(
+      *bpk * static_cast<double>(builder.keys().size()));
+  return true;
 }
 
-std::unique_ptr<ProteusFilter> ProteusFilter::BuildFromModel(
-    const std::vector<uint64_t>& sorted_keys, const CpfprModel& model,
-    double bits_per_key) {
-  uint64_t budget = static_cast<uint64_t>(
-      bits_per_key * static_cast<double>(sorted_keys.size()));
-  ProteusDesign design = model.SelectProteus(budget);
+}  // namespace
+
+std::unique_ptr<ProteusFilter> ProteusFilter::BuildFromSpec(
+    const FilterSpec& spec, FilterBuilder& builder, std::string* error) {
+  if (!spec.ExpectKeys({"bpk", "trie", "bloom"}, error)) return nullptr;
+  double bpk;
+  uint64_t budget;
+  if (!ParseBudget(spec, builder, &bpk, &budget, error)) return nullptr;
+
+  if (spec.Has("trie") || spec.Has("bloom")) {
+    Config config;
+    if (!spec.GetUint32("trie", 0, &config.trie_depth, error) ||
+        !spec.GetUint32("bloom", 0, &config.bf_prefix_len, error)) {
+      return nullptr;
+    }
+    if (config.trie_depth > 64 || config.bf_prefix_len > 64) {
+      if (error != nullptr) *error = "proteus trie/bloom lengths must be <= 64";
+      return nullptr;
+    }
+    return BuildWithConfig(builder.keys(), config, bpk);
+  }
+
+  const CpfprModel* model = builder.DesignOrNull();
+  if (model == nullptr) {
+    // No workload signal: default to a full-key prefix Bloom filter.
+    return BuildWithConfig(builder.keys(), Config{0, 64}, bpk);
+  }
+  ProteusDesign design = model->SelectProteus(budget);
   auto filter = BuildWithConfig(
-      sorted_keys, Config{design.trie_depth, design.bf_prefix_len},
-      bits_per_key);
+      builder.keys(), Config{design.trie_depth, design.bf_prefix_len}, bpk);
   filter->modeled_fpr_ = design.expected_fpr;
   return filter;
 }
@@ -88,6 +118,31 @@ uint64_t ProteusFilter::SizeBits() const {
 std::string ProteusFilter::Name() const {
   return "Proteus(t" + std::to_string(config_.trie_depth) + ",b" +
          std::to_string(config_.bf_prefix_len) + ")";
+}
+
+void ProteusFilter::SerializePayload(std::string* out) const {
+  PutFixed32(out, config_.trie_depth);
+  PutFixed32(out, config_.bf_prefix_len);
+  PutFixed32(out, modeled_fpr_.has_value() ? 1 : 0);
+  PutDouble(out, modeled_fpr_.value_or(0.0));
+  trie_.AppendTo(out);
+  bf_.AppendTo(out);
+}
+
+std::unique_ptr<ProteusFilter> ProteusFilter::DeserializePayload(
+    std::string_view* in) {
+  auto filter = std::unique_ptr<ProteusFilter>(new ProteusFilter());
+  uint32_t has_fpr;
+  double fpr;
+  if (!GetFixed32(in, &filter->config_.trie_depth) ||
+      !GetFixed32(in, &filter->config_.bf_prefix_len) ||
+      !GetFixed32(in, &has_fpr) || !GetDouble(in, &fpr) ||
+      !BitTrie::ParseFrom(in, &filter->trie_) ||
+      !PrefixBloom::ParseFrom(in, &filter->bf_)) {
+    return nullptr;
+  }
+  if (has_fpr != 0) filter->modeled_fpr_ = fpr;
+  return filter;
 }
 
 }  // namespace proteus

@@ -8,43 +8,49 @@
 // order; for every trie hit, probe the Bloom filter for the l2-prefixes of
 // Q below that hit; positive on the first Bloom hit (or trie hit when no
 // Bloom filter is configured); negative when the trie walk is exhausted.
+//
+// Construction goes through the shared FilterBuilder flow
+// (Sample() -> Design() -> Build()); BuildWithConfig remains for forced
+// configurations (Figure 4c sweeps, tests). Spec parameters:
+//   bpk   — memory budget in bits per key (default 12)
+//   trie  — forced trie depth l1 (skips the model)
+//   bloom — forced Bloom prefix length l2 (skips the model)
 
 #ifndef PROTEUS_CORE_PROTEUS_H_
 #define PROTEUS_CORE_PROTEUS_H_
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "bloom/prefix_bloom.h"
+#include "core/filter_spec.h"
 #include "core/query.h"
 #include "core/range_filter.h"
-#include "model/cpfpr.h"
 #include "trie/bit_trie.h"
 
 namespace proteus {
 
+class CpfprModel;
+class FilterBuilder;
+
 class ProteusFilter : public RangeFilter {
  public:
+  static constexpr uint32_t kFamilyId = 1;
+
   struct Config {
     uint32_t trie_depth = 0;     // l1; 0 = no trie
     uint32_t bf_prefix_len = 0;  // l2; 0 = no Bloom filter
   };
 
-  /// Self-designing build: models the design space on `sample_queries`
-  /// (which must be empty ranges) and instantiates the best configuration
-  /// within `bits_per_key * keys` bits. This is the paper's headline
-  /// construction path.
-  static std::unique_ptr<ProteusFilter> BuildSelfDesigned(
-      const std::vector<uint64_t>& sorted_keys,
-      const std::vector<RangeQuery>& sample_queries, double bits_per_key);
-
-  /// As above but reusing an already-gathered model (e.g. when sweeping
-  /// memory budgets over one workload).
-  static std::unique_ptr<ProteusFilter> BuildFromModel(
-      const std::vector<uint64_t>& sorted_keys, const CpfprModel& model,
-      double bits_per_key);
+  /// Registry/FilterBuilder hook: self-designs from the builder's sampled
+  /// queries (the paper's headline construction path), or forces the
+  /// configuration given by the spec's trie=/bloom= parameters.
+  static std::unique_ptr<ProteusFilter> BuildFromSpec(const FilterSpec& spec,
+                                                      FilterBuilder& builder,
+                                                      std::string* error);
 
   /// Forced-configuration build, used for the Figure 4c design-space sweep
   /// and for tests. The Bloom filter receives whatever remains of the
@@ -57,8 +63,14 @@ class ProteusFilter : public RangeFilter {
   uint64_t SizeBits() const override;
   std::string Name() const override;
 
+  uint32_t FamilyId() const override { return kFamilyId; }
+  void SerializePayload(std::string* out) const override;
+  static std::unique_ptr<ProteusFilter> DeserializePayload(
+      std::string_view* in);
+
   const Config& config() const { return config_; }
-  double modeled_fpr() const { return modeled_fpr_; }
+  /// The model's expected FPR; empty when built with a forced config.
+  std::optional<double> modeled_fpr() const { return modeled_fpr_; }
 
  private:
   ProteusFilter() = default;
@@ -66,7 +78,7 @@ class ProteusFilter : public RangeFilter {
   Config config_;
   BitTrie trie_;
   PrefixBloom bf_;
-  double modeled_fpr_ = -1.0;  // < 0 when built with a forced config
+  std::optional<double> modeled_fpr_;
 };
 
 }  // namespace proteus

@@ -2,9 +2,58 @@
 
 #include <algorithm>
 
+#include "core/filter_builder.h"
 #include "util/bitstring.h"
+#include "util/serial.h"
 
 namespace proteus {
+
+std::unique_ptr<ProteusStrFilter> ProteusStrFilter::BuildFromSpec(
+    const FilterSpec& spec, StrFilterBuilder& builder, std::string* error) {
+  if (!spec.ExpectKeys({"bpk", "max_key_bits", "stride", "trie", "bloom"},
+                       error)) {
+    return nullptr;
+  }
+  double bpk;
+  if (!spec.GetDouble("bpk", 12.0, &bpk, error)) return nullptr;
+  if (bpk <= 0.0) {
+    if (error != nullptr) *error = "proteus-str bpk must be positive";
+    return nullptr;
+  }
+  uint32_t max_key_bits, stride;
+  if (!spec.GetUint32("max_key_bits", 0, &max_key_bits, error) ||
+      !spec.GetUint32("stride", 1, &stride, error)) {
+    return nullptr;
+  }
+  if (max_key_bits == 0) {
+    // Default: the longest key bounds the padded key space.
+    size_t longest = 0;
+    for (const std::string& k : builder.keys()) {
+      longest = std::max(longest, k.size());
+    }
+    max_key_bits = static_cast<uint32_t>(longest * 8);
+  }
+
+  if (spec.Has("trie") || spec.Has("bloom")) {
+    Config config;
+    config.max_key_bits = max_key_bits;
+    if (!spec.GetUint32("trie", 0, &config.trie_depth, error) ||
+        !spec.GetUint32("bloom", 0, &config.bf_prefix_len, error)) {
+      return nullptr;
+    }
+    return BuildWithConfig(builder.keys(), config, bpk);
+  }
+
+  if (builder.samples().empty()) {
+    // No workload signal: default to a full-padded-key prefix Bloom filter.
+    return BuildWithConfig(
+        builder.keys(), Config{0, max_key_bits, max_key_bits}, bpk);
+  }
+  StrCpfprOptions options;
+  options.bloom_grid = std::max<uint32_t>(1, 128 / std::max<uint32_t>(1, stride));
+  return BuildSelfDesigned(builder.keys(), builder.samples(), bpk,
+                           max_key_bits, options);
+}
 
 std::unique_ptr<ProteusStrFilter> ProteusStrFilter::BuildSelfDesigned(
     const std::vector<std::string>& sorted_keys,
@@ -105,6 +154,33 @@ uint64_t ProteusStrFilter::SizeBits() const {
 std::string ProteusStrFilter::Name() const {
   return "Proteus-str(t" + std::to_string(config_.trie_depth) + ",b" +
          std::to_string(config_.bf_prefix_len) + ")";
+}
+
+void ProteusStrFilter::SerializePayload(std::string* out) const {
+  PutFixed32(out, config_.trie_depth);
+  PutFixed32(out, config_.bf_prefix_len);
+  PutFixed32(out, config_.max_key_bits);
+  PutFixed32(out, modeled_fpr_.has_value() ? 1 : 0);
+  PutDouble(out, modeled_fpr_.value_or(0.0));
+  trie_.AppendTo(out);
+  bf_.AppendTo(out);
+}
+
+std::unique_ptr<ProteusStrFilter> ProteusStrFilter::DeserializePayload(
+    std::string_view* in) {
+  auto filter = std::unique_ptr<ProteusStrFilter>(new ProteusStrFilter());
+  uint32_t has_fpr;
+  double fpr;
+  if (!GetFixed32(in, &filter->config_.trie_depth) ||
+      !GetFixed32(in, &filter->config_.bf_prefix_len) ||
+      !GetFixed32(in, &filter->config_.max_key_bits) ||
+      !GetFixed32(in, &has_fpr) || !GetDouble(in, &fpr) ||
+      !StrBitTrie::ParseFrom(in, &filter->trie_) ||
+      !StrPrefixBloom::ParseFrom(in, &filter->bf_)) {
+    return nullptr;
+  }
+  if (has_fpr != 0) filter->modeled_fpr_ = fpr;
+  return filter;
 }
 
 }  // namespace proteus

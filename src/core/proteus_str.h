@@ -1,16 +1,22 @@
 // Proteus over variable-length string keys (Section 7): the same hybrid
 // trie + prefix Bloom filter, with bit-level prefixes of the padded key
 // space and lexicographic order.
+//
+// Spec parameters: bpk (default 12); max_key_bits (default: longest key,
+// rounded up to whole bytes); stride (coarsens the Bloom-prefix search
+// grid: grid = 128 / stride); trie/bloom force the configuration.
 
 #ifndef PROTEUS_CORE_PROTEUS_STR_H_
 #define PROTEUS_CORE_PROTEUS_STR_H_
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "bloom/prefix_bloom.h"
+#include "core/filter_spec.h"
 #include "core/query.h"
 #include "core/range_filter.h"
 #include "model/cpfpr_str.h"
@@ -18,13 +24,21 @@
 
 namespace proteus {
 
+class StrFilterBuilder;
+
 class ProteusStrFilter : public StrRangeFilter {
  public:
+  static constexpr uint32_t kFamilyId = 7;
+
   struct Config {
     uint32_t trie_depth = 0;     // bits; 0 = no trie
     uint32_t bf_prefix_len = 0;  // bits; 0 = no Bloom filter
     uint32_t max_key_bits = 0;
   };
+
+  /// Registry/StrFilterBuilder hook.
+  static std::unique_ptr<ProteusStrFilter> BuildFromSpec(
+      const FilterSpec& spec, StrFilterBuilder& builder, std::string* error);
 
   /// Self-designing build over sorted string keys and empty sample
   /// queries. `max_key_bits` bounds the padded key space; `model_options`
@@ -42,8 +56,13 @@ class ProteusStrFilter : public StrRangeFilter {
   uint64_t SizeBits() const override;
   std::string Name() const override;
 
+  uint32_t FamilyId() const override { return kFamilyId; }
+  void SerializePayload(std::string* out) const override;
+  static std::unique_ptr<ProteusStrFilter> DeserializePayload(
+      std::string_view* in);
+
   const Config& config() const { return config_; }
-  double modeled_fpr() const { return modeled_fpr_; }
+  std::optional<double> modeled_fpr() const { return modeled_fpr_; }
 
  private:
   ProteusStrFilter() = default;
@@ -51,7 +70,7 @@ class ProteusStrFilter : public StrRangeFilter {
   Config config_;
   StrBitTrie trie_;
   StrPrefixBloom bf_;
-  double modeled_fpr_ = -1.0;
+  std::optional<double> modeled_fpr_;
 };
 
 }  // namespace proteus

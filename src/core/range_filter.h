@@ -1,4 +1,4 @@
-// The common interface all range filters in this library implement.
+// The kind-specific query interfaces all range filters implement.
 //
 // A range filter answers approximate range-emptiness queries over a static
 // key set K: MayContain(lo, hi) returns false only if K ∩ [lo, hi] is
@@ -7,49 +7,35 @@
 //
 // Integer keys (Sections 5–6 of the paper) and string keys (Section 7) get
 // separate interfaces; most filters implement both via sibling classes.
+// Everything key-kind-independent (size, name, serialization) lives in the
+// shared Filter base (core/filter.h).
 
 #ifndef PROTEUS_CORE_RANGE_FILTER_H_
 #define PROTEUS_CORE_RANGE_FILTER_H_
 
 #include <cstdint>
-#include <string>
 #include <string_view>
+
+#include "core/filter.h"
 
 namespace proteus {
 
 /// Range filter over 64-bit unsigned integer keys.
-class RangeFilter {
+class RangeFilter : public Filter {
  public:
-  virtual ~RangeFilter() = default;
+  KeyKind kind() const final { return KeyKind::kInt; }
 
   /// True if the key set may intersect the inclusive range [lo, hi].
   virtual bool MayContain(uint64_t lo, uint64_t hi) const = 0;
-
-  /// Memory footprint of the filter in bits (all components included).
-  virtual uint64_t SizeBits() const = 0;
-
-  /// Human-readable filter name, e.g. "Proteus" or "SuRF-Real8".
-  virtual std::string Name() const = 0;
-
-  /// Bits per key, given the number of keys the filter was built on.
-  double Bpk(uint64_t n_keys) const {
-    return n_keys == 0 ? 0.0 : static_cast<double>(SizeBits()) / n_keys;
-  }
 };
 
 /// Range filter over variable-length byte-string keys (lexicographic order,
 /// trailing-NUL padding semantics per Section 7.1).
-class StrRangeFilter {
+class StrRangeFilter : public Filter {
  public:
-  virtual ~StrRangeFilter() = default;
+  KeyKind kind() const final { return KeyKind::kStr; }
 
   virtual bool MayContain(std::string_view lo, std::string_view hi) const = 0;
-  virtual uint64_t SizeBits() const = 0;
-  virtual std::string Name() const = 0;
-
-  double Bpk(uint64_t n_keys) const {
-    return n_keys == 0 ? 0.0 : static_cast<double>(SizeBits()) / n_keys;
-  }
 };
 
 }  // namespace proteus

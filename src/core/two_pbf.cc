@@ -2,25 +2,50 @@
 
 #include <algorithm>
 
+#include "core/filter_builder.h"
+#include "model/cpfpr.h"
 #include "util/bits.h"
+#include "util/serial.h"
 
 namespace proteus {
 
-std::unique_ptr<TwoPbfFilter> TwoPbfFilter::BuildSelfDesigned(
-    const std::vector<uint64_t>& sorted_keys,
-    const std::vector<RangeQuery>& sample_queries, double bits_per_key) {
-  CpfprModel model(sorted_keys, sample_queries);
-  return BuildFromModel(sorted_keys, model, bits_per_key);
-}
+std::unique_ptr<TwoPbfFilter> TwoPbfFilter::BuildFromSpec(
+    const FilterSpec& spec, FilterBuilder& builder, std::string* error) {
+  if (!spec.ExpectKeys({"bpk", "l1", "l2", "frac1"}, error)) return nullptr;
+  double bpk;
+  if (!spec.GetDouble("bpk", 12.0, &bpk, error)) return nullptr;
+  if (bpk <= 0.0) {
+    if (error != nullptr) *error = "twopbf bpk must be positive";
+    return nullptr;
+  }
 
-std::unique_ptr<TwoPbfFilter> TwoPbfFilter::BuildFromModel(
-    const std::vector<uint64_t>& sorted_keys, const CpfprModel& model,
-    double bits_per_key) {
+  if (spec.Has("l1") || spec.Has("l2") || spec.Has("frac1")) {
+    Config config;
+    if (!spec.GetUint32("l1", 0, &config.l1, error) ||
+        !spec.GetUint32("l2", 64, &config.l2, error) ||
+        !spec.GetDouble("frac1", 0.5, &config.frac1, error)) {
+      return nullptr;
+    }
+    if (config.frac1 < 0.0 || config.frac1 >= 1.0) {
+      if (error != nullptr) *error = "twopbf frac1 must be in [0, 1)";
+      return nullptr;
+    }
+    if (config.l1 > 64 || config.l2 == 0 || config.l2 > 64) {
+      if (error != nullptr) *error = "twopbf l1/l2 must be in [0, 64] / [1, 64]";
+      return nullptr;
+    }
+    return BuildWithConfig(builder.keys(), config, bpk);
+  }
+
+  const CpfprModel* model = builder.DesignOrNull();
+  if (model == nullptr) {
+    return BuildWithConfig(builder.keys(), Config{0, 64, 0.5}, bpk);
+  }
   uint64_t budget = static_cast<uint64_t>(
-      bits_per_key * static_cast<double>(sorted_keys.size()));
-  TwoPbfDesign design = model.SelectTwoPbf(budget);
+      bpk * static_cast<double>(builder.keys().size()));
+  TwoPbfDesign design = model->SelectTwoPbf(budget);
   auto filter = BuildWithConfig(
-      sorted_keys, Config{design.l1, design.l2, design.frac1}, bits_per_key);
+      builder.keys(), Config{design.l1, design.l2, design.frac1}, bpk);
   filter->modeled_fpr_ = design.expected_fpr;
   return filter;
 }
@@ -45,7 +70,6 @@ std::unique_ptr<TwoPbfFilter> TwoPbfFilter::BuildWithConfig(
 
 bool TwoPbfFilter::MayContain(uint64_t lo, uint64_t hi) const {
   const uint32_t l1 = config_.l1;
-  const uint32_t l2 = config_.l2;
   if (l1 == 0) return bf2_.MayContain(lo, hi);
   uint64_t first = PrefixBits64(lo, l1);
   uint64_t last = PrefixBits64(hi, l1);
@@ -62,6 +86,32 @@ bool TwoPbfFilter::MayContain(uint64_t lo, uint64_t hi) const {
     if (v == last) break;
   }
   return false;
+}
+
+void TwoPbfFilter::SerializePayload(std::string* out) const {
+  PutFixed32(out, config_.l1);
+  PutFixed32(out, config_.l2);
+  PutDouble(out, config_.frac1);
+  PutFixed32(out, modeled_fpr_.has_value() ? 1 : 0);
+  PutDouble(out, modeled_fpr_.value_or(0.0));
+  bf1_.AppendTo(out);
+  bf2_.AppendTo(out);
+}
+
+std::unique_ptr<TwoPbfFilter> TwoPbfFilter::DeserializePayload(
+    std::string_view* in) {
+  auto filter = std::unique_ptr<TwoPbfFilter>(new TwoPbfFilter());
+  uint32_t has_fpr;
+  double fpr;
+  if (!GetFixed32(in, &filter->config_.l1) ||
+      !GetFixed32(in, &filter->config_.l2) ||
+      !GetDouble(in, &filter->config_.frac1) || !GetFixed32(in, &has_fpr) ||
+      !GetDouble(in, &fpr) || !PrefixBloom::ParseFrom(in, &filter->bf1_) ||
+      !PrefixBloom::ParseFrom(in, &filter->bf2_)) {
+    return nullptr;
+  }
+  if (has_fpr != 0) filter->modeled_fpr_ = fpr;
+  return filter;
 }
 
 }  // namespace proteus

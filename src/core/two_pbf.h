@@ -3,37 +3,41 @@
 // coarse (l1) filter per region; every coarse positive is "doubted" by
 // probing the fine (l2) filter over the region's l2-prefixes. The CPFPR
 // model (Eq. 4) selects (l1, l2) and the memory split.
+//
+// Spec parameters: bpk (default 12); l1, l2, frac1 force the
+// configuration and skip the model.
 
 #ifndef PROTEUS_CORE_TWO_PBF_H_
 #define PROTEUS_CORE_TWO_PBF_H_
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "bloom/prefix_bloom.h"
+#include "core/filter_spec.h"
 #include "core/query.h"
 #include "core/range_filter.h"
-#include "model/cpfpr.h"
 
 namespace proteus {
 
+class FilterBuilder;
+
 class TwoPbfFilter : public RangeFilter {
  public:
+  static constexpr uint32_t kFamilyId = 3;
+
   struct Config {
     uint32_t l1 = 0;  // 0 = no coarse filter (degenerates to 1PBF)
     uint32_t l2 = 64;
     double frac1 = 0.5;
   };
 
-  static std::unique_ptr<TwoPbfFilter> BuildSelfDesigned(
-      const std::vector<uint64_t>& sorted_keys,
-      const std::vector<RangeQuery>& sample_queries, double bits_per_key);
-
-  static std::unique_ptr<TwoPbfFilter> BuildFromModel(
-      const std::vector<uint64_t>& sorted_keys, const CpfprModel& model,
-      double bits_per_key);
+  static std::unique_ptr<TwoPbfFilter> BuildFromSpec(const FilterSpec& spec,
+                                                     FilterBuilder& builder,
+                                                     std::string* error);
 
   static std::unique_ptr<TwoPbfFilter> BuildWithConfig(
       const std::vector<uint64_t>& sorted_keys, Config config,
@@ -48,8 +52,13 @@ class TwoPbfFilter : public RangeFilter {
            std::to_string(config_.l2) + ")";
   }
 
+  uint32_t FamilyId() const override { return kFamilyId; }
+  void SerializePayload(std::string* out) const override;
+  static std::unique_ptr<TwoPbfFilter> DeserializePayload(
+      std::string_view* in);
+
   const Config& config() const { return config_; }
-  double modeled_fpr() const { return modeled_fpr_; }
+  std::optional<double> modeled_fpr() const { return modeled_fpr_; }
 
  private:
   TwoPbfFilter() = default;
@@ -57,7 +66,7 @@ class TwoPbfFilter : public RangeFilter {
   Config config_;
   PrefixBloom bf1_;  // coarse; unused when l1 == 0
   PrefixBloom bf2_;  // fine
-  double modeled_fpr_ = -1.0;
+  std::optional<double> modeled_fpr_;
 };
 
 }  // namespace proteus

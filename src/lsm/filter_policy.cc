@@ -1,16 +1,18 @@
 #include "lsm/filter_policy.h"
 
-#include <algorithm>
+#include <cstdio>
 
-#include "bloom/bloom_filter.h"
-#include "core/proteus.h"
-#include "core/proteus_str.h"
+#include "core/filter_builder.h"
+#include "core/filter_registry.h"
 #include "core/query.h"
-#include "rosetta/rosetta.h"
-#include "surf/surf.h"
+#include "surf/surf.h"  // EncodeKeyBE / DecodeKeyBE
 
 namespace proteus {
 namespace {
+
+void SetError(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+}
 
 // ---------------------------------------------------------------------------
 // Helpers: decode integer-mode inputs.
@@ -23,28 +25,36 @@ std::vector<uint64_t> DecodeKeys(const std::vector<std::string>& keys) {
   return out;
 }
 
-std::vector<RangeQuery> DecodeQueries(
-    const std::vector<std::pair<std::string, std::string>>& qs) {
-  std::vector<RangeQuery> out;
-  out.reserve(qs.size());
-  for (const auto& [lo, hi] : qs) {
-    out.push_back({DecodeKeyBE(lo), DecodeKeyBE(hi)});
-  }
-  return out;
-}
-
 // Clips sample queries to [smallest, largest] of the SST and drops those
 // falling entirely outside (per-SST filters only see their own range).
-std::vector<RangeQuery> ClipQueries(std::vector<RangeQuery> qs, uint64_t lo,
-                                    uint64_t hi) {
+std::vector<RangeQuery> DecodeAndClipQueries(
+    const std::vector<std::pair<std::string, std::string>>& qs, uint64_t lo,
+    uint64_t hi) {
   std::vector<RangeQuery> out;
   out.reserve(qs.size());
-  for (const auto& q : qs) {
+  for (const auto& [qlo, qhi] : qs) {
+    RangeQuery q{DecodeKeyBE(qlo), DecodeKeyBE(qhi)};
     if (q.hi < lo || q.lo > hi) continue;
     out.push_back(q);
   }
   return out;
 }
+
+std::vector<StrRangeQuery> ClipStrQueries(
+    const std::vector<std::pair<std::string, std::string>>& qs,
+    const std::string& lo, const std::string& hi) {
+  std::vector<StrRangeQuery> out;
+  out.reserve(qs.size());
+  for (const auto& [qlo, qhi] : qs) {
+    if (qhi < lo || qlo > hi) continue;
+    out.push_back({qlo, qhi});
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Adapters: RangeFilter / StrRangeFilter -> SstFilter.
+// ---------------------------------------------------------------------------
 
 class IntFilterAdapter : public SstFilter {
  public:
@@ -54,6 +64,10 @@ class IntFilterAdapter : public SstFilter {
     return filter_->MayContain(DecodeKeyBE(lo), DecodeKeyBE(hi));
   }
   uint64_t SizeBits() const override { return filter_->SizeBits(); }
+  bool Serialize(std::string* out) const override {
+    filter_->Serialize(out);
+    return true;
+  }
 
  private:
   std::unique_ptr<RangeFilter> filter_;
@@ -67,6 +81,10 @@ class StrFilterAdapter : public SstFilter {
     return filter_->MayContain(lo, hi);
   }
   uint64_t SizeBits() const override { return filter_->SizeBits(); }
+  bool Serialize(std::string* out) const override {
+    filter_->Serialize(out);
+    return true;
+  }
 
  private:
   std::unique_ptr<StrRangeFilter> filter_;
@@ -86,187 +104,132 @@ class NullPolicy : public FilterPolicy {
   std::string Name() const override { return "none"; }
 };
 
-class BloomSstFilter : public SstFilter {
+/// The one policy implementation: resolves the spec through the
+/// FilterRegistry at build time, so it works for every registered family
+/// (integer families see 8-byte big-endian decoded keys, string families
+/// see raw keys).
+class RegistryPolicy : public FilterPolicy {
  public:
-  BloomSstFilter(const std::vector<std::string>& keys, double bpk) {
-    uint64_t bits = static_cast<uint64_t>(bpk * keys.size());
-    bf_ = BloomFilter(bits, BloomFilter::OptimalHashes(bits, keys.size()));
-    for (const auto& k : keys) bf_.InsertBytes(k);
-  }
-  bool MayContain(std::string_view lo, std::string_view hi) const override {
-    if (lo != hi) return true;  // point filter: cannot rule out ranges
-    return bf_.MayContainBytes(lo);
-  }
-  uint64_t SizeBits() const override { return bf_.SizeBits(); }
+  RegistryPolicy(FilterSpec spec, bool str_mode)
+      : spec_(std::move(spec)), str_mode_(str_mode) {}
 
- private:
-  BloomFilter bf_;
-};
-
-class BloomPolicy : public FilterPolicy {
- public:
-  explicit BloomPolicy(double bpk) : bpk_(bpk) {}
-  std::unique_ptr<SstFilter> Build(
-      const std::vector<std::string>& keys,
-      const std::vector<std::pair<std::string, std::string>>&) const override {
-    if (keys.empty()) return nullptr;
-    return std::make_unique<BloomSstFilter>(keys, bpk_);
-  }
-  std::string Name() const override { return "bloom"; }
-
- private:
-  double bpk_;
-};
-
-class ProteusIntPolicy : public FilterPolicy {
- public:
-  explicit ProteusIntPolicy(double bpk) : bpk_(bpk) {}
   std::unique_ptr<SstFilter> Build(
       const std::vector<std::string>& keys,
       const std::vector<std::pair<std::string, std::string>>& samples)
       const override {
     if (keys.empty()) return nullptr;
-    auto int_keys = DecodeKeys(keys);
-    auto queries = ClipQueries(DecodeQueries(samples), int_keys.front(),
-                               int_keys.back());
-    if (queries.empty()) {
-      // No workload signal: default to a full-key prefix Bloom filter.
-      return std::make_unique<IntFilterAdapter>(ProteusFilter::BuildWithConfig(
-          int_keys, ProteusFilter::Config{0, 64}, bpk_));
+    if (str_mode_) {
+      StrFilterBuilder builder(keys);
+      builder.Sample(ClipStrQueries(samples, keys.front(), keys.back()));
+      auto filter = builder.Build(spec_);
+      if (filter == nullptr) return nullptr;
+      return std::make_unique<StrFilterAdapter>(std::move(filter));
     }
-    return std::make_unique<IntFilterAdapter>(
-        ProteusFilter::BuildSelfDesigned(int_keys, queries, bpk_));
+    std::vector<uint64_t> int_keys = DecodeKeys(keys);
+    FilterBuilder builder(int_keys);
+    builder.Sample(
+        DecodeAndClipQueries(samples, int_keys.front(), int_keys.back()));
+    auto filter = builder.Build(spec_);
+    if (filter == nullptr) return nullptr;
+    return std::make_unique<IntFilterAdapter>(std::move(filter));
   }
-  std::string Name() const override { return "proteus"; }
+
+  std::string Name() const override { return spec_.ToString(); }
 
  private:
-  double bpk_;
-};
-
-class ProteusStrPolicy : public FilterPolicy {
- public:
-  ProteusStrPolicy(double bpk, uint32_t max_key_bits, uint32_t stride)
-      : bpk_(bpk), max_key_bits_(max_key_bits), stride_(stride) {}
-  std::unique_ptr<SstFilter> Build(
-      const std::vector<std::string>& keys,
-      const std::vector<std::pair<std::string, std::string>>& samples)
-      const override {
-    if (keys.empty()) return nullptr;
-    std::vector<StrRangeQuery> queries;
-    for (const auto& [lo, hi] : samples) {
-      if (hi < keys.front() || lo > keys.back()) continue;
-      queries.push_back({lo, hi});
-    }
-    if (queries.empty()) {
-      return std::make_unique<StrFilterAdapter>(
-          ProteusStrFilter::BuildWithConfig(
-              keys,
-              ProteusStrFilter::Config{0, max_key_bits_, max_key_bits_},
-              bpk_));
-    }
-    StrCpfprOptions options;
-    options.bloom_grid = std::max<uint32_t>(1, 128 / stride_);
-    return std::make_unique<StrFilterAdapter>(
-        ProteusStrFilter::BuildSelfDesigned(keys, queries, bpk_,
-                                            max_key_bits_, options));
-  }
-  std::string Name() const override { return "proteus-str"; }
-
- private:
-  double bpk_;
-  uint32_t max_key_bits_;
-  uint32_t stride_;
-};
-
-class SurfIntPolicy : public FilterPolicy {
- public:
-  SurfIntPolicy(int mode, uint32_t bits) : mode_(mode), bits_(bits) {}
-  std::unique_ptr<SstFilter> Build(
-      const std::vector<std::string>& keys,
-      const std::vector<std::pair<std::string, std::string>>&) const override {
-    if (keys.empty()) return nullptr;
-    Surf::Options options;
-    options.suffix_mode = static_cast<SurfSuffixMode>(mode_);
-    options.suffix_bits = bits_;
-    return std::make_unique<IntFilterAdapter>(
-        SurfIntFilter::Build(DecodeKeys(keys), options));
-  }
-  std::string Name() const override {
-    return "surf" + std::to_string(mode_) + "-" + std::to_string(bits_);
-  }
-
- private:
-  int mode_;
-  uint32_t bits_;
-};
-
-class SurfStrPolicy : public FilterPolicy {
- public:
-  SurfStrPolicy(int mode, uint32_t bits) : mode_(mode), bits_(bits) {}
-  std::unique_ptr<SstFilter> Build(
-      const std::vector<std::string>& keys,
-      const std::vector<std::pair<std::string, std::string>>&) const override {
-    if (keys.empty()) return nullptr;
-    Surf::Options options;
-    options.suffix_mode = static_cast<SurfSuffixMode>(mode_);
-    options.suffix_bits = bits_;
-    return std::make_unique<StrFilterAdapter>(SurfStrFilter::Build(keys, options));
-  }
-  std::string Name() const override { return "surf-str"; }
-
- private:
-  int mode_;
-  uint32_t bits_;
-};
-
-class RosettaIntPolicy : public FilterPolicy {
- public:
-  explicit RosettaIntPolicy(double bpk) : bpk_(bpk) {}
-  std::unique_ptr<SstFilter> Build(
-      const std::vector<std::string>& keys,
-      const std::vector<std::pair<std::string, std::string>>& samples)
-      const override {
-    if (keys.empty()) return nullptr;
-    auto int_keys = DecodeKeys(keys);
-    auto queries = ClipQueries(DecodeQueries(samples), int_keys.front(),
-                               int_keys.back());
-    if (queries.empty()) queries.push_back({int_keys.front(), int_keys.front()});
-    return std::make_unique<IntFilterAdapter>(
-        RosettaFilter::BuildSelfConfigured(int_keys, queries, bpk_));
-  }
-  std::string Name() const override { return "rosetta"; }
-
- private:
-  double bpk_;
+  FilterSpec spec_;
+  bool str_mode_;
 };
 
 }  // namespace
 
+std::unique_ptr<FilterPolicy> MakeFilterPolicy(const std::string& spec,
+                                               std::string* error) {
+  FilterSpec parsed;
+  if (!FilterSpec::Parse(spec, &parsed, error)) return nullptr;
+  if (parsed.family() == "none") {
+    if (!parsed.params().empty()) {
+      SetError(error, "\"none\" filter policy takes no parameters");
+      return nullptr;
+    }
+    return std::make_unique<NullPolicy>();
+  }
+  const FilterFamily* family = FilterRegistry::Global().Find(parsed.family());
+  if (family == nullptr) {
+    SetError(error, "unknown filter family \"" + parsed.family() + "\"");
+    return nullptr;
+  }
+  bool str_mode = family->build_str != nullptr && family->build_int == nullptr;
+
+  // Dry-run against a tiny key set so malformed parameter values fail at
+  // policy creation instead of silently disabling filters at flush time.
+  if (str_mode) {
+    std::vector<std::string> dummy = {"a", "b"};
+    StrFilterBuilder builder(dummy);
+    if (builder.Build(parsed, error) == nullptr) return nullptr;
+  } else {
+    std::vector<uint64_t> dummy = {1, uint64_t{1} << 40};
+    FilterBuilder builder(dummy);
+    if (builder.Build(parsed, error) == nullptr) return nullptr;
+  }
+  return std::make_unique<RegistryPolicy>(std::move(parsed), str_mode);
+}
+
+std::unique_ptr<SstFilter> DeserializeSstFilter(std::string_view blob,
+                                                std::string* error) {
+  std::unique_ptr<Filter> filter = Filter::Deserialize(blob, error);
+  if (filter == nullptr) return nullptr;
+  if (filter->kind() == Filter::KeyKind::kInt) {
+    return std::make_unique<IntFilterAdapter>(std::unique_ptr<RangeFilter>(
+        static_cast<RangeFilter*>(filter.release())));
+  }
+  return std::make_unique<StrFilterAdapter>(std::unique_ptr<StrRangeFilter>(
+      static_cast<StrRangeFilter*>(filter.release())));
+}
+
 std::unique_ptr<FilterPolicy> MakeNullFilterPolicy() {
-  return std::make_unique<NullPolicy>();
+  return MakeFilterPolicy("none");
 }
 std::unique_ptr<FilterPolicy> MakeBloomFilterPolicy(double bits_per_key) {
-  return std::make_unique<BloomPolicy>(bits_per_key);
+  return MakeFilterPolicy("bloom-str:bpk=" + FormatSpecDouble(bits_per_key));
 }
 std::unique_ptr<FilterPolicy> MakeProteusIntPolicy(double bits_per_key) {
-  return std::make_unique<ProteusIntPolicy>(bits_per_key);
+  return MakeFilterPolicy("proteus:bpk=" + FormatSpecDouble(bits_per_key));
 }
 std::unique_ptr<FilterPolicy> MakeProteusStrPolicy(double bits_per_key,
                                                    uint32_t max_key_bits,
                                                    uint32_t prefix_stride) {
-  return std::make_unique<ProteusStrPolicy>(bits_per_key, max_key_bits,
-                                            prefix_stride);
+  return MakeFilterPolicy("proteus-str:bpk=" + FormatSpecDouble(bits_per_key) +
+                          ",max_key_bits=" + std::to_string(max_key_bits) +
+                          ",stride=" + std::to_string(prefix_stride));
 }
+
+namespace {
+const char* SurfModeName(int suffix_mode) {
+  switch (suffix_mode) {
+    case 1:
+      return "real";
+    case 2:
+      return "hash";
+    default:
+      return "base";
+  }
+}
+}  // namespace
+
 std::unique_ptr<FilterPolicy> MakeSurfIntPolicy(int suffix_mode,
                                                 uint32_t suffix_bits) {
-  return std::make_unique<SurfIntPolicy>(suffix_mode, suffix_bits);
+  return MakeFilterPolicy(std::string("surf:mode=") + SurfModeName(suffix_mode) +
+                          ",suffix=" + std::to_string(suffix_bits));
 }
 std::unique_ptr<FilterPolicy> MakeSurfStrPolicy(int suffix_mode,
                                                 uint32_t suffix_bits) {
-  return std::make_unique<SurfStrPolicy>(suffix_mode, suffix_bits);
+  return MakeFilterPolicy(std::string("surf-str:mode=") +
+                          SurfModeName(suffix_mode) +
+                          ",suffix=" + std::to_string(suffix_bits));
 }
 std::unique_ptr<FilterPolicy> MakeRosettaIntPolicy(double bits_per_key) {
-  return std::make_unique<RosettaIntPolicy>(bits_per_key);
+  return MakeFilterPolicy("rosetta:bpk=" + FormatSpecDouble(bits_per_key));
 }
 
 }  // namespace proteus

@@ -1,10 +1,20 @@
 // Pluggable per-SST filter construction — miniLSM's analogue of RocksDB's
 // FilterPolicy, extended to range filters fed by the sample query queue.
 //
-// Policies exist for every filter the paper evaluates: none, full-key
-// Bloom, Proteus (self-designing), SuRF (Base/Real/Hash), and Rosetta.
-// Integer mode treats LSM keys as 8-byte big-endian encodings of uint64
-// (order-preserving); string mode passes raw keys through.
+// Policies are selected by registry spec strings (RocksDB option-string
+// style), so every family in the FilterRegistry — and any family
+// registered later — is available to the LSM with zero extra plumbing:
+//
+//   MakeFilterPolicy("none")
+//   MakeFilterPolicy("bloom-str:bpk=12")
+//   MakeFilterPolicy("proteus:bpk=14")
+//   MakeFilterPolicy("surf:mode=real,suffix=4")
+//   MakeFilterPolicy("proteus-str:bpk=14,max_key_bits=512,stride=4")
+//
+// Integer families decode LSM keys as 8-byte big-endian uint64
+// (order-preserving); string families see raw keys. Built filters
+// serialize through Filter::Serialize, so SST filter blocks can be
+// persisted and reloaded with DeserializeSstFilter instead of rebuilt.
 
 #ifndef PROTEUS_LSM_FILTER_POLICY_H_
 #define PROTEUS_LSM_FILTER_POLICY_H_
@@ -23,6 +33,10 @@ class SstFilter {
   virtual ~SstFilter() = default;
   virtual bool MayContain(std::string_view lo, std::string_view hi) const = 0;
   virtual uint64_t SizeBits() const = 0;
+
+  /// Appends the filter's persistent form (Filter::Serialize wire
+  /// format). Returns false if this filter cannot be serialized.
+  virtual bool Serialize(std::string* /*out*/) const { return false; }
 };
 
 class FilterPolicy {
@@ -39,6 +53,21 @@ class FilterPolicy {
   virtual std::string Name() const = 0;
 };
 
+/// Builds a policy from a registry spec string ("none" disables
+/// filtering). Returns null and fills `error` on an unknown family or a
+/// malformed spec.
+std::unique_ptr<FilterPolicy> MakeFilterPolicy(const std::string& spec,
+                                               std::string* error = nullptr);
+
+/// Reconstructs a persisted SST filter block (SstFilter::Serialize
+/// output) without rebuilding from keys.
+std::unique_ptr<SstFilter> DeserializeSstFilter(std::string_view blob,
+                                                std::string* error = nullptr);
+
+// Convenience wrappers over MakeFilterPolicy for the filters the paper
+// evaluates (kept for the benches; new call sites should pass spec
+// strings directly).
+
 /// No filtering: every Seek touches the SSTs (the paper's no-filter floor).
 std::unique_ptr<FilterPolicy> MakeNullFilterPolicy();
 
@@ -49,7 +78,7 @@ std::unique_ptr<FilterPolicy> MakeBloomFilterPolicy(double bits_per_key);
 std::unique_ptr<FilterPolicy> MakeProteusIntPolicy(double bits_per_key);
 
 /// Proteus over raw string keys, padded to `max_key_bits` (Section 7).
-/// `prefix_stride` > 1 enables the coarse Bloom-prefix search grid.
+/// `prefix_stride` > 1 coarsens the Bloom-prefix search grid.
 std::unique_ptr<FilterPolicy> MakeProteusStrPolicy(double bits_per_key,
                                                    uint32_t max_key_bits,
                                                    uint32_t prefix_stride = 1);

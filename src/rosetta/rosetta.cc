@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/filter_builder.h"
 #include "model/cpfpr.h"
 #include "util/bits.h"
+#include "util/serial.h"
 
 namespace proteus {
 namespace {
@@ -37,6 +39,25 @@ std::vector<double> EmptyNodeFp(uint32_t min_level,
 }
 
 }  // namespace
+
+std::unique_ptr<RosettaFilter> RosettaFilter::BuildFromSpec(
+    const FilterSpec& spec, FilterBuilder& builder, std::string* error) {
+  if (!spec.ExpectKeys({"bpk"}, error)) return nullptr;
+  double bpk;
+  if (!spec.GetDouble("bpk", 12.0, &bpk, error)) return nullptr;
+  if (bpk <= 0.0) {
+    if (error != nullptr) *error = "rosetta bpk must be positive";
+    return nullptr;
+  }
+  if (builder.samples().empty()) {
+    // No workload signal: configure for point queries on the key set.
+    std::vector<RangeQuery> point = {
+        {builder.keys().empty() ? 0 : builder.keys().front(),
+         builder.keys().empty() ? 0 : builder.keys().front()}};
+    return BuildSelfConfigured(builder.keys(), point, bpk);
+  }
+  return BuildSelfConfigured(builder.keys(), builder.samples(), bpk);
+}
 
 std::unique_ptr<RosettaFilter> RosettaFilter::BuildSelfConfigured(
     const std::vector<uint64_t>& sorted_keys,
@@ -184,6 +205,29 @@ uint64_t RosettaFilter::SizeBits() const {
   uint64_t total = 0;
   for (const PrefixBloom& pb : filters_) total += pb.SizeBits();
   return total;
+}
+
+void RosettaFilter::SerializePayload(std::string* out) const {
+  PutFixed32(out, min_level_);
+  PutFixed32(out, static_cast<uint32_t>(filters_.size()));
+  for (const PrefixBloom& pb : filters_) pb.AppendTo(out);
+}
+
+std::unique_ptr<RosettaFilter> RosettaFilter::DeserializePayload(
+    std::string_view* in) {
+  auto filter = std::unique_ptr<RosettaFilter>(new RosettaFilter());
+  uint32_t n_filters;
+  if (!GetFixed32(in, &filter->min_level_) || !GetFixed32(in, &n_filters)) {
+    return nullptr;
+  }
+  if (filter->min_level_ > 64 || n_filters != 65 - filter->min_level_) {
+    return nullptr;
+  }
+  filter->filters_.resize(n_filters);
+  for (PrefixBloom& pb : filter->filters_) {
+    if (!PrefixBloom::ParseFrom(in, &pb)) return nullptr;
+  }
+  return filter;
 }
 
 }  // namespace proteus

@@ -25,17 +25,27 @@
 #include <vector>
 
 #include "bloom/prefix_bloom.h"
+#include "core/filter_spec.h"
 #include "core/query.h"
 #include "core/range_filter.h"
 
 namespace proteus {
 
+class FilterBuilder;
+
 class RosettaFilter : public RangeFilter {
  public:
+  static constexpr uint32_t kFamilyId = 4;
+
   struct Config {
     uint32_t min_level = 64;                // top used level
     std::vector<double> level_weights;      // index 0 = min_level ... 64
   };
+
+  /// Registry/FilterBuilder hook. Spec parameters: bpk (default 12).
+  static std::unique_ptr<RosettaFilter> BuildFromSpec(const FilterSpec& spec,
+                                                      FilterBuilder& builder,
+                                                      std::string* error);
 
   /// Self-configuring build from sample queries (the paper's setup).
   static std::unique_ptr<RosettaFilter> BuildSelfConfigured(
@@ -52,6 +62,11 @@ class RosettaFilter : public RangeFilter {
   std::string Name() const override {
     return "Rosetta(L" + std::to_string(min_level_) + ")";
   }
+
+  uint32_t FamilyId() const override { return kFamilyId; }
+  void SerializePayload(std::string* out) const override;
+  static std::unique_ptr<RosettaFilter> DeserializePayload(
+      std::string_view* in);
 
   uint32_t min_level() const { return min_level_; }
 

@@ -4,8 +4,10 @@
 #include <array>
 #include <cstring>
 
+#include "core/filter_builder.h"
 #include "hash/clhash.h"
 #include "util/bitstring.h"
+#include "util/serial.h"
 
 namespace proteus {
 namespace {
@@ -575,6 +577,144 @@ bool SurfStrFilter::MayContain(std::string_view lo,
 
 std::string SurfStrFilter::Name() const {
   return SurfName(surf_.options()) + "-str";
+}
+
+// ---------------------------------------------------------------------------
+// Spec parsing and serialization
+// ---------------------------------------------------------------------------
+
+bool ParseSurfSpec(const FilterSpec& spec, Surf::Options* out,
+                   std::string* error) {
+  if (!spec.ExpectKeys({"mode", "suffix", "dense"}, error)) return false;
+  std::string mode = spec.GetString("mode", "base");
+  if (mode == "base" || mode == "none" || mode == "0") {
+    out->suffix_mode = SurfSuffixMode::kNone;
+  } else if (mode == "real" || mode == "1") {
+    out->suffix_mode = SurfSuffixMode::kReal;
+  } else if (mode == "hash" || mode == "2") {
+    out->suffix_mode = SurfSuffixMode::kHash;
+  } else {
+    if (error != nullptr) {
+      *error = "surf mode must be base|real|hash, got \"" + mode + "\"";
+    }
+    return false;
+  }
+  uint32_t default_suffix =
+      out->suffix_mode == SurfSuffixMode::kNone ? 0 : 8;
+  if (!spec.GetUint32("suffix", default_suffix, &out->suffix_bits, error) ||
+      !spec.GetUint32("dense", 16, &out->dense_ratio, error)) {
+    return false;
+  }
+  if (out->suffix_bits > 64) {
+    if (error != nullptr) *error = "surf suffix bits must be <= 64";
+    return false;
+  }
+  return true;
+}
+
+std::unique_ptr<SurfIntFilter> SurfIntFilter::BuildFromSpec(
+    const FilterSpec& spec, FilterBuilder& builder, std::string* error) {
+  Surf::Options options;
+  if (!ParseSurfSpec(spec, &options, error)) return nullptr;
+  return Build(builder.keys(), options);
+}
+
+std::unique_ptr<SurfIntFilter> SurfIntFilter::DeserializePayload(
+    std::string_view* in) {
+  auto filter = std::make_unique<SurfIntFilter>();
+  if (!Surf::ParseFrom(in, &filter->surf_)) return nullptr;
+  return filter;
+}
+
+std::unique_ptr<SurfStrFilter> SurfStrFilter::BuildFromSpec(
+    const FilterSpec& spec, StrFilterBuilder& builder, std::string* error) {
+  Surf::Options options;
+  if (!ParseSurfSpec(spec, &options, error)) return nullptr;
+  return Build(builder.keys(), options);
+}
+
+std::unique_ptr<SurfStrFilter> SurfStrFilter::DeserializePayload(
+    std::string_view* in) {
+  auto filter = std::make_unique<SurfStrFilter>();
+  if (!Surf::ParseFrom(in, &filter->surf_)) return nullptr;
+  return filter;
+}
+
+void Surf::AppendTo(std::string* out) const {
+  PutFixed32(out, static_cast<uint32_t>(options_.suffix_mode));
+  PutFixed32(out, options_.suffix_bits);
+  PutFixed32(out, options_.dense_ratio);
+  PutFixed64(out, n_keys_);
+  PutFixed64(out, n_dense_nodes_);
+  PutFixed64(out, n_dense_children_);
+  PutFixed64(out, n_sparse_edges_);
+  PutFixed64(out, n_dense_terms_);
+  d_labels_.AppendTo(out);
+  d_has_child_.AppendTo(out);
+  d_prefix_key_.AppendTo(out);
+  d_suffixes_.AppendTo(out);
+  PutLengthPrefixed(out, std::string_view(
+                             reinterpret_cast<const char*>(s_labels_.data()),
+                             s_labels_.size()));
+  s_has_child_.AppendTo(out);
+  s_louds_.AppendTo(out);
+  s_prefix_key_.AppendTo(out);
+  s_suffixes_.AppendTo(out);
+  t_suffixes_.AppendTo(out);
+}
+
+bool Surf::ParseFrom(std::string_view* in, Surf* out) {
+  *out = Surf();
+  uint32_t suffix_mode;
+  if (!GetFixed32(in, &suffix_mode) ||
+      !GetFixed32(in, &out->options_.suffix_bits) ||
+      !GetFixed32(in, &out->options_.dense_ratio)) {
+    return false;
+  }
+  if (suffix_mode > static_cast<uint32_t>(SurfSuffixMode::kHash)) return false;
+  out->options_.suffix_mode = static_cast<SurfSuffixMode>(suffix_mode);
+  if (!GetFixed64(in, &out->n_keys_) || !GetFixed64(in, &out->n_dense_nodes_) ||
+      !GetFixed64(in, &out->n_dense_children_) ||
+      !GetFixed64(in, &out->n_sparse_edges_) ||
+      !GetFixed64(in, &out->n_dense_terms_)) {
+    return false;
+  }
+  std::string labels;
+  if (!BitVector::ParseFrom(in, &out->d_labels_) ||
+      !BitVector::ParseFrom(in, &out->d_has_child_) ||
+      !BitVector::ParseFrom(in, &out->d_prefix_key_) ||
+      !BitVector::ParseFrom(in, &out->d_suffixes_) ||
+      !GetLengthPrefixed(in, &labels) ||
+      !BitVector::ParseFrom(in, &out->s_has_child_) ||
+      !BitVector::ParseFrom(in, &out->s_louds_) ||
+      !BitVector::ParseFrom(in, &out->s_prefix_key_) ||
+      !BitVector::ParseFrom(in, &out->s_suffixes_) ||
+      !BitVector::ParseFrom(in, &out->t_suffixes_)) {
+    return false;
+  }
+  // Cross-validate the counts against the parsed structures so a blob
+  // whose individually well-formed pieces disagree is rejected instead of
+  // reading out of bounds at query time.
+  if (out->n_sparse_edges_ != labels.size() ||
+      out->s_has_child_.size() != out->n_sparse_edges_ ||
+      out->s_louds_.size() != out->n_sparse_edges_ ||
+      out->n_dense_nodes_ != out->d_prefix_key_.size() ||
+      out->d_labels_.size() != out->d_prefix_key_.size() * 256 ||
+      out->d_has_child_.size() != out->d_prefix_key_.size() * 256) {
+    return false;
+  }
+  out->s_labels_.assign(labels.begin(), labels.end());
+  out->d_labels_rank_.Build(&out->d_labels_);
+  out->d_has_child_rank_.Build(&out->d_has_child_);
+  out->d_prefix_key_rank_.Build(&out->d_prefix_key_);
+  out->s_has_child_rank_.Build(&out->s_has_child_);
+  out->s_louds_rank_.Build(&out->s_louds_);
+  out->s_prefix_key_rank_.Build(&out->s_prefix_key_);
+  if (out->n_dense_children_ != out->d_has_child_rank_.ones() ||
+      out->n_dense_terms_ != out->d_prefix_key_rank_.ones()) {
+    return false;
+  }
+  return true;
 }
 
 }  // namespace proteus

@@ -30,11 +30,15 @@
 #include <string_view>
 #include <vector>
 
+#include "core/filter_spec.h"
 #include "core/range_filter.h"
 #include "util/bit_vector.h"
 #include "util/rank_select.h"
 
 namespace proteus {
+
+class FilterBuilder;
+class StrFilterBuilder;
 
 enum class SurfSuffixMode {
   kNone,  // SuRF-Base
@@ -69,6 +73,10 @@ class Surf {
   const Options& options() const { return options_; }
   uint64_t n_keys() const { return n_keys_; }
   uint64_t n_dense_nodes() const { return n_dense_nodes_; }
+
+  /// Serialization of the whole FST; rank indexes are rebuilt on parse.
+  void AppendTo(std::string* out) const;
+  static bool ParseFrom(std::string_view* in, Surf* out);
 
  private:
   struct Leaf {
@@ -147,15 +155,34 @@ class Surf {
   friend class SurfBuilder;
 };
 
+/// Parses spec parameters shared by both SuRF adapters:
+///   mode   — base | real | hash (or 0 | 1 | 2); default base
+///   suffix — suffix bits per key (default 8 when mode != base, else 0)
+///   dense  — LOUDS-Dense/Sparse cost ratio (default 16)
+bool ParseSurfSpec(const FilterSpec& spec, Surf::Options* out,
+                   std::string* error);
+
 /// RangeFilter adapter over 64-bit integer keys (8-byte big-endian).
 class SurfIntFilter : public RangeFilter {
  public:
+  static constexpr uint32_t kFamilyId = 5;
+
   static std::unique_ptr<SurfIntFilter> Build(
       const std::vector<uint64_t>& sorted_keys, Surf::Options options);
+  static std::unique_ptr<SurfIntFilter> BuildFromSpec(const FilterSpec& spec,
+                                                      FilterBuilder& builder,
+                                                      std::string* error);
 
   bool MayContain(uint64_t lo, uint64_t hi) const override;
   uint64_t SizeBits() const override { return surf_.SizeBits(); }
   std::string Name() const override;
+
+  uint32_t FamilyId() const override { return kFamilyId; }
+  void SerializePayload(std::string* out) const override {
+    surf_.AppendTo(out);
+  }
+  static std::unique_ptr<SurfIntFilter> DeserializePayload(
+      std::string_view* in);
 
   const Surf& surf() const { return surf_; }
 
@@ -166,12 +193,23 @@ class SurfIntFilter : public RangeFilter {
 /// StrRangeFilter adapter over byte-string keys.
 class SurfStrFilter : public StrRangeFilter {
  public:
+  static constexpr uint32_t kFamilyId = 6;
+
   static std::unique_ptr<SurfStrFilter> Build(
       const std::vector<std::string>& sorted_keys, Surf::Options options);
+  static std::unique_ptr<SurfStrFilter> BuildFromSpec(
+      const FilterSpec& spec, StrFilterBuilder& builder, std::string* error);
 
   bool MayContain(std::string_view lo, std::string_view hi) const override;
   uint64_t SizeBits() const override { return surf_.SizeBits(); }
   std::string Name() const override;
+
+  uint32_t FamilyId() const override { return kFamilyId; }
+  void SerializePayload(std::string* out) const override {
+    surf_.AppendTo(out);
+  }
+  static std::unique_ptr<SurfStrFilter> DeserializePayload(
+      std::string_view* in);
 
   const Surf& surf() const { return surf_; }
 

@@ -31,6 +31,7 @@
 #include "util/bits.h"
 #include "util/bitstring.h"
 #include "util/rank_select.h"
+#include "util/serial.h"
 
 namespace proteus {
 
@@ -231,6 +232,40 @@ class BitTrieT {
       total += level.suffixes.SizeBits();
     }
     return total;
+  }
+
+  /// Serialization: depth + value count + per-level bitmaps; rank indexes
+  /// are rebuilt on parse.
+  void AppendTo(std::string* out) const {
+    PutFixed32(out, depth_);
+    PutFixed64(out, n_values_);
+    for (const Level& level : levels_) {
+      level.child_bits.AppendTo(out);
+      level.ext.AppendTo(out);
+      level.suffixes.AppendTo(out);
+    }
+  }
+
+  static bool ParseFrom(std::string_view* in, BitTrieT* out) {
+    uint32_t depth;
+    uint64_t n_values;
+    if (!GetFixed32(in, &depth) || !GetFixed64(in, &n_values)) return false;
+    // Every level costs at least three 8-byte BitVector headers, so a
+    // depth beyond this bound cannot be backed by the remaining input —
+    // reject it before allocating (a corrupt depth must not abort).
+    if (depth > in->size() / 24) return false;
+    out->depth_ = depth;
+    out->n_values_ = n_values;
+    out->levels_.assign(depth, Level{});
+    for (Level& level : out->levels_) {
+      if (!BitVector::ParseFrom(in, &level.child_bits) ||
+          !BitVector::ParseFrom(in, &level.ext) ||
+          !BitVector::ParseFrom(in, &level.suffixes)) {
+        return false;
+      }
+    }
+    out->Finish();
+    return true;
   }
 
   /// Number of structural nodes at each level (diagnostics / model tests).

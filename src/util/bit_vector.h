@@ -10,6 +10,9 @@
 #define PROTEUS_UTIL_BIT_VECTOR_H_
 
 #include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
 #include <vector>
 
 namespace proteus {
@@ -88,6 +91,32 @@ class BitVector {
 
   bool operator==(const BitVector& o) const {
     return n_bits_ == o.n_bits_ && words_ == o.words_;
+  }
+
+  /// Serialization: u64 bit count followed by the raw words.
+  void AppendTo(std::string* out) const {
+    char buf[8];
+    std::memcpy(buf, &n_bits_, 8);
+    out->append(buf, 8);
+    out->append(reinterpret_cast<const char*>(words_.data()),
+                words_.size() * sizeof(uint64_t));
+  }
+
+  static bool ParseFrom(std::string_view* in, BitVector* out) {
+    if (in->size() < 8) return false;
+    uint64_t n_bits;
+    std::memcpy(&n_bits, in->data(), 8);
+    // Guard against corrupt bit counts before sizing anything: the words
+    // must fit in the remaining input (this also prevents the
+    // (n_bits + 63) overflow wrapping n_words to 0).
+    if (n_bits > (in->size() - 8) * 8) return false;
+    uint64_t n_words = (n_bits + 63) / 64;
+    if (in->size() < 8 + n_words * 8) return false;
+    out->n_bits_ = n_bits;
+    out->words_.resize(n_words);
+    std::memcpy(out->words_.data(), in->data() + 8, n_words * 8);
+    in->remove_prefix(8 + n_words * 8);
+    return true;
   }
 
  private:

@@ -1,0 +1,73 @@
+// Little-endian fixed-width encode/decode helpers shared by every
+// serializable structure in the library (Filter payloads, BitVector,
+// PrefixBloom, SuRF). Readers take a string_view cursor and consume what
+// they parse, returning false on truncation so corrupt blobs fail cleanly
+// instead of crashing.
+
+#ifndef PROTEUS_UTIL_SERIAL_H_
+#define PROTEUS_UTIL_SERIAL_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+namespace proteus {
+
+inline void PutFixed32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+inline void PutFixed64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+inline void PutDouble(std::string* out, double v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+inline bool GetFixed32(std::string_view* in, uint32_t* v) {
+  if (in->size() < 4) return false;
+  std::memcpy(v, in->data(), 4);
+  in->remove_prefix(4);
+  return true;
+}
+
+inline bool GetFixed64(std::string_view* in, uint64_t* v) {
+  if (in->size() < 8) return false;
+  std::memcpy(v, in->data(), 8);
+  in->remove_prefix(8);
+  return true;
+}
+
+inline bool GetDouble(std::string_view* in, double* v) {
+  if (in->size() < 8) return false;
+  std::memcpy(v, in->data(), 8);
+  in->remove_prefix(8);
+  return true;
+}
+
+/// Length-prefixed byte string (u64 length + raw bytes).
+inline void PutLengthPrefixed(std::string* out, std::string_view s) {
+  PutFixed64(out, s.size());
+  out->append(s.data(), s.size());
+}
+
+inline bool GetLengthPrefixed(std::string_view* in, std::string* out) {
+  uint64_t n;
+  if (!GetFixed64(in, &n)) return false;
+  if (in->size() < n) return false;
+  out->assign(in->data(), n);
+  in->remove_prefix(n);
+  return true;
+}
+
+}  // namespace proteus
+
+#endif  // PROTEUS_UTIL_SERIAL_H_

@@ -7,6 +7,7 @@
 #include <memory>
 #include <vector>
 
+#include "core/filter_builder.h"
 #include "core/one_pbf.h"
 #include "core/proteus.h"
 #include "core/two_pbf.h"
@@ -177,7 +178,15 @@ TEST(CpfprModel, SelectionBeatsFixedDesignsOnSamples) {
           << "config " << l1 << "/" << l2 << " beats the selected design";
     }
   }
-  auto filter = ProteusFilter::BuildFromModel(w.keys, model, kBpk);
+  // The FilterBuilder gathers an identical model from the same keys and
+  // samples; the materialized filter must realize the selected design.
+  FilterBuilder builder(w.keys);
+  builder.Sample(w.samples);
+  auto filter = ProteusFilter::BuildFromSpec(FilterSpec("proteus"), builder,
+                                             nullptr);
+  ASSERT_NE(filter, nullptr);
+  EXPECT_EQ(filter->config().trie_depth, design.trie_depth);
+  EXPECT_EQ(filter->config().bf_prefix_len, design.bf_prefix_len);
   double observed = ObservedFpr(*filter, w.eval);
   ExpectClose(design.expected_fpr, observed, "selected design");
 }

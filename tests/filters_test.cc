@@ -9,9 +9,11 @@
 #include <tuple>
 #include <vector>
 
+#include "core/filter_builder.h"
 #include "core/one_pbf.h"
 #include "core/proteus.h"
 #include "core/two_pbf.h"
+#include "model/cpfpr.h"
 #include "util/random.h"
 #include "workload/datasets.h"
 #include "workload/queries.h"
@@ -65,9 +67,12 @@ TEST_P(NoFalseNegativesTest, SelfDesignedFilters) {
   auto samples = GenerateQueries(keys, spec, 800, 24);
   auto probes = ContainingRanges(keys, 25, 1000);
 
-  auto proteus = ProteusFilter::BuildSelfDesigned(keys, samples, bpk);
-  auto one = OnePbfFilter::BuildSelfDesigned(keys, samples, bpk);
-  auto two = TwoPbfFilter::BuildSelfDesigned(keys, samples, bpk);
+  FilterBuilder builder(keys);
+  builder.Sample(samples);
+  const std::string bpk_param = ":bpk=" + std::to_string(bpk);
+  auto proteus = builder.Build("proteus" + bpk_param);
+  auto one = builder.Build("onepbf" + bpk_param);
+  auto two = builder.Build("twopbf" + bpk_param);
   for (const auto& q : probes) {
     ASSERT_TRUE(proteus->MayContain(q.lo, q.hi)) << proteus->Name();
     ASSERT_TRUE(one->MayContain(q.lo, q.hi)) << one->Name();
@@ -110,7 +115,8 @@ TEST(ProteusFilter, SizeRespectsBudget) {
   for (double bpk : {8.0, 10.0, 14.0, 18.0}) {
     QuerySpec spec;
     auto samples = GenerateQueries(keys, spec, 1000, 34);
-    auto filter = ProteusFilter::BuildSelfDesigned(keys, samples, bpk);
+    auto filter = FilterBuilder(keys).Sample(samples).Build(
+        "proteus:bpk=" + std::to_string(bpk));
     // Small slack: word-granularity rounding and rank overhead.
     EXPECT_LT(filter->Bpk(keys.size()), bpk * 1.20 + 1.0)
         << filter->Name() << " bpk=" << bpk;
@@ -156,7 +162,10 @@ TEST(ProteusFilter, SelfDesignAdaptsToWorkloadShape) {
   uni.dist = QueryDist::kUniform;
   uni.range_max = uint64_t{1} << 19;
   auto s_uni = GenerateQueries(keys, uni, 2000, 38);
-  auto f_uni = ProteusFilter::BuildSelfDesigned(keys, s_uni, 12.0);
+  FilterBuilder b_uni(keys);
+  b_uni.Sample(s_uni);
+  auto f_uni = ProteusFilter::BuildFromSpec(FilterSpec("proteus"), b_uni,
+                                            nullptr);
 
   // Tiny correlated ranges: expect a fine design (long Bloom prefix).
   QuerySpec corr;
@@ -164,7 +173,10 @@ TEST(ProteusFilter, SelfDesignAdaptsToWorkloadShape) {
   corr.range_max = uint64_t{1} << 3;
   corr.corr_degree = uint64_t{1} << 8;
   auto s_corr = GenerateQueries(keys, corr, 2000, 39);
-  auto f_corr = ProteusFilter::BuildSelfDesigned(keys, s_corr, 12.0);
+  FilterBuilder b_corr(keys);
+  b_corr.Sample(s_corr);
+  auto f_corr = ProteusFilter::BuildFromSpec(FilterSpec("proteus"), b_corr,
+                                             nullptr);
 
   uint32_t uni_granularity = std::max(f_uni->config().trie_depth,
                                       f_uni->config().bf_prefix_len);
