@@ -8,6 +8,9 @@
 //                          harnesses that accept it add the filter as an
 //                          extra series, so new families need no bench
 //                          plumbing)
+//   --json=PATH           (harnesses that support it also dump their
+//                          series as a JSON array — machine-readable for
+//                          the CI bench-smoke artifact)
 //
 // Output is whitespace-aligned tables on stdout, one series per paper
 // line/panel, so EXPERIMENTS.md can quote them directly.
@@ -24,9 +27,11 @@
 #include <vector>
 
 #include "core/filter_builder.h"
+#include "core/filter_registry.h"
 #include "lsm/filter_policy.h"
 #include "core/range_filter.h"
 #include "core/query.h"
+#include "surf/surf.h"  // EncodeKeyBE
 #include "util/timer.h"
 
 namespace proteus {
@@ -39,6 +44,7 @@ struct Args {
   uint64_t samples = 0;
   uint64_t seed = 42;
   std::string filter;    // optional extra series: registry spec string
+  std::string json_path; // optional machine-readable dump (--json=PATH)
 
   uint64_t KeysOr(uint64_t small, uint64_t paper) const {
     if (keys != 0) return keys;
@@ -70,15 +76,123 @@ inline Args ParseArgs(int argc, char** argv) {
       args.seed = std::strtoull(a + 7, nullptr, 10);
     } else if (std::strncmp(a, "--filter=", 9) == 0) {
       args.filter = a + 9;
+    } else if (std::strncmp(a, "--json=", 7) == 0) {
+      args.json_path = a + 7;
     } else if (std::strcmp(a, "--help") == 0) {
       std::printf(
           "flags: --scale=small|paper --keys=N --queries=N --samples=N "
-          "--seed=N --filter=SPEC\n");
+          "--seed=N --filter=SPEC --json=PATH\n");
       std::exit(0);
     }
   }
   return args;
 }
+
+/// True when `spec` names a string-key family (surf-str, proteus-str,
+/// bloom-str): the harness then feeds keys/queries through their
+/// order-preserving 8-byte big-endian encoding.
+inline bool SpecIsStringFamily(const std::string& spec) {
+  FilterSpec parsed;
+  if (!FilterSpec::Parse(spec, &parsed)) return false;
+  const FilterFamily* family = FilterRegistry::Global().Find(parsed.family());
+  return family != nullptr && family->build_str != nullptr &&
+         family->build_int == nullptr;
+}
+
+inline std::vector<std::string> EncodeKeysBE(
+    const std::vector<uint64_t>& keys) {
+  std::vector<std::string> out;
+  out.reserve(keys.size());
+  for (uint64_t k : keys) out.push_back(EncodeKeyBE(k));
+  return out;
+}
+
+inline std::vector<StrRangeQuery> EncodeQueriesBE(
+    const std::vector<RangeQuery>& queries) {
+  std::vector<StrRangeQuery> out;
+  out.reserve(queries.size());
+  for (const auto& q : queries) {
+    out.push_back({EncodeKeyBE(q.lo), EncodeKeyBE(q.hi)});
+  }
+  return out;
+}
+
+/// Flat JSON records collected into a single array file — enough
+/// structure for the CI bench-smoke artifact without a JSON dependency.
+class JsonSink {
+ public:
+  class Record {
+   public:
+    Record& Str(const char* key, std::string_view v) {
+      Key(key);
+      body_.push_back('"');
+      Escape(v);
+      body_.push_back('"');
+      return *this;
+    }
+    Record& Num(const char* key, double v) {
+      Key(key);
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", v);
+      body_ += buf;
+      return *this;
+    }
+
+   private:
+    friend class JsonSink;
+    void Key(const char* key) {
+      body_ += body_.empty() ? "{\"" : ",\"";
+      body_ += key;
+      body_ += "\":";
+    }
+    void Escape(std::string_view v) {
+      for (char c : v) {
+        if (c == '"' || c == '\\') {
+          body_.push_back('\\');
+          body_.push_back(c);
+        } else if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          body_ += buf;
+        } else {
+          body_.push_back(c);
+        }
+      }
+    }
+    std::string body_;
+  };
+
+  Record& Add() {
+    records_.emplace_back();
+    return records_.back();
+  }
+
+  /// Writes "[{...},\n {...}]\n"; exits with a message on I/O failure so
+  /// CI never uploads a half-written artifact.
+  void WriteArrayOrDie(const std::string& path) const {
+    FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      std::exit(1);
+    }
+    std::fputc('[', f);
+    for (size_t i = 0; i < records_.size(); ++i) {
+      if (i > 0) std::fputs(",\n ", f);
+      std::fputs(records_[i].body_.empty() ? "{" : records_[i].body_.c_str(),
+                 f);
+      std::fputc('}', f);
+    }
+    bool ok = std::fputs("]\n", f) >= 0 && std::fflush(f) == 0;
+    std::fclose(f);
+    if (!ok) {
+      std::fprintf(stderr, "error writing %s\n", path.c_str());
+      std::exit(1);
+    }
+  }
+
+ private:
+  std::vector<Record> records_;
+};
 
 /// Creates a policy from a spec string, exiting with a message on a bad
 /// spec ("none" yields the no-filter policy).

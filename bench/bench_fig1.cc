@@ -51,11 +51,14 @@ void Run(const Args& args) {
   uint64_t budget = static_cast<uint64_t>(bpk * static_cast<double>(n_keys));
 
   enum { kProteus, kSurf, kRosetta, kNumFilters };
-  const char* names[] = {"Proteus", "SuRF (best config <= budget)",
-                         "Rosetta"};
+  std::vector<std::string> names = {"Proteus", "SuRF (best config <= budget)",
+                                    "Rosetta"};
+  // Any registered family rides along as an extra heatmap with zero bench
+  // plumbing.
+  if (!args.filter.empty()) names.push_back("--filter=" + args.filter);
   std::vector<std::vector<std::vector<double>>> grid(
-      kNumFilters, std::vector<std::vector<double>>(
-                       corr_exps.size(), std::vector<double>(exps.size(), 1.0)));
+      names.size(), std::vector<std::vector<double>>(
+                        corr_exps.size(), std::vector<double>(exps.size(), 1.0)));
 
   for (size_t row = 0; row < corr_exps.size(); ++row) {  // correlation degree
     for (size_t col = 0; col < exps.size(); ++col) {     // range size
@@ -79,11 +82,16 @@ void Run(const Args& args) {
 
       auto rosetta = RosettaFilter::BuildSelfConfigured(keys, samples, bpk);
       grid[kRosetta][row][col] = bench::MeasureFpr(*rosetta, eval);
+
+      if (!args.filter.empty()) {
+        auto extra = bench::BuildFilter(args.filter, keys, samples);
+        grid[kNumFilters][row][col] = bench::MeasureFpr(*extra, eval);
+      }
     }
   }
 
-  for (int f = 0; f < kNumFilters; ++f) {
-    bench::PrintHeader(names[f]);
+  for (size_t f = 0; f < names.size(); ++f) {
+    bench::PrintHeader(names[f].c_str());
     std::printf("corr\\range");
     for (uint32_t e : exps) std::printf("  2^%-5u", e);
     std::printf("\n");

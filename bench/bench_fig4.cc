@@ -152,6 +152,15 @@ void RunMatrices(const Args& args) {
   std::printf(
       "selected Proteus design: trie=%u bloom=%u expected=%.4f\n",
       best.trie_depth, best.bf_prefix_len, best.expected_fpr);
+
+  if (!args.filter.empty()) {
+    // Any registered family rides along on the same Normal-Split workload
+    // with zero bench plumbing.
+    bench::PrintHeader(("--filter=" + args.filter + " — Normal-Split").c_str());
+    auto extra = bench::BuildFilter(args.filter, keys, samples);
+    std::printf("%s: observed fpr=%.4f bpk=%.2f\n", extra->Name().c_str(),
+                bench::MeasureFpr(*extra, eval), extra->Bpk(keys.size()));
+  }
 }
 
 }  // namespace

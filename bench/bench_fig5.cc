@@ -39,6 +39,16 @@ void Run(const Args& args) {
   const size_t n_samples = args.SamplesOr(2000, 20000);
   const size_t n_eval = args.QueriesOr(10000, 1000000);
   const std::vector<double> bpks = {8, 10, 12, 14, 16, 18};
+  bench::JsonSink json;
+  auto record = [&json](const Row& row, const Col& col, const char* series,
+                        double bpk, double fpr) {
+    json.Add()
+        .Str("workload", row.name)
+        .Str("queries", col.name)
+        .Str("filter", series)
+        .Num("bpk", bpk)
+        .Num("fpr", fpr);
+  };
 
   const Row rows[] = {
       {"Uniform-Uniform", Dataset::kUniform, QueryDist::kUniform},
@@ -129,22 +139,44 @@ void Run(const Args& args) {
           std::printf("%-6.0f %-9.4f %-22s %-9.4f %-9.4f %-14s\n", bpk, fpr_p,
                       design, fpr_r, fpr_s, best_name.c_str());
         }
+        record(row, col, "proteus", bpk, fpr_p);
+        record(row, col, "rosetta", bpk, fpr_r);
+        if (fpr_s <= 1.0) record(row, col, best_name.c_str(), bpk, fpr_s);
       }
       if (!args.filter.empty()) {
-        // Any registered family rides along with zero bench plumbing.
-        std::string error;
-        auto extra = builder.Build(args.filter, &error);
-        if (extra == nullptr) {
-          std::fprintf(stderr, "--filter=%s: %s\n", args.filter.c_str(),
-                       error.c_str());
-          std::exit(1);
+        // Any registered family rides along with zero bench plumbing;
+        // string families see the keys through their order-preserving
+        // big-endian encoding.
+        double fpr, extra_bpk;
+        std::string name;
+        if (bench::SpecIsStringFamily(args.filter)) {
+          auto str_keys = bench::EncodeKeysBE(keys);
+          auto extra = bench::BuildStrFilter(args.filter, str_keys,
+                                             bench::EncodeQueriesBE(samples));
+          fpr = bench::MeasureFprStr(*extra, bench::EncodeQueriesBE(eval));
+          extra_bpk = extra->Bpk(keys.size());
+          name = extra->Name();
+        } else {
+          std::string error;
+          auto extra = builder.Build(args.filter, &error);
+          if (extra == nullptr) {
+            std::fprintf(stderr, "--filter=%s: %s\n", args.filter.c_str(),
+                         error.c_str());
+            std::exit(1);
+          }
+          fpr = bench::MeasureFpr(*extra, eval);
+          extra_bpk = extra->Bpk(keys.size());
+          name = extra->Name();
         }
         std::printf("--filter=%s: %s fpr=%.4f bpk=%.2f\n",
-                    args.filter.c_str(), extra->Name().c_str(),
-                    bench::MeasureFpr(*extra, eval),
-                    extra->Bpk(keys.size()));
+                    args.filter.c_str(), name.c_str(), fpr, extra_bpk);
+        record(row, col, args.filter.c_str(), extra_bpk, fpr);
       }
     }
+  }
+  if (!args.json_path.empty()) {
+    json.WriteArrayOrDie(args.json_path);
+    std::printf("\nwrote %s\n", args.json_path.c_str());
   }
 }
 

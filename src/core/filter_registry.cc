@@ -120,7 +120,8 @@ FilterRegistry::FilterRegistry() {
   FilterFamily proteus_str;
   proteus_str.name = "proteus-str";
   proteus_str.family_id = ProteusStrFilter::kFamilyId;
-  proteus_str.help = "bpk=12,max_key_bits=B,stride=S | trie=L1,bloom=L2";
+  proteus_str.help =
+      "bpk=12,max_key_bits=B,stride=S,trie_grid=G | trie=L1,bloom=L2";
   proteus_str.build_str = [](const FilterSpec& spec, StrFilterBuilder& builder,
                              std::string* error) {
     return AsStr(ProteusStrFilter::BuildFromSpec(spec, builder, error));

@@ -10,8 +10,9 @@ namespace proteus {
 
 std::unique_ptr<ProteusStrFilter> ProteusStrFilter::BuildFromSpec(
     const FilterSpec& spec, StrFilterBuilder& builder, std::string* error) {
-  if (!spec.ExpectKeys({"bpk", "max_key_bits", "stride", "trie", "bloom"},
-                       error)) {
+  if (!spec.ExpectKeys(
+          {"bpk", "max_key_bits", "stride", "trie_grid", "trie", "bloom"},
+          error)) {
     return nullptr;
   }
   double bpk;
@@ -20,9 +21,10 @@ std::unique_ptr<ProteusStrFilter> ProteusStrFilter::BuildFromSpec(
     if (error != nullptr) *error = "proteus-str bpk must be positive";
     return nullptr;
   }
-  uint32_t max_key_bits, stride;
+  uint32_t max_key_bits, stride, trie_grid;
   if (!spec.GetUint32("max_key_bits", 0, &max_key_bits, error) ||
-      !spec.GetUint32("stride", 1, &stride, error)) {
+      !spec.GetUint32("stride", 1, &stride, error) ||
+      !spec.GetUint32("trie_grid", 0, &trie_grid, error)) {
     return nullptr;
   }
   if (max_key_bits == 0) {
@@ -51,6 +53,7 @@ std::unique_ptr<ProteusStrFilter> ProteusStrFilter::BuildFromSpec(
   }
   StrCpfprOptions options;
   options.bloom_grid = std::max<uint32_t>(1, 128 / std::max<uint32_t>(1, stride));
+  if (trie_grid > 0) options.trie_grid = trie_grid;  // 0 = model default
   return BuildSelfDesigned(builder.keys(), builder.samples(), bpk,
                            max_key_bits, options);
 }

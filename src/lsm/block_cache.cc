@@ -43,6 +43,22 @@ void BlockCache::EraseFile(uint64_t file_id) {
       ++it;
     }
   }
+  ReleasePinnedBytes(file_id);
+}
+
+void BlockCache::AddPinnedBytes(uint64_t file_id, uint64_t bytes) {
+  pinned_[file_id] += bytes;
+  pinned_total_ += bytes;
+  used_ += bytes;
+  EvictIfNeeded();
+}
+
+void BlockCache::ReleasePinnedBytes(uint64_t file_id) {
+  auto it = pinned_.find(file_id);
+  if (it == pinned_.end()) return;
+  pinned_total_ -= it->second;
+  used_ -= it->second;
+  pinned_.erase(it);
 }
 
 void BlockCache::EvictIfNeeded() {

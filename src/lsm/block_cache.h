@@ -31,12 +31,23 @@ class BlockCache {
   void Insert(uint64_t file_id, uint64_t offset,
               std::shared_ptr<const std::string> payload);
 
-  /// Drops all blocks of a deleted file.
+  /// Drops all blocks of a deleted file (and releases its pinned charge).
   void EraseFile(uint64_t file_id);
+
+  /// Charges `bytes` of memory pinned on behalf of `file_id` (index and
+  /// filter blocks held for the file's lifetime) against the cache
+  /// budget. Pinned bytes are never evicted themselves but squeeze the
+  /// room left for LRU data blocks, mirroring RocksDB's
+  /// cache_index_and_filter_blocks accounting. Cumulative per file.
+  void AddPinnedBytes(uint64_t file_id, uint64_t bytes);
+
+  /// Releases the pinned charge of a file (EraseFile also does this).
+  void ReleasePinnedBytes(uint64_t file_id);
 
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats{}; }
   uint64_t used_bytes() const { return used_; }
+  uint64_t pinned_bytes() const { return pinned_total_; }
   uint64_t capacity() const { return capacity_; }
 
  private:
@@ -56,8 +67,10 @@ class BlockCache {
 
   uint64_t capacity_;
   uint64_t used_ = 0;
+  uint64_t pinned_total_ = 0;
   std::list<Entry> lru_;  // front = most recent
   std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> map_;
+  std::unordered_map<uint64_t, uint64_t> pinned_;  // file_id -> bytes
   Stats stats_;
 };
 

@@ -5,14 +5,30 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cstdio>
 #include <cstring>
 
+#include "core/filter.h"
+#include "hash/murmur3.h"
+#include "util/serial.h"
 #include "util/timer.h"
 
 namespace proteus {
 namespace {
 
 constexpr size_t kMaxLevels = 8;
+
+// MANIFEST wire format: magic, version, next_file_id, n_levels, then per
+// level a file count and per file (id, smallest, largest, n_entries,
+// file_size); a trailing Murmur3 checksum over everything before it makes
+// truncation and bit flips detectable at Open.
+constexpr uint64_t kManifestMagic = 0x494E414D544F5250ull;  // "PROTMANI"
+constexpr uint64_t kManifestVersion = 1;
+constexpr uint64_t kManifestChecksumSeed = 0xC0FFEE;
+
+void SetError(std::string* error, std::string message) {
+  if (error != nullptr) *error = std::move(message);
+}
 
 /// K-way merge over SST iterators with newest-wins deduplication.
 class MergingIterator {
@@ -82,21 +98,47 @@ void WipeSstFiles(const std::string& dir) {
     }
   }
   ::closedir(d);
+  ::unlink((dir + "/MANIFEST").c_str());
+  ::unlink((dir + "/MANIFEST.tmp").c_str());
+}
+
+bool WriteFileAtomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) return false;
+  size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  bool ok = written == content.size() && std::fflush(f) == 0;
+  std::fclose(f);
+  if (!ok) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  return ::rename(tmp.c_str(), path.c_str()) == 0;
 }
 
 }  // namespace
 
-Db::Db(DbOptions options)
+Db::Db(DbOptions options) : Db(std::move(options), /*wipe_existing=*/true) {}
+
+Db::Db(DbOptions options, bool wipe_existing)
     : options_(std::move(options)),
       cache_(options_.block_cache_bytes),
       query_queue_(options_.queue_options) {
   ::mkdir(options_.dir.c_str(), 0755);
-  WipeSstFiles(options_.dir);
+  if (wipe_existing) WipeSstFiles(options_.dir);
   levels_.resize(kMaxLevels);
   compact_cursor_.resize(kMaxLevels, 0);
 }
 
-Db::~Db() = default;
+std::unique_ptr<Db> Db::Open(DbOptions options, std::string* error) {
+  std::unique_ptr<Db> db(new Db(std::move(options), /*wipe_existing=*/false));
+  if (!db->Recover(error)) return nullptr;
+  return db;
+}
+
+Db::~Db() {
+  Flush();  // lossless close: persist the memtable and the manifest
+}
 
 void Db::Put(std::string_view key, std::string_view value) {
   ++stats_.puts;
@@ -107,14 +149,12 @@ void Db::Put(std::string_view key, std::string_view value) {
 
 Db::FilePtr Db::FinishFile(SstWriter* writer, std::vector<std::string>* keys,
                            const std::string& path) {
-  writer->Finish();
   auto meta = std::make_shared<FileMeta>();
   meta->id = next_file_id_++;
   meta->path = path;
   meta->smallest = writer->smallest();
   meta->largest = writer->largest();
   meta->n_entries = writer->n_entries();
-  meta->file_size = writer->file_size();
   if (options_.filter_policy != nullptr) {
     Stopwatch timer;
     meta->filter =
@@ -123,11 +163,168 @@ Db::FilePtr Db::FinishFile(SstWriter* writer, std::vector<std::string>* keys,
     if (meta->filter != nullptr) {
       stats_.filter_bits_built += meta->filter->SizeBits();
       stats_.keys_filtered += keys->size();
+      // Persist the filter in the SST itself so reopening the database
+      // deserializes it instead of rebuilding from keys.
+      std::string blob;
+      if (meta->filter->Serialize(&blob)) {
+        writer->SetFilterBlock(std::move(blob), Filter::kVersion);
+      }
     }
   }
+  // Loud (if non-fatal) failure: a truncated SST here means the next
+  // reopen fails its manifest entry rather than silently losing keys.
+  if (!writer->Finish()) {
+    std::fprintf(stderr, "proteus: I/O error writing SST %s\n",
+                 path.c_str());
+  }
+  meta->file_size = writer->file_size();
   meta->reader = std::make_unique<SstReader>();
-  meta->reader->Open(path, meta->id, &cache_);
+  if (!meta->reader->Open(path, meta->id, &cache_)) {
+    std::fprintf(stderr, "proteus: cannot reopen just-written SST %s\n",
+                 path.c_str());
+  }
+  meta->reader->ReleaseFilterBlock();  // meta->filter is the live copy
+  if (meta->filter != nullptr) ChargeFilter(*meta);
   return meta;
+}
+
+void Db::ChargeFilter(const FileMeta& meta) {
+  cache_.AddPinnedBytes(meta.id, meta.filter->SizeBits() / 8);
+}
+
+void Db::WriteManifest() const {
+  std::string out;
+  PutFixed64(&out, kManifestMagic);
+  PutFixed64(&out, kManifestVersion);
+  PutFixed64(&out, next_file_id_);
+  PutFixed64(&out, levels_.size());
+  for (const auto& level : levels_) {
+    PutFixed64(&out, level.size());
+    for (const auto& f : level) {
+      PutFixed64(&out, f->id);
+      PutLengthPrefixed(&out, f->smallest);
+      PutLengthPrefixed(&out, f->largest);
+      PutFixed64(&out, f->n_entries);
+      PutFixed64(&out, f->file_size);
+    }
+  }
+  PutFixed64(&out,
+             Murmur3Bytes64(out.data(), out.size(), kManifestChecksumSeed));
+  if (!WriteFileAtomic(options_.dir + "/MANIFEST", out)) {
+    // A stale manifest strands files removed by this compaction; say so
+    // rather than letting the next Open discover it.
+    std::fprintf(stderr, "proteus: cannot write %s/MANIFEST\n",
+                 options_.dir.c_str());
+  }
+}
+
+bool Db::Recover(std::string* error) {
+  const std::string path = options_.dir + "/MANIFEST";
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return true;  // no manifest: empty database
+  std::string content;
+  char buf[1 << 16];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, got);
+  }
+  std::fclose(f);
+
+  if (content.size() < 40) {
+    SetError(error, "manifest truncated");
+    return false;
+  }
+  std::string_view cursor(content.data(), content.size() - 8);
+  uint64_t checksum;
+  {
+    std::string_view tail(content.data() + content.size() - 8, 8);
+    GetFixed64(&tail, &checksum);
+  }
+  if (checksum != Murmur3Bytes64(cursor.data(), cursor.size(),
+                                 kManifestChecksumSeed)) {
+    SetError(error, "manifest checksum mismatch");
+    return false;
+  }
+  uint64_t magic, version, next_file_id, n_levels;
+  if (!GetFixed64(&cursor, &magic) || magic != kManifestMagic) {
+    SetError(error, "bad manifest magic");
+    return false;
+  }
+  if (!GetFixed64(&cursor, &version) || version != kManifestVersion) {
+    SetError(error, "unsupported manifest version");
+    return false;
+  }
+  if (!GetFixed64(&cursor, &next_file_id) ||
+      !GetFixed64(&cursor, &n_levels) || n_levels > kMaxLevels) {
+    SetError(error, "corrupt manifest header");
+    return false;
+  }
+  uint64_t max_id = 0;
+  for (uint64_t level = 0; level < n_levels; ++level) {
+    uint64_t n_files;
+    if (!GetFixed64(&cursor, &n_files)) {
+      SetError(error, "corrupt manifest level header");
+      return false;
+    }
+    for (uint64_t i = 0; i < n_files; ++i) {
+      auto meta = std::make_shared<FileMeta>();
+      if (!GetFixed64(&cursor, &meta->id) ||
+          !GetLengthPrefixed(&cursor, &meta->smallest) ||
+          !GetLengthPrefixed(&cursor, &meta->largest) ||
+          !GetFixed64(&cursor, &meta->n_entries) ||
+          !GetFixed64(&cursor, &meta->file_size)) {
+        SetError(error, "corrupt manifest file entry");
+        return false;
+      }
+      meta->path = options_.dir + "/" + std::to_string(meta->id) + ".sst";
+      if (!LoadFile(meta, error)) return false;
+      max_id = std::max(max_id, meta->id);
+      levels_[level].push_back(std::move(meta));
+    }
+  }
+  if (!cursor.empty()) {
+    SetError(error, "trailing bytes in manifest");
+    return false;
+  }
+  next_file_id_ = std::max(next_file_id, max_id + 1);
+  return true;
+}
+
+bool Db::LoadFile(const FilePtr& meta, std::string* error) {
+  meta->reader = std::make_unique<SstReader>();
+  if (!meta->reader->Open(meta->path, meta->id, &cache_)) {
+    SetError(error, "cannot open SST file " + meta->path);
+    return false;
+  }
+  const bool wants_filters = options_.filter_policy != nullptr &&
+                             options_.filter_policy->Name() != "none";
+  if (wants_filters) {
+    meta->filter = meta->reader->LoadFilter();
+    if (meta->filter != nullptr) {
+      ++stats_.filter_loads;
+    } else {
+      // Missing, truncated, bit-flipped, or format-incompatible filter
+      // block: rebuild from the file's keys instead of failing the open.
+      std::vector<std::string> keys;
+      keys.reserve(meta->n_entries);
+      meta->reader->ForEach(
+          [&keys](std::string_view k, std::string_view) {
+            keys.emplace_back(k);
+          });
+      Stopwatch timer;
+      meta->filter =
+          options_.filter_policy->Build(keys, query_queue_.Snapshot());
+      stats_.filter_build_ns += timer.ElapsedNanos();
+      if (meta->filter != nullptr) {
+        ++stats_.filter_rebuilds;
+        stats_.filter_bits_built += meta->filter->SizeBits();
+        stats_.keys_filtered += keys.size();
+      }
+    }
+  }
+  meta->reader->ReleaseFilterBlock();  // live filter holds the memory now
+  if (meta->filter != nullptr) ChargeFilter(*meta);
+  return true;
 }
 
 template <typename Iter>
@@ -166,6 +363,7 @@ void Db::Flush() {
   mem_.Clear();
   mem_bytes_ = 0;
   MaybeCompact();
+  WriteManifest();
 }
 
 uint64_t Db::LevelLimitBytes(size_t level) const {
@@ -284,6 +482,7 @@ void Db::CompactAll() {
   for (size_t level = 1; level + 1 < kMaxLevels; ++level) {
     while (LevelBytes(level) > LevelLimitBytes(level)) CompactLevel(level);
   }
+  WriteManifest();
 }
 
 bool Db::Seek(std::string_view lo, std::string_view hi, std::string* key,

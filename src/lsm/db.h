@@ -17,7 +17,10 @@
 //
 // Compactions run synchronously on the writing thread (deterministic and
 // sufficient for reproducing the paper's read-path effects). No WAL: the
-// benchmarks never recover from a crash.
+// memtable is flushed on clean close instead, and a checksummed MANIFEST
+// (level -> SST file list, rewritten atomically at every flush and
+// compaction) lets Db::Open reconstruct the tree — and reload every SST's
+// persisted filter block — without rebuilding a single filter.
 
 #ifndef PROTEUS_LSM_DB_H_
 #define PROTEUS_LSM_DB_H_
@@ -64,12 +67,29 @@ struct DbStats {
   uint64_t compactions = 0;
   uint64_t filter_build_ns = 0;
   uint64_t filter_bits_built = 0;
-  uint64_t keys_filtered = 0;  // keys covered by built filters
+  uint64_t keys_filtered = 0;   // keys covered by built filters
+  uint64_t filter_loads = 0;    // filters deserialized from SST blocks
+  uint64_t filter_rebuilds = 0;  // recovery fallbacks: block missing/corrupt
 };
 
 class Db {
  public:
+  /// Creates a FRESH database: wipes any SST files and manifest left in
+  /// `options.dir`. Use Open() to resume an existing database.
   explicit Db(DbOptions options);
+
+  /// Reopens a database previously closed in `options.dir`: reads the
+  /// manifest, reattaches every SST, and reloads persisted filter blocks
+  /// through DeserializeSstFilter (stats().filter_loads) — filters are
+  /// only rebuilt from keys when their block is missing or corrupt
+  /// (stats().filter_rebuilds). A missing manifest yields an empty
+  /// database; a corrupt manifest or unreadable SST fails Open (returns
+  /// null and fills `error`) rather than silently dropping data.
+  static std::unique_ptr<Db> Open(DbOptions options,
+                                  std::string* error = nullptr);
+
+  /// Flushes the memtable and persists the manifest, so a subsequent
+  /// Open() sees every key.
   ~Db();
   Db(const Db&) = delete;
   Db& operator=(const Db&) = delete;
@@ -112,6 +132,8 @@ class Db {
   };
   using FilePtr = std::shared_ptr<FileMeta>;
 
+  Db(DbOptions options, bool wipe_existing);
+
   /// Writes one SST from a sorted entry stream; builds its filter.
   template <typename Iter>
   std::vector<FilePtr> WriteSstFiles(Iter&& entries, int target_level,
@@ -119,6 +141,20 @@ class Db {
 
   FilePtr FinishFile(SstWriter* writer, std::vector<std::string>* keys,
                      const std::string& path);
+
+  /// Charges the filter's pinned bytes to the block cache.
+  void ChargeFilter(const FileMeta& meta);
+
+  /// Atomically rewrites dir/MANIFEST from the current levels.
+  void WriteManifest() const;
+
+  /// Rebuilds levels_ (and filters) from dir/MANIFEST. Returns false and
+  /// fills `error` on a corrupt manifest or unreadable SST file.
+  bool Recover(std::string* error);
+
+  /// Reattaches one recovered SST: opens the reader, loads the persisted
+  /// filter block, or rebuilds the filter from keys as a fallback.
+  bool LoadFile(const FilePtr& meta, std::string* error);
 
   void MaybeCompact();
   void CompactL0();

@@ -6,20 +6,25 @@
 #include <cstdio>
 #include <cstring>
 
+#include "core/filter.h"
+#include "hash/murmur3.h"
 #include "lsm/rle.h"
 
 namespace proteus {
 namespace {
 
 constexpr uint64_t kSstMagic = 0x50524F5445555353ull;  // "PROTEUSS"
+// Footer-version sentinel stored immediately before the magic in v2
+// footers. A v1 footer has n_entries in that slot, which can never equal
+// this value ("PROTFTV2" as bytes), so the two widths are unambiguous.
+constexpr uint64_t kFooterVersion2 = 0x32565446544F5250ull;
+constexpr size_t kFooterV1Size = 32;
+constexpr uint64_t kFilterChecksumSeed = 0xF117E12;
+constexpr size_t kFooterV2Size = 72;
 
-void PutFixed64(std::string* out, uint64_t v) {
-  char buf[8];
-  std::memcpy(buf, &v, 8);
-  out->append(buf, 8);
-}
-
-uint64_t GetFixed64(const char* p) {
+// util/serial.h's GetFixed64 consumes a cursor; footers are parsed at
+// fixed offsets, so a positional load reads better here.
+uint64_t LoadFixed64(const char* p) {
   uint64_t v;
   std::memcpy(&v, p, 8);
   return v;
@@ -37,6 +42,11 @@ void SstWriter::Add(std::string_view key, std::string_view value) {
   data_block_.Add(key, value);
   ++n_entries_;
   if (data_block_.SizeEstimate() >= options_.block_size) FlushBlock();
+}
+
+void SstWriter::SetFilterBlock(std::string blob, uint64_t format) {
+  filter_block_ = std::move(blob);
+  filter_format_ = format;
 }
 
 void SstWriter::FlushBlock() {
@@ -68,10 +78,19 @@ bool SstWriter::Finish() {
   uint64_t index_offset = offset_;
   file_buffer_.append(index_disk);
   offset_ += index_disk.size();
+  uint64_t filter_offset = offset_;
+  file_buffer_.append(filter_block_);
+  offset_ += filter_block_.size();
   std::string footer;
   PutFixed64(&footer, index_offset);
   PutFixed64(&footer, index_disk.size());
   PutFixed64(&footer, n_entries_);
+  PutFixed64(&footer, filter_offset);
+  PutFixed64(&footer, filter_block_.size());
+  PutFixed64(&footer, filter_format_);
+  PutFixed64(&footer, Murmur3Bytes64(filter_block_.data(),
+                                     filter_block_.size(), kFilterChecksumSeed));
+  PutFixed64(&footer, kFooterVersion2);
   PutFixed64(&footer, kSstMagic);
   file_buffer_.append(footer);
   offset_ += footer.size();
@@ -102,28 +121,75 @@ bool SstReader::Open(const std::string& path, uint64_t file_id,
   cache_ = cache;
   fd_ = ::open(path.c_str(), O_RDONLY);
   if (fd_ < 0) return false;
-  off_t file_size = ::lseek(fd_, 0, SEEK_END);
-  if (file_size < 32) return false;
-  std::string footer;
-  if (!ReadRaw(static_cast<uint64_t>(file_size) - 32, 32, &footer)) {
+  off_t fsize = ::lseek(fd_, 0, SEEK_END);
+  if (fsize < static_cast<off_t>(kFooterV1Size)) return false;
+  const uint64_t file_size = static_cast<uint64_t>(fsize);
+  std::string tail;
+  if (!ReadRaw(file_size - kFooterV1Size, kFooterV1Size, &tail)) return false;
+  if (LoadFixed64(tail.data() + 24) != kSstMagic) return false;
+
+  uint64_t index_offset, index_size;
+  uint64_t filter_offset = 0, filter_size = 0, filter_format = 0;
+  uint64_t filter_checksum = 0;
+  if (file_size >= kFooterV2Size &&
+      LoadFixed64(tail.data() + 16) == kFooterVersion2) {
+    std::string footer;
+    if (!ReadRaw(file_size - kFooterV2Size, kFooterV2Size, &footer)) {
+      return false;
+    }
+    index_offset = LoadFixed64(footer.data());
+    index_size = LoadFixed64(footer.data() + 8);
+    n_entries_ = LoadFixed64(footer.data() + 16);
+    filter_offset = LoadFixed64(footer.data() + 24);
+    filter_size = LoadFixed64(footer.data() + 32);
+    filter_format = LoadFixed64(footer.data() + 40);
+    filter_checksum = LoadFixed64(footer.data() + 48);
+  } else {
+    // v1 footer: no filter block.
+    index_offset = LoadFixed64(tail.data());
+    index_size = LoadFixed64(tail.data() + 8);
+    n_entries_ = LoadFixed64(tail.data() + 16);
+  }
+
+  // Subtraction-form bounds checks: offset + size can wrap uint64 when a
+  // torn footer write leaves garbage sizes.
+  std::string index_disk;
+  if (index_size > file_size || index_offset > file_size - index_size) {
     return false;
   }
-  if (GetFixed64(footer.data() + 24) != kSstMagic) return false;
-  uint64_t index_offset = GetFixed64(footer.data());
-  uint64_t index_size = GetFixed64(footer.data() + 8);
-  n_entries_ = GetFixed64(footer.data() + 16);
-  std::string index_disk;
   if (!ReadRaw(index_offset, index_size, &index_disk)) return false;
   std::string index_payload;
   if (!RleDecompress(index_disk, &index_payload)) return false;
-  return index_.Init(std::move(index_payload));
+  if (!index_.Init(std::move(index_payload))) return false;
+
+  // Filter-block damage (bad bounds, unknown wire format) degrades to
+  // "no filter": the caller rebuilds from keys instead of crashing.
+  if (filter_size > 0 && filter_format == Filter::kVersion &&
+      filter_size <= file_size && filter_offset <= file_size - filter_size) {
+    if (ReadRaw(filter_offset, filter_size, &filter_block_) &&
+        Murmur3Bytes64(filter_block_.data(), filter_block_.size(),
+                       kFilterChecksumSeed) == filter_checksum) {
+      filter_format_ = filter_format;
+    } else {
+      filter_block_.clear();
+    }
+  }
+  return true;
+}
+
+std::unique_ptr<SstFilter> SstReader::LoadFilter(std::string* error) const {
+  if (filter_block_.empty()) {
+    if (error != nullptr) *error = "no filter block";
+    return nullptr;
+  }
+  return DeserializeSstFilter(filter_block_, error);
 }
 
 bool SstReader::ReadDataBlock(size_t block_index, BlockReader* out,
                               bool use_cache) const {
   std::string_view handle = index_.ValueAt(block_index);
-  uint64_t offset = GetFixed64(handle.data());
-  uint64_t size = GetFixed64(handle.data() + 8);
+  uint64_t offset = LoadFixed64(handle.data());
+  uint64_t size = LoadFixed64(handle.data() + 8);
   if (use_cache && cache_ != nullptr) {
     auto cached = cache_->Get(file_id_, offset);
     if (cached != nullptr) return out->Init(*cached);

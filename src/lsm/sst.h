@@ -1,14 +1,26 @@
 // SST (Static Sorted Table) files: writer, reader, and file metadata.
 //
-// Layout:
-//   [compressed data block]*  [compressed index block]  [footer]
-// The index block maps each data block's last key to (offset, size).
-// Footer (fixed width): index_offset, index_size, n_entries, magic.
+// Layout (format v2):
+//   [compressed data block]*  [compressed index block]  [filter block]
+//   [footer]
+// The index block maps each data block's last key to (offset, size). The
+// filter block is the SstFilter::Serialize wire form of the file's range
+// filter (absent when the file was written without one).
+// Footer v2 (fixed width, 72 bytes): index_offset, index_size, n_entries,
+// filter_offset, filter_size, filter_format, filter_checksum,
+// footer_version, magic. The checksum (Murmur3 over the filter block)
+// turns any bit flip in the blob into a detected miss instead of a
+// silently wrong filter.
+// Legacy files carry the 32-byte v1 footer (index_offset, index_size,
+// n_entries, magic) and simply have no filter block; the reader detects
+// the width through the footer_version sentinel while the trailing magic
+// stays where v1 put it, so corruption detection is unchanged.
 //
 // As in the paper's tuned RocksDB (Section 6.1), index and filter stay
-// pinned in memory: SstReader keeps the parsed index block, and the filter
-// object lives in FileMeta. Data blocks are read from disk on demand
-// through the LRU block cache.
+// pinned in memory: SstReader keeps the parsed index block and the raw
+// filter block. Data blocks are read from disk on demand through the LRU
+// block cache; pinned filter bytes are charged against the same cache
+// budget (BlockCache::AddPinnedBytes).
 
 #ifndef PROTEUS_LSM_SST_H_
 #define PROTEUS_LSM_SST_H_
@@ -21,6 +33,7 @@
 
 #include "lsm/block.h"
 #include "lsm/block_cache.h"
+#include "lsm/filter_policy.h"
 
 namespace proteus {
 
@@ -41,7 +54,14 @@ class SstWriter {
   /// Keys must arrive in strictly increasing order.
   void Add(std::string_view key, std::string_view value);
 
-  /// Writes index + footer, closes the file. Returns false on I/O error.
+  /// Attaches the serialized filter (SstFilter::Serialize output) to be
+  /// persisted as the file's filter block. Must precede Finish().
+  /// `format` is the filter wire-format version recorded in the footer so
+  /// readers can reject blobs they do not understand without parsing them.
+  void SetFilterBlock(std::string blob, uint64_t format);
+
+  /// Writes index + filter block + footer, closes the file. Returns false
+  /// on I/O error.
   bool Finish();
 
   uint64_t n_entries() const { return n_entries_; }
@@ -58,6 +78,8 @@ class SstWriter {
   std::string file_buffer_;
   BlockBuilder data_block_;
   BlockBuilder index_block_;
+  std::string filter_block_;
+  uint64_t filter_format_ = 0;
   uint64_t offset_ = 0;
   uint64_t n_entries_ = 0;
   std::string smallest_, largest_, last_key_in_block_;
@@ -66,11 +88,33 @@ class SstWriter {
 
 class SstReader {
  public:
-  /// Opens the file and pins the index block in memory.
+  /// Opens the file and pins the index block (and any filter block) in
+  /// memory. A damaged or out-of-bounds filter block does NOT fail Open —
+  /// the data remains readable and the caller falls back to rebuilding
+  /// the filter (has_filter_block() reports false).
   bool Open(const std::string& path, uint64_t file_id, BlockCache* cache);
 
   uint64_t n_entries() const { return n_entries_; }
   uint64_t n_blocks() const { return index_.n_entries(); }
+
+  /// True when the file carried a filter block with a bounds-sane handle
+  /// and a wire-format version this build understands.
+  bool has_filter_block() const { return !filter_block_.empty(); }
+  const std::string& filter_block() const { return filter_block_; }
+  uint64_t filter_format() const { return filter_format_; }
+
+  /// Deserializes the pinned filter block into a live SstFilter without
+  /// rebuilding from keys. Returns null (fills `error`) when the file has
+  /// no filter block or the blob is corrupt — callers treat that as a
+  /// rebuild-from-keys fallback, never a crash.
+  std::unique_ptr<SstFilter> LoadFilter(std::string* error = nullptr) const;
+
+  /// Frees the raw blob once the live filter has been materialized (or a
+  /// rebuild decided on), so filter memory is not held twice.
+  void ReleaseFilterBlock() {
+    filter_block_.clear();
+    filter_block_.shrink_to_fit();
+  }
 
   /// Finds the smallest entry with key in [lo, hi]. Touches at most one
   /// data block (keys in [lo, hi] beyond the first block are larger).
@@ -144,6 +188,8 @@ class SstReader {
   uint64_t n_entries_ = 0;
   BlockCache* cache_ = nullptr;
   BlockReader index_;  // entries: last_key -> fixed64 offset, fixed64 size
+  std::string filter_block_;
+  uint64_t filter_format_ = 0;
 
  public:
   ~SstReader();

@@ -74,8 +74,12 @@ TEST(Bits, PrefixRangeRoundTrip) {
     uint64_t hi = PrefixRangeHi64(prefix, l);
     EXPECT_EQ(PrefixBits64(lo, l), prefix);
     EXPECT_EQ(PrefixBits64(hi, l), prefix);
-    if (hi != ~uint64_t{0}) EXPECT_NE(PrefixBits64(hi + 1, l), prefix);
-    if (lo != 0) EXPECT_NE(PrefixBits64(lo - 1, l), prefix);
+    if (hi != ~uint64_t{0}) {
+      EXPECT_NE(PrefixBits64(hi + 1, l), prefix);
+    }
+    if (lo != 0) {
+      EXPECT_NE(PrefixBits64(lo - 1, l), prefix);
+    }
   }
 }
 

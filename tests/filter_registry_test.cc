@@ -146,6 +146,32 @@ TEST(FilterRegistry, EveryStrFamilyIsConstructibleFromSpecStrings) {
   }
 }
 
+TEST(FilterRegistry, ProteusStrTrieGridIsExposedInSpecStrings) {
+  auto keys = GenerateStrKeys(StrDataset::kDomains, 2000, 0, 57);
+  StrQuerySpec qspec;
+  auto samples = GenerateStrQueries(keys, qspec, 500, 58);
+  // A coarser trie grid is a legal self-design knob: the filter still
+  // builds and answers member ranges positively.
+  for (const char* spec :
+       {"proteus-str:bpk=14,trie_grid=8",
+        "proteus-str:bpk=14,stride=4,trie_grid=16"}) {
+    std::string error;
+    auto filter =
+        FilterRegistry::Global().CreateStr(spec, keys, samples, &error);
+    ASSERT_NE(filter, nullptr) << spec << ": " << error;
+    EXPECT_GT(filter->SizeBits(), 0u) << spec;
+    EXPECT_TRUE(filter->MayContain(keys[10], keys[10])) << spec;
+  }
+  // Malformed values fail at build time with a message, like every other
+  // spec parameter.
+  std::string error;
+  auto filter = FilterRegistry::Global().CreateStr(
+      "proteus-str:bpk=14,trie_grid=coarse", keys, samples, &error);
+  EXPECT_EQ(filter, nullptr);
+  EXPECT_NE(error.find("not an unsigned integer"), std::string::npos)
+      << error;
+}
+
 TEST(FilterRegistry, BadSpecsFailWithErrors) {
   auto keys = GenerateKeys(Dataset::kUniform, 500, 54);
   struct Case {

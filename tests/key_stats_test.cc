@@ -125,7 +125,9 @@ TEST(TrieMemoryModel, MaxFeasibleDepth) {
   uint32_t d = model.MaxFeasibleDepth(keys.size() * 10);
   EXPECT_GT(d, 0u);
   EXPECT_LE(model.TrieSizeBits(d), keys.size() * 10);
-  if (d < 64) EXPECT_GT(model.TrieSizeBits(d + 1), keys.size() * 10);
+  if (d < 64) {
+    EXPECT_GT(model.TrieSizeBits(d + 1), keys.size() * 10);
+  }
   EXPECT_EQ(model.MaxFeasibleDepth(0), 0u);
 }
 

@@ -125,7 +125,9 @@ TEST(Rle, RejectsCorruptedInput) {
   EXPECT_FALSE(RleDecompress(bad, &out));
   std::string truncated = compressed.substr(0, compressed.size() / 2);
   // Either detected as malformed or yields a wrong-size payload.
-  if (RleDecompress(truncated, &out)) EXPECT_NE(out.size(), 100u);
+  if (RleDecompress(truncated, &out)) {
+    EXPECT_NE(out.size(), 100u);
+  }
 }
 
 TEST(Block, BuildAndSearch) {

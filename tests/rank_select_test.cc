@@ -78,7 +78,9 @@ TEST_P(RankSelectRandomTest, MatchesReference) {
        r += std::max<uint64_t>(1, one_pos.size() / 499)) {
     ASSERT_EQ(rs.Select1(r), one_pos[r - 1]) << "select1 " << r;
   }
-  if (!one_pos.empty()) ASSERT_EQ(rs.Select1(one_pos.size()), one_pos.back());
+  if (!one_pos.empty()) {
+    ASSERT_EQ(rs.Select1(one_pos.size()), one_pos.back());
+  }
   for (uint64_t r = 1; r <= zero_pos.size();
        r += std::max<uint64_t>(1, zero_pos.size() / 499)) {
     ASSERT_EQ(rs.Select0(r), zero_pos[r - 1]) << "select0 " << r;
