@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "bloom/bloom_filter.h"
+#include "bloom/prefix_bloom.h"
 #include "core/filter_builder.h"
 #include "core/proteus.h"
 #include "hash/clhash.h"
@@ -50,15 +51,42 @@ BENCHMARK(BM_ClHashString)->Arg(8)->Arg(32)->Arg(256);
 
 void BM_BloomProbe(benchmark::State& state) {
   auto keys = GenerateKeys(Dataset::kUniform, 100000, 3);
+  const bool blocked = state.range(0) != 0;
   BloomFilter bf(keys.size() * 12,
-                 BloomFilter::OptimalHashes(keys.size() * 12, keys.size()));
+                 BloomFilter::OptimalHashes(keys.size() * 12, keys.size()),
+                 blocked);
   for (uint64_t k : keys) bf.InsertInt(k);
   Rng rng(4);
   for (auto _ : state) {
     benchmark::DoNotOptimize(bf.MayContainInt(rng.Next()));
   }
 }
-BENCHMARK(BM_BloomProbe);
+BENCHMARK(BM_BloomProbe)->Arg(0)->Arg(1)
+    ->ArgName("blocked");
+
+void BM_PrefixBloomWalk(benchmark::State& state) {
+  // The Proteus inner loop: a multi-prefix walk over consecutive l2
+  // prefixes (hash + probe per prefix, pipelined with prefetch).
+  auto keys = GenerateKeys(Dataset::kUniform, 100000, 3);
+  const bool blocked = state.range(0) != 0;
+  const uint64_t span = static_cast<uint64_t>(state.range(1));
+  PrefixBloom pb(keys, keys.size() * 12, 54, blocked);
+  Rng rng(41);
+  for (auto _ : state) {
+    uint64_t lo = rng.Next();
+    uint64_t hi = lo + (span << 10);  // span prefixes at l=54
+    if (hi < lo) hi = ~uint64_t{0};
+    benchmark::DoNotOptimize(pb.MayContain(lo, hi));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(span));
+}
+BENCHMARK(BM_PrefixBloomWalk)
+    ->ArgNames({"blocked", "prefixes"})
+    ->Args({0, 16})
+    ->Args({1, 16})
+    ->Args({0, 64})
+    ->Args({1, 64});
 
 void BM_RankSelect(benchmark::State& state) {
   Rng rng(5);
@@ -73,6 +101,20 @@ void BM_RankSelect(benchmark::State& state) {
 }
 BENCHMARK(BM_RankSelect);
 
+void BM_RankSelectSelect1(benchmark::State& state) {
+  Rng rng(51);
+  BitVector bv;
+  for (int i = 0; i < 1 << 20; ++i) bv.PushBack(rng.NextBelow(2));
+  RankSelect rs(&bv);
+  const uint64_t ones = rs.ones();
+  uint64_t r = 1;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rs.Select1(r));
+    r = r % ones + 1;
+  }
+}
+BENCHMARK(BM_RankSelectSelect1);
+
 void BM_BitTrieSeek(benchmark::State& state) {
   auto keys = GenerateKeys(Dataset::kUniform, 100000, 6);
   uint32_t depth = static_cast<uint32_t>(state.range(0));
@@ -86,6 +128,40 @@ void BM_BitTrieSeek(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BitTrieSeek)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_BitTrieCursorNext(benchmark::State& state) {
+  // The leaf-advance step of Proteus's MayContain: cursor Next() resumes
+  // from the current leaf, versus the pre-cursor SeekGeq(v + 1) pattern
+  // that re-descends from the root (measured below for comparison).
+  auto keys = GenerateKeys(Dataset::kUniform, 100000, 6);
+  uint32_t depth = static_cast<uint32_t>(state.range(0));
+  BitTrie trie;
+  trie.Build(UniquePrefixes(keys, depth), depth);
+  BitTrie::Cursor cur(&trie);
+  cur.SeekGeq(0);
+  for (auto _ : state) {
+    if (!cur.Next()) cur.SeekGeq(0);
+    benchmark::DoNotOptimize(cur);
+  }
+}
+BENCHMARK(BM_BitTrieCursorNext)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_BitTrieSeekSuccessor(benchmark::State& state) {
+  // Baseline for BM_BitTrieCursorNext: advance by a fresh root descent.
+  auto keys = GenerateKeys(Dataset::kUniform, 100000, 6);
+  uint32_t depth = static_cast<uint32_t>(state.range(0));
+  BitTrie trie;
+  trie.Build(UniquePrefixes(keys, depth), depth);
+  uint64_t max_prefix =
+      depth == 64 ? ~uint64_t{0} : ((uint64_t{1} << depth) - 1);
+  uint64_t v = 0;
+  trie.SeekGeq(0, &v);
+  for (auto _ : state) {
+    if (v == max_prefix || !trie.SeekGeq(v + 1, &v)) trie.SeekGeq(0, &v);
+    benchmark::DoNotOptimize(v);
+  }
+}
+BENCHMARK(BM_BitTrieSeekSuccessor)->Arg(16)->Arg(32)->Arg(64);
 
 void BM_SurfRangeQuery(benchmark::State& state) {
   auto keys = GenerateKeys(Dataset::kUniform, 100000, 8);

@@ -6,10 +6,15 @@
 
 namespace proteus {
 
-BloomFilter::BloomFilter(uint64_t n_bits, uint32_t n_hashes)
-    : n_bits_(std::max<uint64_t>(n_bits, 64)),
+BloomFilter::BloomFilter(uint64_t n_bits, uint32_t n_hashes, bool blocked)
+    : n_bits_(std::max<uint64_t>(n_bits, blocked ? kBlockBits : 64)),
       n_hashes_(std::clamp<uint32_t>(n_hashes, 1, kMaxHashes)),
-      words_((n_bits_ + 63) / 64, 0) {}
+      blocked_(blocked) {
+  if (blocked_) {
+    n_bits_ = (n_bits_ + kBlockBits - 1) / kBlockBits * kBlockBits;
+  }
+  words_.assign((n_bits_ + 63) / 64, 0);
+}
 
 uint32_t BloomFilter::OptimalHashes(uint64_t m_bits, uint64_t n_items) {
   if (n_items == 0) return 1;
@@ -30,7 +35,65 @@ double BloomFilter::TheoreticalFpr(uint64_t m_bits, uint64_t n_items) {
                   static_cast<double>(k));
 }
 
+double BloomFilter::TheoreticalFprBlocked(uint64_t m_bits, uint64_t n_items) {
+  if (n_items == 0) return 0.0;
+  if (m_bits == 0) return 1.0;
+  // The CPFPR design sweeps evaluate thousands of configs but only ~65
+  // distinct (m, n) pairs per side; a small direct-mapped memo keeps the
+  // O(lambda) Poisson sum below off the selection hot loop.
+  struct Memo {
+    uint64_t m = 0, n = 0;
+    double fpr = 0.0;
+  };
+  thread_local Memo memo[64];
+  Memo& slot = memo[(m_bits * 0x9E3779B97F4A7C15ull ^ n_items) & 63];
+  if (slot.m == m_bits && slot.n == n_items) return slot.fpr;
+  const uint32_t k = OptimalHashes(m_bits, n_items);
+  const double b = static_cast<double>(kBlockBits);
+  // A block receives Poisson(lambda)-many items, lambda = B * n / m; a
+  // block holding j items false-positives like a j-item, B-bit filter.
+  const double lambda =
+      b * static_cast<double>(n_items) / static_cast<double>(m_bits);
+  double fpr = 1.0;
+  // Past ~8 items per block bit the blocks are saturated and the FPR is 1
+  // to beyond double precision; cut off before the O(lambda) sum so even
+  // starvation-level budgets evaluate in O(1).
+  if (lambda <= 8.0 * b) {
+    // Truncate the Poisson tail well past the mean; terms decay
+    // factorially.
+    const uint64_t j_max =
+        static_cast<uint64_t>(lambda + 12.0 * std::sqrt(lambda) + 48.0);
+    double log_p = -lambda;  // log Poisson(0)
+    fpr = 0.0;
+    for (uint64_t j = 0;; ++j) {
+      const double weight = std::exp(log_p);
+      if (j > 0) {
+        const double fill = 1.0 - std::exp(-static_cast<double>(k) *
+                                           static_cast<double>(j) / b);
+        fpr += weight * std::pow(fill, static_cast<double>(k));
+      }
+      if (j >= j_max) break;
+      log_p += std::log(lambda) - std::log(static_cast<double>(j + 1));
+    }
+    fpr = std::min(fpr, 1.0);
+  }
+  slot = {m_bits, n_items, fpr};
+  return fpr;
+}
+
 void BloomFilter::InsertHash(uint64_t h1, uint64_t h2) {
+  if (words_.empty()) return;  // default-constructed: nothing to set
+  if (blocked_) {
+    uint64_t* block = words_.data() + BlockIndex(h1) * 8;
+    const uint64_t step = h1 | 1;
+    uint64_t pos = h2;
+    for (uint32_t i = 0; i < n_hashes_; ++i) {
+      const uint64_t bit = pos & (kBlockBits - 1);
+      block[bit >> 6] |= uint64_t{1} << (bit & 63);
+      pos += step;
+    }
+    return;
+  }
   for (uint32_t i = 0; i < n_hashes_; ++i) {
     uint64_t bit = BitIndex(h1, h2, i);
     words_[bit >> 6] |= uint64_t{1} << (bit & 63);
@@ -38,6 +101,21 @@ void BloomFilter::InsertHash(uint64_t h1, uint64_t h2) {
 }
 
 bool BloomFilter::MayContainHash(uint64_t h1, uint64_t h2) const {
+  // Conservative answer for a default-constructed (empty) filter; also
+  // keeps a corrupt blob that smuggled an empty filter into a probed slot
+  // from dividing by zero below.
+  if (words_.empty()) return true;
+  if (blocked_) {
+    const uint64_t* block = words_.data() + BlockIndex(h1) * 8;
+    const uint64_t step = h1 | 1;
+    uint64_t pos = h2;
+    for (uint32_t i = 0; i < n_hashes_; ++i) {
+      const uint64_t bit = pos & (kBlockBits - 1);
+      if (((block[bit >> 6] >> (bit & 63)) & 1) == 0) return false;
+      pos += step;
+    }
+    return true;
+  }
   for (uint32_t i = 0; i < n_hashes_; ++i) {
     uint64_t bit = BitIndex(h1, h2, i);
     if (((words_[bit >> 6] >> (bit & 63)) & 1) == 0) return false;
@@ -46,7 +124,10 @@ bool BloomFilter::MayContainHash(uint64_t h1, uint64_t h2) const {
 }
 
 void BloomFilter::AppendTo(std::string* out) const {
-  uint64_t header[2] = {n_bits_, n_hashes_};
+  // Unblocked filters write the original format: blobs from before the
+  // blocked layout existed remain bit-identical and keep parsing.
+  const uint64_t format = blocked_ ? uint64_t{kBlockedFormat} << 32 : 0;
+  uint64_t header[2] = {n_bits_, format | n_hashes_};
   out->append(reinterpret_cast<const char*>(header), sizeof(header));
   out->append(reinterpret_cast<const char*>(words_.data()),
               words_.size() * sizeof(uint64_t));
@@ -56,13 +137,27 @@ bool BloomFilter::ParseFrom(std::string_view* in, BloomFilter* out) {
   if (in->size() < 16) return false;
   uint64_t header[2];
   std::memcpy(header, in->data(), sizeof(header));
-  uint64_t n_bits = header[0];
+  const uint64_t n_bits = header[0];
+  const uint32_t format = static_cast<uint32_t>(header[1] >> 32);
+  const uint32_t n_hashes = static_cast<uint32_t>(header[1]);
+  if (format > kBlockedFormat) return false;  // from a future version
+  const bool blocked = format == kBlockedFormat;
+  // The constructor only produces n_bits == 0 (default-constructed, never
+  // probed), >= 64 unblocked, or a whole number of blocks; anything else
+  // is corruption.
+  if (blocked && (n_bits < kBlockBits || n_bits % kBlockBits != 0)) {
+    return false;
+  }
+  if (!blocked && n_bits != 0 && n_bits < 64) return false;
   uint64_t n_words = (n_bits + 63) / 64;
   if (in->size() < 16 + n_words * 8) return false;
   out->n_bits_ = n_bits;
-  out->n_hashes_ = static_cast<uint32_t>(header[1]);
+  out->n_hashes_ = n_hashes;
+  out->blocked_ = blocked;
   out->words_.resize(n_words);
-  std::memcpy(out->words_.data(), in->data() + 16, n_words * 8);
+  if (n_words > 0) {
+    std::memcpy(out->words_.data(), in->data() + 16, n_words * 8);
+  }
   in->remove_prefix(16 + n_words * 8);
   return true;
 }

@@ -5,6 +5,17 @@
 // keys, CLHASH-style hashing for strings, with k = ceil(m/n * ln 2) hash
 // functions capped at 32 (footnote 2). Probes use Kirsch–Mitzenmacher
 // double hashing, which preserves the asymptotic FPR of Eq. 6.
+//
+// Two probe layouts share the class:
+//  * standard — each of the k probes addresses the whole bit array: the
+//    textbook FPR, but k random cache lines per query.
+//  * blocked (Putze et al., register-blocked at cache-line granularity) —
+//    h1 picks one 512-bit block and all k probes stay inside it: one
+//    memory access per query, paid for with a slightly higher FPR because
+//    block loads are uneven (TheoreticalFprBlocked quantifies it).
+// The layout is chosen at construction and serialized: unblocked filters
+// keep the original wire format bit-for-bit, blocked filters stamp a
+// format version into the header's high bits so legacy blobs still parse.
 
 #ifndef PROTEUS_BLOOM_BLOOM_FILTER_H_
 #define PROTEUS_BLOOM_BLOOM_FILTER_H_
@@ -19,15 +30,24 @@
 
 namespace proteus {
 
+/// Which Bloom probe layout a filter (or an FPR model) assumes.
+enum class BloomProbeMode : uint32_t {
+  kStandard = 0,  // k probes spread over the whole array
+  kBlocked = 1,   // k probes confined to one 512-bit block
+};
+
 class BloomFilter {
  public:
   /// Maximum number of hash functions (paper footnote 2).
   static constexpr uint32_t kMaxHashes = 32;
+  /// Cache-line block width for the blocked layout.
+  static constexpr uint64_t kBlockBits = 512;
 
   BloomFilter() = default;
 
-  /// A filter of `n_bits` bits using `n_hashes` hash functions.
-  BloomFilter(uint64_t n_bits, uint32_t n_hashes);
+  /// A filter of `n_bits` bits using `n_hashes` hash functions. Blocked
+  /// filters round n_bits up to a whole number of 512-bit blocks.
+  BloomFilter(uint64_t n_bits, uint32_t n_hashes, bool blocked = false);
 
   /// k = ceil(m/n * ln 2), clamped to [1, kMaxHashes].
   static uint32_t OptimalHashes(uint64_t m_bits, uint64_t n_items);
@@ -35,9 +55,34 @@ class BloomFilter {
   /// Theoretical FPR of Eq. 6: (1 - e^{-ln 2})^k with k as above.
   static double TheoreticalFpr(uint64_t m_bits, uint64_t n_items);
 
+  /// Theoretical FPR of the blocked layout: the Eq. 6 form evaluated per
+  /// block and averaged over the Poisson-distributed block load
+  /// (Putze, Sanders & Singler 2007).
+  static double TheoreticalFprBlocked(uint64_t m_bits, uint64_t n_items);
+
+  /// Eq. 6 under the given probe layout.
+  static double TheoreticalFpr(uint64_t m_bits, uint64_t n_items,
+                               BloomProbeMode mode) {
+    return mode == BloomProbeMode::kBlocked
+               ? TheoreticalFprBlocked(m_bits, n_items)
+               : TheoreticalFpr(m_bits, n_items);
+  }
+
   // --- Generic probe API over a pre-hashed (h1, h2) pair. ---
   void InsertHash(uint64_t h1, uint64_t h2);
   bool MayContainHash(uint64_t h1, uint64_t h2) const;
+
+  /// Issues a prefetch for the cache line the probe for h1 will touch
+  /// first. Cheap enough to call speculatively one probe ahead.
+  void PrefetchHash(uint64_t h1) const {
+    if (words_.empty()) return;
+    if (blocked_) {
+      __builtin_prefetch(words_.data() + BlockIndex(h1) * 8);
+    } else {
+      // First probe's line only; later probes are data-dependent anyway.
+      __builtin_prefetch(words_.data() + ((h1 % n_bits_) >> 6));
+    }
+  }
 
   // --- Integer items (hashed with MurmurHash3). ---
   void InsertInt(uint64_t item) {
@@ -61,22 +106,35 @@ class BloomFilter {
 
   uint64_t n_bits() const { return n_bits_; }
   uint32_t n_hashes() const { return n_hashes_; }
+  bool blocked() const { return blocked_; }
   bool empty() const { return n_bits_ == 0; }
 
   /// Total memory in bits (bit array; metadata is O(1)).
   uint64_t SizeBits() const { return words_.size() * 64; }
 
-  /// Serialization for SST filter blocks.
+  /// Serialization for SST filter blocks. Unblocked filters emit the
+  /// legacy format unchanged; blocked filters stamp kBlockedFormat into
+  /// the unused high half of the hash-count header word.
   void AppendTo(std::string* out) const;
   static bool ParseFrom(std::string_view* in, BloomFilter* out);
 
  private:
+  /// Wire-format tag in the high 32 bits of header word 1. Legacy blobs
+  /// (n_hashes <= 32 stored as a u64) always read 0 there.
+  static constexpr uint32_t kBlockedFormat = 1;
+
   uint64_t BitIndex(uint64_t h1, uint64_t h2, uint32_t i) const {
     return (h1 + i * h2) % n_bits_;
+  }
+  /// Multiply-shift range reduction of h1 onto [0, n_blocks).
+  uint64_t BlockIndex(uint64_t h1) const {
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(h1) * (words_.size() / 8)) >> 64);
   }
 
   uint64_t n_bits_ = 0;
   uint32_t n_hashes_ = 0;
+  bool blocked_ = false;
   std::vector<uint64_t> words_;
 };
 

@@ -18,10 +18,11 @@ inline uint64_t SaltedLen(uint64_t seed, uint32_t l) {
 }  // namespace
 
 PrefixBloom::PrefixBloom(const std::vector<uint64_t>& sorted_keys,
-                         uint64_t n_bits, uint32_t prefix_len)
+                         uint64_t n_bits, uint32_t prefix_len, bool blocked)
     : prefix_len_(prefix_len) {
   n_items_ = CountUniquePrefixes(sorted_keys, prefix_len);
-  bf_ = BloomFilter(n_bits, BloomFilter::OptimalHashes(n_bits, n_items_));
+  bf_ = BloomFilter(n_bits, BloomFilter::OptimalHashes(n_bits, n_items_),
+                    blocked);
   uint64_t prev = 0;
   bool first = true;
   for (uint64_t key : sorted_keys) {
@@ -41,20 +42,41 @@ bool PrefixBloom::ProbePrefix(uint64_t prefix_value) const {
       Murmur3Int64(prefix_value, SaltedLen(kSeed2, prefix_len_)));
 }
 
+bool PrefixBloom::ProbeRange(uint64_t first, uint64_t last) const {
+  const uint64_t s1 = SaltedLen(kSeed1, prefix_len_);
+  const uint64_t s2 = SaltedLen(kSeed2, prefix_len_);
+  // Software-pipelined walk: while probe p resolves, hash p + 1 and pull
+  // its cache line in.
+  uint64_t h1 = Murmur3Int64(first, s1);
+  uint64_t h2 = Murmur3Int64(first, s2);
+  bf_.PrefetchHash(h1);
+  for (uint64_t p = first;; ++p) {
+    uint64_t nh1 = 0, nh2 = 0;
+    if (p != last) {
+      nh1 = Murmur3Int64(p + 1, s1);
+      nh2 = Murmur3Int64(p + 1, s2);
+      bf_.PrefetchHash(nh1);
+    }
+    if (bf_.MayContainHash(h1, h2)) return true;
+    if (p == last) return false;
+    h1 = nh1;
+    h2 = nh2;
+  }
+}
+
 bool PrefixBloom::MayContain(uint64_t lo, uint64_t hi,
                              uint64_t probe_limit) const {
   uint64_t first = PrefixBits64(lo, prefix_len_);
   uint64_t last = PrefixBits64(hi, prefix_len_);
-  if (last - first + 1 > probe_limit) return true;
-  for (uint64_t p = first;; ++p) {
-    if (ProbePrefix(p)) return true;
-    if (p == last) break;
-  }
-  return false;
+  // Phrased without the +1 so a full-domain range (count 2^64, which
+  // wraps to 0) still trips the limit instead of walking forever.
+  if (last - first >= probe_limit) return true;
+  return ProbeRange(first, last);
 }
 
 StrPrefixBloom::StrPrefixBloom(const std::vector<std::string>& sorted_keys,
-                               uint64_t n_bits, uint32_t prefix_len)
+                               uint64_t n_bits, uint32_t prefix_len,
+                               bool blocked)
     : prefix_len_(prefix_len) {
   // Count unique prefixes first (keys are sorted, so equal prefixes are
   // adjacent), then insert.
@@ -69,7 +91,8 @@ StrPrefixBloom::StrPrefixBloom(const std::vector<std::string>& sorted_keys,
       first = false;
     }
   }
-  bf_ = BloomFilter(n_bits, BloomFilter::OptimalHashes(n_bits, n_items_));
+  bf_ = BloomFilter(n_bits, BloomFilter::OptimalHashes(n_bits, n_items_),
+                    blocked);
   first = true;
   prev.clear();
   for (const std::string& key : sorted_keys) {
@@ -89,20 +112,43 @@ bool StrPrefixBloom::ProbePrefix(std::string_view padded_prefix) const {
       ClHash64(padded_prefix, SaltedLen(kSeed2, prefix_len_)));
 }
 
+bool StrPrefixBloom::ProbeRange(std::string_view first,
+                                std::string_view last) const {
+  const uint64_t s1 = SaltedLen(kSeed1, prefix_len_);
+  const uint64_t s2 = SaltedLen(kSeed2, prefix_len_);
+  std::string cur(first);
+  std::string next;
+  uint64_t h1 = ClHash64(cur, s1);
+  uint64_t h2 = ClHash64(cur, s2);
+  bf_.PrefetchHash(h1);
+  for (;;) {
+    const bool at_last = cur == last;
+    uint64_t nh1 = 0, nh2 = 0;
+    bool have_next = false;
+    if (!at_last) {
+      next = cur;
+      have_next = StrPrefixIncrement(&next, prefix_len_);
+      if (have_next) {
+        nh1 = ClHash64(next, s1);
+        nh2 = ClHash64(next, s2);
+        bf_.PrefetchHash(nh1);
+      }
+    }
+    if (bf_.MayContainHash(h1, h2)) return true;
+    if (at_last || !have_next) return false;
+    cur.swap(next);
+    h1 = nh1;
+    h2 = nh2;
+  }
+}
+
 bool StrPrefixBloom::MayContain(std::string_view lo, std::string_view hi,
                                 uint64_t probe_limit) const {
   uint64_t count = StrPrefixCountInRange(lo, hi, prefix_len_);
   if (count > probe_limit) return true;
   std::string p = StrPrefix(lo, prefix_len_);
   std::string last = StrPrefix(hi, prefix_len_);
-  for (;;) {
-    if (ProbePrefix(p)) return true;
-    if (p == last) break;
-    std::string next;
-    if (!StrPrefixSuccessor(p, prefix_len_, &next)) break;
-    p = std::move(next);
-  }
-  return false;
+  return ProbeRange(p, last);
 }
 
 uint64_t CountUniquePrefixes(const std::vector<uint64_t>& sorted_keys,

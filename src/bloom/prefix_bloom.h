@@ -3,6 +3,13 @@
 // every l-bit prefix region overlapping the range; the filter returns
 // negative only if all probes are negative.
 //
+// Multi-prefix walks go through ProbeRange, which hashes one prefix ahead
+// and prefetches its cache line so the memory access of probe i+1 overlaps
+// the compute of probe i. (Deriving the (h1, h2) pair of prefix p+1 from
+// p's pair was measured instead and rejected: Murmur3/CLHASH mix all input
+// bits, so consecutive prefixes share no hash state to reuse — pipelining
+// is what actually pays.)
+//
 // PrefixBloom handles 64-bit integer keys; StrPrefixBloom handles byte
 // strings under the trailing-NUL padding convention of Section 7.1.
 
@@ -25,13 +32,18 @@ class PrefixBloom {
   PrefixBloom() = default;
 
   /// Builds a filter of `n_bits` bits over the `prefix_len`-bit prefixes of
-  /// `sorted_keys` (duplicated prefixes are inserted once).
+  /// `sorted_keys` (duplicated prefixes are inserted once). `blocked`
+  /// selects the cache-line-blocked probe layout.
   PrefixBloom(const std::vector<uint64_t>& sorted_keys, uint64_t n_bits,
-              uint32_t prefix_len);
+              uint32_t prefix_len, bool blocked = false);
 
   /// Probes the single l-bit prefix that `prefix_value` denotes
   /// (right-aligned, as produced by PrefixBits64).
   bool ProbePrefix(uint64_t prefix_value) const;
+
+  /// Probes every prefix value in [first, last] (inclusive), hashing and
+  /// prefetching one prefix ahead; true on the first positive.
+  bool ProbeRange(uint64_t first, uint64_t last) const;
 
   /// True if any l-bit prefix overlapping [lo, hi] probes positive.
   /// Probing short-circuits on the first positive. If the number of
@@ -62,11 +74,16 @@ class StrPrefixBloom {
   StrPrefixBloom() = default;
 
   StrPrefixBloom(const std::vector<std::string>& sorted_keys, uint64_t n_bits,
-                 uint32_t prefix_len);
+                 uint32_t prefix_len, bool blocked = false);
 
   /// Probes one prefix given as a padded ceil(l/8)-byte buffer (the output
   /// format of StrPrefix / StrPrefixBytes).
   bool ProbePrefix(std::string_view padded_prefix) const;
+
+  /// Probes every prefix from `first` through `last` (both padded
+  /// ceil(l/8)-byte values, first <= last) in successor order, hashing and
+  /// prefetching one prefix ahead; true on the first positive.
+  bool ProbeRange(std::string_view first, std::string_view last) const;
 
   bool MayContain(std::string_view lo, std::string_view hi,
                   uint64_t probe_limit = kDefaultProbeLimit) const;

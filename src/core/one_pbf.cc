@@ -8,11 +8,17 @@ namespace proteus {
 
 std::unique_ptr<OnePbfFilter> OnePbfFilter::BuildFromSpec(
     const FilterSpec& spec, FilterBuilder& builder, std::string* error) {
-  if (!spec.ExpectKeys({"bpk", "prefix"}, error)) return nullptr;
+  if (!spec.ExpectKeys({"bpk", "prefix", "blocked"}, error)) return nullptr;
   double bpk;
   if (!spec.GetDouble("bpk", 12.0, &bpk, error)) return nullptr;
   if (bpk <= 0.0) {
     if (error != nullptr) *error = "onepbf bpk must be positive";
+    return nullptr;
+  }
+  uint32_t blocked;
+  if (!spec.GetUint32("blocked", 1, &blocked, error)) return nullptr;
+  if (blocked > 1) {
+    if (error != nullptr) *error = "onepbf blocked must be 0 or 1";
     return nullptr;
   }
 
@@ -23,28 +29,32 @@ std::unique_ptr<OnePbfFilter> OnePbfFilter::BuildFromSpec(
       if (error != nullptr) *error = "onepbf prefix must be in [1, 64]";
       return nullptr;
     }
-    return BuildWithConfig(builder.keys(), prefix_len, bpk);
+    return BuildWithConfig(builder.keys(), prefix_len, bpk, blocked != 0);
   }
 
   const CpfprModel* model = builder.DesignOrNull();
   if (model == nullptr) {
-    return BuildWithConfig(builder.keys(), 64, bpk);  // full-key Bloom
+    // Full-key Bloom fallback.
+    return BuildWithConfig(builder.keys(), 64, bpk, blocked != 0);
   }
   uint64_t budget = static_cast<uint64_t>(
       bpk * static_cast<double>(builder.keys().size()));
-  OnePbfDesign design = model->SelectOnePbf(budget);
-  auto filter = BuildWithConfig(builder.keys(), design.prefix_len, bpk);
+  OnePbfDesign design = model->SelectOnePbf(
+      budget, blocked != 0 ? BloomProbeMode::kBlocked
+                           : BloomProbeMode::kStandard);
+  auto filter =
+      BuildWithConfig(builder.keys(), design.prefix_len, bpk, blocked != 0);
   filter->modeled_fpr_ = design.expected_fpr;
   return filter;
 }
 
 std::unique_ptr<OnePbfFilter> OnePbfFilter::BuildWithConfig(
     const std::vector<uint64_t>& sorted_keys, uint32_t prefix_len,
-    double bits_per_key) {
+    double bits_per_key, bool blocked_bloom) {
   auto filter = std::unique_ptr<OnePbfFilter>(new OnePbfFilter());
   uint64_t budget = static_cast<uint64_t>(
       bits_per_key * static_cast<double>(sorted_keys.size()));
-  filter->bf_ = PrefixBloom(sorted_keys, budget, prefix_len);
+  filter->bf_ = PrefixBloom(sorted_keys, budget, prefix_len, blocked_bloom);
   return filter;
 }
 

@@ -26,10 +26,20 @@ bool ParseBudget(const FilterSpec& spec, const FilterBuilder& builder,
 
 std::unique_ptr<ProteusFilter> ProteusFilter::BuildFromSpec(
     const FilterSpec& spec, FilterBuilder& builder, std::string* error) {
-  if (!spec.ExpectKeys({"bpk", "trie", "bloom"}, error)) return nullptr;
+  if (!spec.ExpectKeys({"bpk", "trie", "bloom", "blocked"}, error)) {
+    return nullptr;
+  }
   double bpk;
   uint64_t budget;
   if (!ParseBudget(spec, builder, &bpk, &budget, error)) return nullptr;
+  uint32_t blocked;
+  if (!spec.GetUint32("blocked", 1, &blocked, error)) return nullptr;
+  if (blocked > 1) {
+    if (error != nullptr) *error = "proteus blocked must be 0 or 1";
+    return nullptr;
+  }
+  const BloomProbeMode mode =
+      blocked != 0 ? BloomProbeMode::kBlocked : BloomProbeMode::kStandard;
 
   if (spec.Has("trie") || spec.Has("bloom")) {
     Config config;
@@ -41,24 +51,26 @@ std::unique_ptr<ProteusFilter> ProteusFilter::BuildFromSpec(
       if (error != nullptr) *error = "proteus trie/bloom lengths must be <= 64";
       return nullptr;
     }
-    return BuildWithConfig(builder.keys(), config, bpk);
+    return BuildWithConfig(builder.keys(), config, bpk, blocked != 0);
   }
 
   const CpfprModel* model = builder.DesignOrNull();
   if (model == nullptr) {
     // No workload signal: default to a full-key prefix Bloom filter.
-    return BuildWithConfig(builder.keys(), Config{0, 64}, bpk);
+    return BuildWithConfig(builder.keys(), Config{0, 64}, bpk, blocked != 0);
   }
-  ProteusDesign design = model->SelectProteus(budget);
-  auto filter = BuildWithConfig(
-      builder.keys(), Config{design.trie_depth, design.bf_prefix_len}, bpk);
+  ProteusDesign design = model->SelectProteus(budget, mode);
+  auto filter =
+      BuildWithConfig(builder.keys(),
+                      Config{design.trie_depth, design.bf_prefix_len}, bpk,
+                      blocked != 0);
   filter->modeled_fpr_ = design.expected_fpr;
   return filter;
 }
 
 std::unique_ptr<ProteusFilter> ProteusFilter::BuildWithConfig(
     const std::vector<uint64_t>& sorted_keys, Config config,
-    double bits_per_key) {
+    double bits_per_key, bool blocked_bloom) {
   auto filter = std::unique_ptr<ProteusFilter>(new ProteusFilter());
   filter->config_ = config;
   uint64_t budget = static_cast<uint64_t>(
@@ -70,8 +82,8 @@ std::unique_ptr<ProteusFilter> ProteusFilter::BuildWithConfig(
   if (config.bf_prefix_len > 0) {
     uint64_t trie_bits = filter->trie_.SizeBits();
     uint64_t bf_bits = budget > trie_bits ? budget - trie_bits : 64;
-    filter->bf_ =
-        PrefixBloom(sorted_keys, bf_bits, config.bf_prefix_len);
+    filter->bf_ = PrefixBloom(sorted_keys, bf_bits, config.bf_prefix_len,
+                              blocked_bloom);
   }
   return filter;
 }
@@ -85,28 +97,26 @@ bool ProteusFilter::MayContain(uint64_t lo, uint64_t hi) const {
   }
   const uint64_t from = PrefixBits64(lo, l1);
   const uint64_t to = PrefixBits64(hi, l1);
-  uint64_t v;
-  if (!trie_.SeekGeq(from, &v)) return false;
-  while (v <= to) {
+  // One cursor serves the whole leaf walk: Next() resumes from the current
+  // leaf instead of re-descending from the root per visited leaf. Stack-
+  // allocated and allocation-free for integer tries.
+  BitTrie::Cursor cur(&trie_);
+  if (!cur.SeekGeq(from)) return false;
+  while (cur.value() <= to) {
     if (l2 == 0) return true;  // trie hit and nothing to refine with
     // Probe the l2-prefixes of Q that fall under the matched l1-prefix.
+    const uint64_t v = cur.value();
     uint64_t region_lo = PrefixRangeLo64(v, l1);
     uint64_t region_hi = PrefixRangeHi64(v, l1);
     uint64_t probe_lo = std::max(lo, region_lo);
     uint64_t probe_hi = std::min(hi, region_hi);
     uint64_t first = PrefixBits64(probe_lo, l2);
     uint64_t last = PrefixBits64(probe_hi, l2);
-    if (last - first + 1 > PrefixBloom::kDefaultProbeLimit) return true;
-    for (uint64_t p = first;; ++p) {
-      if (bf_.ProbePrefix(p)) return true;
-      if (p == last) break;
-    }
+    // No +1: a full-domain count wraps to 0 and must still trip the limit.
+    if (last - first >= PrefixBloom::kDefaultProbeLimit) return true;
+    if (bf_.ProbeRange(first, last)) return true;
     // Advance to the next trie leaf.
-    if (v == to) break;
-    uint64_t max_prefix =
-        l1 == 64 ? ~uint64_t{0} : ((uint64_t{1} << l1) - 1);
-    if (v == max_prefix) break;
-    if (!trie_.SeekGeq(v + 1, &v)) break;
+    if (v == to || !cur.Next()) break;
   }
   return false;
 }

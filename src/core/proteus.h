@@ -12,9 +12,11 @@
 // Construction goes through the shared FilterBuilder flow
 // (Sample() -> Design() -> Build()); BuildWithConfig remains for forced
 // configurations (Figure 4c sweeps, tests). Spec parameters:
-//   bpk   — memory budget in bits per key (default 12)
-//   trie  — forced trie depth l1 (skips the model)
-//   bloom — forced Bloom prefix length l2 (skips the model)
+//   bpk     — memory budget in bits per key (default 12)
+//   trie    — forced trie depth l1 (skips the model)
+//   bloom   — forced Bloom prefix length l2 (skips the model)
+//   blocked — 0|1: cache-line-blocked Bloom probes (default 1; the CPFPR
+//             model prices the blocked layout's FPR into its selection)
 
 #ifndef PROTEUS_CORE_PROTEUS_H_
 #define PROTEUS_CORE_PROTEUS_H_
@@ -57,7 +59,7 @@ class ProteusFilter : public RangeFilter {
   /// budget after the (measured) trie.
   static std::unique_ptr<ProteusFilter> BuildWithConfig(
       const std::vector<uint64_t>& sorted_keys, Config config,
-      double bits_per_key);
+      double bits_per_key, bool blocked_bloom = false);
 
   bool MayContain(uint64_t lo, uint64_t hi) const override;
   uint64_t SizeBits() const override;

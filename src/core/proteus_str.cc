@@ -10,9 +10,9 @@ namespace proteus {
 
 std::unique_ptr<ProteusStrFilter> ProteusStrFilter::BuildFromSpec(
     const FilterSpec& spec, StrFilterBuilder& builder, std::string* error) {
-  if (!spec.ExpectKeys(
-          {"bpk", "max_key_bits", "stride", "trie_grid", "trie", "bloom"},
-          error)) {
+  if (!spec.ExpectKeys({"bpk", "max_key_bits", "stride", "trie_grid", "trie",
+                        "bloom", "blocked"},
+                       error)) {
     return nullptr;
   }
   double bpk;
@@ -21,10 +21,15 @@ std::unique_ptr<ProteusStrFilter> ProteusStrFilter::BuildFromSpec(
     if (error != nullptr) *error = "proteus-str bpk must be positive";
     return nullptr;
   }
-  uint32_t max_key_bits, stride, trie_grid;
+  uint32_t max_key_bits, stride, trie_grid, blocked;
   if (!spec.GetUint32("max_key_bits", 0, &max_key_bits, error) ||
       !spec.GetUint32("stride", 1, &stride, error) ||
-      !spec.GetUint32("trie_grid", 0, &trie_grid, error)) {
+      !spec.GetUint32("trie_grid", 0, &trie_grid, error) ||
+      !spec.GetUint32("blocked", 1, &blocked, error)) {
+    return nullptr;
+  }
+  if (blocked > 1) {
+    if (error != nullptr) *error = "proteus-str blocked must be 0 or 1";
     return nullptr;
   }
   if (max_key_bits == 0) {
@@ -43,41 +48,44 @@ std::unique_ptr<ProteusStrFilter> ProteusStrFilter::BuildFromSpec(
         !spec.GetUint32("bloom", 0, &config.bf_prefix_len, error)) {
       return nullptr;
     }
-    return BuildWithConfig(builder.keys(), config, bpk);
+    return BuildWithConfig(builder.keys(), config, bpk, blocked != 0);
   }
 
   if (builder.samples().empty()) {
     // No workload signal: default to a full-padded-key prefix Bloom filter.
-    return BuildWithConfig(
-        builder.keys(), Config{0, max_key_bits, max_key_bits}, bpk);
+    return BuildWithConfig(builder.keys(),
+                           Config{0, max_key_bits, max_key_bits}, bpk,
+                           blocked != 0);
   }
   StrCpfprOptions options;
   options.bloom_grid = std::max<uint32_t>(1, 128 / std::max<uint32_t>(1, stride));
   if (trie_grid > 0) options.trie_grid = trie_grid;  // 0 = model default
   return BuildSelfDesigned(builder.keys(), builder.samples(), bpk,
-                           max_key_bits, options);
+                           max_key_bits, options, blocked != 0);
 }
 
 std::unique_ptr<ProteusStrFilter> ProteusStrFilter::BuildSelfDesigned(
     const std::vector<std::string>& sorted_keys,
     const std::vector<StrRangeQuery>& sample_queries, double bits_per_key,
-    uint32_t max_key_bits, StrCpfprOptions model_options) {
+    uint32_t max_key_bits, StrCpfprOptions model_options, bool blocked_bloom) {
   StrCpfprModel model(sorted_keys, sample_queries, max_key_bits,
                       model_options);
   uint64_t budget = static_cast<uint64_t>(
       bits_per_key * static_cast<double>(sorted_keys.size()));
-  ProteusDesign design = model.SelectProteus(budget);
+  ProteusDesign design = model.SelectProteus(
+      budget, blocked_bloom ? BloomProbeMode::kBlocked
+                            : BloomProbeMode::kStandard);
   auto filter = BuildWithConfig(
       sorted_keys,
       Config{design.trie_depth, design.bf_prefix_len, max_key_bits},
-      bits_per_key);
+      bits_per_key, blocked_bloom);
   filter->modeled_fpr_ = design.expected_fpr;
   return filter;
 }
 
 std::unique_ptr<ProteusStrFilter> ProteusStrFilter::BuildWithConfig(
     const std::vector<std::string>& sorted_keys, Config config,
-    double bits_per_key) {
+    double bits_per_key, bool blocked_bloom) {
   auto filter = std::unique_ptr<ProteusStrFilter>(new ProteusStrFilter());
   filter->config_ = config;
   uint64_t budget = static_cast<uint64_t>(
@@ -89,7 +97,8 @@ std::unique_ptr<ProteusStrFilter> ProteusStrFilter::BuildWithConfig(
   if (config.bf_prefix_len > 0) {
     uint64_t trie_bits = filter->trie_.SizeBits();
     uint64_t bf_bits = budget > trie_bits ? budget - trie_bits : 64;
-    filter->bf_ = StrPrefixBloom(sorted_keys, bf_bits, config.bf_prefix_len);
+    filter->bf_ = StrPrefixBloom(sorted_keys, bf_bits, config.bf_prefix_len,
+                                 blocked_bloom);
   }
   return filter;
 }
@@ -104,9 +113,12 @@ bool ProteusStrFilter::MayContain(std::string_view lo,
   }
   std::string from = StrPrefix(lo, l1);
   std::string to = StrPrefix(hi, l1);
-  std::string v;
-  if (!trie_.SeekGeq(from, &v)) return false;
-  while (v <= to) {
+  // A cursor walk: each subsequent leaf is one Next() from the current
+  // leaf instead of a fresh root descent on the successor prefix.
+  StrBitTrie::Cursor cur(&trie_);
+  if (!cur.SeekGeq(from)) return false;
+  while (cur.value() <= to) {
+    const std::string& v = cur.value();
     if (l2 == 0) return true;
     // Probe the l2-prefixes of Q under this trie leaf.
     // Region bounds: v zero-padded (== v under padding semantics) through
@@ -133,19 +145,9 @@ bool ProteusStrFilter::MayContain(std::string_view lo,
     }
     uint64_t n_probes = StrPrefixCountInRange(probe_lo, probe_hi, l2);
     if (n_probes > StrPrefixBloom::kDefaultProbeLimit) return true;
-    std::string p = probe_lo;
-    for (;;) {
-      if (bf_.ProbePrefix(p)) return true;
-      if (p == probe_hi) break;
-      std::string next;
-      if (!StrPrefixSuccessor(p, l2, &next)) break;
-      p = std::move(next);
-    }
+    if (bf_.ProbeRange(probe_lo, probe_hi)) return true;
     // Next trie leaf.
-    if (v == to) break;
-    std::string next_v;
-    if (!StrPrefixSuccessor(v, l1, &next_v)) break;
-    if (!trie_.SeekGeq(next_v, &v)) break;
+    if (v == to || !cur.Next()) break;
   }
   return false;
 }

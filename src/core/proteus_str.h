@@ -4,7 +4,8 @@
 //
 // Spec parameters: bpk (default 12); max_key_bits (default: longest key,
 // rounded up to whole bytes); stride (coarsens the Bloom-prefix search
-// grid: grid = 128 / stride); trie/bloom force the configuration.
+// grid: grid = 128 / stride); trie/bloom force the configuration;
+// blocked=0|1 selects cache-line-blocked Bloom probes (default 1).
 
 #ifndef PROTEUS_CORE_PROTEUS_STR_H_
 #define PROTEUS_CORE_PROTEUS_STR_H_
@@ -46,11 +47,12 @@ class ProteusStrFilter : public StrRangeFilter {
   static std::unique_ptr<ProteusStrFilter> BuildSelfDesigned(
       const std::vector<std::string>& sorted_keys,
       const std::vector<StrRangeQuery>& sample_queries, double bits_per_key,
-      uint32_t max_key_bits, StrCpfprOptions model_options = StrCpfprOptions());
+      uint32_t max_key_bits, StrCpfprOptions model_options = StrCpfprOptions(),
+      bool blocked_bloom = false);
 
   static std::unique_ptr<ProteusStrFilter> BuildWithConfig(
       const std::vector<std::string>& sorted_keys, Config config,
-      double bits_per_key);
+      double bits_per_key, bool blocked_bloom = false);
 
   bool MayContain(std::string_view lo, std::string_view hi) const override;
   uint64_t SizeBits() const override;

@@ -11,11 +11,19 @@ namespace proteus {
 
 std::unique_ptr<TwoPbfFilter> TwoPbfFilter::BuildFromSpec(
     const FilterSpec& spec, FilterBuilder& builder, std::string* error) {
-  if (!spec.ExpectKeys({"bpk", "l1", "l2", "frac1"}, error)) return nullptr;
+  if (!spec.ExpectKeys({"bpk", "l1", "l2", "frac1", "blocked"}, error)) {
+    return nullptr;
+  }
   double bpk;
   if (!spec.GetDouble("bpk", 12.0, &bpk, error)) return nullptr;
   if (bpk <= 0.0) {
     if (error != nullptr) *error = "twopbf bpk must be positive";
+    return nullptr;
+  }
+  uint32_t blocked;
+  if (!spec.GetUint32("blocked", 1, &blocked, error)) return nullptr;
+  if (blocked > 1) {
+    if (error != nullptr) *error = "twopbf blocked must be 0 or 1";
     return nullptr;
   }
 
@@ -34,37 +42,42 @@ std::unique_ptr<TwoPbfFilter> TwoPbfFilter::BuildFromSpec(
       if (error != nullptr) *error = "twopbf l1/l2 must be in [0, 64] / [1, 64]";
       return nullptr;
     }
-    return BuildWithConfig(builder.keys(), config, bpk);
+    return BuildWithConfig(builder.keys(), config, bpk, blocked != 0);
   }
 
   const CpfprModel* model = builder.DesignOrNull();
   if (model == nullptr) {
-    return BuildWithConfig(builder.keys(), Config{0, 64, 0.5}, bpk);
+    return BuildWithConfig(builder.keys(), Config{0, 64, 0.5}, bpk,
+                           blocked != 0);
   }
   uint64_t budget = static_cast<uint64_t>(
       bpk * static_cast<double>(builder.keys().size()));
-  TwoPbfDesign design = model->SelectTwoPbf(budget);
+  TwoPbfDesign design = model->SelectTwoPbf(
+      budget, blocked != 0 ? BloomProbeMode::kBlocked
+                           : BloomProbeMode::kStandard);
   auto filter = BuildWithConfig(
-      builder.keys(), Config{design.l1, design.l2, design.frac1}, bpk);
+      builder.keys(), Config{design.l1, design.l2, design.frac1}, bpk,
+      blocked != 0);
   filter->modeled_fpr_ = design.expected_fpr;
   return filter;
 }
 
 std::unique_ptr<TwoPbfFilter> TwoPbfFilter::BuildWithConfig(
     const std::vector<uint64_t>& sorted_keys, Config config,
-    double bits_per_key) {
+    double bits_per_key, bool blocked_bloom) {
   auto filter = std::unique_ptr<TwoPbfFilter>(new TwoPbfFilter());
   filter->config_ = config;
   uint64_t budget = static_cast<uint64_t>(
       bits_per_key * static_cast<double>(sorted_keys.size()));
   if (config.l1 == 0) {
-    filter->bf2_ = PrefixBloom(sorted_keys, budget, config.l2);
+    filter->bf2_ = PrefixBloom(sorted_keys, budget, config.l2, blocked_bloom);
     return filter;
   }
   uint64_t m1 = static_cast<uint64_t>(static_cast<double>(budget) *
                                       config.frac1);
-  filter->bf1_ = PrefixBloom(sorted_keys, m1, config.l1);
-  filter->bf2_ = PrefixBloom(sorted_keys, budget - m1, config.l2);
+  filter->bf1_ = PrefixBloom(sorted_keys, m1, config.l1, blocked_bloom);
+  filter->bf2_ = PrefixBloom(sorted_keys, budget - m1, config.l2,
+                             blocked_bloom);
   return filter;
 }
 

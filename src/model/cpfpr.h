@@ -26,6 +26,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "bloom/bloom_filter.h"
 #include "core/query.h"
 #include "model/key_stats.h"
 #include "model/trie_memory.h"
@@ -68,38 +69,51 @@ class CpfprModel {
              const std::vector<RangeQuery>& empty_samples);
 
   // --- Expected FPR of explicit configurations (Figure 4 matrices). ---
+  //
+  // Every evaluation takes the Bloom probe layout the built filter will
+  // use; the blocked layout trades one cache miss per probe for a mildly
+  // higher per-probe FPR, and the model must price that in for the
+  // selected design to stay calibrated.
 
   /// Proteus (Eq. 5). trie_depth == 0 -> pure BF; bf_len == 0 -> pure trie.
-  double ProteusFpr(uint32_t trie_depth, uint32_t bf_len,
-                    uint64_t mem_bits) const;
+  double ProteusFpr(uint32_t trie_depth, uint32_t bf_len, uint64_t mem_bits,
+                    BloomProbeMode mode = BloomProbeMode::kStandard) const;
 
   /// 1PBF (Eq. 1).
-  double OnePbfFpr(uint32_t prefix_len, uint64_t mem_bits) const;
+  double OnePbfFpr(uint32_t prefix_len, uint64_t mem_bits,
+                   BloomProbeMode mode = BloomProbeMode::kStandard) const;
 
   /// 2PBF (Eq. 4, closed form). frac1 = share of memory for the l1 filter.
-  double TwoPbfFpr(uint32_t l1, uint32_t l2, double frac1,
-                   uint64_t mem_bits) const;
+  double TwoPbfFpr(uint32_t l1, uint32_t l2, double frac1, uint64_t mem_bits,
+                   BloomProbeMode mode = BloomProbeMode::kStandard) const;
 
   // --- Unbinned (exact-expectation) variants, for the binning ablation. --
 
   double ProteusFprExact(uint32_t trie_depth, uint32_t bf_len,
-                         uint64_t mem_bits) const;
-  double OnePbfFprExact(uint32_t prefix_len, uint64_t mem_bits) const;
+                         uint64_t mem_bits,
+                         BloomProbeMode mode = BloomProbeMode::kStandard) const;
+  double OnePbfFprExact(uint32_t prefix_len, uint64_t mem_bits,
+                        BloomProbeMode mode = BloomProbeMode::kStandard) const;
 
   // --- Algorithm 1: configuration selection. ---
 
-  ProteusDesign SelectProteus(uint64_t mem_bits) const;
-  OnePbfDesign SelectOnePbf(uint64_t mem_bits) const;
+  ProteusDesign SelectProteus(
+      uint64_t mem_bits, BloomProbeMode mode = BloomProbeMode::kStandard) const;
+  OnePbfDesign SelectOnePbf(
+      uint64_t mem_bits, BloomProbeMode mode = BloomProbeMode::kStandard) const;
   /// Tests the paper's three memory allocations (40/60, 50/50, 60/40).
-  TwoPbfDesign SelectTwoPbf(uint64_t mem_bits) const;
+  TwoPbfDesign SelectTwoPbf(
+      uint64_t mem_bits, BloomProbeMode mode = BloomProbeMode::kStandard) const;
 
   const KeyStats& key_stats() const { return key_stats_; }
   const TrieMemoryModel& trie_model() const { return trie_model_; }
   uint64_t n_samples() const { return n_samples_; }
 
   /// Bloom filter FPR for m bits holding n items (Eq. 6 with the k <= 32
-  /// clamp evaluated through the general formula).
-  static double BloomFpr(uint64_t m_bits, uint64_t n_items);
+  /// clamp evaluated through the general formula), under the given probe
+  /// layout.
+  static double BloomFpr(uint64_t m_bits, uint64_t n_items,
+                         BloomProbeMode mode = BloomProbeMode::kStandard);
 
  private:
   struct Bin {

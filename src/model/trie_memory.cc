@@ -5,12 +5,13 @@
 namespace proteus {
 namespace {
 
-// Mirrors RankSelect::SizeBits: superblock ranks (one word per 512 bits,
-// plus sentinel) and select samples (one word per 512 ones / zeros).
+// Mirrors RankSelect::SizeBits exactly: two interleaved 64-bit index words
+// per 512-bit basic block (blocks counted over whole words), plus the
+// sentinel pair.
 uint64_t RankBits(uint64_t n_bits) {
-  uint64_t superblocks = n_bits / 512 + 2;
-  uint64_t samples = n_bits / 512 + 2;  // ones + zeros samples combined
-  return 64 * (superblocks + samples);
+  uint64_t words = (n_bits + 63) / 64;
+  uint64_t blocks = (words + 7) / 8;
+  return 128 * (blocks + 1);
 }
 
 uint64_t RoundUp64(uint64_t bits) { return (bits + 63) / 64 * 64; }

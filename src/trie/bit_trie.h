@@ -15,6 +15,16 @@
 // level carries rank support for child navigation plus an extension bitmap
 // with rank support for suffix indexing.
 //
+// Query hot path. All seeks run through BitTrieT::Cursor, which keeps the
+// full root-to-leaf descent (node index per level) in a fixed-size frame
+// stack: SeekGeq() positions at the smallest stored value >= target, and
+// Next() resumes from the current leaf — an amortized O(1) in-order
+// successor step instead of a fresh O(d) root descent per leaf. Integer
+// cursors never touch the heap (depth <= 64 fits the inline frame array
+// and the value is a word); string cursors reuse one value buffer plus a
+// small-buffer frame stack that only spills for tries deeper than 64.
+// Suffix reads and comparisons are word-at-a-time, not bit-by-bit.
+//
 // The same template serves 64-bit integer keys (IntBitOps; depth <= 64) and
 // variable-length string keys (StrBitOps; arbitrary depth, trailing-NUL
 // padding semantics).
@@ -22,8 +32,10 @@
 #ifndef PROTEUS_TRIE_BIT_TRIE_H_
 #define PROTEUS_TRIE_BIT_TRIE_H_
 
+#include <algorithm>
 #include <cassert>
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -52,6 +64,7 @@ struct IntBitOps {
     }
   }
   static Key Empty(uint32_t /*d*/) { return 0; }
+  static void Assign(Key* dst, const Key& src, uint32_t /*d*/) { *dst = src; }
   /// Compares bits [from, d) of a and b.
   static int CompareFrom(const Key& a, const Key& b, uint32_t from,
                          uint32_t d) {
@@ -61,6 +74,20 @@ struct IntBitOps {
     uint64_t av = a & mask;
     uint64_t bv = b & mask;
     return av < bv ? -1 : (av > bv ? 1 : 0);
+  }
+  /// Overwrites bits [i, d) of *value with `d - i` suffix bits starting at
+  /// `base` in `suffixes`. One two-word bit fetch plus a bit reversal —
+  /// never a per-bit loop.
+  static void WriteSuffix(Key* value, uint32_t i, uint32_t d,
+                          const BitVector& suffixes, uint64_t base) {
+    const uint32_t stride = d - i;  // in [1, 64]
+    const uint64_t chunk = suffixes.GetBits(base, stride);
+    // Suffix bit t (LSB-first in chunk) is key bit i + t, which lives at
+    // position d - 1 - i - t = stride - 1 - t from the value's LSB.
+    const uint64_t rev = ReverseBits64(chunk) >> (64 - stride);
+    const uint64_t mask =
+        stride == 64 ? ~uint64_t{0} : ((uint64_t{1} << stride) - 1);
+    *value = (*value & ~mask) | rev;
   }
 };
 
@@ -77,14 +104,101 @@ struct StrBitOps {
     (*k)[i >> 3] = static_cast<char>(v ? (byte | mask) : (byte & ~mask));
   }
   static Key Empty(uint32_t d) { return Key((d + 7) / 8, '\0'); }
+  /// Copies src into a ceil(d/8)-byte padded buffer, reusing dst's
+  /// capacity, with bits past d masked to zero.
+  static void Assign(Key* dst, const Key& src, uint32_t d) {
+    const size_t n = (d + 7) / 8;
+    dst->assign(src.data(), std::min(src.size(), n));
+    dst->resize(n, '\0');
+    if ((d & 7) != 0 && n > 0) {
+      (*dst)[n - 1] = static_cast<char>(
+          static_cast<uint8_t>((*dst)[n - 1]) & (0xFFu << (8 - (d & 7))));
+    }
+  }
+  /// Compares bits [from, d) byte/word-wise: masked head byte, memcmp over
+  /// the aligned middle, masked tail byte. Strings shorter than ceil(d/8)
+  /// bytes compare as if NUL-padded.
   static int CompareFrom(const Key& a, const Key& b, uint32_t from,
                          uint32_t d) {
-    for (uint32_t i = from; i < d; ++i) {
-      bool ab = StrGetBit(a, i);
-      bool bb = StrGetBit(b, i);
-      if (ab != bb) return ab ? 1 : -1;
+    if (from >= d) return 0;
+    const uint64_t n = (d + 7) / 8;
+    auto byte_at = [](const Key& s, uint64_t idx) -> uint8_t {
+      return idx < s.size() ? static_cast<uint8_t>(s[idx]) : 0;
+    };
+    uint64_t i = from >> 3;
+    if (from & 7) {
+      uint8_t mask = static_cast<uint8_t>(0xFFu >> (from & 7));
+      if (i == n - 1 && (d & 7)) {
+        mask &= static_cast<uint8_t>(0xFFu << (8 - (d & 7)));
+      }
+      const uint8_t av = byte_at(a, i) & mask;
+      const uint8_t bv = byte_at(b, i) & mask;
+      if (av != bv) return av < bv ? -1 : 1;
+      ++i;
+    }
+    const uint64_t full_end = (d & 7) ? n - 1 : n;  // bytes wholly inside d
+    if (i < full_end) {
+      const uint64_t common = std::min({full_end, static_cast<uint64_t>(
+                                                      a.size()),
+                                        static_cast<uint64_t>(b.size())});
+      if (common > i) {
+        const int c = std::memcmp(a.data() + i, b.data() + i, common - i);
+        if (c != 0) return c < 0 ? -1 : 1;
+        i = common;
+      }
+      // One side ran out of real bytes: compare the remainder against the
+      // implicit NUL padding.
+      for (; i < full_end; ++i) {
+        const uint8_t av = byte_at(a, i);
+        const uint8_t bv = byte_at(b, i);
+        if (av != bv) return av < bv ? -1 : 1;
+      }
+    }
+    if ((d & 7) && i == n - 1) {
+      const uint8_t mask = static_cast<uint8_t>(0xFFu << (8 - (d & 7)));
+      const uint8_t av = byte_at(a, i) & mask;
+      const uint8_t bv = byte_at(b, i) & mask;
+      if (av != bv) return av < bv ? -1 : 1;
     }
     return 0;
+  }
+  /// Overwrites bits [i, d) of *value (a ceil(d/8)-byte buffer) with the
+  /// suffix bits starting at `base`; streams 64 bits per iteration.
+  static void WriteSuffix(Key* value, uint32_t i, uint32_t d,
+                          const BitVector& suffixes, uint64_t base) {
+    char* buf = value->data();
+    const size_t n_bytes = (d + 7) / 8;
+    // Zero everything from bit i on; the chunk stores below write onto
+    // byte-aligned zeroed memory.
+    size_t byte = i >> 3;
+    if (i & 7) {
+      buf[byte] = static_cast<char>(static_cast<uint8_t>(buf[byte]) &
+                                    (0xFFu << (8 - (i & 7))));
+      ++byte;
+    }
+    std::memset(buf + byte, 0, n_bytes - byte);
+    uint32_t pos = i;     // output bit cursor
+    uint64_t off = base;  // input bit cursor
+    if ((pos & 7) && pos < d) {
+      const uint32_t take = std::min<uint32_t>(8 - (pos & 7), d - pos);
+      const uint64_t chunk = suffixes.GetBits(off, take);
+      const uint64_t rev = ReverseBits64(chunk) >> (64 - take);
+      buf[pos >> 3] = static_cast<char>(
+          static_cast<uint8_t>(buf[pos >> 3]) |
+          static_cast<uint8_t>(rev << (8 - (pos & 7) - take)));
+      pos += take;
+      off += take;
+    }
+    while (pos < d) {
+      const uint32_t take =
+          static_cast<uint32_t>(std::min<uint64_t>(64, d - pos));
+      const uint64_t chunk = suffixes.GetBits(off, take);
+      // LSB-first chunk -> MSB-first-per-byte, ready for a byte store.
+      const uint64_t m = ReverseBitsInBytes64(chunk);
+      std::memcpy(buf + (pos >> 3), &m, (take + 7) / 8);
+      pos += take;
+      off += take;
+    }
   }
 };
 
@@ -153,73 +267,206 @@ class BitTrieT {
   uint64_t n_values() const { return n_values_; }
   bool empty() const { return n_values_ == 0; }
 
-  /// True if the exact d-bit prefix is stored.
-  bool Contains(const Key& prefix) const {
-    Key found;
-    if (!SeekGeq(prefix, &found)) return false;
-    return Ops::CompareFrom(found, prefix, 0, depth_) == 0;
-  }
+  /// A resumable in-order iterator over the stored d-bit values.
+  ///
+  ///   BitTrie::Cursor cur(&trie);
+  ///   for (bool ok = cur.SeekGeq(lo); ok && cur.value() <= hi;
+  ///        ok = cur.Next()) { ... }
+  ///
+  /// SeekGeq() costs one root-to-leaf descent; Next() advances to the
+  /// in-order successor from the current leaf (amortized O(1), worst case
+  /// one climb plus one descent). Neither allocates for integer tries; a
+  /// string cursor reuses its value buffer and frame stack across calls.
+  /// The cursor borrows the trie, which must stay alive and unchanged.
+  class Cursor {
+   public:
+    explicit Cursor(const BitTrieT* trie)
+        : trie_(trie), value_(Ops::Empty(trie->depth_)) {
+      if (trie_->depth_ > kInlineDepth) overflow_.resize(trie_->depth_);
+    }
 
-  /// Finds the smallest stored d-bit value >= `target`. Returns false if no
-  /// such value exists.
-  bool SeekGeq(const Key& target, Key* out) const {
-    if (depth_ == 0 || n_values_ == 0) return false;
-    Key path = Ops::Empty(depth_);
-    // Stack of (level, node, branch taken) along the exact-match descent.
-    struct Frame {
-      uint32_t level, node;
-    };
-    std::vector<Frame> stack;
-    stack.reserve(depth_);
-    uint32_t i = 0;
-    uint32_t j = 0;
-    for (;;) {
-      const Level& level = levels_[i];
-      if (level.ext.Get(j)) {
-        // Pseudo-leaf: candidate value is path[0,i) + stored suffix.
-        Key value = path;
-        ReadSuffix(i, j, &value);
-        if (Ops::CompareFrom(value, target, i, depth_) >= 0) {
-          *out = value;
+    bool valid() const { return valid_; }
+    const Key& value() const {
+      assert(valid_);
+      return value_;
+    }
+
+    /// Positions at the smallest stored value >= target. Returns valid().
+    bool SeekGeq(const Key& target) {
+      valid_ = false;
+      const uint32_t d = trie_->depth_;
+      if (d == 0 || trie_->n_values_ == 0) return false;
+      Ops::Assign(&value_, target, d);
+      uint32_t* fr = frames();
+      uint32_t i = 0;
+      uint32_t j = 0;
+      for (;;) {
+        const Level& level = trie_->levels_[i];
+        fr[i] = j;
+        if (level.ext.Get(j)) {
+          // Pseudo-leaf: candidate value is target[0, i) + stored suffix.
+          trie_->ReadSuffix(i, j, &value_);
+          if (Ops::CompareFrom(value_, target, i, d) >= 0) {
+            leaf_level_ = i;
+            valid_ = true;
+            return true;
+          }
+          return BacktrackGeq(i, target);
+        }
+        const bool b = Ops::GetBit(target, i, d);
+        const uint32_t pos = 2 * j + (b ? 1 : 0);
+        if (level.child_bits.Get(pos)) {
+          const uint32_t child =
+              static_cast<uint32_t>(level.rank.Rank1(pos));
+          if (i + 1 == d) {
+            leaf_level_ = d;  // followed target exactly to full depth
+            valid_ = true;
+            return true;
+          }
+          i += 1;
+          j = child;
+          continue;
+        }
+        if (!b && level.child_bits.Get(2 * j + 1)) {
+          // Deviate upward: take the 1-branch, then go leftmost.
+          Ops::SetBit(&value_, i, true, d);
+          const uint32_t child =
+              static_cast<uint32_t>(level.rank.Rank1(2 * j + 1));
+          if (i + 1 == d) {
+            leaf_level_ = d;
+          } else {
+            DescendLeftmost(i + 1, child);
+          }
+          valid_ = true;
           return true;
         }
-        return Backtrack(stack, target, out);
+        return BacktrackGeq(i, target);
       }
-      bool b = Ops::GetBit(target, i, depth_);
-      uint32_t pos = 2 * j + (b ? 1 : 0);
-      if (level.child_bits.Get(pos)) {
-        stack.push_back({i, j});
-        Ops::SetBit(&path, i, b, depth_);
-        uint32_t child = static_cast<uint32_t>(level.rank.Rank1(pos));
-        if (i + 1 == depth_) {
-          *out = path;
-          return true;  // followed target exactly to full depth
+    }
+
+    /// Advances to the in-order successor of the current value. Returns
+    /// false (and invalidates the cursor) after the largest stored value.
+    bool Next() {
+      if (!valid_) return false;
+      const uint32_t d = trie_->depth_;
+      const uint32_t* fr = frames();
+      // Branch levels along the current path are [0, leaf_level_): climb
+      // to the deepest ancestor where we went left and a right sibling
+      // exists, then take it and descend leftmost.
+      for (uint32_t lvl = leaf_level_; lvl-- > 0;) {
+        if (Ops::GetBit(value_, lvl, d)) continue;
+        const Level& level = trie_->levels_[lvl];
+        const uint32_t node = fr[lvl];
+        if (!level.child_bits.Get(2 * node + 1)) continue;
+        Ops::SetBit(&value_, lvl, true, d);
+        const uint32_t child =
+            static_cast<uint32_t>(level.rank.Rank1(2 * node + 1));
+        if (lvl + 1 == d) {
+          leaf_level_ = d;
+        } else {
+          DescendLeftmost(lvl + 1, child);
+        }
+        return true;
+      }
+      valid_ = false;
+      return false;
+    }
+
+   private:
+    static constexpr uint32_t kInlineDepth = 64;
+
+    uint32_t* frames() {
+      return trie_->depth_ <= kInlineDepth ? inline_frames_
+                                           : overflow_.data();
+    }
+    const uint32_t* frames() const {
+      return trie_->depth_ <= kInlineDepth ? inline_frames_
+                                           : overflow_.data();
+    }
+
+    /// Climbs from level `from` (exclusive) looking for a frame where the
+    /// target's 0-branch was taken and a 1-sibling exists; takes it and
+    /// descends leftmost. Every frame below `from` followed the target
+    /// bit exactly, and value_[0, from) still equals the target bits.
+    bool BacktrackGeq(uint32_t from, const Key& target) {
+      const uint32_t d = trie_->depth_;
+      const uint32_t* fr = frames();
+      for (uint32_t lvl = from; lvl-- > 0;) {
+        if (Ops::GetBit(target, lvl, d)) continue;
+        const Level& level = trie_->levels_[lvl];
+        const uint32_t node = fr[lvl];
+        if (!level.child_bits.Get(2 * node + 1)) continue;
+        Ops::SetBit(&value_, lvl, true, d);
+        const uint32_t child =
+            static_cast<uint32_t>(level.rank.Rank1(2 * node + 1));
+        if (lvl + 1 == d) {
+          leaf_level_ = d;
+        } else {
+          DescendLeftmost(lvl + 1, child);
+        }
+        valid_ = true;
+        return true;
+      }
+      return false;
+    }
+
+    /// Descends to the smallest value under (level i, node j), recording
+    /// frames and writing value_ bits [i, d).
+    void DescendLeftmost(uint32_t i, uint32_t j) {
+      const uint32_t d = trie_->depth_;
+      uint32_t* fr = frames();
+      for (;;) {
+        const Level& level = trie_->levels_[i];
+        fr[i] = j;
+        if (level.ext.Get(j)) {
+          trie_->ReadSuffix(i, j, &value_);
+          leaf_level_ = i;
+          return;
+        }
+        const bool go_right = !level.child_bits.Get(2 * j);
+        Ops::SetBit(&value_, i, go_right, d);
+        const uint32_t child = static_cast<uint32_t>(
+            level.rank.Rank1(2 * j + (go_right ? 1 : 0)));
+        if (i + 1 == d) {
+          leaf_level_ = d;
+          return;
         }
         i += 1;
         j = child;
-        continue;
       }
-      if (!b && level.child_bits.Get(2 * j + 1)) {
-        // Deviate upward: take the 1-branch, then go leftmost.
-        Ops::SetBit(&path, i, true, depth_);
-        uint32_t child = static_cast<uint32_t>(level.rank.Rank1(2 * j + 1));
-        if (i + 1 == depth_) {
-          *out = path;
-          return true;
-        }
-        *out = LeftmostFrom(i + 1, child, path);
-        return true;
-      }
-      return Backtrack(stack, target, out);
     }
+
+    const BitTrieT* trie_;
+    Key value_;                  // current value; bits [0, depth) valid
+    uint32_t leaf_level_ = 0;    // pseudo-leaf level, or depth for a leaf
+    bool valid_ = false;
+    uint32_t inline_frames_[kInlineDepth];  // node index per level
+    std::vector<uint32_t> overflow_;        // only for depth > kInlineDepth
+  };
+
+  /// True if the exact d-bit prefix is stored.
+  bool Contains(const Key& prefix) const {
+    Cursor cur(this);
+    if (!cur.SeekGeq(prefix)) return false;
+    return Ops::CompareFrom(cur.value(), prefix, 0, depth_) == 0;
+  }
+
+  /// Finds the smallest stored d-bit value >= `target`. Returns false if no
+  /// such value exists. Allocation-free for integer tries; for repeated
+  /// forward scans prefer a Cursor, which also skips the per-leaf descent.
+  bool SeekGeq(const Key& target, Key* out) const {
+    Cursor cur(this);
+    if (!cur.SeekGeq(target)) return false;
+    *out = cur.value();
+    return true;
   }
 
   /// True if any stored value lies in [lo_prefix, hi_prefix] (inclusive,
   /// both given as d-bit values).
   bool RangeMayContain(const Key& lo_prefix, const Key& hi_prefix) const {
-    Key found;
-    if (!SeekGeq(lo_prefix, &found)) return false;
-    return Ops::CompareFrom(found, hi_prefix, 0, depth_) <= 0;
+    Cursor cur(this);
+    if (!cur.SeekGeq(lo_prefix)) return false;
+    return Ops::CompareFrom(cur.value(), hi_prefix, 0, depth_) <= 0;
   }
 
   /// Total memory footprint in bits: child bitmaps, extension bitmaps,
@@ -293,65 +540,12 @@ class BitTrieT {
   }
 
   /// Copies the suffix of pseudo-leaf (level i, node j) into bits [i, d) of
-  /// *value.
+  /// *value, word-at-a-time.
   void ReadSuffix(uint32_t i, uint32_t j, Key* value) const {
     const Level& level = levels_[i];
-    uint64_t ext_index = level.ext_rank.Rank1(j);  // pseudo-leaves before j
-    uint64_t stride = depth_ - i;
-    uint64_t base = ext_index * stride;
-    for (uint32_t b = 0; b < stride; ++b) {
-      Ops::SetBit(value, i + b, level.suffixes.Get(base + b), depth_);
-    }
-  }
-
-  /// Smallest stored value in the subtree rooted at (level i, node j),
-  /// where bits [0, i) of `path` spell the route to that node.
-  Key LeftmostFrom(uint32_t i, uint32_t j, Key path) const {
-    for (;;) {
-      const Level& level = levels_[i];
-      if (level.ext.Get(j)) {
-        ReadSuffix(i, j, &path);
-        return path;
-      }
-      bool go_right = !level.child_bits.Get(2 * j);
-      uint32_t pos = 2 * j + (go_right ? 1 : 0);
-      Ops::SetBit(&path, i, go_right, depth_);
-      uint32_t child = static_cast<uint32_t>(level.rank.Rank1(pos));
-      if (i + 1 == depth_) return path;
-      i += 1;
-      j = child;
-    }
-  }
-
-  template <typename Stack>
-  bool Backtrack(Stack& stack, const Key& target, Key* out) const {
-    Key path = Ops::Empty(depth_);
-    // Reconstruct the path bits lazily from the target: every stacked frame
-    // followed the target bit exactly.
-    while (!stack.empty()) {
-      auto frame = stack.back();
-      stack.pop_back();
-      bool took = Ops::GetBit(target, frame.level, depth_);
-      if (!took) {
-        const Level& level = levels_[frame.level];
-        if (level.child_bits.Get(2 * frame.node + 1)) {
-          // Rebuild path prefix [0, frame.level) from target.
-          for (uint32_t b = 0; b < frame.level; ++b) {
-            Ops::SetBit(&path, b, Ops::GetBit(target, b, depth_), depth_);
-          }
-          Ops::SetBit(&path, frame.level, true, depth_);
-          uint32_t child =
-              static_cast<uint32_t>(level.rank.Rank1(2 * frame.node + 1));
-          if (frame.level + 1 == depth_) {
-            *out = path;
-            return true;
-          }
-          *out = LeftmostFrom(frame.level + 1, child, path);
-          return true;
-        }
-      }
-    }
-    return false;
+    const uint64_t ext_index = level.ext_rank.Rank1(j);  // leaves before j
+    const uint64_t stride = depth_ - i;
+    Ops::WriteSuffix(value, i, depth_, level.suffixes, ext_index * stride);
   }
 
   uint32_t depth_ = 0;

@@ -75,6 +75,17 @@ class BitVector {
     }
   }
 
+  /// Bits [pos, pos + len) as one word, LSB-first (bit `pos` at bit 0).
+  /// len <= 64 and pos + len <= size(). At most two word reads.
+  uint64_t GetBits(uint64_t pos, uint32_t len) const {
+    const uint64_t w = pos >> 6;
+    const uint32_t off = static_cast<uint32_t>(pos & 63);
+    uint64_t out = words_[w] >> off;
+    if (off + len > 64) out |= words_[w + 1] << (64 - off);
+    if (len < 64) out &= (uint64_t{1} << len) - 1;
+    return out;
+  }
+
   const uint64_t* words() const { return words_.data(); }
   uint64_t num_words() const { return words_.size(); }
 
@@ -114,7 +125,13 @@ class BitVector {
     if (in->size() < 8 + n_words * 8) return false;
     out->n_bits_ = n_bits;
     out->words_.resize(n_words);
-    std::memcpy(out->words_.data(), in->data() + 8, n_words * 8);
+    if (n_words > 0) {
+      std::memcpy(out->words_.data(), in->data() + 8, n_words * 8);
+    }
+    // Re-establish the word() invariant (bits past size() are zero) even
+    // for corrupt input — the rank index popcounts raw words and would
+    // otherwise absorb phantom ones into its directory.
+    out->TrimLastWord();
     in->remove_prefix(8 + n_words * 8);
     return true;
   }

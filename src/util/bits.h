@@ -36,6 +36,24 @@ inline int Select64(uint64_t x, int r) {
   return -1;  // Unreachable when the precondition holds.
 }
 
+/// Reverses the bit order of a 64-bit word (bit 0 <-> bit 63).
+inline uint64_t ReverseBits64(uint64_t x) {
+  x = ((x >> 1) & 0x5555555555555555ull) | ((x & 0x5555555555555555ull) << 1);
+  x = ((x >> 2) & 0x3333333333333333ull) | ((x & 0x3333333333333333ull) << 2);
+  x = ((x >> 4) & 0x0F0F0F0F0F0F0F0Full) | ((x & 0x0F0F0F0F0F0F0F0Full) << 4);
+  return __builtin_bswap64(x);
+}
+
+/// Reverses the bit order inside each byte, keeping byte order. Turns an
+/// LSB-first bit stream into the big-endian MSB-first byte layout used by
+/// string keys: stream bit t lands in byte t/8 at in-byte MSB offset t%8.
+inline uint64_t ReverseBitsInBytes64(uint64_t x) {
+  x = ((x >> 1) & 0x5555555555555555ull) | ((x & 0x5555555555555555ull) << 1);
+  x = ((x >> 2) & 0x3333333333333333ull) | ((x & 0x3333333333333333ull) << 2);
+  x = ((x >> 4) & 0x0F0F0F0F0F0F0F0Full) | ((x & 0x0F0F0F0F0F0F0F0Full) << 4);
+  return x;
+}
+
 /// Length of the longest common prefix (in bits) of two 64-bit keys, viewing
 /// each as a 64-bit big-endian bit string. Returns 64 when a == b.
 inline uint32_t LcpBits64(uint64_t a, uint64_t b) {

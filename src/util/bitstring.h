@@ -111,20 +111,26 @@ inline uint64_t StrPrefixCountInRange(std::string_view lo, std::string_view hi,
   return phi - plo + 1;
 }
 
-/// Successor of the l-bit prefix of `s` within the l-bit prefix space,
-/// returned as a padded ceil(l/8)-byte string. Returns false on overflow
+/// Increments an l-bit padded prefix (a ceil(l/8)-byte buffer) in place —
+/// the successor within the l-bit prefix space. Returns false on overflow
 /// (the prefix was the all-ones maximum).
-inline bool StrPrefixSuccessor(std::string_view s, uint64_t l,
-                               std::string* out) {
-  *out = StrPrefix(s, l);
+inline bool StrPrefixIncrement(std::string* prefix, uint64_t l) {
   uint32_t rem = static_cast<uint32_t>(l & 7);
   uint32_t carry = rem == 0 ? 1u : (1u << (8 - rem));
-  for (size_t i = out->size(); i-- > 0 && carry != 0;) {
-    uint32_t sum = static_cast<uint8_t>((*out)[i]) + carry;
-    (*out)[i] = static_cast<char>(sum & 0xFF);
+  for (size_t i = prefix->size(); i-- > 0 && carry != 0;) {
+    uint32_t sum = static_cast<uint8_t>((*prefix)[i]) + carry;
+    (*prefix)[i] = static_cast<char>(sum & 0xFF);
     carry = sum >> 8;
   }
   return carry == 0;
+}
+
+/// Successor of the l-bit prefix of `s`, returned as a fresh padded
+/// ceil(l/8)-byte string. Returns false on overflow.
+inline bool StrPrefixSuccessor(std::string_view s, uint64_t l,
+                               std::string* out) {
+  *out = StrPrefix(s, l);
+  return StrPrefixIncrement(out, l);
 }
 
 }  // namespace proteus

@@ -9,90 +9,92 @@ namespace proteus {
 void RankSelect::Build(const BitVector* bv) {
   bv_ = bv;
   n_ones_ = 0;
-  superblock_ranks_.clear();
-  select1_samples_.clear();
-  select0_samples_.clear();
-
   const uint64_t n_words = bv->num_words();
-  const uint64_t words_per_sb = kSuperblockBits / 64;
-  superblock_ranks_.reserve(n_words / words_per_sb + 2);
+  const uint64_t words_per_blk = kBlockBits / 64;
+  n_blocks_ = (n_words + words_per_blk - 1) / words_per_blk;
+  index_.assign(2 * (n_blocks_ + 1), 0);
 
   uint64_t ones = 0;
-  uint64_t zeros = 0;
-  for (uint64_t w = 0; w < n_words; ++w) {
-    if (w % words_per_sb == 0) superblock_ranks_.push_back(ones);
-    const uint64_t valid =
-        (w == n_words - 1 && (bv->size() & 63)) ? (bv->size() & 63) : 64;
-    const uint64_t mask =
-        valid == 64 ? ~uint64_t{0} : ((uint64_t{1} << valid) - 1);
-    const uint64_t word = bv->word(w) & mask;
-    const uint64_t pop = static_cast<uint64_t>(std::popcount(word));
-    const uint64_t zpop = valid - pop;
-    // Record the word containing the (k*kSelectSample + 1)-th one/zero.
-    while (select1_samples_.size() * kSelectSample + 1 <= ones + pop &&
-           select1_samples_.size() * kSelectSample + 1 > ones) {
-      select1_samples_.push_back(w);
+  for (uint64_t b = 0; b < n_blocks_; ++b) {
+    index_[2 * b] = ones;
+    uint64_t packed = 0;
+    uint64_t in_blk = 0;
+    for (uint64_t j = 0; j < words_per_blk; ++j) {
+      // Cumulative count c_j of words [block start, block start + j); c_0
+      // is implicit. A block holds at most 7 * 64 = 448 ones below its
+      // last word, so every count fits 9 bits.
+      if (j > 0) packed |= in_blk << (9 * (j - 1));
+      const uint64_t w = b * words_per_blk + j;
+      if (w < n_words) {
+        in_blk += static_cast<uint64_t>(std::popcount(bv->word(w)));
+      }
     }
-    while (select0_samples_.size() * kSelectSample + 1 <= zeros + zpop &&
-           select0_samples_.size() * kSelectSample + 1 > zeros) {
-      select0_samples_.push_back(w);
-    }
-    ones += pop;
-    zeros += zpop;
+    index_[2 * b + 1] = packed;
+    ones += in_blk;
   }
+  // Sentinel: Rank1(size()) at an exact block boundary and the select
+  // binary searches read one entry past the last block.
+  index_[2 * n_blocks_] = ones;
   n_ones_ = ones;
-  // Sentinel so Rank1(size()) at an exact superblock boundary stays in
-  // bounds.
-  superblock_ranks_.push_back(ones);
-  if (superblock_ranks_.empty()) superblock_ranks_.push_back(0);
-  if (select1_samples_.empty()) select1_samples_.push_back(0);
-  if (select0_samples_.empty()) select0_samples_.push_back(0);
 }
 
-uint64_t RankSelect::Rank1(uint64_t i) const {
-  const uint64_t words_per_sb = kSuperblockBits / 64;
-  uint64_t word = i >> 6;
-  uint64_t sb = word / words_per_sb;
-  uint64_t rank = superblock_ranks_[sb];
-  for (uint64_t w = sb * words_per_sb; w < word; ++w) {
-    rank += static_cast<uint64_t>(std::popcount(bv_->word(w)));
+template <typename AbsFn>
+uint64_t RankSelect::FindBlock(uint64_t r, AbsFn abs_of) const {
+  // Invariant: abs_of(lo) < r <= abs_of(hi). abs_of(0) == 0 < r by the
+  // select precondition r >= 1; the sentinel guarantees abs_of(n_blocks_)
+  // covers the whole vector.
+  uint64_t lo = 0;
+  uint64_t hi = n_blocks_;
+  while (hi - lo > 1) {
+    const uint64_t mid = lo + (hi - lo) / 2;
+    if (abs_of(mid) < r) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
   }
-  uint64_t rem = i & 63;
-  if (rem != 0 && word < bv_->num_words()) {
-    rank += static_cast<uint64_t>(
-        std::popcount(bv_->word(word) & ((uint64_t{1} << rem) - 1)));
-  }
-  return rank;
+  return lo;
 }
 
 uint64_t RankSelect::Select1(uint64_t r) const {
-  uint64_t w = select1_samples_[(r - 1) / kSelectSample];
-  // Ones strictly before word w.
-  uint64_t count = Rank1(w * 64);
-  for (uint64_t i = w;; ++i) {
-    uint64_t pop = static_cast<uint64_t>(std::popcount(bv_->word(i)));
-    if (count + pop >= r) {
-      return i * 64 +
-             static_cast<uint64_t>(
-                 Select64(bv_->word(i), static_cast<int>(r - count)));
-    }
-    count += pop;
+  assert(r >= 1 && r <= n_ones_ && "Select1 rank out of range");
+  const uint64_t blk =
+      FindBlock(r, [this](uint64_t b) { return index_[2 * b]; });
+  uint64_t need = r - index_[2 * blk];
+  const uint64_t packed = index_[2 * blk + 1];
+  // Packed cumulative counts find the word without touching data words.
+  uint64_t j = 0;
+  for (uint64_t k = 1; k < 8; ++k) {
+    const uint64_t c_k = (packed >> (9 * (k - 1))) & 0x1FF;
+    if (c_k < need) j = k;
   }
+  const uint64_t c_j = j == 0 ? 0 : (packed >> (9 * (j - 1))) & 0x1FF;
+  const uint64_t w = blk * 8 + j;
+  return w * 64 + static_cast<uint64_t>(
+                      Select64(bv_->word(w), static_cast<int>(need - c_j)));
 }
 
 uint64_t RankSelect::Select0(uint64_t r) const {
-  uint64_t w = select0_samples_[(r - 1) / kSelectSample];
-  uint64_t count = w * 64 - Rank1(w * 64);  // zeros before word w
-  for (uint64_t i = w;; ++i) {
-    const uint64_t valid = (i == bv_->num_words() - 1 && (bv_->size() & 63))
-                               ? (bv_->size() & 63)
-                               : 64;
+  assert(r >= 1 && r <= zeros() && "Select0 rank out of range");
+  // Zeros before block b: every bit before a (non-sentinel) block start is
+  // a real data bit, so the complement of the ones directory is itself a
+  // valid zeros directory.
+  const uint64_t blk = FindBlock(
+      r, [this](uint64_t b) { return b * kBlockBits - index_[2 * b]; });
+  uint64_t count = blk * kBlockBits - index_[2 * blk];
+  // Bounded scan of at most 8 words (one cache line of data); the final
+  // word masks padding bits past size() so they never count as zeros.
+  const uint64_t n_words = bv_->num_words();
+  const uint64_t size = bv_->size();
+  for (uint64_t w = blk * 8;; ++w) {
+    const uint64_t valid =
+        (w == n_words - 1 && (size & 63)) ? (size & 63) : 64;
     const uint64_t mask =
         valid == 64 ? ~uint64_t{0} : ((uint64_t{1} << valid) - 1);
-    const uint64_t inv = (~bv_->word(i)) & mask;
+    const uint64_t inv = (~bv_->word(w)) & mask;
     const uint64_t pop = static_cast<uint64_t>(std::popcount(inv));
     if (count + pop >= r) {
-      return i * 64 +
+      return w * 64 +
              static_cast<uint64_t>(Select64(inv, static_cast<int>(r - count)));
     }
     count += pop;

@@ -1,15 +1,24 @@
 // Rank and select support over a BitVector.
 //
-// RankSelect is an immutable index built once over a finished BitVector.
-// Rank uses 512-bit superblocks holding absolute counts; a query pops at
-// most 7 words past the superblock boundary. Select keeps position samples
-// every kSelectSample-th one (and zero) and scans forward from the sample,
-// which is O(kSelectSample/64) words worst case — plenty for the LOUDS
-// navigation patterns in this library, which are rank-heavy.
+// RankSelect is an immutable index built once over a finished BitVector,
+// laid out rank9/poppy-style for O(1), loop-free queries: the bit vector is
+// cut into 512-bit basic blocks, and each block owns two interleaved index
+// words — a 64-bit absolute rank at the block start, and seven 9-bit
+// relative (within-block, cumulative) counts packed into the second word.
+// Rank1 is therefore two adjacent index reads plus one masked popcount of
+// the target data word; it never loops over data words. Select1/Select0
+// binary-search the absolute-rank directory down to one block, use the
+// packed relative counts (Select1) or a bounded eight-word scan (Select0)
+// to find the word, and finish with an in-word select.
+//
+// Index overhead is 128 bits per 512 data bits (25%), plus one sentinel
+// block entry so Rank1(size()) at an exact block boundary stays in bounds.
 
 #ifndef PROTEUS_UTIL_RANK_SELECT_H_
 #define PROTEUS_UTIL_RANK_SELECT_H_
 
+#include <bit>
+#include <cassert>
 #include <cstdint>
 #include <vector>
 
@@ -19,8 +28,9 @@ namespace proteus {
 
 class RankSelect {
  public:
-  static constexpr uint64_t kSuperblockBits = 512;
-  static constexpr uint64_t kSelectSample = 512;
+  /// Basic block width; one interleaved (absolute, packed-relative) index
+  /// pair covers this many data bits.
+  static constexpr uint64_t kBlockBits = 512;
 
   RankSelect() = default;
 
@@ -30,8 +40,27 @@ class RankSelect {
 
   void Build(const BitVector* bv);
 
-  /// Number of ones in bv[0, i)  (i may equal size()).
-  uint64_t Rank1(uint64_t i) const;
+  /// Number of ones in bv[0, i)  (i may equal size()). O(1): two index
+  /// reads plus one masked popcount, no loop over data words.
+  uint64_t Rank1(uint64_t i) const {
+    // Overlap the (likely cold) data-word fetch with the index reads.
+    __builtin_prefetch(bv_->words() + (i >> 6));
+    const uint64_t blk = i >> 9;
+    const uint64_t word_in_blk = (i >> 6) & 7;
+    const uint64_t abs = index_[2 * blk];
+    const uint64_t packed = index_[2 * blk + 1];
+    // Relative count of words [block start, word_in_blk); c_0 == 0 is
+    // implicit, so mask the (garbage) shift result to zero for word 0.
+    uint64_t rel = (packed >> ((9 * word_in_blk - 9) & 63)) & 0x1FF;
+    rel &= -static_cast<uint64_t>(word_in_blk != 0);
+    uint64_t rank = abs + rel;
+    const uint64_t rem = i & 63;
+    if (rem != 0) {
+      rank += static_cast<uint64_t>(std::popcount(
+          bv_->word(i >> 6) & ((uint64_t{1} << rem) - 1)));
+    }
+    return rank;
+  }
 
   /// Number of zeros in bv[0, i).
   uint64_t Rank0(uint64_t i) const { return i - Rank1(i); }
@@ -46,17 +75,21 @@ class RankSelect {
   uint64_t zeros() const { return bv_ ? bv_->size() - n_ones_ : 0; }
 
   /// Index memory footprint in bits (excludes the BitVector itself).
-  uint64_t SizeBits() const {
-    return 64 * (superblock_ranks_.size() + select1_samples_.size() +
-                 select0_samples_.size());
-  }
+  uint64_t SizeBits() const { return 64 * index_.size(); }
 
  private:
+  /// Largest block whose absolute count (per `abs_of`) is < r; the search
+  /// runs over [0, n_blocks_] including the sentinel entry.
+  template <typename AbsFn>
+  uint64_t FindBlock(uint64_t r, AbsFn abs_of) const;
+
   const BitVector* bv_ = nullptr;
   uint64_t n_ones_ = 0;
-  std::vector<uint64_t> superblock_ranks_;   // absolute rank at block start
-  std::vector<uint64_t> select1_samples_;    // position of (k*sample+1)-th one
-  std::vector<uint64_t> select0_samples_;
+  uint64_t n_blocks_ = 0;
+  // Interleaved pairs: index_[2b] = ones before block b (absolute),
+  // index_[2b+1] = seven packed 9-bit cumulative in-block word counts.
+  // One sentinel pair at index n_blocks_.
+  std::vector<uint64_t> index_;
 };
 
 }  // namespace proteus

@@ -8,6 +8,9 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <new>
 #include <set>
 #include <string>
 #include <vector>
@@ -15,6 +18,34 @@
 #include "trie/bit_trie.h"
 #include "util/bits.h"
 #include "util/random.h"
+
+// Global operator-new counter so the allocation-free guarantee of the
+// integer-trie hot path is a tested invariant, not a comment. Works under
+// ASan too (the replacement operators route through malloc as usual).
+namespace {
+std::atomic<uint64_t> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+// GCC's -Wmismatched-new-delete pairs the replacement operator new above
+// with these frees at inlined call sites and misfires; replacement global
+// operators backed by malloc/free are well-defined.
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#pragma GCC diagnostic pop
 
 namespace proteus {
 namespace {
@@ -183,6 +214,124 @@ TEST(BitTrie, SizeGrowsWithDepth) {
     trie.Build(UniquePrefixes(keys, depth), depth);
     EXPECT_GE(trie.SizeBits(), prev_size);
     prev_size = trie.SizeBits();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cursor
+// ---------------------------------------------------------------------------
+
+TEST(BitTrieCursor, WalkMatchesRepeatedSeekGeq) {
+  // Cursor SeekGeq + Next() must visit exactly the values the pre-cursor
+  // SeekGeq(v + 1) advance pattern visits, across many random tries.
+  Rng seed_rng(2100);
+  for (int trial = 0; trial < 40; ++trial) {
+    const uint32_t depth = 1 + seed_rng.NextBelow(64);
+    const size_t n = 1 + seed_rng.NextBelow(250);
+    auto keys = RandomSortedKeys(n, seed_rng.Next());
+    auto prefixes = UniquePrefixes(keys, depth);
+    BitTrie trie;
+    trie.Build(prefixes, depth);
+    const uint64_t max_prefix =
+        depth == 64 ? ~uint64_t{0} : ((uint64_t{1} << depth) - 1);
+
+    // Full in-order walk == the stored prefix list.
+    BitTrie::Cursor cur(&trie);
+    std::vector<uint64_t> walked;
+    for (bool ok = cur.SeekGeq(0); ok; ok = cur.Next()) {
+      walked.push_back(cur.value());
+    }
+    EXPECT_FALSE(cur.valid());
+    ASSERT_EQ(walked, prefixes) << "depth=" << depth << " n=" << n;
+
+    // From random starting points, cursor advance == SeekGeq(v + 1).
+    Rng rng(trial * 7919 + 13);
+    for (int probe = 0; probe < 50; ++probe) {
+      uint64_t start = rng.Next() & max_prefix;
+      BitTrie::Cursor c(&trie);
+      bool c_ok = c.SeekGeq(start);
+      uint64_t v;
+      bool s_ok = trie.SeekGeq(start, &v);
+      ASSERT_EQ(c_ok, s_ok);
+      int steps = 0;
+      while (s_ok && steps++ < 20) {
+        ASSERT_EQ(c.value(), v);
+        if (v == max_prefix) break;
+        s_ok = trie.SeekGeq(v + 1, &v);
+        ASSERT_EQ(c.Next(), s_ok);
+      }
+    }
+  }
+}
+
+TEST(BitTrieCursor, IntSeeksAreAllocationFree) {
+  auto keys = RandomSortedKeys(5000, 77);
+  BitTrie trie;
+  trie.Build(keys, 64);
+  Rng rng(78);
+  // Warm up so lazily-initialized state can't be charged to the hot path.
+  uint64_t out;
+  trie.SeekGeq(rng.Next(), &out);
+  BitTrie::Cursor cur(&trie);
+  cur.SeekGeq(0);
+
+  const uint64_t before = g_alloc_count.load(std::memory_order_relaxed);
+  for (int i = 0; i < 1000; ++i) {
+    trie.SeekGeq(rng.Next(), &out);
+    trie.Contains(rng.Next());
+  }
+  BitTrie::Cursor walk(&trie);
+  for (bool ok = walk.SeekGeq(0); ok; ok = walk.Next()) {
+  }
+  const uint64_t after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before)
+      << "integer SeekGeq/Cursor::Next must not touch the heap";
+}
+
+TEST(StrBitTrieCursor, WalkMatchesStoredPrefixes) {
+  Rng rng(333);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 300; ++i) {
+    size_t len = 1 + rng.NextBelow(10);
+    std::string s;
+    for (size_t j = 0; j < len; ++j) {
+      s.push_back(static_cast<char>('a' + rng.NextBelow(5)));
+    }
+    keys.push_back(std::move(s));
+  }
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  for (uint32_t depth : {13u, 24u, 56u, 96u, 200u}) {
+    auto prefixes = StrUniquePrefixes(keys, depth);
+    std::set<std::string> ref(prefixes.begin(), prefixes.end());
+    StrBitTrie trie;
+    trie.Build({ref.begin(), ref.end()}, depth);
+    StrBitTrie::Cursor cur(&trie);
+    std::vector<std::string> walked;
+    for (bool ok = cur.SeekGeq(StrBitOps::Empty(depth)); ok; ok = cur.Next()) {
+      walked.push_back(cur.value());
+    }
+    ASSERT_EQ(walked, std::vector<std::string>(ref.begin(), ref.end()))
+        << "depth=" << depth;
+    // Resume from the middle: cursor matches lower_bound successors.
+    for (int probe = 0; probe < 200; ++probe) {
+      std::string target((depth + 7) / 8, '\0');
+      for (auto& ch : target) ch = static_cast<char>(rng.NextBelow(256));
+      target = StrPrefix(target, depth);
+      StrBitTrie::Cursor c(&trie);
+      bool ok = c.SeekGeq(target);
+      auto it = ref.lower_bound(target);
+      for (int s = 0; s < 5; ++s) {
+        if (it == ref.end()) {
+          ASSERT_FALSE(ok);
+          break;
+        }
+        ASSERT_TRUE(ok);
+        ASSERT_EQ(c.value(), *it);
+        ++it;
+        ok = c.Next();
+      }
+    }
   }
 }
 

@@ -96,6 +96,103 @@ TEST(BloomFilter, OptimalHashesCap) {
   EXPECT_EQ(BloomFilter::OptimalHashes(10000, 1000), 7u);  // ceil(10*ln2)=7
 }
 
+TEST(BlockedBloomFilter, NoFalseNegatives) {
+  auto keys = RandomSortedKeys(5000, 11);
+  BloomFilter bf(keys.size() * 10,
+                 BloomFilter::OptimalHashes(keys.size() * 10, keys.size()),
+                 /*blocked=*/true);
+  EXPECT_TRUE(bf.blocked());
+  EXPECT_EQ(bf.n_bits() % BloomFilter::kBlockBits, 0u);
+  for (uint64_t k : keys) bf.InsertInt(k);
+  for (uint64_t k : keys) EXPECT_TRUE(bf.MayContainInt(k));
+}
+
+TEST(BlockedBloomFilter, FprMatchesBlockedTheory) {
+  auto keys = RandomSortedKeys(20000, 12);
+  std::set<uint64_t> keyset(keys.begin(), keys.end());
+  for (uint64_t bpk : {8, 12, 16}) {
+    uint64_t m = keys.size() * bpk;
+    BloomFilter bf(m, BloomFilter::OptimalHashes(m, keys.size()),
+                   /*blocked=*/true);
+    for (uint64_t k : keys) bf.InsertInt(k);
+    Rng rng(13);
+    int fp = 0;
+    int probes = 200000;
+    for (int i = 0; i < probes; ++i) {
+      uint64_t q = rng.Next();
+      if (keyset.count(q)) {
+        --i;
+        continue;
+      }
+      if (bf.MayContainInt(q)) ++fp;
+    }
+    double observed = static_cast<double>(fp) / probes;
+    double standard = BloomFilter::TheoreticalFpr(m, keys.size());
+    double blocked = BloomFilter::TheoreticalFprBlocked(m, keys.size());
+    // The blocked layout pays a real FPR premium over the standard layout,
+    // and the Poisson-mixture model must price it accurately.
+    EXPECT_GT(blocked, standard) << "bpk=" << bpk;
+    EXPECT_NEAR(observed, blocked, blocked * 0.35 + 0.002) << "bpk=" << bpk;
+  }
+}
+
+TEST(BlockedBloomFilter, SerializationRoundTrip) {
+  auto keys = RandomSortedKeys(1000, 14);
+  BloomFilter bf(16384, 6, /*blocked=*/true);
+  for (uint64_t k : keys) bf.InsertInt(k);
+  std::string blob;
+  bf.AppendTo(&blob);
+  std::string_view view = blob;
+  BloomFilter parsed;
+  ASSERT_TRUE(BloomFilter::ParseFrom(&view, &parsed));
+  EXPECT_TRUE(view.empty());
+  EXPECT_TRUE(parsed.blocked());
+  EXPECT_EQ(parsed.n_bits(), bf.n_bits());
+  EXPECT_EQ(parsed.n_hashes(), bf.n_hashes());
+  for (uint64_t k : keys) EXPECT_TRUE(parsed.MayContainInt(k));
+  Rng rng(15);
+  for (int i = 0; i < 2000; ++i) {
+    uint64_t q = rng.Next();
+    EXPECT_EQ(parsed.MayContainInt(q), bf.MayContainInt(q));
+  }
+}
+
+TEST(BlockedPrefixBloom, RangeSemanticsMatchUnblocked) {
+  // Blocked probing changes the FPR constant, never the contract: any
+  // range containing a key stays positive.
+  auto keys = RandomSortedKeys(2000, 16);
+  for (uint32_t l : {16u, 40u, 64u}) {
+    PrefixBloom pb(keys, keys.size() * 12, l, /*blocked=*/true);
+    for (uint64_t k : keys) {
+      EXPECT_TRUE(pb.MayContain(k, k)) << "l=" << l;
+      uint64_t lo = k == 0 ? 0 : k - 1;
+      uint64_t hi = k == ~uint64_t{0} ? k : k + 1;
+      EXPECT_TRUE(pb.MayContain(lo, hi)) << "l=" << l;
+    }
+  }
+  std::vector<std::string> skeys = {"apple", "banana", "cherry"};
+  StrPrefixBloom spb(skeys, 1 << 14, 24, /*blocked=*/true);
+  for (const auto& k : skeys) EXPECT_TRUE(spb.MayContain(k, k)) << k;
+}
+
+TEST(PrefixBloom, ProbeRangeMatchesPerPrefixProbes) {
+  auto keys = RandomSortedKeys(3000, 17);
+  for (bool blocked : {false, true}) {
+    PrefixBloom pb(keys, keys.size() * 12, 52, blocked);
+    Rng rng(18);
+    for (int i = 0; i < 3000; ++i) {
+      uint64_t first = rng.Next() >> 12;
+      uint64_t last = first + rng.NextBelow(40);
+      bool expected = false;
+      for (uint64_t p = first; p <= last && !expected; ++p) {
+        expected = pb.ProbePrefix(p);
+      }
+      ASSERT_EQ(pb.ProbeRange(first, last), expected)
+          << "blocked=" << blocked << " [" << first << "," << last << "]";
+    }
+  }
+}
+
 TEST(PrefixBloom, NoFalseNegativesOnCoveringRanges) {
   auto keys = RandomSortedKeys(2000, 5);
   for (uint32_t l : {8u, 16u, 24u, 40u, 64u}) {

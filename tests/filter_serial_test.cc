@@ -5,10 +5,12 @@
 
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
 
+#include "bloom/bloom_filter.h"
 #include "core/filter_registry.h"
 #include "lsm/filter_policy.h"
 #include "surf/surf.h"  // EncodeKeyBE
@@ -86,7 +88,10 @@ INSTANTIATE_TEST_SUITE_P(
                       "proteus:bpk=12,trie=20,bloom=0", "onepbf:bpk=12",
                       "twopbf:bpk=12", "twopbf:l1=12,l2=40,frac1=0.4",
                       "rosetta:bpk=14", "surf:mode=base", "surf:mode=real,suffix=8",
-                      "surf:mode=hash,suffix=4", "bloom:bpk=12"));
+                      "surf:mode=hash,suffix=4", "bloom:bpk=12",
+                      "proteus:bpk=14,blocked=0", "proteus:bpk=14,blocked=1",
+                      "onepbf:bpk=12,blocked=0",
+                      "twopbf:l1=12,l2=40,blocked=1"));
 
 class StrRoundTripTest : public ::testing::TestWithParam<const char*> {};
 
@@ -225,6 +230,71 @@ TEST(FilterSerial, CorruptBlobsFailCleanly) {
   bad[8] = '\x7F';
   EXPECT_EQ(Filter::Deserialize(bad, &error), nullptr);
   EXPECT_NE(error.find("family"), std::string::npos);
+}
+
+TEST(FilterSerial, UnblockedBloomKeepsLegacyWireFormat) {
+  // An unblocked BloomFilter must serialize byte-for-byte in the original
+  // {u64 n_bits, u64 n_hashes, words...} layout, so blobs written before
+  // the blocked layout existed stay bit-identical and loadable.
+  BloomFilter bf(8192, 5, /*blocked=*/false);
+  bf.InsertInt(42);
+  std::string blob;
+  bf.AppendTo(&blob);
+  ASSERT_GE(blob.size(), 16u);
+  uint64_t header[2];
+  std::memcpy(header, blob.data(), 16);
+  EXPECT_EQ(header[0], bf.n_bits());
+  EXPECT_EQ(header[1], uint64_t{5});  // high 32 bits zero: legacy format
+
+  // A hand-built legacy blob (as an old writer would have produced it)
+  // parses into an unblocked filter.
+  std::string_view view = blob;
+  BloomFilter parsed;
+  ASSERT_TRUE(BloomFilter::ParseFrom(&view, &parsed));
+  EXPECT_FALSE(parsed.blocked());
+  EXPECT_TRUE(parsed.MayContainInt(42));
+}
+
+TEST(FilterSerial, BlockedBloomCarriesVersionedFormat) {
+  BloomFilter bf(8192, 5, /*blocked=*/true);
+  bf.InsertInt(43);
+  std::string blob;
+  bf.AppendTo(&blob);
+  uint64_t header[2];
+  std::memcpy(header, blob.data(), 16);
+  EXPECT_EQ(header[1] >> 32, 1u) << "blocked blobs must carry the format tag";
+
+  std::string_view view = blob;
+  BloomFilter parsed;
+  ASSERT_TRUE(BloomFilter::ParseFrom(&view, &parsed));
+  EXPECT_TRUE(parsed.blocked());
+  EXPECT_TRUE(parsed.MayContainInt(43));
+  EXPECT_FALSE(parsed.MayContainInt(44444));
+
+  // A format tag from the future must be rejected, not misread.
+  std::string future = blob;
+  future[12] = '\x7F';  // high half of header word 1
+  view = future;
+  EXPECT_FALSE(BloomFilter::ParseFrom(&view, &parsed));
+}
+
+TEST(FilterSerial, BlockedAndUnblockedFiltersRoundTripThroughRegistry) {
+  auto keys = GenerateKeys(Dataset::kNormal, 3000, 75);
+  for (const char* spec :
+       {"proteus:trie=16,bloom=48,blocked=1",
+        "proteus:trie=16,bloom=48,blocked=0", "onepbf:prefix=56,blocked=1",
+        "twopbf:l1=16,l2=48,blocked=1"}) {
+    auto filter = FilterRegistry::Global().Create(spec, keys);
+    ASSERT_NE(filter, nullptr) << spec;
+    std::string blob;
+    filter->Serialize(&blob);
+    std::string error;
+    auto restored = Filter::Deserialize(blob, &error);
+    ASSERT_NE(restored, nullptr) << spec << ": " << error;
+    std::string blob2;
+    restored->Serialize(&blob2);
+    EXPECT_EQ(blob, blob2) << spec;
+  }
 }
 
 TEST(FilterSerial, HugeWireCountsAreRejectedNotAllocated) {

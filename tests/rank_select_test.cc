@@ -127,6 +127,78 @@ TEST(RankSelect, AllZeros) {
   for (uint64_t r = 1; r <= 1000; r += 37) EXPECT_EQ(rs.Select0(r), r - 1);
 }
 
+TEST(RankSelect, OracleOnRandomAndDegenerateVectors) {
+  // Randomized oracle: every Rank1/Rank0/Select1/Select0 answer must match
+  // a naive popcount scan, on random, all-zero, and all-one vectors whose
+  // lengths straddle word and 512-bit block boundaries.
+  Rng rng(2024);
+  std::vector<uint64_t> sizes = {1,    63,   64,   65,   511,  512,
+                                 513,  1023, 1024, 1025, 4095, 4096,
+                                 4097, 12345};
+  for (uint64_t n : sizes) {
+    for (int kind = 0; kind < 3; ++kind) {  // 0 random, 1 zeros, 2 ones
+      BitVector bv;
+      for (uint64_t i = 0; i < n; ++i) {
+        bv.PushBack(kind == 2 || (kind == 0 && rng.NextBelow(2) == 1));
+      }
+      RankSelect rs(&bv);
+      // Naive oracle scan.
+      uint64_t ones = 0;
+      std::vector<uint64_t> one_pos, zero_pos;
+      for (uint64_t i = 0; i < n; ++i) {
+        ASSERT_EQ(rs.Rank1(i), ones) << "n=" << n << " kind=" << kind;
+        ASSERT_EQ(rs.Rank0(i), i - ones);
+        if (bv.Get(i)) {
+          ++ones;
+          one_pos.push_back(i);
+        } else {
+          zero_pos.push_back(i);
+        }
+      }
+      ASSERT_EQ(rs.Rank1(n), ones) << "Rank1(size()) n=" << n;
+      ASSERT_EQ(rs.ones(), ones);
+      for (uint64_t r = 1; r <= one_pos.size(); ++r) {
+        ASSERT_EQ(rs.Select1(r), one_pos[r - 1]) << "n=" << n;
+      }
+      for (uint64_t r = 1; r <= zero_pos.size(); ++r) {
+        ASSERT_EQ(rs.Select0(r), zero_pos[r - 1]) << "n=" << n;
+      }
+    }
+  }
+}
+
+TEST(RankSelect, SelectAtExactBlockBoundaries) {
+  // Ones placed exactly at 512-bit block seams, where the binary search
+  // over the block directory must land on the right side.
+  BitVector bv(4096 + 1, false);
+  std::vector<uint64_t> pos = {0,    511,  512,  513,  1023, 1024,
+                               2047, 2048, 4095, 4096};
+  for (uint64_t p : pos) bv.Set(p);
+  RankSelect rs(&bv);
+  ASSERT_EQ(rs.ones(), pos.size());
+  for (size_t r = 1; r <= pos.size(); ++r) {
+    EXPECT_EQ(rs.Select1(r), pos[r - 1]) << r;
+    EXPECT_EQ(rs.Rank1(pos[r - 1]), r - 1);
+    EXPECT_EQ(rs.Rank1(pos[r - 1] + 1), r);
+  }
+  // Zeros at seam positions, dual check.
+  BitVector inv(4096 + 1, true);
+  for (uint64_t p : pos) inv.Set(p, false);
+  RankSelect rsz(&inv);
+  ASSERT_EQ(rsz.zeros(), pos.size());
+  for (size_t r = 1; r <= pos.size(); ++r) {
+    EXPECT_EQ(rsz.Select0(r), pos[r - 1]) << r;
+  }
+}
+
+TEST(RankSelect, SizeBitsAccountsForIndex) {
+  BitVector bv(1 << 16, false);
+  RankSelect rs(&bv);
+  // Two 64-bit index words per 512-bit block plus one sentinel pair.
+  const uint64_t blocks = (1 << 16) / 512;
+  EXPECT_EQ(rs.SizeBits(), 64 * 2 * (blocks + 1));
+}
+
 TEST(RankSelect, SparseOnes) {
   BitVector bv(100000, false);
   std::vector<uint64_t> pos = {0, 777, 12345, 54321, 99999};
