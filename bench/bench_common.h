@@ -197,11 +197,11 @@ class JsonSink {
 /// Creates a policy from a spec string, exiting with a message on a bad
 /// spec ("none" yields the no-filter policy).
 inline std::shared_ptr<FilterPolicy> MakePolicyOrDie(const std::string& spec) {
-  std::string error;
-  auto policy = MakeFilterPolicy(spec, &error);
+  Status status;
+  auto policy = MakeFilterPolicy(spec, &status);
   if (policy == nullptr) {
     std::fprintf(stderr, "filter policy spec \"%s\": %s\n", spec.c_str(),
-                 error.c_str());
+                 status.ToString().c_str());
     std::exit(1);
   }
   return policy;

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Markdown link check for README.md and docs/.
+
+Verifies every relative link target (file or file#anchor) resolves to an
+existing file, and that in-document anchors point at a real heading.
+External http(s) links are not fetched (CI must not depend on the
+network); they are only sanity-checked for empty targets.
+
+Run from the repository root:  python3 scripts/check_links.py
+"""
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+
+
+def slugify(heading):
+    """GitHub-style anchor slug: lowercase, drop punctuation, dash spaces."""
+    text = re.sub(r"[`*_]", "", heading.strip()).lower()
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def anchors_of(path):
+    content = path.read_text(encoding="utf-8")
+    return {slugify(h) for h in HEADING_RE.findall(content)}
+
+
+def check_file(md_path, errors):
+    content = md_path.read_text(encoding="utf-8")
+    for target in LINK_RE.findall(content):
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        if target.startswith("#"):
+            if slugify(target[1:]) not in anchors_of(md_path):
+                errors.append(f"{md_path}: broken anchor {target}")
+            continue
+        file_part, _, anchor = target.partition("#")
+        resolved = (md_path.parent / file_part).resolve()
+        if not resolved.exists():
+            errors.append(f"{md_path}: broken link {target}")
+            continue
+        if anchor and resolved.suffix == ".md":
+            if anchor not in anchors_of(resolved):
+                errors.append(f"{md_path}: broken anchor {target}")
+
+
+def main():
+    files = [ROOT / "README.md"] + sorted((ROOT / "docs").glob("*.md"))
+    errors = []
+    for f in files:
+        check_file(f, errors)
+    if errors:
+        print("broken markdown links:")
+        for e in errors:
+            print(f"  - {e}")
+        return 1
+    print(f"all relative links resolve across {len(files)} markdown files")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,15 +1,19 @@
 #include "lsm/db.h"
 
 #include <dirent.h>
+#include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "core/filter.h"
-#include "hash/murmur3.h"
+#include "util/crc32c.h"
+#include "util/posix_io.h"
 #include "util/serial.h"
 #include "util/timer.h"
 
@@ -18,28 +22,87 @@ namespace {
 
 constexpr size_t kMaxLevels = 8;
 
-// MANIFEST wire format: magic, version, next_file_id, n_levels, then per
-// level a file count and per file (id, smallest, largest, n_entries,
-// file_size); a trailing Murmur3 checksum over everything before it makes
-// truncation and bit flips detectable at Open.
-constexpr uint64_t kManifestMagic = 0x494E414D544F5250ull;  // "PROTMANI"
-constexpr uint64_t kManifestVersion = 1;
-constexpr uint64_t kManifestChecksumSeed = 0xC0FFEE;
+// Internal value encoding (memtable and v3 SSTs): a 1-byte tag before
+// the user value distinguishes live values from tombstones. v2 SSTs
+// predate the tag; their values are untagged and implicitly live
+// (FileMeta::tagged_values).
+constexpr char kTagValue = 0;
+constexpr char kTagTombstone = 1;
 
-void SetError(std::string* error, std::string message) {
-  if (error != nullptr) *error = std::move(message);
+bool IsTombstone(std::string_view internal) {
+  return !internal.empty() && internal.front() == kTagTombstone;
+}
+
+std::string_view UserValue(std::string_view internal, bool tagged) {
+  if (!tagged) return internal;
+  internal.remove_prefix(1);
+  return internal;
+}
+
+/// The one place the WAL-op -> internal-value mapping is written down:
+/// both the live write path and WAL replay must agree on it.
+std::string MakeInternalValue(uint8_t op, std::string_view value) {
+  std::string internal;
+  internal.reserve(1 + value.size());
+  internal.push_back(op == kWalOpPut ? kTagValue : kTagTombstone);
+  internal.append(value);
+  return internal;
+}
+
+// MANIFEST delta log (byte-accurate spec in docs/FORMAT.md): a sequence
+// of CRC32C-framed records. The first record is always a full snapshot
+// of the tree; each flush/compaction appends a delta (files added with
+// their level, file ids retired); every manifest_compact_threshold
+// deltas the log is atomically rewritten as one fresh snapshot.
+//
+//   record  := length u32 | crc32c(payload) u32 | payload[length]
+//   snapshot payload := kind u8 (1) | magic u64 | version u64 |
+//                       next_file_id u64 | n_levels u64 |
+//                       per level: n_files u64, file*
+//   delta payload    := kind u8 (2) | next_file_id u64 |
+//                       n_added u64,  (level u64, file)* |
+//                       n_deleted u64, (file_id u64)*
+//   file := id u64 | smallest lp | largest lp | n_entries u64 |
+//           file_size u64        (lp = u64 length + raw bytes)
+constexpr uint64_t kManifestMagic = 0x494E414D544F5250ull;  // "PROTMANI"
+constexpr uint64_t kManifestVersion = 2;  // 1 = whole-rewrite (pre-WAL)
+constexpr uint8_t kManifestRecordSnapshot = 1;
+constexpr uint8_t kManifestRecordDelta = 2;
+
+/// Frames a manifest record: length + CRC32C + payload.
+std::string FrameRecord(std::string_view payload) {
+  std::string out;
+  out.reserve(8 + payload.size());
+  AppendCrcFrame(&out, payload);
+  return out;
+}
+
+void SyncDir(const std::string& dir) {
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd >= 0) {
+    ::fsync(fd);
+    ::close(fd);
+  }
 }
 
 /// K-way merge over SST iterators with newest-wins deduplication.
+/// Yields internal (tombstone-tagged) values: untagged v2 sources are
+/// normalized through a scratch buffer.
 class MergingIterator {
  public:
-  void Add(const SstReader* reader, int age) {
-    items_.push_back({SstReader::Iterator(reader), age});
+  void Add(const SstReader* reader, int age, bool tagged) {
+    items_.push_back({SstReader::Iterator(reader), age, tagged});
   }
   void Init() { FindBest(); }
   bool Valid() const { return best_ >= 0; }
   std::string_view key() const { return items_[best_].it.key(); }
-  std::string_view value() const { return items_[best_].it.value(); }
+  std::string_view value() {
+    const Item& item = items_[best_];
+    if (item.tagged) return item.it.value();
+    scratch_.assign(1, kTagValue);
+    scratch_.append(item.it.value());
+    return scratch_;
+  }
   void Next() {
     std::string current(items_[best_].it.key());
     for (auto& item : items_) {
@@ -48,10 +111,21 @@ class MergingIterator {
     FindBest();
   }
 
+  /// First read failure across the inputs. A merge that ends with a
+  /// non-OK status stopped early and MUST NOT be committed: the
+  /// missing entries would otherwise be dropped and their file unlinked.
+  Status status() const {
+    for (const auto& item : items_) {
+      if (!item.it.status().ok()) return item.it.status();
+    }
+    return Status::OK();
+  }
+
  private:
   struct Item {
     SstReader::Iterator it;
     int age;  // smaller = newer
+    bool tagged;
   };
 
   void FindBest() {
@@ -67,10 +141,11 @@ class MergingIterator {
   }
 
   std::vector<Item> items_;
+  std::string scratch_;
   int best_ = -1;
 };
 
-/// Entry source over the MemTable (flush path).
+/// Entry source over the MemTable (flush path; values already tagged).
 class MemTableSource {
  public:
   explicit MemTableSource(const SkipList& mem) {
@@ -79,6 +154,7 @@ class MemTableSource {
     });
   }
   bool Valid() const { return index_ < entries_.size(); }
+  Status status() const { return Status::OK(); }  // memory cannot fail
   std::string_view key() const { return entries_[index_].first; }
   std::string_view value() const { return entries_[index_].second; }
   void Next() { ++index_; }
@@ -88,7 +164,7 @@ class MemTableSource {
   size_t index_ = 0;
 };
 
-void WipeSstFiles(const std::string& dir) {
+void WipeDbFiles(const std::string& dir) {
   DIR* d = ::opendir(dir.c_str());
   if (d == nullptr) return;
   while (dirent* e = ::readdir(d)) {
@@ -100,20 +176,7 @@ void WipeSstFiles(const std::string& dir) {
   ::closedir(d);
   ::unlink((dir + "/MANIFEST").c_str());
   ::unlink((dir + "/MANIFEST.tmp").c_str());
-}
-
-bool WriteFileAtomic(const std::string& path, const std::string& content) {
-  const std::string tmp = path + ".tmp";
-  FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) return false;
-  size_t written = std::fwrite(content.data(), 1, content.size(), f);
-  bool ok = written == content.size() && std::fflush(f) == 0;
-  std::fclose(f);
-  if (!ok) {
-    ::unlink(tmp.c_str());
-    return false;
-  }
-  return ::rename(tmp.c_str(), path.c_str()) == 0;
+  ::unlink((dir + "/WAL").c_str());
 }
 
 }  // namespace
@@ -125,30 +188,98 @@ Db::Db(DbOptions options, bool wipe_existing)
       cache_(options_.block_cache_bytes),
       query_queue_(options_.queue_options) {
   ::mkdir(options_.dir.c_str(), 0755);
-  if (wipe_existing) WipeSstFiles(options_.dir);
   levels_.resize(kMaxLevels);
   compact_cursor_.resize(kMaxLevels, 0);
+  if (wipe_existing) {
+    WipeDbFiles(options_.dir);
+    if (options_.use_wal) {
+      wal_ = std::make_unique<WalWriter>();
+      Status s = wal_->Open(WalPath());
+      if (!s.ok()) {
+        wal_.reset();
+        wal_error_ = std::move(s);
+      }
+    }
+  }
+  // Open() (wipe_existing=false) builds the WAL writer in ReplayWal,
+  // after the existing log has been replayed and its torn tail cut.
 }
 
-std::unique_ptr<Db> Db::Open(DbOptions options, std::string* error) {
+std::unique_ptr<Db> Db::Open(DbOptions options, Status* status) {
   std::unique_ptr<Db> db(new Db(std::move(options), /*wipe_existing=*/false));
-  if (!db->Recover(error)) return nullptr;
+  Status s = db->RecoverAll();
+  if (status != nullptr) *status = s;
+  if (!s.ok()) return nullptr;
   return db;
 }
 
 Db::~Db() {
-  Flush();  // lossless close: persist the memtable and the manifest
+  if (!crashed_) {
+    // Lossless close: persist the memtable and the manifest. A failure
+    // here cannot be returned; it is still recoverable from the WAL.
+    Status s = Flush();
+    if (!s.ok()) {
+      std::fprintf(stderr, "proteus: flush on close failed: %s\n",
+                   s.ToString().c_str());
+    }
+  }
+  if (manifest_fd_ >= 0) ::close(manifest_fd_);
 }
 
-void Db::Put(std::string_view key, std::string_view value) {
-  ++stats_.puts;
-  int64_t delta = mem_.Put(key, value);
-  mem_bytes_ = static_cast<size_t>(static_cast<int64_t>(mem_bytes_) + delta);
-  if (mem_bytes_ >= options_.memtable_bytes) Flush();
+// ---------------------------------------------------------------------------
+// Write path
+// ---------------------------------------------------------------------------
+
+Status Db::Put(std::string_view key, std::string_view value) {
+  return WriteInternal(kWalOpPut, key, value);
 }
 
-Db::FilePtr Db::FinishFile(SstWriter* writer, std::vector<std::string>* keys,
-                           const std::string& path) {
+Status Db::Delete(std::string_view key) {
+  return WriteInternal(kWalOpDelete, key, {});
+}
+
+Status Db::WriteInternal(uint8_t op, std::string_view key,
+                         std::string_view value) {
+  bool need_flush = false;
+  {
+    // Shared: many writers commit concurrently; an exclusive holder
+    // (Flush) can never truncate the WAL between a commit and its
+    // memtable apply.
+    std::shared_lock<std::shared_mutex> flush_lock(flush_mu_);
+    if (crashed_) return Status::IOError("database is closed");
+    if (!bg_error_.ok()) return bg_error_;  // rejected: NOT visible
+    if (options_.use_wal) {
+      if (wal_ == nullptr) return wal_error_;
+      Status s =
+          wal_->Commit(EncodeWalRecord(op, key, value), options_.wal_sync);
+      if (!s.ok()) return s;  // not applied: a rejected write stays invisible
+    }
+    std::string internal = MakeInternalValue(op, value);
+    {
+      std::lock_guard<std::mutex> mem_lock(mem_mu_);
+      if (op == kWalOpPut) {
+        ++stats_.puts;
+      } else {
+        ++stats_.deletes;
+      }
+      int64_t delta = mem_.Put(key, internal);
+      mem_bytes_ =
+          static_cast<size_t>(static_cast<int64_t>(mem_bytes_) + delta);
+      need_flush = mem_bytes_ >= options_.memtable_bytes;
+    }
+  }
+  if (need_flush) {
+    // This write is already durable (WAL) and visible (memtable), so a
+    // failing flush must not be reported as a rejection of it. The
+    // failure is remembered in bg_error_ instead, which rejects every
+    // subsequent write until an explicit Flush() succeeds.
+    Flush();
+  }
+  return Status::OK();
+}
+
+Status Db::FinishFile(SstWriter* writer, std::vector<std::string>* keys,
+                      const std::string& path, FilePtr* out) {
   auto meta = std::make_shared<FileMeta>();
   meta->id = next_file_id_++;
   meta->path = path;
@@ -171,166 +302,27 @@ Db::FilePtr Db::FinishFile(SstWriter* writer, std::vector<std::string>* keys,
       }
     }
   }
-  // Loud (if non-fatal) failure: a truncated SST here means the next
-  // reopen fails its manifest entry rather than silently losing keys.
-  if (!writer->Finish()) {
-    std::fprintf(stderr, "proteus: I/O error writing SST %s\n",
-                 path.c_str());
-  }
+  Status s = writer->Finish();
+  if (!s.ok()) return s;
   meta->file_size = writer->file_size();
   meta->reader = std::make_unique<SstReader>();
-  if (!meta->reader->Open(path, meta->id, &cache_)) {
-    std::fprintf(stderr, "proteus: cannot reopen just-written SST %s\n",
-                 path.c_str());
-  }
+  s = meta->reader->Open(path, meta->id, &cache_);
+  if (!s.ok()) return s;
+  meta->tagged_values = true;  // just written as v3
   meta->reader->ReleaseFilterBlock();  // meta->filter is the live copy
   if (meta->filter != nullptr) ChargeFilter(*meta);
-  return meta;
+  *out = std::move(meta);
+  return Status::OK();
 }
 
 void Db::ChargeFilter(const FileMeta& meta) {
   cache_.AddPinnedBytes(meta.id, meta.filter->SizeBits() / 8);
 }
 
-void Db::WriteManifest() const {
-  std::string out;
-  PutFixed64(&out, kManifestMagic);
-  PutFixed64(&out, kManifestVersion);
-  PutFixed64(&out, next_file_id_);
-  PutFixed64(&out, levels_.size());
-  for (const auto& level : levels_) {
-    PutFixed64(&out, level.size());
-    for (const auto& f : level) {
-      PutFixed64(&out, f->id);
-      PutLengthPrefixed(&out, f->smallest);
-      PutLengthPrefixed(&out, f->largest);
-      PutFixed64(&out, f->n_entries);
-      PutFixed64(&out, f->file_size);
-    }
-  }
-  PutFixed64(&out,
-             Murmur3Bytes64(out.data(), out.size(), kManifestChecksumSeed));
-  if (!WriteFileAtomic(options_.dir + "/MANIFEST", out)) {
-    // A stale manifest strands files removed by this compaction; say so
-    // rather than letting the next Open discover it.
-    std::fprintf(stderr, "proteus: cannot write %s/MANIFEST\n",
-                 options_.dir.c_str());
-  }
-}
-
-bool Db::Recover(std::string* error) {
-  const std::string path = options_.dir + "/MANIFEST";
-  FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return true;  // no manifest: empty database
-  std::string content;
-  char buf[1 << 16];
-  size_t got;
-  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) {
-    content.append(buf, got);
-  }
-  std::fclose(f);
-
-  if (content.size() < 40) {
-    SetError(error, "manifest truncated");
-    return false;
-  }
-  std::string_view cursor(content.data(), content.size() - 8);
-  uint64_t checksum;
-  {
-    std::string_view tail(content.data() + content.size() - 8, 8);
-    GetFixed64(&tail, &checksum);
-  }
-  if (checksum != Murmur3Bytes64(cursor.data(), cursor.size(),
-                                 kManifestChecksumSeed)) {
-    SetError(error, "manifest checksum mismatch");
-    return false;
-  }
-  uint64_t magic, version, next_file_id, n_levels;
-  if (!GetFixed64(&cursor, &magic) || magic != kManifestMagic) {
-    SetError(error, "bad manifest magic");
-    return false;
-  }
-  if (!GetFixed64(&cursor, &version) || version != kManifestVersion) {
-    SetError(error, "unsupported manifest version");
-    return false;
-  }
-  if (!GetFixed64(&cursor, &next_file_id) ||
-      !GetFixed64(&cursor, &n_levels) || n_levels > kMaxLevels) {
-    SetError(error, "corrupt manifest header");
-    return false;
-  }
-  uint64_t max_id = 0;
-  for (uint64_t level = 0; level < n_levels; ++level) {
-    uint64_t n_files;
-    if (!GetFixed64(&cursor, &n_files)) {
-      SetError(error, "corrupt manifest level header");
-      return false;
-    }
-    for (uint64_t i = 0; i < n_files; ++i) {
-      auto meta = std::make_shared<FileMeta>();
-      if (!GetFixed64(&cursor, &meta->id) ||
-          !GetLengthPrefixed(&cursor, &meta->smallest) ||
-          !GetLengthPrefixed(&cursor, &meta->largest) ||
-          !GetFixed64(&cursor, &meta->n_entries) ||
-          !GetFixed64(&cursor, &meta->file_size)) {
-        SetError(error, "corrupt manifest file entry");
-        return false;
-      }
-      meta->path = options_.dir + "/" + std::to_string(meta->id) + ".sst";
-      if (!LoadFile(meta, error)) return false;
-      max_id = std::max(max_id, meta->id);
-      levels_[level].push_back(std::move(meta));
-    }
-  }
-  if (!cursor.empty()) {
-    SetError(error, "trailing bytes in manifest");
-    return false;
-  }
-  next_file_id_ = std::max(next_file_id, max_id + 1);
-  return true;
-}
-
-bool Db::LoadFile(const FilePtr& meta, std::string* error) {
-  meta->reader = std::make_unique<SstReader>();
-  if (!meta->reader->Open(meta->path, meta->id, &cache_)) {
-    SetError(error, "cannot open SST file " + meta->path);
-    return false;
-  }
-  const bool wants_filters = options_.filter_policy != nullptr &&
-                             options_.filter_policy->Name() != "none";
-  if (wants_filters) {
-    meta->filter = meta->reader->LoadFilter();
-    if (meta->filter != nullptr) {
-      ++stats_.filter_loads;
-    } else {
-      // Missing, truncated, bit-flipped, or format-incompatible filter
-      // block: rebuild from the file's keys instead of failing the open.
-      std::vector<std::string> keys;
-      keys.reserve(meta->n_entries);
-      meta->reader->ForEach(
-          [&keys](std::string_view k, std::string_view) {
-            keys.emplace_back(k);
-          });
-      Stopwatch timer;
-      meta->filter =
-          options_.filter_policy->Build(keys, query_queue_.Snapshot());
-      stats_.filter_build_ns += timer.ElapsedNanos();
-      if (meta->filter != nullptr) {
-        ++stats_.filter_rebuilds;
-        stats_.filter_bits_built += meta->filter->SizeBits();
-        stats_.keys_filtered += keys.size();
-      }
-    }
-  }
-  meta->reader->ReleaseFilterBlock();  // live filter holds the memory now
-  if (meta->filter != nullptr) ChargeFilter(*meta);
-  return true;
-}
-
 template <typename Iter>
-std::vector<Db::FilePtr> Db::WriteSstFiles(Iter&& entries, int target_level,
-                                           size_t max_data_bytes) {
-  std::vector<FilePtr> out;
+Status Db::WriteSstFiles(Iter&& entries, int target_level,
+                         size_t max_data_bytes, bool drop_tombstones,
+                         std::vector<FilePtr>* out) {
   SstWriter::Options wopts;
   wopts.block_size = options_.block_size;
   wopts.compress = target_level >= options_.compress_min_level;
@@ -341,29 +333,62 @@ std::vector<Db::FilePtr> Db::WriteSstFiles(Iter&& entries, int target_level,
     std::vector<std::string> keys;
     size_t data_bytes = 0;
     while (entries.Valid() && data_bytes < max_data_bytes) {
-      writer.Add(entries.key(), entries.value());
+      std::string_view value = entries.value();
+      if (drop_tombstones && IsTombstone(value)) {
+        // Bottom-level compaction: nothing below can hold an older
+        // version, so the tombstone has finished its work.
+        entries.Next();
+        continue;
+      }
+      writer.Add(entries.key(), value);
       keys.emplace_back(entries.key());
-      data_bytes += entries.key().size() + entries.value().size();
+      data_bytes += entries.key().size() + value.size();
       entries.Next();
     }
-    out.push_back(FinishFile(&writer, &keys, path));
+    // An input that stopped on a read error invalidates the merge: fail
+    // before this (incomplete) file can be finished and committed.
+    Status in = entries.status();
+    if (!in.ok()) return in;
+    if (writer.n_entries() == 0) continue;  // everything was a tombstone
+    FilePtr meta;
+    Status s = FinishFile(&writer, &keys, path, &meta);
+    if (!s.ok()) return s;
+    out->push_back(std::move(meta));
   }
-  return out;
+  return entries.status();
 }
 
-void Db::Flush() {
-  if (mem_.size() == 0) return;
+Status Db::Flush() {
+  std::unique_lock<std::shared_mutex> flush_lock(flush_mu_);
+  Status s = FlushLocked();
+  bg_error_ = s;  // failure rejects later writes; success clears
+  return s;
+}
+
+Status Db::FlushLocked() {
+  if (mem_.size() == 0) return Status::OK();
   MemTableSource source(mem_);
-  auto files =
-      WriteSstFiles(source, /*target_level=*/0, ~size_t{0});
+  std::vector<FilePtr> files;
+  Status s = WriteSstFiles(source, /*target_level=*/0, ~size_t{0},
+                           /*drop_tombstones=*/false, &files);
+  if (!s.ok()) return s;
+  ManifestEdit edit;
   for (auto& f : files) {
+    edit.added.emplace_back(0, f);
     levels_[0].insert(levels_[0].begin(), std::move(f));  // newest first
   }
   ++stats_.flushes;
   mem_.Clear();
   mem_bytes_ = 0;
-  MaybeCompact();
-  WriteManifest();
+  s = AppendManifestDelta(edit);
+  if (!s.ok()) return s;
+  // Only now is the WAL redundant: its contents live in fsync'd SSTs
+  // referenced by a durable manifest record.
+  if (wal_ != nullptr) {
+    s = wal_->Reset();
+    if (!s.ok()) return s;
+  }
+  return MaybeCompact();
 }
 
 uint64_t Db::LevelLimitBytes(size_t level) const {
@@ -378,13 +403,20 @@ uint64_t Db::LevelBytes(size_t level) const {
   return total;
 }
 
-void Db::RemoveFile(const FilePtr& f) {
+bool Db::LevelsBelowEmpty(size_t first_level) const {
+  for (size_t level = first_level; level < kMaxLevels; ++level) {
+    if (!levels_[level].empty()) return false;
+  }
+  return true;
+}
+
+void Db::DropFile(const FilePtr& f) {
   cache_.EraseFile(f->id);
   ::unlink(f->path.c_str());
 }
 
-void Db::CompactL0() {
-  if (levels_[0].empty()) return;
+Status Db::CompactL0() {
+  if (levels_[0].empty()) return Status::OK();
   ++stats_.compactions;
   std::string smallest = levels_[0][0]->smallest;
   std::string largest = levels_[0][0]->largest;
@@ -394,19 +426,30 @@ void Db::CompactL0() {
   }
   MergingIterator merge;
   int age = 0;
-  for (const auto& f : levels_[0]) merge.Add(f->reader.get(), age++);
+  for (const auto& f : levels_[0]) {
+    merge.Add(f->reader.get(), age++, f->tagged_values);
+  }
   std::vector<FilePtr> l1_keep;
+  std::vector<FilePtr> removed;
   for (const auto& f : levels_[1]) {
     if (f->largest < smallest || f->smallest > largest) {
       l1_keep.push_back(f);
     } else {
-      merge.Add(f->reader.get(), age++);
+      merge.Add(f->reader.get(), age++, f->tagged_values);
     }
   }
   merge.Init();
-  auto outputs = WriteSstFiles(merge, /*target_level=*/1,
-                               options_.sst_target_bytes);
-  for (const auto& f : levels_[0]) RemoveFile(f);
+  std::vector<FilePtr> outputs;
+  Status s = WriteSstFiles(merge, /*target_level=*/1,
+                           options_.sst_target_bytes,
+                           /*drop_tombstones=*/LevelsBelowEmpty(2), &outputs);
+  if (!s.ok()) return s;
+
+  ManifestEdit edit;
+  for (const auto& f : levels_[0]) {
+    edit.deleted.push_back(f->id);
+    removed.push_back(f);
+  }
   for (const auto& f : levels_[1]) {
     bool kept = false;
     for (const auto& k : l1_keep) {
@@ -415,37 +458,57 @@ void Db::CompactL0() {
         break;
       }
     }
-    if (!kept) RemoveFile(f);
+    if (!kept) {
+      edit.deleted.push_back(f->id);
+      removed.push_back(f);
+    }
   }
   levels_[0].clear();
-  for (auto& f : outputs) l1_keep.push_back(std::move(f));
+  for (auto& f : outputs) {
+    edit.added.emplace_back(1, f);
+    l1_keep.push_back(std::move(f));
+  }
   std::sort(l1_keep.begin(), l1_keep.end(),
             [](const FilePtr& a, const FilePtr& b) {
               return a->smallest < b->smallest;
             });
   levels_[1] = std::move(l1_keep);
+
+  s = AppendManifestDelta(edit);
+  if (!s.ok()) return s;
+  // Obsolete files go away only after the delta retiring them is
+  // durable — a crash in between must find a consistent (older) tree.
+  for (const auto& f : removed) DropFile(f);
+  return Status::OK();
 }
 
-void Db::CompactLevel(size_t level) {
-  if (levels_[level].empty() || level + 1 >= kMaxLevels) return;
+Status Db::CompactLevel(size_t level) {
+  if (levels_[level].empty() || level + 1 >= kMaxLevels) return Status::OK();
   ++stats_.compactions;
   size_t pick = compact_cursor_[level] % levels_[level].size();
   compact_cursor_[level] = pick + 1;
   FilePtr input = levels_[level][pick];
 
   MergingIterator merge;
-  merge.Add(input->reader.get(), 0);
+  merge.Add(input->reader.get(), 0, input->tagged_values);
   std::vector<FilePtr> next_keep;
+  std::vector<FilePtr> removed;
   for (const auto& f : levels_[level + 1]) {
     if (f->largest < input->smallest || f->smallest > input->largest) {
       next_keep.push_back(f);
     } else {
-      merge.Add(f->reader.get(), 1);
+      merge.Add(f->reader.get(), 1, f->tagged_values);
     }
   }
   merge.Init();
-  auto outputs = WriteSstFiles(merge, static_cast<int>(level + 1),
-                               options_.sst_target_bytes);
+  std::vector<FilePtr> outputs;
+  Status s = WriteSstFiles(merge, static_cast<int>(level + 1),
+                           options_.sst_target_bytes,
+                           /*drop_tombstones=*/LevelsBelowEmpty(level + 2),
+                           &outputs);
+  if (!s.ok()) return s;
+
+  ManifestEdit edit;
   for (const auto& f : levels_[level + 1]) {
     bool kept = false;
     for (const auto& k : next_keep) {
@@ -454,83 +517,497 @@ void Db::CompactLevel(size_t level) {
         break;
       }
     }
-    if (!kept) RemoveFile(f);
+    if (!kept) {
+      edit.deleted.push_back(f->id);
+      removed.push_back(f);
+    }
   }
-  RemoveFile(input);
+  edit.deleted.push_back(input->id);
+  removed.push_back(input);
   levels_[level].erase(levels_[level].begin() + pick);
-  for (auto& f : outputs) next_keep.push_back(std::move(f));
+  for (auto& f : outputs) {
+    edit.added.emplace_back(level + 1, f);
+    next_keep.push_back(std::move(f));
+  }
   std::sort(next_keep.begin(), next_keep.end(),
             [](const FilePtr& a, const FilePtr& b) {
               return a->smallest < b->smallest;
             });
   levels_[level + 1] = std::move(next_keep);
+
+  s = AppendManifestDelta(edit);
+  if (!s.ok()) return s;
+  for (const auto& f : removed) DropFile(f);
+  return Status::OK();
 }
 
-void Db::MaybeCompact() {
+Status Db::MaybeCompact() {
   if (static_cast<int>(levels_[0].size()) >=
       options_.l0_compaction_trigger) {
-    CompactL0();
+    Status s = CompactL0();
+    if (!s.ok()) return s;
   }
   for (size_t level = 1; level + 1 < kMaxLevels; ++level) {
-    while (LevelBytes(level) > LevelLimitBytes(level)) CompactLevel(level);
+    while (LevelBytes(level) > LevelLimitBytes(level)) {
+      Status s = CompactLevel(level);
+      if (!s.ok()) return s;
+    }
   }
+  return Status::OK();
 }
 
-void Db::CompactAll() {
-  Flush();
-  if (!levels_[0].empty()) CompactL0();
-  for (size_t level = 1; level + 1 < kMaxLevels; ++level) {
-    while (LevelBytes(level) > LevelLimitBytes(level)) CompactLevel(level);
+Status Db::CompactAll() {
+  std::unique_lock<std::shared_mutex> flush_lock(flush_mu_);
+  Status s = FlushLocked();
+  if (s.ok() && !levels_[0].empty()) s = CompactL0();
+  for (size_t level = 1; s.ok() && level + 1 < kMaxLevels; ++level) {
+    while (s.ok() && LevelBytes(level) > LevelLimitBytes(level)) {
+      s = CompactLevel(level);
+    }
   }
-  WriteManifest();
+  bg_error_ = s;
+  return s;
 }
+
+// ---------------------------------------------------------------------------
+// MANIFEST delta log
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void EncodeFileMeta(std::string* out, uint64_t id,
+                    const std::string& smallest, const std::string& largest,
+                    uint64_t n_entries, uint64_t file_size) {
+  PutFixed64(out, id);
+  PutLengthPrefixed(out, smallest);
+  PutLengthPrefixed(out, largest);
+  PutFixed64(out, n_entries);
+  PutFixed64(out, file_size);
+}
+
+bool DecodeFileMeta(std::string_view* cursor, uint64_t* id,
+                    std::string* smallest, std::string* largest,
+                    uint64_t* n_entries, uint64_t* file_size) {
+  return GetFixed64(cursor, id) && GetLengthPrefixed(cursor, smallest) &&
+         GetLengthPrefixed(cursor, largest) &&
+         GetFixed64(cursor, n_entries) && GetFixed64(cursor, file_size);
+}
+
+}  // namespace
+
+Status Db::WriteManifestSnapshot() {
+  std::string payload;
+  payload.push_back(static_cast<char>(kManifestRecordSnapshot));
+  PutFixed64(&payload, kManifestMagic);
+  PutFixed64(&payload, kManifestVersion);
+  PutFixed64(&payload, next_file_id_);
+  PutFixed64(&payload, levels_.size());
+  for (const auto& level : levels_) {
+    PutFixed64(&payload, level.size());
+    for (const auto& f : level) {
+      EncodeFileMeta(&payload, f->id, f->smallest, f->largest, f->n_entries,
+                     f->file_size);
+    }
+  }
+  const std::string framed = FrameRecord(payload);
+
+  const std::string tmp = ManifestPath() + ".tmp";
+  int fd = ::open(tmp.c_str(), O_CREAT | O_TRUNC | O_WRONLY, 0644);
+  if (fd < 0) return Status::IOError(Errno("cannot create " + tmp));
+  Status s = WriteAllFd(fd, framed, "manifest write");
+  if (s.ok() && ::fsync(fd) != 0) {
+    s = Status::IOError(Errno("manifest fsync failed"));
+  }
+  ::close(fd);
+  if (!s.ok()) {
+    ::unlink(tmp.c_str());
+    return s;
+  }
+  if (::rename(tmp.c_str(), ManifestPath().c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return Status::IOError(Errno("cannot rename manifest into place"));
+  }
+  SyncDir(options_.dir);
+  if (manifest_fd_ >= 0) ::close(manifest_fd_);
+  manifest_fd_ = ::open(ManifestPath().c_str(), O_WRONLY | O_APPEND);
+  if (manifest_fd_ < 0) {
+    return Status::IOError(Errno("cannot reopen manifest for append"));
+  }
+  manifest_deltas_since_snapshot_ = 0;
+  ++stats_.manifest_snapshots;
+  return Status::OK();
+}
+
+Status Db::AppendManifestDelta(const ManifestEdit& edit) {
+  // New SSTs named by this edit are fsync'd; make their directory
+  // entries durable before the manifest starts referring to them.
+  if (!edit.added.empty()) SyncDir(options_.dir);
+  if (manifest_fd_ < 0 ||
+      manifest_deltas_since_snapshot_ + 1 > options_.manifest_compact_threshold) {
+    // First write, or time to fold the delta history into one record.
+    return WriteManifestSnapshot();
+  }
+  std::string payload;
+  payload.push_back(static_cast<char>(kManifestRecordDelta));
+  PutFixed64(&payload, next_file_id_);
+  PutFixed64(&payload, edit.added.size());
+  for (const auto& [level, f] : edit.added) {
+    PutFixed64(&payload, level);
+    EncodeFileMeta(&payload, f->id, f->smallest, f->largest, f->n_entries,
+                   f->file_size);
+  }
+  PutFixed64(&payload, edit.deleted.size());
+  for (uint64_t id : edit.deleted) PutFixed64(&payload, id);
+
+  Status s = WriteAllFd(manifest_fd_, FrameRecord(payload), "manifest write");
+  if (s.ok() && ::fdatasync(manifest_fd_) != 0) {
+    s = Status::IOError(Errno("manifest fdatasync failed"));
+  }
+  if (!s.ok()) {
+    // The append may have left a torn frame at the tail. Appending more
+    // deltas after it would put good records beyond the point where
+    // recovery stops reading — so drop the append fd: the NEXT manifest
+    // write takes the manifest_fd_ < 0 branch above and rewrites a full
+    // snapshot (atomic rename), which both discards the debris and
+    // re-records every file this failed edit added to levels_.
+    ::close(manifest_fd_);
+    manifest_fd_ = -1;
+    return s;
+  }
+  ++manifest_deltas_since_snapshot_;
+  ++stats_.manifest_deltas;
+  return Status::OK();
+}
+
+Status Db::RecoverManifest(bool* torn_tail) {
+  *torn_tail = false;
+  std::string content;
+  bool found = false;
+  Status read = ReadFileToString(ManifestPath(), &content, &found);
+  if (!read.ok()) return read;
+  if (!found || content.empty()) return Status::OK();  // empty db
+
+  uint64_t recovered_next_id = 1;
+  size_t records = 0;
+  size_t deltas_since_snapshot = 0;
+  size_t offset = 0;
+  while (offset < content.size()) {
+    if (offset + 8 > content.size()) {
+      *torn_tail = true;  // header cut short: crash mid-append
+      break;
+    }
+    const uint32_t length = LoadFixed32(content.data() + offset);
+    const uint32_t crc = LoadFixed32(content.data() + offset + 4);
+    if (offset + 8 + length > content.size()) {
+      *torn_tail = true;  // payload cut short: crash mid-append
+      break;
+    }
+    std::string_view payload(content.data() + offset + 8, length);
+    if (Crc32c(payload) != crc) {
+      // A complete frame whose bytes changed is damage, not a torn
+      // write — torn appends truncate, they do not rewrite history.
+      return Status::Corruption("manifest record CRC mismatch at offset " +
+                                std::to_string(offset));
+    }
+    std::string_view cursor = payload;
+    if (cursor.empty()) {
+      return Status::Corruption("empty manifest record");
+    }
+    const uint8_t kind = static_cast<uint8_t>(cursor.front());
+    cursor.remove_prefix(1);
+
+    if (kind == kManifestRecordSnapshot) {
+      uint64_t magic, version, n_levels;
+      if (!GetFixed64(&cursor, &magic) || magic != kManifestMagic) {
+        return Status::Corruption("bad manifest magic");
+      }
+      if (!GetFixed64(&cursor, &version) || version != kManifestVersion) {
+        return Status::NotSupported("unsupported manifest version");
+      }
+      if (!GetFixed64(&cursor, &recovered_next_id) ||
+          !GetFixed64(&cursor, &n_levels) || n_levels > kMaxLevels) {
+        return Status::Corruption("corrupt manifest snapshot header");
+      }
+      for (auto& level : levels_) level.clear();  // snapshot replaces state
+      for (uint64_t level = 0; level < n_levels; ++level) {
+        uint64_t n_files;
+        if (!GetFixed64(&cursor, &n_files)) {
+          return Status::Corruption("corrupt manifest level header");
+        }
+        for (uint64_t i = 0; i < n_files; ++i) {
+          auto meta = std::make_shared<FileMeta>();
+          if (!DecodeFileMeta(&cursor, &meta->id, &meta->smallest,
+                              &meta->largest, &meta->n_entries,
+                              &meta->file_size)) {
+            return Status::Corruption("corrupt manifest file entry");
+          }
+          meta->path =
+              options_.dir + "/" + std::to_string(meta->id) + ".sst";
+          levels_[level].push_back(std::move(meta));
+        }
+      }
+      deltas_since_snapshot = 0;
+    } else if (kind == kManifestRecordDelta) {
+      if (records == 0) {
+        return Status::Corruption("manifest does not start with a snapshot");
+      }
+      uint64_t n_added, n_deleted;
+      if (!GetFixed64(&cursor, &recovered_next_id) ||
+          !GetFixed64(&cursor, &n_added)) {
+        return Status::Corruption("corrupt manifest delta header");
+      }
+      for (uint64_t i = 0; i < n_added; ++i) {
+        uint64_t level;
+        auto meta = std::make_shared<FileMeta>();
+        if (!GetFixed64(&cursor, &level) || level >= kMaxLevels ||
+            !DecodeFileMeta(&cursor, &meta->id, &meta->smallest,
+                            &meta->largest, &meta->n_entries,
+                            &meta->file_size)) {
+          return Status::Corruption("corrupt manifest delta add");
+        }
+        meta->path = options_.dir + "/" + std::to_string(meta->id) + ".sst";
+        if (level == 0) {
+          // L0 deltas list newest first, matching the in-memory order.
+          levels_[0].insert(levels_[0].begin(), std::move(meta));
+        } else {
+          levels_[level].push_back(std::move(meta));
+        }
+      }
+      if (!GetFixed64(&cursor, &n_deleted)) {
+        return Status::Corruption("corrupt manifest delta header");
+      }
+      for (uint64_t i = 0; i < n_deleted; ++i) {
+        uint64_t id;
+        if (!GetFixed64(&cursor, &id)) {
+          return Status::Corruption("corrupt manifest delta delete");
+        }
+        bool erased = false;
+        for (auto& level : levels_) {
+          for (size_t j = 0; j < level.size(); ++j) {
+            if (level[j]->id == id) {
+              level.erase(level.begin() + j);
+              erased = true;
+              break;
+            }
+          }
+          if (erased) break;
+        }
+        if (!erased) {
+          return Status::Corruption("manifest delta retires unknown file " +
+                                    std::to_string(id));
+        }
+      }
+      ++deltas_since_snapshot;
+    } else {
+      return Status::Corruption("unknown manifest record kind");
+    }
+    if (!cursor.empty()) {
+      return Status::Corruption("trailing bytes in manifest record");
+    }
+    ++records;
+    offset += 8 + length;
+  }
+
+  if (records == 0) {
+    // Non-empty file with no intact record: this is not crash debris
+    // (appends preserve the snapshot prefix), it is damage.
+    return Status::Corruption("manifest has no intact snapshot record");
+  }
+
+  // Levels >= 1 must be sorted by smallest key (deltas append).
+  for (size_t level = 1; level < kMaxLevels; ++level) {
+    std::sort(levels_[level].begin(), levels_[level].end(),
+              [](const FilePtr& a, const FilePtr& b) {
+                return a->smallest < b->smallest;
+              });
+  }
+
+  uint64_t max_id = 0;
+  for (const auto& level : levels_) {
+    for (const auto& f : level) {
+      Status s = LoadFile(f);
+      if (!s.ok()) return s;
+      max_id = std::max(max_id, f->id);
+    }
+  }
+  next_file_id_ = std::max(recovered_next_id, max_id + 1);
+  manifest_deltas_since_snapshot_ = deltas_since_snapshot;
+
+  if (!*torn_tail) {
+    manifest_fd_ = ::open(ManifestPath().c_str(), O_WRONLY | O_APPEND);
+    if (manifest_fd_ < 0) {
+      return Status::IOError(Errno("cannot reopen manifest for append"));
+    }
+  }
+  // Torn tail: RecoverAll rewrites a fresh snapshot (which opens the
+  // append fd), discarding the debris instead of appending after it.
+  return Status::OK();
+}
+
+Status Db::LoadFile(const FilePtr& meta) {
+  meta->reader = std::make_unique<SstReader>();
+  Status s = meta->reader->Open(meta->path, meta->id, &cache_);
+  if (!s.ok()) return s;
+  meta->tagged_values = meta->reader->footer_version() >= 3;
+  const bool wants_filters = options_.filter_policy != nullptr &&
+                             options_.filter_policy->Name() != "none";
+  if (wants_filters) {
+    meta->filter = meta->reader->LoadFilter();
+    if (meta->filter != nullptr) {
+      ++stats_.filter_loads;
+    } else {
+      // Missing, truncated, bit-flipped, or format-incompatible filter
+      // block: rebuild from the file's keys instead of failing the open.
+      // If a data block is unreadable the key list is incomplete and a
+      // filter built on it would return false negatives — leave the
+      // file unfiltered instead (seeks probe it directly and surface
+      // the block damage as read errors).
+      std::vector<std::string> keys;
+      keys.reserve(meta->n_entries);
+      const bool all_keys = meta->reader->ForEach(
+          [&keys](std::string_view k, std::string_view) {
+            keys.emplace_back(k);
+          });
+      if (all_keys) {
+        Stopwatch timer;
+        meta->filter =
+            options_.filter_policy->Build(keys, query_queue_.Snapshot());
+        stats_.filter_build_ns += timer.ElapsedNanos();
+        if (meta->filter != nullptr) {
+          ++stats_.filter_rebuilds;
+          stats_.filter_bits_built += meta->filter->SizeBits();
+          stats_.keys_filtered += keys.size();
+        }
+      }
+    }
+  }
+  meta->reader->ReleaseFilterBlock();  // live filter holds the memory now
+  if (meta->filter != nullptr) ChargeFilter(*meta);
+  return Status::OK();
+}
+
+Status Db::ReplayWal() {
+  uint64_t valid_bytes = 0;
+  bool torn = false;
+  Status s = WalReplay(
+      WalPath(),
+      [this](uint8_t op, std::string_view key, std::string_view value) {
+        int64_t delta = mem_.Put(key, MakeInternalValue(op, value));
+        mem_bytes_ =
+            static_cast<size_t>(static_cast<int64_t>(mem_bytes_) + delta);
+        ++stats_.wal_replayed;
+      },
+      &valid_bytes, &torn);
+  if (!s.ok()) return s;
+  if (!options_.use_wal) {
+    // A log left by a previous use_wal run was just replayed into the
+    // memtable (honoring its acknowledged writes); this session keeps
+    // no log, so the file must go — otherwise a later use_wal=true open
+    // would replay the stale history on top of newer state. Flush the
+    // replayed records FIRST: they were durably acknowledged, and
+    // unlinking their only copy before SSTs hold them would let a
+    // crash during this session revoke that acknowledgement.
+    if (stats_.wal_replayed > 0) {
+      Status fs = FlushLocked();  // Open runs single-threaded: safe
+      if (!fs.ok()) return fs;
+    }
+    ::unlink(WalPath().c_str());
+    return Status::OK();
+  }
+  if (torn) {
+    // The torn record was never acknowledged; cut it so the log ends at
+    // a record boundary before we append to it again.
+    if (::truncate(WalPath().c_str(), static_cast<off_t>(valid_bytes)) != 0) {
+      return Status::IOError(Errno("cannot truncate torn WAL tail"));
+    }
+  }
+  wal_ = std::make_unique<WalWriter>();
+  return wal_->Open(WalPath());
+}
+
+Status Db::RecoverAll() {
+  bool manifest_torn = false;
+  Status s = RecoverManifest(&manifest_torn);
+  if (!s.ok()) return s;
+  s = ReplayWal();
+  if (!s.ok()) return s;
+  if (manifest_torn) {
+    // Replace snapshot+deltas+debris with one clean snapshot record.
+    s = WriteManifestSnapshot();
+    if (!s.ok()) return s;
+  }
+  RemoveOrphanSsts();
+  return Status::OK();
+}
+
+void Db::RemoveOrphanSsts() {
+  DIR* d = ::opendir(options_.dir.c_str());
+  if (d == nullptr) return;
+  while (dirent* e = ::readdir(d)) {
+    std::string name = e->d_name;
+    if (name.size() <= 4 || name.substr(name.size() - 4) != ".sst") continue;
+    const std::string stem = name.substr(0, name.size() - 4);
+    char* end = nullptr;
+    const uint64_t id = std::strtoull(stem.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0') continue;  // not one of ours
+    bool referenced = false;
+    for (const auto& level : levels_) {
+      for (const auto& f : level) {
+        if (f->id == id) {
+          referenced = true;
+          break;
+        }
+      }
+      if (referenced) break;
+    }
+    if (!referenced) ::unlink((options_.dir + "/" + name).c_str());
+  }
+  ::closedir(d);
+  ::unlink((options_.dir + "/MANIFEST.tmp").c_str());  // staging debris
+}
+
+// ---------------------------------------------------------------------------
+// Read path
+// ---------------------------------------------------------------------------
 
 bool Db::Seek(std::string_view lo, std::string_view hi, std::string* key,
-              std::string* value) {
+              std::string* value, Status* status) {
   ++stats_.seeks;
-  bool found = false;
-  std::string best_key, best_value;
-  int best_age = 1 << 30;
-  auto consider = [&](std::string_view k, std::string_view v, int age) {
-    if (k > hi) return;
-    if (!found || k < best_key || (k == best_key && age < best_age)) {
-      found = true;
-      best_key.assign(k);
-      best_value.assign(v);
-      best_age = age;
-    }
+  if (status != nullptr) *status = Status::OK();
+  Status first_error;
+  auto note_error = [&](Status s) {
+    ++stats_.read_errors;
+    if (first_error.ok()) first_error = std::move(s);
   };
+  std::string cursor(lo);
+  std::string best_key, best_value;
+  while (true) {
+    bool found = false;
+    bool best_tombstone = false;
+    int best_age = 1 << 30;
+    auto consider = [&](std::string_view k, std::string_view internal,
+                        int age, bool tagged) {
+      if (k > hi) return;
+      if (!found || k < best_key || (k == best_key && age < best_age)) {
+        found = true;
+        best_key.assign(k);
+        best_tombstone = tagged && IsTombstone(internal);
+        best_value.assign(UserValue(internal, tagged));
+        best_age = age;
+      }
+    };
 
-  SkipList::Entry entry;
-  if (mem_.SeekGeq(lo, &entry)) consider(entry.key, entry.value, 0);
-
-  int age = 1;
-  std::string fk, fv;
-  for (const auto& f : levels_[0]) {
-    int file_age = age++;
-    if (f->largest < lo || f->smallest > hi) continue;
-    std::string_view clip_lo = lo > f->smallest ? lo : f->smallest;
-    std::string_view clip_hi = hi < f->largest ? hi : f->largest;
-    ++stats_.filter_checks;
-    if (f->filter != nullptr && !f->filter->MayContain(clip_lo, clip_hi)) {
-      ++stats_.filter_negatives;
-      continue;
+    SkipList::Entry entry;
+    if (mem_.SeekGeq(cursor, &entry)) {
+      consider(entry.key, entry.value, 0, /*tagged=*/true);
     }
-    ++stats_.sst_seeks;
-    int rc = f->reader->SeekInRange(lo, hi, &fk, &fv);
-    if (rc == 0) {
-      consider(fk, fv, file_age);
-    } else if (rc == 1 && f->filter != nullptr) {
-      ++stats_.false_positive_files;
-    }
-  }
 
-  for (size_t level = 1; level < kMaxLevels; ++level) {
-    int level_age = 1000 + static_cast<int>(level);
-    for (const auto& f : levels_[level]) {
-      if (f->largest < lo) continue;
-      if (f->smallest > hi) break;
-      std::string_view clip_lo = lo > f->smallest ? lo : f->smallest;
+    int age = 1;
+    std::string fk, fv;
+    for (const auto& f : levels_[0]) {
+      int file_age = age++;
+      if (f->largest < cursor || f->smallest > hi) continue;
+      std::string_view clip_lo = cursor > f->smallest ? cursor : f->smallest;
       std::string_view clip_hi = hi < f->largest ? hi : f->largest;
       ++stats_.filter_checks;
       if (f->filter != nullptr && !f->filter->MayContain(clip_lo, clip_hi)) {
@@ -538,24 +1015,81 @@ bool Db::Seek(std::string_view lo, std::string_view hi, std::string* key,
         continue;
       }
       ++stats_.sst_seeks;
-      int rc = f->reader->SeekInRange(lo, hi, &fk, &fv);
+      Status read_status;
+      int rc = f->reader->SeekInRange(cursor, hi, &fk, &fv, &read_status);
       if (rc == 0) {
-        consider(fk, fv, level_age);
-        break;  // smallest in-range key of this level found
+        consider(fk, fv, file_age, f->tagged_values);
+      } else if (rc == 1 && f->filter != nullptr) {
+        ++stats_.false_positive_files;
+      } else if (rc == -1) {
+        note_error(std::move(read_status));
       }
-      if (rc == 1 && f->filter != nullptr) ++stats_.false_positive_files;
+    }
+
+    for (size_t level = 1; level < kMaxLevels; ++level) {
+      int level_age = 1000 + static_cast<int>(level);
+      for (const auto& f : levels_[level]) {
+        if (f->largest < cursor) continue;
+        if (f->smallest > hi) break;
+        std::string_view clip_lo =
+            cursor > f->smallest ? cursor : f->smallest;
+        std::string_view clip_hi = hi < f->largest ? hi : f->largest;
+        ++stats_.filter_checks;
+        if (f->filter != nullptr &&
+            !f->filter->MayContain(clip_lo, clip_hi)) {
+          ++stats_.filter_negatives;
+          continue;
+        }
+        ++stats_.sst_seeks;
+        Status read_status;
+        int rc = f->reader->SeekInRange(cursor, hi, &fk, &fv, &read_status);
+        if (rc == 0) {
+          consider(fk, fv, level_age, f->tagged_values);
+          break;  // smallest in-range key of this level found
+        }
+        if (rc == 1 && f->filter != nullptr) ++stats_.false_positive_files;
+        if (rc == -1) note_error(std::move(read_status));
+      }
+    }
+
+    if (!found) {
+      ++stats_.empty_seeks;
+      query_queue_.OnEmptyQuery(lo, hi);
+      if (status != nullptr) *status = std::move(first_error);
+      return false;
+    }
+    if (!best_tombstone) {
+      if (key != nullptr) key->assign(best_key);
+      if (value != nullptr) value->assign(best_value);
+      if (status != nullptr) *status = std::move(first_error);
+      return true;
+    }
+    // The newest version in range is a tombstone: resume the scan just
+    // past the deleted key (its successor in byte order).
+    cursor.assign(best_key);
+    cursor.push_back('\0');
+  }
+}
+
+Status Db::VerifyChecksums() const {
+  for (const auto& level : levels_) {
+    for (const auto& f : level) {
+      Status s = f->reader->VerifyChecksums();
+      if (!s.ok()) return s;
     }
   }
-
-  if (!found) {
-    ++stats_.empty_seeks;
-    query_queue_.OnEmptyQuery(lo, hi);
-    return false;
-  }
-  if (key != nullptr) key->assign(best_key);
-  if (value != nullptr) value->assign(best_value);
-  return true;
+  return Status::OK();
 }
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+WalWriter::Stats Db::wal_stats() const {
+  return wal_ != nullptr ? wal_->stats() : WalWriter::Stats{};
+}
+
+Status Db::background_error() const { return bg_error_; }
 
 std::vector<size_t> Db::LevelFileCounts() const {
   std::vector<size_t> out;
@@ -587,6 +1121,18 @@ uint64_t Db::TotalKeys() const {
     for (const auto& f : level) total += f->n_entries;
   }
   return total;
+}
+
+void Db::TEST_CrashClose() {
+  std::unique_lock<std::shared_mutex> flush_lock(flush_mu_);
+  crashed_ = true;
+  wal_.reset();        // closes the fd; the file stays as-is on disk
+  mem_.Clear();        // kill -9 takes the memtable with it
+  mem_bytes_ = 0;
+  if (manifest_fd_ >= 0) {
+    ::close(manifest_fd_);
+    manifest_fd_ = -1;
+  }
 }
 
 }  // namespace proteus

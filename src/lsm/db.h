@@ -3,6 +3,9 @@
 //
 // Architecture (mirroring the paper's description of RocksDB):
 //  * a skiplist MemTable buffering writes,
+//  * a write-ahead log (src/lsm/wal.h): every Put/Delete is CRC-framed
+//    and group-committed to dir/WAL before it is acknowledged, so a
+//    process kill between flushes loses nothing,
 //  * L0 SST files flushed directly from the MemTable (overlapping ranges,
 //    newest first),
 //  * levels L1..Lmax of range-partitioned, non-overlapping SST files with
@@ -15,18 +18,37 @@
 //    then fetch the smallest key >= lo only from files whose filter
 //    passes (Section 6.1, "Range Query Implementation").
 //
-// Compactions run synchronously on the writing thread (deterministic and
-// sufficient for reproducing the paper's read-path effects). No WAL: the
-// memtable is flushed on clean close instead, and a checksummed MANIFEST
-// (level -> SST file list, rewritten atomically at every flush and
-// compaction) lets Db::Open reconstruct the tree — and reload every SST's
-// persisted filter block — without rebuilding a single filter.
+// Durability contract (docs/FORMAT.md has the byte-level formats):
+//  * Put/Delete return only after their WAL record is fsync'd (group
+//    commit batches concurrent writers into one fsync); Db::Open replays
+//    the WAL into the memtable, dropping at most a torn (never
+//    acknowledged) tail record.
+//  * Every flush/compaction appends a CRC-framed delta record to the
+//    append-only MANIFEST (compacted back to a single snapshot record
+//    every manifest_compact_threshold deltas); obsolete SSTs are
+//    unlinked only after the delta that retires them is durable.
+//  * v3 SSTs carry a CRC32C per data block in the index handle; a
+//    flipped byte surfaces as a Corruption status (Seek's status
+//    out-param, VerifyChecksums), never as silently wrong bytes.
+//
+// Write failures surface as proteus::Status from Put/Delete/Flush/Open
+// instead of stderr prints. Compactions run synchronously on the writing
+// thread (deterministic and sufficient for reproducing the paper's
+// read-path effects). Put/Delete are safe to call from multiple threads
+// (that is what group commit is for); Seek and the maintenance calls
+// (Flush/CompactAll/stats) assume no concurrent writers, as before.
+// Caveat: two threads racing Puts to the SAME key commit to the WAL and
+// apply to the memtable in independently-chosen orders, so replay after
+// a crash may resolve that race differently than the pre-crash memtable
+// did (last-writer-wins either way; see ROADMAP "sequence numbers").
 
 #ifndef PROTEUS_LSM_DB_H_
 #define PROTEUS_LSM_DB_H_
 
 #include <cstdint>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -36,6 +58,8 @@
 #include "lsm/query_queue.h"
 #include "lsm/skiplist.h"
 #include "lsm/sst.h"
+#include "lsm/wal.h"
+#include "util/status.h"
 
 namespace proteus {
 
@@ -51,18 +75,29 @@ struct DbOptions {
   /// Levels >= this are compressed (the paper leaves L0/L1 raw and
   /// compresses deeper levels; Section 6.1).
   int compress_min_level = 2;
+  /// Write-ahead logging. With use_wal off, durability regresses to the
+  /// pre-WAL contract (clean close is lossless, kill -9 loses the
+  /// memtable). wal_sync=false acknowledges after the OS write but
+  /// before fdatasync (group commit still batches the writes).
+  bool use_wal = true;
+  bool wal_sync = true;
+  /// MANIFEST delta records appended since the last full snapshot before
+  /// the log is compacted back into one snapshot record.
+  size_t manifest_compact_threshold = 16;
   std::shared_ptr<FilterPolicy> filter_policy;  // null = no filters
   SampleQueryQueue::Options queue_options;
 };
 
 struct DbStats {
   uint64_t puts = 0;
+  uint64_t deletes = 0;
   uint64_t seeks = 0;
   uint64_t empty_seeks = 0;
   uint64_t filter_checks = 0;
   uint64_t filter_negatives = 0;
   uint64_t sst_seeks = 0;             // files actually probed on disk
   uint64_t false_positive_files = 0;  // filter passed, file had nothing
+  uint64_t read_errors = 0;   // data-block CRC/checksum failures in Seek
   uint64_t flushes = 0;
   uint64_t compactions = 0;
   uint64_t filter_build_ns = 0;
@@ -70,55 +105,99 @@ struct DbStats {
   uint64_t keys_filtered = 0;   // keys covered by built filters
   uint64_t filter_loads = 0;    // filters deserialized from SST blocks
   uint64_t filter_rebuilds = 0;  // recovery fallbacks: block missing/corrupt
+  uint64_t wal_replayed = 0;     // records re-applied by Db::Open
+  uint64_t manifest_deltas = 0;     // delta records appended
+  uint64_t manifest_snapshots = 0;  // snapshot rewrites (incl. compaction)
 };
 
 class Db {
  public:
-  /// Creates a FRESH database: wipes any SST files and manifest left in
-  /// `options.dir`. Use Open() to resume an existing database.
+  /// Creates a FRESH database: wipes any SST files, manifest, and WAL
+  /// left in `options.dir`. Use Open() to resume an existing database.
   explicit Db(DbOptions options);
 
-  /// Reopens a database previously closed in `options.dir`: reads the
-  /// manifest, reattaches every SST, and reloads persisted filter blocks
-  /// through DeserializeSstFilter (stats().filter_loads) — filters are
-  /// only rebuilt from keys when their block is missing or corrupt
-  /// (stats().filter_rebuilds). A missing manifest yields an empty
-  /// database; a corrupt manifest or unreadable SST fails Open (returns
-  /// null and fills `error`) rather than silently dropping data.
+  /// Reopens a database previously closed (or killed) in `options.dir`:
+  /// replays the MANIFEST delta log, reattaches every SST, reloads
+  /// persisted filter blocks (stats().filter_loads; rebuilt from keys
+  /// only when a block is missing or corrupt), and replays the WAL into
+  /// the memtable (stats().wal_replayed). A missing manifest yields an
+  /// empty database; a corrupt manifest record or unreadable SST fails
+  /// Open with a non-OK status rather than silently dropping data. A
+  /// torn WAL or MANIFEST tail — crash debris from an unacknowledged
+  /// write — is truncated away, not an error.
   static std::unique_ptr<Db> Open(DbOptions options,
-                                  std::string* error = nullptr);
+                                  Status* status = nullptr);
 
   /// Flushes the memtable and persists the manifest, so a subsequent
-  /// Open() sees every key.
+  /// Open() sees every key without WAL replay.
   ~Db();
   Db(const Db&) = delete;
   Db& operator=(const Db&) = delete;
 
-  void Put(std::string_view key, std::string_view value);
+  /// Inserts or overwrites. Returns once the write is durable in the
+  /// WAL (see DbOptions::wal_sync) and applied to the memtable; a
+  /// non-OK status means the write was rejected and is NOT visible.
+  /// If the flush this write triggers (memtable full) fails, the write
+  /// itself is still durable and Put returns OK; the flush failure is
+  /// remembered and rejects every SUBSEQUENT write until an explicit
+  /// Flush()/CompactAll() succeeds (see background_error()).
+  Status Put(std::string_view key, std::string_view value);
 
-  /// Closed Seek: finds the smallest key in [lo, hi]. Returns true and
-  /// fills key/value (if non-null) when found; false for an empty range.
-  /// Empty results feed the sample query queue.
+  /// Removes a key (writes a tombstone that shadows older versions and
+  /// is dropped by bottom-level compaction). Same durability as Put.
+  Status Delete(std::string_view key);
+
+  /// Closed Seek: finds the smallest live key in [lo, hi]. Returns true
+  /// and fills key/value (if non-null) when found; false for an empty
+  /// range. Empty results feed the sample query queue. Data-block
+  /// corruption makes the affected file contribute nothing: the first
+  /// failure is reported through `status` (Corruption/IOError) and
+  /// counted in stats().read_errors, so a caller that passes `status`
+  /// can tell "key absent" from "file unreadable" (the result may then
+  /// be stale if the damaged file held a newer version).
   bool Seek(std::string_view lo, std::string_view hi,
-            std::string* key = nullptr, std::string* value = nullptr);
+            std::string* key = nullptr, std::string* value = nullptr,
+            Status* status = nullptr);
 
-  /// Forces a MemTable flush (and any triggered compactions).
-  void Flush();
+  /// Forces a MemTable flush (and any triggered compactions). Success
+  /// clears a pending background error (the stuck memtable is durable
+  /// now); failure sets it.
+  Status Flush();
+
+  /// The sticky failure from a flush/compaction triggered inside a
+  /// write. While non-OK, Put/Delete are rejected (nothing new becomes
+  /// visible); a successful explicit Flush()/CompactAll() clears it.
+  Status background_error() const;
 
   /// Compacts until every level is within its size limit and L0 is empty
   /// (the paper's "wait for all background compactions" setup step).
-  void CompactAll();
+  Status CompactAll();
+
+  /// Reads every data block of every SST, verifying per-block CRCs and
+  /// in-block checksums. First damage found is returned as Corruption.
+  Status VerifyChecksums() const;
 
   SampleQueryQueue& query_queue() { return query_queue_; }
   const DbStats& stats() const { return stats_; }
   void ResetStats() { stats_ = DbStats{}; }
   BlockCache& cache() { return cache_; }
 
+  /// WAL group-commit counters (zeros when use_wal is off).
+  WalWriter::Stats wal_stats() const;
+
   /// Files per level (diagnostics / tests).
   std::vector<size_t> LevelFileCounts() const;
   uint64_t TotalSstBytes() const;
   uint64_t TotalFilterBits() const;
   uint64_t TotalKeys() const;
+
+  /// Test hook: simulate kill -9. Drops the memtable and closes the WAL
+  /// without flushing; the destructor then does nothing. Acknowledged
+  /// writes must come back through WAL replay on the next Open().
+  void TEST_CrashClose();
+
+  /// Test hook: the live WAL writer (null when use_wal is off).
+  WalWriter* TEST_wal() { return wal_.get(); }
 
  private:
   struct FileMeta {
@@ -127,41 +206,68 @@ class Db {
     std::string smallest, largest;
     uint64_t n_entries = 0;
     uint64_t file_size = 0;
+    bool tagged_values = true;  // v3 SSTs store tombstone-tagged values
     std::unique_ptr<SstReader> reader;
     std::unique_ptr<SstFilter> filter;
   };
   using FilePtr = std::shared_ptr<FileMeta>;
 
+  /// One atomic change to the LSM tree, as recorded in the MANIFEST
+  /// delta log: files added (with their level) and file ids retired.
+  struct ManifestEdit {
+    std::vector<std::pair<uint64_t, FilePtr>> added;
+    std::vector<uint64_t> deleted;
+  };
+
   Db(DbOptions options, bool wipe_existing);
 
-  /// Writes one SST from a sorted entry stream; builds its filter.
-  template <typename Iter>
-  std::vector<FilePtr> WriteSstFiles(Iter&& entries, int target_level,
-                                     size_t max_data_bytes);
+  Status WriteInternal(uint8_t op, std::string_view key,
+                       std::string_view value);
 
-  FilePtr FinishFile(SstWriter* writer, std::vector<std::string>* keys,
-                     const std::string& path);
+  /// Writes SSTs from a sorted entry stream of internal (tagged) values;
+  /// builds their filters. Tombstones are skipped entirely when
+  /// `drop_tombstones` (bottom-level compaction).
+  template <typename Iter>
+  Status WriteSstFiles(Iter&& entries, int target_level,
+                       size_t max_data_bytes, bool drop_tombstones,
+                       std::vector<FilePtr>* out);
+
+  Status FinishFile(SstWriter* writer, std::vector<std::string>* keys,
+                    const std::string& path, FilePtr* out);
 
   /// Charges the filter's pinned bytes to the block cache.
   void ChargeFilter(const FileMeta& meta);
 
-  /// Atomically rewrites dir/MANIFEST from the current levels.
-  void WriteManifest() const;
-
-  /// Rebuilds levels_ (and filters) from dir/MANIFEST. Returns false and
-  /// fills `error` on a corrupt manifest or unreadable SST file.
-  bool Recover(std::string* error);
+  // --- MANIFEST delta log ---
+  std::string ManifestPath() const { return options_.dir + "/MANIFEST"; }
+  std::string WalPath() const { return options_.dir + "/WAL"; }
+  /// Appends one CRC-framed delta record (fsync'd); rewrites the log as
+  /// a single snapshot every manifest_compact_threshold deltas.
+  Status AppendManifestDelta(const ManifestEdit& edit);
+  /// Atomically replaces the MANIFEST with one snapshot of levels_.
+  Status WriteManifestSnapshot();
+  /// Rebuilds levels_ (and filters) from the MANIFEST delta log, then
+  /// replays the WAL into the memtable.
+  Status RecoverAll();
+  Status RecoverManifest(bool* torn_tail);
+  Status ReplayWal();
+  /// Unlinks *.sst files the recovered manifest does not reference —
+  /// debris of a crash between a manifest append and the matching
+  /// unlink (or SST write); without this each crash leaks disk forever.
+  void RemoveOrphanSsts();
 
   /// Reattaches one recovered SST: opens the reader, loads the persisted
   /// filter block, or rebuilds the filter from keys as a fallback.
-  bool LoadFile(const FilePtr& meta, std::string* error);
+  Status LoadFile(const FilePtr& meta);
 
-  void MaybeCompact();
-  void CompactL0();
-  void CompactLevel(size_t level);
+  Status FlushLocked();
+  Status MaybeCompact();
+  Status CompactL0();
+  Status CompactLevel(size_t level);
   uint64_t LevelLimitBytes(size_t level) const;
   uint64_t LevelBytes(size_t level) const;
-  void RemoveFile(const FilePtr& f);
+  bool LevelsBelowEmpty(size_t first_level) const;
+  void DropFile(const FilePtr& f);  // cache eviction + unlink
 
   DbOptions options_;
   BlockCache cache_;
@@ -174,6 +280,20 @@ class Db {
   std::vector<std::vector<FilePtr>> levels_;
   std::vector<size_t> compact_cursor_;  // round-robin pick per level
   DbStats stats_;
+
+  // Writers hold flush_mu_ shared around {WAL commit, memtable apply};
+  // Flush (which resets the WAL) holds it exclusively, so a reset can
+  // never race a commit and drop an acknowledged-but-unflushed record.
+  std::shared_mutex flush_mu_;
+  std::mutex mem_mu_;  // memtable + write counters under shared flush_mu_
+  std::unique_ptr<WalWriter> wal_;
+  Status wal_error_;  // non-OK when the WAL could not be opened at create
+  // Sticky failure from flush/compaction (written under exclusive
+  // flush_mu_, read under shared): rejects writes until a flush succeeds.
+  Status bg_error_;
+  int manifest_fd_ = -1;
+  size_t manifest_deltas_since_snapshot_ = 0;
+  bool crashed_ = false;  // TEST_CrashClose: destructor skips the flush
 };
 
 }  // namespace proteus

@@ -10,8 +10,8 @@
 namespace proteus {
 namespace {
 
-void SetError(std::string* error, std::string message) {
-  if (error != nullptr) *error = std::move(message);
+void SetStatus(Status* status, Status value) {
+  if (status != nullptr) *status = std::move(value);
 }
 
 // ---------------------------------------------------------------------------
@@ -144,19 +144,25 @@ class RegistryPolicy : public FilterPolicy {
 }  // namespace
 
 std::unique_ptr<FilterPolicy> MakeFilterPolicy(const std::string& spec,
-                                               std::string* error) {
+                                               Status* status) {
+  std::string error;
   FilterSpec parsed;
-  if (!FilterSpec::Parse(spec, &parsed, error)) return nullptr;
+  if (!FilterSpec::Parse(spec, &parsed, &error)) {
+    SetStatus(status, Status::InvalidArgument(error));
+    return nullptr;
+  }
   if (parsed.family() == "none") {
     if (!parsed.params().empty()) {
-      SetError(error, "\"none\" filter policy takes no parameters");
+      SetStatus(status, Status::InvalidArgument(
+                            "\"none\" filter policy takes no parameters"));
       return nullptr;
     }
     return std::make_unique<NullPolicy>();
   }
   const FilterFamily* family = FilterRegistry::Global().Find(parsed.family());
   if (family == nullptr) {
-    SetError(error, "unknown filter family \"" + parsed.family() + "\"");
+    SetStatus(status, Status::InvalidArgument("unknown filter family \"" +
+                                              parsed.family() + "\""));
     return nullptr;
   }
   bool str_mode = family->build_str != nullptr && family->build_int == nullptr;
@@ -166,19 +172,29 @@ std::unique_ptr<FilterPolicy> MakeFilterPolicy(const std::string& spec,
   if (str_mode) {
     std::vector<std::string> dummy = {"a", "b"};
     StrFilterBuilder builder(dummy);
-    if (builder.Build(parsed, error) == nullptr) return nullptr;
+    if (builder.Build(parsed, &error) == nullptr) {
+      SetStatus(status, Status::InvalidArgument(error));
+      return nullptr;
+    }
   } else {
     std::vector<uint64_t> dummy = {1, uint64_t{1} << 40};
     FilterBuilder builder(dummy);
-    if (builder.Build(parsed, error) == nullptr) return nullptr;
+    if (builder.Build(parsed, &error) == nullptr) {
+      SetStatus(status, Status::InvalidArgument(error));
+      return nullptr;
+    }
   }
   return std::make_unique<RegistryPolicy>(std::move(parsed), str_mode);
 }
 
 std::unique_ptr<SstFilter> DeserializeSstFilter(std::string_view blob,
-                                                std::string* error) {
-  std::unique_ptr<Filter> filter = Filter::Deserialize(blob, error);
-  if (filter == nullptr) return nullptr;
+                                                Status* status) {
+  std::string error;
+  std::unique_ptr<Filter> filter = Filter::Deserialize(blob, &error);
+  if (filter == nullptr) {
+    SetStatus(status, Status::Corruption(error));
+    return nullptr;
+  }
   if (filter->kind() == Filter::KeyKind::kInt) {
     return std::make_unique<IntFilterAdapter>(std::unique_ptr<RangeFilter>(
         static_cast<RangeFilter*>(filter.release())));

@@ -25,6 +25,8 @@
 #include <string_view>
 #include <vector>
 
+#include "util/status.h"
+
 namespace proteus {
 
 /// A built filter attached to one SST file.
@@ -54,15 +56,16 @@ class FilterPolicy {
 };
 
 /// Builds a policy from a registry spec string ("none" disables
-/// filtering). Returns null and fills `error` on an unknown family or a
-/// malformed spec.
+/// filtering). Returns null and fills `status` (InvalidArgument) on an
+/// unknown family or a malformed spec.
 std::unique_ptr<FilterPolicy> MakeFilterPolicy(const std::string& spec,
-                                               std::string* error = nullptr);
+                                               Status* status = nullptr);
 
 /// Reconstructs a persisted SST filter block (SstFilter::Serialize
-/// output) without rebuilding from keys.
+/// output) without rebuilding from keys. Returns null and fills
+/// `status` (Corruption) when the blob does not parse.
 std::unique_ptr<SstFilter> DeserializeSstFilter(std::string_view blob,
-                                                std::string* error = nullptr);
+                                                Status* status = nullptr);
 
 // Convenience wrappers over MakeFilterPolicy for the filters the paper
 // evaluates (kept for the benches; new call sites should pass spec

@@ -3,32 +3,36 @@
 #include <fcntl.h>
 #include <unistd.h>
 
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 
 #include "core/filter.h"
 #include "hash/murmur3.h"
 #include "lsm/rle.h"
+#include "util/crc32c.h"
+#include "util/posix_io.h"
+#include "util/serial.h"
 
 namespace proteus {
 namespace {
 
 constexpr uint64_t kSstMagic = 0x50524F5445555353ull;  // "PROTEUSS"
-// Footer-version sentinel stored immediately before the magic in v2
+// Footer-version sentinels stored immediately before the magic in v2/v3
 // footers. A v1 footer has n_entries in that slot, which can never equal
-// this value ("PROTFTV2" as bytes), so the two widths are unambiguous.
+// these values ("PROTFTV2"/"PROTFTV3" as bytes), so the widths are
+// unambiguous. v3 differs from v2 only in the index handles, which carry
+// a per-block CRC32C (20 bytes instead of 16).
 constexpr uint64_t kFooterVersion2 = 0x32565446544F5250ull;
+constexpr uint64_t kFooterVersion3 = 0x33565446544F5250ull;
 constexpr size_t kFooterV1Size = 32;
 constexpr uint64_t kFilterChecksumSeed = 0xF117E12;
 constexpr size_t kFooterV2Size = 72;
-
-// util/serial.h's GetFixed64 consumes a cursor; footers are parsed at
-// fixed offsets, so a positional load reads better here.
-uint64_t LoadFixed64(const char* p) {
-  uint64_t v;
-  std::memcpy(&v, p, 8);
-  return v;
-}
+constexpr size_t kFooterV3Size = 72;
+static_assert(kFooterV2Size == kFooterV3Size,
+              "v3 reuses the v2 footer layout; only the sentinel differs");
+constexpr size_t kHandleV2Size = 16;  // offset u64 | size u64
+constexpr size_t kHandleV3Size = 20;  // offset u64 | size u64 | crc32c u32
 
 }  // namespace
 
@@ -62,6 +66,11 @@ void SstWriter::FlushBlock() {
   std::string handle;
   PutFixed64(&handle, offset_);
   PutFixed64(&handle, on_disk.size());
+  if (options_.format_version >= 3) {
+    // The CRC covers the exact bytes written to disk (compression tag
+    // included), so damage is caught before decompression runs.
+    PutFixed32(&handle, Crc32c(on_disk));
+  }
   index_block_.Add(last_key_in_block_, handle);
   file_buffer_.append(on_disk);
   offset_ += on_disk.size();
@@ -69,7 +78,7 @@ void SstWriter::FlushBlock() {
   stats_.bytes_written += on_disk.size();
 }
 
-bool SstWriter::Finish() {
+Status SstWriter::Finish() {
   FlushBlock();
   std::string index_payload = index_block_.Finish();
   std::string index_disk;
@@ -78,30 +87,55 @@ bool SstWriter::Finish() {
   uint64_t index_offset = offset_;
   file_buffer_.append(index_disk);
   offset_ += index_disk.size();
-  uint64_t filter_offset = offset_;
-  file_buffer_.append(filter_block_);
-  offset_ += filter_block_.size();
   std::string footer;
-  PutFixed64(&footer, index_offset);
-  PutFixed64(&footer, index_disk.size());
-  PutFixed64(&footer, n_entries_);
-  PutFixed64(&footer, filter_offset);
-  PutFixed64(&footer, filter_block_.size());
-  PutFixed64(&footer, filter_format_);
-  PutFixed64(&footer, Murmur3Bytes64(filter_block_.data(),
-                                     filter_block_.size(), kFilterChecksumSeed));
-  PutFixed64(&footer, kFooterVersion2);
-  PutFixed64(&footer, kSstMagic);
+  if (options_.format_version <= 1) {
+    // Legacy 32-byte footer: no filter block slot at all.
+    PutFixed64(&footer, index_offset);
+    PutFixed64(&footer, index_disk.size());
+    PutFixed64(&footer, n_entries_);
+    PutFixed64(&footer, kSstMagic);
+  } else {
+    uint64_t filter_offset = offset_;
+    file_buffer_.append(filter_block_);
+    offset_ += filter_block_.size();
+    PutFixed64(&footer, index_offset);
+    PutFixed64(&footer, index_disk.size());
+    PutFixed64(&footer, n_entries_);
+    PutFixed64(&footer, filter_offset);
+    PutFixed64(&footer, filter_block_.size());
+    PutFixed64(&footer, filter_format_);
+    PutFixed64(&footer, Murmur3Bytes64(filter_block_.data(),
+                                       filter_block_.size(),
+                                       kFilterChecksumSeed));
+    PutFixed64(&footer, options_.format_version >= 3 ? kFooterVersion3
+                                                     : kFooterVersion2);
+    PutFixed64(&footer, kSstMagic);
+  }
   file_buffer_.append(footer);
   offset_ += footer.size();
 
   FILE* f = std::fopen(path_.c_str(), "wb");
-  if (f == nullptr) return false;
+  if (f == nullptr) {
+    return Status::IOError(Errno("cannot create SST " + path_));
+  }
+  // Capture the message at the failing call — fclose/unlink below would
+  // clobber errno before a deferred Errno() could read it.
+  Status s;
   size_t written =
       std::fwrite(file_buffer_.data(), 1, file_buffer_.size(), f);
-  bool ok = written == file_buffer_.size() && std::fflush(f) == 0;
+  if (written != file_buffer_.size() || std::fflush(f) != 0) {
+    s = Status::IOError(Errno("short write finishing SST " + path_));
+  } else if (::fsync(fileno(f)) != 0) {
+    // The file must be durable before the MANIFEST may reference it — a
+    // crash after the manifest append must not find a hollow SST.
+    s = Status::IOError(Errno("cannot fsync SST " + path_));
+  }
   std::fclose(f);
-  return ok;
+  if (!s.ok()) {
+    ::unlink(path_.c_str());
+    return s;
+  }
+  return Status::OK();
 }
 
 SstReader::~SstReader() {
@@ -114,28 +148,36 @@ bool SstReader::ReadRaw(uint64_t offset, uint64_t size, std::string* out) const 
   return got == static_cast<ssize_t>(size);
 }
 
-bool SstReader::Open(const std::string& path, uint64_t file_id,
-                     BlockCache* cache) {
+Status SstReader::Open(const std::string& path, uint64_t file_id,
+                       BlockCache* cache) {
   path_ = path;
   file_id_ = file_id;
   cache_ = cache;
   fd_ = ::open(path.c_str(), O_RDONLY);
-  if (fd_ < 0) return false;
+  if (fd_ < 0) return Status::IOError(Errno("cannot open SST " + path));
   off_t fsize = ::lseek(fd_, 0, SEEK_END);
-  if (fsize < static_cast<off_t>(kFooterV1Size)) return false;
+  if (fsize < static_cast<off_t>(kFooterV1Size)) {
+    return Status::Corruption("SST too small for a footer: " + path);
+  }
   const uint64_t file_size = static_cast<uint64_t>(fsize);
   std::string tail;
-  if (!ReadRaw(file_size - kFooterV1Size, kFooterV1Size, &tail)) return false;
-  if (LoadFixed64(tail.data() + 24) != kSstMagic) return false;
+  if (!ReadRaw(file_size - kFooterV1Size, kFooterV1Size, &tail)) {
+    return Status::IOError(Errno("cannot read SST footer: " + path));
+  }
+  if (LoadFixed64(tail.data() + 24) != kSstMagic) {
+    return Status::Corruption("bad SST magic: " + path);
+  }
 
   uint64_t index_offset, index_size;
   uint64_t filter_offset = 0, filter_size = 0, filter_format = 0;
   uint64_t filter_checksum = 0;
-  if (file_size >= kFooterV2Size &&
-      LoadFixed64(tail.data() + 16) == kFooterVersion2) {
+  const uint64_t sentinel = LoadFixed64(tail.data() + 16);
+  if (file_size >= kFooterV3Size &&
+      (sentinel == kFooterVersion2 || sentinel == kFooterVersion3)) {
+    footer_version_ = sentinel == kFooterVersion3 ? 3 : 2;
     std::string footer;
-    if (!ReadRaw(file_size - kFooterV2Size, kFooterV2Size, &footer)) {
-      return false;
+    if (!ReadRaw(file_size - kFooterV3Size, kFooterV3Size, &footer)) {
+      return Status::IOError(Errno("cannot read SST footer: " + path));
     }
     index_offset = LoadFixed64(footer.data());
     index_size = LoadFixed64(footer.data() + 8);
@@ -145,7 +187,8 @@ bool SstReader::Open(const std::string& path, uint64_t file_id,
     filter_format = LoadFixed64(footer.data() + 40);
     filter_checksum = LoadFixed64(footer.data() + 48);
   } else {
-    // v1 footer: no filter block.
+    // v1 footer: no filter block, 16-byte handles, no block CRCs.
+    footer_version_ = 1;
     index_offset = LoadFixed64(tail.data());
     index_size = LoadFixed64(tail.data() + 8);
     n_entries_ = LoadFixed64(tail.data() + 16);
@@ -155,12 +198,26 @@ bool SstReader::Open(const std::string& path, uint64_t file_id,
   // torn footer write leaves garbage sizes.
   std::string index_disk;
   if (index_size > file_size || index_offset > file_size - index_size) {
-    return false;
+    return Status::Corruption("SST index handle out of bounds: " + path);
   }
-  if (!ReadRaw(index_offset, index_size, &index_disk)) return false;
+  if (!ReadRaw(index_offset, index_size, &index_disk)) {
+    return Status::IOError(Errno("cannot read SST index: " + path));
+  }
   std::string index_payload;
-  if (!RleDecompress(index_disk, &index_payload)) return false;
-  if (!index_.Init(std::move(index_payload))) return false;
+  if (!RleDecompress(index_disk, &index_payload)) {
+    return Status::Corruption("SST index block undecodable: " + path);
+  }
+  if (!index_.Init(std::move(index_payload))) {
+    return Status::Corruption("SST index block checksum mismatch: " + path);
+  }
+  // Every handle must have the width this footer version promises.
+  const size_t handle_size =
+      footer_version_ >= 3 ? kHandleV3Size : kHandleV2Size;
+  for (size_t i = 0; i < index_.n_entries(); ++i) {
+    if (index_.ValueAt(i).size() != handle_size) {
+      return Status::Corruption("SST index handle malformed: " + path);
+    }
+  }
 
   // Filter-block damage (bad bounds, unknown wire format) degrades to
   // "no filter": the caller rebuilds from keys instead of crashing.
@@ -174,43 +231,84 @@ bool SstReader::Open(const std::string& path, uint64_t file_id,
       filter_block_.clear();
     }
   }
+  return Status::OK();
+}
+
+std::unique_ptr<SstFilter> SstReader::LoadFilter(Status* status) const {
+  if (filter_block_.empty()) {
+    if (status != nullptr) *status = Status::NotFound("no filter block");
+    return nullptr;
+  }
+  return DeserializeSstFilter(filter_block_, status);
+}
+
+bool SstReader::ParseHandle(size_t block_index, BlockHandle* out) const {
+  std::string_view handle = index_.ValueAt(block_index);
+  const size_t expected =
+      footer_version_ >= 3 ? kHandleV3Size : kHandleV2Size;
+  if (handle.size() != expected) return false;
+  out->offset = LoadFixed64(handle.data());
+  out->size = LoadFixed64(handle.data() + 8);
+  out->has_crc = footer_version_ >= 3;
+  out->crc = out->has_crc ? LoadFixed32(handle.data() + 16) : 0;
   return true;
 }
 
-std::unique_ptr<SstFilter> SstReader::LoadFilter(std::string* error) const {
-  if (filter_block_.empty()) {
-    if (error != nullptr) *error = "no filter block";
-    return nullptr;
+Status SstReader::ReadDataBlock(size_t block_index, BlockReader* out,
+                                bool use_cache) const {
+  BlockHandle handle;
+  if (!ParseHandle(block_index, &handle)) {
+    return Status::Corruption("SST index handle malformed: " + path_);
   }
-  return DeserializeSstFilter(filter_block_, error);
-}
-
-bool SstReader::ReadDataBlock(size_t block_index, BlockReader* out,
-                              bool use_cache) const {
-  std::string_view handle = index_.ValueAt(block_index);
-  uint64_t offset = LoadFixed64(handle.data());
-  uint64_t size = LoadFixed64(handle.data() + 8);
   if (use_cache && cache_ != nullptr) {
-    auto cached = cache_->Get(file_id_, offset);
-    if (cached != nullptr) return out->Init(*cached);
+    auto cached = cache_->Get(file_id_, handle.offset);
+    if (cached != nullptr) {
+      // Cached payloads were CRC- and checksum-verified on insertion.
+      if (out->Init(*cached)) return Status::OK();
+      return Status::Corruption("cached block unparsable: " + path_);
+    }
   }
   std::string disk;
-  if (!ReadRaw(offset, size, &disk)) return false;
-  auto payload = std::make_shared<std::string>();
-  if (!RleDecompress(disk, payload.get())) return false;
-  if (use_cache && cache_ != nullptr) {
-    cache_->Insert(file_id_, offset, payload);
+  if (!ReadRaw(handle.offset, handle.size, &disk)) {
+    return Status::IOError(Errno("cannot read data block: " + path_));
   }
-  return out->Init(*payload);
+  if (handle.has_crc && Crc32c(disk) != handle.crc) {
+    return Status::Corruption("data block CRC mismatch: " + path_);
+  }
+  auto payload = std::make_shared<std::string>();
+  if (!RleDecompress(disk, payload.get())) {
+    return Status::Corruption("data block undecodable: " + path_);
+  }
+  if (!out->Init(*payload)) {
+    return Status::Corruption("data block checksum mismatch: " + path_);
+  }
+  if (use_cache && cache_ != nullptr) {
+    cache_->Insert(file_id_, handle.offset, payload);
+  }
+  return Status::OK();
+}
+
+Status SstReader::VerifyChecksums() const {
+  for (size_t b = 0; b < index_.n_entries(); ++b) {
+    BlockReader block;
+    Status s = ReadDataBlock(b, &block, /*use_cache=*/false);
+    if (!s.ok()) return s;
+  }
+  return Status::OK();
 }
 
 int SstReader::SeekInRange(std::string_view lo, std::string_view hi,
-                           std::string* key, std::string* value) const {
+                           std::string* key, std::string* value,
+                           Status* status) const {
   // First block whose last key >= lo holds the smallest candidate.
   size_t b = index_.LowerBound(lo);
   if (b == index_.n_entries()) return 1;
   BlockReader block;
-  if (!ReadDataBlock(b, &block, /*use_cache=*/true)) return -1;
+  Status s = ReadDataBlock(b, &block, /*use_cache=*/true);
+  if (!s.ok()) {
+    if (status != nullptr) *status = std::move(s);
+    return -1;
+  }
   size_t i = block.LowerBound(lo);
   if (i == block.n_entries()) return 1;  // cannot happen if index is sound
   std::string_view k = block.KeyAt(i);

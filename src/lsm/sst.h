@@ -1,20 +1,25 @@
 // SST (Static Sorted Table) files: writer, reader, and file metadata.
 //
-// Layout (format v2):
+// Layout (format v3 — the byte-accurate spec lives in docs/FORMAT.md):
 //   [compressed data block]*  [compressed index block]  [filter block]
 //   [footer]
-// The index block maps each data block's last key to (offset, size). The
+// The index block maps each data block's last key to a 20-byte handle
+// (offset u64, size u64, crc32c u32). The CRC covers the block's on-disk
+// bytes — compression tag included, raw and RLE blocks alike — so a
+// damaged block is rejected before decompression ever looks at it. The
 // filter block is the SstFilter::Serialize wire form of the file's range
 // filter (absent when the file was written without one).
-// Footer v2 (fixed width, 72 bytes): index_offset, index_size, n_entries,
+//
+// Footer v3 (fixed width, 72 bytes): index_offset, index_size, n_entries,
 // filter_offset, filter_size, filter_format, filter_checksum,
-// footer_version, magic. The checksum (Murmur3 over the filter block)
-// turns any bit flip in the blob into a detected miss instead of a
-// silently wrong filter.
-// Legacy files carry the 32-byte v1 footer (index_offset, index_size,
-// n_entries, magic) and simply have no filter block; the reader detects
-// the width through the footer_version sentinel while the trailing magic
-// stays where v1 put it, so corruption detection is unchanged.
+// footer_version, magic — the same field layout as v2; only the
+// footer_version sentinel differs, and it is what tells the reader
+// whether index handles are 16 bytes (v2, no block CRC) or 20 (v3).
+// Legacy files remain readable: v2 footers (72 bytes, "PROTFTV2"
+// sentinel, filter block, no block CRCs) and v1 footers (32 bytes:
+// index_offset, index_size, n_entries, magic; no filter block). The
+// trailing magic sits in the same place in all three, so corruption
+// detection at open is uniform.
 //
 // As in the paper's tuned RocksDB (Section 6.1), index and filter stay
 // pinned in memory: SstReader keeps the parsed index block and the raw
@@ -34,6 +39,7 @@
 #include "lsm/block.h"
 #include "lsm/block_cache.h"
 #include "lsm/filter_policy.h"
+#include "util/status.h"
 
 namespace proteus {
 
@@ -47,6 +53,12 @@ class SstWriter {
   struct Options {
     size_t block_size = 4096;   // uncompressed target
     bool compress = true;       // RLE data blocks
+    /// Footer generation to emit. 3 (current) writes per-block CRCs in
+    /// 20-byte index handles; 2 writes 16-byte handles and the v2
+    /// sentinel; 1 writes the legacy 32-byte footer and drops any filter
+    /// block. 1 and 2 exist so compatibility tests can produce genuine
+    /// old-format files — production writers always use 3.
+    uint32_t format_version = 3;
   };
 
   SstWriter(std::string path, Options options);
@@ -60,9 +72,8 @@ class SstWriter {
   /// readers can reject blobs they do not understand without parsing them.
   void SetFilterBlock(std::string blob, uint64_t format);
 
-  /// Writes index + filter block + footer, closes the file. Returns false
-  /// on I/O error.
-  bool Finish();
+  /// Writes index + filter block + footer, fsyncs, and closes the file.
+  Status Finish();
 
   uint64_t n_entries() const { return n_entries_; }
   uint64_t file_size() const { return offset_; }
@@ -89,13 +100,19 @@ class SstWriter {
 class SstReader {
  public:
   /// Opens the file and pins the index block (and any filter block) in
-  /// memory. A damaged or out-of-bounds filter block does NOT fail Open —
-  /// the data remains readable and the caller falls back to rebuilding
-  /// the filter (has_filter_block() reports false).
-  bool Open(const std::string& path, uint64_t file_id, BlockCache* cache);
+  /// memory. Returns Corruption for a damaged footer/index and IOError
+  /// when the OS fails the read. A damaged or out-of-bounds filter block
+  /// does NOT fail Open — the data remains readable and the caller falls
+  /// back to rebuilding the filter (has_filter_block() reports false).
+  Status Open(const std::string& path, uint64_t file_id, BlockCache* cache);
 
   uint64_t n_entries() const { return n_entries_; }
   uint64_t n_blocks() const { return index_.n_entries(); }
+
+  /// Footer generation this file was written with (1, 2, or 3). Callers
+  /// use it to interpret the value encoding (v3 values are tagged with a
+  /// tombstone byte by the Db layer) and handle width.
+  uint32_t footer_version() const { return footer_version_; }
 
   /// True when the file carried a filter block with a bounds-sane handle
   /// and a wire-format version this build understands.
@@ -104,10 +121,10 @@ class SstReader {
   uint64_t filter_format() const { return filter_format_; }
 
   /// Deserializes the pinned filter block into a live SstFilter without
-  /// rebuilding from keys. Returns null (fills `error`) when the file has
-  /// no filter block or the blob is corrupt — callers treat that as a
-  /// rebuild-from-keys fallback, never a crash.
-  std::unique_ptr<SstFilter> LoadFilter(std::string* error = nullptr) const;
+  /// rebuilding from keys. Returns null (fills `status`) when the file
+  /// has no filter block or the blob is corrupt — callers treat that as
+  /// a rebuild-from-keys fallback, never a crash.
+  std::unique_ptr<SstFilter> LoadFilter(Status* status = nullptr) const;
 
   /// Frees the raw blob once the live filter has been materialized (or a
   /// rebuild decided on), so filter memory is not held twice.
@@ -118,16 +135,22 @@ class SstReader {
 
   /// Finds the smallest entry with key in [lo, hi]. Touches at most one
   /// data block (keys in [lo, hi] beyond the first block are larger).
-  /// Returns 0 = found, 1 = none in range, -1 = corruption/IO error.
+  /// Returns 0 = found, 1 = none in range, -1 = corruption/IO error
+  /// (the block failed its CRC or checksum; details in `status`).
   int SeekInRange(std::string_view lo, std::string_view hi, std::string* key,
-                  std::string* value) const;
+                  std::string* value, Status* status = nullptr) const;
+
+  /// Reads every data block (bypassing the cache), verifying the v3
+  /// per-block CRC32C and the in-block checksum. Returns the first
+  /// failure as a Corruption/IOError status.
+  Status VerifyChecksums() const;
 
   /// Streams all entries in order (compaction path; bypasses the cache).
   template <typename Fn>
   bool ForEach(Fn&& fn) const {
     for (size_t b = 0; b < index_.n_entries(); ++b) {
       BlockReader block;
-      if (!ReadDataBlock(b, &block, /*use_cache=*/false)) return false;
+      if (!ReadDataBlock(b, &block, /*use_cache=*/false).ok()) return false;
       for (size_t i = 0; i < block.n_entries(); ++i) {
         fn(block.KeyAt(i), block.ValueAt(i));
       }
@@ -138,12 +161,18 @@ class SstReader {
   const std::string& path() const { return path_; }
 
   /// Streaming cursor over all entries in key order (compaction merge).
+  /// A data block that fails its CRC/checksum STOPS the iterator
+  /// (Valid() goes false) and is reported through status() — silently
+  /// skipping a block here would let compaction drop keys and then
+  /// unlink the only copy. Callers must check status() once Valid()
+  /// turns false.
   class Iterator {
    public:
     explicit Iterator(const SstReader* reader) : reader_(reader) {
       LoadBlock();
     }
     bool Valid() const { return valid_; }
+    const Status& status() const { return status_; }
     std::string_view key() const { return block_.KeyAt(entry_); }
     std::string_view value() const { return block_.ValueAt(entry_); }
     void Next() {
@@ -158,12 +187,15 @@ class SstReader {
       entry_ = 0;
       valid_ = false;
       while (block_index_ < reader_->n_blocks()) {
-        if (reader_->ReadDataBlock(block_index_, &block_,
-                                   /*use_cache=*/false)) {
-          if (block_.n_entries() > 0) {
-            valid_ = true;
-            return;
-          }
+        Status s = reader_->ReadDataBlock(block_index_, &block_,
+                                          /*use_cache=*/false);
+        if (!s.ok()) {
+          status_ = std::move(s);
+          return;  // stop: do NOT skip past unreadable entries
+        }
+        if (block_.n_entries() > 0) {
+          valid_ = true;
+          return;
         }
         ++block_index_;
       }
@@ -173,21 +205,30 @@ class SstReader {
     size_t block_index_ = 0;
     size_t entry_ = 0;
     bool valid_ = false;
+    Status status_;
     BlockReader block_;
   };
 
  private:
   friend class Iterator;
-  bool ReadDataBlock(size_t block_index, BlockReader* out,
-                     bool use_cache) const;
+  struct BlockHandle {
+    uint64_t offset = 0;
+    uint64_t size = 0;
+    uint32_t crc = 0;       // v3 only
+    bool has_crc = false;
+  };
+  bool ParseHandle(size_t block_index, BlockHandle* out) const;
+  Status ReadDataBlock(size_t block_index, BlockReader* out,
+                       bool use_cache) const;
   bool ReadRaw(uint64_t offset, uint64_t size, std::string* out) const;
 
   std::string path_;
   int fd_ = -1;
   uint64_t file_id_ = 0;
   uint64_t n_entries_ = 0;
+  uint32_t footer_version_ = 0;
   BlockCache* cache_ = nullptr;
-  BlockReader index_;  // entries: last_key -> fixed64 offset, fixed64 size
+  BlockReader index_;  // entries: last_key -> block handle (16 or 20 bytes)
   std::string filter_block_;
   uint64_t filter_format_ = 0;
 

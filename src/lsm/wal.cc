@@ -1,0 +1,205 @@
+#include "lsm/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include "util/crc32c.h"
+#include "util/posix_io.h"
+#include "util/serial.h"
+
+namespace proteus {
+
+std::string EncodeWalRecord(uint8_t op, std::string_view key,
+                            std::string_view value) {
+  std::string payload;
+  payload.reserve(1 + 4 + key.size() + 4 + value.size());
+  payload.push_back(static_cast<char>(op));
+  PutFixed32(&payload, static_cast<uint32_t>(key.size()));
+  payload.append(key);
+  PutFixed32(&payload, static_cast<uint32_t>(value.size()));
+  payload.append(value);
+
+  std::string record;
+  record.reserve(8 + payload.size());
+  AppendCrcFrame(&record, payload);
+  return record;
+}
+
+WalWriter::~WalWriter() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status WalWriter::Open(const std::string& path) {
+  if (fd_ >= 0) ::close(fd_);
+  fd_ = ::open(path.c_str(), O_CREAT | O_WRONLY | O_APPEND, 0644);
+  if (fd_ < 0) {
+    return Status::IOError(Errno("cannot open WAL " + path));
+  }
+  struct stat st;
+  if (::fstat(fd_, &st) != 0) {
+    return Status::IOError(Errno("cannot stat WAL " + path));
+  }
+  // The caller (ReplayWal) has already cut any torn tail, so the whole
+  // existing file is durable record bytes.
+  committed_bytes_ = static_cast<uint64_t>(st.st_size);
+  poisoned_ = Status::OK();
+  return Status::OK();
+}
+
+Status WalWriter::WriteAndSync(std::string_view buf, bool sync) {
+  Status s = WriteAllFd(fd_, buf, "WAL write");
+  if (!s.ok()) return s;
+  if (sync) {
+    if (sync_delay_micros_ > 0) {
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(sync_delay_micros_));
+    }
+    if (::fdatasync(fd_) != 0) {
+      return Status::IOError(Errno("WAL fdatasync failed"));
+    }
+  }
+  return Status::OK();
+}
+
+Status WalWriter::Commit(std::string_view record, bool sync) {
+  if (fd_ < 0) return Status::IOError("WAL is not open");
+  Waiter self{record, Status::OK(), sync, false};
+
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!poisoned_.ok()) return poisoned_;
+  queue_.push_back(&self);
+  while (!self.done && queue_.front() != &self) {
+    cv_.wait(lock);
+  }
+  if (self.done) return self.status;  // a leader already committed us
+  if (!poisoned_.ok()) {
+    // The leader ahead of us poisoned the log while we waited: step
+    // down instead of appending after garbage, and wake the next
+    // waiter so it can do the same.
+    queue_.pop_front();
+    cv_.notify_all();
+    return poisoned_;
+  }
+
+  // We are the leader: drain everything queued so far into one append.
+  // Any waiter that asked for a sync makes the whole batch sync — a
+  // sync=true Commit must never be acknowledged from the page cache
+  // just because a sync=false leader drained it.
+  std::vector<Waiter*> batch(queue_.begin(), queue_.end());
+  std::string buf;
+  size_t total = 0;
+  bool batch_sync = false;
+  for (Waiter* w : batch) {
+    total += w->record.size();
+    batch_sync |= w->sync;
+  }
+  buf.reserve(total);
+  for (Waiter* w : batch) buf.append(w->record);
+
+  lock.unlock();
+  Status s = WriteAndSync(buf, batch_sync);
+  Status poison;
+  if (s.ok()) {
+    committed_bytes_ += buf.size();
+  } else {
+    // Roll the log back to its last durable record boundary so (a) the
+    // rejected batch can never replay after "a rejected write stays
+    // invisible" was promised, and (b) a half-written frame cannot sit
+    // in the middle of the log ending replay early for later commits.
+    if (::ftruncate(fd_, static_cast<off_t>(committed_bytes_)) != 0) {
+      poison = Status::IOError(
+          Errno("WAL rollback failed after: " + s.ToString()));
+    }
+  }
+  lock.lock();
+  if (!poison.ok()) {
+    poisoned_ = poison;
+    s = poison;
+  }
+
+  if (s.ok()) {
+    // Failed batches were rolled back: they never count as appended.
+    stats_.records += batch.size();
+    ++stats_.batches;
+    if (batch_sync) ++stats_.syncs;
+  }
+  queue_.erase(queue_.begin(), queue_.begin() + batch.size());
+  for (Waiter* w : batch) {
+    if (w != &self) {
+      w->status = s;
+      w->done = true;
+    }
+  }
+  cv_.notify_all();
+  return s;
+}
+
+Status WalWriter::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (fd_ < 0) return Status::IOError("WAL is not open");
+  if (::ftruncate(fd_, 0) != 0) {
+    return Status::IOError(Errno("WAL ftruncate failed"));
+  }
+  if (::fdatasync(fd_) != 0) {
+    return Status::IOError(Errno("WAL fdatasync failed"));
+  }
+  committed_bytes_ = 0;
+  return Status::OK();
+}
+
+Status WalReplay(
+    const std::string& path,
+    const std::function<void(uint8_t op, std::string_view key,
+                             std::string_view value)>& apply,
+    uint64_t* valid_bytes, bool* torn_tail) {
+  if (valid_bytes != nullptr) *valid_bytes = 0;
+  if (torn_tail != nullptr) *torn_tail = false;
+
+  std::string content;
+  bool found = false;
+  Status read = ReadFileToString(path, &content, &found);
+  if (!read.ok()) return read;
+  if (!found) return Status::OK();  // no log: nothing to replay
+
+  size_t offset = 0;
+  auto torn = [&](void) {
+    if (valid_bytes != nullptr) *valid_bytes = offset;
+    if (torn_tail != nullptr) *torn_tail = offset < content.size();
+    return Status::OK();
+  };
+
+  while (offset + 8 <= content.size()) {
+    const uint32_t length = LoadFixed32(content.data() + offset);
+    const uint32_t crc = LoadFixed32(content.data() + offset + 4);
+    if (offset + 8 + length > content.size()) return torn();
+    std::string_view payload(content.data() + offset + 8, length);
+    if (Crc32c(payload) != crc) return torn();
+
+    // Parse the payload; a framing CRC that matched but an op that does
+    // not parse means an incompatible writer, which replay also treats
+    // as the end of the intelligible prefix.
+    std::string_view cursor = payload;
+    uint32_t klen, vlen;
+    if (cursor.empty()) return torn();
+    const uint8_t op = static_cast<uint8_t>(cursor.front());
+    cursor.remove_prefix(1);
+    if (op != kWalOpPut && op != kWalOpDelete) return torn();
+    if (!GetFixed32(&cursor, &klen) || cursor.size() < klen) return torn();
+    std::string_view key = cursor.substr(0, klen);
+    cursor.remove_prefix(klen);
+    if (!GetFixed32(&cursor, &vlen) || cursor.size() != vlen) return torn();
+    std::string_view value = cursor.substr(0, vlen);
+    if (op == kWalOpDelete && vlen != 0) return torn();
+
+    apply(op, key, value);
+    offset += 8 + length;
+  }
+  return torn();
+}
+
+}  // namespace proteus

@@ -1,0 +1,129 @@
+// Write-ahead log: the durability backbone of miniLSM's write path.
+//
+// Every Put/Delete is framed as a length-prefixed, CRC32C-stamped record
+// and appended to dir/WAL *before* it touches the memtable, so a process
+// kill between flushes loses nothing that was acknowledged. A flush makes
+// the memtable contents durable in SSTs (and the MANIFEST delta log), at
+// which point the WAL is reset to empty.
+//
+// Record framing (byte-accurate spec in docs/FORMAT.md):
+//
+//   record  := length u32 | crc32c(payload) u32 | payload[length]
+//   payload := op u8 (1 = Put, 2 = Delete) |
+//              klen u32 | key[klen] | vlen u32 | value[vlen]
+//
+// Group commit: concurrent writers enqueue framed records under a mutex;
+// the writer at the head of the queue becomes the leader, drains the
+// whole queue into one write() + one fdatasync(), and wakes the
+// followers with the shared result. N threads hitting Commit() pay ~1
+// fsync per batch instead of 1 per record (stats().syncs vs .records).
+//
+// Replay tolerates a torn tail — a record cut short by the crash that
+// ended the previous process — by stopping at the first frame that does
+// not parse and reporting the clean-prefix length, which the caller
+// truncates to before appending again. A torn record was never
+// acknowledged (Commit returns only after the fsync), so dropping it
+// loses nothing the client was promised.
+
+#ifndef PROTEUS_LSM_WAL_H_
+#define PROTEUS_LSM_WAL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace proteus {
+
+inline constexpr uint8_t kWalOpPut = 1;
+inline constexpr uint8_t kWalOpDelete = 2;
+
+/// Frames one operation as a WAL record (length + CRC + payload), ready
+/// for WalWriter::Commit. `value` must be empty for kWalOpDelete.
+std::string EncodeWalRecord(uint8_t op, std::string_view key,
+                            std::string_view value);
+
+class WalWriter {
+ public:
+  struct Stats {
+    uint64_t records = 0;  // records durably appended (failed batches
+                           // are rolled back and not counted)
+    uint64_t batches = 0;  // successful group-commit appends
+    uint64_t syncs = 0;    // fdatasync() calls (<= batches; == when sync on)
+  };
+
+  WalWriter() = default;
+  ~WalWriter();
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Opens (creating if absent) the log for appending.
+  Status Open(const std::string& path);
+
+  /// Appends one framed record (EncodeWalRecord output) and, when `sync`,
+  /// fdatasyncs before returning. Thread-safe; concurrent callers are
+  /// batched into one write + one fsync by the group-commit leader.
+  ///
+  /// A failed batch (short write, fsync error) is rolled back: the log
+  /// is truncated to its last durable record boundary so the rejected
+  /// records can never replay, and later commits append after clean
+  /// bytes. If even the rollback fails, the writer is poisoned — every
+  /// subsequent Commit returns the error instead of appending after
+  /// garbage that would silently end replay early.
+  Status Commit(std::string_view record, bool sync);
+
+  /// Truncates the log to empty — called once a flush has made the
+  /// logged writes durable elsewhere. Callers must exclude concurrent
+  /// Commit()s (the Db holds its flush lock exclusively here).
+  Status Reset();
+
+  const Stats& stats() const { return stats_; }
+
+  /// Test hook: sleep this long inside each sync, forcing concurrent
+  /// committers to pile up behind the leader so group commit is
+  /// observable deterministically.
+  void TEST_SetSyncDelayMicros(uint32_t micros) { sync_delay_micros_ = micros; }
+
+ private:
+  struct Waiter {
+    std::string_view record;
+    Status status;
+    bool sync = false;
+    bool done = false;
+  };
+
+  Status WriteAndSync(std::string_view buf, bool sync);
+
+  int fd_ = -1;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Waiter*> queue_;
+  Stats stats_;
+  uint32_t sync_delay_micros_ = 0;
+  // Log length after the last successful batch: the rollback target
+  // when an append fails. Only the group-commit leader touches the fd,
+  // so it is read/written without mu_ held.
+  uint64_t committed_bytes_ = 0;
+  Status poisoned_;  // sticky failure once a rollback itself fails
+};
+
+/// Replays dir/WAL in append order, invoking `apply(op, key, value)` for
+/// every intact record. A torn tail stops the replay: `*valid_bytes` is
+/// set to the clean-prefix length (truncate to it before reusing the
+/// file) and `*torn_tail` reports whether anything was cut. A missing
+/// file replays as empty. Returns non-OK only for I/O errors reading the
+/// file — torn frames are expected crash debris, not corruption.
+Status WalReplay(
+    const std::string& path,
+    const std::function<void(uint8_t op, std::string_view key,
+                             std::string_view value)>& apply,
+    uint64_t* valid_bytes, bool* torn_tail);
+
+}  // namespace proteus
+
+#endif  // PROTEUS_LSM_WAL_H_

@@ -1,0 +1,126 @@
+#include "util/crc32c.h"
+
+#include <bit>
+#include <cstring>
+
+// The slicing-by-8 loop memcpy's 8 input bytes into a word and indexes
+// the tables low-byte-first, which is only CRC32C on a little-endian
+// host. Every target this library supports is little-endian; refuse to
+// build a big-endian binary that would write non-standard checksums.
+static_assert(std::endian::native == std::endian::little,
+              "Crc32c's table path assumes a little-endian host");
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define PROTEUS_CRC32C_X86 1
+#include <immintrin.h>
+#endif
+
+namespace proteus {
+namespace {
+
+constexpr uint32_t kPoly = 0x82F63B78u;  // Castagnoli, reflected
+
+// Slicing-by-8 tables, built once at first use. table_[0] is the classic
+// byte-at-a-time table; table_[k] advances a CRC over k additional zero
+// bytes, letting the hot loop fold 8 input bytes per iteration.
+struct Tables {
+  uint32_t t[8][256];
+  Tables() {
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1) ? kPoly : 0);
+      }
+      t[0][i] = crc;
+    }
+    for (int k = 1; k < 8; ++k) {
+      for (uint32_t i = 0; i < 256; ++i) {
+        t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xFF];
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables tables;
+  return tables;
+}
+
+// Raw state transition (no init/final xor): callers pass ~crc in, ~out.
+uint32_t ExtendPortableRaw(uint32_t state, const uint8_t* p, size_t n) {
+  const Tables& tb = tables();
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    word ^= state;  // little-endian: low 4 bytes absorb the running CRC
+    state = tb.t[7][word & 0xFF] ^ tb.t[6][(word >> 8) & 0xFF] ^
+            tb.t[5][(word >> 16) & 0xFF] ^ tb.t[4][(word >> 24) & 0xFF] ^
+            tb.t[3][(word >> 32) & 0xFF] ^ tb.t[2][(word >> 40) & 0xFF] ^
+            tb.t[1][(word >> 48) & 0xFF] ^ tb.t[0][word >> 56];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    state = (state >> 8) ^ tb.t[0][(state ^ *p++) & 0xFF];
+  }
+  return state;
+}
+
+#if PROTEUS_CRC32C_X86
+
+__attribute__((target("sse4.2"))) uint32_t ExtendHardwareRaw(
+    uint32_t state, const uint8_t* p, size_t n) {
+  uint64_t s = state;
+  while (n >= 8) {
+    uint64_t word;
+    std::memcpy(&word, p, 8);
+    s = _mm_crc32_u64(s, word);
+    p += 8;
+    n -= 8;
+  }
+  uint32_t s32 = static_cast<uint32_t>(s);
+  while (n-- > 0) {
+    s32 = _mm_crc32_u8(s32, *p++);
+  }
+  return s32;
+}
+
+bool HaveSse42() {
+  static const bool have = __builtin_cpu_supports("sse4.2");
+  return have;
+}
+
+#endif  // PROTEUS_CRC32C_X86
+
+uint32_t ExtendRaw(uint32_t state, const void* data, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+#if PROTEUS_CRC32C_X86
+  if (HaveSse42()) return ExtendHardwareRaw(state, p, n);
+#endif
+  return ExtendPortableRaw(state, p, n);
+}
+
+}  // namespace
+
+uint32_t Crc32c(const void* data, size_t n) {
+  return ~ExtendRaw(~uint32_t{0}, data, n);
+}
+
+uint32_t Crc32cExtend(uint32_t crc, const void* data, size_t n) {
+  return ~ExtendRaw(~crc, data, n);
+}
+
+bool Crc32cUsesHardware() {
+#if PROTEUS_CRC32C_X86
+  return HaveSse42();
+#else
+  return false;
+#endif
+}
+
+uint32_t Crc32cPortable(const void* data, size_t n) {
+  return ~ExtendPortableRaw(~uint32_t{0},
+                            static_cast<const uint8_t*>(data), n);
+}
+
+}  // namespace proteus

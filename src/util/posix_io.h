@@ -1,0 +1,72 @@
+// Shared POSIX I/O helpers for the storage layer (WAL, MANIFEST, SST
+// writers) — one EINTR-correct write-all loop, one whole-file reader,
+// and one errno-to-message formatter, instead of a copy per file.
+
+#ifndef PROTEUS_UTIL_POSIX_IO_H_
+#define PROTEUS_UTIL_POSIX_IO_H_
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+
+namespace proteus {
+
+/// "<what>: <strerror(errno)>" — format an errno right where it happened.
+inline std::string Errno(const std::string& what) {
+  return what + ": " + std::strerror(errno);
+}
+
+/// Writes all of `data` to `fd`, retrying on EINTR and short writes.
+/// `what` names the destination in the error message ("WAL write", ...).
+inline Status WriteAllFd(int fd, std::string_view data, const char* what) {
+  const char* p = data.data();
+  size_t left = data.size();
+  while (left > 0) {
+    ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(Errno(std::string(what) + " failed"));
+    }
+    p += n;
+    left -= static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+/// Reads the whole file into `*out`. A missing file is not an error:
+/// `*found` reports whether the file existed (out stays empty if not).
+inline Status ReadFileToString(const std::string& path, std::string* out,
+                               bool* found) {
+  out->clear();
+  *found = false;
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::OK();
+    return Status::IOError(Errno("cannot open " + path));
+  }
+  *found = true;
+  char buf[1 << 16];
+  for (;;) {
+    ssize_t got = ::read(fd, buf, sizeof(buf));
+    if (got > 0) {
+      out->append(buf, static_cast<size_t>(got));
+    } else if (got == 0) {
+      break;
+    } else if (errno != EINTR) {
+      ::close(fd);
+      return Status::IOError(Errno("cannot read " + path));
+    }
+  }
+  ::close(fd);
+  return Status::OK();
+}
+
+}  // namespace proteus
+
+#endif  // PROTEUS_UTIL_POSIX_IO_H_

@@ -53,6 +53,22 @@ inline bool GetDouble(std::string_view* in, double* v) {
   return true;
 }
 
+// Positional loads for fixed-offset parsing (footers, record frames) —
+// the Get* variants above consume a cursor, which reads poorly when the
+// offsets are constants.
+
+inline uint32_t LoadFixed32(const char* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+inline uint64_t LoadFixed64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
 /// Length-prefixed byte string (u64 length + raw bytes).
 inline void PutLengthPrefixed(std::string* out, std::string_view s) {
   PutFixed64(out, s.size());

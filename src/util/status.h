@@ -1,0 +1,105 @@
+// proteus::Status — the error type threaded through every durable-path
+// operation (Put/Delete/Flush/Open, SST and MANIFEST writers, the WAL).
+//
+// Replaces the bool + stderr convention the write path grew up with:
+// a failed write now returns a code and a message the caller can act on
+// instead of a line in a log nobody reads. The OK path stores nothing
+// (empty message, code 0), so returning Status::OK() costs a move of an
+// empty string.
+//
+// Codes mirror the failure classes the storage layer distinguishes:
+//   kIOError         the OS said no (open/write/fsync/rename failed)
+//   kCorruption      bytes on disk fail a checksum / magic / bounds check
+//   kNotFound        a referenced file or record is absent
+//   kInvalidArgument the caller passed something unusable (bad spec, ...)
+//   kNotSupported    a format version this build does not understand
+
+#ifndef PROTEUS_UTIL_STATUS_H_
+#define PROTEUS_UTIL_STATUS_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace proteus {
+
+class Status {
+ public:
+  enum class Code : uint8_t {
+    kOk = 0,
+    kNotFound = 1,
+    kCorruption = 2,
+    kIOError = 3,
+    kInvalidArgument = 4,
+    kNotSupported = 5,
+  };
+
+  Status() = default;  // OK
+
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string_view msg) {
+    return Status(Code::kNotFound, msg);
+  }
+  static Status Corruption(std::string_view msg) {
+    return Status(Code::kCorruption, msg);
+  }
+  static Status IOError(std::string_view msg) {
+    return Status(Code::kIOError, msg);
+  }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(Code::kInvalidArgument, msg);
+  }
+  static Status NotSupported(std::string_view msg) {
+    return Status(Code::kNotSupported, msg);
+  }
+
+  bool ok() const { return code_ == Code::kOk; }
+  bool IsNotFound() const { return code_ == Code::kNotFound; }
+  bool IsCorruption() const { return code_ == Code::kCorruption; }
+  bool IsIOError() const { return code_ == Code::kIOError; }
+  bool IsInvalidArgument() const { return code_ == Code::kInvalidArgument; }
+  bool IsNotSupported() const { return code_ == Code::kNotSupported; }
+
+  Code code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  std::string ToString() const {
+    if (ok()) return "OK";
+    std::string out = CodeName(code_);
+    if (!message_.empty()) {
+      out += ": ";
+      out += message_;
+    }
+    return out;
+  }
+
+ private:
+  Status(Code code, std::string_view msg)
+      : code_(code), message_(msg) {}
+
+  static const char* CodeName(Code code) {
+    switch (code) {
+      case Code::kOk:
+        return "OK";
+      case Code::kNotFound:
+        return "NotFound";
+      case Code::kCorruption:
+        return "Corruption";
+      case Code::kIOError:
+        return "IOError";
+      case Code::kInvalidArgument:
+        return "InvalidArgument";
+      case Code::kNotSupported:
+        return "NotSupported";
+    }
+    return "Unknown";
+  }
+
+  Code code_ = Code::kOk;
+  std::string message_;
+};
+
+}  // namespace proteus
+
+#endif  // PROTEUS_UTIL_STATUS_H_

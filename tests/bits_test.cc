@@ -41,6 +41,35 @@ TEST(Bits, Select64MatchesScan) {
   }
 }
 
+TEST(Bits, Select64DispatchAgreesWithPortable) {
+  // Whatever path the runtime dispatch picked (PDEP on BMI2 hardware,
+  // byte scan elsewhere), it must agree with the portable oracle for
+  // every word and every valid rank.
+  Rng rng(271828);
+  for (int trial = 0; trial < 500; ++trial) {
+    uint64_t w = rng.Next();
+    if (trial < 4) w = (trial & 1) ? ~uint64_t{0} : uint64_t{1} << (trial * 21);
+    int ones = PopCount64(w);
+    for (int r = 1; r <= ones; ++r) {
+      ASSERT_EQ(Select64(w, r), Select64Portable(w, r))
+          << "word=" << w << " r=" << r;
+    }
+  }
+#if PROTEUS_SELECT64_HAVE_PDEP
+  if (CpuHasBmi2()) {
+    // Exercise the PDEP body directly (dispatch may hide it otherwise).
+    Rng rng2(31415);
+    for (int trial = 0; trial < 200; ++trial) {
+      uint64_t w = rng2.Next() | 1;
+      int ones = PopCount64(w);
+      for (int r = 1; r <= ones; r += 7) {
+        ASSERT_EQ(Select64Pdep(w, r), Select64Portable(w, r));
+      }
+    }
+  }
+#endif
+}
+
 TEST(Bits, LcpBits64) {
   EXPECT_EQ(LcpBits64(0, 0), 64u);
   EXPECT_EQ(LcpBits64(0, 1), 63u);

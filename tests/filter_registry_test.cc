@@ -279,9 +279,9 @@ TEST(MakeFilterPolicy, SpecStringsSelectEveryFamily) {
        {"none", "bloom-str:bpk=12", "proteus:bpk=14",
         "surf:mode=real,suffix=4", "rosetta:bpk=12",
         "proteus-str:bpk=14,max_key_bits=256,stride=4"}) {
-    std::string error;
-    auto policy = MakeFilterPolicy(spec, &error);
-    ASSERT_NE(policy, nullptr) << spec << ": " << error;
+    Status status;
+    auto policy = MakeFilterPolicy(spec, &status);
+    ASSERT_NE(policy, nullptr) << spec << ": " << status.ToString();
   }
 }
 
@@ -289,10 +289,10 @@ TEST(MakeFilterPolicy, BadSpecsFailAtCreationTime) {
   for (const char* spec :
        {"nosuch:bpk=1", "proteus:bpk=fast", "proteus:bogus=3",
         "none:bpk=12", "surf:mode=weird", ""}) {
-    std::string error;
-    auto policy = MakeFilterPolicy(spec, &error);
+    Status status;
+    auto policy = MakeFilterPolicy(spec, &status);
     EXPECT_EQ(policy, nullptr) << spec;
-    EXPECT_FALSE(error.empty()) << spec;
+    EXPECT_TRUE(status.IsInvalidArgument()) << spec;
   }
 }
 

@@ -344,9 +344,9 @@ TEST(FilterSerial, SstFilterBlocksPersistWithoutRebuilding) {
 
     std::string block;
     ASSERT_TRUE(built->Serialize(&block)) << spec;
-    std::string error;
-    auto loaded = DeserializeSstFilter(block, &error);
-    ASSERT_NE(loaded, nullptr) << spec << ": " << error;
+    Status status;
+    auto loaded = DeserializeSstFilter(block, &status);
+    ASSERT_NE(loaded, nullptr) << spec << ": " << status.ToString();
     EXPECT_EQ(loaded->SizeBits(), built->SizeBits()) << spec;
 
     Rng rng(73);

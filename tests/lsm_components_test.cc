@@ -173,14 +173,14 @@ TEST(Sst, WriteReadRoundTrip) {
     writer.Add(k, v);
     ref[k] = v;
   }
-  ASSERT_TRUE(writer.Finish());
+  ASSERT_TRUE(writer.Finish().ok());
   EXPECT_EQ(writer.n_entries(), 3000u);
   EXPECT_EQ(writer.smallest(), EncodeKeyBE(1));
   EXPECT_EQ(writer.largest(), EncodeKeyBE(2999 * 7 + 1));
 
   BlockCache cache(1 << 20);
   SstReader reader;
-  ASSERT_TRUE(reader.Open(path, 1, &cache));
+  ASSERT_TRUE(reader.Open(path, 1, &cache).ok());
   ASSERT_EQ(reader.n_entries(), 3000u);
   EXPECT_GT(reader.n_blocks(), 10u);
 
@@ -217,12 +217,12 @@ TEST(Sst, CompressedBlocks) {
   for (uint64_t i = 0; i < 1000; ++i) {
     writer.Add(EncodeKeyBE(i), std::string(256, '\0') + "x");
   }
-  ASSERT_TRUE(writer.Finish());
+  ASSERT_TRUE(writer.Finish().ok());
   // On-disk size far below raw data size.
   EXPECT_LT(writer.file_size(), 1000 * 260 / 2);
   BlockCache cache(1 << 20);
   SstReader reader;
-  ASSERT_TRUE(reader.Open(path, 2, &cache));
+  ASSERT_TRUE(reader.Open(path, 2, &cache).ok());
   std::string k, v;
   ASSERT_EQ(reader.SeekInRange(EncodeKeyBE(500), EncodeKeyBE(500), &k, &v), 0);
   EXPECT_EQ(v, std::string(256, '\0') + "x");

@@ -65,12 +65,6 @@ uint64_t ReadU64At(const std::string& s, size_t pos) {
   return v;
 }
 
-void AppendU64(std::string* s, uint64_t v) {
-  char buf[8];
-  std::memcpy(buf, &v, 8);
-  s->append(buf, 8);
-}
-
 std::vector<std::string> ListSstFiles(const std::string& dir) {
   std::vector<std::string> out;
   DIR* d = ::opendir(dir.c_str());
@@ -99,9 +93,11 @@ std::unique_ptr<SstFilter> BuildTestFilter(
 
 std::string WriteSstWithFilter(const std::string& path,
                                std::vector<std::string>* keys,
-                               uint64_t filter_format = Filter::kVersion) {
+                               uint64_t filter_format = Filter::kVersion,
+                               uint32_t format_version = 3) {
   SstWriter::Options wopts;
   wopts.block_size = 512;
+  wopts.format_version = format_version;
   SstWriter writer(path, wopts);
   for (uint64_t i = 0; i < 3000; ++i) {
     std::string key = EncodeKeyBE(i * 7);
@@ -113,7 +109,7 @@ std::string WriteSstWithFilter(const std::string& path,
   std::string blob;
   EXPECT_TRUE(filter->Serialize(&blob));
   writer.SetFilterBlock(std::move(blob), filter_format);
-  EXPECT_TRUE(writer.Finish());
+  EXPECT_TRUE(writer.Finish().ok());
   return path;
 }
 
@@ -124,13 +120,13 @@ TEST(SstFilterBlock, RoundTripsThroughTheFile) {
 
   BlockCache cache(1 << 20);
   SstReader reader;
-  ASSERT_TRUE(reader.Open(path, 1, &cache));
+  ASSERT_TRUE(reader.Open(path, 1, &cache).ok());
   ASSERT_TRUE(reader.has_filter_block());
   EXPECT_EQ(reader.filter_format(), Filter::kVersion);
 
-  std::string error;
-  auto loaded = reader.LoadFilter(&error);
-  ASSERT_NE(loaded, nullptr) << error;
+  Status status;
+  auto loaded = reader.LoadFilter(&status);
+  ASSERT_NE(loaded, nullptr) << status.ToString();
 
   // The reloaded filter answers exactly like a freshly built one.
   auto fresh = BuildTestFilter(keys);
@@ -145,27 +141,42 @@ TEST(SstFilterBlock, RoundTripsThroughTheFile) {
 TEST(SstFilterBlock, LegacyV1FooterStillReadable) {
   const std::string path = "/tmp/proteus_persist_legacy.sst";
   std::vector<std::string> keys;
-  WriteSstWithFilter(path, &keys);
-  std::string content = ReadFile(path);
-  ASSERT_GE(content.size(), kFooterV2Size);
-
-  // Rewrite as a v1 (filter-less) file: drop the filter block and shrink
-  // the footer to the legacy 32-byte form, preserving the magic.
-  const size_t footer = content.size() - kFooterV2Size;
-  const uint64_t filter_offset = ReadU64At(content, footer + 24);
-  std::string legacy = content.substr(0, filter_offset);
-  AppendU64(&legacy, ReadU64At(content, footer));       // index_offset
-  AppendU64(&legacy, ReadU64At(content, footer + 8));   // index_size
-  AppendU64(&legacy, ReadU64At(content, footer + 16));  // n_entries
-  AppendU64(&legacy, ReadU64At(content, content.size() - 8));  // magic
-  WriteFile(path, legacy);
+  // A genuine v1 file: 32-byte footer, 16-byte handles, no filter block.
+  WriteSstWithFilter(path, &keys, Filter::kVersion, /*format_version=*/1);
 
   BlockCache cache(1 << 20);
   SstReader reader;
-  ASSERT_TRUE(reader.Open(path, 1, &cache));
+  ASSERT_TRUE(reader.Open(path, 1, &cache).ok());
+  EXPECT_EQ(reader.footer_version(), 1u);
   EXPECT_FALSE(reader.has_filter_block());
   EXPECT_EQ(reader.LoadFilter(), nullptr);
   EXPECT_EQ(reader.n_entries(), 3000u);
+  std::string key, value;
+  EXPECT_EQ(reader.SeekInRange(EncodeKeyBE(70), EncodeKeyBE(70), &key,
+                               &value),
+            0);
+  EXPECT_EQ(value, "value10");
+  ::unlink(path.c_str());
+}
+
+TEST(SstFilterBlock, LegacyV2FooterStillReadableWithFilter) {
+  const std::string path = "/tmp/proteus_persist_legacy_v2.sst";
+  std::vector<std::string> keys;
+  // A genuine v2 file: 72-byte footer, filter block, 16-byte handles
+  // (no per-block CRC — damage detection falls back to the in-block
+  // checksum, as before PR 4).
+  WriteSstWithFilter(path, &keys, Filter::kVersion, /*format_version=*/2);
+
+  BlockCache cache(1 << 20);
+  SstReader reader;
+  ASSERT_TRUE(reader.Open(path, 1, &cache).ok());
+  EXPECT_EQ(reader.footer_version(), 2u);
+  ASSERT_TRUE(reader.has_filter_block());
+  Status status;
+  auto loaded = reader.LoadFilter(&status);
+  ASSERT_NE(loaded, nullptr) << status.ToString();
+  EXPECT_EQ(reader.n_entries(), 3000u);
+  EXPECT_TRUE(reader.VerifyChecksums().ok());
   std::string key, value;
   EXPECT_EQ(reader.SeekInRange(EncodeKeyBE(70), EncodeKeyBE(70), &key,
                                &value),
@@ -181,7 +192,7 @@ TEST(SstFilterBlock, ForeignFormatVersionIsIgnoredNotFatal) {
 
   BlockCache cache(1 << 20);
   SstReader reader;
-  ASSERT_TRUE(reader.Open(path, 1, &cache));
+  ASSERT_TRUE(reader.Open(path, 1, &cache).ok());
   // A filter written by a future format version is skipped (rebuild
   // fallback), but the data stays readable.
   EXPECT_FALSE(reader.has_filter_block());
@@ -211,7 +222,7 @@ TEST(SstFilterBlock, EveryBitflipInTheBlockIsDetected) {
     SstReader reader;
     // The file still opens (data is intact) but the checksummed filter
     // block is dropped, never deserialized into a silently wrong filter.
-    ASSERT_TRUE(reader.Open(path, 1, &cache)) << "trial " << trial;
+    ASSERT_TRUE(reader.Open(path, 1, &cache).ok()) << "trial " << trial;
     EXPECT_FALSE(reader.has_filter_block()) << "trial " << trial;
   }
   ::unlink(path.c_str());
@@ -269,9 +280,9 @@ TEST(DbReopen, AllNineFamiliesServeIdenticalAnswersWithoutRebuilding) {
   for (const char* spec : kFamilySpecs) {
     SCOPED_TRACE(spec);
     auto options = PersistDbOptions(SanitizeSpec(spec));
-    std::string error;
-    options.filter_policy = MakeFilterPolicy(spec, &error);
-    ASSERT_NE(options.filter_policy, nullptr) << error;
+    Status status;
+    options.filter_policy = MakeFilterPolicy(spec, &status);
+    ASSERT_NE(options.filter_policy, nullptr) << status.ToString();
 
     std::vector<Probe> before;
     uint64_t total_keys = 0;
@@ -286,8 +297,8 @@ TEST(DbReopen, AllNineFamiliesServeIdenticalAnswersWithoutRebuilding) {
       ASSERT_GT(filter_bits, 0u) << "no filters built at flush time";
     }
 
-    auto db = Db::Open(options, &error);
-    ASSERT_NE(db, nullptr) << error;
+    auto db = Db::Open(options, &status);
+    ASSERT_NE(db, nullptr) << status.ToString();
     EXPECT_EQ(db->TotalKeys(), total_keys);
     EXPECT_EQ(db->TotalFilterBits(), filter_bits);
     // Filters were deserialized from SST filter blocks; FilterBuilder
@@ -317,9 +328,9 @@ TEST(DbReopen, MemtableContentsSurviveCloseWithoutExplicitFlush) {
     }
     // No Flush/CompactAll: the destructor must persist the memtable.
   }
-  std::string error;
-  auto db = Db::Open(options, &error);
-  ASSERT_NE(db, nullptr) << error;
+  Status status;
+  auto db = Db::Open(options, &status);
+  ASSERT_NE(db, nullptr) << status.ToString();
   EXPECT_EQ(db->TotalKeys(), 50u);
   std::string key, value;
   ASSERT_TRUE(db->Seek(EncodeKeyBE(9), EncodeKeyBE(9), &key, &value));
@@ -352,9 +363,9 @@ TEST(DbReopen, CorruptFilterBlocksTriggerRebuildFallback) {
   }
   ASSERT_GT(corrupted, 0u);
 
-  std::string error;
-  auto db = Db::Open(options, &error);
-  ASSERT_NE(db, nullptr) << error;
+  Status status;
+  auto db = Db::Open(options, &status);
+  ASSERT_NE(db, nullptr) << status.ToString();
   EXPECT_EQ(db->stats().filter_loads, 0u);
   EXPECT_EQ(db->stats().filter_rebuilds, corrupted);
   EXPECT_GT(db->TotalFilterBits(), 0u);
@@ -382,9 +393,9 @@ TEST(DbReopen, FilterBytesAreChargedToTheBlockCache) {
     EXPECT_GE(db.cache().pinned_bytes() + n_files,
               db.TotalFilterBits() / 8);
   }
-  std::string error;
-  auto db = Db::Open(options, &error);
-  ASSERT_NE(db, nullptr) << error;
+  Status status;
+  auto db = Db::Open(options, &status);
+  ASSERT_NE(db, nullptr) << status.ToString();
   EXPECT_GT(db->cache().pinned_bytes(), 0u);
   EXPECT_LE(db->cache().pinned_bytes(), db->TotalFilterBits() / 8);
 }
@@ -393,9 +404,9 @@ TEST(DbReopen, MissingManifestOpensEmpty) {
   auto options = PersistDbOptions("fresh");
   ::mkdir(options.dir.c_str(), 0755);
   ::unlink((options.dir + "/MANIFEST").c_str());
-  std::string error;
-  auto db = Db::Open(options, &error);
-  ASSERT_NE(db, nullptr) << error;
+  Status status;
+  auto db = Db::Open(options, &status);
+  ASSERT_NE(db, nullptr) << status.ToString();
   EXPECT_EQ(db->TotalKeys(), 0u);
 }
 
@@ -411,18 +422,18 @@ TEST(DbReopen, ReopenedDbKeepsCompactingAndReopening) {
     }
     db.CompactAll();
   }
-  std::string error;
+  Status status;
   {
-    auto db = Db::Open(options, &error);
-    ASSERT_NE(db, nullptr) << error;
+    auto db = Db::Open(options, &status);
+    ASSERT_NE(db, nullptr) << status.ToString();
     for (uint64_t i = 1000; i < 2000; ++i) {
       db->Put(EncodeKeyBE(i * 4), "gen2-" + std::to_string(i));
     }
     db->CompactAll();
     EXPECT_EQ(db->TotalKeys(), 2000u);
   }
-  auto db = Db::Open(options, &error);
-  ASSERT_NE(db, nullptr) << error;
+  auto db = Db::Open(options, &status);
+  ASSERT_NE(db, nullptr) << status.ToString();
   EXPECT_EQ(db->TotalKeys(), 2000u);
   std::string key, value;
   ASSERT_TRUE(db->Seek(EncodeKeyBE(0), EncodeKeyBE(0), &key, &value));

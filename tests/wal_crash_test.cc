@@ -1,0 +1,567 @@
+// Crash-recovery fault injection for the durable write path (PR 4).
+//
+// The contract under test (docs/FORMAT.md, src/lsm/db.h):
+//  * a Put/Delete acknowledged (Status::OK) before a crash is recovered
+//    by Db::Open via WAL replay — at ANY crash offset, zero loss;
+//  * a torn WAL tail (a record cut mid-frame by the crash) is rejected
+//    and truncated away, never half-applied;
+//  * a flipped data-block byte surfaces as a non-OK Status from
+//    VerifyChecksums (and read_errors in Seek), never a wrong answer;
+//  * a torn MANIFEST delta is dropped and the WAL still covers the
+//    writes; a corrupted complete delta record fails Open loudly.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "lsm/db.h"
+#include "lsm/filter_policy.h"
+#include "lsm/wal.h"
+#include "surf/surf.h"
+#include "util/random.h"
+
+namespace proteus {
+namespace {
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(content.data(), static_cast<std::streamsize>(content.size()));
+}
+
+DbOptions CrashDbOptions(const std::string& name) {
+  DbOptions options;
+  options.dir = "/tmp/proteus_wal_crash_" + name;
+  options.memtable_bytes = 256 << 10;  // keep writes in the memtable
+  options.sst_target_bytes = 64 << 10;
+  options.block_size = 1024;
+  options.l0_compaction_trigger = 3;
+  options.l1_size_bytes = 128 << 10;
+  options.filter_policy = MakeFilterPolicy("proteus:bpk=12");
+  return options;
+}
+
+// ---------------------------------------------------------------------------
+// WAL record framing and replay (no Db).
+// ---------------------------------------------------------------------------
+
+TEST(WalReplayUnit, RoundTripsEveryRecord) {
+  const std::string path = "/tmp/proteus_wal_unit.log";
+  ::unlink(path.c_str());
+  WalWriter writer;
+  ASSERT_TRUE(writer.Open(path).ok());
+  std::vector<std::pair<std::string, std::string>> written;
+  for (int i = 0; i < 200; ++i) {
+    std::string key = "key-" + std::to_string(i);
+    std::string value(i % 17, 'v');
+    written.emplace_back(key, value);
+    ASSERT_TRUE(
+        writer.Commit(EncodeWalRecord(kWalOpPut, key, value), /*sync=*/true)
+            .ok());
+  }
+  ASSERT_TRUE(
+      writer.Commit(EncodeWalRecord(kWalOpDelete, "key-5", {}), true).ok());
+
+  std::vector<std::pair<std::string, std::string>> replayed;
+  uint8_t last_op = 0;
+  uint64_t valid_bytes = 0;
+  bool torn = false;
+  ASSERT_TRUE(WalReplay(
+                  path,
+                  [&](uint8_t op, std::string_view k, std::string_view v) {
+                    last_op = op;
+                    if (op == kWalOpPut) replayed.emplace_back(k, v);
+                  },
+                  &valid_bytes, &torn)
+                  .ok());
+  EXPECT_FALSE(torn);
+  EXPECT_EQ(valid_bytes, ReadFile(path).size());
+  EXPECT_EQ(replayed, written);
+  EXPECT_EQ(last_op, kWalOpDelete);
+  ::unlink(path.c_str());
+}
+
+TEST(WalReplayUnit, EveryTruncationOffsetYieldsACleanPrefix) {
+  const std::string path = "/tmp/proteus_wal_trunc.log";
+  ::unlink(path.c_str());
+  WalWriter writer;
+  ASSERT_TRUE(writer.Open(path).ok());
+  std::vector<size_t> record_ends;  // clean boundaries in the file
+  size_t bytes = 0;
+  for (int i = 0; i < 40; ++i) {
+    std::string record = EncodeWalRecord(
+        kWalOpPut, "k" + std::to_string(i), std::string(i % 9, 'x'));
+    bytes += record.size();
+    record_ends.push_back(bytes);
+    ASSERT_TRUE(writer.Commit(record, /*sync=*/false).ok());
+  }
+  const std::string full = ReadFile(path);
+  ASSERT_EQ(full.size(), bytes);
+
+  // Simulate a crash at EVERY byte offset: replay must apply exactly the
+  // records wholly before the cut and flag everything after it as torn.
+  for (size_t cut = 0; cut <= full.size(); ++cut) {
+    WriteFile(path, full.substr(0, cut));
+    size_t whole_records = 0;
+    while (whole_records < record_ends.size() &&
+           record_ends[whole_records] <= cut) {
+      ++whole_records;
+    }
+    size_t applied = 0;
+    uint64_t valid_bytes = 0;
+    bool torn = false;
+    ASSERT_TRUE(WalReplay(
+                    path,
+                    [&](uint8_t, std::string_view, std::string_view) {
+                      ++applied;
+                    },
+                    &valid_bytes, &torn)
+                    .ok())
+        << "cut=" << cut;
+    EXPECT_EQ(applied, whole_records) << "cut=" << cut;
+    EXPECT_EQ(valid_bytes, whole_records == 0 ? 0 : record_ends[whole_records - 1])
+        << "cut=" << cut;
+    EXPECT_EQ(torn, cut != valid_bytes) << "cut=" << cut;
+  }
+  ::unlink(path.c_str());
+}
+
+TEST(WalReplayUnit, BitflippedRecordEndsTheIntelligiblePrefix) {
+  const std::string path = "/tmp/proteus_wal_flip.log";
+  ::unlink(path.c_str());
+  WalWriter writer;
+  ASSERT_TRUE(writer.Open(path).ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(writer
+                    .Commit(EncodeWalRecord(kWalOpPut, "key-" + std::to_string(i),
+                                            "value"),
+                            false)
+                    .ok());
+  }
+  const std::string clean = ReadFile(path);
+  Rng rng(99);
+  for (int trial = 0; trial < 25; ++trial) {
+    std::string corrupt = clean;
+    size_t pos = rng.NextBelow(corrupt.size());
+    corrupt[pos] ^= static_cast<char>(1 + rng.NextBelow(255));
+    WriteFile(path, corrupt);
+    size_t applied = 0;
+    uint64_t valid_bytes = 0;
+    bool torn = false;
+    // Replay stops at the first record that fails its CRC (or stops
+    // framing); it never applies garbage and never crashes.
+    ASSERT_TRUE(WalReplay(
+                    path,
+                    [&](uint8_t, std::string_view, std::string_view) {
+                      ++applied;
+                    },
+                    &valid_bytes, &torn)
+                    .ok())
+        << "trial " << trial;
+    EXPECT_LE(applied, 10u);
+    EXPECT_LE(valid_bytes, corrupt.size());
+  }
+  ::unlink(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Db-level: kill -9 at any WAL offset.
+// ---------------------------------------------------------------------------
+
+TEST(DbCrashRecovery, AcknowledgedWritesSurviveKillMinusNine) {
+  auto options = CrashDbOptions("ack");
+  std::map<uint64_t, std::string> acknowledged;
+  {
+    Db db(options);
+    for (uint64_t i = 0; i < 800; ++i) {
+      std::string value = "v" + std::to_string(i);
+      ASSERT_TRUE(db.Put(EncodeKeyBE(i * 3), value).ok());
+      acknowledged[i * 3] = value;
+    }
+    ASSERT_TRUE(db.Delete(EncodeKeyBE(30)).ok());
+    acknowledged.erase(30);
+    db.TEST_CrashClose();  // no flush ever ran: everything lives in the WAL
+  }
+  Status status;
+  auto db = Db::Open(options, &status);
+  ASSERT_NE(db, nullptr) << status.ToString();
+  EXPECT_EQ(db->stats().wal_replayed, 801u);
+  for (const auto& [k, v] : acknowledged) {
+    std::string key, value;
+    ASSERT_TRUE(db->Seek(EncodeKeyBE(k), EncodeKeyBE(k), &key, &value))
+        << "lost acknowledged key " << k;
+    EXPECT_EQ(value, v) << "key " << k;
+  }
+  EXPECT_FALSE(db->Seek(EncodeKeyBE(30), EncodeKeyBE(30)));
+}
+
+TEST(DbCrashRecovery, CrashAtAnyWalOffsetLosesNothingAcknowledged) {
+  auto options = CrashDbOptions("offsets");
+  options.filter_policy = nullptr;  // irrelevant here; keep the loop fast
+  const uint64_t kKeys = 60;
+  {
+    Db db(options);
+    for (uint64_t i = 0; i < kKeys; ++i) {
+      ASSERT_TRUE(db.Put(EncodeKeyBE(i), "val-" + std::to_string(i)).ok());
+    }
+    db.TEST_CrashClose();
+  }
+  const std::string wal_path = options.dir + "/WAL";
+  const std::string full = ReadFile(wal_path);
+  ASSERT_FALSE(full.empty());
+
+  // Each record is 8 (frame) + 1 (op) + 4 + 8 (key) + 4 + value bytes;
+  // recompute boundaries from the encoder so the test cannot drift.
+  std::vector<size_t> record_ends;
+  {
+    size_t bytes = 0;
+    for (uint64_t i = 0; i < kKeys; ++i) {
+      bytes +=
+          EncodeWalRecord(kWalOpPut, EncodeKeyBE(i), "val-" + std::to_string(i))
+              .size();
+      record_ends.push_back(bytes);
+    }
+    ASSERT_EQ(bytes, full.size());
+  }
+
+  Rng rng(123);
+  std::vector<size_t> cuts = {0, 1, 7, 8, full.size() - 1, full.size()};
+  for (int i = 0; i < 40; ++i) cuts.push_back(rng.NextBelow(full.size()));
+  for (size_t cut : cuts) {
+    WriteFile(wal_path, full.substr(0, cut));
+    size_t whole = 0;
+    while (whole < record_ends.size() && record_ends[whole] <= cut) ++whole;
+
+    Status status;
+    auto db = Db::Open(options, &status);
+    ASSERT_NE(db, nullptr) << "cut=" << cut << ": " << status.ToString();
+    // A record wholly on disk was acknowledged at most at this offset's
+    // crash point; everything before the cut MUST come back, the torn
+    // record (never acknowledged) must NOT.
+    EXPECT_EQ(db->stats().wal_replayed, whole) << "cut=" << cut;
+    for (uint64_t k = 0; k < whole; ++k) {
+      std::string key, value;
+      ASSERT_TRUE(db->Seek(EncodeKeyBE(k), EncodeKeyBE(k), &key, &value))
+          << "cut=" << cut << " lost key " << k;
+      EXPECT_EQ(value, "val-" + std::to_string(k));
+    }
+    for (uint64_t k = whole; k < kKeys; ++k) {
+      EXPECT_FALSE(db->Seek(EncodeKeyBE(k), EncodeKeyBE(k)))
+          << "cut=" << cut << " resurrected torn key " << k;
+    }
+    db->TEST_CrashClose();  // leave the truncated WAL alone for the next cut
+  }
+}
+
+TEST(DbCrashRecovery, ReplayedWritesFlushAndTheWalResets) {
+  auto options = CrashDbOptions("replay_flush");
+  {
+    Db db(options);
+    for (uint64_t i = 0; i < 300; ++i) {
+      ASSERT_TRUE(db.Put(EncodeKeyBE(i * 2), "x" + std::to_string(i)).ok());
+    }
+    db.TEST_CrashClose();
+  }
+  Status status;
+  {
+    auto db = Db::Open(options, &status);
+    ASSERT_NE(db, nullptr) << status.ToString();
+    EXPECT_EQ(db->stats().wal_replayed, 300u);
+    ASSERT_TRUE(db->Flush().ok());
+    // The flush made the replayed writes durable in SSTs; the WAL must
+    // be empty again (its job is done until the next write).
+    EXPECT_EQ(ReadFile(options.dir + "/WAL").size(), 0u);
+  }
+  auto db = Db::Open(options, &status);
+  ASSERT_NE(db, nullptr) << status.ToString();
+  EXPECT_EQ(db->stats().wal_replayed, 0u);
+  EXPECT_EQ(db->TotalKeys(), 300u);
+}
+
+TEST(DbCrashRecovery, GroupCommitBatchesConcurrentWriters) {
+  auto options = CrashDbOptions("group");
+  options.filter_policy = nullptr;
+  Db db(options);
+  ASSERT_NE(db.TEST_wal(), nullptr);
+  // Slow each fsync so concurrent committers pile up behind the leader.
+  db.TEST_wal()->TEST_SetSyncDelayMicros(300);
+
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&db, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        uint64_t k = static_cast<uint64_t>(t) * 1000 + static_cast<uint64_t>(i);
+        ASSERT_TRUE(db.Put(EncodeKeyBE(k), "t" + std::to_string(k)).ok());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  const WalWriter::Stats stats = db.wal_stats();
+  EXPECT_EQ(stats.records, static_cast<uint64_t>(kThreads * kPerThread));
+  // The whole point of group commit: far fewer fsyncs than records.
+  EXPECT_LT(stats.syncs, stats.records);
+  EXPECT_EQ(stats.syncs, stats.batches);
+
+  // Every concurrent write is present and survives a crash.
+  db.TEST_CrashClose();
+  Status status;
+  auto reopened = Db::Open(options, &status);
+  ASSERT_NE(reopened, nullptr) << status.ToString();
+  EXPECT_EQ(reopened->stats().wal_replayed,
+            static_cast<uint64_t>(kThreads * kPerThread));
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      uint64_t k = static_cast<uint64_t>(t) * 1000 + static_cast<uint64_t>(i);
+      ASSERT_TRUE(reopened->Seek(EncodeKeyBE(k), EncodeKeyBE(k)))
+          << "lost key " << k;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Data-block corruption: non-OK Status, not a wrong answer.
+// ---------------------------------------------------------------------------
+
+TEST(DbCrashRecovery, FlippedDataBlockByteSurfacesAsCorruptionStatus) {
+  auto options = CrashDbOptions("block_flip");
+  {
+    Db db(options);
+    for (uint64_t i = 0; i < 3000; ++i) {
+      ASSERT_TRUE(
+          db.Put(EncodeKeyBE(i * 4), "blk" + std::to_string(i)).ok());
+    }
+    ASSERT_TRUE(db.CompactAll().ok());
+  }
+  Status status;
+  {
+    auto db = Db::Open(options, &status);
+    ASSERT_NE(db, nullptr) << status.ToString();
+    ASSERT_TRUE(db->VerifyChecksums().ok());
+  }
+
+  // Flip one byte in the first data block of some SST (offset 16 is
+  // comfortably inside block 0's payload, before index and footer).
+  std::string victim;
+  for (uint64_t id = 1; id < 128 && victim.empty(); ++id) {
+    std::string path = options.dir + "/" + std::to_string(id) + ".sst";
+    if (::access(path.c_str(), F_OK) == 0) victim = path;
+  }
+  ASSERT_FALSE(victim.empty());
+  std::string content = ReadFile(victim);
+  content[16] ^= 0x20;
+  WriteFile(victim, content);
+
+  Status status2;
+  auto reopened = Db::Open(options, &status2);
+  ASSERT_NE(reopened, nullptr) << status2.ToString();
+  Status verify = reopened->VerifyChecksums();
+  EXPECT_FALSE(verify.ok());
+  EXPECT_TRUE(verify.IsCorruption()) << verify.ToString();
+
+  // Seeks over the damaged region surface the Corruption through the
+  // status out-param (and stats) and never return a silently wrong
+  // value.
+  reopened->ResetStats();
+  size_t corrupt_seeks = 0;
+  for (uint64_t i = 0; i < 3000; i += 11) {
+    std::string key, value;
+    Status seek_status;
+    if (reopened->Seek(EncodeKeyBE(i * 4), EncodeKeyBE(i * 4), &key, &value,
+                       &seek_status)) {
+      EXPECT_EQ(value, "blk" + std::to_string(i)) << "silent corruption";
+    }
+    if (!seek_status.ok()) {
+      EXPECT_TRUE(seek_status.IsCorruption()) << seek_status.ToString();
+      ++corrupt_seeks;
+    }
+  }
+  EXPECT_GT(corrupt_seeks, 0u);
+  EXPECT_GT(reopened->stats().read_errors, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// MANIFEST delta log: torn tail recovered via the WAL; damage is loud.
+// ---------------------------------------------------------------------------
+
+TEST(DbCrashRecovery, TornManifestDeltaIsCoveredByTheWal) {
+  auto options = CrashDbOptions("manifest_torn");
+  options.manifest_compact_threshold = 1000;  // keep every delta in the log
+  const std::string manifest = options.dir + "/MANIFEST";
+  const std::string wal_path = options.dir + "/WAL";
+  std::string wal_before_flush;
+  size_t manifest_before_flush = 0;
+  {
+    Db db(options);
+    // Generation 1: flushed and durable via the manifest snapshot.
+    for (uint64_t i = 0; i < 500; ++i) {
+      ASSERT_TRUE(db.Put(EncodeKeyBE(i), "gen1").ok());
+    }
+    ASSERT_TRUE(db.Flush().ok());
+    manifest_before_flush = ReadFile(manifest).size();
+    // Generation 2: acknowledged into the WAL, then flushed (appending a
+    // delta record and resetting the WAL).
+    for (uint64_t i = 500; i < 900; ++i) {
+      ASSERT_TRUE(db.Put(EncodeKeyBE(i), "gen2").ok());
+    }
+    wal_before_flush = ReadFile(wal_path);
+    ASSERT_TRUE(db.Flush().ok());
+    db.TEST_CrashClose();
+  }
+  // Simulate the crash landing mid-flush: the delta record was torn in
+  // the middle of its append and the WAL reset never happened.
+  std::string content = ReadFile(manifest);
+  ASSERT_GT(content.size(), manifest_before_flush);
+  const size_t torn_size =
+      manifest_before_flush + (content.size() - manifest_before_flush) / 2;
+  WriteFile(manifest, content.substr(0, torn_size));
+  WriteFile(wal_path, wal_before_flush);
+
+  Status status;
+  auto db = Db::Open(options, &status);
+  ASSERT_NE(db, nullptr) << status.ToString();
+  // The torn delta was dropped; the WAL replay brings generation 2 back.
+  EXPECT_GT(db->stats().wal_replayed, 0u);
+  for (uint64_t i = 0; i < 900; ++i) {
+    ASSERT_TRUE(db->Seek(EncodeKeyBE(i), EncodeKeyBE(i)))
+        << "lost key " << i;
+  }
+}
+
+TEST(DbCrashRecovery, CorruptedCompleteDeltaRecordFailsOpenLoudly) {
+  auto options = CrashDbOptions("manifest_delta_flip");
+  options.manifest_compact_threshold = 1000;
+  const std::string manifest = options.dir + "/MANIFEST";
+  size_t snapshot_size = 0;
+  {
+    Db db(options);
+    for (uint64_t i = 0; i < 400; ++i) {
+      ASSERT_TRUE(db.Put(EncodeKeyBE(i), "a").ok());
+    }
+    ASSERT_TRUE(db.Flush().ok());  // snapshot (first manifest write)
+    snapshot_size = ReadFile(manifest).size();
+    for (uint64_t i = 400; i < 800; ++i) {
+      ASSERT_TRUE(db.Put(EncodeKeyBE(i), "b").ok());
+    }
+    ASSERT_TRUE(db.Flush().ok());  // appends a delta record
+    for (uint64_t i = 800; i < 1200; ++i) {
+      ASSERT_TRUE(db.Put(EncodeKeyBE(i), "c").ok());
+    }
+    ASSERT_TRUE(db.Flush().ok());  // a second delta: the first is now
+    db.TEST_CrashClose();          // unambiguously mid-log
+  }
+  std::string content = ReadFile(manifest);
+  ASSERT_GT(content.size(), snapshot_size + 16);
+  // Flip a byte inside the FIRST delta record's payload — a complete
+  // mid-log frame. That is damage (history rewritten), not a torn
+  // append, and recovery must refuse rather than guess.
+  std::string corrupt = content;
+  corrupt[snapshot_size + 12] ^= 0x01;
+  WriteFile(manifest, corrupt);
+
+  Status status;
+  auto db = Db::Open(options, &status);
+  EXPECT_EQ(db, nullptr);
+  EXPECT_TRUE(status.IsCorruption()) << status.ToString();
+
+  // Restoring the bytes restores the database.
+  WriteFile(manifest, content);
+  db = Db::Open(options, &status);
+  ASSERT_NE(db, nullptr) << status.ToString();
+  EXPECT_EQ(db->TotalKeys(), 1200u);
+}
+
+TEST(DbCrashRecovery, ManifestDeltaLogCompactsBackToOneSnapshot) {
+  auto options = CrashDbOptions("manifest_compact");
+  options.manifest_compact_threshold = 4;
+  {
+    Db db(options);
+    for (int gen = 0; gen < 12; ++gen) {
+      for (uint64_t i = 0; i < 64; ++i) {
+        ASSERT_TRUE(
+            db.Put(EncodeKeyBE(static_cast<uint64_t>(gen) * 1000 + i), "g")
+                .ok());
+      }
+      ASSERT_TRUE(db.Flush().ok());
+    }
+    // 12 flushes with a threshold of 4: the log was folded into a fresh
+    // snapshot at least twice, and deltas were appended in between.
+    EXPECT_GT(db.stats().manifest_snapshots, 1u);
+    EXPECT_GT(db.stats().manifest_deltas, 0u);
+  }
+  Status status;
+  auto db = Db::Open(options, &status);
+  ASSERT_NE(db, nullptr) << status.ToString();
+  EXPECT_EQ(db->TotalKeys(), 12u * 64u);
+}
+
+TEST(DbCrashRecovery, WalFromPreviousRunHonoredThenRemovedWhenWalDisabled) {
+  auto options = CrashDbOptions("stale_wal");
+  {
+    // Session 1 (WAL on): acknowledged writes, then kill -9.
+    Db db(options);
+    for (uint64_t i = 0; i < 120; ++i) {
+      ASSERT_TRUE(db.Put(EncodeKeyBE(i), "s1").ok());
+    }
+    db.TEST_CrashClose();
+  }
+  ASSERT_GT(ReadFile(options.dir + "/WAL").size(), 0u);
+
+  // Session 2 opens with use_wal=false: the old log's acknowledged
+  // writes must still be honored (replayed), and the file removed so it
+  // can never replay stale history over this session's newer state.
+  options.use_wal = false;
+  Status status;
+  {
+    auto db = Db::Open(options, &status);
+    ASSERT_NE(db, nullptr) << status.ToString();
+    EXPECT_EQ(db->stats().wal_replayed, 120u);
+    EXPECT_EQ(db->TotalKeys(), 120u);
+    EXPECT_EQ(ReadFile(options.dir + "/WAL").size(), 0u);  // gone
+    ASSERT_TRUE(db->Delete(EncodeKeyBE(5)).ok());
+    ASSERT_TRUE(db->Flush().ok());
+  }
+
+  // Session 3 (WAL back on): the deleted key must NOT resurrect from
+  // the session-1 log.
+  options.use_wal = true;
+  auto db = Db::Open(options, &status);
+  ASSERT_NE(db, nullptr) << status.ToString();
+  EXPECT_EQ(db->stats().wal_replayed, 0u);
+  EXPECT_FALSE(db->Seek(EncodeKeyBE(5), EncodeKeyBE(5)));
+  EXPECT_TRUE(db->Seek(EncodeKeyBE(6), EncodeKeyBE(6)));
+}
+
+TEST(DbCrashRecovery, WalDisabledKeepsTheOldContract) {
+  auto options = CrashDbOptions("no_wal");
+  options.use_wal = false;
+  {
+    Db db(options);
+    for (uint64_t i = 0; i < 100; ++i) {
+      ASSERT_TRUE(db.Put(EncodeKeyBE(i), "x").ok());
+    }
+    EXPECT_EQ(db.wal_stats().records, 0u);
+    db.TEST_CrashClose();  // kill -9 without a WAL: the memtable is gone
+  }
+  Status status;
+  auto db = Db::Open(options, &status);
+  ASSERT_NE(db, nullptr) << status.ToString();
+  EXPECT_EQ(db->TotalKeys(), 0u);  // documented regression of use_wal=false
+}
+
+}  // namespace
+}  // namespace proteus
