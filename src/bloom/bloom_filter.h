@@ -85,23 +85,37 @@ class BloomFilter {
   }
 
   // --- Integer items (hashed with MurmurHash3). ---
+  /// The (h1, h2) pair InsertInt/MayContainInt probe with — exposed so
+  /// batch paths can hash one item ahead and PrefetchHash it.
+  static void HashInt(uint64_t item, uint64_t* h1, uint64_t* h2) {
+    *h1 = Murmur3Int64(item, 0x5D336E36A3C9BF71ull);
+    *h2 = Murmur3Int64(item, 0xA5A9FFDE6D3D34C1ull);
+  }
   void InsertInt(uint64_t item) {
-    InsertHash(Murmur3Int64(item, 0x5D336E36A3C9BF71ull),
-               Murmur3Int64(item, 0xA5A9FFDE6D3D34C1ull));
+    uint64_t h1, h2;
+    HashInt(item, &h1, &h2);
+    InsertHash(h1, h2);
   }
   bool MayContainInt(uint64_t item) const {
-    return MayContainHash(Murmur3Int64(item, 0x5D336E36A3C9BF71ull),
-                          Murmur3Int64(item, 0xA5A9FFDE6D3D34C1ull));
+    uint64_t h1, h2;
+    HashInt(item, &h1, &h2);
+    return MayContainHash(h1, h2);
   }
 
   // --- Byte-string items (hashed with the CLHASH-style hash). ---
+  static void HashBytes(std::string_view s, uint64_t* h1, uint64_t* h2) {
+    *h1 = ClHash64(s, 0x5D336E36A3C9BF71ull);
+    *h2 = ClHash64(s, 0xA5A9FFDE6D3D34C1ull);
+  }
   void InsertBytes(std::string_view s) {
-    InsertHash(ClHash64(s, 0x5D336E36A3C9BF71ull),
-               ClHash64(s, 0xA5A9FFDE6D3D34C1ull));
+    uint64_t h1, h2;
+    HashBytes(s, &h1, &h2);
+    InsertHash(h1, h2);
   }
   bool MayContainBytes(std::string_view s) const {
-    return MayContainHash(ClHash64(s, 0x5D336E36A3C9BF71ull),
-                          ClHash64(s, 0xA5A9FFDE6D3D34C1ull));
+    uint64_t h1, h2;
+    HashBytes(s, &h1, &h2);
+    return MayContainHash(h1, h2);
   }
 
   uint64_t n_bits() const { return n_bits_; }

@@ -39,6 +39,34 @@ std::unique_ptr<BloomIntFilter> BloomIntFilter::BuildFromSpec(
   return Build(builder.keys(), bpk);
 }
 
+void BloomIntFilter::MultiMayContain(const uint64_t* lo, const uint64_t* hi,
+                                     size_t n, uint8_t* out) const {
+  // Depth-1 software pipeline over the point queries: while probe i
+  // resolves, the next point query's (h1, h2) is computed and its cache
+  // line pulled in. Non-point queries answer true without touching the
+  // filter (and without disturbing the pipeline).
+  auto hash_next = [&](size_t from, uint64_t* h1, uint64_t* h2) -> size_t {
+    for (size_t j = from; j < n; ++j) {
+      if (lo[j] != hi[j]) {
+        out[j] = 1;
+        continue;
+      }
+      BloomFilter::HashInt(lo[j], h1, h2);
+      bf_.PrefetchHash(*h1);
+      return j;
+    }
+    return n;
+  };
+  uint64_t h1 = 0, h2 = 0;
+  size_t i = hash_next(0, &h1, &h2);
+  while (i < n) {
+    const uint64_t cur1 = h1, cur2 = h2;
+    const size_t cur = i;
+    i = hash_next(i + 1, &h1, &h2);
+    out[cur] = bf_.MayContainHash(cur1, cur2) ? 1 : 0;
+  }
+}
+
 void BloomIntFilter::SerializePayload(std::string* out) const {
   bf_.AppendTo(out);
 }
@@ -63,6 +91,32 @@ std::unique_ptr<BloomStrFilter> BloomStrFilter::BuildFromSpec(
   double bpk;
   if (!ParseBpk(spec, &bpk, error)) return nullptr;
   return Build(builder.keys(), bpk);
+}
+
+void BloomStrFilter::MultiMayContain(const std::string_view* lo,
+                                     const std::string_view* hi, size_t n,
+                                     uint8_t* out) const {
+  // Same pipeline as BloomIntFilter::MultiMayContain, over byte strings.
+  auto hash_next = [&](size_t from, uint64_t* h1, uint64_t* h2) -> size_t {
+    for (size_t j = from; j < n; ++j) {
+      if (lo[j] != hi[j]) {
+        out[j] = 1;
+        continue;
+      }
+      BloomFilter::HashBytes(lo[j], h1, h2);
+      bf_.PrefetchHash(*h1);
+      return j;
+    }
+    return n;
+  };
+  uint64_t h1 = 0, h2 = 0;
+  size_t i = hash_next(0, &h1, &h2);
+  while (i < n) {
+    const uint64_t cur1 = h1, cur2 = h2;
+    const size_t cur = i;
+    i = hash_next(i + 1, &h1, &h2);
+    out[cur] = bf_.MayContainHash(cur1, cur2) ? 1 : 0;
+  }
 }
 
 void BloomStrFilter::SerializePayload(std::string* out) const {

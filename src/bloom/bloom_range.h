@@ -39,6 +39,10 @@ class BloomIntFilter : public RangeFilter {
     if (lo != hi) return true;  // point filter: cannot rule out ranges
     return bf_.MayContainInt(lo);
   }
+  /// Pipelined point probes: hash query i+1 and prefetch its cache line
+  /// while query i's probe resolves.
+  void MultiMayContain(const uint64_t* lo, const uint64_t* hi, size_t n,
+                       uint8_t* out) const override;
   uint64_t SizeBits() const override { return bf_.SizeBits(); }
   std::string Name() const override { return "Bloom"; }
 
@@ -65,6 +69,9 @@ class BloomStrFilter : public StrRangeFilter {
     if (lo != hi) return true;
     return bf_.MayContainBytes(lo);
   }
+  /// See BloomIntFilter::MultiMayContain.
+  void MultiMayContain(const std::string_view* lo, const std::string_view* hi,
+                       size_t n, uint8_t* out) const override;
   uint64_t SizeBits() const override { return bf_.SizeBits(); }
   std::string Name() const override { return "Bloom-str"; }
 

@@ -42,6 +42,10 @@ bool PrefixBloom::ProbePrefix(uint64_t prefix_value) const {
       Murmur3Int64(prefix_value, SaltedLen(kSeed2, prefix_len_)));
 }
 
+void PrefixBloom::PrefetchPrefix(uint64_t prefix_value) const {
+  bf_.PrefetchHash(Murmur3Int64(prefix_value, SaltedLen(kSeed1, prefix_len_)));
+}
+
 bool PrefixBloom::ProbeRange(uint64_t first, uint64_t last) const {
   const uint64_t s1 = SaltedLen(kSeed1, prefix_len_);
   const uint64_t s2 = SaltedLen(kSeed2, prefix_len_);
@@ -110,6 +114,10 @@ bool StrPrefixBloom::ProbePrefix(std::string_view padded_prefix) const {
   return bf_.MayContainHash(
       ClHash64(padded_prefix, SaltedLen(kSeed1, prefix_len_)),
       ClHash64(padded_prefix, SaltedLen(kSeed2, prefix_len_)));
+}
+
+void StrPrefixBloom::PrefetchPrefix(std::string_view padded_prefix) const {
+  bf_.PrefetchHash(ClHash64(padded_prefix, SaltedLen(kSeed1, prefix_len_)));
 }
 
 bool StrPrefixBloom::ProbeRange(std::string_view first,

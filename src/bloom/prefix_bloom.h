@@ -41,6 +41,11 @@ class PrefixBloom {
   /// (right-aligned, as produced by PrefixBits64).
   bool ProbePrefix(uint64_t prefix_value) const;
 
+  /// Hashes `prefix_value` and pulls in the cache line its probe will
+  /// touch first — the cross-query analogue of ProbeRange's hash-ahead,
+  /// called by batch executors one query before they probe it.
+  void PrefetchPrefix(uint64_t prefix_value) const;
+
   /// Probes every prefix value in [first, last] (inclusive), hashing and
   /// prefetching one prefix ahead; true on the first positive.
   bool ProbeRange(uint64_t first, uint64_t last) const;
@@ -79,6 +84,9 @@ class StrPrefixBloom {
   /// Probes one prefix given as a padded ceil(l/8)-byte buffer (the output
   /// format of StrPrefix / StrPrefixBytes).
   bool ProbePrefix(std::string_view padded_prefix) const;
+
+  /// See PrefixBloom::PrefetchPrefix.
+  void PrefetchPrefix(std::string_view padded_prefix) const;
 
   /// Probes every prefix from `first` through `last` (both padded
   /// ceil(l/8)-byte values, first <= last) in successor order, hashing and

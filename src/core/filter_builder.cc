@@ -2,6 +2,7 @@
 
 #include "core/filter_registry.h"
 #include "model/cpfpr.h"
+#include "model/cpfpr_str.h"
 
 namespace proteus {
 namespace {
@@ -71,10 +72,27 @@ std::unique_ptr<RangeFilter> FilterBuilder::Build(const FilterSpec& spec,
 StrFilterBuilder::StrFilterBuilder(const std::vector<std::string>& sorted_keys)
     : keys_(sorted_keys) {}
 
+StrFilterBuilder::~StrFilterBuilder() = default;
+
 StrFilterBuilder& StrFilterBuilder::Sample(
     const std::vector<StrRangeQuery>& queries) {
   samples_.insert(samples_.end(), queries.begin(), queries.end());
+  model_.reset();
   return *this;
+}
+
+const StrCpfprModel& StrFilterBuilder::Design(uint32_t max_bits,
+                                              const StrCpfprOptions& options) {
+  if (model_ == nullptr || model_max_bits_ != max_bits ||
+      model_bloom_grid_ != options.bloom_grid ||
+      model_trie_grid_ != options.trie_grid) {
+    model_ = std::make_unique<StrCpfprModel>(keys_, samples_, max_bits,
+                                             options);
+    model_max_bits_ = max_bits;
+    model_bloom_grid_ = options.bloom_grid;
+    model_trie_grid_ = options.trie_grid;
+  }
+  return *model_;
 }
 
 std::unique_ptr<StrRangeFilter> StrFilterBuilder::Build(std::string_view spec,

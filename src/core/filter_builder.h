@@ -69,15 +69,29 @@ class FilterBuilder {
   std::unique_ptr<CpfprModel> model_;
 };
 
-/// String-key counterpart. The string CPFPR model depends on per-family
-/// parameters (max key bits, search grid), so families construct it
-/// themselves from keys() and samples(); the shared flow here is spec
-/// resolution and workload capture.
+class StrCpfprModel;
+struct StrCpfprOptions;
+
+/// String-key counterpart. Unlike the int model, the string CPFPR model
+/// is parameterized (max key bits, search grid), so the cache is keyed
+/// on those parameters: repeated Build() calls with the same geometry —
+/// a bpk sweep, or per-SST rebuilds over a stable key shape — reuse one
+/// model instead of re-deriving it per build.
 class StrFilterBuilder {
  public:
   explicit StrFilterBuilder(const std::vector<std::string>& sorted_keys);
+  ~StrFilterBuilder();
+  StrFilterBuilder(const StrFilterBuilder&) = delete;
+  StrFilterBuilder& operator=(const StrFilterBuilder&) = delete;
 
+  /// Appends sampled (empty) range queries; invalidates the cached model.
   StrFilterBuilder& Sample(const std::vector<StrRangeQuery>& queries);
+
+  /// Runs the string CPFPR model over keys and samples for this
+  /// geometry; cached across Build() calls until Sample() adds more
+  /// queries or the parameters change.
+  const StrCpfprModel& Design(uint32_t max_bits,
+                              const StrCpfprOptions& options);
 
   std::unique_ptr<StrRangeFilter> Build(std::string_view spec,
                                         std::string* error = nullptr);
@@ -90,6 +104,10 @@ class StrFilterBuilder {
  private:
   const std::vector<std::string>& keys_;
   std::vector<StrRangeQuery> samples_;
+  std::unique_ptr<StrCpfprModel> model_;
+  uint32_t model_max_bits_ = 0;
+  uint32_t model_bloom_grid_ = 0;
+  uint32_t model_trie_grid_ = 0;
 };
 
 }  // namespace proteus

@@ -62,6 +62,21 @@ bool OnePbfFilter::MayContain(uint64_t lo, uint64_t hi) const {
   return bf_.MayContain(lo, hi);
 }
 
+void OnePbfFilter::MultiMayContain(const uint64_t* lo, const uint64_t* hi,
+                                   size_t n, uint8_t* out) const {
+  // ProbeRange pipelines hashing within one query's prefix walk; here the
+  // pipeline crosses query boundaries: before query i's walk starts, query
+  // i+1's first prefix is hashed and its cache line requested, so the
+  // first (often only) probe of each query finds its line resident.
+  if (n == 0) return;
+  const uint32_t l = bf_.prefix_len();
+  bf_.PrefetchPrefix(PrefixBits64(lo[0], l));
+  for (size_t i = 0; i < n; ++i) {
+    if (i + 1 < n) bf_.PrefetchPrefix(PrefixBits64(lo[i + 1], l));
+    out[i] = bf_.MayContain(lo[i], hi[i]) ? 1 : 0;
+  }
+}
+
 void OnePbfFilter::SerializePayload(std::string* out) const {
   PutFixed32(out, modeled_fpr_.has_value() ? 1 : 0);
   PutDouble(out, modeled_fpr_.value_or(0.0));

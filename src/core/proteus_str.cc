@@ -60,8 +60,9 @@ std::unique_ptr<ProteusStrFilter> ProteusStrFilter::BuildFromSpec(
   StrCpfprOptions options;
   options.bloom_grid = std::max<uint32_t>(1, 128 / std::max<uint32_t>(1, stride));
   if (trie_grid > 0) options.trie_grid = trie_grid;  // 0 = model default
-  return BuildSelfDesigned(builder.keys(), builder.samples(), bpk,
-                           max_key_bits, options, blocked != 0);
+  return BuildFromModel(builder.keys(),
+                        builder.Design(max_key_bits, options), bpk,
+                        blocked != 0);
 }
 
 std::unique_ptr<ProteusStrFilter> ProteusStrFilter::BuildSelfDesigned(
@@ -70,6 +71,12 @@ std::unique_ptr<ProteusStrFilter> ProteusStrFilter::BuildSelfDesigned(
     uint32_t max_key_bits, StrCpfprOptions model_options, bool blocked_bloom) {
   StrCpfprModel model(sorted_keys, sample_queries, max_key_bits,
                       model_options);
+  return BuildFromModel(sorted_keys, model, bits_per_key, blocked_bloom);
+}
+
+std::unique_ptr<ProteusStrFilter> ProteusStrFilter::BuildFromModel(
+    const std::vector<std::string>& sorted_keys, const StrCpfprModel& model,
+    double bits_per_key, bool blocked_bloom) {
   uint64_t budget = static_cast<uint64_t>(
       bits_per_key * static_cast<double>(sorted_keys.size()));
   ProteusDesign design = model.SelectProteus(
@@ -77,7 +84,7 @@ std::unique_ptr<ProteusStrFilter> ProteusStrFilter::BuildSelfDesigned(
                             : BloomProbeMode::kStandard);
   auto filter = BuildWithConfig(
       sorted_keys,
-      Config{design.trie_depth, design.bf_prefix_len, max_key_bits},
+      Config{design.trie_depth, design.bf_prefix_len, model.max_bits()},
       bits_per_key, blocked_bloom);
   filter->modeled_fpr_ = design.expected_fpr;
   return filter;

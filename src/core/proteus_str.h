@@ -50,6 +50,13 @@ class ProteusStrFilter : public StrRangeFilter {
       uint32_t max_key_bits, StrCpfprOptions model_options = StrCpfprOptions(),
       bool blocked_bloom = false);
 
+  /// Self-designing build over an already-derived model (the
+  /// StrFilterBuilder cache hands the same model to every build with the
+  /// same geometry instead of re-deriving it per build).
+  static std::unique_ptr<ProteusStrFilter> BuildFromModel(
+      const std::vector<std::string>& sorted_keys, const StrCpfprModel& model,
+      double bits_per_key, bool blocked_bloom = false);
+
   static std::unique_ptr<ProteusStrFilter> BuildWithConfig(
       const std::vector<std::string>& sorted_keys, Config config,
       double bits_per_key, bool blocked_bloom = false);

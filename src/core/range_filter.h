@@ -13,6 +13,7 @@
 #ifndef PROTEUS_CORE_RANGE_FILTER_H_
 #define PROTEUS_CORE_RANGE_FILTER_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <string_view>
 
@@ -27,6 +28,16 @@ class RangeFilter : public Filter {
 
   /// True if the key set may intersect the inclusive range [lo, hi].
   virtual bool MayContain(uint64_t lo, uint64_t hi) const = 0;
+
+  /// Batch form: out[i] = MayContain(lo[i], hi[i]) for i in [0, n). The
+  /// default loops; Bloom-backed families override it to hash one query
+  /// ahead and prefetch its cache line, the cross-query analogue of
+  /// PrefixBloom::ProbeRange's within-query pipeline. Callers get the
+  /// best locality when queries arrive sorted by lo.
+  virtual void MultiMayContain(const uint64_t* lo, const uint64_t* hi,
+                               size_t n, uint8_t* out) const {
+    for (size_t i = 0; i < n; ++i) out[i] = MayContain(lo[i], hi[i]) ? 1 : 0;
+  }
 };
 
 /// Range filter over variable-length byte-string keys (lexicographic order,
@@ -36,6 +47,13 @@ class StrRangeFilter : public Filter {
   KeyKind kind() const final { return KeyKind::kStr; }
 
   virtual bool MayContain(std::string_view lo, std::string_view hi) const = 0;
+
+  /// Batch form; see RangeFilter::MultiMayContain.
+  virtual void MultiMayContain(const std::string_view* lo,
+                               const std::string_view* hi, size_t n,
+                               uint8_t* out) const {
+    for (size_t i = 0; i < n; ++i) out[i] = MayContain(lo[i], hi[i]) ? 1 : 0;
+  }
 };
 
 }  // namespace proteus

@@ -973,13 +973,24 @@ void Db::RemoveOrphanSsts() {
 bool Db::Seek(std::string_view lo, std::string_view hi, std::string* key,
               std::string* value, Status* status) {
   ++stats_.seeks;
-  if (status != nullptr) *status = Status::OK();
   Status first_error;
+  bool found = SeekLoop(std::string(lo), hi, key, value, &first_error);
+  if (!found) RecordEmptySeek(lo, hi);
+  if (status != nullptr) *status = std::move(first_error);
+  return found;
+}
+
+void Db::RecordEmptySeek(std::string_view lo, std::string_view hi) {
+  ++stats_.empty_seeks;
+  if (query_queue_.OnEmptyQuery(lo, hi)) ++stats_.queue_sampled;
+}
+
+bool Db::SeekLoop(std::string cursor, std::string_view hi, std::string* key,
+                  std::string* value, Status* first_error) {
   auto note_error = [&](Status s) {
     ++stats_.read_errors;
-    if (first_error.ok()) first_error = std::move(s);
+    if (first_error->ok()) *first_error = std::move(s);
   };
-  std::string cursor(lo);
   std::string best_key, best_value;
   while (true) {
     bool found = false;
@@ -1052,22 +1063,228 @@ bool Db::Seek(std::string_view lo, std::string_view hi, std::string* key,
       }
     }
 
-    if (!found) {
-      ++stats_.empty_seeks;
-      query_queue_.OnEmptyQuery(lo, hi);
-      if (status != nullptr) *status = std::move(first_error);
-      return false;
-    }
+    if (!found) return false;
     if (!best_tombstone) {
       if (key != nullptr) key->assign(best_key);
       if (value != nullptr) value->assign(best_value);
-      if (status != nullptr) *status = std::move(first_error);
       return true;
     }
     // The newest version in range is a tombstone: resume the scan just
     // past the deleted key (its successor in byte order).
     cursor.assign(best_key);
     cursor.push_back('\0');
+  }
+}
+
+void Db::MultiSeek(const QueryBatch& batch, const Scheduler& scheduler,
+                   std::vector<MultiSeekResult>* results) {
+  const size_t n = batch.size();
+  results->assign(n, MultiSeekResult{});
+  if (n == 0) return;
+  stats_.seeks += n;
+
+  // Layout hints for layout-aware schedulers: the boundaries of the
+  // largest sorted level (the one most batches fan out over).
+  ScheduleContext context;
+  size_t widest = 0;  // 0 = no sorted level yet (L0 has no boundaries)
+  for (size_t level = 1; level < kMaxLevels; ++level) {
+    if (levels_[level].size() >
+        (widest == 0 ? size_t{0} : levels_[widest].size())) {
+      widest = level;
+    }
+  }
+  if (widest != 0) {
+    context.file_boundaries.reserve(levels_[widest].size());
+    for (const auto& f : levels_[widest]) {
+      context.file_boundaries.push_back(f->smallest);
+    }
+  }
+  std::vector<uint32_t> order;
+  scheduler.Plan(batch, context, &order);
+  // A scheduler must emit a permutation; a broken one must not lose or
+  // duplicate queries, so fall back to arrival order if it didn't.
+  {
+    std::vector<uint8_t> seen(n, 0);
+    bool valid = order.size() == n;
+    for (size_t i = 0; valid && i < n; ++i) {
+      valid = order[i] < n && !seen[order[i]];
+      if (valid) seen[order[i]] = 1;
+    }
+    if (!valid) {
+      order.resize(n);
+      for (size_t i = 0; i < n; ++i) order[i] = static_cast<uint32_t>(i);
+    }
+  }
+
+  // Round one: the first Seek-loop iteration of every query, batched so
+  // each SST is visited once. Per-query winners accumulate here exactly
+  // like Seek's `consider`.
+  struct Cand {
+    bool found = false;
+    bool tombstone = false;
+    int age = 1 << 30;
+    std::string key, value;
+    Status first_error;
+  };
+  std::vector<Cand> cands(n);
+  auto consider = [&](uint32_t qi, std::string_view k,
+                      std::string_view internal, int age, bool tagged) {
+    if (k > batch[qi].hi) return;
+    Cand& c = cands[qi];
+    if (!c.found || k < c.key || (k == c.key && age < c.age)) {
+      c.found = true;
+      c.key.assign(k);
+      c.tombstone = tagged && IsTombstone(internal);
+      c.value.assign(UserValue(internal, tagged));
+      c.age = age;
+    }
+  };
+
+  SkipList::Entry entry;
+  for (uint32_t qi : order) {
+    if (mem_.SeekGeq(batch[qi].lo, &entry)) {
+      consider(qi, entry.key, entry.value, 0, /*tagged=*/true);
+    }
+  }
+
+  // Per-SST grouping: a file's group is the (scheduled-order) queries
+  // that still need it; all their filter verdicts come from one batched
+  // call, then only the passing ones probe the SST. A query that finds
+  // an in-range entry (rc == 0) is done with the level — Seek's
+  // per-level early exit — while one that doesn't carries over to the
+  // next file only if its range spans past this one.
+  std::string fk, fv;
+  std::vector<std::string_view> clip_lo, clip_hi;
+  std::vector<uint8_t> verdicts;
+  auto probe_group = [&](const FileMeta& f, int file_age,
+                         const std::vector<uint32_t>& group,
+                         std::vector<uint32_t>* carry) {
+    if (group.empty()) return;
+    clip_lo.clear();
+    clip_hi.clear();
+    for (uint32_t qi : group) {
+      const StrRangeQuery& q = batch[qi];
+      clip_lo.push_back(q.lo > f.smallest ? std::string_view(q.lo)
+                                          : std::string_view(f.smallest));
+      clip_hi.push_back(q.hi < f.largest ? std::string_view(q.hi)
+                                         : std::string_view(f.largest));
+    }
+    stats_.filter_checks += group.size();
+    verdicts.assign(group.size(), 1);
+    if (f.filter != nullptr) {
+      f.filter->MultiMayContain(clip_lo.data(), clip_hi.data(), group.size(),
+                                verdicts.data());
+      for (uint8_t v : verdicts) {
+        if (v == 0) ++stats_.filter_negatives;
+      }
+    }
+    for (size_t g = 0; g < group.size(); ++g) {
+      const uint32_t qi = group[g];
+      const StrRangeQuery& q = batch[qi];
+      bool done = false;
+      if (verdicts[g] != 0) {
+        ++stats_.sst_seeks;
+        Status read_status;
+        int rc = f.reader->SeekInRange(q.lo, q.hi, &fk, &fv, &read_status);
+        if (rc == 0) {
+          consider(qi, fk, fv, file_age, f.tagged_values);
+          done = true;
+        } else if (rc == 1 && f.filter != nullptr) {
+          ++stats_.false_positive_files;
+        } else if (rc == -1) {
+          ++stats_.read_errors;
+          if (cands[qi].first_error.ok()) {
+            cands[qi].first_error = std::move(read_status);
+          }
+        }
+      }
+      if (!done && carry != nullptr && q.hi > f.largest) carry->push_back(qi);
+    }
+  };
+
+  // L0 files overlap arbitrarily, so every file sees every overlapping
+  // query (no early exit to exploit — same as Seek).
+  std::vector<uint32_t> group;
+  int age = 1;
+  for (const auto& f : levels_[0]) {
+    group.clear();
+    for (uint32_t qi : order) {
+      const StrRangeQuery& q = batch[qi];
+      if (!(f->largest < q.lo || f->smallest > q.hi)) group.push_back(qi);
+    }
+    probe_group(*f, age++, group, nullptr);
+  }
+
+  // Sorted levels: files are ascending and non-overlapping, so each
+  // query binary-searches its first overlapping file instead of every
+  // file scanning every query; a query whose range spans a file
+  // boundary carries into the next file's group (Seek's scan order
+  // exactly). One flat (file, query) list per level keeps this
+  // allocation-free across files.
+  std::vector<std::pair<uint32_t, uint32_t>> assigned;
+  std::vector<uint32_t> carry;
+  for (size_t level = 1; level < kMaxLevels; ++level) {
+    const auto& files = levels_[level];
+    if (files.empty()) continue;
+    const int level_age = 1000 + static_cast<int>(level);
+    assigned.clear();
+    for (uint32_t qi : order) {
+      const StrRangeQuery& q = batch[qi];
+      auto it = std::lower_bound(
+          files.begin(), files.end(), q.lo,
+          [](const auto& f, std::string_view lo) { return f->largest < lo; });
+      if (it == files.end() || (*it)->smallest > q.hi) continue;
+      assigned.emplace_back(static_cast<uint32_t>(it - files.begin()), qi);
+    }
+    // Queries with the same entry file become adjacent, scheduled order
+    // preserved within each file.
+    std::stable_sort(assigned.begin(), assigned.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    size_t pos = 0;
+    carry.clear();
+    for (size_t i = 0; i < files.size(); ++i) {
+      if (carry.empty()) {
+        if (pos == assigned.size()) break;
+        i = assigned[pos].first;  // skip files nobody needs
+      }
+      group.clear();
+      for (uint32_t qi : carry) {
+        // A carried range can end before this file starts (Seek would
+        // break the level scan there): drop it.
+        if (batch[qi].hi >= files[i]->smallest) group.push_back(qi);
+      }
+      carry.clear();
+      while (pos < assigned.size() && assigned[pos].first == i) {
+        group.push_back(assigned[pos++].second);
+      }
+      probe_group(*files[i], level_age, group,
+                  i + 1 < files.size() ? &carry : nullptr);
+    }
+  }
+
+  // Resolve. Tombstone winners resume through the single-query loop past
+  // the deleted key (rare: a batch amortizes nothing over a resume whose
+  // cursor is unique to one query). Empty results feed the sample queue
+  // with their original bounds, exactly like Seek.
+  for (size_t qi = 0; qi < n; ++qi) {
+    MultiSeekResult& r = (*results)[qi];
+    Cand& c = cands[qi];
+    r.status = std::move(c.first_error);
+    if (c.found && !c.tombstone) {
+      r.found = true;
+      r.key = std::move(c.key);
+      r.value = std::move(c.value);
+      continue;
+    }
+    if (c.found) {
+      std::string cursor = std::move(c.key);
+      cursor.push_back('\0');
+      r.found = SeekLoop(std::move(cursor), batch[qi].hi, &r.key, &r.value,
+                         &r.status);
+    }
+    if (!r.found) RecordEmptySeek(batch[qi].lo, batch[qi].hi);
   }
 }
 

@@ -53,6 +53,7 @@
 #include <string_view>
 #include <vector>
 
+#include "engine/scheduler.h"
 #include "lsm/block_cache.h"
 #include "lsm/filter_policy.h"
 #include "lsm/query_queue.h"
@@ -108,6 +109,26 @@ struct DbStats {
   uint64_t wal_replayed = 0;     // records re-applied by Db::Open
   uint64_t manifest_deltas = 0;     // delta records appended
   uint64_t manifest_snapshots = 0;  // snapshot rewrites (incl. compaction)
+  uint64_t queue_sampled = 0;    // empty queries recorded in the sample queue
+
+  /// Observed per-file FPR: of the filter passes that led to an SST
+  /// probe, the fraction that found nothing in range — the live
+  /// counterpart of the CPFPR model's predicted FPR.
+  double ObservedFileFpr() const {
+    return sst_seeks == 0 ? 0.0
+                          : static_cast<double>(false_positive_files) /
+                                static_cast<double>(sst_seeks);
+  }
+};
+
+/// One query's outcome in a MultiSeek batch: the Seek(lo, hi) contract
+/// (smallest live key in range, first read error in `status`), amortized
+/// across the batch.
+struct MultiSeekResult {
+  bool found = false;
+  std::string key;
+  std::string value;
+  Status status;
 };
 
 class Db {
@@ -159,6 +180,20 @@ class Db {
             std::string* key = nullptr, std::string* value = nullptr,
             Status* status = nullptr);
 
+  /// Batched Seek: answers every query in `batch` with exactly the
+  /// Seek() results, but amortizes the tree walk across the batch. The
+  /// scheduler fixes the execution order (see engine/scheduler.h); the
+  /// engine then visits each overlapping SST once, takes all of the
+  /// batch's filter verdicts for that file in one MultiMayContain call,
+  /// and probes only the passing queries — so with a key-sorted order
+  /// one file's filter and data blocks stay hot for the whole batch
+  /// instead of being re-fetched per query. Queries whose newest match
+  /// is a tombstone fall back to the single-query resume path. Like
+  /// Seek, empty results feed the sample query queue with their
+  /// original bounds. Assumes no concurrent writers.
+  void MultiSeek(const QueryBatch& batch, const Scheduler& scheduler,
+                 std::vector<MultiSeekResult>* results);
+
   /// Forces a MemTable flush (and any triggered compactions). Success
   /// clears a pending background error (the stuck memtable is durable
   /// now); failure sets it.
@@ -178,6 +213,14 @@ class Db {
   Status VerifyChecksums() const;
 
   SampleQueryQueue& query_queue() { return query_queue_; }
+  const SampleQueryQueue& query_queue() const { return query_queue_; }
+
+  /// The live workload sample the next flush's filters will be built
+  /// from (the queue's current snapshot).
+  std::vector<std::pair<std::string, std::string>> SampledQueries() const {
+    return query_queue_.Snapshot();
+  }
+
   const DbStats& stats() const { return stats_; }
   void ResetStats() { stats_ = DbStats{}; }
   BlockCache& cache() { return cache_; }
@@ -223,6 +266,18 @@ class Db {
 
   Status WriteInternal(uint8_t op, std::string_view key,
                        std::string_view value);
+
+  /// The Seek cursor loop starting at `cursor` (tombstones advance the
+  /// cursor and retry). No empty-query accounting: callers own that,
+  /// because the sample queue must see the ORIGINAL query bounds, not a
+  /// tombstone-advanced cursor. Read errors accumulate into
+  /// `first_error` (first one wins) and stats_.read_errors.
+  bool SeekLoop(std::string cursor, std::string_view hi, std::string* key,
+                std::string* value, Status* first_error);
+
+  /// Empty-result bookkeeping shared by Seek and MultiSeek: counts the
+  /// empty seek and offers the query to the sample queue.
+  void RecordEmptySeek(std::string_view lo, std::string_view hi);
 
   /// Writes SSTs from a sorted entry stream of internal (tagged) values;
   /// builds their filters. Tombstones are skipped entirely when

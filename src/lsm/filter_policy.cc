@@ -63,6 +63,15 @@ class IntFilterAdapter : public SstFilter {
   bool MayContain(std::string_view lo, std::string_view hi) const override {
     return filter_->MayContain(DecodeKeyBE(lo), DecodeKeyBE(hi));
   }
+  void MultiMayContain(const std::string_view* lo, const std::string_view* hi,
+                       size_t n, uint8_t* out) const override {
+    std::vector<uint64_t> los(n), his(n);
+    for (size_t i = 0; i < n; ++i) {
+      los[i] = DecodeKeyBE(lo[i]);
+      his[i] = DecodeKeyBE(hi[i]);
+    }
+    filter_->MultiMayContain(los.data(), his.data(), n, out);
+  }
   uint64_t SizeBits() const override { return filter_->SizeBits(); }
   bool Serialize(std::string* out) const override {
     filter_->Serialize(out);
@@ -79,6 +88,10 @@ class StrFilterAdapter : public SstFilter {
       : filter_(std::move(filter)) {}
   bool MayContain(std::string_view lo, std::string_view hi) const override {
     return filter_->MayContain(lo, hi);
+  }
+  void MultiMayContain(const std::string_view* lo, const std::string_view* hi,
+                       size_t n, uint8_t* out) const override {
+    filter_->MultiMayContain(lo, hi, n, out);
   }
   uint64_t SizeBits() const override { return filter_->SizeBits(); }
   bool Serialize(std::string* out) const override {

@@ -19,6 +19,7 @@
 #ifndef PROTEUS_LSM_FILTER_POLICY_H_
 #define PROTEUS_LSM_FILTER_POLICY_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -34,6 +35,16 @@ class SstFilter {
  public:
   virtual ~SstFilter() = default;
   virtual bool MayContain(std::string_view lo, std::string_view hi) const = 0;
+
+  /// Batch verdicts for MultiSeek: out[i] = MayContain(lo[i], hi[i]).
+  /// The default loops; the adapters forward to the wrapped filter's
+  /// MultiMayContain, which Bloom-backed families pipeline.
+  virtual void MultiMayContain(const std::string_view* lo,
+                               const std::string_view* hi, size_t n,
+                               uint8_t* out) const {
+    for (size_t i = 0; i < n; ++i) out[i] = MayContain(lo[i], hi[i]) ? 1 : 0;
+  }
+
   virtual uint64_t SizeBits() const = 0;
 
   /// Appends the filter's persistent form (Filter::Serialize wire

@@ -31,9 +31,12 @@ class SampleQueryQueue {
   }
 
   /// Records an executed *empty* query, subject to the sampling rate.
-  void OnEmptyQuery(std::string_view lo, std::string_view hi) {
-    if (++counter_ % options_.sample_rate != 0) return;
+  /// Returns true when the query was actually recorded (for the DB's
+  /// queue_sampled counter).
+  bool OnEmptyQuery(std::string_view lo, std::string_view hi) {
+    if (++counter_ % options_.sample_rate != 0) return false;
     Push(lo, hi);
+    return true;
   }
 
   /// Snapshot of the current sample set (filter construction input).

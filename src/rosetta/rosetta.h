@@ -40,17 +40,21 @@ class RosettaFilter : public RangeFilter {
   struct Config {
     uint32_t min_level = 64;                // top used level
     std::vector<double> level_weights;      // index 0 = min_level ... 64
+    bool blocked_bloom = false;             // cache-line-blocked probe layout
   };
 
-  /// Registry/FilterBuilder hook. Spec parameters: bpk (default 12).
+  /// Registry/FilterBuilder hook. Spec parameters: bpk (default 12);
+  /// blocked=0|1 selects cache-line-blocked Bloom probes (default 1).
   static std::unique_ptr<RosettaFilter> BuildFromSpec(const FilterSpec& spec,
                                                       FilterBuilder& builder,
                                                       std::string* error);
 
-  /// Self-configuring build from sample queries (the paper's setup).
+  /// Self-configuring build from sample queries (the paper's setup). The
+  /// profile estimator uses the FPR formula matching the probe layout.
   static std::unique_ptr<RosettaFilter> BuildSelfConfigured(
       const std::vector<uint64_t>& sorted_keys,
-      const std::vector<RangeQuery>& sample_queries, double bits_per_key);
+      const std::vector<RangeQuery>& sample_queries, double bits_per_key,
+      bool blocked_bloom = false);
 
   /// Forced configuration (tests / ablations).
   static std::unique_ptr<RosettaFilter> BuildWithConfig(

@@ -87,7 +87,8 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Values("proteus:bpk=14", "proteus:trie=16,bloom=48",
                       "proteus:bpk=12,trie=20,bloom=0", "onepbf:bpk=12",
                       "twopbf:bpk=12", "twopbf:l1=12,l2=40,frac1=0.4",
-                      "rosetta:bpk=14", "surf:mode=base", "surf:mode=real,suffix=8",
+                      "rosetta:bpk=14", "rosetta:bpk=14,blocked=0",
+                      "surf:mode=base", "surf:mode=real,suffix=8",
                       "surf:mode=hash,suffix=4", "bloom:bpk=12",
                       "proteus:bpk=14,blocked=0", "proteus:bpk=14,blocked=1",
                       "onepbf:bpk=12,blocked=0",

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "core/filter_builder.h"
 #include "core/proteus_str.h"
 #include "model/cpfpr_str.h"
 #include "surf/surf.h"
@@ -210,6 +211,54 @@ TEST(StrProteus, DeepKeys1440Bits) {
     const std::string& k = keys[rng.NextBelow(keys.size())];
     ASSERT_TRUE(filter->MayContain(k, k));
   }
+}
+
+TEST(StrProteus, BuilderCachesModelAcrossBuilds) {
+  auto keys = GenerateStrKeys(StrDataset::kUniform, 2000, 16, 19);
+  StrQuerySpec spec;
+  spec.dist = StrQueryDist::kCorrelated;
+  spec.range_max = uint64_t{1} << 16;
+  auto samples = GenerateStrQueries(keys, spec, 600, 20);
+
+  // The cached path (one model reused across a bpk sweep) must produce
+  // byte-identical filters to per-build modeling.
+  StrFilterBuilder cached(keys);
+  cached.Sample(samples);
+  for (const char* fspec : {"proteus-str:bpk=10", "proteus-str:bpk=14"}) {
+    std::string error;
+    auto from_cache = cached.Build(fspec, &error);
+    ASSERT_NE(from_cache, nullptr) << error;
+    StrFilterBuilder fresh(keys);
+    fresh.Sample(samples);
+    auto from_fresh = fresh.Build(fspec, &error);
+    ASSERT_NE(from_fresh, nullptr) << error;
+    std::string blob_cache, blob_fresh;
+    from_cache->Serialize(&blob_cache);
+    from_fresh->Serialize(&blob_fresh);
+    EXPECT_EQ(blob_cache, blob_fresh) << fspec;
+  }
+
+  // Sample() invalidates: a build after new samples may not reuse the
+  // stale model (observable as a changed design once the workload turns
+  // from tiny to huge ranges — at minimum it must not crash or diverge
+  // from a fresh builder seeing the same samples).
+  StrQuerySpec wide;
+  wide.dist = StrQueryDist::kUniform;
+  wide.range_max = uint64_t{1} << 40;
+  auto more = GenerateStrQueries(keys, wide, 600, 21);
+  cached.Sample(more);
+  StrFilterBuilder fresh(keys);
+  fresh.Sample(samples);
+  fresh.Sample(more);
+  std::string error;
+  auto a = cached.Build("proteus-str:bpk=12", &error);
+  ASSERT_NE(a, nullptr) << error;
+  auto b = fresh.Build("proteus-str:bpk=12", &error);
+  ASSERT_NE(b, nullptr) << error;
+  std::string blob_a, blob_b;
+  a->Serialize(&blob_a);
+  b->Serialize(&blob_b);
+  EXPECT_EQ(blob_a, blob_b);
 }
 
 }  // namespace
