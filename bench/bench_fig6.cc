@@ -71,7 +71,13 @@ void RunPanel(const Args& args, const Panel& panel) {
       options.l1_size_bytes = 16u << 20;
       options.filter_policy =
           bench::MakePolicyOrDie(entry.spec);
-      Db db(options);
+      auto [db_ptr, db_status] = Db::Create(options);
+      if (!db_status.ok()) {
+        std::fprintf(stderr, "db create failed: %s\n",
+                     db_status.ToString().c_str());
+        std::exit(1);
+      }
+      Db& db = *db_ptr;
       std::vector<std::pair<std::string, std::string>> seed;
       for (const auto& q : seed_queries) {
         seed.push_back({EncodeKeyBE(q.lo), EncodeKeyBE(q.hi)});

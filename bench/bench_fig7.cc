@@ -82,7 +82,13 @@ void RunDirection(const Args& args, const Direction& dir, bool instant,
     options.queue_options.sample_rate = 10;  // responsive queue at this scale
     options.filter_policy =
         bench::MakePolicyOrDie(entry.spec);
-    Db db(options);
+    auto [db_ptr, db_status] = Db::Create(options);
+    if (!db_status.ok()) {
+      std::fprintf(stderr, "db create failed: %s\n",
+                   db_status.ToString().c_str());
+      std::exit(1);
+    }
+    Db& db = *db_ptr;
     std::vector<std::pair<std::string, std::string>> seed;
     for (size_t i = 0; i < 2000 && i < start_pool.size(); ++i) {
       seed.push_back(

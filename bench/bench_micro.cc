@@ -220,15 +220,16 @@ void BM_ProteusBuild(benchmark::State& state) {
 }
 BENCHMARK(BM_ProteusBuild)->Arg(10000)->Arg(100000)->Unit(benchmark::kMillisecond);
 
-void BM_SkipListPut(benchmark::State& state) {
+void BM_SkipListAdd(benchmark::State& state) {
   SkipList list;
   Rng rng(18);
+  uint64_t seqno = 0;
   for (auto _ : state) {
     uint64_t k = rng.Next();
-    list.Put(EncodeKeyBE(k), "value");
+    list.Add(EncodeKeyBE(k), ++seqno, "value");
   }
 }
-BENCHMARK(BM_SkipListPut);
+BENCHMARK(BM_SkipListAdd);
 
 void BM_RleCompressHalfZero(benchmark::State& state) {
   std::string value = MakeValuePayload(123, 512);

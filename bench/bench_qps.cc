@@ -284,7 +284,13 @@ int main(int argc, char** argv) {
     options.l1_size_bytes = 1u << 20;
     options.block_cache_bytes = qps.cache_mb << 20;
     options.filter_policy = bench::MakePolicyOrDie(filter_spec);
-    Db db(options);
+    auto [db_ptr, db_status] = Db::Create(options);
+    if (!db_status.ok()) {
+      std::fprintf(stderr, "db create failed: %s\n",
+                   db_status.ToString().c_str());
+      return 1;
+    }
+    Db& db = *db_ptr;
     std::vector<std::pair<std::string, std::string>> seed_queue;
     for (size_t i = 0; i < samples.size(); ++i) {
       seed_queue.push_back(
@@ -304,7 +310,7 @@ int main(int argc, char** argv) {
     }
 
     Status status;
-    auto engine = QueryEngine::Create(&db, qps.scheduler, &status);
+    auto engine = QueryEngine::Create(db_ptr.get(), qps.scheduler, &status);
     if (engine == nullptr) {
       std::fprintf(stderr, "scheduler \"%s\": %s\n", qps.scheduler.c_str(),
                    status.ToString().c_str());
@@ -312,13 +318,12 @@ int main(int argc, char** argv) {
     }
 
     bench::PrintHeader("qps: sequential Seek vs batched MultiSeek");
-    std::string key, value;
     std::vector<MultiSeekResult> results;
     auto run_mode = [&](const char* mode, uint64_t batch, auto&& issue) {
       // Same cache-warming pass before every mode, so batch sizes are
       // compared on steady cache state, not on run order.
       for (size_t i = 0; i < std::min<size_t>(queries.size(), 4000); ++i) {
-        db.Seek(queries[i].lo, queries[i].hi, &key, &value);
+        db.Seek(queries[i].lo, queries[i].hi);
       }
       db.ResetStats();
       const BlockCache::Stats cache_before = db.cache().stats();
@@ -335,8 +340,7 @@ int main(int argc, char** argv) {
       if (batch == 0) continue;
       if (batch == 1) {
         run_mode("seek", 1, [&](const QueryBatch& b) {
-          return static_cast<uint64_t>(
-              db.Seek(b[0].lo, b[0].hi, &key, &value));
+          return static_cast<uint64_t>(db.Seek(b[0].lo, b[0].hi).found);
         });
       } else {
         run_mode("multiseek", batch, [&](const QueryBatch& b) {

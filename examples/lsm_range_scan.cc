@@ -27,7 +27,13 @@ int main() {
     options.dir = "/tmp/proteus_example_lsm";
     options.memtable_bytes = 1 << 20;
     if (use_filter) options.filter_policy = MakeProteusIntPolicy(14.0);
-    Db db(options);
+    auto [db_ptr, create_status] = Db::Create(options);
+    if (db_ptr == nullptr) {
+      std::fprintf(stderr, "create failed: %s\n",
+                   create_status.ToString().c_str());
+      return 1;
+    }
+    Db& db = *db_ptr;
 
     // Seed the queue with a few hundred observed queries so the first
     // flush already knows the workload.
@@ -43,10 +49,9 @@ int main() {
     db.CompactAll();
     db.ResetStats();
 
-    std::string key, value;
     size_t found = 0;
     for (const auto& q : queries) {
-      found += db.Seek(EncodeKeyBE(q.lo), EncodeKeyBE(q.hi), &key, &value);
+      found += db.Seek(EncodeKeyBE(q.lo), EncodeKeyBE(q.hi)).found;
     }
     const DbStats& s = db.stats();
     std::printf("%s filters:\n", use_filter ? "with Proteus" : "without");

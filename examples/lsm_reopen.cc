@@ -28,7 +28,13 @@ int main() {
 
   std::printf("== first life: fill and close ==\n");
   {
-    Db db(options);
+    auto [db_ptr, create_status] = Db::Create(options);
+    if (db_ptr == nullptr) {
+      std::fprintf(stderr, "create failed: %s\n",
+                   create_status.ToString().c_str());
+      return 1;
+    }
+    Db& db = *db_ptr;
     for (uint64_t i = 0; i < 20000; ++i) {
       Status s = db.Put(EncodeKeyBE(i * 50), "value-" + std::to_string(i));
       if (!s.ok()) {  // a non-OK Put was rejected: the key is NOT stored
@@ -51,8 +57,7 @@ int main() {
   }  // destructor flushes the memtable and persists the manifest
 
   std::printf("== second life: Db::Open from disk ==\n");
-  Status status;
-  auto db = Db::Open(options, &status);
+  auto [db, status] = Db::Open(options);
   if (db == nullptr) {
     std::fprintf(stderr, "open failed: %s\n", status.ToString().c_str());
     return 1;
@@ -65,15 +70,14 @@ int main() {
               static_cast<unsigned long long>(db->stats().filter_rebuilds),
               static_cast<double>(db->stats().filter_build_ns) / 1e6);
 
-  std::string key, value;
-  if (db->Seek(EncodeKeyBE(500), EncodeKeyBE(500), &key, &value)) {
-    std::printf("  seek 500 -> %s\n", value.c_str());
+  if (SeekResult r = db->Seek(EncodeKeyBE(500), EncodeKeyBE(500)); r.found) {
+    std::printf("  seek 500 -> %s\n", r.value.c_str());
   }
   db->ResetStats();
   for (uint64_t i = 0; i < 2000; ++i) {
     db->Seek(EncodeKeyBE(i * 501 + 1), EncodeKeyBE(i * 501 + 20));
   }
-  const DbStats& s = db->stats();
+  const DbStats s = db->stats();
   std::printf(
       "  2000 empty seeks: filter-negatives=%llu sst-probes=%llu\n",
       static_cast<unsigned long long>(s.filter_negatives),
@@ -94,16 +98,17 @@ int main() {
   db->TEST_CrashClose();
   db.reset();
 
-  auto revived = Db::Open(options, &status);
+  auto [revived, revive_status] = Db::Open(options);
   if (revived == nullptr) {
     std::fprintf(stderr, "open after crash failed: %s\n",
-                 status.ToString().c_str());
+                 revive_status.ToString().c_str());
     return 1;
   }
   std::printf("  wal records replayed=%llu\n",
               static_cast<unsigned long long>(revived->stats().wal_replayed));
-  bool has_new = revived->Seek(EncodeKeyBE(5'000'000), EncodeKeyBE(5'000'000));
-  bool has_deleted = revived->Seek(EncodeKeyBE(500), EncodeKeyBE(500));
+  bool has_new =
+      revived->Seek(EncodeKeyBE(5'000'000), EncodeKeyBE(5'000'000)).found;
+  bool has_deleted = revived->Seek(EncodeKeyBE(500), EncodeKeyBE(500)).found;
   std::printf("  unflushed put recovered: %s, deleted key gone: %s\n",
               has_new ? "yes" : "NO (bug!)",
               has_deleted ? "NO (bug!)" : "yes");

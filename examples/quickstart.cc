@@ -82,9 +82,14 @@ int main() {
   db_options.dir = "/tmp/proteus_quickstart_db";
   db_options.filter_policy = MakeFilterPolicy("proteus:bpk=12");
   {
-    Db db(db_options);
+    auto [db, create_status] = Db::Create(db_options);
+    if (db == nullptr) {
+      std::fprintf(stderr, "create failed: %s\n",
+                   create_status.ToString().c_str());
+      return 1;
+    }
     for (uint64_t i = 0; i < 1000; ++i) {
-      Status s = db.Put(EncodeKeyBE(keys[i * 97]), "v" + std::to_string(i));
+      Status s = db->Put(EncodeKeyBE(keys[i * 97]), "v" + std::to_string(i));
       if (!s.ok()) {
         std::fprintf(stderr, "durable put failed: %s\n",
                      s.ToString().c_str());
@@ -93,8 +98,7 @@ int main() {
     }
     std::printf("stored 1000 keys durably (WAL group commit + Status)\n");
   }
-  Status open_status;
-  auto db = Db::Open(db_options, &open_status);
+  auto [db, open_status] = Db::Open(db_options);
   if (db == nullptr) {
     std::fprintf(stderr, "reopen failed: %s\n",
                  open_status.ToString().c_str());

@@ -76,7 +76,13 @@ int main(int argc, char** argv) {
   options.sst_target_bytes = 1 << 20;
   options.l1_size_bytes = 4u << 20;
   if (bpk > 0) options.filter_policy = MakeProteusIntPolicy(bpk);
-  Db db(options);
+  auto [db_ptr, create_status] = Db::Create(options);
+  if (db_ptr == nullptr) {
+    std::fprintf(stderr, "db create failed: %s\n",
+                 create_status.ToString().c_str());
+    return 1;
+  }
+  Db& db = *db_ptr;
 
   std::printf("populating %s with %llu uniform keys...\n", dir.c_str(),
               static_cast<unsigned long long>(keys));
@@ -94,7 +100,7 @@ int main(int argc, char** argv) {
   server_options.host = host;
   server_options.port = static_cast<uint16_t>(port);
   server_options.scheduler = scheduler;
-  BatchServer server(&db, server_options);
+  BatchServer server(db_ptr.get(), server_options);
   Status s = server.Start();
   if (!s.ok()) {
     std::fprintf(stderr, "Start failed: %s\n", s.ToString().c_str());

@@ -26,9 +26,11 @@ SOURCES = {
         "kSstMagic",
         "kFooterVersion2",
         "kFooterVersion3",
+        "kFooterVersion4",
         "kFooterV1Size",
         "kFooterV2Size",
         "kFooterV3Size",
+        "kFooterV4Size",
         "kHandleV2Size",
         "kHandleV3Size",
         "kFilterChecksumSeed",
@@ -42,6 +44,8 @@ SOURCES = {
     "src/lsm/wal.h": [
         "kWalOpPut",
         "kWalOpDelete",
+        "kWalOpPutSeq",
+        "kWalOpDeleteSeq",
     ],
     "src/core/filter.h": [
         "kMagic",

@@ -35,11 +35,11 @@ QueryEngine::QueryEngine(Db* db, std::unique_ptr<Scheduler> scheduler)
 
 void QueryEngine::Run(const QueryBatch& batch,
                       std::vector<MultiSeekResult>* results,
-                      BatchStats* stats) {
+                      BatchStats* stats, const ReadOptions& options) {
   const DbStats before = db_->stats();
   const BlockCache::Stats cache_before = db_->cache().stats();
   Stopwatch timer;
-  db_->MultiSeek(batch, *scheduler_, results);
+  db_->MultiSeek(batch, *scheduler_, results, options);
   BatchStats delta;
   delta.wall_ns = timer.ElapsedNanos();
   delta.queries = batch.size();

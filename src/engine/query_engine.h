@@ -54,9 +54,10 @@ class QueryEngine {
 
   /// Runs one batch through Db::MultiSeek under the engine's scheduler.
   /// Fills `stats` (when non-null) with the batch's cost and folds it
-  /// into totals().
+  /// into totals(). `options` (snapshot, checksum/cache knobs) applies
+  /// to the whole batch — one pinned view, one sequence horizon.
   void Run(const QueryBatch& batch, std::vector<MultiSeekResult>* results,
-           BatchStats* stats = nullptr);
+           BatchStats* stats = nullptr, const ReadOptions& options = {});
 
   const Scheduler& scheduler() const { return *scheduler_; }
   Db& db() { return *db_; }

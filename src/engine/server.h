@@ -8,10 +8,11 @@
 // port, a background thread calls Serve(), clients connect over
 // loopback, Stop() shuts the loop down from any thread.
 //
-// Serving is read-only with respect to the Db (Seek's threading contract
-// allows no concurrent writers), so one event-loop thread issues every
-// MultiSeek; concurrency across connections comes from interleaving
-// batches, not from parallel query execution.
+// One event-loop thread issues every MultiSeek; concurrency across
+// connections comes from interleaving batches, not from parallel query
+// execution. (The Db itself is fully concurrent — writers and background
+// maintenance may run alongside the serving thread; each batch resolves
+// against one pinned MVCC view.)
 
 #ifndef PROTEUS_ENGINE_SERVER_H_
 #define PROTEUS_ENGINE_SERVER_H_

@@ -69,8 +69,8 @@ void WireEncodePingRequest(std::string* out);
 // --- Responses ---
 
 /// Appends a framed Results response. Only found/key/value travel;
-/// per-query read errors stay server-side (the server logs them in its
-/// stats), matching Seek callers that pass no status out-param.
+/// per-query read errors (SeekResult::status) stay server-side — the
+/// server logs them in its stats rather than shipping them to clients.
 void WireEncodeResultsResponse(const std::vector<MultiSeekResult>& results,
                                std::string* out);
 bool WireDecodeResultsResponse(std::string_view payload,

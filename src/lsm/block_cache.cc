@@ -4,6 +4,7 @@ namespace proteus {
 
 std::shared_ptr<const std::string> BlockCache::Get(uint64_t file_id,
                                                    uint64_t offset) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = map_.find({file_id, offset});
   if (it == map_.end()) {
     ++stats_.misses;
@@ -16,6 +17,7 @@ std::shared_ptr<const std::string> BlockCache::Get(uint64_t file_id,
 
 void BlockCache::Insert(uint64_t file_id, uint64_t offset,
                         std::shared_ptr<const std::string> payload) {
+  std::lock_guard<std::mutex> lock(mu_);
   Key key{file_id, offset};
   auto it = map_.find(key);
   if (it != map_.end()) {
@@ -34,6 +36,7 @@ void BlockCache::Insert(uint64_t file_id, uint64_t offset,
 }
 
 void BlockCache::EraseFile(uint64_t file_id) {
+  std::lock_guard<std::mutex> lock(mu_);
   for (auto it = lru_.begin(); it != lru_.end();) {
     if (it->key.first == file_id) {
       used_ -= it->payload->size();
@@ -43,10 +46,11 @@ void BlockCache::EraseFile(uint64_t file_id) {
       ++it;
     }
   }
-  ReleasePinnedBytes(file_id);
+  ReleasePinnedLocked(file_id);
 }
 
 void BlockCache::AddPinnedBytes(uint64_t file_id, uint64_t bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
   pinned_[file_id] += bytes;
   pinned_total_ += bytes;
   used_ += bytes;
@@ -54,6 +58,11 @@ void BlockCache::AddPinnedBytes(uint64_t file_id, uint64_t bytes) {
 }
 
 void BlockCache::ReleasePinnedBytes(uint64_t file_id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ReleasePinnedLocked(file_id);
+}
+
+void BlockCache::ReleasePinnedLocked(uint64_t file_id) {
   auto it = pinned_.find(file_id);
   if (it == pinned_.end()) return;
   pinned_total_ -= it->second;

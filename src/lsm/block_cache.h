@@ -1,6 +1,11 @@
 // A byte-capacity LRU cache for decompressed data blocks, keyed by
 // (file id, block offset) — miniLSM's stand-in for the RocksDB block
 // cache (Section 6.2 warms and sizes it explicitly).
+//
+// Thread-safe: one internal mutex serializes lookups, inserts, and
+// eviction (readers on many threads share the cache once maintenance
+// runs in the background). Payloads are shared_ptr<const string>, so a
+// block handed out stays valid after eviction.
 
 #ifndef PROTEUS_LSM_BLOCK_CACHE_H_
 #define PROTEUS_LSM_BLOCK_CACHE_H_
@@ -8,6 +13,7 @@
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 
@@ -44,10 +50,22 @@ class BlockCache {
   /// Releases the pinned charge of a file (EraseFile also does this).
   void ReleasePinnedBytes(uint64_t file_id);
 
-  const Stats& stats() const { return stats_; }
-  void ResetStats() { stats_ = Stats{}; }
-  uint64_t used_bytes() const { return used_; }
-  uint64_t pinned_bytes() const { return pinned_total_; }
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return stats_;
+  }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = Stats{};
+  }
+  uint64_t used_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return used_;
+  }
+  uint64_t pinned_bytes() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return pinned_total_;
+  }
   uint64_t capacity() const { return capacity_; }
 
  private:
@@ -63,9 +81,11 @@ class BlockCache {
     std::shared_ptr<const std::string> payload;
   };
 
-  void EvictIfNeeded();
+  void EvictIfNeeded();                        // callers hold mu_
+  void ReleasePinnedLocked(uint64_t file_id);  // callers hold mu_
 
-  uint64_t capacity_;
+  mutable std::mutex mu_;
+  const uint64_t capacity_;
   uint64_t used_ = 0;
   uint64_t pinned_total_ = 0;
   std::list<Entry> lru_;  // front = most recent

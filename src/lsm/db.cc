@@ -10,6 +10,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <thread>
 
 #include "core/filter.h"
 #include "util/crc32c.h"
@@ -18,36 +19,25 @@
 #include "util/timer.h"
 
 namespace proteus {
+
+// Abstract sorted stream of entry versions (key asc, seqno desc) feeding
+// WriteSstFiles. tag()/user_value() are the decoded form regardless of
+// the source's on-disk encoding.
+class EntrySource {
+ public:
+  virtual ~EntrySource() = default;
+  virtual bool Valid() const = 0;
+  virtual std::string_view key() const = 0;
+  virtual uint64_t seqno() const = 0;
+  virtual uint8_t tag() const = 0;
+  virtual std::string_view user_value() const = 0;
+  virtual void Next() = 0;
+  virtual Status status() const = 0;
+};
+
 namespace {
 
 constexpr size_t kMaxLevels = 8;
-
-// Internal value encoding (memtable and v3 SSTs): a 1-byte tag before
-// the user value distinguishes live values from tombstones. v2 SSTs
-// predate the tag; their values are untagged and implicitly live
-// (FileMeta::tagged_values).
-constexpr char kTagValue = 0;
-constexpr char kTagTombstone = 1;
-
-bool IsTombstone(std::string_view internal) {
-  return !internal.empty() && internal.front() == kTagTombstone;
-}
-
-std::string_view UserValue(std::string_view internal, bool tagged) {
-  if (!tagged) return internal;
-  internal.remove_prefix(1);
-  return internal;
-}
-
-/// The one place the WAL-op -> internal-value mapping is written down:
-/// both the live write path and WAL replay must agree on it.
-std::string MakeInternalValue(uint8_t op, std::string_view value) {
-  std::string internal;
-  internal.reserve(1 + value.size());
-  internal.push_back(op == kWalOpPut ? kTagValue : kTagTombstone);
-  internal.append(value);
-  return internal;
-}
 
 // MANIFEST delta log (byte-accurate spec in docs/FORMAT.md): a sequence
 // of CRC32C-framed records. The first record is always a full snapshot
@@ -57,15 +47,19 @@ std::string MakeInternalValue(uint8_t op, std::string_view value) {
 //
 //   record  := length u32 | crc32c(payload) u32 | payload[length]
 //   snapshot payload := kind u8 (1) | magic u64 | version u64 |
-//                       next_file_id u64 | n_levels u64 |
-//                       per level: n_files u64, file*
+//                       next_file_id u64 | last_seqno u64 (v3+) |
+//                       n_levels u64 | per level: n_files u64, file*
 //   delta payload    := kind u8 (2) | next_file_id u64 |
+//                       last_seqno u64 (v3+) |
 //                       n_added u64,  (level u64, file)* |
 //                       n_deleted u64, (file_id u64)*
 //   file := id u64 | smallest lp | largest lp | n_entries u64 |
 //           file_size u64        (lp = u64 length + raw bytes)
+//
+// v2 manifests (pre-MVCC) have no last_seqno fields; they are read and
+// rewritten as v3 at open, so deltas never mix formats within one file.
 constexpr uint64_t kManifestMagic = 0x494E414D544F5250ull;  // "PROTMANI"
-constexpr uint64_t kManifestVersion = 2;  // 1 = whole-rewrite (pre-WAL)
+constexpr uint64_t kManifestVersion = 3;  // 2 = pre-MVCC (no last_seqno)
 constexpr uint8_t kManifestRecordSnapshot = 1;
 constexpr uint8_t kManifestRecordDelta = 2;
 
@@ -85,496 +79,6 @@ void SyncDir(const std::string& dir) {
   }
 }
 
-/// K-way merge over SST iterators with newest-wins deduplication.
-/// Yields internal (tombstone-tagged) values: untagged v2 sources are
-/// normalized through a scratch buffer.
-class MergingIterator {
- public:
-  void Add(const SstReader* reader, int age, bool tagged) {
-    items_.push_back({SstReader::Iterator(reader), age, tagged});
-  }
-  void Init() { FindBest(); }
-  bool Valid() const { return best_ >= 0; }
-  std::string_view key() const { return items_[best_].it.key(); }
-  std::string_view value() {
-    const Item& item = items_[best_];
-    if (item.tagged) return item.it.value();
-    scratch_.assign(1, kTagValue);
-    scratch_.append(item.it.value());
-    return scratch_;
-  }
-  void Next() {
-    std::string current(items_[best_].it.key());
-    for (auto& item : items_) {
-      if (item.it.Valid() && item.it.key() == current) item.it.Next();
-    }
-    FindBest();
-  }
-
-  /// First read failure across the inputs. A merge that ends with a
-  /// non-OK status stopped early and MUST NOT be committed: the
-  /// missing entries would otherwise be dropped and their file unlinked.
-  Status status() const {
-    for (const auto& item : items_) {
-      if (!item.it.status().ok()) return item.it.status();
-    }
-    return Status::OK();
-  }
-
- private:
-  struct Item {
-    SstReader::Iterator it;
-    int age;  // smaller = newer
-    bool tagged;
-  };
-
-  void FindBest() {
-    best_ = -1;
-    for (size_t i = 0; i < items_.size(); ++i) {
-      if (!items_[i].it.Valid()) continue;
-      if (best_ < 0 || items_[i].it.key() < items_[best_].it.key() ||
-          (items_[i].it.key() == items_[best_].it.key() &&
-           items_[i].age < items_[best_].age)) {
-        best_ = static_cast<int>(i);
-      }
-    }
-  }
-
-  std::vector<Item> items_;
-  std::string scratch_;
-  int best_ = -1;
-};
-
-/// Entry source over the MemTable (flush path; values already tagged).
-class MemTableSource {
- public:
-  explicit MemTableSource(const SkipList& mem) {
-    mem.ForEach([this](std::string_view k, std::string_view v) {
-      entries_.emplace_back(k, v);
-    });
-  }
-  bool Valid() const { return index_ < entries_.size(); }
-  Status status() const { return Status::OK(); }  // memory cannot fail
-  std::string_view key() const { return entries_[index_].first; }
-  std::string_view value() const { return entries_[index_].second; }
-  void Next() { ++index_; }
-
- private:
-  std::vector<std::pair<std::string, std::string>> entries_;
-  size_t index_ = 0;
-};
-
-void WipeDbFiles(const std::string& dir) {
-  DIR* d = ::opendir(dir.c_str());
-  if (d == nullptr) return;
-  while (dirent* e = ::readdir(d)) {
-    std::string name = e->d_name;
-    if (name.size() > 4 && name.substr(name.size() - 4) == ".sst") {
-      ::unlink((dir + "/" + name).c_str());
-    }
-  }
-  ::closedir(d);
-  ::unlink((dir + "/MANIFEST").c_str());
-  ::unlink((dir + "/MANIFEST.tmp").c_str());
-  ::unlink((dir + "/WAL").c_str());
-}
-
-}  // namespace
-
-Db::Db(DbOptions options) : Db(std::move(options), /*wipe_existing=*/true) {}
-
-Db::Db(DbOptions options, bool wipe_existing)
-    : options_(std::move(options)),
-      cache_(options_.block_cache_bytes),
-      query_queue_(options_.queue_options) {
-  ::mkdir(options_.dir.c_str(), 0755);
-  levels_.resize(kMaxLevels);
-  compact_cursor_.resize(kMaxLevels, 0);
-  if (wipe_existing) {
-    WipeDbFiles(options_.dir);
-    if (options_.use_wal) {
-      wal_ = std::make_unique<WalWriter>();
-      Status s = wal_->Open(WalPath());
-      if (!s.ok()) {
-        wal_.reset();
-        wal_error_ = std::move(s);
-      }
-    }
-  }
-  // Open() (wipe_existing=false) builds the WAL writer in ReplayWal,
-  // after the existing log has been replayed and its torn tail cut.
-}
-
-std::unique_ptr<Db> Db::Open(DbOptions options, Status* status) {
-  std::unique_ptr<Db> db(new Db(std::move(options), /*wipe_existing=*/false));
-  Status s = db->RecoverAll();
-  if (status != nullptr) *status = s;
-  if (!s.ok()) return nullptr;
-  return db;
-}
-
-Db::~Db() {
-  if (!crashed_) {
-    // Lossless close: persist the memtable and the manifest. A failure
-    // here cannot be returned; it is still recoverable from the WAL.
-    Status s = Flush();
-    if (!s.ok()) {
-      std::fprintf(stderr, "proteus: flush on close failed: %s\n",
-                   s.ToString().c_str());
-    }
-  }
-  if (manifest_fd_ >= 0) ::close(manifest_fd_);
-}
-
-// ---------------------------------------------------------------------------
-// Write path
-// ---------------------------------------------------------------------------
-
-Status Db::Put(std::string_view key, std::string_view value) {
-  return WriteInternal(kWalOpPut, key, value);
-}
-
-Status Db::Delete(std::string_view key) {
-  return WriteInternal(kWalOpDelete, key, {});
-}
-
-Status Db::WriteInternal(uint8_t op, std::string_view key,
-                         std::string_view value) {
-  bool need_flush = false;
-  {
-    // Shared: many writers commit concurrently; an exclusive holder
-    // (Flush) can never truncate the WAL between a commit and its
-    // memtable apply.
-    std::shared_lock<std::shared_mutex> flush_lock(flush_mu_);
-    if (crashed_) return Status::IOError("database is closed");
-    if (!bg_error_.ok()) return bg_error_;  // rejected: NOT visible
-    if (options_.use_wal) {
-      if (wal_ == nullptr) return wal_error_;
-      Status s =
-          wal_->Commit(EncodeWalRecord(op, key, value), options_.wal_sync);
-      if (!s.ok()) return s;  // not applied: a rejected write stays invisible
-    }
-    std::string internal = MakeInternalValue(op, value);
-    {
-      std::lock_guard<std::mutex> mem_lock(mem_mu_);
-      if (op == kWalOpPut) {
-        ++stats_.puts;
-      } else {
-        ++stats_.deletes;
-      }
-      int64_t delta = mem_.Put(key, internal);
-      mem_bytes_ =
-          static_cast<size_t>(static_cast<int64_t>(mem_bytes_) + delta);
-      need_flush = mem_bytes_ >= options_.memtable_bytes;
-    }
-  }
-  if (need_flush) {
-    // This write is already durable (WAL) and visible (memtable), so a
-    // failing flush must not be reported as a rejection of it. The
-    // failure is remembered in bg_error_ instead, which rejects every
-    // subsequent write until an explicit Flush() succeeds.
-    Flush();
-  }
-  return Status::OK();
-}
-
-Status Db::FinishFile(SstWriter* writer, std::vector<std::string>* keys,
-                      const std::string& path, FilePtr* out) {
-  auto meta = std::make_shared<FileMeta>();
-  meta->id = next_file_id_++;
-  meta->path = path;
-  meta->smallest = writer->smallest();
-  meta->largest = writer->largest();
-  meta->n_entries = writer->n_entries();
-  if (options_.filter_policy != nullptr) {
-    Stopwatch timer;
-    meta->filter =
-        options_.filter_policy->Build(*keys, query_queue_.Snapshot());
-    stats_.filter_build_ns += timer.ElapsedNanos();
-    if (meta->filter != nullptr) {
-      stats_.filter_bits_built += meta->filter->SizeBits();
-      stats_.keys_filtered += keys->size();
-      // Persist the filter in the SST itself so reopening the database
-      // deserializes it instead of rebuilding from keys.
-      std::string blob;
-      if (meta->filter->Serialize(&blob)) {
-        writer->SetFilterBlock(std::move(blob), Filter::kVersion);
-      }
-    }
-  }
-  Status s = writer->Finish();
-  if (!s.ok()) return s;
-  meta->file_size = writer->file_size();
-  meta->reader = std::make_unique<SstReader>();
-  s = meta->reader->Open(path, meta->id, &cache_);
-  if (!s.ok()) return s;
-  meta->tagged_values = true;  // just written as v3
-  meta->reader->ReleaseFilterBlock();  // meta->filter is the live copy
-  if (meta->filter != nullptr) ChargeFilter(*meta);
-  *out = std::move(meta);
-  return Status::OK();
-}
-
-void Db::ChargeFilter(const FileMeta& meta) {
-  cache_.AddPinnedBytes(meta.id, meta.filter->SizeBits() / 8);
-}
-
-template <typename Iter>
-Status Db::WriteSstFiles(Iter&& entries, int target_level,
-                         size_t max_data_bytes, bool drop_tombstones,
-                         std::vector<FilePtr>* out) {
-  SstWriter::Options wopts;
-  wopts.block_size = options_.block_size;
-  wopts.compress = target_level >= options_.compress_min_level;
-  while (entries.Valid()) {
-    std::string path =
-        options_.dir + "/" + std::to_string(next_file_id_) + ".sst";
-    SstWriter writer(path, wopts);
-    std::vector<std::string> keys;
-    size_t data_bytes = 0;
-    while (entries.Valid() && data_bytes < max_data_bytes) {
-      std::string_view value = entries.value();
-      if (drop_tombstones && IsTombstone(value)) {
-        // Bottom-level compaction: nothing below can hold an older
-        // version, so the tombstone has finished its work.
-        entries.Next();
-        continue;
-      }
-      writer.Add(entries.key(), value);
-      keys.emplace_back(entries.key());
-      data_bytes += entries.key().size() + value.size();
-      entries.Next();
-    }
-    // An input that stopped on a read error invalidates the merge: fail
-    // before this (incomplete) file can be finished and committed.
-    Status in = entries.status();
-    if (!in.ok()) return in;
-    if (writer.n_entries() == 0) continue;  // everything was a tombstone
-    FilePtr meta;
-    Status s = FinishFile(&writer, &keys, path, &meta);
-    if (!s.ok()) return s;
-    out->push_back(std::move(meta));
-  }
-  return entries.status();
-}
-
-Status Db::Flush() {
-  std::unique_lock<std::shared_mutex> flush_lock(flush_mu_);
-  Status s = FlushLocked();
-  bg_error_ = s;  // failure rejects later writes; success clears
-  return s;
-}
-
-Status Db::FlushLocked() {
-  if (mem_.size() == 0) return Status::OK();
-  MemTableSource source(mem_);
-  std::vector<FilePtr> files;
-  Status s = WriteSstFiles(source, /*target_level=*/0, ~size_t{0},
-                           /*drop_tombstones=*/false, &files);
-  if (!s.ok()) return s;
-  ManifestEdit edit;
-  for (auto& f : files) {
-    edit.added.emplace_back(0, f);
-    levels_[0].insert(levels_[0].begin(), std::move(f));  // newest first
-  }
-  ++stats_.flushes;
-  mem_.Clear();
-  mem_bytes_ = 0;
-  s = AppendManifestDelta(edit);
-  if (!s.ok()) return s;
-  // Only now is the WAL redundant: its contents live in fsync'd SSTs
-  // referenced by a durable manifest record.
-  if (wal_ != nullptr) {
-    s = wal_->Reset();
-    if (!s.ok()) return s;
-  }
-  return MaybeCompact();
-}
-
-uint64_t Db::LevelLimitBytes(size_t level) const {
-  double limit = static_cast<double>(options_.l1_size_bytes);
-  for (size_t i = 1; i < level; ++i) limit *= options_.level_size_multiplier;
-  return static_cast<uint64_t>(limit);
-}
-
-uint64_t Db::LevelBytes(size_t level) const {
-  uint64_t total = 0;
-  for (const auto& f : levels_[level]) total += f->file_size;
-  return total;
-}
-
-bool Db::LevelsBelowEmpty(size_t first_level) const {
-  for (size_t level = first_level; level < kMaxLevels; ++level) {
-    if (!levels_[level].empty()) return false;
-  }
-  return true;
-}
-
-void Db::DropFile(const FilePtr& f) {
-  cache_.EraseFile(f->id);
-  ::unlink(f->path.c_str());
-}
-
-Status Db::CompactL0() {
-  if (levels_[0].empty()) return Status::OK();
-  ++stats_.compactions;
-  std::string smallest = levels_[0][0]->smallest;
-  std::string largest = levels_[0][0]->largest;
-  for (const auto& f : levels_[0]) {
-    smallest = std::min(smallest, f->smallest);
-    largest = std::max(largest, f->largest);
-  }
-  MergingIterator merge;
-  int age = 0;
-  for (const auto& f : levels_[0]) {
-    merge.Add(f->reader.get(), age++, f->tagged_values);
-  }
-  std::vector<FilePtr> l1_keep;
-  std::vector<FilePtr> removed;
-  for (const auto& f : levels_[1]) {
-    if (f->largest < smallest || f->smallest > largest) {
-      l1_keep.push_back(f);
-    } else {
-      merge.Add(f->reader.get(), age++, f->tagged_values);
-    }
-  }
-  merge.Init();
-  std::vector<FilePtr> outputs;
-  Status s = WriteSstFiles(merge, /*target_level=*/1,
-                           options_.sst_target_bytes,
-                           /*drop_tombstones=*/LevelsBelowEmpty(2), &outputs);
-  if (!s.ok()) return s;
-
-  ManifestEdit edit;
-  for (const auto& f : levels_[0]) {
-    edit.deleted.push_back(f->id);
-    removed.push_back(f);
-  }
-  for (const auto& f : levels_[1]) {
-    bool kept = false;
-    for (const auto& k : l1_keep) {
-      if (k->id == f->id) {
-        kept = true;
-        break;
-      }
-    }
-    if (!kept) {
-      edit.deleted.push_back(f->id);
-      removed.push_back(f);
-    }
-  }
-  levels_[0].clear();
-  for (auto& f : outputs) {
-    edit.added.emplace_back(1, f);
-    l1_keep.push_back(std::move(f));
-  }
-  std::sort(l1_keep.begin(), l1_keep.end(),
-            [](const FilePtr& a, const FilePtr& b) {
-              return a->smallest < b->smallest;
-            });
-  levels_[1] = std::move(l1_keep);
-
-  s = AppendManifestDelta(edit);
-  if (!s.ok()) return s;
-  // Obsolete files go away only after the delta retiring them is
-  // durable — a crash in between must find a consistent (older) tree.
-  for (const auto& f : removed) DropFile(f);
-  return Status::OK();
-}
-
-Status Db::CompactLevel(size_t level) {
-  if (levels_[level].empty() || level + 1 >= kMaxLevels) return Status::OK();
-  ++stats_.compactions;
-  size_t pick = compact_cursor_[level] % levels_[level].size();
-  compact_cursor_[level] = pick + 1;
-  FilePtr input = levels_[level][pick];
-
-  MergingIterator merge;
-  merge.Add(input->reader.get(), 0, input->tagged_values);
-  std::vector<FilePtr> next_keep;
-  std::vector<FilePtr> removed;
-  for (const auto& f : levels_[level + 1]) {
-    if (f->largest < input->smallest || f->smallest > input->largest) {
-      next_keep.push_back(f);
-    } else {
-      merge.Add(f->reader.get(), 1, f->tagged_values);
-    }
-  }
-  merge.Init();
-  std::vector<FilePtr> outputs;
-  Status s = WriteSstFiles(merge, static_cast<int>(level + 1),
-                           options_.sst_target_bytes,
-                           /*drop_tombstones=*/LevelsBelowEmpty(level + 2),
-                           &outputs);
-  if (!s.ok()) return s;
-
-  ManifestEdit edit;
-  for (const auto& f : levels_[level + 1]) {
-    bool kept = false;
-    for (const auto& k : next_keep) {
-      if (k->id == f->id) {
-        kept = true;
-        break;
-      }
-    }
-    if (!kept) {
-      edit.deleted.push_back(f->id);
-      removed.push_back(f);
-    }
-  }
-  edit.deleted.push_back(input->id);
-  removed.push_back(input);
-  levels_[level].erase(levels_[level].begin() + pick);
-  for (auto& f : outputs) {
-    edit.added.emplace_back(level + 1, f);
-    next_keep.push_back(std::move(f));
-  }
-  std::sort(next_keep.begin(), next_keep.end(),
-            [](const FilePtr& a, const FilePtr& b) {
-              return a->smallest < b->smallest;
-            });
-  levels_[level + 1] = std::move(next_keep);
-
-  s = AppendManifestDelta(edit);
-  if (!s.ok()) return s;
-  for (const auto& f : removed) DropFile(f);
-  return Status::OK();
-}
-
-Status Db::MaybeCompact() {
-  if (static_cast<int>(levels_[0].size()) >=
-      options_.l0_compaction_trigger) {
-    Status s = CompactL0();
-    if (!s.ok()) return s;
-  }
-  for (size_t level = 1; level + 1 < kMaxLevels; ++level) {
-    while (LevelBytes(level) > LevelLimitBytes(level)) {
-      Status s = CompactLevel(level);
-      if (!s.ok()) return s;
-    }
-  }
-  return Status::OK();
-}
-
-Status Db::CompactAll() {
-  std::unique_lock<std::shared_mutex> flush_lock(flush_mu_);
-  Status s = FlushLocked();
-  if (s.ok() && !levels_[0].empty()) s = CompactL0();
-  for (size_t level = 1; s.ok() && level + 1 < kMaxLevels; ++level) {
-    while (s.ok() && LevelBytes(level) > LevelLimitBytes(level)) {
-      s = CompactLevel(level);
-    }
-  }
-  bg_error_ = s;
-  return s;
-}
-
-// ---------------------------------------------------------------------------
-// MANIFEST delta log
-// ---------------------------------------------------------------------------
-
-namespace {
-
 void EncodeFileMeta(std::string* out, uint64_t id,
                     const std::string& smallest, const std::string& largest,
                     uint64_t n_entries, uint64_t file_size) {
@@ -593,16 +97,1100 @@ bool DecodeFileMeta(std::string_view* cursor, uint64_t* id,
          GetFixed64(cursor, n_entries) && GetFixed64(cursor, file_size);
 }
 
+void WipeDbFiles(const std::string& dir) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return;
+  while (dirent* e = ::readdir(d)) {
+    std::string name = e->d_name;
+    const bool sst =
+        name.size() > 4 && name.substr(name.size() - 4) == ".sst";
+    const bool wal = name == "WAL" || name.rfind("WAL-", 0) == 0;
+    if (sst || wal) ::unlink((dir + "/" + name).c_str());
+  }
+  ::closedir(d);
+  ::unlink((dir + "/MANIFEST").c_str());
+  ::unlink((dir + "/MANIFEST.tmp").c_str());
+}
+
+/// Parses a WAL file name into its segment number: "WAL" (the legacy
+/// un-numbered log) is segment 0, "WAL-<n>" is segment n. Returns false
+/// for anything else.
+bool ParseWalName(const std::string& name, uint64_t* number) {
+  if (name == "WAL") {
+    *number = 0;
+    return true;
+  }
+  if (name.rfind("WAL-", 0) != 0) return false;
+  const std::string digits = name.substr(4);
+  if (digits.empty()) return false;
+  char* end = nullptr;
+  const uint64_t n = std::strtoull(digits.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || n == 0) return false;
+  *number = n;
+  return true;
+}
+
+/// Entry stream over a materialized, pre-sorted vector (the flush path:
+/// the views point into skiplist nodes the caller keeps alive).
+class VectorSource : public EntrySource {
+ public:
+  struct Entry {
+    std::string_view key;
+    uint64_t seqno = 0;
+    uint8_t tag = kTagValue;
+    std::string_view user_value;
+  };
+
+  explicit VectorSource(std::vector<Entry> entries)
+      : entries_(std::move(entries)) {}
+  bool Valid() const override { return index_ < entries_.size(); }
+  std::string_view key() const override { return entries_[index_].key; }
+  uint64_t seqno() const override { return entries_[index_].seqno; }
+  uint8_t tag() const override { return entries_[index_].tag; }
+  std::string_view user_value() const override {
+    return entries_[index_].user_value;
+  }
+  void Next() override { ++index_; }
+  Status status() const override { return Status::OK(); }
+
+ private:
+  std::vector<Entry> entries_;
+  size_t index_ = 0;
+};
+
+/// K-way merge over SST iterators in (key asc, seqno desc, source age)
+/// order. Equal (key, seqno) pairs across sources are ONE logical write
+/// seen through several files (crash-replay overlap, or legacy seqno-0
+/// entries colliding): only the newest source's copy is emitted.
+class MergeSource : public EntrySource {
+ public:
+  void Add(const SstReader* reader, int age) {
+    items_.push_back(
+        Item{SstReader::Iterator(reader), reader->footer_version(), age, {}});
+    DecodeItem(&items_.back());
+  }
+  void Init() { FindBest(); }
+
+  bool Valid() const override { return best_ >= 0 && decode_error_.ok(); }
+  std::string_view key() const override { return items_[best_].it.key(); }
+  uint64_t seqno() const override { return items_[best_].parsed.seqno; }
+  uint8_t tag() const override { return items_[best_].parsed.tag; }
+  std::string_view user_value() const override {
+    return items_[best_].parsed.user_value;
+  }
+
+  void Next() override {
+    const std::string cur_key(items_[best_].it.key());
+    const uint64_t cur_seq = items_[best_].parsed.seqno;
+    for (auto& item : items_) {
+      if (item.it.Valid() && item.it.key() == cur_key &&
+          item.parsed.seqno == cur_seq) {
+        item.it.Next();
+        DecodeItem(&item);
+      }
+    }
+    FindBest();
+  }
+
+  /// First failure across the inputs. A merge that ends with a non-OK
+  /// status stopped early and MUST NOT be committed: the missing entries
+  /// would otherwise be dropped and their file unlinked.
+  Status status() const override {
+    if (!decode_error_.ok()) return decode_error_;
+    for (const auto& item : items_) {
+      if (!item.it.status().ok()) return item.it.status();
+    }
+    return Status::OK();
+  }
+
+ private:
+  struct Item {
+    SstReader::Iterator it;
+    uint32_t footer_version;
+    int age;  // smaller = newer
+    ParsedValue parsed;
+  };
+
+  void DecodeItem(Item* item) {
+    if (!item->it.Valid()) return;
+    if (!ParseSstValue(item->footer_version, item->it.value(),
+                       &item->parsed)) {
+      decode_error_ = Status::Corruption("SST value malformed during merge");
+    }
+  }
+
+  void FindBest() {
+    best_ = -1;
+    for (size_t i = 0; i < items_.size(); ++i) {
+      if (!items_[i].it.Valid()) continue;
+      if (best_ < 0) {
+        best_ = static_cast<int>(i);
+        continue;
+      }
+      const Item& a = items_[i];
+      const Item& b = items_[static_cast<size_t>(best_)];
+      const int c = a.it.key().compare(b.it.key());
+      if (c < 0 ||
+          (c == 0 && (a.parsed.seqno > b.parsed.seqno ||
+                      (a.parsed.seqno == b.parsed.seqno && a.age < b.age)))) {
+        best_ = static_cast<int>(i);
+      }
+    }
+  }
+
+  std::vector<Item> items_;
+  Status decode_error_;
+  int best_ = -1;
+};
+
+/// The MVCC garbage-collection filter: of each key's version run
+/// (newest first), keeps the newest version per live-snapshot stripe and
+/// drops the rest. With `drop_tombstones` (bottom-level compaction), a
+/// key whose newest surviving version is a tombstone no snapshot
+/// predates is dropped entirely — every live horizon sees it deleted.
+class CollapseSource : public EntrySource {
+ public:
+  CollapseSource(EntrySource& in, std::vector<uint64_t> snapshots,
+                 bool drop_tombstones)
+      : in_(in),
+        snapshots_(std::move(snapshots)),
+        drop_tombstones_(drop_tombstones) {
+    Advance();
+  }
+
+  bool Valid() const override { return valid_ && in_.status().ok(); }
+  std::string_view key() const override { return in_.key(); }
+  uint64_t seqno() const override { return in_.seqno(); }
+  uint8_t tag() const override { return in_.tag(); }
+  std::string_view user_value() const override { return in_.user_value(); }
+  void Next() override {
+    in_.Next();
+    Advance();
+  }
+  Status status() const override { return in_.status(); }
+
+ private:
+  // Index of the first live snapshot >= seqno. Two versions of a key in
+  // the same stripe are indistinguishable to every live horizon, so only
+  // the newer one survives; a smaller stripe means some snapshot pins
+  // the older version.
+  size_t Stripe(uint64_t seqno) const {
+    return static_cast<size_t>(
+        std::lower_bound(snapshots_.begin(), snapshots_.end(), seqno) -
+        snapshots_.begin());
+  }
+  bool NoSnapshotBelow(uint64_t seqno) const {
+    return snapshots_.empty() || snapshots_.front() >= seqno;
+  }
+
+  void Advance() {
+    valid_ = false;
+    while (in_.Valid()) {
+      const uint64_t sq = in_.seqno();
+      if (!have_prev_ || in_.key() != prev_key_) {
+        // Newest version of a new key.
+        prev_key_.assign(in_.key());
+        have_prev_ = true;
+        prev_seqno_ = sq;
+        prev_stripe_ = Stripe(sq);
+        if (drop_tombstones_ && in_.tag() == kTagTombstone &&
+            NoSnapshotBelow(sq)) {
+          // The deletion is final for every live horizon; the shadow
+          // state above makes the stripe test drop the older versions.
+          in_.Next();
+          continue;
+        }
+        valid_ = true;
+        return;
+      }
+      // An older version of the same key.
+      if (sq == prev_seqno_) {  // duplicate logical slot: newest source won
+        in_.Next();
+        continue;
+      }
+      const size_t stripe = Stripe(sq);
+      if (stripe == prev_stripe_) {  // no snapshot between the two versions
+        in_.Next();
+        continue;
+      }
+      prev_seqno_ = sq;
+      prev_stripe_ = stripe;
+      valid_ = true;
+      return;
+    }
+  }
+
+  EntrySource& in_;
+  const std::vector<uint64_t> snapshots_;  // sorted ascending
+  const bool drop_tombstones_;
+  bool valid_ = false;
+  bool have_prev_ = false;
+  std::string prev_key_;
+  uint64_t prev_seqno_ = 0;
+  size_t prev_stripe_ = 0;
+};
+
+/// A counter incremented from many threads without ordering needs.
+struct RelaxedCounter {
+  std::atomic<uint64_t> v{0};
+  void operator++() { v.fetch_add(1, std::memory_order_relaxed); }
+  void operator+=(uint64_t n) { v.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t load() const { return v.load(std::memory_order_relaxed); }
+  void reset() { v.store(0, std::memory_order_relaxed); }
+};
+
+#define PROTEUS_DB_STAT_FIELDS(X)                                      \
+  X(puts)                                                              \
+  X(deletes)                                                           \
+  X(seeks)                                                             \
+  X(empty_seeks)                                                       \
+  X(filter_checks)                                                     \
+  X(filter_negatives)                                                  \
+  X(sst_seeks)                                                         \
+  X(false_positive_files)                                              \
+  X(read_errors)                                                       \
+  X(flushes)                                                           \
+  X(compactions)                                                       \
+  X(filter_build_ns)                                                   \
+  X(filter_bits_built)                                                 \
+  X(keys_filtered)                                                     \
+  X(filter_loads)                                                      \
+  X(filter_rebuilds)                                                   \
+  X(wal_replayed)                                                      \
+  X(wal_rotations)                                                     \
+  X(manifest_deltas)                                                   \
+  X(manifest_snapshots)                                                \
+  X(queue_sampled)                                                     \
+  X(write_stalls)                                                      \
+  X(stall_wait_us)
+
 }  // namespace
 
-Status Db::WriteManifestSnapshot() {
+// Relaxed-atomic mirror of DbStats; stats() copies it out field by field.
+struct Db::AtomicStats {
+#define PROTEUS_DB_STAT_DEF(name) RelaxedCounter name;
+  PROTEUS_DB_STAT_FIELDS(PROTEUS_DB_STAT_DEF)
+#undef PROTEUS_DB_STAT_DEF
+
+  DbStats Snapshot() const {
+    DbStats out;
+#define PROTEUS_DB_STAT_COPY(name) out.name = name.load();
+    PROTEUS_DB_STAT_FIELDS(PROTEUS_DB_STAT_COPY)
+#undef PROTEUS_DB_STAT_COPY
+    return out;
+  }
+
+  void Reset() {
+#define PROTEUS_DB_STAT_RESET(name) name.reset();
+    PROTEUS_DB_STAT_FIELDS(PROTEUS_DB_STAT_RESET)
+#undef PROTEUS_DB_STAT_RESET
+  }
+};
+
+Db::FileMeta::~FileMeta() {
+  reader.reset();  // close the fd before the path may be unlinked
+  if (obsolete.load(std::memory_order_relaxed)) ::unlink(path.c_str());
+}
+
+Db::Db(DbOptions options, bool wipe_existing)
+    : options_(std::move(options)),
+      cache_(options_.block_cache_bytes),
+      query_queue_(options_.queue_options),
+      stats_(std::make_unique<AtomicStats>()) {
+  ::mkdir(options_.dir.c_str(), 0755);
+  auto v = std::make_shared<Version>();
+  v->levels.resize(kMaxLevels);
+  version_ = std::move(v);
+  mem_ = std::make_shared<MemTable>();
+  compact_cursor_.resize(kMaxLevels, 0);
+  pool_ = std::make_unique<TaskPool>(
+      std::max<size_t>(1, options_.background_threads));
+  if (wipe_existing) {
+    WipeDbFiles(options_.dir);
+    if (options_.use_wal) {
+      wal_ = std::make_unique<WalWriter>();
+      wal_number_ = 1;
+      mem_->wal_segment = 1;
+      Status s = wal_->Open(WalSegmentPath(1));
+      if (!s.ok()) {
+        wal_.reset();
+        wal_error_ = std::move(s);
+      }
+    }
+  }
+  // Open() (wipe_existing=false) builds the WAL writer in
+  // ReplayWalSegments, after the existing segments have been replayed.
+}
+
+std::pair<std::unique_ptr<Db>, Status> Db::Create(DbOptions options) {
+  std::unique_ptr<Db> db(new Db(std::move(options), /*wipe_existing=*/true));
+  // Single-threaded here: wal_error_ needs no lock yet.
+  if (!db->wal_error_.ok()) {
+    Status s = db->wal_error_;
+    db->crashed_.store(true, std::memory_order_relaxed);  // dtor: no flush
+    return {nullptr, s};
+  }
+  return {std::move(db), Status::OK()};
+}
+
+std::pair<std::unique_ptr<Db>, Status> Db::Open(DbOptions options) {
+  std::unique_ptr<Db> db(new Db(std::move(options), /*wipe_existing=*/false));
+  Status s = db->RecoverAll();
+  if (!s.ok()) {
+    // Don't flush a half-recovered state on destruction.
+    db->crashed_.store(true, std::memory_order_relaxed);
+    return {nullptr, s};
+  }
+  return {std::move(db), Status::OK()};
+}
+
+Db::~Db() {
+  closing_.store(true, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> sl(stall_mu_);
+  }
+  stall_cv_.notify_all();
+  if (pool_ != nullptr) pool_->Shutdown();
+  if (!crashed_.load(std::memory_order_relaxed)) {
+    // Lossless close: persist the memtables and the manifest. A failure
+    // here cannot be returned; it is still recoverable from the WAL.
+    Status s = Flush();
+    if (!s.ok()) {
+      std::fprintf(stderr, "proteus: flush on close failed: %s\n",
+                   s.ToString().c_str());
+    }
+  }
+  if (manifest_fd_ >= 0) ::close(manifest_fd_);
+}
+
+// ---------------------------------------------------------------------------
+// Write path
+// ---------------------------------------------------------------------------
+
+Status Db::Put(std::string_view key, std::string_view value,
+               const WriteOptions& options) {
+  return WriteInternal(kTagValue, key, value, options);
+}
+
+Status Db::Delete(std::string_view key, const WriteOptions& options) {
+  return WriteInternal(kTagTombstone, key, {}, options);
+}
+
+Status Db::WriteInternal(uint8_t tag, std::string_view key,
+                         std::string_view value, const WriteOptions& wopts) {
+  Writer w;
+  w.tag = tag;
+  w.key = key;
+  w.value = value;
+  w.sync = wopts.sync && options_.wal_sync;
+
+  std::unique_lock<std::mutex> qlock(write_mu_);
+  write_queue_.push_back(&w);
+  // Wait until a leader commits this write for us, or we reach the front
+  // and become the leader of everything queued behind us.
+  write_cv_.wait(qlock, [&] { return w.done || write_queue_.front() == &w; });
+  if (w.done) return w.status;
+
+  std::vector<Writer*> batch(write_queue_.begin(), write_queue_.end());
+  qlock.unlock();
+
+  bool need_maintenance = false;
+  Status s = CommitBatch(batch, &need_maintenance);
+
+  qlock.lock();
+  for (size_t i = 0; i < batch.size(); ++i) write_queue_.pop_front();
+  for (Writer* other : batch) {
+    if (other == &w) continue;
+    other->status = s;
+    other->done = true;
+  }
+  qlock.unlock();
+  // Wakes both the batch's followers and the next leader.
+  write_cv_.notify_all();
+
+  if (need_maintenance) MaybeScheduleMaintenance();
+  return s;
+}
+
+Status Db::CommitBatch(const std::vector<Writer*>& batch,
+                       bool* need_maintenance) {
+  *need_maintenance = false;
+
+  // Backpressure BEFORE entering the pipeline: while the flusher is
+  // behind, stalling here keeps memory bounded without blocking readers
+  // or the flusher itself.
+  if (ImmCount() >= options_.max_immutable_memtables) {
+    std::unique_lock<std::mutex> sl(stall_mu_);
+    ++stats_->write_stalls;
+    Stopwatch timer;
+    stall_cv_.wait(sl, [&] {
+      if (crashed_.load(std::memory_order_relaxed) ||
+          closing_.load(std::memory_order_relaxed)) {
+        return true;
+      }
+      {
+        std::lock_guard<std::mutex> el(err_mu_);
+        if (!bg_error_.ok()) return true;  // the flush will not come
+      }
+      return ImmCount() < options_.max_immutable_memtables;
+    });
+    stats_->stall_wait_us += timer.ElapsedNanos() / 1000;
+  }
+
+  {
+    std::lock_guard<std::mutex> el(err_mu_);
+    if (!bg_error_.ok()) return bg_error_;  // rejected: NOT visible
+  }
+
+  std::lock_guard<std::mutex> plock(pipeline_mu_);
+  // Re-check under the pipeline lock: TEST_CrashClose resets wal_ (and
+  // sets crashed_) while holding it.
+  if (crashed_.load(std::memory_order_relaxed)) {
+    return Status::IOError("database is closed");
+  }
+  if (options_.use_wal && wal_ == nullptr) return wal_error_;
+
+  // Assign seqnos and build the one WAL append for the whole batch.
+  const uint64_t first_seqno = next_seqno_;
+  std::string buf;
+  bool sync = false;
+  for (Writer* w : batch) {
+    w->seqno = next_seqno_++;
+    sync = sync || w->sync;
+    buf += EncodeWalRecord(
+        w->tag == kTagValue ? kWalOpPutSeq : kWalOpDeleteSeq, w->seqno,
+        w->key, w->value);
+  }
+  if (options_.use_wal) {
+    Status s = wal_->Append(buf, batch.size(), sync);
+    if (!s.ok()) {
+      next_seqno_ = first_seqno;  // nothing consumed them: reuse
+      return s;  // not applied: a rejected write stays invisible
+    }
+  }
+
+  // Apply in WAL order. mem_ is stable here: it changes only under
+  // pipeline_mu_ (held) plus view_mu_.
+  MemPtr mem = mem_;
+  for (Writer* w : batch) {
+    const int64_t delta =
+        mem->list.Add(w->key, w->seqno, MakeInternalValue(w->tag, w->value));
+    mem->bytes.fetch_add(delta, std::memory_order_relaxed);
+    if (w->tag == kTagValue) {
+      ++stats_->puts;
+    } else {
+      ++stats_->deletes;
+    }
+  }
+  // Publish: a reader that acquires this seqno as its horizon can reach
+  // every entry at or below it (the skiplist inserts released first).
+  last_seqno_.store(next_seqno_ - 1, std::memory_order_release);
+
+  const bool mem_full =
+      mem->bytes.load(std::memory_order_relaxed) >=
+      static_cast<int64_t>(options_.memtable_bytes);
+  const bool wal_full = options_.use_wal && wal_ != nullptr &&
+                        wal_->file_bytes() >= options_.wal_segment_bytes;
+  *need_maintenance = mem_full || wal_full;
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Background maintenance
+// ---------------------------------------------------------------------------
+
+size_t Db::ImmCount() const {
+  std::lock_guard<std::mutex> vl(view_mu_);
+  return version_->imm.size();
+}
+
+Db::VersionPtr Db::CurrentVersion() const {
+  std::lock_guard<std::mutex> vl(view_mu_);
+  return version_;
+}
+
+std::vector<uint64_t> Db::LiveSnapshots() const {
+  std::lock_guard<std::mutex> sl(snap_mu_);
+  return std::vector<uint64_t>(live_snapshots_.begin(),
+                               live_snapshots_.end());
+}
+
+std::shared_ptr<const Snapshot> Db::GetSnapshot() {
+  const uint64_t seq = last_seqno_.load(std::memory_order_acquire);
+  {
+    std::lock_guard<std::mutex> sl(snap_mu_);
+    live_snapshots_.insert(seq);
+  }
+  return std::shared_ptr<const Snapshot>(
+      new Snapshot(seq), [this](const Snapshot* s) {
+        {
+          std::lock_guard<std::mutex> sl(snap_mu_);
+          auto it = live_snapshots_.find(s->sequence());
+          if (it != live_snapshots_.end()) live_snapshots_.erase(it);
+        }
+        delete s;
+      });
+}
+
+bool Db::WorkPending() const {
+  {
+    std::lock_guard<std::mutex> vl(view_mu_);
+    if (!version_->imm.empty()) return true;
+    if (mem_->bytes.load(std::memory_order_relaxed) >=
+        static_cast<int64_t>(options_.memtable_bytes)) {
+      return true;
+    }
+  }
+  if (options_.use_wal && wal_ != nullptr &&
+      wal_->file_bytes() >= options_.wal_segment_bytes) {
+    return true;
+  }
+  VersionPtr v = CurrentVersion();
+  if (static_cast<int>(v->levels[0].size()) >=
+      options_.l0_compaction_trigger) {
+    return true;
+  }
+  for (size_t level = 1; level + 1 < v->levels.size(); ++level) {
+    if (LevelBytes(*v, level) > LevelLimitBytes(level)) return true;
+  }
+  return false;
+}
+
+void Db::MaybeScheduleMaintenance() {
+  if (crashed_.load(std::memory_order_relaxed) ||
+      closing_.load(std::memory_order_relaxed)) {
+    return;
+  }
+  {
+    // A failed background job must not retry in a loop; writes are
+    // rejected until an explicit Flush()/CompactAll() clears the error.
+    std::lock_guard<std::mutex> el(err_mu_);
+    if (!bg_error_.ok()) return;
+  }
+  bool expected = false;
+  if (!maint_scheduled_.compare_exchange_strong(expected, true)) return;
+  if (!pool_->Submit([this] { BackgroundWork(); })) {
+    maint_scheduled_.store(false);
+  }
+}
+
+void Db::BackgroundWork() {
+  std::lock_guard<std::mutex> mlock(maint_mu_);
+  for (;;) {
+    if (crashed_.load(std::memory_order_relaxed) ||
+        closing_.load(std::memory_order_relaxed)) {
+      break;
+    }
+    PrepareFlush(/*force=*/false);
+    Status s = FlushImmLocked();
+    if (s.ok()) s = MaybeCompactLocked();
+    if (!s.ok()) {
+      SetBackgroundError(s, /*clear_on_ok=*/false);
+      break;
+    }
+    if (!WorkPending()) break;
+  }
+  maint_scheduled_.store(false);
+  // Work can arrive between the WorkPending check and the flag clear;
+  // re-check so it is not orphaned until the next write.
+  if (WorkPending()) MaybeScheduleMaintenance();
+}
+
+void Db::WaitForBackground() {
+  while (maint_scheduled_.load(std::memory_order_relaxed)) {
+    pool_->Wait();
+    std::this_thread::yield();
+  }
+  pool_->Wait();
+}
+
+bool Db::PrepareFlush(bool force) {
+  std::lock_guard<std::mutex> plock(pipeline_mu_);
+  MemPtr cur;
+  {
+    std::lock_guard<std::mutex> vl(view_mu_);
+    cur = mem_;
+  }
+  if (cur->list.size() == 0) return false;
+  if (!force) {
+    bool trip = cur->bytes.load(std::memory_order_relaxed) >=
+                static_cast<int64_t>(options_.memtable_bytes);
+    if (!trip && options_.use_wal && wal_ != nullptr) {
+      trip = wal_->file_bytes() >= options_.wal_segment_bytes;
+    }
+    if (!trip) return false;
+  }
+  // Rotate to a fresh WAL segment: the new memtable's writes start
+  // there, so the old segments become deletable once the swapped-out
+  // memtable reaches SSTs.
+  if (options_.use_wal && wal_ != nullptr) {
+    const uint64_t next = wal_number_ + 1;
+    Status s = wal_->Open(WalSegmentPath(next));
+    if (!s.ok()) {
+      // The writer closed the old fd already; appends now fail. Surface
+      // the environment failure instead of swapping anyway.
+      SetBackgroundError(std::move(s), /*clear_on_ok=*/false);
+      return false;
+    }
+    wal_number_ = next;
+    ++stats_->wal_rotations;
+  }
+  auto fresh = std::make_shared<MemTable>();
+  fresh->wal_segment = wal_number_;
+  {
+    std::lock_guard<std::mutex> vl(view_mu_);
+    auto nv = std::make_shared<Version>(*version_);
+    nv->imm.insert(nv->imm.begin(), cur);  // newest first
+    version_ = std::move(nv);
+    mem_ = std::move(fresh);
+  }
+  return true;
+}
+
+Status Db::FlushImmLocked() {
+  std::vector<MemPtr> imm;
+  {
+    std::lock_guard<std::mutex> vl(view_mu_);
+    imm = version_->imm;
+  }
+  if (imm.empty()) return Status::OK();
+
+  // Materialize every immutable memtable and sort (key asc, seqno desc).
+  // The views point into skiplist nodes `imm` keeps alive.
+  std::vector<VectorSource::Entry> entries;
+  for (const MemPtr& m : imm) {
+    m->list.ForEach([&entries](std::string_view k, uint64_t seqno,
+                               std::string_view internal) {
+      VectorSource::Entry e;
+      e.key = k;
+      e.seqno = seqno;
+      if (!ParseInternalValue(internal, &e.tag, &e.user_value)) return;
+      entries.push_back(e);
+    });
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const VectorSource::Entry& a, const VectorSource::Entry& b) {
+              if (a.key != b.key) return a.key < b.key;
+              return a.seqno > b.seqno;
+            });
+  VectorSource source(std::move(entries));
+  CollapseSource collapsed(source, LiveSnapshots(),
+                           /*drop_tombstones=*/false);
+  std::vector<FilePtr> files;
+  Status s = WriteSstFiles(collapsed, /*target_level=*/0, ~size_t{0}, &files);
+  if (!s.ok()) return s;
+
+  ManifestEdit edit;
+  for (const auto& f : files) edit.added.emplace_back(0, f);
+  s = AppendManifestDelta(edit);
+  if (!s.ok()) return s;
+
+  // Install: the flushed memtables leave the version, their SSTs join
+  // L0 (newer than everything already there).
+  {
+    std::lock_guard<std::mutex> vl(view_mu_);
+    auto nv = std::make_shared<Version>(*version_);
+    for (const MemPtr& m : imm) {
+      nv->imm.erase(std::remove(nv->imm.begin(), nv->imm.end(), m),
+                    nv->imm.end());
+    }
+    for (auto it = files.rbegin(); it != files.rend(); ++it) {
+      nv->levels[0].insert(nv->levels[0].begin(), *it);
+    }
+    version_ = std::move(nv);
+  }
+  ++stats_->flushes;
+  {
+    std::lock_guard<std::mutex> sl(stall_mu_);
+  }
+  stall_cv_.notify_all();
+
+  // Only now are the old WAL segments redundant: their records live in
+  // fsync'd SSTs referenced by a durable manifest record.
+  DeleteObsoleteWalSegments();
+  return Status::OK();
+}
+
+void Db::DeleteObsoleteWalSegments() {
+  if (!options_.use_wal) return;
+  uint64_t floor;
+  {
+    std::lock_guard<std::mutex> vl(view_mu_);
+    floor = mem_->wal_segment;
+    for (const MemPtr& m : version_->imm) {
+      floor = std::min(floor, m->wal_segment);
+    }
+  }
+  DIR* d = ::opendir(options_.dir.c_str());
+  if (d == nullptr) return;
+  while (dirent* e = ::readdir(d)) {
+    uint64_t number;
+    if (!ParseWalName(e->d_name, &number)) continue;
+    if (number < floor) {
+      ::unlink((options_.dir + "/" + e->d_name).c_str());
+    }
+  }
+  ::closedir(d);
+}
+
+void Db::SetBackgroundError(Status s, bool clear_on_ok) {
+  const bool is_error = !s.ok();
+  {
+    std::lock_guard<std::mutex> el(err_mu_);
+    if (s.ok()) {
+      if (clear_on_ok) bg_error_ = Status::OK();
+    } else {
+      bg_error_ = std::move(s);
+    }
+  }
+  if (is_error) {
+    // Stalled writers must wake to observe the error.
+    {
+      std::lock_guard<std::mutex> sl(stall_mu_);
+    }
+    stall_cv_.notify_all();
+  }
+}
+
+Status Db::Flush() {
+  if (crashed_.load(std::memory_order_relaxed)) {
+    return Status::IOError("database is closed");
+  }
+  PrepareFlush(/*force=*/true);
+  std::lock_guard<std::mutex> mlock(maint_mu_);
+  Status s = FlushImmLocked();
+  if (s.ok()) s = MaybeCompactLocked();
+  SetBackgroundError(s, /*clear_on_ok=*/true);
+  return s;
+}
+
+Status Db::CompactAll() {
+  if (crashed_.load(std::memory_order_relaxed)) {
+    return Status::IOError("database is closed");
+  }
+  PrepareFlush(/*force=*/true);
+  std::lock_guard<std::mutex> mlock(maint_mu_);
+  Status s = FlushImmLocked();
+  if (s.ok() && !CurrentVersion()->levels[0].empty()) s = CompactL0Locked();
+  for (size_t level = 1; s.ok() && level + 1 < kMaxLevels; ++level) {
+    while (s.ok() &&
+           LevelBytes(*CurrentVersion(), level) > LevelLimitBytes(level)) {
+      s = CompactLevelLocked(level);
+    }
+  }
+  SetBackgroundError(s, /*clear_on_ok=*/true);
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// SST building (flush + compaction bodies; callers hold maint_mu_)
+// ---------------------------------------------------------------------------
+
+Status Db::FinishFile(SstWriter* writer, std::vector<std::string>* keys,
+                      const std::string& path, FilePtr* out) {
+  auto meta = std::make_shared<FileMeta>();
+  meta->id = next_file_id_++;
+  meta->path = path;
+  meta->smallest = writer->smallest();
+  meta->largest = writer->largest();
+  meta->n_entries = writer->n_entries();
+  meta->format_version = 4;
+  if (options_.filter_policy != nullptr) {
+    Stopwatch timer;
+    meta->filter =
+        options_.filter_policy->Build(*keys, query_queue_.Snapshot());
+    stats_->filter_build_ns += timer.ElapsedNanos();
+    if (meta->filter != nullptr) {
+      stats_->filter_bits_built += meta->filter->SizeBits();
+      stats_->keys_filtered += keys->size();
+      // Persist the filter in the SST itself so reopening the database
+      // deserializes it instead of rebuilding from keys.
+      std::string blob;
+      if (meta->filter->Serialize(&blob)) {
+        writer->SetFilterBlock(std::move(blob), Filter::kVersion);
+      }
+    }
+  }
+  Status s = writer->Finish();
+  if (!s.ok()) return s;
+  meta->file_size = writer->file_size();
+  meta->reader = std::make_unique<SstReader>();
+  s = meta->reader->Open(path, meta->id, &cache_);
+  if (!s.ok()) return s;
+  meta->reader->ReleaseFilterBlock();  // meta->filter is the live copy
+  if (meta->filter != nullptr) ChargeFilter(*meta);
+  *out = std::move(meta);
+  return Status::OK();
+}
+
+void Db::ChargeFilter(const FileMeta& meta) {
+  cache_.AddPinnedBytes(meta.id, meta.filter->SizeBits() / 8);
+}
+
+Status Db::WriteSstFiles(EntrySource& entries, int target_level,
+                         size_t max_data_bytes, std::vector<FilePtr>* out) {
+  SstWriter::Options wopts;
+  wopts.block_size = options_.block_size;
+  wopts.compress = target_level >= options_.compress_min_level;
+  while (entries.Valid()) {
+    std::string path =
+        options_.dir + "/" + std::to_string(next_file_id_) + ".sst";
+    SstWriter writer(path, wopts);
+    std::vector<std::string> keys;  // distinct user keys, for the filter
+    size_t data_bytes = 0;
+    std::string last_key;
+    while (entries.Valid()) {
+      // Cut files only at user-key boundaries: splitting a version run
+      // would make two adjacent sorted-level files overlap at a point.
+      if (data_bytes >= max_data_bytes && entries.key() != last_key) break;
+      const std::string value =
+          MakeSstValueV4(entries.tag(), entries.seqno(),
+                         entries.user_value());
+      writer.Add(entries.key(), value);
+      if (keys.empty() || keys.back() != entries.key()) {
+        keys.emplace_back(entries.key());
+      }
+      data_bytes += entries.key().size() + value.size();
+      last_key.assign(entries.key());
+      entries.Next();
+    }
+    // An input that stopped on a read error invalidates the merge: fail
+    // before this (incomplete) file can be finished and committed.
+    Status in = entries.status();
+    if (!in.ok()) return in;
+    if (writer.n_entries() == 0) continue;
+    FilePtr meta;
+    Status s = FinishFile(&writer, &keys, path, &meta);
+    if (!s.ok()) return s;
+    out->push_back(std::move(meta));
+  }
+  return entries.status();
+}
+
+uint64_t Db::LevelLimitBytes(size_t level) const {
+  double limit = static_cast<double>(options_.l1_size_bytes);
+  for (size_t i = 1; i < level; ++i) limit *= options_.level_size_multiplier;
+  return static_cast<uint64_t>(limit);
+}
+
+uint64_t Db::LevelBytes(const Version& v, size_t level) {
+  uint64_t total = 0;
+  for (const auto& f : v.levels[level]) total += f->file_size;
+  return total;
+}
+
+bool Db::LevelsBelowEmpty(const Version& v, size_t first_level) {
+  for (size_t level = first_level; level < v.levels.size(); ++level) {
+    if (!v.levels[level].empty()) return false;
+  }
+  return true;
+}
+
+void Db::RetireFile(const FilePtr& f) {
+  // The file object may outlive this call (in-flight ReadViews hold the
+  // Version that references it); the unlink happens in ~FileMeta once
+  // the last reference drops.
+  f->obsolete.store(true, std::memory_order_relaxed);
+  cache_.EraseFile(f->id);
+}
+
+Status Db::CompactL0Locked() {
+  VersionPtr base = CurrentVersion();
+  const auto& l0 = base->levels[0];
+  if (l0.empty()) return Status::OK();
+  ++stats_->compactions;
+  std::string smallest = l0[0]->smallest;
+  std::string largest = l0[0]->largest;
+  for (const auto& f : l0) {
+    smallest = std::min(smallest, f->smallest);
+    largest = std::max(largest, f->largest);
+  }
+  MergeSource merge;
+  int age = 0;
+  for (const auto& f : l0) merge.Add(f->reader.get(), age++);
+  std::vector<FilePtr> l1_keep;
+  std::vector<FilePtr> removed;
+  for (const auto& f : base->levels[1]) {
+    if (f->largest < smallest || f->smallest > largest) {
+      l1_keep.push_back(f);
+    } else {
+      merge.Add(f->reader.get(), age++);
+    }
+  }
+  merge.Init();
+  CollapseSource entries(merge, LiveSnapshots(),
+                         /*drop_tombstones=*/LevelsBelowEmpty(*base, 2));
+  std::vector<FilePtr> outputs;
+  Status s = WriteSstFiles(entries, /*target_level=*/1,
+                           options_.sst_target_bytes, &outputs);
+  if (!s.ok()) return s;
+
+  ManifestEdit edit;
+  for (const auto& f : l0) {
+    edit.deleted.push_back(f->id);
+    removed.push_back(f);
+  }
+  for (const auto& f : base->levels[1]) {
+    bool kept = false;
+    for (const auto& k : l1_keep) {
+      if (k->id == f->id) {
+        kept = true;
+        break;
+      }
+    }
+    if (!kept) {
+      edit.deleted.push_back(f->id);
+      removed.push_back(f);
+    }
+  }
+  for (auto& f : outputs) {
+    edit.added.emplace_back(1, f);
+    l1_keep.push_back(std::move(f));
+  }
+  std::sort(l1_keep.begin(), l1_keep.end(),
+            [](const FilePtr& a, const FilePtr& b) {
+              return a->smallest < b->smallest;
+            });
+
+  s = AppendManifestDelta(edit);
+  if (!s.ok()) return s;
+  {
+    std::lock_guard<std::mutex> vl(view_mu_);
+    auto nv = std::make_shared<Version>(*version_);
+    nv->levels[0].clear();
+    nv->levels[1] = std::move(l1_keep);
+    version_ = std::move(nv);
+  }
+  // Obsolete files go away only after the delta retiring them is
+  // durable — a crash in between must find a consistent (older) tree.
+  for (const auto& f : removed) RetireFile(f);
+  return Status::OK();
+}
+
+Status Db::CompactLevelLocked(size_t level) {
+  VersionPtr base = CurrentVersion();
+  if (base->levels[level].empty() || level + 1 >= kMaxLevels) {
+    return Status::OK();
+  }
+  ++stats_->compactions;
+  const size_t pick = compact_cursor_[level] % base->levels[level].size();
+  compact_cursor_[level] = pick + 1;
+  FilePtr input = base->levels[level][pick];
+
+  MergeSource merge;
+  merge.Add(input->reader.get(), 0);
+  std::vector<FilePtr> next_keep;
+  std::vector<FilePtr> removed;
+  for (const auto& f : base->levels[level + 1]) {
+    if (f->largest < input->smallest || f->smallest > input->largest) {
+      next_keep.push_back(f);
+    } else {
+      merge.Add(f->reader.get(), 1);
+    }
+  }
+  merge.Init();
+  CollapseSource entries(
+      merge, LiveSnapshots(),
+      /*drop_tombstones=*/LevelsBelowEmpty(*base, level + 2));
+  std::vector<FilePtr> outputs;
+  Status s = WriteSstFiles(entries, static_cast<int>(level + 1),
+                           options_.sst_target_bytes, &outputs);
+  if (!s.ok()) return s;
+
+  ManifestEdit edit;
+  for (const auto& f : base->levels[level + 1]) {
+    bool kept = false;
+    for (const auto& k : next_keep) {
+      if (k->id == f->id) {
+        kept = true;
+        break;
+      }
+    }
+    if (!kept) {
+      edit.deleted.push_back(f->id);
+      removed.push_back(f);
+    }
+  }
+  edit.deleted.push_back(input->id);
+  removed.push_back(input);
+  for (auto& f : outputs) {
+    edit.added.emplace_back(level + 1, f);
+    next_keep.push_back(std::move(f));
+  }
+  std::sort(next_keep.begin(), next_keep.end(),
+            [](const FilePtr& a, const FilePtr& b) {
+              return a->smallest < b->smallest;
+            });
+
+  s = AppendManifestDelta(edit);
+  if (!s.ok()) return s;
+  {
+    std::lock_guard<std::mutex> vl(view_mu_);
+    auto nv = std::make_shared<Version>(*version_);
+    auto& src = nv->levels[level];
+    src.erase(std::remove_if(src.begin(), src.end(),
+                             [&](const FilePtr& f) { return f == input; }),
+              src.end());
+    nv->levels[level + 1] = std::move(next_keep);
+    version_ = std::move(nv);
+  }
+  for (const auto& f : removed) RetireFile(f);
+  return Status::OK();
+}
+
+Status Db::MaybeCompactLocked() {
+  if (static_cast<int>(CurrentVersion()->levels[0].size()) >=
+      options_.l0_compaction_trigger) {
+    Status s = CompactL0Locked();
+    if (!s.ok()) return s;
+  }
+  for (size_t level = 1; level + 1 < kMaxLevels; ++level) {
+    while (LevelBytes(*CurrentVersion(), level) > LevelLimitBytes(level)) {
+      Status s = CompactLevelLocked(level);
+      if (!s.ok()) return s;
+    }
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// MANIFEST delta log
+// ---------------------------------------------------------------------------
+
+Status Db::WriteManifestSnapshot(const ManifestEdit* pending) {
+  VersionPtr v = CurrentVersion();
+  // Fold in a not-yet-installed edit: manifest writes precede the
+  // in-memory install, so the current version lags by one edit here.
+  std::vector<std::vector<FilePtr>> levels = v->levels;
+  if (pending != nullptr) {
+    for (auto& level : levels) {
+      level.erase(std::remove_if(level.begin(), level.end(),
+                                 [&](const FilePtr& f) {
+                                   return std::find(pending->deleted.begin(),
+                                                    pending->deleted.end(),
+                                                    f->id) !=
+                                          pending->deleted.end();
+                                 }),
+                  level.end());
+    }
+    for (const auto& [lvl, f] : pending->added) {
+      // L0 is newest-first; a flushed file is newer than everything
+      // already there. L1+ get re-sorted by key at recovery.
+      if (lvl == 0) {
+        levels[lvl].insert(levels[lvl].begin(), f);
+      } else {
+        levels[lvl].push_back(f);
+      }
+    }
+  }
   std::string payload;
   payload.push_back(static_cast<char>(kManifestRecordSnapshot));
   PutFixed64(&payload, kManifestMagic);
   PutFixed64(&payload, kManifestVersion);
   PutFixed64(&payload, next_file_id_);
-  PutFixed64(&payload, levels_.size());
-  for (const auto& level : levels_) {
+  PutFixed64(&payload, last_seqno_.load(std::memory_order_acquire));
+  PutFixed64(&payload, levels.size());
+  for (const auto& level : levels) {
     PutFixed64(&payload, level.size());
     for (const auto& f : level) {
       EncodeFileMeta(&payload, f->id, f->smallest, f->largest, f->n_entries,
@@ -634,7 +1222,7 @@ Status Db::WriteManifestSnapshot() {
     return Status::IOError(Errno("cannot reopen manifest for append"));
   }
   manifest_deltas_since_snapshot_ = 0;
-  ++stats_.manifest_snapshots;
+  ++stats_->manifest_snapshots;
   return Status::OK();
 }
 
@@ -643,13 +1231,16 @@ Status Db::AppendManifestDelta(const ManifestEdit& edit) {
   // entries durable before the manifest starts referring to them.
   if (!edit.added.empty()) SyncDir(options_.dir);
   if (manifest_fd_ < 0 ||
-      manifest_deltas_since_snapshot_ + 1 > options_.manifest_compact_threshold) {
+      manifest_deltas_since_snapshot_ + 1 >
+          options_.manifest_compact_threshold) {
     // First write, or time to fold the delta history into one record.
-    return WriteManifestSnapshot();
+    // The snapshot must carry this edit too — it is not yet installed.
+    return WriteManifestSnapshot(&edit);
   }
   std::string payload;
   payload.push_back(static_cast<char>(kManifestRecordDelta));
   PutFixed64(&payload, next_file_id_);
+  PutFixed64(&payload, last_seqno_.load(std::memory_order_acquire));
   PutFixed64(&payload, edit.added.size());
   for (const auto& [level, f] : edit.added) {
     PutFixed64(&payload, level);
@@ -669,37 +1260,45 @@ Status Db::AppendManifestDelta(const ManifestEdit& edit) {
     // recovery stops reading — so drop the append fd: the NEXT manifest
     // write takes the manifest_fd_ < 0 branch above and rewrites a full
     // snapshot (atomic rename), which both discards the debris and
-    // re-records every file this failed edit added to levels_.
+    // re-records every file this failed edit added.
     ::close(manifest_fd_);
     manifest_fd_ = -1;
     return s;
   }
   ++manifest_deltas_since_snapshot_;
-  ++stats_.manifest_deltas;
+  ++stats_->manifest_deltas;
   return Status::OK();
 }
 
-Status Db::RecoverManifest(bool* torn_tail) {
-  *torn_tail = false;
+// ---------------------------------------------------------------------------
+// Recovery (single-threaded: runs before the Db is shared)
+// ---------------------------------------------------------------------------
+
+Status Db::RecoverManifest(bool* needs_rewrite) {
+  *needs_rewrite = false;
   std::string content;
   bool found = false;
   Status read = ReadFileToString(ManifestPath(), &content, &found);
   if (!read.ok()) return read;
   if (!found || content.empty()) return Status::OK();  // empty db
 
+  std::vector<std::vector<FilePtr>> levels(kMaxLevels);
   uint64_t recovered_next_id = 1;
+  uint64_t recovered_last_seqno = 0;
+  uint64_t current_version = 0;  // format of the records being read
+  bool torn_tail = false;
   size_t records = 0;
   size_t deltas_since_snapshot = 0;
   size_t offset = 0;
   while (offset < content.size()) {
     if (offset + 8 > content.size()) {
-      *torn_tail = true;  // header cut short: crash mid-append
+      torn_tail = true;  // header cut short: crash mid-append
       break;
     }
     const uint32_t length = LoadFixed32(content.data() + offset);
     const uint32_t crc = LoadFixed32(content.data() + offset + 4);
     if (offset + 8 + length > content.size()) {
-      *torn_tail = true;  // payload cut short: crash mid-append
+      torn_tail = true;  // payload cut short: crash mid-append
       break;
     }
     std::string_view payload(content.data() + offset + 8, length);
@@ -721,14 +1320,21 @@ Status Db::RecoverManifest(bool* torn_tail) {
       if (!GetFixed64(&cursor, &magic) || magic != kManifestMagic) {
         return Status::Corruption("bad manifest magic");
       }
-      if (!GetFixed64(&cursor, &version) || version != kManifestVersion) {
+      if (!GetFixed64(&cursor, &version) ||
+          (version != 2 && version != kManifestVersion)) {
         return Status::NotSupported("unsupported manifest version");
       }
-      if (!GetFixed64(&cursor, &recovered_next_id) ||
-          !GetFixed64(&cursor, &n_levels) || n_levels > kMaxLevels) {
+      current_version = version;
+      if (!GetFixed64(&cursor, &recovered_next_id)) {
         return Status::Corruption("corrupt manifest snapshot header");
       }
-      for (auto& level : levels_) level.clear();  // snapshot replaces state
+      if (version >= 3 && !GetFixed64(&cursor, &recovered_last_seqno)) {
+        return Status::Corruption("corrupt manifest snapshot header");
+      }
+      if (!GetFixed64(&cursor, &n_levels) || n_levels > kMaxLevels) {
+        return Status::Corruption("corrupt manifest snapshot header");
+      }
+      for (auto& level : levels) level.clear();  // snapshot replaces state
       for (uint64_t level = 0; level < n_levels; ++level) {
         uint64_t n_files;
         if (!GetFixed64(&cursor, &n_files)) {
@@ -743,7 +1349,7 @@ Status Db::RecoverManifest(bool* torn_tail) {
           }
           meta->path =
               options_.dir + "/" + std::to_string(meta->id) + ".sst";
-          levels_[level].push_back(std::move(meta));
+          levels[level].push_back(std::move(meta));
         }
       }
       deltas_since_snapshot = 0;
@@ -752,8 +1358,14 @@ Status Db::RecoverManifest(bool* torn_tail) {
         return Status::Corruption("manifest does not start with a snapshot");
       }
       uint64_t n_added, n_deleted;
-      if (!GetFixed64(&cursor, &recovered_next_id) ||
-          !GetFixed64(&cursor, &n_added)) {
+      if (!GetFixed64(&cursor, &recovered_next_id)) {
+        return Status::Corruption("corrupt manifest delta header");
+      }
+      if (current_version >= 3 &&
+          !GetFixed64(&cursor, &recovered_last_seqno)) {
+        return Status::Corruption("corrupt manifest delta header");
+      }
+      if (!GetFixed64(&cursor, &n_added)) {
         return Status::Corruption("corrupt manifest delta header");
       }
       for (uint64_t i = 0; i < n_added; ++i) {
@@ -768,9 +1380,9 @@ Status Db::RecoverManifest(bool* torn_tail) {
         meta->path = options_.dir + "/" + std::to_string(meta->id) + ".sst";
         if (level == 0) {
           // L0 deltas list newest first, matching the in-memory order.
-          levels_[0].insert(levels_[0].begin(), std::move(meta));
+          levels[0].insert(levels[0].begin(), std::move(meta));
         } else {
-          levels_[level].push_back(std::move(meta));
+          levels[level].push_back(std::move(meta));
         }
       }
       if (!GetFixed64(&cursor, &n_deleted)) {
@@ -782,7 +1394,7 @@ Status Db::RecoverManifest(bool* torn_tail) {
           return Status::Corruption("corrupt manifest delta delete");
         }
         bool erased = false;
-        for (auto& level : levels_) {
+        for (auto& level : levels) {
           for (size_t j = 0; j < level.size(); ++j) {
             if (level[j]->id == id) {
               level.erase(level.begin() + j);
@@ -816,14 +1428,14 @@ Status Db::RecoverManifest(bool* torn_tail) {
 
   // Levels >= 1 must be sorted by smallest key (deltas append).
   for (size_t level = 1; level < kMaxLevels; ++level) {
-    std::sort(levels_[level].begin(), levels_[level].end(),
+    std::sort(levels[level].begin(), levels[level].end(),
               [](const FilePtr& a, const FilePtr& b) {
                 return a->smallest < b->smallest;
               });
   }
 
   uint64_t max_id = 0;
-  for (const auto& level : levels_) {
+  for (const auto& level : levels) {
     for (const auto& f : level) {
       Status s = LoadFile(f);
       if (!s.ok()) return s;
@@ -832,15 +1444,26 @@ Status Db::RecoverManifest(bool* torn_tail) {
   }
   next_file_id_ = std::max(recovered_next_id, max_id + 1);
   manifest_deltas_since_snapshot_ = deltas_since_snapshot;
+  last_seqno_.store(recovered_last_seqno, std::memory_order_relaxed);
+  next_seqno_ = recovered_last_seqno + 1;
 
-  if (!*torn_tail) {
+  {
+    std::lock_guard<std::mutex> vl(view_mu_);
+    auto nv = std::make_shared<Version>(*version_);
+    nv->levels = std::move(levels);
+    version_ = std::move(nv);
+  }
+
+  // A torn tail or a pre-MVCC (v2) file must be rewritten as one clean
+  // v3 snapshot before any delta is appended; leaving the append fd
+  // closed routes the next manifest write through WriteManifestSnapshot.
+  *needs_rewrite = torn_tail || current_version < kManifestVersion;
+  if (!*needs_rewrite) {
     manifest_fd_ = ::open(ManifestPath().c_str(), O_WRONLY | O_APPEND);
     if (manifest_fd_ < 0) {
       return Status::IOError(Errno("cannot reopen manifest for append"));
     }
   }
-  // Torn tail: RecoverAll rewrites a fresh snapshot (which opens the
-  // append fd), discarding the debris instead of appending after it.
   return Status::OK();
 }
 
@@ -848,13 +1471,13 @@ Status Db::LoadFile(const FilePtr& meta) {
   meta->reader = std::make_unique<SstReader>();
   Status s = meta->reader->Open(meta->path, meta->id, &cache_);
   if (!s.ok()) return s;
-  meta->tagged_values = meta->reader->footer_version() >= 3;
+  meta->format_version = meta->reader->footer_version();
   const bool wants_filters = options_.filter_policy != nullptr &&
                              options_.filter_policy->Name() != "none";
   if (wants_filters) {
     meta->filter = meta->reader->LoadFilter();
     if (meta->filter != nullptr) {
-      ++stats_.filter_loads;
+      ++stats_->filter_loads;
     } else {
       // Missing, truncated, bit-flipped, or format-incompatible filter
       // block: rebuild from the file's keys instead of failing the open.
@@ -866,17 +1489,17 @@ Status Db::LoadFile(const FilePtr& meta) {
       keys.reserve(meta->n_entries);
       const bool all_keys = meta->reader->ForEach(
           [&keys](std::string_view k, std::string_view) {
-            keys.emplace_back(k);
+            if (keys.empty() || keys.back() != k) keys.emplace_back(k);
           });
       if (all_keys) {
         Stopwatch timer;
         meta->filter =
             options_.filter_policy->Build(keys, query_queue_.Snapshot());
-        stats_.filter_build_ns += timer.ElapsedNanos();
+        stats_->filter_build_ns += timer.ElapsedNanos();
         if (meta->filter != nullptr) {
-          ++stats_.filter_rebuilds;
-          stats_.filter_bits_built += meta->filter->SizeBits();
-          stats_.keys_filtered += keys.size();
+          ++stats_->filter_rebuilds;
+          stats_->filter_bits_built += meta->filter->SizeBits();
+          stats_->keys_filtered += keys.size();
         }
       }
     }
@@ -886,53 +1509,110 @@ Status Db::LoadFile(const FilePtr& meta) {
   return Status::OK();
 }
 
-Status Db::ReplayWal() {
-  uint64_t valid_bytes = 0;
-  bool torn = false;
-  Status s = WalReplay(
-      WalPath(),
-      [this](uint8_t op, std::string_view key, std::string_view value) {
-        int64_t delta = mem_.Put(key, MakeInternalValue(op, value));
-        mem_bytes_ =
-            static_cast<size_t>(static_cast<int64_t>(mem_bytes_) + delta);
-        ++stats_.wal_replayed;
-      },
-      &valid_bytes, &torn);
-  if (!s.ok()) return s;
+Status Db::ReplayWalSegments() {
+  // Enumerate segments: the legacy un-numbered "WAL" replays first.
+  std::vector<std::pair<uint64_t, std::string>> segments;
+  DIR* d = ::opendir(options_.dir.c_str());
+  if (d != nullptr) {
+    while (dirent* e = ::readdir(d)) {
+      uint64_t number;
+      if (ParseWalName(e->d_name, &number)) {
+        segments.emplace_back(number, options_.dir + "/" + e->d_name);
+      }
+    }
+    ::closedir(d);
+  }
+  std::sort(segments.begin(), segments.end());
+
+  uint64_t max_seq = last_seqno_.load(std::memory_order_relaxed);
+  uint64_t replayed = 0;
+  for (size_t i = 0; i < segments.size(); ++i) {
+    uint64_t valid_bytes = 0;
+    bool torn = false;
+    Status s = WalReplay(
+        segments[i].second,
+        [&](uint8_t op, uint64_t seqno, std::string_view key,
+            std::string_view value) {
+          const uint8_t tag = (op == kWalOpPut || op == kWalOpPutSeq)
+                                  ? kTagValue
+                                  : kTagTombstone;
+          if (op == kWalOpPut || op == kWalOpDelete) {
+            seqno = ++max_seq;  // legacy records: file order is seqno order
+          } else {
+            max_seq = std::max(max_seq, seqno);
+          }
+          const int64_t delta =
+              mem_->list.Add(key, seqno, MakeInternalValue(tag, value));
+          mem_->bytes.fetch_add(delta, std::memory_order_relaxed);
+          ++stats_->wal_replayed;
+          ++replayed;
+        },
+        &valid_bytes, &torn);
+    if (!s.ok()) return s;
+    if (torn) {
+      if (i + 1 < segments.size()) {
+        // Rotation only ever follows clean appends, so a torn frame in
+        // the middle of the log is damage, not crash debris.
+        return Status::Corruption("torn record in non-final WAL segment " +
+                                  segments[i].second);
+      }
+      // The torn record was never acknowledged; cut it so the log ends
+      // at a record boundary before we append to it again.
+      if (::truncate(segments[i].second.c_str(),
+                     static_cast<off_t>(valid_bytes)) != 0) {
+        return Status::IOError(Errno("cannot truncate torn WAL tail"));
+      }
+    }
+  }
+
+  last_seqno_.store(max_seq, std::memory_order_relaxed);
+  next_seqno_ = max_seq + 1;
+
   if (!options_.use_wal) {
     // A log left by a previous use_wal run was just replayed into the
     // memtable (honoring its acknowledged writes); this session keeps
-    // no log, so the file must go — otherwise a later use_wal=true open
-    // would replay the stale history on top of newer state. Flush the
-    // replayed records FIRST: they were durably acknowledged, and
+    // no log, so the files must go — otherwise a later use_wal=true
+    // open would replay the stale history on top of newer state. Flush
+    // the replayed records FIRST: they were durably acknowledged, and
     // unlinking their only copy before SSTs hold them would let a
     // crash during this session revoke that acknowledgement.
-    if (stats_.wal_replayed > 0) {
-      Status fs = FlushLocked();  // Open runs single-threaded: safe
+    if (replayed > 0) {
+      PrepareFlush(/*force=*/true);
+      std::lock_guard<std::mutex> mlock(maint_mu_);
+      Status fs = FlushImmLocked();
       if (!fs.ok()) return fs;
     }
-    ::unlink(WalPath().c_str());
+    for (const auto& [number, path] : segments) ::unlink(path.c_str());
     return Status::OK();
   }
-  if (torn) {
-    // The torn record was never acknowledged; cut it so the log ends at
-    // a record boundary before we append to it again.
-    if (::truncate(WalPath().c_str(), static_cast<off_t>(valid_bytes)) != 0) {
-      return Status::IOError(Errno("cannot truncate torn WAL tail"));
-    }
+
+  // Reuse the highest existing segment for appends (a crash loop must
+  // not mint a new file per reopen); the replayed records keep every
+  // existing segment pinned until the memtable flushes. A lone legacy
+  // "WAL" file keeps its name (segment 0) until the next rotation.
+  uint64_t active = 1;
+  std::string active_path = WalSegmentPath(1);
+  if (!segments.empty()) {
+    active = segments.back().first;
+    active_path = segments.back().second;
   }
   wal_ = std::make_unique<WalWriter>();
-  return wal_->Open(WalPath());
+  Status s = wal_->Open(active_path);
+  if (!s.ok()) return s;
+  wal_number_ = active;
+  mem_->wal_segment = segments.empty() ? active : segments.front().first;
+  return Status::OK();
 }
 
 Status Db::RecoverAll() {
-  bool manifest_torn = false;
-  Status s = RecoverManifest(&manifest_torn);
+  bool needs_rewrite = false;
+  Status s = RecoverManifest(&needs_rewrite);
   if (!s.ok()) return s;
-  s = ReplayWal();
+  s = ReplayWalSegments();
   if (!s.ok()) return s;
-  if (manifest_torn) {
-    // Replace snapshot+deltas+debris with one clean snapshot record.
+  if (needs_rewrite && manifest_fd_ < 0) {
+    // Replace snapshot+deltas+debris (or a v2-format file) with one
+    // clean v3 snapshot record.
     s = WriteManifestSnapshot();
     if (!s.ok()) return s;
   }
@@ -941,6 +1621,7 @@ Status Db::RecoverAll() {
 }
 
 void Db::RemoveOrphanSsts() {
+  VersionPtr v = CurrentVersion();
   DIR* d = ::opendir(options_.dir.c_str());
   if (d == nullptr) return;
   while (dirent* e = ::readdir(d)) {
@@ -951,7 +1632,7 @@ void Db::RemoveOrphanSsts() {
     const uint64_t id = std::strtoull(stem.c_str(), &end, 10);
     if (end == nullptr || *end != '\0') continue;  // not one of ours
     bool referenced = false;
-    for (const auto& level : levels_) {
+    for (const auto& level : v->levels) {
       for (const auto& f : level) {
         if (f->id == id) {
           referenced = true;
@@ -970,95 +1651,143 @@ void Db::RemoveOrphanSsts() {
 // Read path
 // ---------------------------------------------------------------------------
 
-bool Db::Seek(std::string_view lo, std::string_view hi, std::string* key,
-              std::string* value, Status* status) {
-  ++stats_.seeks;
-  Status first_error;
-  bool found = SeekLoop(std::string(lo), hi, key, value, &first_error);
-  if (!found) RecordEmptySeek(lo, hi);
-  if (status != nullptr) *status = std::move(first_error);
-  return found;
+Db::ReadView Db::AcquireReadView(const ReadOptions& ro) const {
+  ReadView view;
+  {
+    std::lock_guard<std::mutex> vl(view_mu_);
+    view.mem = mem_;
+    view.version = version_;
+  }
+  // Pin the structures BEFORE reading the horizon: the leader publishes
+  // last_seqno_ with release after the memtable apply, so every seqno at
+  // or below the acquired horizon is reachable through this view.
+  view.snapshot = ro.snapshot != nullptr
+                      ? ro.snapshot->sequence()
+                      : last_seqno_.load(std::memory_order_acquire);
+  return view;
+}
+
+SeekResult Db::Seek(std::string_view lo, std::string_view hi,
+                    const ReadOptions& options) {
+  ++stats_->seeks;
+  const ReadView view = AcquireReadView(options);
+  SeekResult r;
+  r.found =
+      SeekLoop(view, options, std::string(lo), hi, &r.key, &r.value,
+               &r.status);
+  if (!r.found) RecordEmptySeek(lo, hi);
+  return r;
 }
 
 void Db::RecordEmptySeek(std::string_view lo, std::string_view hi) {
-  ++stats_.empty_seeks;
-  if (query_queue_.OnEmptyQuery(lo, hi)) ++stats_.queue_sampled;
+  ++stats_->empty_seeks;
+  if (query_queue_.OnEmptyQuery(lo, hi)) ++stats_->queue_sampled;
 }
 
-bool Db::SeekLoop(std::string cursor, std::string_view hi, std::string* key,
+bool Db::SeekLoop(const ReadView& view, const ReadOptions& ro,
+                  std::string cursor, std::string_view hi, std::string* key,
                   std::string* value, Status* first_error) {
+  const BlockReadOptions bro{ro.verify_checksums, ro.fill_cache,
+                             /*use_cache=*/true};
   auto note_error = [&](Status s) {
-    ++stats_.read_errors;
+    ++stats_->read_errors;
     if (first_error->ok()) *first_error = std::move(s);
   };
   std::string best_key, best_value;
   while (true) {
     bool found = false;
     bool best_tombstone = false;
-    int best_age = 1 << 30;
-    auto consider = [&](std::string_view k, std::string_view internal,
-                        int age, bool tagged) {
+    uint64_t best_seqno = 0;
+    int best_rank = 1 << 30;
+    // Winner: smallest key; among versions of that key the highest
+    // seqno; rank (source recency) breaks the remaining legacy seqno-0
+    // ties exactly as the pre-MVCC age rule did.
+    auto consider = [&](std::string_view k, uint64_t seqno, bool tombstone,
+                        std::string_view user, int rank) {
       if (k > hi) return;
-      if (!found || k < best_key || (k == best_key && age < best_age)) {
+      const bool better =
+          !found || k < best_key ||
+          (k == best_key && (seqno > best_seqno ||
+                             (seqno == best_seqno && rank < best_rank)));
+      if (better) {
         found = true;
         best_key.assign(k);
-        best_tombstone = tagged && IsTombstone(internal);
-        best_value.assign(UserValue(internal, tagged));
-        best_age = age;
+        best_seqno = seqno;
+        best_tombstone = tombstone;
+        best_value.assign(user);
+        best_rank = rank;
       }
     };
 
     SkipList::Entry entry;
-    if (mem_.SeekGeq(cursor, &entry)) {
-      consider(entry.key, entry.value, 0, /*tagged=*/true);
+    uint8_t tag;
+    std::string_view user;
+    int rank = 0;
+    if (view.mem->list.SeekGeq(cursor, view.snapshot, &entry) &&
+        ParseInternalValue(entry.value, &tag, &user)) {
+      consider(entry.key, entry.seqno, tag == kTagTombstone, user, rank);
+    }
+    for (const MemPtr& m : view.version->imm) {
+      ++rank;
+      if (m->list.SeekGeq(cursor, view.snapshot, &entry) &&
+          ParseInternalValue(entry.value, &tag, &user)) {
+        consider(entry.key, entry.seqno, tag == kTagTombstone, user, rank);
+      }
     }
 
-    int age = 1;
-    std::string fk, fv;
-    for (const auto& f : levels_[0]) {
-      int file_age = age++;
+    SstReader::SeekEntry se;
+    rank = 1000;
+    for (const auto& f : view.version->levels[0]) {
+      const int file_rank = rank++;
       if (f->largest < cursor || f->smallest > hi) continue;
-      std::string_view clip_lo = cursor > f->smallest ? cursor : f->smallest;
-      std::string_view clip_hi = hi < f->largest ? hi : f->largest;
-      ++stats_.filter_checks;
+      std::string_view clip_lo = cursor > f->smallest
+                                     ? std::string_view(cursor)
+                                     : std::string_view(f->smallest);
+      std::string_view clip_hi =
+          hi < f->largest ? hi : std::string_view(f->largest);
+      ++stats_->filter_checks;
       if (f->filter != nullptr && !f->filter->MayContain(clip_lo, clip_hi)) {
-        ++stats_.filter_negatives;
+        ++stats_->filter_negatives;
         continue;
       }
-      ++stats_.sst_seeks;
+      ++stats_->sst_seeks;
       Status read_status;
-      int rc = f->reader->SeekInRange(cursor, hi, &fk, &fv, &read_status);
+      int rc = f->reader->SeekInRange(cursor, hi, view.snapshot, bro, &se,
+                                      &read_status);
       if (rc == 0) {
-        consider(fk, fv, file_age, f->tagged_values);
+        consider(se.key, se.seqno, se.tombstone, se.value, file_rank);
       } else if (rc == 1 && f->filter != nullptr) {
-        ++stats_.false_positive_files;
+        ++stats_->false_positive_files;
       } else if (rc == -1) {
         note_error(std::move(read_status));
       }
     }
 
-    for (size_t level = 1; level < kMaxLevels; ++level) {
-      int level_age = 1000 + static_cast<int>(level);
-      for (const auto& f : levels_[level]) {
+    for (size_t level = 1; level < view.version->levels.size(); ++level) {
+      const int level_rank = 1000000 + static_cast<int>(level);
+      for (const auto& f : view.version->levels[level]) {
         if (f->largest < cursor) continue;
         if (f->smallest > hi) break;
-        std::string_view clip_lo =
-            cursor > f->smallest ? cursor : f->smallest;
-        std::string_view clip_hi = hi < f->largest ? hi : f->largest;
-        ++stats_.filter_checks;
+        std::string_view clip_lo = cursor > f->smallest
+                                       ? std::string_view(cursor)
+                                       : std::string_view(f->smallest);
+        std::string_view clip_hi =
+            hi < f->largest ? hi : std::string_view(f->largest);
+        ++stats_->filter_checks;
         if (f->filter != nullptr &&
             !f->filter->MayContain(clip_lo, clip_hi)) {
-          ++stats_.filter_negatives;
+          ++stats_->filter_negatives;
           continue;
         }
-        ++stats_.sst_seeks;
+        ++stats_->sst_seeks;
         Status read_status;
-        int rc = f->reader->SeekInRange(cursor, hi, &fk, &fv, &read_status);
+        int rc = f->reader->SeekInRange(cursor, hi, view.snapshot, bro, &se,
+                                        &read_status);
         if (rc == 0) {
-          consider(fk, fv, level_age, f->tagged_values);
+          consider(se.key, se.seqno, se.tombstone, se.value, level_rank);
           break;  // smallest in-range key of this level found
         }
-        if (rc == 1 && f->filter != nullptr) ++stats_.false_positive_files;
+        if (rc == 1 && f->filter != nullptr) ++stats_->false_positive_files;
         if (rc == -1) note_error(std::move(read_status));
       }
     }
@@ -1069,33 +1798,40 @@ bool Db::SeekLoop(std::string cursor, std::string_view hi, std::string* key,
       if (value != nullptr) value->assign(best_value);
       return true;
     }
-    // The newest version in range is a tombstone: resume the scan just
-    // past the deleted key (its successor in byte order).
+    // The newest visible version in range is a tombstone: resume the
+    // scan just past the deleted key (its successor in byte order).
     cursor.assign(best_key);
     cursor.push_back('\0');
   }
 }
 
 void Db::MultiSeek(const QueryBatch& batch, const Scheduler& scheduler,
-                   std::vector<MultiSeekResult>* results) {
+                   std::vector<MultiSeekResult>* results,
+                   const ReadOptions& options) {
   const size_t n = batch.size();
   results->assign(n, MultiSeekResult{});
   if (n == 0) return;
-  stats_.seeks += n;
+  stats_->seeks += n;
+
+  // ONE view and horizon for the whole batch: its answers are mutually
+  // consistent even while writers commit concurrently.
+  const ReadView view = AcquireReadView(options);
+  const BlockReadOptions bro{options.verify_checksums, options.fill_cache,
+                             /*use_cache=*/true};
 
   // Layout hints for layout-aware schedulers: the boundaries of the
   // largest sorted level (the one most batches fan out over).
   ScheduleContext context;
   size_t widest = 0;  // 0 = no sorted level yet (L0 has no boundaries)
-  for (size_t level = 1; level < kMaxLevels; ++level) {
-    if (levels_[level].size() >
-        (widest == 0 ? size_t{0} : levels_[widest].size())) {
+  for (size_t level = 1; level < view.version->levels.size(); ++level) {
+    if (view.version->levels[level].size() >
+        (widest == 0 ? size_t{0} : view.version->levels[widest].size())) {
       widest = level;
     }
   }
   if (widest != 0) {
-    context.file_boundaries.reserve(levels_[widest].size());
-    for (const auto& f : levels_[widest]) {
+    context.file_boundaries.reserve(view.version->levels[widest].size());
+    for (const auto& f : view.version->levels[widest]) {
       context.file_boundaries.push_back(f->smallest);
     }
   }
@@ -1122,28 +1858,46 @@ void Db::MultiSeek(const QueryBatch& batch, const Scheduler& scheduler,
   struct Cand {
     bool found = false;
     bool tombstone = false;
-    int age = 1 << 30;
+    uint64_t seqno = 0;
+    int rank = 1 << 30;
     std::string key, value;
     Status first_error;
   };
   std::vector<Cand> cands(n);
-  auto consider = [&](uint32_t qi, std::string_view k,
-                      std::string_view internal, int age, bool tagged) {
+  auto consider = [&](uint32_t qi, std::string_view k, uint64_t seqno,
+                      bool tombstone, std::string_view user, int rank) {
     if (k > batch[qi].hi) return;
     Cand& c = cands[qi];
-    if (!c.found || k < c.key || (k == c.key && age < c.age)) {
+    const bool better =
+        !c.found || k < c.key ||
+        (k == c.key &&
+         (seqno > c.seqno || (seqno == c.seqno && rank < c.rank)));
+    if (better) {
       c.found = true;
       c.key.assign(k);
-      c.tombstone = tagged && IsTombstone(internal);
-      c.value.assign(UserValue(internal, tagged));
-      c.age = age;
+      c.seqno = seqno;
+      c.tombstone = tombstone;
+      c.value.assign(user);
+      c.rank = rank;
     }
   };
 
   SkipList::Entry entry;
+  uint8_t tag;
+  std::string_view user;
   for (uint32_t qi : order) {
-    if (mem_.SeekGeq(batch[qi].lo, &entry)) {
-      consider(qi, entry.key, entry.value, 0, /*tagged=*/true);
+    if (view.mem->list.SeekGeq(batch[qi].lo, view.snapshot, &entry) &&
+        ParseInternalValue(entry.value, &tag, &user)) {
+      consider(qi, entry.key, entry.seqno, tag == kTagTombstone, user, 0);
+    }
+    int rank = 0;
+    for (const MemPtr& m : view.version->imm) {
+      ++rank;
+      if (m->list.SeekGeq(batch[qi].lo, view.snapshot, &entry) &&
+          ParseInternalValue(entry.value, &tag, &user)) {
+        consider(qi, entry.key, entry.seqno, tag == kTagTombstone, user,
+                 rank);
+      }
     }
   }
 
@@ -1153,10 +1907,10 @@ void Db::MultiSeek(const QueryBatch& batch, const Scheduler& scheduler,
   // an in-range entry (rc == 0) is done with the level — Seek's
   // per-level early exit — while one that doesn't carries over to the
   // next file only if its range spans past this one.
-  std::string fk, fv;
+  SstReader::SeekEntry se;
   std::vector<std::string_view> clip_lo, clip_hi;
   std::vector<uint8_t> verdicts;
-  auto probe_group = [&](const FileMeta& f, int file_age,
+  auto probe_group = [&](const FileMeta& f, int file_rank,
                          const std::vector<uint32_t>& group,
                          std::vector<uint32_t>* carry) {
     if (group.empty()) return;
@@ -1169,13 +1923,13 @@ void Db::MultiSeek(const QueryBatch& batch, const Scheduler& scheduler,
       clip_hi.push_back(q.hi < f.largest ? std::string_view(q.hi)
                                          : std::string_view(f.largest));
     }
-    stats_.filter_checks += group.size();
+    stats_->filter_checks += group.size();
     verdicts.assign(group.size(), 1);
     if (f.filter != nullptr) {
       f.filter->MultiMayContain(clip_lo.data(), clip_hi.data(), group.size(),
                                 verdicts.data());
       for (uint8_t v : verdicts) {
-        if (v == 0) ++stats_.filter_negatives;
+        if (v == 0) ++stats_->filter_negatives;
       }
     }
     for (size_t g = 0; g < group.size(); ++g) {
@@ -1183,16 +1937,17 @@ void Db::MultiSeek(const QueryBatch& batch, const Scheduler& scheduler,
       const StrRangeQuery& q = batch[qi];
       bool done = false;
       if (verdicts[g] != 0) {
-        ++stats_.sst_seeks;
+        ++stats_->sst_seeks;
         Status read_status;
-        int rc = f.reader->SeekInRange(q.lo, q.hi, &fk, &fv, &read_status);
+        int rc = f.reader->SeekInRange(q.lo, q.hi, view.snapshot, bro, &se,
+                                       &read_status);
         if (rc == 0) {
-          consider(qi, fk, fv, file_age, f.tagged_values);
+          consider(qi, se.key, se.seqno, se.tombstone, se.value, file_rank);
           done = true;
         } else if (rc == 1 && f.filter != nullptr) {
-          ++stats_.false_positive_files;
+          ++stats_->false_positive_files;
         } else if (rc == -1) {
-          ++stats_.read_errors;
+          ++stats_->read_errors;
           if (cands[qi].first_error.ok()) {
             cands[qi].first_error = std::move(read_status);
           }
@@ -1205,14 +1960,14 @@ void Db::MultiSeek(const QueryBatch& batch, const Scheduler& scheduler,
   // L0 files overlap arbitrarily, so every file sees every overlapping
   // query (no early exit to exploit — same as Seek).
   std::vector<uint32_t> group;
-  int age = 1;
-  for (const auto& f : levels_[0]) {
+  int rank = 1000;
+  for (const auto& f : view.version->levels[0]) {
     group.clear();
     for (uint32_t qi : order) {
       const StrRangeQuery& q = batch[qi];
       if (!(f->largest < q.lo || f->smallest > q.hi)) group.push_back(qi);
     }
-    probe_group(*f, age++, group, nullptr);
+    probe_group(*f, rank++, group, nullptr);
   }
 
   // Sorted levels: files are ascending and non-overlapping, so each
@@ -1223,10 +1978,10 @@ void Db::MultiSeek(const QueryBatch& batch, const Scheduler& scheduler,
   // allocation-free across files.
   std::vector<std::pair<uint32_t, uint32_t>> assigned;
   std::vector<uint32_t> carry;
-  for (size_t level = 1; level < kMaxLevels; ++level) {
-    const auto& files = levels_[level];
+  for (size_t level = 1; level < view.version->levels.size(); ++level) {
+    const auto& files = view.version->levels[level];
     if (files.empty()) continue;
-    const int level_age = 1000 + static_cast<int>(level);
+    const int level_rank = 1000000 + static_cast<int>(level);
     assigned.clear();
     for (uint32_t qi : order) {
       const StrRangeQuery& q = batch[qi];
@@ -1259,7 +2014,7 @@ void Db::MultiSeek(const QueryBatch& batch, const Scheduler& scheduler,
       while (pos < assigned.size() && assigned[pos].first == i) {
         group.push_back(assigned[pos++].second);
       }
-      probe_group(*files[i], level_age, group,
+      probe_group(*files[i], level_rank, group,
                   i + 1 < files.size() ? &carry : nullptr);
     }
   }
@@ -1281,15 +2036,16 @@ void Db::MultiSeek(const QueryBatch& batch, const Scheduler& scheduler,
     if (c.found) {
       std::string cursor = std::move(c.key);
       cursor.push_back('\0');
-      r.found = SeekLoop(std::move(cursor), batch[qi].hi, &r.key, &r.value,
-                         &r.status);
+      r.found = SeekLoop(view, options, std::move(cursor), batch[qi].hi,
+                         &r.key, &r.value, &r.status);
     }
     if (!r.found) RecordEmptySeek(batch[qi].lo, batch[qi].hi);
   }
 }
 
 Status Db::VerifyChecksums() const {
-  for (const auto& level : levels_) {
+  VersionPtr v = CurrentVersion();
+  for (const auto& level : v->levels) {
     for (const auto& f : level) {
       Status s = f->reader->VerifyChecksums();
       if (!s.ok()) return s;
@@ -1302,29 +2058,39 @@ Status Db::VerifyChecksums() const {
 // Introspection
 // ---------------------------------------------------------------------------
 
+DbStats Db::stats() const { return stats_->Snapshot(); }
+
+void Db::ResetStats() { stats_->Reset(); }
+
 WalWriter::Stats Db::wal_stats() const {
   return wal_ != nullptr ? wal_->stats() : WalWriter::Stats{};
 }
 
-Status Db::background_error() const { return bg_error_; }
+Status Db::background_error() const {
+  std::lock_guard<std::mutex> el(err_mu_);
+  return bg_error_;
+}
 
 std::vector<size_t> Db::LevelFileCounts() const {
+  VersionPtr v = CurrentVersion();
   std::vector<size_t> out;
-  for (const auto& level : levels_) out.push_back(level.size());
+  for (const auto& level : v->levels) out.push_back(level.size());
   return out;
 }
 
 uint64_t Db::TotalSstBytes() const {
+  VersionPtr v = CurrentVersion();
   uint64_t total = 0;
-  for (const auto& level : levels_) {
+  for (const auto& level : v->levels) {
     for (const auto& f : level) total += f->file_size;
   }
   return total;
 }
 
 uint64_t Db::TotalFilterBits() const {
+  VersionPtr v = CurrentVersion();
   uint64_t total = 0;
-  for (const auto& level : levels_) {
+  for (const auto& level : v->levels) {
     for (const auto& f : level) {
       if (f->filter != nullptr) total += f->filter->SizeBits();
     }
@@ -1333,19 +2099,34 @@ uint64_t Db::TotalFilterBits() const {
 }
 
 uint64_t Db::TotalKeys() const {
-  uint64_t total = mem_.size();
-  for (const auto& level : levels_) {
+  ReadView view;
+  {
+    std::lock_guard<std::mutex> vl(view_mu_);
+    view.mem = mem_;
+    view.version = version_;
+  }
+  uint64_t total = view.mem->list.size();
+  for (const MemPtr& m : view.version->imm) total += m->list.size();
+  for (const auto& level : view.version->levels) {
     for (const auto& f : level) total += f->n_entries;
   }
   return total;
 }
 
 void Db::TEST_CrashClose() {
-  std::unique_lock<std::shared_mutex> flush_lock(flush_mu_);
-  crashed_ = true;
-  wal_.reset();        // closes the fd; the file stays as-is on disk
-  mem_.Clear();        // kill -9 takes the memtable with it
-  mem_bytes_ = 0;
+  crashed_.store(true, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> sl(stall_mu_);
+  }
+  stall_cv_.notify_all();
+  pool_->Shutdown();  // join any in-flight maintenance first
+  std::lock_guard<std::mutex> plock(pipeline_mu_);
+  std::lock_guard<std::mutex> vl(view_mu_);
+  wal_.reset();  // closes the fd; the file stays as-is on disk
+  mem_ = std::make_shared<MemTable>();  // kill -9 takes the memtables
+  auto nv = std::make_shared<Version>(*version_);
+  nv->imm.clear();
+  version_ = std::move(nv);
   if (manifest_fd_ >= 0) {
     ::close(manifest_fd_);
     manifest_fd_ = -1;

@@ -2,14 +2,16 @@
 // (see DESIGN.md substitutions).
 //
 // Architecture (mirroring the paper's description of RocksDB):
-//  * a skiplist MemTable buffering writes,
-//  * a write-ahead log (src/lsm/wal.h): every Put/Delete is CRC-framed
-//    and group-committed to dir/WAL before it is acknowledged, so a
-//    process kill between flushes loses nothing,
-//  * L0 SST files flushed directly from the MemTable (overlapping ranges,
-//    newest first),
-//  * levels L1..Lmax of range-partitioned, non-overlapping SST files with
-//    leveled compaction (size ratio between levels),
+//  * a multi-version skiplist MemTable buffering writes (every version
+//    carries the sequence number its write committed at),
+//  * a write-ahead log (src/lsm/wal.h): every Put/Delete is CRC-framed,
+//    stamped with its seqno, and group-committed to a WAL segment before
+//    it is acknowledged, so a process kill between flushes loses nothing,
+//  * L0 SST files flushed from immutable memtables on a background
+//    thread (overlapping ranges, newest first),
+//  * levels L1..Lmax of range-partitioned, non-overlapping SST files
+//    with leveled compaction (size ratio between levels), also run in
+//    the background,
 //  * a per-SST filter built at flush/compaction time by the configured
 //    FilterPolicy from the SST's keys and the sample query queue,
 //  * an LRU block cache for data blocks; index blocks and filters stay
@@ -18,51 +20,110 @@
 //    then fetch the smallest key >= lo only from files whose filter
 //    passes (Section 6.1, "Range Query Implementation").
 //
+// Concurrency & MVCC (docs/ARCHITECTURE.md "Threading & MVCC"):
+//  * Writers queue behind a group-commit leader that assigns monotonic
+//    sequence numbers, appends the whole batch to the WAL, and applies
+//    it to the memtable — all in one critical section, so WAL order,
+//    memtable order, and crash-replay order are identical.
+//  * Readers never take the writer path's locks: Seek/MultiSeek pin an
+//    immutable view (active memtable + a copy-on-write Version of the
+//    immutable memtables and SST levels) under one brief mutex, then run
+//    lock-free. Retired SSTs stay readable until the last view drops.
+//  * GetSnapshot() pins a sequence horizon: a reader carrying it sees
+//    exactly the versions committed at or before that point, regardless
+//    of concurrent writes, flushes, or compactions. Compaction keeps the
+//    newest version per live-snapshot stripe and drops the rest.
+//  * Flush and compaction run on a background TaskPool; writers stall
+//    (bounded immutable-memtable count) instead of doing maintenance
+//    inline. stats().write_stalls / stall_wait_us account for it.
+//
 // Durability contract (docs/FORMAT.md has the byte-level formats):
 //  * Put/Delete return only after their WAL record is fsync'd (group
 //    commit batches concurrent writers into one fsync); Db::Open replays
-//    the WAL into the memtable, dropping at most a torn (never
+//    the WAL segments into the memtable, dropping at most a torn (never
 //    acknowledged) tail record.
 //  * Every flush/compaction appends a CRC-framed delta record to the
 //    append-only MANIFEST (compacted back to a single snapshot record
 //    every manifest_compact_threshold deltas); obsolete SSTs are
-//    unlinked only after the delta that retires them is durable.
-//  * v3 SSTs carry a CRC32C per data block in the index handle; a
-//    flipped byte surfaces as a Corruption status (Seek's status
-//    out-param, VerifyChecksums), never as silently wrong bytes.
+//    unlinked only after the delta that retires them is durable and no
+//    in-flight read still holds them.
+//  * v3+ SSTs carry a CRC32C per data block in the index handle; a
+//    flipped byte surfaces as a Corruption status (SeekResult::status,
+//    VerifyChecksums), never as silently wrong bytes.
 //
-// Write failures surface as proteus::Status from Put/Delete/Flush/Open
-// instead of stderr prints. Compactions run synchronously on the writing
-// thread (deterministic and sufficient for reproducing the paper's
-// read-path effects). Put/Delete are safe to call from multiple threads
-// (that is what group commit is for); Seek and the maintenance calls
-// (Flush/CompactAll/stats) assume no concurrent writers, as before.
-// Caveat: two threads racing Puts to the SAME key commit to the WAL and
-// apply to the memtable in independently-chosen orders, so replay after
-// a crash may resolve that race differently than the pre-crash memtable
-// did (last-writer-wins either way; see ROADMAP "sequence numbers").
+// All public methods are thread-safe unless noted. Write failures
+// surface as proteus::Status from Put/Delete/Flush/Open.
 
 #ifndef PROTEUS_LSM_DB_H_
 #define PROTEUS_LSM_DB_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
-#include <shared_mutex>
+#include <set>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "engine/scheduler.h"
 #include "lsm/block_cache.h"
 #include "lsm/filter_policy.h"
+#include "lsm/ikey.h"
 #include "lsm/query_queue.h"
 #include "lsm/skiplist.h"
 #include "lsm/sst.h"
+#include "lsm/task_pool.h"
 #include "lsm/wal.h"
 #include "util/status.h"
 
 namespace proteus {
+
+class Db;
+
+/// Abstract sorted stream of entry versions (key asc, seqno desc) — the
+/// input of SST building. Implementations live in db.cc (memtable dumps,
+/// k-way SST merges, the snapshot-aware collapse filter).
+class EntrySource;
+
+/// A pinned sequence horizon from Db::GetSnapshot(). Reads carrying one
+/// (ReadOptions::snapshot) see exactly the state as of this sequence —
+/// later commits are invisible, and compaction keeps the versions the
+/// snapshot needs until the handle is released. The Db must outlive
+/// every snapshot taken from it.
+class Snapshot {
+ public:
+  uint64_t sequence() const { return seqno_; }
+
+ private:
+  friend class Db;
+  explicit Snapshot(uint64_t seqno) : seqno_(seqno) {}
+  const uint64_t seqno_;
+};
+
+/// Per-read knobs for Seek/MultiSeek.
+struct ReadOptions {
+  /// Read as of this pinned horizon; null reads the latest committed
+  /// state (the default).
+  const Snapshot* snapshot = nullptr;
+  /// Verify the per-block CRC32C on data-block reads that miss the
+  /// cache. The in-block checksum is always verified.
+  bool verify_checksums = true;
+  /// Insert data blocks read on behalf of this query into the block
+  /// cache. Turn off for scans that should not evict the hot set.
+  bool fill_cache = true;
+};
+
+/// Per-write knobs for Put/Delete.
+struct WriteOptions {
+  /// fdatasync the WAL batch before acknowledging. The effective sync is
+  /// `sync && DbOptions::wal_sync`, so a database opened with
+  /// wal_sync=false never syncs regardless of this flag.
+  bool sync = true;
+};
 
 struct DbOptions {
   std::string dir = "/tmp/proteus_db";
@@ -82,6 +143,16 @@ struct DbOptions {
   /// before fdatasync (group commit still batches the writes).
   bool use_wal = true;
   bool wal_sync = true;
+  /// A WAL segment reaching this size triggers a memtable flush (and a
+  /// rotation to a fresh segment), bounding crash-replay time even when
+  /// the memtable itself is under memtable_bytes.
+  size_t wal_segment_bytes = 8u << 20;
+  /// Writers stall once this many immutable memtables await flushing —
+  /// the backpressure that keeps an outrun flusher from buffering
+  /// unbounded memory. stats().write_stalls counts the stalls.
+  size_t max_immutable_memtables = 2;
+  /// Threads in the background maintenance pool (flush + compaction).
+  size_t background_threads = 2;
   /// MANIFEST delta records appended since the last full snapshot before
   /// the log is compacted back into one snapshot record.
   size_t manifest_compact_threshold = 16;
@@ -89,6 +160,9 @@ struct DbOptions {
   SampleQueryQueue::Options queue_options;
 };
 
+/// A point-in-time copy of the Db's counters (stats() snapshots the
+/// internal relaxed atomics — the counters are mutated concurrently by
+/// readers, the write leader, and background maintenance).
 struct DbStats {
   uint64_t puts = 0;
   uint64_t deletes = 0;
@@ -107,9 +181,12 @@ struct DbStats {
   uint64_t filter_loads = 0;    // filters deserialized from SST blocks
   uint64_t filter_rebuilds = 0;  // recovery fallbacks: block missing/corrupt
   uint64_t wal_replayed = 0;     // records re-applied by Db::Open
+  uint64_t wal_rotations = 0;    // segment files rotated in
   uint64_t manifest_deltas = 0;     // delta records appended
   uint64_t manifest_snapshots = 0;  // snapshot rewrites (incl. compaction)
   uint64_t queue_sampled = 0;    // empty queries recorded in the sample queue
+  uint64_t write_stalls = 0;     // writer batches that hit the imm limit
+  uint64_t stall_wait_us = 0;    // total time writers spent stalled
 
   /// Observed per-file FPR: of the filter passes that led to an SST
   /// probe, the fraction that found nothing in range — the live
@@ -121,64 +198,76 @@ struct DbStats {
   }
 };
 
-/// One query's outcome in a MultiSeek batch: the Seek(lo, hi) contract
-/// (smallest live key in range, first read error in `status`), amortized
-/// across the batch.
-struct MultiSeekResult {
+/// One range query's outcome: the smallest live key in [lo, hi] visible
+/// at the read's snapshot horizon, or found=false. The first data-block
+/// read error encountered (Corruption/IOError) lands in `status`, so a
+/// caller can tell "key absent" from "file unreadable" (the result may
+/// then be stale if the damaged file held a newer version).
+struct SeekResult {
   bool found = false;
   std::string key;
   std::string value;
   Status status;
 };
 
+/// MultiSeek answers each query with exactly the Seek() result.
+using MultiSeekResult = SeekResult;
+
 class Db {
  public:
-  /// Creates a FRESH database: wipes any SST files, manifest, and WAL
-  /// left in `options.dir`. Use Open() to resume an existing database.
-  explicit Db(DbOptions options);
+  /// Creates a FRESH database in `options.dir`, wiping any SST files,
+  /// manifest, and WAL segments left there. Use Open() to resume an
+  /// existing database. Returns {nullptr, error} when the directory or
+  /// WAL cannot be set up.
+  static std::pair<std::unique_ptr<Db>, Status> Create(DbOptions options);
 
   /// Reopens a database previously closed (or killed) in `options.dir`:
   /// replays the MANIFEST delta log, reattaches every SST, reloads
   /// persisted filter blocks (stats().filter_loads; rebuilt from keys
-  /// only when a block is missing or corrupt), and replays the WAL into
-  /// the memtable (stats().wal_replayed). A missing manifest yields an
-  /// empty database; a corrupt manifest record or unreadable SST fails
-  /// Open with a non-OK status rather than silently dropping data. A
-  /// torn WAL or MANIFEST tail — crash debris from an unacknowledged
-  /// write — is truncated away, not an error.
-  static std::unique_ptr<Db> Open(DbOptions options,
-                                  Status* status = nullptr);
+  /// only when a block is missing or corrupt), and replays the WAL
+  /// segments into the memtable at their recorded seqnos
+  /// (stats().wal_replayed) — so recovery reproduces the exact pre-crash
+  /// write order. A missing manifest yields an empty database; a corrupt
+  /// manifest record or unreadable SST fails Open with a non-OK status
+  /// rather than silently dropping data. A torn WAL or MANIFEST tail —
+  /// crash debris from an unacknowledged write — is truncated away, not
+  /// an error.
+  static std::pair<std::unique_ptr<Db>, Status> Open(DbOptions options);
 
   /// Flushes the memtable and persists the manifest, so a subsequent
-  /// Open() sees every key without WAL replay.
+  /// Open() sees every key without WAL replay. Joins the background
+  /// maintenance pool first.
   ~Db();
   Db(const Db&) = delete;
   Db& operator=(const Db&) = delete;
 
-  /// Inserts or overwrites. Returns once the write is durable in the
-  /// WAL (see DbOptions::wal_sync) and applied to the memtable; a
+  /// Inserts a new version of `key`. Returns once the write is durable
+  /// in the WAL (see WriteOptions::sync) and applied to the memtable; a
   /// non-OK status means the write was rejected and is NOT visible.
-  /// If the flush this write triggers (memtable full) fails, the write
-  /// itself is still durable and Put returns OK; the flush failure is
-  /// remembered and rejects every SUBSEQUENT write until an explicit
-  /// Flush()/CompactAll() succeeds (see background_error()).
-  Status Put(std::string_view key, std::string_view value);
+  /// Concurrent callers are batched by a group-commit leader that also
+  /// assigns the write's sequence number. If background maintenance has
+  /// failed, the sticky background_error() rejects writes until an
+  /// explicit Flush()/CompactAll() succeeds.
+  Status Put(std::string_view key, std::string_view value,
+             const WriteOptions& options = {});
 
-  /// Removes a key (writes a tombstone that shadows older versions and
-  /// is dropped by bottom-level compaction). Same durability as Put.
-  Status Delete(std::string_view key);
+  /// Removes a key (writes a tombstone version that shadows older ones
+  /// and is dropped by bottom-level compaction once no snapshot needs
+  /// it). Same durability as Put.
+  Status Delete(std::string_view key, const WriteOptions& options = {});
 
-  /// Closed Seek: finds the smallest live key in [lo, hi]. Returns true
-  /// and fills key/value (if non-null) when found; false for an empty
-  /// range. Empty results feed the sample query queue. Data-block
-  /// corruption makes the affected file contribute nothing: the first
-  /// failure is reported through `status` (Corruption/IOError) and
-  /// counted in stats().read_errors, so a caller that passes `status`
-  /// can tell "key absent" from "file unreadable" (the result may then
-  /// be stale if the damaged file held a newer version).
-  bool Seek(std::string_view lo, std::string_view hi,
-            std::string* key = nullptr, std::string* value = nullptr,
-            Status* status = nullptr);
+  /// Pins the current sequence horizon. Reads passing the returned
+  /// snapshot in ReadOptions see the database exactly as of this call;
+  /// flushes and compactions preserve the pinned versions until the
+  /// handle is released (dropped). The Db must outlive the handle.
+  std::shared_ptr<const Snapshot> GetSnapshot();
+
+  /// Closed Seek: finds the smallest live key in [lo, hi] visible at the
+  /// read's snapshot horizon (options.snapshot, or the latest committed
+  /// state). Empty results feed the sample query queue. Safe to call
+  /// concurrently with writes and background maintenance.
+  SeekResult Seek(std::string_view lo, std::string_view hi,
+                  const ReadOptions& options = {});
 
   /// Batched Seek: answers every query in `batch` with exactly the
   /// Seek() results, but amortizes the tree walk across the batch. The
@@ -187,30 +276,38 @@ class Db {
   /// batch's filter verdicts for that file in one MultiMayContain call,
   /// and probes only the passing queries — so with a key-sorted order
   /// one file's filter and data blocks stay hot for the whole batch
-  /// instead of being re-fetched per query. Queries whose newest match
-  /// is a tombstone fall back to the single-query resume path. Like
-  /// Seek, empty results feed the sample query queue with their
-  /// original bounds. Assumes no concurrent writers.
+  /// instead of being re-fetched per query. The whole batch resolves
+  /// against ONE pinned view and one snapshot horizon, so its answers
+  /// are mutually consistent even while writers commit concurrently.
   void MultiSeek(const QueryBatch& batch, const Scheduler& scheduler,
-                 std::vector<MultiSeekResult>* results);
+                 std::vector<MultiSeekResult>* results,
+                 const ReadOptions& options = {});
 
-  /// Forces a MemTable flush (and any triggered compactions). Success
-  /// clears a pending background error (the stuck memtable is durable
-  /// now); failure sets it.
+  /// Forces a flush of the memtable (and any triggered compactions),
+  /// synchronously. Success clears a pending background error (the
+  /// stuck data is durable now); failure sets it.
   Status Flush();
 
-  /// The sticky failure from a flush/compaction triggered inside a
-  /// write. While non-OK, Put/Delete are rejected (nothing new becomes
-  /// visible); a successful explicit Flush()/CompactAll() clears it.
+  /// The sticky failure from background flush/compaction. While non-OK,
+  /// Put/Delete are rejected (nothing new becomes visible); a successful
+  /// explicit Flush()/CompactAll() clears it.
   Status background_error() const;
 
   /// Compacts until every level is within its size limit and L0 is empty
   /// (the paper's "wait for all background compactions" setup step).
   Status CompactAll();
 
+  /// Blocks until no background maintenance is queued or running.
+  void WaitForBackground();
+
   /// Reads every data block of every SST, verifying per-block CRCs and
   /// in-block checksums. First damage found is returned as Corruption.
   Status VerifyChecksums() const;
+
+  /// Highest committed sequence number (what a new snapshot would pin).
+  uint64_t LastSequence() const {
+    return last_seqno_.load(std::memory_order_acquire);
+  }
 
   SampleQueryQueue& query_queue() { return query_queue_; }
   const SampleQueryQueue& query_queue() const { return query_queue_; }
@@ -221,22 +318,25 @@ class Db {
     return query_queue_.Snapshot();
   }
 
-  const DbStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = DbStats{}; }
+  DbStats stats() const;
+  void ResetStats();
   BlockCache& cache() { return cache_; }
 
-  /// WAL group-commit counters (zeros when use_wal is off).
+  /// WAL group-commit counters (zeros when use_wal is off). Cumulative
+  /// across segment rotations.
   WalWriter::Stats wal_stats() const;
 
   /// Files per level (diagnostics / tests).
   std::vector<size_t> LevelFileCounts() const;
   uint64_t TotalSstBytes() const;
   uint64_t TotalFilterBits() const;
+  /// Live entry versions: memtable + immutable memtables + SST entries.
   uint64_t TotalKeys() const;
 
-  /// Test hook: simulate kill -9. Drops the memtable and closes the WAL
-  /// without flushing; the destructor then does nothing. Acknowledged
-  /// writes must come back through WAL replay on the next Open().
+  /// Test hook: simulate kill -9. Joins background maintenance, drops
+  /// the memtables, and closes the WAL without flushing; the destructor
+  /// then does nothing. Acknowledged writes must come back through WAL
+  /// replay on the next Open().
   void TEST_CrashClose();
 
   /// Test hook: the live WAL writer (null when use_wal is off).
@@ -249,11 +349,52 @@ class Db {
     std::string smallest, largest;
     uint64_t n_entries = 0;
     uint64_t file_size = 0;
-    bool tagged_values = true;  // v3 SSTs store tombstone-tagged values
+    uint32_t format_version = 4;  // footer generation (value encoding)
     std::unique_ptr<SstReader> reader;
     std::unique_ptr<SstFilter> filter;
+    // Retired by a compaction: unlink on destruction. The last ReadView
+    // holding the containing Version keeps the file readable until then.
+    std::atomic<bool> obsolete{false};
+    ~FileMeta();
   };
   using FilePtr = std::shared_ptr<FileMeta>;
+
+  struct MemTable {
+    SkipList list;
+    std::atomic<int64_t> bytes{0};
+    // Oldest WAL segment holding this memtable's writes; segments below
+    // the minimum across live memtables are obsolete after a flush.
+    uint64_t wal_segment = 0;
+  };
+  using MemPtr = std::shared_ptr<MemTable>;
+
+  /// An immutable picture of everything except the active memtable.
+  /// Swapped atomically (under view_mu_); never mutated in place.
+  struct Version {
+    std::vector<MemPtr> imm;  // newest first
+    // levels[0]: newest-first overlapping files; levels[n>=1]: sorted by
+    // smallest key, non-overlapping.
+    std::vector<std::vector<FilePtr>> levels;
+  };
+  using VersionPtr = std::shared_ptr<const Version>;
+
+  /// What one read operation pins: the structures it walks and the
+  /// sequence horizon it resolves visibility against.
+  struct ReadView {
+    MemPtr mem;
+    VersionPtr version;
+    uint64_t snapshot = kMaxSequence;
+  };
+
+  /// One queued write, owned by the caller's stack frame.
+  struct Writer {
+    uint8_t tag;  // kTagValue | kTagTombstone
+    std::string_view key, value;
+    bool sync;
+    uint64_t seqno = 0;
+    Status status;
+    bool done = false;
+  };
 
   /// One atomic change to the LSM tree, as recorded in the MANIFEST
   /// delta log: files added (with their level) and file ids retired.
@@ -264,28 +405,33 @@ class Db {
 
   Db(DbOptions options, bool wipe_existing);
 
-  Status WriteInternal(uint8_t op, std::string_view key,
-                       std::string_view value);
+  Status WriteInternal(uint8_t tag, std::string_view key,
+                       std::string_view value, const WriteOptions& wopts);
+  /// Leader body: stall, assign seqnos, WAL append, memtable apply.
+  Status CommitBatch(const std::vector<Writer*>& batch, bool* need_maintenance);
+
+  ReadView AcquireReadView(const ReadOptions& ro) const;
 
   /// The Seek cursor loop starting at `cursor` (tombstones advance the
   /// cursor and retry). No empty-query accounting: callers own that,
   /// because the sample queue must see the ORIGINAL query bounds, not a
   /// tombstone-advanced cursor. Read errors accumulate into
   /// `first_error` (first one wins) and stats_.read_errors.
-  bool SeekLoop(std::string cursor, std::string_view hi, std::string* key,
+  bool SeekLoop(const ReadView& view, const ReadOptions& ro,
+                std::string cursor, std::string_view hi, std::string* key,
                 std::string* value, Status* first_error);
 
   /// Empty-result bookkeeping shared by Seek and MultiSeek: counts the
   /// empty seek and offers the query to the sample queue.
   void RecordEmptySeek(std::string_view lo, std::string_view hi);
 
-  /// Writes SSTs from a sorted entry stream of internal (tagged) values;
-  /// builds their filters. Tombstones are skipped entirely when
-  /// `drop_tombstones` (bottom-level compaction).
-  template <typename Iter>
-  Status WriteSstFiles(Iter&& entries, int target_level,
-                       size_t max_data_bytes, bool drop_tombstones,
-                       std::vector<FilePtr>* out);
+  /// Writes SSTs from a sorted (key asc, seqno desc) entry stream;
+  /// builds their filters. File boundaries never split a key's version
+  /// run, so sorted levels stay point-disjoint. Tombstone dropping and
+  /// snapshot-stripe collapse happen upstream (the CollapseSource the
+  /// callers wrap around their merge).
+  Status WriteSstFiles(EntrySource& entries, int target_level,
+                       size_t max_data_bytes, std::vector<FilePtr>* out);
 
   Status FinishFile(SstWriter* writer, std::vector<std::string>* keys,
                     const std::string& path, FilePtr* out);
@@ -293,19 +439,39 @@ class Db {
   /// Charges the filter's pinned bytes to the block cache.
   void ChargeFilter(const FileMeta& meta);
 
+  /// Live snapshot horizons, sorted ascending (compaction input).
+  std::vector<uint64_t> LiveSnapshots() const;
+
+  // --- write-stall / trigger plumbing ---
+  size_t ImmCount() const;
+  bool WorkPending() const;
+  void MaybeScheduleMaintenance();
+  void BackgroundWork();
+  /// Swaps the active memtable into the immutable list and rotates the
+  /// WAL segment, if the memtable is non-empty and (force or a size
+  /// trigger fired). Returns true when a swap happened.
+  bool PrepareFlush(bool force);
+  void SetBackgroundError(Status s, bool clear_on_ok);
+
   // --- MANIFEST delta log ---
   std::string ManifestPath() const { return options_.dir + "/MANIFEST"; }
-  std::string WalPath() const { return options_.dir + "/WAL"; }
+  std::string WalSegmentPath(uint64_t n) const {
+    return options_.dir + "/WAL-" + std::to_string(n);
+  }
   /// Appends one CRC-framed delta record (fsync'd); rewrites the log as
   /// a single snapshot every manifest_compact_threshold deltas.
   Status AppendManifestDelta(const ManifestEdit& edit);
-  /// Atomically replaces the MANIFEST with one snapshot of levels_.
-  Status WriteManifestSnapshot();
-  /// Rebuilds levels_ (and filters) from the MANIFEST delta log, then
-  /// replays the WAL into the memtable.
+  /// Atomically replaces the MANIFEST with one snapshot of the tree.
+  /// `pending` (may be null) is an edit not yet installed in the
+  /// current version — manifest writes happen before the in-memory
+  /// install, so a snapshot taken mid-edit must fold it in or the
+  /// edit's files vanish from the recovered state.
+  Status WriteManifestSnapshot(const ManifestEdit* pending = nullptr);
+  /// Rebuilds the tree (and filters) from the MANIFEST delta log, then
+  /// replays the WAL segments into the memtable.
   Status RecoverAll();
-  Status RecoverManifest(bool* torn_tail);
-  Status ReplayWal();
+  Status RecoverManifest(bool* needs_rewrite);
+  Status ReplayWalSegments();
   /// Unlinks *.sst files the recovered manifest does not reference —
   /// debris of a crash between a manifest append and the matching
   /// unlink (or SST write); without this each crash leaks disk forever.
@@ -315,40 +481,86 @@ class Db {
   /// filter block, or rebuilds the filter from keys as a fallback.
   Status LoadFile(const FilePtr& meta);
 
-  Status FlushLocked();
-  Status MaybeCompact();
-  Status CompactL0();
-  Status CompactLevel(size_t level);
+  // Maintenance bodies; callers hold maint_mu_.
+  Status FlushImmLocked();
+  Status MaybeCompactLocked();
+  Status CompactL0Locked();
+  Status CompactLevelLocked(size_t level);
+  void DeleteObsoleteWalSegments();
   uint64_t LevelLimitBytes(size_t level) const;
-  uint64_t LevelBytes(size_t level) const;
-  bool LevelsBelowEmpty(size_t first_level) const;
-  void DropFile(const FilePtr& f);  // cache eviction + unlink
+  static uint64_t LevelBytes(const Version& v, size_t level);
+  static bool LevelsBelowEmpty(const Version& v, size_t first_level);
+  VersionPtr CurrentVersion() const;
+  void RetireFile(const FilePtr& f);  // cache eviction + deferred unlink
+
+  // Counter mirror of DbStats in relaxed atomics (hot-path increments
+  // from reader, writer, and maintenance threads).
+  struct AtomicStats;
 
   DbOptions options_;
   BlockCache cache_;
   SampleQueryQueue query_queue_;
-  SkipList mem_;
-  size_t mem_bytes_ = 0;
-  uint64_t next_file_id_ = 1;
-  // levels_[0]: newest-first overlapping files; levels_[n>=1]: sorted by
-  // smallest key, non-overlapping.
-  std::vector<std::vector<FilePtr>> levels_;
-  std::vector<size_t> compact_cursor_;  // round-robin pick per level
-  DbStats stats_;
 
-  // Writers hold flush_mu_ shared around {WAL commit, memtable apply};
-  // Flush (which resets the WAL) holds it exclusively, so a reset can
-  // never race a commit and drop an acknowledged-but-unflushed record.
-  std::shared_mutex flush_mu_;
-  std::mutex mem_mu_;  // memtable + write counters under shared flush_mu_
-  std::unique_ptr<WalWriter> wal_;
-  Status wal_error_;  // non-OK when the WAL could not be opened at create
-  // Sticky failure from flush/compaction (written under exclusive
-  // flush_mu_, read under shared): rejects writes until a flush succeeds.
-  Status bg_error_;
+  // ------------------------------------------------------------------
+  // Lock hierarchy (acquire strictly downward; never upward):
+  //   maint_mu_  >  pipeline_mu_  >  stall_mu_  >  view_mu_
+  // Leaf locks (held only alone): write_mu_, snap_mu_, err_mu_ — except
+  // that the stall predicate reads view_mu_ and err_mu_ while holding
+  // stall_mu_, which the ordering above already permits.
+  // ------------------------------------------------------------------
+
+  // Serializes flush/compaction bodies and all MANIFEST I/O. Only
+  // maintenance (and recovery, which is single-threaded) touches levels.
+  std::mutex maint_mu_;
+
+  // Excludes the write leader's {WAL append + memtable apply} against
+  // the flusher's {WAL rotate + memtable swap}. Readers never take it.
+  std::mutex pipeline_mu_;
+
+  // Write queue: arrival order = commit order. The front writer is the
+  // group-commit leader.
+  std::mutex write_mu_;
+  std::condition_variable write_cv_;
+  std::deque<Writer*> write_queue_;
+
+  // Writers wait here when the immutable-memtable limit is hit; flush
+  // completion signals it.
+  std::mutex stall_mu_;
+  std::condition_variable stall_cv_;
+
+  // Guards the pointers only (contents are immutable or internally
+  // synchronized). Readers copy mem_/version_ under it and move on.
+  mutable std::mutex view_mu_;
+  MemPtr mem_;
+  VersionPtr version_;
+
+  // Seqno assignment: next_seqno_ belongs to the write leader (under
+  // pipeline_mu_) and recovery; last_seqno_ publishes the newest
+  // committed seqno to readers.
+  uint64_t next_seqno_ = 1;
+  std::atomic<uint64_t> last_seqno_{0};
+
+  mutable std::mutex snap_mu_;
+  std::multiset<uint64_t> live_snapshots_;
+
+  mutable std::mutex err_mu_;
+  Status bg_error_;   // sticky: rejects writes until an explicit Flush
+  Status wal_error_;  // WAL could not be opened
+
+  std::unique_ptr<WalWriter> wal_;  // one object across segment rotations
+  uint64_t wal_number_ = 0;         // active segment (pipeline_mu_)
+
+  std::unique_ptr<TaskPool> pool_;
+  std::atomic<bool> maint_scheduled_{false};
+  std::atomic<bool> crashed_{false};
+  std::atomic<bool> closing_{false};
+
+  uint64_t next_file_id_ = 1;           // maint_mu_ / recovery
+  std::vector<size_t> compact_cursor_;  // round-robin pick per level
   int manifest_fd_ = -1;
   size_t manifest_deltas_since_snapshot_ = 0;
-  bool crashed_ = false;  // TEST_CrashClose: destructor skips the flush
+
+  std::unique_ptr<AtomicStats> stats_;
 };
 
 }  // namespace proteus

@@ -3,13 +3,18 @@
 // with every `sample_rate`-th executed empty query. Filter construction at
 // flush/compaction time snapshots the queue, which is how Proteus (and
 // Rosetta) track workload shifts (Section 6.4).
+//
+// Thread-safe: readers on many threads record empty queries while a
+// background flush snapshots the sample set; one mutex covers both.
 
 #ifndef PROTEUS_LSM_QUERY_QUEUE_H_
 #define PROTEUS_LSM_QUERY_QUEUE_H_
 
 #include <cstdint>
 #include <deque>
+#include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace proteus {
@@ -27,6 +32,7 @@ class SampleQueryQueue {
 
   /// Seeds the queue with an initial sample (bypasses rate limiting).
   void Seed(const std::vector<std::pair<std::string, std::string>>& queries) {
+    std::lock_guard<std::mutex> lock(mu_);
     for (const auto& q : queries) Push(q.first, q.second);
   }
 
@@ -34,6 +40,7 @@ class SampleQueryQueue {
   /// Returns true when the query was actually recorded (for the DB's
   /// queue_sampled counter).
   bool OnEmptyQuery(std::string_view lo, std::string_view hi) {
+    std::lock_guard<std::mutex> lock(mu_);
     if (++counter_ % options_.sample_rate != 0) return false;
     Push(lo, hi);
     return true;
@@ -41,19 +48,27 @@ class SampleQueryQueue {
 
   /// Snapshot of the current sample set (filter construction input).
   std::vector<std::pair<std::string, std::string>> Snapshot() const {
+    std::lock_guard<std::mutex> lock(mu_);
     return {queue_.begin(), queue_.end()};
   }
 
-  size_t size() const { return queue_.size(); }
-  uint64_t seen() const { return counter_; }
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return queue_.size();
+  }
+  uint64_t seen() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return counter_;
+  }
 
  private:
-  void Push(std::string_view lo, std::string_view hi) {
+  void Push(std::string_view lo, std::string_view hi) {  // callers hold mu_
     queue_.emplace_back(std::string(lo), std::string(hi));
     if (queue_.size() > options_.capacity) queue_.pop_front();
   }
 
-  Options options_;
+  const Options options_;
+  mutable std::mutex mu_;
   std::deque<std::pair<std::string, std::string>> queue_;
   uint64_t counter_ = 0;
 };

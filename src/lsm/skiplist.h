@@ -1,19 +1,35 @@
-// A probabilistic skiplist over byte-string keys — the MemTable substrate
-// (RocksDB's default memtable is a skiplist; Section 6.1).
+// A multi-version probabilistic skiplist over byte-string keys — the
+// MemTable substrate (RocksDB's default memtable is a skiplist;
+// Section 6.1).
 //
-// Single-writer, in-process, no arena tricks: nodes are heap-allocated and
-// owned by the list. Supports insert-or-assign and ordered iteration from
-// a lower bound, which is all the LSM layer needs.
+// Nodes are ordered by (user key ascending, seqno descending), and an
+// insert NEVER overwrites: every write adds a new version, so a reader
+// pinned at an older sequence horizon keeps seeing the version that was
+// newest for it. Tombstones are versions like any other (the Db layer
+// tags them in the value bytes).
+//
+// Concurrency contract (the LevelDB arrangement):
+//   - writers must be externally serialized (the Db's group-commit
+//     leader is the only writer of the active memtable);
+//   - readers need NO synchronization against that one writer: inserts
+//     link nodes bottom-up with release stores, readers traverse with
+//     acquire loads, and nodes are never deleted or mutated while the
+//     list is alive. A reader concurrently with an insert sees either
+//     the old or the new list — both are valid states.
+//   - Clear()/destruction require that no readers remain (the Db retires
+//     memtables by dropping the last shared_ptr instead).
 
 #ifndef PROTEUS_LSM_SKIPLIST_H_
 #define PROTEUS_LSM_SKIPLIST_H_
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
 #include <string_view>
 
+#include "lsm/ikey.h"
 #include "util/random.h"
 
 namespace proteus {
@@ -22,86 +38,107 @@ class SkipList {
  public:
   static constexpr int kMaxHeight = 12;
 
-  SkipList() : rng_(0xC0FFEE), head_(new Node("", "", kMaxHeight)) {}
+  SkipList() : rng_(0xC0FFEE), head_(new Node("", 0, "", kMaxHeight)) {}
   ~SkipList() {
     Clear();
     delete head_;
   }
 
-  /// Removes all entries (memtable reset after a flush).
+  /// Removes all entries. Callers must guarantee no concurrent readers
+  /// or writers (tests only; the Db never clears a published memtable).
   void Clear() {
-    Node* n = head_->next[0];
+    Node* n = head_->next[0].load(std::memory_order_relaxed);
     while (n != nullptr) {
-      Node* next = n->next[0];
+      Node* next = n->next[0].load(std::memory_order_relaxed);
       delete n;
       n = next;
     }
-    for (int i = 0; i < kMaxHeight; ++i) head_->next[i] = nullptr;
-    size_ = 0;
+    for (int i = 0; i < kMaxHeight; ++i) {
+      head_->next[i].store(nullptr, std::memory_order_relaxed);
+    }
+    size_.store(0, std::memory_order_relaxed);
   }
   SkipList(const SkipList&) = delete;
   SkipList& operator=(const SkipList&) = delete;
 
-  /// Inserts or overwrites. Returns the net byte delta (for memtable
-  /// accounting).
-  int64_t Put(std::string_view key, std::string_view value) {
+  /// Inserts a new version of `key`. `value` is the internal (tagged)
+  /// value bytes. Returns the byte cost added (memtable accounting).
+  /// Single writer at a time; safe against concurrent readers.
+  int64_t Add(std::string_view key, uint64_t seqno, std::string_view value) {
     std::array<Node*, kMaxHeight> prev;
-    Node* node = FindGreaterOrEqual(key, &prev);
-    if (node != nullptr && node->key == key) {
-      int64_t delta = static_cast<int64_t>(value.size()) -
-                      static_cast<int64_t>(node->value.size());
-      node->value.assign(value.data(), value.size());
-      return delta;
-    }
+    FindGreaterOrEqual(key, seqno, &prev);
     int height = RandomHeight();
-    Node* fresh = new Node(std::string(key), std::string(value), height);
+    Node* fresh =
+        new Node(std::string(key), seqno, std::string(value), height);
     for (int i = 0; i < height; ++i) {
-      fresh->next[i] = prev[i]->next[i];
-      prev[i]->next[i] = fresh;
+      fresh->next[i].store(prev[i]->next[i].load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+      // The release store publishes the fully-built node: a reader that
+      // acquires this pointer sees key/value/seqno and the lower links.
+      prev[i]->next[i].store(fresh, std::memory_order_release);
     }
-    ++size_;
-    return static_cast<int64_t>(key.size() + value.size());
+    size_.fetch_add(1, std::memory_order_relaxed);
+    return static_cast<int64_t>(key.size() + value.size() + 8);
   }
 
-  /// Smallest entry with key >= `key`, or nullptr.
   struct Entry {
     std::string_view key;
-    std::string_view value;
+    std::string_view value;  // internal (tagged) bytes
+    uint64_t seqno = 0;
   };
-  bool SeekGeq(std::string_view key, Entry* out) const {
-    Node* node = FindGreaterOrEqual(key, nullptr);
-    if (node == nullptr) return false;
+
+  /// Newest version with seqno <= `snapshot` of the smallest key >= `key`.
+  /// Keys whose every version is newer than the snapshot are skipped.
+  bool SeekGeq(std::string_view key, uint64_t snapshot, Entry* out) const {
+    Node* node = FindGreaterOrEqual(key, kMaxSequence, nullptr);
+    while (node != nullptr) {
+      if (node->seqno <= snapshot) {
+        out->key = node->key;
+        out->value = node->value;
+        out->seqno = node->seqno;
+        return true;
+      }
+      // This version is invisible; later versions of the SAME key are
+      // older (seqno descends within a key) — the next node is either
+      // the visible version we want or the start of the next key.
+      node = node->next[0].load(std::memory_order_acquire);
+    }
+    return false;
+  }
+
+  /// Newest version of exactly `key` visible at `snapshot`.
+  bool Get(std::string_view key, uint64_t snapshot, Entry* out) const {
+    Node* node = FindGreaterOrEqual(key, snapshot, nullptr);
+    if (node == nullptr || node->key != key) return false;
     out->key = node->key;
     out->value = node->value;
+    out->seqno = node->seqno;
     return true;
   }
 
-  bool Get(std::string_view key, std::string* value) const {
-    Node* node = FindGreaterOrEqual(key, nullptr);
-    if (node == nullptr || node->key != key) return false;
-    value->assign(node->value);
-    return true;
-  }
+  /// Number of versions stored (not distinct keys).
+  uint64_t size() const { return size_.load(std::memory_order_relaxed); }
 
-  uint64_t size() const { return size_; }
-
-  /// In-order visitation (flush path).
+  /// In-order visitation of every version: key ascending, seqno
+  /// descending within a key (flush path). Safe against the writer.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
-    for (Node* n = head_->next[0]; n != nullptr; n = n->next[0]) {
-      fn(std::string_view(n->key), std::string_view(n->value));
+    for (Node* n = head_->next[0].load(std::memory_order_acquire);
+         n != nullptr; n = n->next[0].load(std::memory_order_acquire)) {
+      fn(std::string_view(n->key), n->seqno, std::string_view(n->value));
     }
   }
 
  private:
   struct Node {
-    Node(std::string k, std::string v, int height)
-        : key(std::move(k)), value(std::move(v)) {
-      for (int i = 0; i < height; ++i) next[i] = nullptr;
+    Node(std::string k, uint64_t s, std::string v, int height)
+        : key(std::move(k)), seqno(s), value(std::move(v)) {
+      for (int i = 0; i < height; ++i) next[i].store(nullptr);
     }
-    std::string key;
-    std::string value;
-    std::array<Node*, kMaxHeight> next{};
+    const std::string key;
+    const uint64_t seqno;
+    const std::string value;
+    std::array<std::atomic<Node*>, kMaxHeight> next{};
   };
 
   int RandomHeight() {
@@ -110,21 +147,33 @@ class SkipList {
     return h;
   }
 
-  Node* FindGreaterOrEqual(std::string_view key,
+  // Internal order: (key asc, seqno desc). A node precedes the target
+  // position when its key is smaller, or the key matches and its seqno
+  // is larger (newer versions first).
+  static bool Precedes(const Node* n, std::string_view key, uint64_t seqno) {
+    int c = n->key.compare(key);
+    if (c != 0) return c < 0;
+    return n->seqno > seqno;
+  }
+
+  /// First node at or after position (key, seqno) in internal order.
+  Node* FindGreaterOrEqual(std::string_view key, uint64_t seqno,
                            std::array<Node*, kMaxHeight>* prev) const {
     Node* node = head_;
     for (int level = kMaxHeight - 1; level >= 0; --level) {
-      while (node->next[level] != nullptr && node->next[level]->key < key) {
-        node = node->next[level];
+      Node* next = node->next[level].load(std::memory_order_acquire);
+      while (next != nullptr && Precedes(next, key, seqno)) {
+        node = next;
+        next = node->next[level].load(std::memory_order_acquire);
       }
       if (prev != nullptr) (*prev)[level] = node;
     }
-    return node->next[0];
+    return node->next[0].load(std::memory_order_acquire);
   }
 
   Rng rng_;
   Node* head_;
-  uint64_t size_ = 0;
+  std::atomic<uint64_t> size_{0};
 };
 
 }  // namespace proteus

@@ -9,6 +9,7 @@
 
 #include "core/filter.h"
 #include "hash/murmur3.h"
+#include "lsm/ikey.h"
 #include "lsm/rle.h"
 #include "util/crc32c.h"
 #include "util/posix_io.h"
@@ -18,19 +19,22 @@ namespace proteus {
 namespace {
 
 constexpr uint64_t kSstMagic = 0x50524F5445555353ull;  // "PROTEUSS"
-// Footer-version sentinels stored immediately before the magic in v2/v3
+// Footer-version sentinels stored immediately before the magic in v2+
 // footers. A v1 footer has n_entries in that slot, which can never equal
-// these values ("PROTFTV2"/"PROTFTV3" as bytes), so the widths are
-// unambiguous. v3 differs from v2 only in the index handles, which carry
-// a per-block CRC32C (20 bytes instead of 16).
+// these values ("PROTFTV2"/"PROTFTV3"/"PROTFTV4" as bytes), so the
+// widths are unambiguous. v3 differs from v2 only in the index handles,
+// which carry a per-block CRC32C (20 bytes instead of 16); v4 differs
+// from v3 only in the value encoding (tag + seqno + user bytes, ikey.h).
 constexpr uint64_t kFooterVersion2 = 0x32565446544F5250ull;
 constexpr uint64_t kFooterVersion3 = 0x33565446544F5250ull;
+constexpr uint64_t kFooterVersion4 = 0x34565446544F5250ull;
 constexpr size_t kFooterV1Size = 32;
 constexpr uint64_t kFilterChecksumSeed = 0xF117E12;
 constexpr size_t kFooterV2Size = 72;
 constexpr size_t kFooterV3Size = 72;
-static_assert(kFooterV2Size == kFooterV3Size,
-              "v3 reuses the v2 footer layout; only the sentinel differs");
+constexpr size_t kFooterV4Size = 72;
+static_assert(kFooterV2Size == kFooterV3Size && kFooterV3Size == kFooterV4Size,
+              "v3/v4 reuse the v2 footer layout; only the sentinel differs");
 constexpr size_t kHandleV2Size = 16;  // offset u64 | size u64
 constexpr size_t kHandleV3Size = 20;  // offset u64 | size u64 | crc32c u32
 
@@ -107,8 +111,9 @@ Status SstWriter::Finish() {
     PutFixed64(&footer, Murmur3Bytes64(filter_block_.data(),
                                        filter_block_.size(),
                                        kFilterChecksumSeed));
-    PutFixed64(&footer, options_.format_version >= 3 ? kFooterVersion3
-                                                     : kFooterVersion2);
+    PutFixed64(&footer, options_.format_version >= 4   ? kFooterVersion4
+                        : options_.format_version >= 3 ? kFooterVersion3
+                                                       : kFooterVersion2);
     PutFixed64(&footer, kSstMagic);
   }
   file_buffer_.append(footer);
@@ -173,8 +178,11 @@ Status SstReader::Open(const std::string& path, uint64_t file_id,
   uint64_t filter_checksum = 0;
   const uint64_t sentinel = LoadFixed64(tail.data() + 16);
   if (file_size >= kFooterV3Size &&
-      (sentinel == kFooterVersion2 || sentinel == kFooterVersion3)) {
-    footer_version_ = sentinel == kFooterVersion3 ? 3 : 2;
+      (sentinel == kFooterVersion2 || sentinel == kFooterVersion3 ||
+       sentinel == kFooterVersion4)) {
+    footer_version_ = sentinel == kFooterVersion4   ? 4
+                      : sentinel == kFooterVersion3 ? 3
+                                                    : 2;
     std::string footer;
     if (!ReadRaw(file_size - kFooterV3Size, kFooterV3Size, &footer)) {
       return Status::IOError(Errno("cannot read SST footer: " + path));
@@ -255,15 +263,15 @@ bool SstReader::ParseHandle(size_t block_index, BlockHandle* out) const {
 }
 
 Status SstReader::ReadDataBlock(size_t block_index, BlockReader* out,
-                                bool use_cache) const {
+                                const BlockReadOptions& opts) const {
   BlockHandle handle;
   if (!ParseHandle(block_index, &handle)) {
     return Status::Corruption("SST index handle malformed: " + path_);
   }
-  if (use_cache && cache_ != nullptr) {
+  if (opts.use_cache && cache_ != nullptr) {
     auto cached = cache_->Get(file_id_, handle.offset);
     if (cached != nullptr) {
-      // Cached payloads were CRC- and checksum-verified on insertion.
+      // Cached payloads passed the in-block checksum on insertion.
       if (out->Init(*cached)) return Status::OK();
       return Status::Corruption("cached block unparsable: " + path_);
     }
@@ -272,7 +280,10 @@ Status SstReader::ReadDataBlock(size_t block_index, BlockReader* out,
   if (!ReadRaw(handle.offset, handle.size, &disk)) {
     return Status::IOError(Errno("cannot read data block: " + path_));
   }
-  if (handle.has_crc && Crc32c(disk) != handle.crc) {
+  // verify_checksums=false skips only this redundant handle CRC; the
+  // in-block checksum below still runs (Init cannot parse without it),
+  // so a cached block is never wholly unverified.
+  if (opts.verify_checksums && handle.has_crc && Crc32c(disk) != handle.crc) {
     return Status::Corruption("data block CRC mismatch: " + path_);
   }
   auto payload = std::make_shared<std::string>();
@@ -282,7 +293,7 @@ Status SstReader::ReadDataBlock(size_t block_index, BlockReader* out,
   if (!out->Init(*payload)) {
     return Status::Corruption("data block checksum mismatch: " + path_);
   }
-  if (use_cache && cache_ != nullptr) {
+  if (opts.use_cache && opts.fill_cache && cache_ != nullptr) {
     cache_->Insert(file_id_, handle.offset, payload);
   }
   return Status::OK();
@@ -291,31 +302,49 @@ Status SstReader::ReadDataBlock(size_t block_index, BlockReader* out,
 Status SstReader::VerifyChecksums() const {
   for (size_t b = 0; b < index_.n_entries(); ++b) {
     BlockReader block;
-    Status s = ReadDataBlock(b, &block, /*use_cache=*/false);
+    Status s = ReadDataBlock(b, &block, kNoCacheRead);
     if (!s.ok()) return s;
   }
   return Status::OK();
 }
 
 int SstReader::SeekInRange(std::string_view lo, std::string_view hi,
-                           std::string* key, std::string* value,
-                           Status* status) const {
-  // First block whose last key >= lo holds the smallest candidate.
+                           uint64_t snapshot, const BlockReadOptions& opts,
+                           SeekEntry* out, Status* status) const {
+  // First block whose last key >= lo holds the smallest candidate. The
+  // scan continues into later blocks only while entries are invisible at
+  // the snapshot (rare), so the common case still touches one block.
   size_t b = index_.LowerBound(lo);
-  if (b == index_.n_entries()) return 1;
-  BlockReader block;
-  Status s = ReadDataBlock(b, &block, /*use_cache=*/true);
-  if (!s.ok()) {
-    if (status != nullptr) *status = std::move(s);
-    return -1;
+  bool first_block = true;
+  for (; b < index_.n_entries(); ++b, first_block = false) {
+    BlockReader block;
+    Status s = ReadDataBlock(b, &block, opts);
+    if (!s.ok()) {
+      if (status != nullptr) *status = std::move(s);
+      return -1;
+    }
+    size_t i = first_block ? block.LowerBound(lo) : 0;
+    for (; i < block.n_entries(); ++i) {
+      std::string_view k = block.KeyAt(i);
+      if (k > hi) return 1;
+      ParsedValue parsed;
+      if (!ParseSstValue(footer_version_, block.ValueAt(i), &parsed)) {
+        if (status != nullptr) {
+          *status = Status::Corruption("SST value malformed: " + path_);
+        }
+        return -1;
+      }
+      // Versions of one key are stored newest-first, so the first entry
+      // at or under the horizon is the newest visible version of its key.
+      if (parsed.seqno > snapshot) continue;
+      out->key.assign(k);
+      out->value.assign(parsed.user_value);
+      out->seqno = parsed.seqno;
+      out->tombstone = parsed.tombstone();
+      return 0;
+    }
   }
-  size_t i = block.LowerBound(lo);
-  if (i == block.n_entries()) return 1;  // cannot happen if index is sound
-  std::string_view k = block.KeyAt(i);
-  if (k > hi) return 1;
-  key->assign(k);
-  value->assign(block.ValueAt(i));
-  return 0;
+  return 1;
 }
 
 }  // namespace proteus

@@ -1,6 +1,6 @@
 // SST (Static Sorted Table) files: writer, reader, and file metadata.
 //
-// Layout (format v3 — the byte-accurate spec lives in docs/FORMAT.md):
+// Layout (format v4 — the byte-accurate spec lives in docs/FORMAT.md):
 //   [compressed data block]*  [compressed index block]  [filter block]
 //   [footer]
 // The index block maps each data block's last key to a 20-byte handle
@@ -10,16 +10,21 @@
 // filter block is the SstFilter::Serialize wire form of the file's range
 // filter (absent when the file was written without one).
 //
-// Footer v3 (fixed width, 72 bytes): index_offset, index_size, n_entries,
+// v4 files are multi-version: a user key may appear in several
+// consecutive entries, newest (highest seqno) first, and every value is
+// encoded as `tag u8 | seqno u64 | user bytes` (ikey.h). The reader's
+// SeekInRange resolves visibility against a snapshot sequence horizon.
+//
+// Footer v4 (fixed width, 72 bytes): index_offset, index_size, n_entries,
 // filter_offset, filter_size, filter_format, filter_checksum,
-// footer_version, magic — the same field layout as v2; only the
-// footer_version sentinel differs, and it is what tells the reader
-// whether index handles are 16 bytes (v2, no block CRC) or 20 (v3).
-// Legacy files remain readable: v2 footers (72 bytes, "PROTFTV2"
-// sentinel, filter block, no block CRCs) and v1 footers (32 bytes:
-// index_offset, index_size, n_entries, magic; no filter block). The
-// trailing magic sits in the same place in all three, so corruption
-// detection at open is uniform.
+// footer_version, magic — the same field layout as v2/v3; only the
+// footer_version sentinel differs, and it is what tells the reader the
+// handle width (16 bytes in v2, 20 in v3+) and the value encoding
+// (raw in v1/v2, tag-prefixed in v3, tag+seqno in v4). Legacy files
+// remain readable down to v1 footers (32 bytes: index_offset,
+// index_size, n_entries, magic; no filter block). The trailing magic
+// sits in the same place in all generations, so corruption detection at
+// open is uniform.
 //
 // As in the paper's tuned RocksDB (Section 6.1), index and filter stay
 // pinned in memory: SstReader keeps the parsed index block and the raw
@@ -48,22 +53,34 @@ struct SstStats {
   uint64_t bytes_written = 0;
 };
 
+/// Per-read knobs threaded down from ReadOptions at the Db layer.
+struct BlockReadOptions {
+  bool verify_checksums = true;  // check the v3+ handle CRC on a cache miss
+  bool fill_cache = true;        // insert read blocks into the block cache
+  // Look the block up in the cache at all. Compaction and
+  // VerifyChecksums set this false: they must observe the on-disk bytes,
+  // not a previously verified copy.
+  bool use_cache = true;
+};
+
 class SstWriter {
  public:
   struct Options {
     size_t block_size = 4096;   // uncompressed target
     bool compress = true;       // RLE data blocks
-    /// Footer generation to emit. 3 (current) writes per-block CRCs in
-    /// 20-byte index handles; 2 writes 16-byte handles and the v2
-    /// sentinel; 1 writes the legacy 32-byte footer and drops any filter
-    /// block. 1 and 2 exist so compatibility tests can produce genuine
-    /// old-format files — production writers always use 3.
-    uint32_t format_version = 3;
+    /// Footer generation to emit. 4 (current) stores tag+seqno values;
+    /// 3 writes per-block CRCs in 20-byte index handles with tag-only
+    /// values; 2 writes 16-byte handles and the v2 sentinel; 1 writes
+    /// the legacy 32-byte footer and drops any filter block. 1–3 exist
+    /// so compatibility tests can produce genuine old-format files —
+    /// production writers always use 4.
+    uint32_t format_version = 4;
   };
 
   SstWriter(std::string path, Options options);
 
-  /// Keys must arrive in strictly increasing order.
+  /// Keys must arrive in non-decreasing order; equal keys are a version
+  /// run (newest seqno first — the caller's merge order).
   void Add(std::string_view key, std::string_view value);
 
   /// Attaches the serialized filter (SstFilter::Serialize output) to be
@@ -109,9 +126,9 @@ class SstReader {
   uint64_t n_entries() const { return n_entries_; }
   uint64_t n_blocks() const { return index_.n_entries(); }
 
-  /// Footer generation this file was written with (1, 2, or 3). Callers
-  /// use it to interpret the value encoding (v3 values are tagged with a
-  /// tombstone byte by the Db layer) and handle width.
+  /// Footer generation this file was written with (1–4). Callers use it
+  /// to interpret the value encoding (ikey.h: v3 values carry a tombstone
+  /// tag, v4 values a tag and a seqno) and the handle width.
   uint32_t footer_version() const { return footer_version_; }
 
   /// True when the file carried a filter block with a bounds-sane handle
@@ -133,12 +150,26 @@ class SstReader {
     filter_block_.shrink_to_fit();
   }
 
-  /// Finds the smallest entry with key in [lo, hi]. Touches at most one
-  /// data block (keys in [lo, hi] beyond the first block are larger).
+  /// One resolved entry out of SeekInRange: the user key, the newest
+  /// visible version's user bytes, and that version's tag/seqno.
+  struct SeekEntry {
+    std::string key;
+    std::string value;  // user bytes (tag and seqno already stripped)
+    uint64_t seqno = 0;
+    bool tombstone = false;
+  };
+
+  /// Finds the newest version visible at `snapshot` (seqno <= snapshot)
+  /// of the smallest key in [lo, hi]. Versions newer than the snapshot
+  /// are skipped; a key whose every version is invisible is skipped
+  /// entirely. Usually touches one data block; skipping invisible
+  /// entries can carry the scan into the next block(s). Legacy files
+  /// (v1–v3) decode as seqno 0, visible to every snapshot.
   /// Returns 0 = found, 1 = none in range, -1 = corruption/IO error
   /// (the block failed its CRC or checksum; details in `status`).
-  int SeekInRange(std::string_view lo, std::string_view hi, std::string* key,
-                  std::string* value, Status* status = nullptr) const;
+  int SeekInRange(std::string_view lo, std::string_view hi, uint64_t snapshot,
+                  const BlockReadOptions& opts, SeekEntry* out,
+                  Status* status = nullptr) const;
 
   /// Reads every data block (bypassing the cache), verifying the v3
   /// per-block CRC32C and the in-block checksum. Returns the first
@@ -150,7 +181,7 @@ class SstReader {
   bool ForEach(Fn&& fn) const {
     for (size_t b = 0; b < index_.n_entries(); ++b) {
       BlockReader block;
-      if (!ReadDataBlock(b, &block, /*use_cache=*/false).ok()) return false;
+      if (!ReadDataBlock(b, &block, kNoCacheRead).ok()) return false;
       for (size_t i = 0; i < block.n_entries(); ++i) {
         fn(block.KeyAt(i), block.ValueAt(i));
       }
@@ -188,7 +219,7 @@ class SstReader {
       valid_ = false;
       while (block_index_ < reader_->n_blocks()) {
         Status s = reader_->ReadDataBlock(block_index_, &block_,
-                                          /*use_cache=*/false);
+                                          kNoCacheRead);
         if (!s.ok()) {
           status_ = std::move(s);
           return;  // stop: do NOT skip past unreadable entries
@@ -211,15 +242,18 @@ class SstReader {
 
  private:
   friend class Iterator;
+  // Compaction/verification reads: always verified, never cached.
+  static constexpr BlockReadOptions kNoCacheRead{
+      /*verify_checksums=*/true, /*fill_cache=*/false, /*use_cache=*/false};
   struct BlockHandle {
     uint64_t offset = 0;
     uint64_t size = 0;
-    uint32_t crc = 0;       // v3 only
+    uint32_t crc = 0;       // v3+ only
     bool has_crc = false;
   };
   bool ParseHandle(size_t block_index, BlockHandle* out) const;
   Status ReadDataBlock(size_t block_index, BlockReader* out,
-                       bool use_cache) const;
+                       const BlockReadOptions& opts) const;
   bool ReadRaw(uint64_t offset, uint64_t size, std::string* out) const;
 
   std::string path_;

@@ -1,0 +1,59 @@
+// A small fixed-size thread pool for background LSM maintenance (flush,
+// compaction). Deliberately minimal: FIFO queue, no priorities, no
+// futures — the Db layer tracks job completion through its own state
+// (version installs, condition variables), the pool only supplies the
+// threads.
+
+#ifndef PROTEUS_LSM_TASK_POOL_H_
+#define PROTEUS_LSM_TASK_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace proteus {
+
+class TaskPool {
+ public:
+  explicit TaskPool(size_t n_threads);
+
+  /// Runs every task already queued, then joins the workers. Tasks
+  /// submitted after Shutdown()/destruction are rejected (dropped).
+  ~TaskPool();
+
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  /// Enqueues a task. Returns false if the pool is shutting down (the
+  /// task is not run).
+  bool Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty AND no task is executing. New
+  /// submissions during the wait extend it.
+  void Wait();
+
+  /// Stops accepting work, drains what is queued, joins the threads.
+  /// Idempotent; the destructor calls it.
+  void Shutdown();
+
+  size_t n_threads() const { return workers_.size(); }
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;   // workers wait for tasks
+  std::condition_variable idle_cv_;   // Wait()ers wait for drain
+  std::deque<std::function<void()>> queue_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace proteus
+
+#endif  // PROTEUS_LSM_TASK_POOL_H_

@@ -6,7 +6,6 @@
 
 #include <chrono>
 #include <thread>
-#include <vector>
 
 #include "util/crc32c.h"
 #include "util/posix_io.h"
@@ -14,11 +13,14 @@
 
 namespace proteus {
 
-std::string EncodeWalRecord(uint8_t op, std::string_view key,
+std::string EncodeWalRecord(uint8_t op, uint64_t seqno, std::string_view key,
                             std::string_view value) {
+  const bool with_seqno = op == kWalOpPutSeq || op == kWalOpDeleteSeq;
   std::string payload;
-  payload.reserve(1 + 4 + key.size() + 4 + value.size());
+  payload.reserve(1 + (with_seqno ? 8 : 0) + 4 + key.size() + 4 +
+                  value.size());
   payload.push_back(static_cast<char>(op));
+  if (with_seqno) PutFixed64(&payload, seqno);
   PutFixed32(&payload, static_cast<uint32_t>(key.size()));
   payload.append(key);
   PutFixed32(&payload, static_cast<uint32_t>(value.size()));
@@ -44,9 +46,10 @@ Status WalWriter::Open(const std::string& path) {
   if (::fstat(fd_, &st) != 0) {
     return Status::IOError(Errno("cannot stat WAL " + path));
   }
-  // The caller (ReplayWal) has already cut any torn tail, so the whole
+  // The caller (recovery) has already cut any torn tail, so the whole
   // existing file is durable record bytes.
-  committed_bytes_ = static_cast<uint64_t>(st.st_size);
+  committed_bytes_.store(static_cast<uint64_t>(st.st_size),
+                         std::memory_order_relaxed);
   poisoned_ = Status::OK();
   return Status::OK();
 }
@@ -66,95 +69,41 @@ Status WalWriter::WriteAndSync(std::string_view buf, bool sync) {
   return Status::OK();
 }
 
-Status WalWriter::Commit(std::string_view record, bool sync) {
+Status WalWriter::Append(std::string_view batch, uint64_t n_records,
+                         bool sync) {
   if (fd_ < 0) return Status::IOError("WAL is not open");
-  Waiter self{record, Status::OK(), sync, false};
-
-  std::unique_lock<std::mutex> lock(mu_);
   if (!poisoned_.ok()) return poisoned_;
-  queue_.push_back(&self);
-  while (!self.done && queue_.front() != &self) {
-    cv_.wait(lock);
-  }
-  if (self.done) return self.status;  // a leader already committed us
-  if (!poisoned_.ok()) {
-    // The leader ahead of us poisoned the log while we waited: step
-    // down instead of appending after garbage, and wake the next
-    // waiter so it can do the same.
-    queue_.pop_front();
-    cv_.notify_all();
-    return poisoned_;
-  }
 
-  // We are the leader: drain everything queued so far into one append.
-  // Any waiter that asked for a sync makes the whole batch sync — a
-  // sync=true Commit must never be acknowledged from the page cache
-  // just because a sync=false leader drained it.
-  std::vector<Waiter*> batch(queue_.begin(), queue_.end());
-  std::string buf;
-  size_t total = 0;
-  bool batch_sync = false;
-  for (Waiter* w : batch) {
-    total += w->record.size();
-    batch_sync |= w->sync;
-  }
-  buf.reserve(total);
-  for (Waiter* w : batch) buf.append(w->record);
-
-  lock.unlock();
-  Status s = WriteAndSync(buf, batch_sync);
-  Status poison;
+  Status s = WriteAndSync(batch, sync);
   if (s.ok()) {
-    committed_bytes_ += buf.size();
+    committed_bytes_.fetch_add(batch.size(), std::memory_order_relaxed);
   } else {
     // Roll the log back to its last durable record boundary so (a) the
     // rejected batch can never replay after "a rejected write stays
     // invisible" was promised, and (b) a half-written frame cannot sit
-    // in the middle of the log ending replay early for later commits.
-    if (::ftruncate(fd_, static_cast<off_t>(committed_bytes_)) != 0) {
-      poison = Status::IOError(
+    // in the middle of the log ending replay early for later appends.
+    if (::ftruncate(fd_, static_cast<off_t>(committed_bytes_.load(
+                             std::memory_order_relaxed))) != 0) {
+      poisoned_ = Status::IOError(
           Errno("WAL rollback failed after: " + s.ToString()));
+      return poisoned_;
     }
-  }
-  lock.lock();
-  if (!poison.ok()) {
-    poisoned_ = poison;
-    s = poison;
+    return s;
   }
 
-  if (s.ok()) {
+  {
+    std::lock_guard<std::mutex> lock(stats_mu_);
     // Failed batches were rolled back: they never count as appended.
-    stats_.records += batch.size();
+    stats_.records += n_records;
     ++stats_.batches;
-    if (batch_sync) ++stats_.syncs;
+    if (sync) ++stats_.syncs;
   }
-  queue_.erase(queue_.begin(), queue_.begin() + batch.size());
-  for (Waiter* w : batch) {
-    if (w != &self) {
-      w->status = s;
-      w->done = true;
-    }
-  }
-  cv_.notify_all();
-  return s;
-}
-
-Status WalWriter::Reset() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (fd_ < 0) return Status::IOError("WAL is not open");
-  if (::ftruncate(fd_, 0) != 0) {
-    return Status::IOError(Errno("WAL ftruncate failed"));
-  }
-  if (::fdatasync(fd_) != 0) {
-    return Status::IOError(Errno("WAL fdatasync failed"));
-  }
-  committed_bytes_ = 0;
   return Status::OK();
 }
 
 Status WalReplay(
     const std::string& path,
-    const std::function<void(uint8_t op, std::string_view key,
+    const std::function<void(uint8_t op, uint64_t seqno, std::string_view key,
                              std::string_view value)>& apply,
     uint64_t* valid_bytes, bool* torn_tail) {
   if (valid_bytes != nullptr) *valid_bytes = 0;
@@ -185,18 +134,24 @@ Status WalReplay(
     // as the end of the intelligible prefix.
     std::string_view cursor = payload;
     uint32_t klen, vlen;
+    uint64_t seqno = 0;
     if (cursor.empty()) return torn();
     const uint8_t op = static_cast<uint8_t>(cursor.front());
     cursor.remove_prefix(1);
-    if (op != kWalOpPut && op != kWalOpDelete) return torn();
+    const bool is_put = op == kWalOpPut || op == kWalOpPutSeq;
+    const bool is_delete = op == kWalOpDelete || op == kWalOpDeleteSeq;
+    if (!is_put && !is_delete) return torn();
+    if (op == kWalOpPutSeq || op == kWalOpDeleteSeq) {
+      if (!GetFixed64(&cursor, &seqno)) return torn();
+    }
     if (!GetFixed32(&cursor, &klen) || cursor.size() < klen) return torn();
     std::string_view key = cursor.substr(0, klen);
     cursor.remove_prefix(klen);
     if (!GetFixed32(&cursor, &vlen) || cursor.size() != vlen) return torn();
     std::string_view value = cursor.substr(0, vlen);
-    if (op == kWalOpDelete && vlen != 0) return torn();
+    if (is_delete && vlen != 0) return torn();
 
-    apply(op, key, value);
+    apply(op, seqno, key, value);
     offset += 8 + length;
   }
   return torn();

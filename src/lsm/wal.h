@@ -1,36 +1,47 @@
 // Write-ahead log: the durability backbone of miniLSM's write path.
 //
 // Every Put/Delete is framed as a length-prefixed, CRC32C-stamped record
-// and appended to dir/WAL *before* it touches the memtable, so a process
-// kill between flushes loses nothing that was acknowledged. A flush makes
-// the memtable contents durable in SSTs (and the MANIFEST delta log), at
-// which point the WAL is reset to empty.
+// and appended to a WAL segment *before* it touches the memtable, so a
+// process kill between flushes loses nothing that was acknowledged.
 //
 // Record framing (byte-accurate spec in docs/FORMAT.md):
 //
 //   record  := length u32 | crc32c(payload) u32 | payload[length]
-//   payload := op u8 (1 = Put, 2 = Delete) |
+//   payload := op u8 (3 = Put, 4 = Delete) | seqno u64 |
 //              klen u32 | key[klen] | vlen u32 | value[vlen]
 //
-// Group commit: concurrent writers enqueue framed records under a mutex;
-// the writer at the head of the queue becomes the leader, drains the
-// whole queue into one write() + one fdatasync(), and wakes the
-// followers with the shared result. N threads hitting Commit() pay ~1
-// fsync per batch instead of 1 per record (stats().syncs vs .records).
+// The seqno is the monotonic sequence number the Db's group-commit
+// leader assigned to the write. Because the leader appends the batch and
+// applies it to the memtable in the same critical section, WAL order,
+// memtable order, and replay order are one and the same — replay
+// re-applies each record at its original seqno, so recovery reproduces
+// the exact pre-crash version history (including concurrent same-key
+// writes, which used to be a documented race). Legacy seqno-less records
+// (ops 1/2, written before format v2 of the log) still replay; they are
+// assigned seqnos in file order.
 //
+// Segments: the log is a sequence of files `WAL-<n>` (n decimal,
+// increasing). Every memtable swap rotates to a fresh segment; a segment
+// is deleted once every memtable whose writes it holds has been flushed
+// to SSTs. Recovery replays all segments in numeric order (a legacy
+// un-numbered `WAL` file, if present, replays first). Replay is
+// idempotent across segments: an entry applied twice lands at the same
+// (key, seqno) slot.
+//
+// Group commit lives in the Db layer (the write-queue leader batches
+// concurrent writers); WalWriter here is a single-appender file handle.
 // Replay tolerates a torn tail — a record cut short by the crash that
 // ended the previous process — by stopping at the first frame that does
 // not parse and reporting the clean-prefix length, which the caller
 // truncates to before appending again. A torn record was never
-// acknowledged (Commit returns only after the fsync), so dropping it
-// loses nothing the client was promised.
+// acknowledged (writes are acknowledged only after the fdatasync), so
+// dropping it loses nothing the client was promised.
 
 #ifndef PROTEUS_LSM_WAL_H_
 #define PROTEUS_LSM_WAL_H_
 
-#include <condition_variable>
+#include <atomic>
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <mutex>
 #include <string>
@@ -40,14 +51,23 @@
 
 namespace proteus {
 
-inline constexpr uint8_t kWalOpPut = 1;
-inline constexpr uint8_t kWalOpDelete = 2;
+inline constexpr uint8_t kWalOpPut = 1;        // legacy: no seqno field
+inline constexpr uint8_t kWalOpDelete = 2;     // legacy: no seqno field
+inline constexpr uint8_t kWalOpPutSeq = 3;     // payload carries seqno u64
+inline constexpr uint8_t kWalOpDeleteSeq = 4;  // payload carries seqno u64
 
 /// Frames one operation as a WAL record (length + CRC + payload), ready
-/// for WalWriter::Commit. `value` must be empty for kWalOpDelete.
-std::string EncodeWalRecord(uint8_t op, std::string_view key,
+/// to append. Ops 3/4 embed `seqno`; the legacy ops 1/2 ignore it (they
+/// exist so compatibility tests can produce genuine old-format logs).
+/// `value` must be empty for deletes.
+std::string EncodeWalRecord(uint8_t op, uint64_t seqno, std::string_view key,
                             std::string_view value);
 
+/// Append handle for the active WAL segment. NOT internally synchronized
+/// for appends: the Db's group-commit leader is the only appender (leaders
+/// are serialized by the write queue), and rotation (Open on a new path)
+/// is mutually excluded with appends by the Db's pipeline lock. stats()
+/// is safe to call from any thread.
 class WalWriter {
  public:
   struct Stats {
@@ -62,65 +82,63 @@ class WalWriter {
   WalWriter(const WalWriter&) = delete;
   WalWriter& operator=(const WalWriter&) = delete;
 
-  /// Opens (creating if absent) the log for appending.
+  /// Opens (creating if absent) a segment for appending. Reopening on a
+  /// new path rotates: the old fd is closed, byte accounting restarts at
+  /// the new file's size, stats keep accumulating across segments.
   Status Open(const std::string& path);
 
-  /// Appends one framed record (EncodeWalRecord output) and, when `sync`,
-  /// fdatasyncs before returning. Thread-safe; concurrent callers are
-  /// batched into one write + one fsync by the group-commit leader.
+  /// Appends a batch of framed records (concatenated EncodeWalRecord
+  /// output) in one write() and, when `sync`, one fdatasync().
   ///
   /// A failed batch (short write, fsync error) is rolled back: the log
   /// is truncated to its last durable record boundary so the rejected
-  /// records can never replay, and later commits append after clean
+  /// records can never replay, and later appends land after clean
   /// bytes. If even the rollback fails, the writer is poisoned — every
-  /// subsequent Commit returns the error instead of appending after
+  /// subsequent Append returns the error instead of appending after
   /// garbage that would silently end replay early.
-  Status Commit(std::string_view record, bool sync);
+  Status Append(std::string_view batch, uint64_t n_records, bool sync);
 
-  /// Truncates the log to empty — called once a flush has made the
-  /// logged writes durable elsewhere. Callers must exclude concurrent
-  /// Commit()s (the Db holds its flush lock exclusively here).
-  Status Reset();
+  /// Durable bytes in the active segment (the size-rotation trigger).
+  /// Safe to read from any thread.
+  uint64_t file_bytes() const {
+    return committed_bytes_.load(std::memory_order_relaxed);
+  }
 
-  const Stats& stats() const { return stats_; }
+  Stats stats() const {
+    std::lock_guard<std::mutex> lock(stats_mu_);
+    return stats_;
+  }
 
   /// Test hook: sleep this long inside each sync, forcing concurrent
-  /// committers to pile up behind the leader so group commit is
+  /// committers to pile up behind the group-commit leader so batching is
   /// observable deterministically.
   void TEST_SetSyncDelayMicros(uint32_t micros) { sync_delay_micros_ = micros; }
 
  private:
-  struct Waiter {
-    std::string_view record;
-    Status status;
-    bool sync = false;
-    bool done = false;
-  };
-
   Status WriteAndSync(std::string_view buf, bool sync);
 
   int fd_ = -1;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<Waiter*> queue_;
+  mutable std::mutex stats_mu_;
   Stats stats_;
   uint32_t sync_delay_micros_ = 0;
-  // Log length after the last successful batch: the rollback target
-  // when an append fails. Only the group-commit leader touches the fd,
-  // so it is read/written without mu_ held.
-  uint64_t committed_bytes_ = 0;
+  // Log length after the last successful batch: the rollback target when
+  // an append fails. Only the single appender writes it; the flush
+  // trigger reads it from other threads, hence atomic.
+  std::atomic<uint64_t> committed_bytes_{0};
   Status poisoned_;  // sticky failure once a rollback itself fails
 };
 
-/// Replays dir/WAL in append order, invoking `apply(op, key, value)` for
-/// every intact record. A torn tail stops the replay: `*valid_bytes` is
-/// set to the clean-prefix length (truncate to it before reusing the
-/// file) and `*torn_tail` reports whether anything was cut. A missing
-/// file replays as empty. Returns non-OK only for I/O errors reading the
-/// file — torn frames are expected crash debris, not corruption.
+/// Replays one segment in append order, invoking
+/// `apply(op, seqno, key, value)` for every intact record (legacy ops 1/2
+/// pass seqno 0 — the caller assigns replay-order seqnos). A torn tail
+/// stops the replay: `*valid_bytes` is set to the clean-prefix length
+/// (truncate to it before reusing the file) and `*torn_tail` reports
+/// whether anything was cut. A missing file replays as empty. Returns
+/// non-OK only for I/O errors reading the file — torn frames are expected
+/// crash debris, not corruption.
 Status WalReplay(
     const std::string& path,
-    const std::function<void(uint8_t op, std::string_view key,
+    const std::function<void(uint8_t op, uint64_t seqno, std::string_view key,
                              std::string_view value)>& apply,
     uint64_t* valid_bytes, bool* torn_tail);
 

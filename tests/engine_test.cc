@@ -151,17 +151,15 @@ void CheckEquivalence(Db& db, Rng& rng, int batches, size_t batch_size) {
       ASSERT_EQ(all[s].size(), batch.size());
     }
     for (size_t i = 0; i < batch.size(); ++i) {
-      std::string key, value;
-      Status status;
-      bool found = db.Seek(batch[i].lo, batch[i].hi, &key, &value, &status);
+      SeekResult seq = db.Seek(batch[i].lo, batch[i].hi);
       for (size_t s = 0; s < specs.size(); ++s) {
         const MultiSeekResult& r = all[s][i];
-        ASSERT_EQ(r.found, found)
+        ASSERT_EQ(r.found, seq.found)
             << specs[s] << " round " << round << " query " << i;
-        ASSERT_EQ(r.status.ok(), status.ok()) << specs[s];
-        if (found) {
-          ASSERT_EQ(r.key, key) << specs[s] << " query " << i;
-          ASSERT_EQ(r.value, value) << specs[s] << " query " << i;
+        ASSERT_EQ(r.status.ok(), seq.status.ok()) << specs[s];
+        if (seq.found) {
+          ASSERT_EQ(r.key, seq.key) << specs[s] << " query " << i;
+          ASSERT_EQ(r.value, seq.value) << specs[s] << " query " << i;
         }
       }
     }
@@ -185,34 +183,35 @@ void FillRandom(Db& db, Rng& rng, int ops, double delete_frac) {
 }
 
 TEST(MultiSeekTest, MatchesSeekWithoutFilters) {
-  auto options = SmallDbOptions("plain");
-  Db db(options);
+  auto [db, st] = Db::Create(SmallDbOptions("plain"));
+  ASSERT_TRUE(st.ok());
   Rng rng(21);
-  FillRandom(db, rng, 12000, 0.2);
-  CheckEquivalence(db, rng, 20, 64);
+  FillRandom(*db, rng, 12000, 0.2);
+  CheckEquivalence(*db, rng, 20, 64);
 }
 
 TEST(MultiSeekTest, MatchesSeekWithFilters) {
   auto options = SmallDbOptions("filtered");
   options.filter_policy = MakeProteusIntPolicy(14.0);
-  Db db(options);
+  auto [db, st] = Db::Create(options);
+  ASSERT_TRUE(st.ok());
   Rng rng(22);
-  FillRandom(db, rng, 12000, 0.2);
-  CheckEquivalence(db, rng, 20, 64);
+  FillRandom(*db, rng, 12000, 0.2);
+  CheckEquivalence(*db, rng, 20, 64);
 }
 
 TEST(MultiSeekTest, MatchesSeekAfterCompactionAndReopen) {
   auto options = SmallDbOptions("reopen");
   options.filter_policy = MakeProteusIntPolicy(14.0);
   {
-    Db db(options);
+    auto [db, st] = Db::Create(options);
+    ASSERT_TRUE(st.ok());
     Rng rng(23);
-    FillRandom(db, rng, 12000, 0.25);
-    db.CompactAll();
-    CheckEquivalence(db, rng, 10, 64);
+    FillRandom(*db, rng, 12000, 0.25);
+    ASSERT_TRUE(db->CompactAll().ok());
+    CheckEquivalence(*db, rng, 10, 64);
   }
-  Status status;
-  auto db = Db::Open(options, &status);
+  auto [db, status] = Db::Open(options);
   ASSERT_TRUE(status.ok()) << status.ToString();
   Rng rng(24);
   CheckEquivalence(*db, rng, 10, 64);
@@ -223,18 +222,19 @@ TEST(MultiSeekTest, MatchesSeekAgainstReferenceMap) {
   // against ground truth and not just against Seek.
   auto options = SmallDbOptions("refmap");
   options.filter_policy = MakeProteusIntPolicy(12.0);
-  Db db(options);
+  auto [db, st] = Db::Create(options);
+  ASSERT_TRUE(st.ok());
   std::map<std::string, std::string> ref;
   Rng rng(25);
   for (int op = 0; op < 12000; ++op) {
     uint64_t k = rng.NextBelow(4000) * 1000;
     std::string key = EncodeKeyBE(k);
     if (rng.NextBelow(10) < 2) {
-      ASSERT_TRUE(db.Delete(key).ok());
+      ASSERT_TRUE(db->Delete(key).ok());
       ref.erase(key);
     } else {
       std::string value = "v" + std::to_string(op) + std::string(40, 'm');
-      ASSERT_TRUE(db.Put(key, value).ok());
+      ASSERT_TRUE(db->Put(key, value).ok());
       ref[key] = value;
     }
   }
@@ -242,7 +242,7 @@ TEST(MultiSeekTest, MatchesSeekAgainstReferenceMap) {
   for (int round = 0; round < 20; ++round) {
     QueryBatch batch = RandomBatch(rng, 64);
     std::vector<MultiSeekResult> results;
-    db.MultiSeek(batch, *scheduler, &results);
+    db->MultiSeek(batch, *scheduler, &results);
     for (size_t i = 0; i < batch.size(); ++i) {
       auto it = ref.lower_bound(batch[i].lo);
       bool ref_found = it != ref.end() && it->first <= batch[i].hi;
@@ -256,14 +256,14 @@ TEST(MultiSeekTest, MatchesSeekAgainstReferenceMap) {
 }
 
 TEST(MultiSeekTest, EmptyAndSingletonBatches) {
-  auto options = SmallDbOptions("edge");
-  Db db(options);
-  ASSERT_TRUE(db.Put(EncodeKeyBE(100), "x").ok());
+  auto [db, st] = Db::Create(SmallDbOptions("edge"));
+  ASSERT_TRUE(st.ok());
+  ASSERT_TRUE(db->Put(EncodeKeyBE(100), "x").ok());
   auto scheduler = SchedulerRegistry::Global().Create("sorted");
   std::vector<MultiSeekResult> results;
-  db.MultiSeek({}, *scheduler, &results);
+  db->MultiSeek({}, *scheduler, &results);
   EXPECT_TRUE(results.empty());
-  db.MultiSeek({{EncodeKeyBE(50), EncodeKeyBE(150)}}, *scheduler, &results);
+  db->MultiSeek({{EncodeKeyBE(50), EncodeKeyBE(150)}}, *scheduler, &results);
   ASSERT_EQ(results.size(), 1u);
   EXPECT_TRUE(results[0].found);
   EXPECT_EQ(results[0].key, EncodeKeyBE(100));
@@ -275,9 +275,10 @@ TEST(MultiSeekTest, EmptyAndSingletonBatches) {
 TEST(MultiSeekTest, EmptyQueriesFeedTheSampleQueue) {
   auto options = SmallDbOptions("queue");
   options.queue_options.sample_rate = 10;
-  Db db(options);
+  auto [db, st] = Db::Create(options);
+  ASSERT_TRUE(st.ok());
   for (uint64_t k = 0; k < 200; ++k) {
-    ASSERT_TRUE(db.Put(EncodeKeyBE(k * 1000000), "v").ok());
+    ASSERT_TRUE(db->Put(EncodeKeyBE(k * 1000000), "v").ok());
   }
   auto scheduler = SchedulerRegistry::Global().Create("sorted");
   QueryBatch batch;
@@ -286,31 +287,32 @@ TEST(MultiSeekTest, EmptyQueriesFeedTheSampleQueue) {
     batch.push_back({EncodeKeyBE(i * 1000000 + 10), EncodeKeyBE(i * 1000000 + 20)});
   }
   std::vector<MultiSeekResult> results;
-  db.MultiSeek(batch, *scheduler, &results);
+  db->MultiSeek(batch, *scheduler, &results);
   for (const auto& r : results) ASSERT_FALSE(r.found);
-  const DbStats& s = db.stats();
+  const DbStats s = db->stats();
   EXPECT_EQ(s.seeks, 100u);
   EXPECT_EQ(s.empty_seeks, 100u);
   // sample_rate=10: every 10th empty query lands in the queue.
   EXPECT_EQ(s.queue_sampled, 10u);
-  EXPECT_EQ(db.SampledQueries().size(), 10u);
-  EXPECT_EQ(db.query_queue().seen(), 100u);
+  EXPECT_EQ(db->SampledQueries().size(), 10u);
+  EXPECT_EQ(db->query_queue().seen(), 100u);
 }
 
 TEST(QueryEngineTest, ReportsBatchStats) {
   auto options = SmallDbOptions("stats");
   options.filter_policy = MakeProteusIntPolicy(14.0);
-  Db db(options);
+  auto [db, st] = Db::Create(options);
+  ASSERT_TRUE(st.ok());
   Rng rng(26);
   for (int op = 0; op < 6000; ++op) {
     uint64_t k = rng.NextBelow(4000) * 1000;
     ASSERT_TRUE(
-        db.Put(EncodeKeyBE(k), "v" + std::string(60, 's')).ok());
+        db->Put(EncodeKeyBE(k), "v" + std::string(60, 's')).ok());
   }
-  db.CompactAll();
+  ASSERT_TRUE(db->CompactAll().ok());
 
   Status status;
-  auto engine = QueryEngine::Create(&db, "grouped", &status);
+  auto engine = QueryEngine::Create(db.get(), "grouped", &status);
   ASSERT_NE(engine, nullptr) << status.ToString();
   EXPECT_EQ(engine->scheduler().Name(), "grouped");
 
@@ -332,7 +334,7 @@ TEST(QueryEngineTest, ReportsBatchStats) {
   EXPECT_EQ(engine->totals().queries, 2 * batch.size());
 
   // Bad spec surfaces as InvalidArgument, not a crash.
-  auto bad = QueryEngine::Create(&db, "warp-speed", &status);
+  auto bad = QueryEngine::Create(db.get(), "warp-speed", &status);
   EXPECT_EQ(bad, nullptr);
   EXPECT_FALSE(status.ok());
 }

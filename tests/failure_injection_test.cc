@@ -28,7 +28,8 @@ std::string WriteTestSst(const std::string& path, bool compress) {
   wopts.compress = compress;
   SstWriter writer(path, wopts);
   for (uint64_t i = 0; i < 2000; ++i) {
-    writer.Add(EncodeKeyBE(i * 5), "value" + std::to_string(i));
+    writer.Add(EncodeKeyBE(i * 5),
+               MakeSstValueV4(kTagValue, i + 1, "value" + std::to_string(i)));
   }
   EXPECT_TRUE(writer.Finish().ok());
   return path;
@@ -97,13 +98,13 @@ TEST_P(SstCorruptionTest, DataBlockBitflipsDetectedOnRead) {
     // Scan the whole key range; corruption must yield an error (-1) or a
     // correct value — never a silently wrong one.
     bool bad = false;
-    for (uint64_t i = 0; i < 2000; i += 37) {
-      std::string key, value;
+    for (uint64_t i = 0; i < 2000; i += 3) {
+      SstReader::SeekEntry se;
       int rc = reader.SeekInRange(EncodeKeyBE(i * 5), EncodeKeyBE(i * 5),
-                                  &key, &value);
+                                  kMaxSequence, BlockReadOptions{}, &se);
       if (rc == -1 || rc == 1) {
         bad = true;  // detected (read error) or entry unreachable
-      } else if (value != "value" + std::to_string(i)) {
+      } else if (se.value != "value" + std::to_string(i)) {
         ADD_FAILURE() << "silent corruption at trial " << trial;
       }
     }
@@ -157,11 +158,12 @@ DbOptions FailDbOptions(const std::string& name) {
 }
 
 void FillAndClose(const DbOptions& options) {
-  Db db(options);
+  auto [db, st] = Db::Create(options);
+  ASSERT_TRUE(st.ok()) << st.ToString();
   for (uint64_t i = 0; i < 2000; ++i) {
-    db.Put(EncodeKeyBE(i * 6), "value" + std::to_string(i));
+    ASSERT_TRUE(db->Put(EncodeKeyBE(i * 6), "value" + std::to_string(i)).ok());
   }
-  db.CompactAll();
+  ASSERT_TRUE(db->CompactAll().ok());
 }
 
 TEST(ManifestFailure, TruncationRejectedAtOpen) {
@@ -173,15 +175,13 @@ TEST(ManifestFailure, TruncationRejectedAtOpen) {
   for (double frac : {0.1, 0.6, 0.95}) {
     WriteFile(manifest,
               content.substr(0, static_cast<size_t>(content.size() * frac)));
-    Status status;
-    auto db = Db::Open(options, &status);
+    auto [db, status] = Db::Open(options);
     EXPECT_EQ(db, nullptr) << "frac=" << frac;
     EXPECT_FALSE(status.ok()) << "frac=" << frac;
   }
   // Restoring the manifest restores the database.
   WriteFile(manifest, content);
-  Status status;
-  auto db = Db::Open(options, &status);
+  auto [db, status] = Db::Open(options);
   ASSERT_NE(db, nullptr) << status.ToString();
   EXPECT_EQ(db->TotalKeys(), 2000u);
 }
@@ -198,8 +198,7 @@ TEST(ManifestFailure, EveryBitflipRejectedAtOpen) {
     size_t pos = rng.NextBelow(corrupt.size());
     corrupt[pos] ^= static_cast<char>(1 + rng.NextBelow(255));
     WriteFile(manifest, corrupt);
-    Status status;
-    auto db = Db::Open(options, &status);
+    auto [db, status] = Db::Open(options);
     // The checksum covers every byte: any flip is a detected, explained
     // failure (a flip in the final record may instead parse as a torn
     // tail, which recovery truncates away — the database then opens with
@@ -216,9 +215,8 @@ TEST(ManifestFailure, MissingSstFileNamedInManifestFailsOpen) {
   auto options = FailDbOptions("missing_sst");
   FillAndClose(options);
   // Delete one SST file the manifest references.
-  Status status;
   {
-    auto db = Db::Open(options, &status);
+    auto [db, status] = Db::Open(options);
     ASSERT_NE(db, nullptr) << status.ToString();
   }
   // Find any .sst and unlink it.
@@ -229,7 +227,7 @@ TEST(ManifestFailure, MissingSstFileNamedInManifestFailsOpen) {
   }
   ASSERT_FALSE(victim.empty());
   ::unlink(victim.c_str());
-  auto db = Db::Open(options, &status);
+  auto [db, status] = Db::Open(options);
   EXPECT_EQ(db, nullptr);
   EXPECT_FALSE(status.ok());
 }
@@ -256,15 +254,14 @@ TEST(FilterBlockFailure, TruncatedFilterBlockFallsBackToRebuild) {
     ++damaged;
   }
   ASSERT_GT(damaged, 0u);
-  Status status;
-  auto db = Db::Open(options, &status);
+  auto [db, status] = Db::Open(options);
   ASSERT_NE(db, nullptr) << status.ToString();
   EXPECT_EQ(db->stats().filter_loads, 0u);
   EXPECT_EQ(db->stats().filter_rebuilds, damaged);
   // Rebuilt filters still answer correctly.
-  std::string key, value;
-  ASSERT_TRUE(db->Seek(EncodeKeyBE(60), EncodeKeyBE(60), &key, &value));
-  EXPECT_EQ(value, "value10");
+  SeekResult r = db->Seek(EncodeKeyBE(60), EncodeKeyBE(60));
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.value, "value10");
 }
 
 }  // namespace

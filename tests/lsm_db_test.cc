@@ -32,8 +32,8 @@ DbOptions SmallDbOptions(const std::string& name) {
 }
 
 TEST(DbTest, DifferentialAgainstMap) {
-  auto options = SmallDbOptions("diff");
-  Db db(options);
+  auto [db, st] = Db::Create(SmallDbOptions("diff"));
+  ASSERT_TRUE(st.ok()) << st.ToString();
   std::map<std::string, std::string> ref;
   Rng rng(11);
   for (int op = 0; op < 30000; ++op) {
@@ -42,60 +42,62 @@ TEST(DbTest, DifferentialAgainstMap) {
     if (rng.NextBelow(100) < 70) {
       // Values are padded so the workload spans many flushes/compactions.
       std::string value = "v" + std::to_string(op) + std::string(120, 'p');
-      db.Put(key, value);
+      ASSERT_TRUE(db->Put(key, value).ok());
       ref[key] = value;
     } else {
       uint64_t span = rng.NextBelow(10000);
       std::string lo = EncodeKeyBE(k > span ? k - span : 0);
       std::string hi = EncodeKeyBE(k + span);
-      std::string got_key, got_value;
-      bool found = db.Seek(lo, hi, &got_key, &got_value);
+      SeekResult r = db->Seek(lo, hi);
+      ASSERT_TRUE(r.status.ok()) << "op " << op << ": " << r.status.ToString();
       auto it = ref.lower_bound(lo);
       bool ref_found = it != ref.end() && it->first <= hi;
-      ASSERT_EQ(found, ref_found) << "op " << op;
-      if (found) {
-        ASSERT_EQ(got_key, it->first) << "op " << op;
-        ASSERT_EQ(got_value, it->second) << "op " << op;
+      ASSERT_EQ(r.found, ref_found) << "op " << op;
+      if (r.found) {
+        ASSERT_EQ(r.key, it->first) << "op " << op;
+        ASSERT_EQ(r.value, it->second) << "op " << op;
       }
     }
   }
-  EXPECT_GT(db.stats().flushes, 5u);
-  EXPECT_GT(db.stats().compactions, 0u);
+  db->WaitForBackground();
+  EXPECT_GT(db->stats().flushes, 5u);
+  EXPECT_GT(db->stats().compactions, 0u);
 }
 
 TEST(DbTest, OverwritesReturnNewestValue) {
-  auto options = SmallDbOptions("overwrite");
-  Db db(options);
+  auto [db, st] = Db::Create(SmallDbOptions("overwrite"));
+  ASSERT_TRUE(st.ok());
   std::string key = EncodeKeyBE(42);
   for (int round = 0; round < 10; ++round) {
-    db.Put(key, "round" + std::to_string(round));
-    db.Flush();  // spread versions across many SSTs
+    ASSERT_TRUE(db->Put(key, "round" + std::to_string(round)).ok());
+    ASSERT_TRUE(db->Flush().ok());  // spread versions across many SSTs
   }
-  std::string got_key, got_value;
-  ASSERT_TRUE(db.Seek(key, key, &got_key, &got_value));
-  EXPECT_EQ(got_value, "round9");
-  db.CompactAll();
-  ASSERT_TRUE(db.Seek(key, key, &got_key, &got_value));
-  EXPECT_EQ(got_value, "round9");
+  SeekResult r = db->Seek(key, key);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.value, "round9");
+  ASSERT_TRUE(db->CompactAll().ok());
+  r = db->Seek(key, key);
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.value, "round9");
 }
 
 TEST(DbTest, CompactionShapesLevels) {
-  auto options = SmallDbOptions("levels");
-  Db db(options);
+  auto [db, st] = Db::Create(SmallDbOptions("levels"));
+  ASSERT_TRUE(st.ok());
   Rng rng(12);
   std::string value(256, 'x');
   for (int i = 0; i < 20000; ++i) {
-    db.Put(EncodeKeyBE(rng.Next()), value);
+    ASSERT_TRUE(db->Put(EncodeKeyBE(rng.Next()), value).ok());
   }
-  db.CompactAll();
-  auto counts = db.LevelFileCounts();
+  ASSERT_TRUE(db->CompactAll().ok());
+  auto counts = db->LevelFileCounts();
   EXPECT_EQ(counts[0], 0u);  // CompactAll drains L0
   EXPECT_GT(counts[1] + counts[2] + counts[3], 0u);
   // Non-overlapping invariant within levels >= 1 is exercised implicitly:
   // differential seeks above would fail if broken. Sanity-check sizes.
   for (size_t level = 1; level < counts.size(); ++level) {
     if (counts[level] == 0) continue;
-    EXPECT_GT(db.TotalSstBytes(), 0u);
+    EXPECT_GT(db->TotalSstBytes(), 0u);
   }
 }
 
@@ -111,24 +113,23 @@ TEST(DbTest, FiltersCutSstProbes) {
   auto run = [&](std::shared_ptr<FilterPolicy> policy, const char* name) {
     auto options = SmallDbOptions(std::string("probes_") + name);
     options.filter_policy = std::move(policy);
-    Db db(options);
+    auto [db, st] = Db::Create(options);
+    EXPECT_TRUE(st.ok());
     // Seed the queue so flush-time filters know the workload.
     std::vector<std::pair<std::string, std::string>> seed;
     for (size_t i = 0; i < 500; ++i) {
       seed.push_back({EncodeKeyBE(queries[i].lo), EncodeKeyBE(queries[i].hi)});
     }
-    db.query_queue().Seed(seed);
+    db->query_queue().Seed(seed);
     std::string value(64, 'v');
-    for (uint64_t k : keys) db.Put(EncodeKeyBE(k), value);
-    db.CompactAll();
-    db.ResetStats();
+    for (uint64_t k : keys) EXPECT_TRUE(db->Put(EncodeKeyBE(k), value).ok());
+    EXPECT_TRUE(db->CompactAll().ok());
+    db->ResetStats();
     for (const auto& q : queries) {
-      std::string unused_k, unused_v;
-      bool found = db.Seek(EncodeKeyBE(q.lo), EncodeKeyBE(q.hi), &unused_k,
-                           &unused_v);
-      EXPECT_FALSE(found);  // queries are empty by construction
+      SeekResult r = db->Seek(EncodeKeyBE(q.lo), EncodeKeyBE(q.hi));
+      EXPECT_FALSE(r.found);  // queries are empty by construction
     }
-    return db.stats();
+    return db->stats();
   };
 
   DbStats no_filter = run(nullptr, "none");
@@ -148,17 +149,17 @@ TEST(DbTest, NoFalseNegativesThroughFilters) {
                     +[]() { return MakeBloomFilterPolicy(12.0); }}) {
     auto options = SmallDbOptions("nofn");
     options.filter_policy = make();
-    Db db(options);
+    auto [db, st] = Db::Create(options);
+    ASSERT_TRUE(st.ok());
     std::string value(32, 'v');
-    for (uint64_t k : keys) db.Put(EncodeKeyBE(k), value);
-    db.CompactAll();
+    for (uint64_t k : keys) ASSERT_TRUE(db->Put(EncodeKeyBE(k), value).ok());
+    ASSERT_TRUE(db->CompactAll().ok());
     Rng rng(16);
     for (int i = 0; i < 1500; ++i) {
       uint64_t k = keys[rng.NextBelow(keys.size())];
-      std::string got_key;
-      ASSERT_TRUE(db.Seek(EncodeKeyBE(k), EncodeKeyBE(k), &got_key, nullptr))
-          << "policy lost key " << k;
-      ASSERT_EQ(got_key, EncodeKeyBE(k));
+      SeekResult r = db->Seek(EncodeKeyBE(k), EncodeKeyBE(k));
+      ASSERT_TRUE(r.found) << "policy lost key " << k;
+      ASSERT_EQ(r.key, EncodeKeyBE(k));
     }
   }
 }
@@ -167,38 +168,41 @@ TEST(DbTest, QueryQueueFeedsFilterConstruction) {
   auto options = SmallDbOptions("queue");
   options.filter_policy = MakeProteusIntPolicy(12.0);
   options.queue_options.sample_rate = 1;  // record every empty query
-  Db db(options);
+  auto [db, st] = Db::Create(options);
+  ASSERT_TRUE(st.ok());
   auto keys = GenerateKeys(Dataset::kUniform, 3000, 17);
   std::string value(32, 'v');
-  for (uint64_t k : keys) db.Put(EncodeKeyBE(k), value);
+  for (uint64_t k : keys) ASSERT_TRUE(db->Put(EncodeKeyBE(k), value).ok());
   QuerySpec spec;
   spec.dist = QueryDist::kCorrelated;
   spec.range_max = uint64_t{1} << 4;
   spec.corr_degree = uint64_t{1} << 8;
   auto queries = GenerateQueries(keys, spec, 2000, 18);
   for (const auto& q : queries) {
-    db.Seek(EncodeKeyBE(q.lo), EncodeKeyBE(q.hi));
+    db->Seek(EncodeKeyBE(q.lo), EncodeKeyBE(q.hi));
   }
-  EXPECT_GT(db.query_queue().size(), 1000u);
+  EXPECT_GT(db->query_queue().size(), 1000u);
   // A flush now builds filters from the recorded workload.
-  db.Put(EncodeKeyBE(keys[0]), value);
-  db.Flush();
-  EXPECT_GT(db.stats().filter_bits_built, 0u);
+  ASSERT_TRUE(db->Put(EncodeKeyBE(keys[0]), value).ok());
+  ASSERT_TRUE(db->Flush().ok());
+  EXPECT_GT(db->stats().filter_bits_built, 0u);
 }
 
 TEST(DbTest, BlockCacheServesRepeatedReads) {
-  auto options = SmallDbOptions("cache");
-  Db db(options);
+  auto [db, st] = Db::Create(SmallDbOptions("cache"));
+  ASSERT_TRUE(st.ok());
   std::string value(128, 'v');
-  for (uint64_t i = 0; i < 5000; ++i) db.Put(EncodeKeyBE(i * 3), value);
-  db.CompactAll();
-  db.cache().ResetStats();
+  for (uint64_t i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(db->Put(EncodeKeyBE(i * 3), value).ok());
+  }
+  ASSERT_TRUE(db->CompactAll().ok());
+  db->cache().ResetStats();
   for (int round = 0; round < 3; ++round) {
     for (uint64_t i = 0; i < 200; ++i) {
-      db.Seek(EncodeKeyBE(i * 3), EncodeKeyBE(i * 3));
+      db->Seek(EncodeKeyBE(i * 3), EncodeKeyBE(i * 3));
     }
   }
-  const auto& stats = db.cache().stats();
+  const auto& stats = db->cache().stats();
   EXPECT_GT(stats.hits, stats.misses)
       << "hits=" << stats.hits << " misses=" << stats.misses;
 }
@@ -206,14 +210,16 @@ TEST(DbTest, BlockCacheServesRepeatedReads) {
 TEST(DbTest, EmptySeekRecordsQueue) {
   auto options = SmallDbOptions("record");
   options.queue_options.sample_rate = 1;
-  Db db(options);
-  db.Put(EncodeKeyBE(100), "v");
-  db.Flush();
+  auto [db, st] = Db::Create(options);
+  ASSERT_TRUE(st.ok());
+  ASSERT_TRUE(db->Put(EncodeKeyBE(100), "v").ok());
+  ASSERT_TRUE(db->Flush().ok());
   for (uint64_t i = 0; i < 50; ++i) {
-    EXPECT_FALSE(db.Seek(EncodeKeyBE(200 + i * 10), EncodeKeyBE(205 + i * 10)));
+    EXPECT_FALSE(
+        db->Seek(EncodeKeyBE(200 + i * 10), EncodeKeyBE(205 + i * 10)).found);
   }
-  EXPECT_EQ(db.query_queue().size(), 50u);
-  EXPECT_EQ(db.stats().empty_seeks, 50u);
+  EXPECT_EQ(db->query_queue().size(), 50u);
+  EXPECT_EQ(db->stats().empty_seeks, 50u);
 }
 
 }  // namespace

@@ -101,7 +101,16 @@ std::string WriteSstWithFilter(const std::string& path,
   SstWriter writer(path, wopts);
   for (uint64_t i = 0; i < 3000; ++i) {
     std::string key = EncodeKeyBE(i * 7);
-    writer.Add(key, "value" + std::to_string(i));
+    std::string value = "value" + std::to_string(i);
+    // Encode the value the way the writer's format version expects:
+    // v4 = tag|seqno|user, v3 = tag|user, v1/v2 = raw user bytes.
+    if (format_version >= 4) {
+      writer.Add(key, MakeSstValueV4(kTagValue, i + 1, value));
+    } else if (format_version == 3) {
+      writer.Add(key, MakeInternalValue(kTagValue, value));
+    } else {
+      writer.Add(key, value);
+    }
     keys->push_back(std::move(key));
   }
   auto filter = BuildTestFilter(*keys);
@@ -151,11 +160,11 @@ TEST(SstFilterBlock, LegacyV1FooterStillReadable) {
   EXPECT_FALSE(reader.has_filter_block());
   EXPECT_EQ(reader.LoadFilter(), nullptr);
   EXPECT_EQ(reader.n_entries(), 3000u);
-  std::string key, value;
-  EXPECT_EQ(reader.SeekInRange(EncodeKeyBE(70), EncodeKeyBE(70), &key,
-                               &value),
+  SstReader::SeekEntry se;
+  EXPECT_EQ(reader.SeekInRange(EncodeKeyBE(70), EncodeKeyBE(70), kMaxSequence,
+                               BlockReadOptions{}, &se),
             0);
-  EXPECT_EQ(value, "value10");
+  EXPECT_EQ(se.value, "value10");
   ::unlink(path.c_str());
 }
 
@@ -177,11 +186,11 @@ TEST(SstFilterBlock, LegacyV2FooterStillReadableWithFilter) {
   ASSERT_NE(loaded, nullptr) << status.ToString();
   EXPECT_EQ(reader.n_entries(), 3000u);
   EXPECT_TRUE(reader.VerifyChecksums().ok());
-  std::string key, value;
-  EXPECT_EQ(reader.SeekInRange(EncodeKeyBE(70), EncodeKeyBE(70), &key,
-                               &value),
+  SstReader::SeekEntry se;
+  EXPECT_EQ(reader.SeekInRange(EncodeKeyBE(70), EncodeKeyBE(70), kMaxSequence,
+                               BlockReadOptions{}, &se),
             0);
-  EXPECT_EQ(value, "value10");
+  EXPECT_EQ(se.value, "value10");
   ::unlink(path.c_str());
 }
 
@@ -196,8 +205,9 @@ TEST(SstFilterBlock, ForeignFormatVersionIsIgnoredNotFatal) {
   // A filter written by a future format version is skipped (rebuild
   // fallback), but the data stays readable.
   EXPECT_FALSE(reader.has_filter_block());
-  std::string key, value;
-  EXPECT_EQ(reader.SeekInRange(EncodeKeyBE(0), EncodeKeyBE(0), &key, &value),
+  SstReader::SeekEntry se;
+  EXPECT_EQ(reader.SeekInRange(EncodeKeyBE(0), EncodeKeyBE(0), kMaxSequence,
+                               BlockReadOptions{}, &se),
             0);
   ::unlink(path.c_str());
 }
@@ -255,9 +265,8 @@ std::vector<Probe> RunProbes(Db* db) {
   for (uint64_t i = 0; i < 400; ++i) {
     uint64_t lo = (i * 37) % 30000;
     uint64_t hi = lo + i % 60;
-    Probe p;
-    p.found = db->Seek(EncodeKeyBE(lo), EncodeKeyBE(hi), &p.key, &p.value);
-    out.push_back(std::move(p));
+    SeekResult r = db->Seek(EncodeKeyBE(lo), EncodeKeyBE(hi));
+    out.push_back(Probe{r.found, std::move(r.key), std::move(r.value)});
   }
   return out;
 }
@@ -288,17 +297,18 @@ TEST(DbReopen, AllNineFamiliesServeIdenticalAnswersWithoutRebuilding) {
     uint64_t total_keys = 0;
     uint64_t filter_bits = 0;
     {
-      Db db(options);
+      auto [db, create_status] = Db::Create(options);
+      ASSERT_TRUE(create_status.ok()) << create_status.ToString();
       Rng rng(42);
-      FillDb(&db, &rng);
-      before = RunProbes(&db);
-      total_keys = db.TotalKeys();
-      filter_bits = db.TotalFilterBits();
+      FillDb(db.get(), &rng);
+      before = RunProbes(db.get());
+      total_keys = db->TotalKeys();
+      filter_bits = db->TotalFilterBits();
       ASSERT_GT(filter_bits, 0u) << "no filters built at flush time";
     }
 
-    auto db = Db::Open(options, &status);
-    ASSERT_NE(db, nullptr) << status.ToString();
+    auto [db, open_status] = Db::Open(options);
+    ASSERT_NE(db, nullptr) << open_status.ToString();
     EXPECT_EQ(db->TotalKeys(), total_keys);
     EXPECT_EQ(db->TotalFilterBits(), filter_bits);
     // Filters were deserialized from SST filter blocks; FilterBuilder
@@ -322,19 +332,19 @@ TEST(DbReopen, MemtableContentsSurviveCloseWithoutExplicitFlush) {
   auto options = PersistDbOptions("memtable");
   options.filter_policy = MakeFilterPolicy("proteus:bpk=12");
   {
-    Db db(options);
+    auto [db, st] = Db::Create(options);
+    ASSERT_TRUE(st.ok());
     for (uint64_t i = 0; i < 50; ++i) {
-      db.Put(EncodeKeyBE(i * 3), "mem" + std::to_string(i));
+      ASSERT_TRUE(db->Put(EncodeKeyBE(i * 3), "mem" + std::to_string(i)).ok());
     }
     // No Flush/CompactAll: the destructor must persist the memtable.
   }
-  Status status;
-  auto db = Db::Open(options, &status);
+  auto [db, status] = Db::Open(options);
   ASSERT_NE(db, nullptr) << status.ToString();
   EXPECT_EQ(db->TotalKeys(), 50u);
-  std::string key, value;
-  ASSERT_TRUE(db->Seek(EncodeKeyBE(9), EncodeKeyBE(9), &key, &value));
-  EXPECT_EQ(value, "mem3");
+  SeekResult r = db->Seek(EncodeKeyBE(9), EncodeKeyBE(9));
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.value, "mem3");
 }
 
 TEST(DbReopen, CorruptFilterBlocksTriggerRebuildFallback) {
@@ -342,10 +352,11 @@ TEST(DbReopen, CorruptFilterBlocksTriggerRebuildFallback) {
   options.filter_policy = MakeFilterPolicy("proteus:bpk=14");
   std::vector<Probe> before;
   {
-    Db db(options);
+    auto [db, st] = Db::Create(options);
+    ASSERT_TRUE(st.ok());
     Rng rng(7);
-    FillDb(&db, &rng);
-    before = RunProbes(&db);
+    FillDb(db.get(), &rng);
+    before = RunProbes(db.get());
   }
 
   // Flip one byte inside every SST's filter block.
@@ -363,8 +374,7 @@ TEST(DbReopen, CorruptFilterBlocksTriggerRebuildFallback) {
   }
   ASSERT_GT(corrupted, 0u);
 
-  Status status;
-  auto db = Db::Open(options, &status);
+  auto [db, status] = Db::Open(options);
   ASSERT_NE(db, nullptr) << status.ToString();
   EXPECT_EQ(db->stats().filter_loads, 0u);
   EXPECT_EQ(db->stats().filter_rebuilds, corrupted);
@@ -381,20 +391,20 @@ TEST(DbReopen, FilterBytesAreChargedToTheBlockCache) {
   auto options = PersistDbOptions("pinned");
   options.filter_policy = MakeFilterPolicy("proteus:bpk=14");
   {
-    Db db(options);
+    auto [db, st] = Db::Create(options);
+    ASSERT_TRUE(st.ok());
     Rng rng(3);
-    FillDb(&db, &rng);
+    FillDb(db.get(), &rng);
     size_t n_files = 0;
-    for (size_t n : db.LevelFileCounts()) n_files += n;
-    EXPECT_GT(db.cache().pinned_bytes(), 0u);
-    EXPECT_GE(db.cache().used_bytes(), db.cache().pinned_bytes());
+    for (size_t n : db->LevelFileCounts()) n_files += n;
+    EXPECT_GT(db->cache().pinned_bytes(), 0u);
+    EXPECT_GE(db->cache().used_bytes(), db->cache().pinned_bytes());
     // Each file charges floor(SizeBits/8): within one byte per file.
-    EXPECT_LE(db.cache().pinned_bytes(), db.TotalFilterBits() / 8);
-    EXPECT_GE(db.cache().pinned_bytes() + n_files,
-              db.TotalFilterBits() / 8);
+    EXPECT_LE(db->cache().pinned_bytes(), db->TotalFilterBits() / 8);
+    EXPECT_GE(db->cache().pinned_bytes() + n_files,
+              db->TotalFilterBits() / 8);
   }
-  Status status;
-  auto db = Db::Open(options, &status);
+  auto [db, status] = Db::Open(options);
   ASSERT_NE(db, nullptr) << status.ToString();
   EXPECT_GT(db->cache().pinned_bytes(), 0u);
   EXPECT_LE(db->cache().pinned_bytes(), db->TotalFilterBits() / 8);
@@ -404,8 +414,7 @@ TEST(DbReopen, MissingManifestOpensEmpty) {
   auto options = PersistDbOptions("fresh");
   ::mkdir(options.dir.c_str(), 0755);
   ::unlink((options.dir + "/MANIFEST").c_str());
-  Status status;
-  auto db = Db::Open(options, &status);
+  auto [db, status] = Db::Open(options);
   ASSERT_NE(db, nullptr) << status.ToString();
   EXPECT_EQ(db->TotalKeys(), 0u);
 }
@@ -416,31 +425,33 @@ TEST(DbReopen, ReopenedDbKeepsCompactingAndReopening) {
   auto options = PersistDbOptions("generations");
   options.filter_policy = MakeFilterPolicy("rosetta:bpk=12");
   {
-    Db db(options);
+    auto [db, st] = Db::Create(options);
+    ASSERT_TRUE(st.ok());
     for (uint64_t i = 0; i < 1000; ++i) {
-      db.Put(EncodeKeyBE(i * 4), "gen1-" + std::to_string(i));
+      ASSERT_TRUE(
+          db->Put(EncodeKeyBE(i * 4), "gen1-" + std::to_string(i)).ok());
     }
-    db.CompactAll();
+    ASSERT_TRUE(db->CompactAll().ok());
   }
-  Status status;
   {
-    auto db = Db::Open(options, &status);
+    auto [db, status] = Db::Open(options);
     ASSERT_NE(db, nullptr) << status.ToString();
     for (uint64_t i = 1000; i < 2000; ++i) {
-      db->Put(EncodeKeyBE(i * 4), "gen2-" + std::to_string(i));
+      ASSERT_TRUE(
+          db->Put(EncodeKeyBE(i * 4), "gen2-" + std::to_string(i)).ok());
     }
-    db->CompactAll();
+    ASSERT_TRUE(db->CompactAll().ok());
     EXPECT_EQ(db->TotalKeys(), 2000u);
   }
-  auto db = Db::Open(options, &status);
+  auto [db, status] = Db::Open(options);
   ASSERT_NE(db, nullptr) << status.ToString();
   EXPECT_EQ(db->TotalKeys(), 2000u);
-  std::string key, value;
-  ASSERT_TRUE(db->Seek(EncodeKeyBE(0), EncodeKeyBE(0), &key, &value));
-  EXPECT_EQ(value, "gen1-0");
-  ASSERT_TRUE(
-      db->Seek(EncodeKeyBE(1500 * 4), EncodeKeyBE(1500 * 4), &key, &value));
-  EXPECT_EQ(value, "gen2-1500");
+  SeekResult r = db->Seek(EncodeKeyBE(0), EncodeKeyBE(0));
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.value, "gen1-0");
+  r = db->Seek(EncodeKeyBE(1500 * 4), EncodeKeyBE(1500 * 4));
+  ASSERT_TRUE(r.found);
+  EXPECT_EQ(r.value, "gen2-1500");
 }
 
 }  // namespace

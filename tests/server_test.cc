@@ -85,14 +85,16 @@ class ServerTest : public ::testing::Test {
     options.sst_target_bytes = 128 << 10;
     options.block_size = 1024;
     options.filter_policy = MakeProteusIntPolicy(14.0);
-    db_ = std::make_unique<Db>(options);
+    auto [db, create_status] = Db::Create(options);
+    ASSERT_TRUE(create_status.ok()) << create_status.ToString();
+    db_ = std::move(db);
     Rng rng(31);
     for (int op = 0; op < 8000; ++op) {
       uint64_t k = rng.NextBelow(4000) * 1000;
       ASSERT_TRUE(
           db_->Put(EncodeKeyBE(k), "v" + std::to_string(op)).ok());
     }
-    db_->CompactAll();
+    ASSERT_TRUE(db_->CompactAll().ok());
 
     ServerOptions server_options;
     server_options.port = 0;  // ephemeral
@@ -185,14 +187,12 @@ TEST_F(ServerTest, EightConcurrentConnectionsMatchDirectSeek) {
     ASSERT_EQ(replies[c].size(), plans[c].size()) << "connection " << c;
     for (size_t b = 0; b < plans[c].size(); ++b) {
       for (size_t i = 0; i < plans[c][b].size(); ++i) {
-        std::string key, value;
-        bool found = db_->Seek(plans[c][b][i].lo, plans[c][b][i].hi, &key,
-                               &value);
+        SeekResult direct = db_->Seek(plans[c][b][i].lo, plans[c][b][i].hi);
         const MultiSeekResult& r = replies[c][b][i];
-        ASSERT_EQ(r.found, found) << "conn " << c << " batch " << b;
-        if (found) {
-          ASSERT_EQ(r.key, key);
-          ASSERT_EQ(r.value, value);
+        ASSERT_EQ(r.found, direct.found) << "conn " << c << " batch " << b;
+        if (direct.found) {
+          ASSERT_EQ(r.key, direct.key);
+          ASSERT_EQ(r.value, direct.value);
         }
       }
     }

@@ -9,6 +9,9 @@
 //    VerifyChecksums (and read_errors in Seek), never a wrong answer;
 //  * a torn MANIFEST delta is dropped and the WAL still covers the
 //    writes; a corrupted complete delta record fails Open loudly.
+//
+// Since the MVCC rework the WAL is a sequence of numbered segments
+// (WAL-<n>), rotated at flush; records carry the group-commit seqno.
 
 #include <gtest/gtest.h>
 
@@ -41,6 +44,16 @@ void WriteFile(const std::string& path, const std::string& content) {
   out.write(content.data(), static_cast<std::streamsize>(content.size()));
 }
 
+// Sum of bytes across every WAL segment in `dir` (WAL and WAL-<n>).
+size_t TotalWalBytes(const std::string& dir) {
+  size_t total = 0;
+  for (uint64_t n = 0; n < 64; ++n) {
+    total += ReadFile(dir + "/WAL-" + std::to_string(n)).size();
+  }
+  total += ReadFile(dir + "/WAL").size();
+  return total;
+}
+
 DbOptions CrashDbOptions(const std::string& name) {
   DbOptions options;
   options.dir = "/tmp/proteus_wal_crash_" + name;
@@ -67,29 +80,38 @@ TEST(WalReplayUnit, RoundTripsEveryRecord) {
     std::string key = "key-" + std::to_string(i);
     std::string value(i % 17, 'v');
     written.emplace_back(key, value);
-    ASSERT_TRUE(
-        writer.Commit(EncodeWalRecord(kWalOpPut, key, value), /*sync=*/true)
-            .ok());
+    ASSERT_TRUE(writer
+                    .Append(EncodeWalRecord(kWalOpPutSeq,
+                                            static_cast<uint64_t>(i) + 1, key,
+                                            value),
+                            1, /*sync=*/true)
+                    .ok());
   }
-  ASSERT_TRUE(
-      writer.Commit(EncodeWalRecord(kWalOpDelete, "key-5", {}), true).ok());
+  ASSERT_TRUE(writer
+                  .Append(EncodeWalRecord(kWalOpDeleteSeq, 201, "key-5", {}),
+                          1, true)
+                  .ok());
 
   std::vector<std::pair<std::string, std::string>> replayed;
   uint8_t last_op = 0;
+  uint64_t last_seqno = 0;
   uint64_t valid_bytes = 0;
   bool torn = false;
   ASSERT_TRUE(WalReplay(
                   path,
-                  [&](uint8_t op, std::string_view k, std::string_view v) {
+                  [&](uint8_t op, uint64_t seqno, std::string_view k,
+                      std::string_view v) {
                     last_op = op;
-                    if (op == kWalOpPut) replayed.emplace_back(k, v);
+                    last_seqno = seqno;
+                    if (op == kWalOpPutSeq) replayed.emplace_back(k, v);
                   },
                   &valid_bytes, &torn)
                   .ok());
   EXPECT_FALSE(torn);
   EXPECT_EQ(valid_bytes, ReadFile(path).size());
   EXPECT_EQ(replayed, written);
-  EXPECT_EQ(last_op, kWalOpDelete);
+  EXPECT_EQ(last_op, kWalOpDeleteSeq);
+  EXPECT_EQ(last_seqno, 201u);
   ::unlink(path.c_str());
 }
 
@@ -101,11 +123,12 @@ TEST(WalReplayUnit, EveryTruncationOffsetYieldsACleanPrefix) {
   std::vector<size_t> record_ends;  // clean boundaries in the file
   size_t bytes = 0;
   for (int i = 0; i < 40; ++i) {
-    std::string record = EncodeWalRecord(
-        kWalOpPut, "k" + std::to_string(i), std::string(i % 9, 'x'));
+    std::string record =
+        EncodeWalRecord(kWalOpPutSeq, static_cast<uint64_t>(i) + 1,
+                        "k" + std::to_string(i), std::string(i % 9, 'x'));
     bytes += record.size();
     record_ends.push_back(bytes);
-    ASSERT_TRUE(writer.Commit(record, /*sync=*/false).ok());
+    ASSERT_TRUE(writer.Append(record, 1, /*sync=*/false).ok());
   }
   const std::string full = ReadFile(path);
   ASSERT_EQ(full.size(), bytes);
@@ -124,9 +147,8 @@ TEST(WalReplayUnit, EveryTruncationOffsetYieldsACleanPrefix) {
     bool torn = false;
     ASSERT_TRUE(WalReplay(
                     path,
-                    [&](uint8_t, std::string_view, std::string_view) {
-                      ++applied;
-                    },
+                    [&](uint8_t, uint64_t, std::string_view,
+                        std::string_view) { ++applied; },
                     &valid_bytes, &torn)
                     .ok())
         << "cut=" << cut;
@@ -145,9 +167,10 @@ TEST(WalReplayUnit, BitflippedRecordEndsTheIntelligiblePrefix) {
   ASSERT_TRUE(writer.Open(path).ok());
   for (int i = 0; i < 10; ++i) {
     ASSERT_TRUE(writer
-                    .Commit(EncodeWalRecord(kWalOpPut, "key-" + std::to_string(i),
-                                            "value"),
-                            false)
+                    .Append(EncodeWalRecord(kWalOpPutSeq,
+                                            static_cast<uint64_t>(i) + 1,
+                                            "key-" + std::to_string(i), "value"),
+                            1, false)
                     .ok());
   }
   const std::string clean = ReadFile(path);
@@ -164,9 +187,8 @@ TEST(WalReplayUnit, BitflippedRecordEndsTheIntelligiblePrefix) {
     // framing); it never applies garbage and never crashes.
     ASSERT_TRUE(WalReplay(
                     path,
-                    [&](uint8_t, std::string_view, std::string_view) {
-                      ++applied;
-                    },
+                    [&](uint8_t, uint64_t, std::string_view,
+                        std::string_view) { ++applied; },
                     &valid_bytes, &torn)
                     .ok())
         << "trial " << trial;
@@ -184,27 +206,26 @@ TEST(DbCrashRecovery, AcknowledgedWritesSurviveKillMinusNine) {
   auto options = CrashDbOptions("ack");
   std::map<uint64_t, std::string> acknowledged;
   {
-    Db db(options);
+    auto [db, st] = Db::Create(options);
+    ASSERT_TRUE(st.ok());
     for (uint64_t i = 0; i < 800; ++i) {
       std::string value = "v" + std::to_string(i);
-      ASSERT_TRUE(db.Put(EncodeKeyBE(i * 3), value).ok());
+      ASSERT_TRUE(db->Put(EncodeKeyBE(i * 3), value).ok());
       acknowledged[i * 3] = value;
     }
-    ASSERT_TRUE(db.Delete(EncodeKeyBE(30)).ok());
+    ASSERT_TRUE(db->Delete(EncodeKeyBE(30)).ok());
     acknowledged.erase(30);
-    db.TEST_CrashClose();  // no flush ever ran: everything lives in the WAL
+    db->TEST_CrashClose();  // no flush ever ran: everything lives in the WAL
   }
-  Status status;
-  auto db = Db::Open(options, &status);
+  auto [db, status] = Db::Open(options);
   ASSERT_NE(db, nullptr) << status.ToString();
   EXPECT_EQ(db->stats().wal_replayed, 801u);
   for (const auto& [k, v] : acknowledged) {
-    std::string key, value;
-    ASSERT_TRUE(db->Seek(EncodeKeyBE(k), EncodeKeyBE(k), &key, &value))
-        << "lost acknowledged key " << k;
-    EXPECT_EQ(value, v) << "key " << k;
+    SeekResult r = db->Seek(EncodeKeyBE(k), EncodeKeyBE(k));
+    ASSERT_TRUE(r.found) << "lost acknowledged key " << k;
+    EXPECT_EQ(r.value, v) << "key " << k;
   }
-  EXPECT_FALSE(db->Seek(EncodeKeyBE(30), EncodeKeyBE(30)));
+  EXPECT_FALSE(db->Seek(EncodeKeyBE(30), EncodeKeyBE(30)).found);
 }
 
 TEST(DbCrashRecovery, CrashAtAnyWalOffsetLosesNothingAcknowledged) {
@@ -212,25 +233,27 @@ TEST(DbCrashRecovery, CrashAtAnyWalOffsetLosesNothingAcknowledged) {
   options.filter_policy = nullptr;  // irrelevant here; keep the loop fast
   const uint64_t kKeys = 60;
   {
-    Db db(options);
+    auto [db, st] = Db::Create(options);
+    ASSERT_TRUE(st.ok());
     for (uint64_t i = 0; i < kKeys; ++i) {
-      ASSERT_TRUE(db.Put(EncodeKeyBE(i), "val-" + std::to_string(i)).ok());
+      ASSERT_TRUE(db->Put(EncodeKeyBE(i), "val-" + std::to_string(i)).ok());
     }
-    db.TEST_CrashClose();
+    db->TEST_CrashClose();
   }
-  const std::string wal_path = options.dir + "/WAL";
+  const std::string wal_path = options.dir + "/WAL-1";
   const std::string full = ReadFile(wal_path);
   ASSERT_FALSE(full.empty());
 
-  // Each record is 8 (frame) + 1 (op) + 4 + 8 (key) + 4 + value bytes;
-  // recompute boundaries from the encoder so the test cannot drift.
+  // Each record is 8 (frame) + 1 (op) + 8 (seqno) + 4 + 8 (key) + 4 +
+  // value bytes; recompute boundaries from the encoder so the test
+  // cannot drift. Single-writer: seqnos are 1..kKeys in WAL order.
   std::vector<size_t> record_ends;
   {
     size_t bytes = 0;
     for (uint64_t i = 0; i < kKeys; ++i) {
-      bytes +=
-          EncodeWalRecord(kWalOpPut, EncodeKeyBE(i), "val-" + std::to_string(i))
-              .size();
+      bytes += EncodeWalRecord(kWalOpPutSeq, i + 1, EncodeKeyBE(i),
+                               "val-" + std::to_string(i))
+                   .size();
       record_ends.push_back(bytes);
     }
     ASSERT_EQ(bytes, full.size());
@@ -244,21 +267,19 @@ TEST(DbCrashRecovery, CrashAtAnyWalOffsetLosesNothingAcknowledged) {
     size_t whole = 0;
     while (whole < record_ends.size() && record_ends[whole] <= cut) ++whole;
 
-    Status status;
-    auto db = Db::Open(options, &status);
+    auto [db, status] = Db::Open(options);
     ASSERT_NE(db, nullptr) << "cut=" << cut << ": " << status.ToString();
     // A record wholly on disk was acknowledged at most at this offset's
     // crash point; everything before the cut MUST come back, the torn
     // record (never acknowledged) must NOT.
     EXPECT_EQ(db->stats().wal_replayed, whole) << "cut=" << cut;
     for (uint64_t k = 0; k < whole; ++k) {
-      std::string key, value;
-      ASSERT_TRUE(db->Seek(EncodeKeyBE(k), EncodeKeyBE(k), &key, &value))
-          << "cut=" << cut << " lost key " << k;
-      EXPECT_EQ(value, "val-" + std::to_string(k));
+      SeekResult r = db->Seek(EncodeKeyBE(k), EncodeKeyBE(k));
+      ASSERT_TRUE(r.found) << "cut=" << cut << " lost key " << k;
+      EXPECT_EQ(r.value, "val-" + std::to_string(k));
     }
     for (uint64_t k = whole; k < kKeys; ++k) {
-      EXPECT_FALSE(db->Seek(EncodeKeyBE(k), EncodeKeyBE(k)))
+      EXPECT_FALSE(db->Seek(EncodeKeyBE(k), EncodeKeyBE(k)).found)
           << "cut=" << cut << " resurrected torn key " << k;
     }
     db->TEST_CrashClose();  // leave the truncated WAL alone for the next cut
@@ -268,23 +289,24 @@ TEST(DbCrashRecovery, CrashAtAnyWalOffsetLosesNothingAcknowledged) {
 TEST(DbCrashRecovery, ReplayedWritesFlushAndTheWalResets) {
   auto options = CrashDbOptions("replay_flush");
   {
-    Db db(options);
+    auto [db, st] = Db::Create(options);
+    ASSERT_TRUE(st.ok());
     for (uint64_t i = 0; i < 300; ++i) {
-      ASSERT_TRUE(db.Put(EncodeKeyBE(i * 2), "x" + std::to_string(i)).ok());
+      ASSERT_TRUE(db->Put(EncodeKeyBE(i * 2), "x" + std::to_string(i)).ok());
     }
-    db.TEST_CrashClose();
+    db->TEST_CrashClose();
   }
-  Status status;
   {
-    auto db = Db::Open(options, &status);
+    auto [db, status] = Db::Open(options);
     ASSERT_NE(db, nullptr) << status.ToString();
     EXPECT_EQ(db->stats().wal_replayed, 300u);
     ASSERT_TRUE(db->Flush().ok());
-    // The flush made the replayed writes durable in SSTs; the WAL must
-    // be empty again (its job is done until the next write).
-    EXPECT_EQ(ReadFile(options.dir + "/WAL").size(), 0u);
+    // The flush made the replayed writes durable in SSTs; the replayed
+    // segment was rotated out and deleted — no WAL bytes remain (the
+    // fresh active segment is empty until the next write).
+    EXPECT_EQ(TotalWalBytes(options.dir), 0u);
   }
-  auto db = Db::Open(options, &status);
+  auto [db, status] = Db::Open(options);
   ASSERT_NE(db, nullptr) << status.ToString();
   EXPECT_EQ(db->stats().wal_replayed, 0u);
   EXPECT_EQ(db->TotalKeys(), 300u);
@@ -293,16 +315,17 @@ TEST(DbCrashRecovery, ReplayedWritesFlushAndTheWalResets) {
 TEST(DbCrashRecovery, GroupCommitBatchesConcurrentWriters) {
   auto options = CrashDbOptions("group");
   options.filter_policy = nullptr;
-  Db db(options);
-  ASSERT_NE(db.TEST_wal(), nullptr);
+  auto [db, st] = Db::Create(options);
+  ASSERT_TRUE(st.ok());
+  ASSERT_NE(db->TEST_wal(), nullptr);
   // Slow each fsync so concurrent committers pile up behind the leader.
-  db.TEST_wal()->TEST_SetSyncDelayMicros(300);
+  db->TEST_wal()->TEST_SetSyncDelayMicros(300);
 
   constexpr int kThreads = 8;
   constexpr int kPerThread = 50;
   std::vector<std::thread> threads;
   for (int t = 0; t < kThreads; ++t) {
-    threads.emplace_back([&db, t] {
+    threads.emplace_back([&db = *db, t] {
       for (int i = 0; i < kPerThread; ++i) {
         uint64_t k = static_cast<uint64_t>(t) * 1000 + static_cast<uint64_t>(i);
         ASSERT_TRUE(db.Put(EncodeKeyBE(k), "t" + std::to_string(k)).ok());
@@ -311,23 +334,22 @@ TEST(DbCrashRecovery, GroupCommitBatchesConcurrentWriters) {
   }
   for (auto& t : threads) t.join();
 
-  const WalWriter::Stats stats = db.wal_stats();
+  const WalWriter::Stats stats = db->wal_stats();
   EXPECT_EQ(stats.records, static_cast<uint64_t>(kThreads * kPerThread));
   // The whole point of group commit: far fewer fsyncs than records.
   EXPECT_LT(stats.syncs, stats.records);
   EXPECT_EQ(stats.syncs, stats.batches);
 
   // Every concurrent write is present and survives a crash.
-  db.TEST_CrashClose();
-  Status status;
-  auto reopened = Db::Open(options, &status);
+  db->TEST_CrashClose();
+  auto [reopened, status] = Db::Open(options);
   ASSERT_NE(reopened, nullptr) << status.ToString();
   EXPECT_EQ(reopened->stats().wal_replayed,
             static_cast<uint64_t>(kThreads * kPerThread));
   for (int t = 0; t < kThreads; ++t) {
     for (int i = 0; i < kPerThread; ++i) {
       uint64_t k = static_cast<uint64_t>(t) * 1000 + static_cast<uint64_t>(i);
-      ASSERT_TRUE(reopened->Seek(EncodeKeyBE(k), EncodeKeyBE(k)))
+      ASSERT_TRUE(reopened->Seek(EncodeKeyBE(k), EncodeKeyBE(k)).found)
           << "lost key " << k;
     }
   }
@@ -340,16 +362,16 @@ TEST(DbCrashRecovery, GroupCommitBatchesConcurrentWriters) {
 TEST(DbCrashRecovery, FlippedDataBlockByteSurfacesAsCorruptionStatus) {
   auto options = CrashDbOptions("block_flip");
   {
-    Db db(options);
+    auto [db, st] = Db::Create(options);
+    ASSERT_TRUE(st.ok());
     for (uint64_t i = 0; i < 3000; ++i) {
       ASSERT_TRUE(
-          db.Put(EncodeKeyBE(i * 4), "blk" + std::to_string(i)).ok());
+          db->Put(EncodeKeyBE(i * 4), "blk" + std::to_string(i)).ok());
     }
-    ASSERT_TRUE(db.CompactAll().ok());
+    ASSERT_TRUE(db->CompactAll().ok());
   }
-  Status status;
   {
-    auto db = Db::Open(options, &status);
+    auto [db, status] = Db::Open(options);
     ASSERT_NE(db, nullptr) << status.ToString();
     ASSERT_TRUE(db->VerifyChecksums().ok());
   }
@@ -366,8 +388,7 @@ TEST(DbCrashRecovery, FlippedDataBlockByteSurfacesAsCorruptionStatus) {
   content[16] ^= 0x20;
   WriteFile(victim, content);
 
-  Status status2;
-  auto reopened = Db::Open(options, &status2);
+  auto [reopened, status2] = Db::Open(options);
   ASSERT_NE(reopened, nullptr) << status2.ToString();
   Status verify = reopened->VerifyChecksums();
   EXPECT_FALSE(verify.ok());
@@ -379,14 +400,12 @@ TEST(DbCrashRecovery, FlippedDataBlockByteSurfacesAsCorruptionStatus) {
   reopened->ResetStats();
   size_t corrupt_seeks = 0;
   for (uint64_t i = 0; i < 3000; i += 11) {
-    std::string key, value;
-    Status seek_status;
-    if (reopened->Seek(EncodeKeyBE(i * 4), EncodeKeyBE(i * 4), &key, &value,
-                       &seek_status)) {
-      EXPECT_EQ(value, "blk" + std::to_string(i)) << "silent corruption";
+    SeekResult r = reopened->Seek(EncodeKeyBE(i * 4), EncodeKeyBE(i * 4));
+    if (r.found) {
+      EXPECT_EQ(r.value, "blk" + std::to_string(i)) << "silent corruption";
     }
-    if (!seek_status.ok()) {
-      EXPECT_TRUE(seek_status.IsCorruption()) << seek_status.ToString();
+    if (!r.status.ok()) {
+      EXPECT_TRUE(r.status.IsCorruption()) << r.status.ToString();
       ++corrupt_seeks;
     }
   }
@@ -402,25 +421,28 @@ TEST(DbCrashRecovery, TornManifestDeltaIsCoveredByTheWal) {
   auto options = CrashDbOptions("manifest_torn");
   options.manifest_compact_threshold = 1000;  // keep every delta in the log
   const std::string manifest = options.dir + "/MANIFEST";
-  const std::string wal_path = options.dir + "/WAL";
+  // Deterministic single-threaded schedule: the first flush rotates
+  // WAL-1 out, so generation 2 lands in segment WAL-2.
+  const std::string wal_path = options.dir + "/WAL-2";
   std::string wal_before_flush;
   size_t manifest_before_flush = 0;
   {
-    Db db(options);
+    auto [db, st] = Db::Create(options);
+    ASSERT_TRUE(st.ok());
     // Generation 1: flushed and durable via the manifest snapshot.
     for (uint64_t i = 0; i < 500; ++i) {
-      ASSERT_TRUE(db.Put(EncodeKeyBE(i), "gen1").ok());
+      ASSERT_TRUE(db->Put(EncodeKeyBE(i), "gen1").ok());
     }
-    ASSERT_TRUE(db.Flush().ok());
+    ASSERT_TRUE(db->Flush().ok());
     manifest_before_flush = ReadFile(manifest).size();
     // Generation 2: acknowledged into the WAL, then flushed (appending a
-    // delta record and resetting the WAL).
+    // delta record and retiring the segment).
     for (uint64_t i = 500; i < 900; ++i) {
-      ASSERT_TRUE(db.Put(EncodeKeyBE(i), "gen2").ok());
+      ASSERT_TRUE(db->Put(EncodeKeyBE(i), "gen2").ok());
     }
     wal_before_flush = ReadFile(wal_path);
-    ASSERT_TRUE(db.Flush().ok());
-    db.TEST_CrashClose();
+    ASSERT_TRUE(db->Flush().ok());
+    db->TEST_CrashClose();
   }
   // Simulate the crash landing mid-flush: the delta record was torn in
   // the middle of its append and the WAL reset never happened.
@@ -429,15 +451,15 @@ TEST(DbCrashRecovery, TornManifestDeltaIsCoveredByTheWal) {
   const size_t torn_size =
       manifest_before_flush + (content.size() - manifest_before_flush) / 2;
   WriteFile(manifest, content.substr(0, torn_size));
+  ASSERT_FALSE(wal_before_flush.empty());
   WriteFile(wal_path, wal_before_flush);
 
-  Status status;
-  auto db = Db::Open(options, &status);
+  auto [db, status] = Db::Open(options);
   ASSERT_NE(db, nullptr) << status.ToString();
   // The torn delta was dropped; the WAL replay brings generation 2 back.
   EXPECT_GT(db->stats().wal_replayed, 0u);
   for (uint64_t i = 0; i < 900; ++i) {
-    ASSERT_TRUE(db->Seek(EncodeKeyBE(i), EncodeKeyBE(i)))
+    ASSERT_TRUE(db->Seek(EncodeKeyBE(i), EncodeKeyBE(i)).found)
         << "lost key " << i;
   }
 }
@@ -448,21 +470,22 @@ TEST(DbCrashRecovery, CorruptedCompleteDeltaRecordFailsOpenLoudly) {
   const std::string manifest = options.dir + "/MANIFEST";
   size_t snapshot_size = 0;
   {
-    Db db(options);
+    auto [db, st] = Db::Create(options);
+    ASSERT_TRUE(st.ok());
     for (uint64_t i = 0; i < 400; ++i) {
-      ASSERT_TRUE(db.Put(EncodeKeyBE(i), "a").ok());
+      ASSERT_TRUE(db->Put(EncodeKeyBE(i), "a").ok());
     }
-    ASSERT_TRUE(db.Flush().ok());  // snapshot (first manifest write)
+    ASSERT_TRUE(db->Flush().ok());  // snapshot (first manifest write)
     snapshot_size = ReadFile(manifest).size();
     for (uint64_t i = 400; i < 800; ++i) {
-      ASSERT_TRUE(db.Put(EncodeKeyBE(i), "b").ok());
+      ASSERT_TRUE(db->Put(EncodeKeyBE(i), "b").ok());
     }
-    ASSERT_TRUE(db.Flush().ok());  // appends a delta record
+    ASSERT_TRUE(db->Flush().ok());  // appends a delta record
     for (uint64_t i = 800; i < 1200; ++i) {
-      ASSERT_TRUE(db.Put(EncodeKeyBE(i), "c").ok());
+      ASSERT_TRUE(db->Put(EncodeKeyBE(i), "c").ok());
     }
-    ASSERT_TRUE(db.Flush().ok());  // a second delta: the first is now
-    db.TEST_CrashClose();          // unambiguously mid-log
+    ASSERT_TRUE(db->Flush().ok());  // a second delta: the first is now
+    db->TEST_CrashClose();          // unambiguously mid-log
   }
   std::string content = ReadFile(manifest);
   ASSERT_GT(content.size(), snapshot_size + 16);
@@ -473,14 +496,15 @@ TEST(DbCrashRecovery, CorruptedCompleteDeltaRecordFailsOpenLoudly) {
   corrupt[snapshot_size + 12] ^= 0x01;
   WriteFile(manifest, corrupt);
 
-  Status status;
-  auto db = Db::Open(options, &status);
-  EXPECT_EQ(db, nullptr);
-  EXPECT_TRUE(status.IsCorruption()) << status.ToString();
+  {
+    auto [db, status] = Db::Open(options);
+    EXPECT_EQ(db, nullptr);
+    EXPECT_TRUE(status.IsCorruption()) << status.ToString();
+  }
 
   // Restoring the bytes restores the database.
   WriteFile(manifest, content);
-  db = Db::Open(options, &status);
+  auto [db, status] = Db::Open(options);
   ASSERT_NE(db, nullptr) << status.ToString();
   EXPECT_EQ(db->TotalKeys(), 1200u);
 }
@@ -489,22 +513,22 @@ TEST(DbCrashRecovery, ManifestDeltaLogCompactsBackToOneSnapshot) {
   auto options = CrashDbOptions("manifest_compact");
   options.manifest_compact_threshold = 4;
   {
-    Db db(options);
+    auto [db, st] = Db::Create(options);
+    ASSERT_TRUE(st.ok());
     for (int gen = 0; gen < 12; ++gen) {
       for (uint64_t i = 0; i < 64; ++i) {
         ASSERT_TRUE(
-            db.Put(EncodeKeyBE(static_cast<uint64_t>(gen) * 1000 + i), "g")
+            db->Put(EncodeKeyBE(static_cast<uint64_t>(gen) * 1000 + i), "g")
                 .ok());
       }
-      ASSERT_TRUE(db.Flush().ok());
+      ASSERT_TRUE(db->Flush().ok());
     }
     // 12 flushes with a threshold of 4: the log was folded into a fresh
     // snapshot at least twice, and deltas were appended in between.
-    EXPECT_GT(db.stats().manifest_snapshots, 1u);
-    EXPECT_GT(db.stats().manifest_deltas, 0u);
+    EXPECT_GT(db->stats().manifest_snapshots, 1u);
+    EXPECT_GT(db->stats().manifest_deltas, 0u);
   }
-  Status status;
-  auto db = Db::Open(options, &status);
+  auto [db, status] = Db::Open(options);
   ASSERT_NE(db, nullptr) << status.ToString();
   EXPECT_EQ(db->TotalKeys(), 12u * 64u);
 }
@@ -513,25 +537,25 @@ TEST(DbCrashRecovery, WalFromPreviousRunHonoredThenRemovedWhenWalDisabled) {
   auto options = CrashDbOptions("stale_wal");
   {
     // Session 1 (WAL on): acknowledged writes, then kill -9.
-    Db db(options);
+    auto [db, st] = Db::Create(options);
+    ASSERT_TRUE(st.ok());
     for (uint64_t i = 0; i < 120; ++i) {
-      ASSERT_TRUE(db.Put(EncodeKeyBE(i), "s1").ok());
+      ASSERT_TRUE(db->Put(EncodeKeyBE(i), "s1").ok());
     }
-    db.TEST_CrashClose();
+    db->TEST_CrashClose();
   }
-  ASSERT_GT(ReadFile(options.dir + "/WAL").size(), 0u);
+  ASSERT_GT(TotalWalBytes(options.dir), 0u);
 
   // Session 2 opens with use_wal=false: the old log's acknowledged
   // writes must still be honored (replayed), and the file removed so it
   // can never replay stale history over this session's newer state.
   options.use_wal = false;
-  Status status;
   {
-    auto db = Db::Open(options, &status);
+    auto [db, status] = Db::Open(options);
     ASSERT_NE(db, nullptr) << status.ToString();
     EXPECT_EQ(db->stats().wal_replayed, 120u);
     EXPECT_EQ(db->TotalKeys(), 120u);
-    EXPECT_EQ(ReadFile(options.dir + "/WAL").size(), 0u);  // gone
+    EXPECT_EQ(TotalWalBytes(options.dir), 0u);  // segments gone
     ASSERT_TRUE(db->Delete(EncodeKeyBE(5)).ok());
     ASSERT_TRUE(db->Flush().ok());
   }
@@ -539,26 +563,26 @@ TEST(DbCrashRecovery, WalFromPreviousRunHonoredThenRemovedWhenWalDisabled) {
   // Session 3 (WAL back on): the deleted key must NOT resurrect from
   // the session-1 log.
   options.use_wal = true;
-  auto db = Db::Open(options, &status);
+  auto [db, status] = Db::Open(options);
   ASSERT_NE(db, nullptr) << status.ToString();
   EXPECT_EQ(db->stats().wal_replayed, 0u);
-  EXPECT_FALSE(db->Seek(EncodeKeyBE(5), EncodeKeyBE(5)));
-  EXPECT_TRUE(db->Seek(EncodeKeyBE(6), EncodeKeyBE(6)));
+  EXPECT_FALSE(db->Seek(EncodeKeyBE(5), EncodeKeyBE(5)).found);
+  EXPECT_TRUE(db->Seek(EncodeKeyBE(6), EncodeKeyBE(6)).found);
 }
 
 TEST(DbCrashRecovery, WalDisabledKeepsTheOldContract) {
   auto options = CrashDbOptions("no_wal");
   options.use_wal = false;
   {
-    Db db(options);
+    auto [db, st] = Db::Create(options);
+    ASSERT_TRUE(st.ok());
     for (uint64_t i = 0; i < 100; ++i) {
-      ASSERT_TRUE(db.Put(EncodeKeyBE(i), "x").ok());
+      ASSERT_TRUE(db->Put(EncodeKeyBE(i), "x").ok());
     }
-    EXPECT_EQ(db.wal_stats().records, 0u);
-    db.TEST_CrashClose();  // kill -9 without a WAL: the memtable is gone
+    EXPECT_EQ(db->wal_stats().records, 0u);
+    db->TEST_CrashClose();  // kill -9 without a WAL: the memtable is gone
   }
-  Status status;
-  auto db = Db::Open(options, &status);
+  auto [db, status] = Db::Open(options);
   ASSERT_NE(db, nullptr) << status.ToString();
   EXPECT_EQ(db->TotalKeys(), 0u);  // documented regression of use_wal=false
 }
