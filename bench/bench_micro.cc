@@ -12,6 +12,7 @@
 #include "bloom/prefix_bloom.h"
 #include "core/filter_builder.h"
 #include "core/proteus.h"
+#include "core/two_pbf.h"
 #include "hash/clhash.h"
 #include "hash/murmur3.h"
 #include "lsm/rle.h"
@@ -82,6 +83,33 @@ void BM_PrefixBloomWalk(benchmark::State& state) {
                           static_cast<int64_t>(span));
 }
 BENCHMARK(BM_PrefixBloomWalk)
+    ->ArgNames({"blocked", "prefixes"})
+    ->Args({0, 16})
+    ->Args({1, 16})
+    ->Args({0, 64})
+    ->Args({1, 64});
+
+void BM_TwoPbfCoarseWalk(benchmark::State& state) {
+  // The 2PBF coarse walk: one bf1 probe per l1 prefix overlapping the
+  // range, each positive doubted at the fine filter. Ranges are drawn
+  // uniformly, so with 100k keys in a 64-bit domain nearly every coarse
+  // probe is negative and the walk itself dominates.
+  auto keys = GenerateKeys(Dataset::kUniform, 100000, 19);
+  const bool blocked = state.range(0) != 0;
+  const uint64_t span = static_cast<uint64_t>(state.range(1));
+  auto filter = TwoPbfFilter::BuildWithConfig(
+      keys, TwoPbfFilter::Config{48, 60, 0.5}, 12.0, blocked);
+  Rng rng(20);
+  for (auto _ : state) {
+    uint64_t lo = rng.Next();
+    uint64_t hi = lo + (span << 16);  // span coarse prefixes at l1=48
+    if (hi < lo) hi = ~uint64_t{0};
+    benchmark::DoNotOptimize(filter->MayContain(lo, hi));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(span));
+}
+BENCHMARK(BM_TwoPbfCoarseWalk)
     ->ArgNames({"blocked", "prefixes"})
     ->Args({0, 16})
     ->Args({1, 16})

@@ -3,14 +3,16 @@
 // Seek at full speed against an atomically-swapped Version — readers
 // never take the writer mutex, so read throughput should scale with M.
 //
-// For each entry in --readers (comma list), the harness runs one timed
-// window with --writers concurrent writers and reports aggregate read
+// For each (writers, readers) pair in the --writers x --readers comma
+// lists, the harness runs one timed window and reports aggregate read
 // qps, read latency percentiles, and sustained write throughput; the
-// final line prints the scaling factor of the largest reader count over
-// the smallest.
+// final lines print the read-scaling factor (largest over smallest
+// reader count) and, when several writer counts ran, the write-scaling
+// factor across them — the headline number for the sharded memtable.
 //
-// Flags beyond bench_common's: --writers=N (default 1), --readers=LIST
-// (default 1,2,4,8), --duration-ms=N per window (default 1500),
+// Flags beyond bench_common's: --writers=LIST (default 1),
+// --readers=LIST (default 1,2,4,8), --shards=N (memtable shards,
+// default DbOptions'), --duration-ms=N per window (default 1500),
 // --snapshot-reads (pin one snapshot per window and read through it).
 // --json=PATH dumps one record per (writers, readers) window.
 
@@ -33,30 +35,39 @@ namespace proteus {
 namespace {
 
 struct MtArgs {
-  uint64_t writers = 1;
+  std::vector<uint64_t> writers = {1};
   std::vector<uint64_t> readers = {1, 2, 4, 8};
+  uint64_t shards = 0;  // 0 = keep DbOptions' default
   uint64_t duration_ms = 1500;
   bool snapshot_reads = false;
 };
+
+std::vector<uint64_t> ParseList(const char* p) {
+  std::vector<uint64_t> out;
+  while (*p != '\0') {
+    out.push_back(std::strtoull(p, const_cast<char**>(&p), 10));
+    if (*p == ',') ++p;
+  }
+  return out;
+}
 
 MtArgs ParseMtArgs(int argc, char** argv) {
   MtArgs args;
   for (int i = 1; i < argc; ++i) {
     const char* a = argv[i];
     if (std::strncmp(a, "--writers=", 10) == 0) {
-      args.writers = std::strtoull(a + 10, nullptr, 10);
+      args.writers = ParseList(a + 10);
     } else if (std::strncmp(a, "--readers=", 10) == 0) {
-      args.readers.clear();
-      for (const char* p = a + 10; *p != '\0';) {
-        args.readers.push_back(std::strtoull(p, const_cast<char**>(&p), 10));
-        if (*p == ',') ++p;
-      }
+      args.readers = ParseList(a + 10);
+    } else if (std::strncmp(a, "--shards=", 9) == 0) {
+      args.shards = std::strtoull(a + 9, nullptr, 10);
     } else if (std::strncmp(a, "--duration-ms=", 14) == 0) {
       args.duration_ms = std::strtoull(a + 14, nullptr, 10);
     } else if (std::strcmp(a, "--snapshot-reads") == 0) {
       args.snapshot_reads = true;
     }
   }
+  if (args.writers.empty()) args.writers.push_back(1);
   if (args.readers.empty()) args.readers.push_back(1);
   return args;
 }
@@ -181,6 +192,7 @@ int main(int argc, char** argv) {
   options.l1_size_bytes = 8u << 20;
   options.block_cache_bytes = 64u << 20;
   options.wal_sync = false;  // group commit batches; measure CPU not fsync
+  if (mt.shards != 0) options.memtable_shards = mt.shards;
   options.filter_policy = bench::MakePolicyOrDie(filter_spec);
   auto [db_ptr, db_status] = Db::Create(options);
   if (!db_status.ok()) {
@@ -213,51 +225,77 @@ int main(int argc, char** argv) {
     queries.push_back({EncodeKeyBE(lo), EncodeKeyBE(lo + 64)});
   }
 
+  const uint64_t shards_used =
+      mt.shards != 0 ? mt.shards : options.memtable_shards;
   bench::PrintHeader("mt: concurrent readers vs writers");
-  std::printf("keys=%llu writers=%llu duration=%llums snapshot_reads=%d\n",
+  std::printf("keys=%llu shards=%llu duration=%llums snapshot_reads=%d\n",
               static_cast<unsigned long long>(n_keys),
-              static_cast<unsigned long long>(mt.writers),
+              static_cast<unsigned long long>(shards_used),
               static_cast<unsigned long long>(mt.duration_ms),
               mt.snapshot_reads ? 1 : 0);
 
   JsonSink sink;
-  double first_qps = 0.0, last_qps = 0.0;
+  double first_read_qps = 0.0, last_read_qps = 0.0;
   uint64_t first_readers = 0, last_readers = 0;
-  for (uint64_t m : mt.readers) {
-    if (m == 0) continue;
-    WindowResult r = RunWindow(db, queries, mt.writers, m, mt.duration_ms,
-                               mt.snapshot_reads, key_space);
-    std::printf("readers=%-3llu read_qps=%10.0f  p50=%7.1fus  p99=%7.1fus  "
-                "write_qps=%9.0f  found=%llu\n",
-                static_cast<unsigned long long>(m), r.read_qps, r.p50_us,
-                r.p99_us, r.write_qps,
-                static_cast<unsigned long long>(r.found));
-    sink.Add()
-        .Str("bench", "mt")
-        .Num("writers", static_cast<double>(mt.writers))
-        .Num("readers", static_cast<double>(m))
-        .Num("duration_ms", static_cast<double>(mt.duration_ms))
-        .Num("snapshot_reads", mt.snapshot_reads ? 1 : 0)
-        .Num("read_qps", r.read_qps)
-        .Num("write_qps", r.write_qps)
-        .Num("p50_us", r.p50_us)
-        .Num("p99_us", r.p99_us)
-        .Num("reads", static_cast<double>(r.reads))
-        .Num("writes", static_cast<double>(r.writes))
-        .Num("found", static_cast<double>(r.found));
-    if (first_readers == 0) {
-      first_readers = m;
-      first_qps = r.read_qps;
+  double first_write_qps = 0.0, last_write_qps = 0.0;
+  uint64_t first_writers = 0, last_writers = 0;
+  for (uint64_t w : mt.writers) {
+    for (uint64_t m : mt.readers) {
+      if (m == 0) continue;
+      WindowResult r = RunWindow(db, queries, w, m, mt.duration_ms,
+                                 mt.snapshot_reads, key_space);
+      std::printf("writers=%-3llu readers=%-3llu read_qps=%10.0f  "
+                  "p50=%7.1fus  p99=%7.1fus  write_qps=%9.0f  found=%llu\n",
+                  static_cast<unsigned long long>(w),
+                  static_cast<unsigned long long>(m), r.read_qps, r.p50_us,
+                  r.p99_us, r.write_qps,
+                  static_cast<unsigned long long>(r.found));
+      sink.Add()
+          .Str("bench", "mt")
+          .Num("writers", static_cast<double>(w))
+          .Num("readers", static_cast<double>(m))
+          .Num("memtable_shards", static_cast<double>(shards_used))
+          .Num("duration_ms", static_cast<double>(mt.duration_ms))
+          .Num("snapshot_reads", mt.snapshot_reads ? 1 : 0)
+          .Num("read_qps", r.read_qps)
+          .Num("write_qps", r.write_qps)
+          .Num("p50_us", r.p50_us)
+          .Num("p99_us", r.p99_us)
+          .Num("reads", static_cast<double>(r.reads))
+          .Num("writes", static_cast<double>(r.writes))
+          .Num("found", static_cast<double>(r.found));
+      if (first_readers == 0) {
+        first_readers = m;
+        first_read_qps = r.read_qps;
+      }
+      last_readers = m;
+      last_read_qps = r.read_qps;
+      // Write scaling compares windows at the FIRST reader count so the
+      // read-side load is held constant across writer counts.
+      if (m == mt.readers.front()) {
+        if (first_writers == 0) {
+          first_writers = w;
+          first_write_qps = r.write_qps;
+        }
+        last_writers = w;
+        last_write_qps = r.write_qps;
+      }
     }
-    last_readers = m;
-    last_qps = r.read_qps;
   }
   db.WaitForBackground();
-  if (first_readers != 0 && last_readers > first_readers && first_qps > 0) {
+  if (first_readers != 0 && last_readers > first_readers &&
+      first_read_qps > 0) {
     std::printf("scaling: %llu -> %llu readers = %.2fx read throughput\n",
                 static_cast<unsigned long long>(first_readers),
                 static_cast<unsigned long long>(last_readers),
-                last_qps / first_qps);
+                last_read_qps / first_read_qps);
+  }
+  if (first_writers != 0 && last_writers > first_writers &&
+      first_write_qps > 0) {
+    std::printf("scaling: %llu -> %llu writers = %.2fx write throughput\n",
+                static_cast<unsigned long long>(first_writers),
+                static_cast<unsigned long long>(last_writers),
+                last_write_qps / first_write_qps);
   }
 
   if (!common.json_path.empty()) sink.WriteArrayOrDie(common.json_path);

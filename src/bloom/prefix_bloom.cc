@@ -46,6 +46,12 @@ void PrefixBloom::PrefetchPrefix(uint64_t prefix_value) const {
   bf_.PrefetchHash(Murmur3Int64(prefix_value, SaltedLen(kSeed1, prefix_len_)));
 }
 
+void PrefixBloom::HashPrefix(uint64_t prefix_value, uint64_t* h1,
+                             uint64_t* h2) const {
+  *h1 = Murmur3Int64(prefix_value, SaltedLen(kSeed1, prefix_len_));
+  *h2 = Murmur3Int64(prefix_value, SaltedLen(kSeed2, prefix_len_));
+}
+
 bool PrefixBloom::ProbeRange(uint64_t first, uint64_t last) const {
   const uint64_t s1 = SaltedLen(kSeed1, prefix_len_);
   const uint64_t s2 = SaltedLen(kSeed2, prefix_len_);

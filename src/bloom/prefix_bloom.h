@@ -50,6 +50,18 @@ class PrefixBloom {
   /// prefetching one prefix ahead; true on the first positive.
   bool ProbeRange(uint64_t first, uint64_t last) const;
 
+  /// Split-phase probing for callers that interleave OTHER work between
+  /// consecutive prefixes (the 2PBF coarse walk doubts each positive at
+  /// the fine filter): HashPrefix computes the salted (h1, h2) pair,
+  /// PrefetchHash pulls in the cache line probe h1 touches first, and
+  /// ProbeHash resolves the probe — so the caller can hash and prefetch
+  /// prefix p+1 before resolving p, same arrangement as ProbeRange.
+  void HashPrefix(uint64_t prefix_value, uint64_t* h1, uint64_t* h2) const;
+  void PrefetchHash(uint64_t h1) const { bf_.PrefetchHash(h1); }
+  bool ProbeHash(uint64_t h1, uint64_t h2) const {
+    return bf_.MayContainHash(h1, h2);
+  }
+
   /// True if any l-bit prefix overlapping [lo, hi] probes positive.
   /// Probing short-circuits on the first positive. If the number of
   /// overlapping prefixes exceeds `probe_limit`, conservatively returns

@@ -87,8 +87,21 @@ bool TwoPbfFilter::MayContain(uint64_t lo, uint64_t hi) const {
   uint64_t first = PrefixBits64(lo, l1);
   uint64_t last = PrefixBits64(hi, l1);
   if (last - first + 1 > PrefixBloom::kDefaultProbeLimit) return true;
+  // Pipelined coarse walk (the ProbeRange arrangement, open-coded because
+  // each positive detours into the fine filter): hash prefix v+1 and pull
+  // its cache line in while probe v resolves, so the memory access of the
+  // next coarse probe overlaps this one's compute — and survives the
+  // fine-filter detour already in flight.
+  uint64_t h1, h2;
+  bf1_.HashPrefix(first, &h1, &h2);
+  bf1_.PrefetchHash(h1);
   for (uint64_t v = first;; ++v) {
-    if (bf1_.ProbePrefix(v)) {
+    uint64_t nh1 = 0, nh2 = 0;
+    if (v != last) {
+      bf1_.HashPrefix(v + 1, &nh1, &nh2);
+      bf1_.PrefetchHash(nh1);
+    }
+    if (bf1_.ProbeHash(h1, h2)) {
       // Doubt the coarse positive at the fine filter.
       uint64_t region_lo = PrefixRangeLo64(v, l1);
       uint64_t region_hi = PrefixRangeHi64(v, l1);
@@ -97,6 +110,8 @@ bool TwoPbfFilter::MayContain(uint64_t lo, uint64_t hi) const {
       if (bf2_.MayContain(probe_lo, probe_hi)) return true;
     }
     if (v == last) break;
+    h1 = nh1;
+    h2 = nh2;
   }
   return false;
 }

@@ -130,32 +130,75 @@ bool ParseWalName(const std::string& name, uint64_t* number) {
   return true;
 }
 
-/// Entry stream over a materialized, pre-sorted vector (the flush path:
-/// the views point into skiplist nodes the caller keeps alive).
-class VectorSource : public EntrySource {
+/// K-way merge over memtable shards (the flush path): each shard's
+/// skiplist streams its own (key asc, seqno desc) order, and the merge
+/// interleaves them back into ONE globally sorted stream. (key, seqno)
+/// pairs are globally unique — the leader assigns each seqno once — so
+/// the merge is deterministic and the SSTs it feeds are byte-identical
+/// regardless of how many shards the writes were routed across. The
+/// iterators point into skiplist nodes the caller keeps alive.
+class MemTableMergeSource : public EntrySource {
  public:
-  struct Entry {
-    std::string_view key;
-    uint64_t seqno = 0;
-    uint8_t tag = kTagValue;
-    std::string_view user_value;
-  };
-
-  explicit VectorSource(std::vector<Entry> entries)
-      : entries_(std::move(entries)) {}
-  bool Valid() const override { return index_ < entries_.size(); }
-  std::string_view key() const override { return entries_[index_].key; }
-  uint64_t seqno() const override { return entries_[index_].seqno; }
-  uint8_t tag() const override { return entries_[index_].tag; }
-  std::string_view user_value() const override {
-    return entries_[index_].user_value;
+  /// Add every shard of every immutable memtable, then Init().
+  void Add(const SkipList* list) {
+    Item item{SkipList::Iterator(list), kTagValue, {}};
+    DecodeItem(&item);
+    items_.push_back(std::move(item));
   }
-  void Next() override { ++index_; }
+  void Init() { FindBest(); }
+
+  bool Valid() const override { return best_ >= 0; }
+  std::string_view key() const override { return items_[best_].it.key(); }
+  uint64_t seqno() const override { return items_[best_].it.seqno(); }
+  uint8_t tag() const override { return items_[best_].tag; }
+  std::string_view user_value() const override {
+    return items_[best_].user_value;
+  }
+  void Next() override {
+    Item& item = items_[best_];
+    item.it.Next();
+    DecodeItem(&item);
+    FindBest();
+  }
   Status status() const override { return Status::OK(); }
 
  private:
-  std::vector<Entry> entries_;
-  size_t index_ = 0;
+  struct Item {
+    SkipList::Iterator it;
+    uint8_t tag;
+    std::string_view user_value;
+  };
+
+  void DecodeItem(Item* item) {
+    // A malformed internal value cannot round-trip out of the arena
+    // (writes always store tag|user); skip defensively like the old
+    // materializing path did.
+    while (item->it.Valid() &&
+           !ParseInternalValue(item->it.value(), &item->tag,
+                               &item->user_value)) {
+      item->it.Next();
+    }
+  }
+
+  void FindBest() {
+    best_ = -1;
+    for (size_t i = 0; i < items_.size(); ++i) {
+      if (!items_[i].it.Valid()) continue;
+      if (best_ < 0) {
+        best_ = static_cast<int>(i);
+        continue;
+      }
+      const Item& a = items_[i];
+      const Item& b = items_[static_cast<size_t>(best_)];
+      const int c = a.it.key().compare(b.it.key());
+      if (c < 0 || (c == 0 && a.it.seqno() > b.it.seqno())) {
+        best_ = static_cast<int>(i);
+      }
+    }
+  }
+
+  std::vector<Item> items_;
+  int best_ = -1;
 };
 
 /// K-way merge over SST iterators in (key asc, seqno desc, source age)
@@ -401,7 +444,9 @@ Db::Db(DbOptions options, bool wipe_existing)
   auto v = std::make_shared<Version>();
   v->levels.resize(kMaxLevels);
   version_ = std::move(v);
-  mem_ = std::make_shared<MemTable>();
+  mem_ = std::make_shared<MemTableSet>(options_.memtable_shards);
+  shard_applies_ =
+      std::vector<std::atomic<uint64_t>>(mem_->shard_count());
   compact_cursor_.resize(kMaxLevels, 0);
   pool_ = std::make_unique<TaskPool>(
       std::max<size_t>(1, options_.background_threads));
@@ -476,6 +521,31 @@ Status Db::Delete(std::string_view key, const WriteOptions& options) {
   return WriteInternal(kTagTombstone, key, {}, options);
 }
 
+// Shared state of one batch's parallel memtable apply. Lives on the
+// leader's stack for the duration of CommitBatch; the leader hands each
+// follower a pointer (under write_mu_), every follower inserts its OWN
+// entry into its memtable shard, and the last decrement of `pending`
+// releases the leader to publish the commit point. The group must not be
+// destroyed until pending hits zero — the leader's wait guarantees that,
+// and followers notify while holding `mu` so the leader cannot observe
+// pending == 0 and destroy the group mid-notify.
+struct Db::ApplyGroup {
+  MemTableSet* mem = nullptr;
+  std::atomic<uint32_t> pending{0};
+  std::mutex mu;
+  std::condition_variable cv;
+};
+
+void Db::ApplyWriter(MemTableSet* mem, const Writer& w) {
+  const size_t shard = mem->Add(w.key, w.seqno, w.tag, w.value);
+  shard_applies_[shard].fetch_add(1, std::memory_order_relaxed);
+  if (w.tag == kTagValue) {
+    ++stats_->puts;
+  } else {
+    ++stats_->deletes;
+  }
+}
+
 Status Db::WriteInternal(uint8_t tag, std::string_view key,
                          std::string_view value, const WriteOptions& wopts) {
   Writer w;
@@ -486,9 +556,33 @@ Status Db::WriteInternal(uint8_t tag, std::string_view key,
 
   std::unique_lock<std::mutex> qlock(write_mu_);
   write_queue_.push_back(&w);
-  // Wait until a leader commits this write for us, or we reach the front
+  // Wait until the leader enlists this write in its batch's parallel
+  // memtable apply, a leader commits it outright, or we reach the front
   // and become the leader of everything queued behind us.
-  write_cv_.wait(qlock, [&] { return w.done || write_queue_.front() == &w; });
+  write_cv_.wait(qlock, [&] {
+    return w.done || w.apply != nullptr || write_queue_.front() == &w;
+  });
+  if (w.apply != nullptr && !w.done) {
+    // Follower with work: the leader has WAL-appended the batch and is
+    // waiting for the shard applies. Insert our own entry (outside the
+    // queue lock — this is the parallel part), then report in.
+    ApplyGroup* group = w.apply;
+    qlock.unlock();
+    ApplyWriter(group->mem, w);
+    {
+      // Decrement AND notify under the group mutex: the leader evaluates
+      // its wait predicate holding it, so it cannot observe pending == 0
+      // and destroy the group while any follower is still inside this
+      // block — and a follower that has left it never touches the group
+      // again.
+      std::lock_guard<std::mutex> gl(group->mu);
+      if (group->pending.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        group->cv.notify_one();
+      }
+    }
+    qlock.lock();
+    write_cv_.wait(qlock, [&] { return w.done; });
+  }
   if (w.done) return w.status;
 
   std::vector<Writer*> batch(write_queue_.begin(), write_queue_.end());
@@ -569,26 +663,41 @@ Status Db::CommitBatch(const std::vector<Writer*>& batch,
     }
   }
 
-  // Apply in WAL order. mem_ is stable here: it changes only under
-  // pipeline_mu_ (held) plus view_mu_.
+  // Apply. The WAL already fixed the batch's order (seqnos); the
+  // memtable inserts commute — each lands in its own key's position in
+  // its own shard — so the followers apply their entries IN PARALLEL
+  // while the leader applies its own. mem_ is stable here: it changes
+  // only under pipeline_mu_ (held) plus view_mu_.
   MemPtr mem = mem_;
-  for (Writer* w : batch) {
-    const int64_t delta =
-        mem->list.Add(w->key, w->seqno, MakeInternalValue(w->tag, w->value));
-    mem->bytes.fetch_add(delta, std::memory_order_relaxed);
-    if (w->tag == kTagValue) {
-      ++stats_->puts;
-    } else {
-      ++stats_->deletes;
+  Writer* const leader = batch.front();
+  if (batch.size() > 1) {
+    ApplyGroup group;
+    group.mem = mem.get();
+    group.pending.store(static_cast<uint32_t>(batch.size() - 1),
+                        std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> ql(write_mu_);
+      for (Writer* w : batch) {
+        if (w != leader) w->apply = &group;
+      }
     }
+    write_cv_.notify_all();  // release the followers to their shards
+    ApplyWriter(mem.get(), *leader);
+    std::unique_lock<std::mutex> gl(group.mu);
+    group.cv.wait(gl, [&] {
+      return group.pending.load(std::memory_order_acquire) == 0;
+    });
+  } else {
+    ApplyWriter(mem.get(), *leader);
   }
-  // Publish: a reader that acquires this seqno as its horizon can reach
-  // every entry at or below it (the skiplist inserts released first).
+  // Publish: every apply of the batch happened before this store (the
+  // followers' decrements synchronize with the leader's wait), so a
+  // reader that acquires this seqno as its horizon can reach every entry
+  // at or below it.
   last_seqno_.store(next_seqno_ - 1, std::memory_order_release);
 
   const bool mem_full =
-      mem->bytes.load(std::memory_order_relaxed) >=
-      static_cast<int64_t>(options_.memtable_bytes);
+      mem->bytes() >= static_cast<int64_t>(options_.memtable_bytes);
   const bool wal_full = options_.use_wal && wal_ != nullptr &&
                         wal_->file_bytes() >= options_.wal_segment_bytes;
   *need_maintenance = mem_full || wal_full;
@@ -636,8 +745,7 @@ bool Db::WorkPending() const {
   {
     std::lock_guard<std::mutex> vl(view_mu_);
     if (!version_->imm.empty()) return true;
-    if (mem_->bytes.load(std::memory_order_relaxed) >=
-        static_cast<int64_t>(options_.memtable_bytes)) {
+    if (mem_->bytes() >= static_cast<int64_t>(options_.memtable_bytes)) {
       return true;
     }
   }
@@ -711,10 +819,10 @@ bool Db::PrepareFlush(bool force) {
     std::lock_guard<std::mutex> vl(view_mu_);
     cur = mem_;
   }
-  if (cur->list.size() == 0) return false;
+  if (cur->size() == 0) return false;
   if (!force) {
-    bool trip = cur->bytes.load(std::memory_order_relaxed) >=
-                static_cast<int64_t>(options_.memtable_bytes);
+    bool trip =
+        cur->bytes() >= static_cast<int64_t>(options_.memtable_bytes);
     if (!trip && options_.use_wal && wal_ != nullptr) {
       trip = wal_->file_bytes() >= options_.wal_segment_bytes;
     }
@@ -735,7 +843,7 @@ bool Db::PrepareFlush(bool force) {
     wal_number_ = next;
     ++stats_->wal_rotations;
   }
-  auto fresh = std::make_shared<MemTable>();
+  auto fresh = std::make_shared<MemTableSet>(options_.memtable_shards);
   fresh->wal_segment = wal_number_;
   {
     std::lock_guard<std::mutex> vl(view_mu_);
@@ -755,25 +863,16 @@ Status Db::FlushImmLocked() {
   }
   if (imm.empty()) return Status::OK();
 
-  // Materialize every immutable memtable and sort (key asc, seqno desc).
-  // The views point into skiplist nodes `imm` keeps alive.
-  std::vector<VectorSource::Entry> entries;
+  // Merge every shard of every immutable memtable back into one sorted
+  // (key asc, seqno desc) stream — no materialize-and-sort pass; the
+  // iterators stream straight out of skiplist nodes `imm` keeps alive.
+  MemTableMergeSource source;
   for (const MemPtr& m : imm) {
-    m->list.ForEach([&entries](std::string_view k, uint64_t seqno,
-                               std::string_view internal) {
-      VectorSource::Entry e;
-      e.key = k;
-      e.seqno = seqno;
-      if (!ParseInternalValue(internal, &e.tag, &e.user_value)) return;
-      entries.push_back(e);
-    });
+    for (size_t i = 0; i < m->shard_count(); ++i) {
+      source.Add(&m->shard(i));
+    }
   }
-  std::sort(entries.begin(), entries.end(),
-            [](const VectorSource::Entry& a, const VectorSource::Entry& b) {
-              if (a.key != b.key) return a.key < b.key;
-              return a.seqno > b.seqno;
-            });
-  VectorSource source(std::move(entries));
+  source.Init();
   CollapseSource collapsed(source, LiveSnapshots(),
                            /*drop_tombstones=*/false);
   std::vector<FilePtr> files;
@@ -1541,9 +1640,11 @@ Status Db::ReplayWalSegments() {
           } else {
             max_seq = std::max(max_seq, seqno);
           }
-          const int64_t delta =
-              mem_->list.Add(key, seqno, MakeInternalValue(tag, value));
-          mem_->bytes.fetch_add(delta, std::memory_order_relaxed);
+          // Replay routes through the same key hash as the live write
+          // path: shard placement need not survive a restart, only the
+          // (key, seqno) versions themselves.
+          const size_t shard = mem_->Add(key, seqno, tag, value);
+          shard_applies_[shard].fetch_add(1, std::memory_order_relaxed);
           ++stats_->wal_replayed;
           ++replayed;
         },
@@ -1693,115 +1794,231 @@ bool Db::SeekLoop(const ReadView& view, const ReadOptions& ro,
     ++stats_->read_errors;
     if (first_error->ok()) *first_error = std::move(s);
   };
-  std::string best_key, best_value;
-  while (true) {
-    bool found = false;
-    bool best_tombstone = false;
-    uint64_t best_seqno = 0;
-    int best_rank = 1 << 30;
-    // Winner: smallest key; among versions of that key the highest
-    // seqno; rank (source recency) breaks the remaining legacy seqno-0
-    // ties exactly as the pre-MVCC age rule did.
-    auto consider = [&](std::string_view k, uint64_t seqno, bool tombstone,
-                        std::string_view user, int rank) {
-      if (k > hi) return;
-      const bool better =
-          !found || k < best_key ||
-          (k == best_key && (seqno > best_seqno ||
-                             (seqno == best_seqno && rank < best_rank)));
-      if (better) {
-        found = true;
-        best_key.assign(k);
-        best_seqno = seqno;
-        best_tombstone = tombstone;
-        best_value.assign(user);
-        best_rank = rank;
-      }
-    };
 
+  // Every source keeps a POSITIONED candidate across tombstone winners:
+  // when the newest visible version at the front is a tombstone, only
+  // the sources standing ON the deleted key advance (from where they
+  // are — no fresh index descent), so a run of N consecutive tombstones
+  // costs O(files + N) instead of N full multi-level restarts. The
+  // winner rule is unchanged: smallest key; among versions of that key
+  // the highest seqno; rank (source recency) breaks the remaining
+  // legacy seqno-0 ties exactly as the pre-MVCC age rule did.
+  struct Cand {
+    bool valid = false;
+    std::string key, value;
+    uint64_t seqno = 0;
+    bool tombstone = false;
+  };
+
+  // Memtable sources: skiplist descents are cheap, so repositioning is
+  // just a fresh SeekGeq at the advanced cursor.
+  struct MemSrc {
+    const MemTableSet* mem;
+    int rank;
+    Cand cand;
+  };
+  std::vector<MemSrc> mems;
+  mems.reserve(1 + view.version->imm.size());
+  mems.push_back({view.mem.get(), 0, {}});
+  {
+    int rank = 0;
+    for (const MemPtr& m : view.version->imm) {
+      mems.push_back({m.get(), ++rank, {}});
+    }
+  }
+  auto position_mem = [&](MemSrc& src, std::string_view lo) {
+    src.cand.valid = false;
     SkipList::Entry entry;
     uint8_t tag;
     std::string_view user;
-    int rank = 0;
-    if (view.mem->list.SeekGeq(cursor, view.snapshot, &entry) &&
+    if (src.mem->SeekGeq(lo, view.snapshot, &entry) && entry.key <= hi &&
         ParseInternalValue(entry.value, &tag, &user)) {
-      consider(entry.key, entry.seqno, tag == kTagTombstone, user, rank);
+      src.cand.valid = true;
+      src.cand.key.assign(entry.key);
+      src.cand.value.assign(user);
+      src.cand.seqno = entry.seqno;
+      src.cand.tombstone = tag == kTagTombstone;
     }
-    for (const MemPtr& m : view.version->imm) {
-      ++rank;
-      if (m->list.SeekGeq(cursor, view.snapshot, &entry) &&
-          ParseInternalValue(entry.value, &tag, &user)) {
-        consider(entry.key, entry.seqno, tag == kTagTombstone, user, rank);
-      }
-    }
+  };
 
-    SstReader::SeekEntry se;
-    rank = 1000;
-    for (const auto& f : view.version->levels[0]) {
-      const int file_rank = rank++;
-      if (f->largest < cursor || f->smallest > hi) continue;
-      std::string_view clip_lo = cursor > f->smallest
-                                     ? std::string_view(cursor)
-                                     : std::string_view(f->smallest);
+  // One SST file as a positioned source. The filter is consulted ONCE
+  // per file per query (sound permanently: a negative for [lo, hi]
+  // covers every subrange the advancing cursor can ask about); the
+  // first probe is an index-descent Seek, every later one a forward
+  // SkipTo from the standing position.
+  struct FileSrc {
+    const FileMeta* f = nullptr;
+    bool checked = false;    // filter consulted
+    bool seeked = false;     // cursor holds a position
+    bool found_any = false;  // at least one probe landed in range
+    bool dead = false;       // filter negative, range exhausted, or error
+    SstReader::RangeCursor cur;
+    Cand cand;
+  };
+  auto position_file = [&](FileSrc& src, std::string_view lo) {
+    src.cand.valid = false;
+    if (src.dead) return;
+    const FileMeta& f = *src.f;
+    if (f.largest < lo || f.smallest > hi) {
+      src.dead = true;  // lo only grows: a bypassed file stays bypassed
+      return;
+    }
+    if (!src.checked) {
+      src.checked = true;
+      std::string_view clip_lo = lo > f.smallest
+                                     ? lo
+                                     : std::string_view(f.smallest);
       std::string_view clip_hi =
-          hi < f->largest ? hi : std::string_view(f->largest);
+          hi < f.largest ? hi : std::string_view(f.largest);
       ++stats_->filter_checks;
-      if (f->filter != nullptr && !f->filter->MayContain(clip_lo, clip_hi)) {
+      if (f.filter != nullptr && !f.filter->MayContain(clip_lo, clip_hi)) {
         ++stats_->filter_negatives;
-        continue;
+        src.dead = true;
+        return;
       }
+      src.cur.Init(f.reader.get(), bro, view.snapshot);
+    }
+    Status read_status;
+    int rc;
+    if (!src.seeked) {
       ++stats_->sst_seeks;
-      Status read_status;
-      int rc = f->reader->SeekInRange(cursor, hi, view.snapshot, bro, &se,
-                                      &read_status);
-      if (rc == 0) {
-        consider(se.key, se.seqno, se.tombstone, se.value, file_rank);
-      } else if (rc == 1 && f->filter != nullptr) {
-        ++stats_->false_positive_files;
-      } else if (rc == -1) {
-        note_error(std::move(read_status));
-      }
+      rc = src.cur.Seek(lo, hi, &read_status);
+      src.seeked = true;
+    } else {
+      rc = src.cur.SkipTo(lo, hi, &read_status);
     }
-
-    for (size_t level = 1; level < view.version->levels.size(); ++level) {
-      const int level_rank = 1000000 + static_cast<int>(level);
-      for (const auto& f : view.version->levels[level]) {
-        if (f->largest < cursor) continue;
-        if (f->smallest > hi) break;
-        std::string_view clip_lo = cursor > f->smallest
-                                       ? std::string_view(cursor)
-                                       : std::string_view(f->smallest);
-        std::string_view clip_hi =
-            hi < f->largest ? hi : std::string_view(f->largest);
-        ++stats_->filter_checks;
-        if (f->filter != nullptr &&
-            !f->filter->MayContain(clip_lo, clip_hi)) {
-          ++stats_->filter_negatives;
-          continue;
-        }
-        ++stats_->sst_seeks;
-        Status read_status;
-        int rc = f->reader->SeekInRange(cursor, hi, view.snapshot, bro, &se,
-                                        &read_status);
-        if (rc == 0) {
-          consider(se.key, se.seqno, se.tombstone, se.value, level_rank);
-          break;  // smallest in-range key of this level found
-        }
-        if (rc == 1 && f->filter != nullptr) ++stats_->false_positive_files;
-        if (rc == -1) note_error(std::move(read_status));
+    if (rc == 0) {
+      src.found_any = true;
+      const SstReader::SeekEntry& se = src.cur.entry();
+      src.cand.valid = true;
+      src.cand.key = se.key;
+      src.cand.value = se.value;
+      src.cand.seqno = se.seqno;
+      src.cand.tombstone = se.tombstone;
+    } else if (rc == 1) {
+      src.dead = true;
+      if (!src.found_any && f.filter != nullptr) {
+        ++stats_->false_positive_files;  // filter passed, file had nothing
       }
+    } else {
+      note_error(std::move(read_status));
+      src.dead = true;
     }
+  };
 
-    if (!found) return false;
-    if (!best_tombstone) {
-      if (key != nullptr) key->assign(best_key);
-      if (value != nullptr) value->assign(best_value);
+  // L0: every overlapping file is its own source (they overlap freely).
+  struct RankedFile {
+    FileSrc src;
+    int rank;
+  };
+  std::vector<RankedFile> l0s;
+  {
+    int rank = 1000;
+    for (const auto& f : view.version->levels[0]) {
+      RankedFile rf;
+      rf.src.f = f.get();
+      rf.rank = rank++;
+      l0s.push_back(std::move(rf));
+    }
+  }
+
+  // Sorted levels: one source per level that walks its files in key
+  // order, binary-searching the entry file once and advancing file by
+  // file as the cursor outruns each one.
+  struct LevelSrc {
+    const std::vector<FilePtr>* files;
+    int rank;
+    size_t idx = 0;
+    bool started = false;
+    FileSrc file;
+    Cand cand;
+  };
+  std::vector<LevelSrc> lvls;
+  for (size_t level = 1; level < view.version->levels.size(); ++level) {
+    if (view.version->levels[level].empty()) continue;
+    LevelSrc src;
+    src.files = &view.version->levels[level];
+    src.rank = 1000000 + static_cast<int>(level);
+    lvls.push_back(std::move(src));
+  }
+  auto position_level = [&](LevelSrc& src, std::string_view lo) {
+    src.cand.valid = false;
+    const auto& files = *src.files;
+    if (!src.started) {
+      src.started = true;
+      src.idx = static_cast<size_t>(
+          std::lower_bound(files.begin(), files.end(), lo,
+                           [](const FilePtr& f, std::string_view key) {
+                             return f->largest < key;
+                           }) -
+          files.begin());
+      src.file = FileSrc{};
+      if (src.idx < files.size()) src.file.f = files[src.idx].get();
+    }
+    while (src.idx < files.size()) {
+      if (files[src.idx]->smallest > hi) return;  // rest of level is past hi
+      position_file(src.file, lo);
+      if (src.file.cand.valid) {
+        src.cand = src.file.cand;
+        return;
+      }
+      // Exhausted (or filter-rejected, or error-noted): next file.
+      ++src.idx;
+      src.file = FileSrc{};
+      if (src.idx < files.size()) src.file.f = files[src.idx].get();
+    }
+  };
+
+  // Prime every source at the original cursor, then loop: pick the best
+  // candidate; a tombstone winner advances the cursor and repositions
+  // ONLY the sources standing on the deleted key.
+  for (auto& src : mems) position_mem(src, cursor);
+  for (auto& rf : l0s) position_file(rf.src, cursor);
+  for (auto& src : lvls) position_level(src, cursor);
+
+  for (;;) {
+    const Cand* best = nullptr;
+    int best_rank = 1 << 30;
+    auto consider = [&](const Cand& c, int rank) {
+      if (!c.valid) return;
+      const bool better =
+          best == nullptr || c.key < best->key ||
+          (c.key == best->key &&
+           (c.seqno > best->seqno ||
+            (c.seqno == best->seqno && rank < best_rank)));
+      if (better) {
+        best = &c;
+        best_rank = rank;
+      }
+    };
+    for (const auto& src : mems) consider(src.cand, src.rank);
+    for (const auto& rf : l0s) consider(rf.src.cand, rf.rank);
+    for (const auto& src : lvls) consider(src.cand, src.rank);
+
+    if (best == nullptr) return false;
+    if (!best->tombstone) {
+      if (key != nullptr) key->assign(best->key);
+      if (value != nullptr) value->assign(best->value);
       return true;
     }
-    // The newest visible version in range is a tombstone: resume the
-    // scan just past the deleted key (its successor in byte order).
-    cursor.assign(best_key);
+    // The newest visible version in range is a tombstone: advance past
+    // the deleted key. Only sources whose candidate IS that key are
+    // stale (every other candidate already sits beyond the new cursor).
+    cursor.assign(best->key);
     cursor.push_back('\0');
+    for (auto& src : mems) {
+      if (src.cand.valid && src.cand.key < cursor) position_mem(src, cursor);
+    }
+    for (auto& rf : l0s) {
+      if (rf.src.cand.valid && rf.src.cand.key < cursor) {
+        position_file(rf.src, cursor);
+      }
+    }
+    for (auto& src : lvls) {
+      if (src.cand.valid && src.cand.key < cursor) {
+        position_level(src, cursor);
+      }
+    }
   }
 }
 
@@ -1886,14 +2103,14 @@ void Db::MultiSeek(const QueryBatch& batch, const Scheduler& scheduler,
   uint8_t tag;
   std::string_view user;
   for (uint32_t qi : order) {
-    if (view.mem->list.SeekGeq(batch[qi].lo, view.snapshot, &entry) &&
+    if (view.mem->SeekGeq(batch[qi].lo, view.snapshot, &entry) &&
         ParseInternalValue(entry.value, &tag, &user)) {
       consider(qi, entry.key, entry.seqno, tag == kTagTombstone, user, 0);
     }
     int rank = 0;
     for (const MemPtr& m : view.version->imm) {
       ++rank;
-      if (m->list.SeekGeq(batch[qi].lo, view.snapshot, &entry) &&
+      if (m->SeekGeq(batch[qi].lo, view.snapshot, &entry) &&
           ParseInternalValue(entry.value, &tag, &user)) {
         consider(qi, entry.key, entry.seqno, tag == kTagTombstone, user,
                  rank);
@@ -2058,9 +2275,26 @@ Status Db::VerifyChecksums() const {
 // Introspection
 // ---------------------------------------------------------------------------
 
-DbStats Db::stats() const { return stats_->Snapshot(); }
+DbStats Db::stats() const {
+  DbStats out = stats_->Snapshot();
+  out.shard_applies.reserve(shard_applies_.size());
+  for (const auto& c : shard_applies_) {
+    out.shard_applies.push_back(c.load(std::memory_order_relaxed));
+  }
+  {
+    std::lock_guard<std::mutex> vl(view_mu_);
+    out.memtable_arena_bytes = mem_->ArenaBytes();
+    for (const MemPtr& m : version_->imm) {
+      out.memtable_arena_bytes += m->ArenaBytes();
+    }
+  }
+  return out;
+}
 
-void Db::ResetStats() { stats_->Reset(); }
+void Db::ResetStats() {
+  stats_->Reset();
+  for (auto& c : shard_applies_) c.store(0, std::memory_order_relaxed);
+}
 
 WalWriter::Stats Db::wal_stats() const {
   return wal_ != nullptr ? wal_->stats() : WalWriter::Stats{};
@@ -2105,8 +2339,8 @@ uint64_t Db::TotalKeys() const {
     view.mem = mem_;
     view.version = version_;
   }
-  uint64_t total = view.mem->list.size();
-  for (const MemPtr& m : view.version->imm) total += m->list.size();
+  uint64_t total = view.mem->size();
+  for (const MemPtr& m : view.version->imm) total += m->size();
   for (const auto& level : view.version->levels) {
     for (const auto& f : level) total += f->n_entries;
   }
@@ -2123,7 +2357,8 @@ void Db::TEST_CrashClose() {
   std::lock_guard<std::mutex> plock(pipeline_mu_);
   std::lock_guard<std::mutex> vl(view_mu_);
   wal_.reset();  // closes the fd; the file stays as-is on disk
-  mem_ = std::make_shared<MemTable>();  // kill -9 takes the memtables
+  // kill -9 takes the memtables
+  mem_ = std::make_shared<MemTableSet>(options_.memtable_shards);
   auto nv = std::make_shared<Version>(*version_);
   nv->imm.clear();
   version_ = std::move(nv);

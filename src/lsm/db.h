@@ -22,9 +22,14 @@
 //
 // Concurrency & MVCC (docs/ARCHITECTURE.md "Threading & MVCC"):
 //  * Writers queue behind a group-commit leader that assigns monotonic
-//    sequence numbers, appends the whole batch to the WAL, and applies
-//    it to the memtable — all in one critical section, so WAL order,
-//    memtable order, and crash-replay order are identical.
+//    sequence numbers and appends the whole batch to the WAL in one
+//    critical section — WAL order, seqno order, and crash-replay order
+//    are identical. The memtable APPLY is parallel: the active memtable
+//    is a MemTableSet of concurrent skiplist shards (key-hash routed,
+//    DbOptions::memtable_shards), and after the WAL append each batch
+//    follower inserts its own entry into its shard concurrently; the
+//    leader publishes last_seqno_ only after every apply lands, so
+//    readers never see a committed horizon with holes.
 //  * Readers never take the writer path's locks: Seek/MultiSeek pin an
 //    immutable view (active memtable + a copy-on-write Version of the
 //    immutable memtables and SST levels) under one brief mutex, then run
@@ -73,6 +78,7 @@
 #include "lsm/block_cache.h"
 #include "lsm/filter_policy.h"
 #include "lsm/ikey.h"
+#include "lsm/memtable.h"
 #include "lsm/query_queue.h"
 #include "lsm/skiplist.h"
 #include "lsm/sst.h"
@@ -153,6 +159,10 @@ struct DbOptions {
   size_t max_immutable_memtables = 2;
   /// Threads in the background maintenance pool (flush + compaction).
   size_t background_threads = 2;
+  /// Concurrent skiplist shards per memtable (rounded up to a power of
+  /// two, max 256). Writes route by user-key hash; batch followers apply
+  /// to their shards in parallel. 1 = the single-skiplist layout.
+  size_t memtable_shards = 4;
   /// MANIFEST delta records appended since the last full snapshot before
   /// the log is compacted back into one snapshot record.
   size_t manifest_compact_threshold = 16;
@@ -187,6 +197,13 @@ struct DbStats {
   uint64_t queue_sampled = 0;    // empty queries recorded in the sample queue
   uint64_t write_stalls = 0;     // writer batches that hit the imm limit
   uint64_t stall_wait_us = 0;    // total time writers spent stalled
+
+  /// Entries applied per memtable shard (index = shard id, cumulative
+  /// across memtable rotations, including WAL replay). A flat histogram
+  /// means the key-hash routing is spreading the write load.
+  std::vector<uint64_t> shard_applies;
+  /// Bytes reserved by the live memtables' arenas (active + immutable).
+  uint64_t memtable_arena_bytes = 0;
 
   /// Observed per-file FPR: of the filter passes that led to an SST
   /// probe, the fraction that found nothing in range — the live
@@ -359,14 +376,7 @@ class Db {
   };
   using FilePtr = std::shared_ptr<FileMeta>;
 
-  struct MemTable {
-    SkipList list;
-    std::atomic<int64_t> bytes{0};
-    // Oldest WAL segment holding this memtable's writes; segments below
-    // the minimum across live memtables are obsolete after a flush.
-    uint64_t wal_segment = 0;
-  };
-  using MemPtr = std::shared_ptr<MemTable>;
+  using MemPtr = std::shared_ptr<MemTableSet>;
 
   /// An immutable picture of everything except the active memtable.
   /// Swapped atomically (under view_mu_); never mutated in place.
@@ -386,6 +396,10 @@ class Db {
     uint64_t snapshot = kMaxSequence;
   };
 
+  /// Shared state of one batch's parallel memtable apply, owned by the
+  /// leader's stack frame (defined in db.cc).
+  struct ApplyGroup;
+
   /// One queued write, owned by the caller's stack frame.
   struct Writer {
     uint8_t tag;  // kTagValue | kTagTombstone
@@ -394,6 +408,10 @@ class Db {
     uint64_t seqno = 0;
     Status status;
     bool done = false;
+    /// Set (under write_mu_) by the leader after the WAL append: the
+    /// follower applies its own entry to the memtable and decrements the
+    /// group's pending count instead of idling until commit.
+    ApplyGroup* apply = nullptr;
   };
 
   /// One atomic change to the LSM tree, as recorded in the MANIFEST
@@ -407,8 +425,11 @@ class Db {
 
   Status WriteInternal(uint8_t tag, std::string_view key,
                        std::string_view value, const WriteOptions& wopts);
-  /// Leader body: stall, assign seqnos, WAL append, memtable apply.
+  /// Leader body: stall, assign seqnos, WAL append, parallel memtable
+  /// apply (followers insert their own entries), commit-point publish.
   Status CommitBatch(const std::vector<Writer*>& batch, bool* need_maintenance);
+  /// Inserts one writer's entry into `mem` and bumps its shard counter.
+  void ApplyWriter(MemTableSet* mem, const Writer& w);
 
   ReadView AcquireReadView(const ReadOptions& ro) const;
 
@@ -554,6 +575,10 @@ class Db {
   std::atomic<bool> maint_scheduled_{false};
   std::atomic<bool> crashed_{false};
   std::atomic<bool> closing_{false};
+
+  // Per-shard apply counters (sized to the rounded shard count at
+  // construction; memtable rotations reuse the same shard count).
+  std::vector<std::atomic<uint64_t>> shard_applies_;
 
   uint64_t next_file_id_ = 1;           // maint_mu_ / recovery
   std::vector<size_t> compact_cursor_;  // round-robin pick per level

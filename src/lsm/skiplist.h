@@ -1,6 +1,6 @@
-// A multi-version probabilistic skiplist over byte-string keys — the
-// MemTable substrate (RocksDB's default memtable is a skiplist;
-// Section 6.1).
+// A multi-version concurrent skiplist over byte-string keys — the
+// MemTable substrate (RocksDB's concurrent InlineSkipList memtable is
+// the model; Section 6.1).
 //
 // Nodes are ordered by (user key ascending, seqno descending), and an
 // insert NEVER overwrites: every write adds a new version, so a reader
@@ -8,77 +8,95 @@
 // newest for it. Tombstones are versions like any other (the Db layer
 // tags them in the value bytes).
 //
-// Concurrency contract (the LevelDB arrangement):
-//   - writers must be externally serialized (the Db's group-commit
-//     leader is the only writer of the active memtable);
-//   - readers need NO synchronization against that one writer: inserts
-//     link nodes bottom-up with release stores, readers traverse with
-//     acquire loads, and nodes are never deleted or mutated while the
-//     list is alive. A reader concurrently with an insert sees either
-//     the old or the new list — both are valid states.
+// Memory: nodes are carved from an append-only Arena (util/arena.h) in
+// ONE allocation each — the variable-height link array sits in front of
+// the node header and the key/value bytes trail it, so the write hot
+// path performs no per-node malloc and the whole memtable's memory is
+// returned in a single sweep when the retired memtable's arena dies.
+//
+// Concurrency contract (the InlineSkipList arrangement):
+//   - Add() is safe from MULTIPLE concurrent writers: each level is
+//     linked bottom-up with a release CAS; a loser recomputes its splice
+//     at that level and retries. Two writers never insert the same
+//     (key, seqno) position (the Db's leader assigns unique seqnos).
+//   - readers need NO synchronization against writers: inserts link
+//     nodes bottom-up with release CASes, readers traverse with acquire
+//     loads, and nodes are never deleted or mutated while the list is
+//     alive. A reader concurrent with an insert sees either the old or
+//     the new list — both are valid states.
 //   - Clear()/destruction require that no readers remain (the Db retires
 //     memtables by dropping the last shared_ptr instead).
 
 #ifndef PROTEUS_LSM_SKIPLIST_H_
 #define PROTEUS_LSM_SKIPLIST_H_
 
-#include <array>
 #include <atomic>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <string_view>
 
 #include "lsm/ikey.h"
+#include "util/arena.h"
 #include "util/random.h"
 
 namespace proteus {
 
 class SkipList {
+ private:
+  struct Node;  // defined below; the public Iterator holds a pointer
+
  public:
   static constexpr int kMaxHeight = 12;
 
-  SkipList() : rng_(0xC0FFEE), head_(new Node("", 0, "", kMaxHeight)) {}
-  ~SkipList() {
-    Clear();
-    delete head_;
-  }
+  /// `arena` is where nodes live; it must outlive the list. Passing null
+  /// gives the list a private arena (tests and benches).
+  explicit SkipList(Arena* arena = nullptr)
+      : owned_arena_(arena == nullptr ? std::make_unique<Arena>() : nullptr),
+        arena_(arena != nullptr ? arena : owned_arena_.get()),
+        head_(NewNode("", 0, "", "", kMaxHeight)) {}
 
   /// Removes all entries. Callers must guarantee no concurrent readers
   /// or writers (tests only; the Db never clears a published memtable).
+  /// Node memory stays in the arena until the arena itself dies.
   void Clear() {
-    Node* n = head_->next[0].load(std::memory_order_relaxed);
-    while (n != nullptr) {
-      Node* next = n->next[0].load(std::memory_order_relaxed);
-      delete n;
-      n = next;
-    }
     for (int i = 0; i < kMaxHeight; ++i) {
-      head_->next[i].store(nullptr, std::memory_order_relaxed);
+      head_->SetNext(i, nullptr);
     }
     size_.store(0, std::memory_order_relaxed);
   }
   SkipList(const SkipList&) = delete;
   SkipList& operator=(const SkipList&) = delete;
 
-  /// Inserts a new version of `key`. `value` is the internal (tagged)
-  /// value bytes. Returns the byte cost added (memtable accounting).
-  /// Single writer at a time; safe against concurrent readers.
-  int64_t Add(std::string_view key, uint64_t seqno, std::string_view value) {
-    std::array<Node*, kMaxHeight> prev;
-    FindGreaterOrEqual(key, seqno, &prev);
-    int height = RandomHeight();
-    Node* fresh =
-        new Node(std::string(key), seqno, std::string(value), height);
-    for (int i = 0; i < height; ++i) {
-      fresh->next[i].store(prev[i]->next[i].load(std::memory_order_relaxed),
-                           std::memory_order_relaxed);
-      // The release store publishes the fully-built node: a reader that
-      // acquires this pointer sees key/value/seqno and the lower links.
-      prev[i]->next[i].store(fresh, std::memory_order_release);
+  /// Inserts a new version of `key`. The stored value bytes are the
+  /// concatenation `v1 | v2` (the Db passes the tag byte and the user
+  /// value separately so no intermediate string is built). Returns the
+  /// byte cost added (memtable accounting). Safe against concurrent
+  /// Add() callers and concurrent readers; (key, seqno) must be unique.
+  int64_t Add(std::string_view key, uint64_t seqno, std::string_view v1,
+              std::string_view v2 = {}) {
+    const int height = RandomHeight();
+    Node* fresh = NewNode(key, v1, v2, seqno, height);
+    Node* prev[kMaxHeight];
+    Node* next[kMaxHeight];
+    FindSplice(key, seqno, prev, next);
+    for (int level = 0; level < height; ++level) {
+      for (;;) {
+        // Point the new node at its successor BEFORE publishing: the
+        // release CAS below makes key/value/seqno and the lower links
+        // visible to any reader that acquires the pointer.
+        fresh->SetNext(level, next[level]);
+        if (prev[level]->CasNext(level, next[level], fresh)) break;
+        // Lost the race at this level: another writer linked here.
+        // Recompute the splice from the stale prev (it still precedes
+        // the target position — nodes never move or die).
+        FindSpliceForLevel(key, seqno, prev[level], level, &prev[level],
+                           &next[level]);
+      }
     }
     size_.fetch_add(1, std::memory_order_relaxed);
-    return static_cast<int64_t>(key.size() + value.size() + 8);
+    return static_cast<int64_t>(key.size() + v1.size() + v2.size() + 8);
   }
 
   struct Entry {
@@ -90,28 +108,28 @@ class SkipList {
   /// Newest version with seqno <= `snapshot` of the smallest key >= `key`.
   /// Keys whose every version is newer than the snapshot are skipped.
   bool SeekGeq(std::string_view key, uint64_t snapshot, Entry* out) const {
-    Node* node = FindGreaterOrEqual(key, kMaxSequence, nullptr);
+    Node* node = FindGreaterOrEqual(key, kMaxSequence);
     while (node != nullptr) {
       if (node->seqno <= snapshot) {
-        out->key = node->key;
-        out->value = node->value;
+        out->key = node->key();
+        out->value = node->value();
         out->seqno = node->seqno;
         return true;
       }
       // This version is invisible; later versions of the SAME key are
       // older (seqno descends within a key) — the next node is either
       // the visible version we want or the start of the next key.
-      node = node->next[0].load(std::memory_order_acquire);
+      node = node->Next(0);
     }
     return false;
   }
 
   /// Newest version of exactly `key` visible at `snapshot`.
   bool Get(std::string_view key, uint64_t snapshot, Entry* out) const {
-    Node* node = FindGreaterOrEqual(key, snapshot, nullptr);
-    if (node == nullptr || node->key != key) return false;
-    out->key = node->key;
-    out->value = node->value;
+    Node* node = FindGreaterOrEqual(key, snapshot);
+    if (node == nullptr || node->key() != key) return false;
+    out->key = node->key();
+    out->value = node->value();
     out->seqno = node->seqno;
     return true;
   }
@@ -120,30 +138,98 @@ class SkipList {
   uint64_t size() const { return size_.load(std::memory_order_relaxed); }
 
   /// In-order visitation of every version: key ascending, seqno
-  /// descending within a key (flush path). Safe against the writer.
+  /// descending within a key (flush path). Safe against writers.
   template <typename Fn>
   void ForEach(Fn&& fn) const {
-    for (Node* n = head_->next[0].load(std::memory_order_acquire);
-         n != nullptr; n = n->next[0].load(std::memory_order_acquire)) {
-      fn(std::string_view(n->key), n->seqno, std::string_view(n->value));
+    for (Node* n = head_->Next(0); n != nullptr; n = n->Next(0)) {
+      fn(n->key(), n->seqno, n->value());
     }
   }
 
- private:
-  struct Node {
-    Node(std::string k, uint64_t s, std::string v, int height)
-        : key(std::move(k)), seqno(s), value(std::move(v)) {
-      for (int i = 0; i < height; ++i) next[i].store(nullptr);
-    }
-    const std::string key;
-    const uint64_t seqno;
-    const std::string value;
-    std::array<std::atomic<Node*>, kMaxHeight> next{};
+  /// Streaming cursor in internal order (key asc, seqno desc) — the
+  /// flush path's shard-merge input. Safe against concurrent writers.
+  class Iterator {
+   public:
+    explicit Iterator(const SkipList* list)
+        : node_(list->head_->Next(0)) {}
+    bool Valid() const { return node_ != nullptr; }
+    std::string_view key() const { return node_->key(); }
+    uint64_t seqno() const { return node_->seqno; }
+    std::string_view value() const { return node_->value(); }  // internal
+    void Next() { node_ = node_->Next(0); }
+
+   private:
+    const Node* node_;
   };
 
-  int RandomHeight() {
+ private:
+  // Node memory layout, one arena allocation (InlineSkipList-style):
+  //
+  //   [ next level h-1 ] ... [ next level 1 ]   <- higher links GROW DOWN
+  //   [ Node: next_[0] (level 0), seqno, key_len, value_len ]
+  //   [ key bytes ][ value bytes ]
+  //
+  // next_ MUST be the first member: next_[-level] addresses level
+  // `level`'s link in the prefix region before the struct, so the header
+  // offset — and with it key()/value() — is independent of the node's
+  // height, and a node is reached at level L only through level-L links,
+  // so nobody ever reads a link above the node's height.
+  struct Node {
+    std::atomic<Node*> next_[1];
+    uint64_t seqno;
+    uint32_t key_len;
+    uint32_t value_len;
+
+    Node* Next(int level) const {
+      return next_[-level].load(std::memory_order_acquire);
+    }
+    void SetNext(int level, Node* n) {
+      next_[-level].store(n, std::memory_order_relaxed);
+    }
+    bool CasNext(int level, Node* expected, Node* n) {
+      return next_[-level].compare_exchange_strong(
+          expected, n, std::memory_order_release, std::memory_order_relaxed);
+    }
+    const char* data() const {
+      return reinterpret_cast<const char*>(this + 1);
+    }
+    char* data() { return reinterpret_cast<char*>(this + 1); }
+    std::string_view key() const { return {data(), key_len}; }
+    std::string_view value() const { return {data() + key_len, value_len}; }
+  };
+
+  Node* NewNode(std::string_view key, std::string_view v1,
+                std::string_view v2, uint64_t seqno, int height) {
+    const size_t prefix = sizeof(std::atomic<Node*>) *
+                          static_cast<size_t>(height - 1);
+    char* mem = arena_->Allocate(prefix + sizeof(Node) + key.size() +
+                                 v1.size() + v2.size());
+    Node* node = reinterpret_cast<Node*>(mem + prefix);
+    node->seqno = seqno;
+    node->key_len = static_cast<uint32_t>(key.size());
+    node->value_len = static_cast<uint32_t>(v1.size() + v2.size());
+    for (int i = 0; i < height; ++i) node->SetNext(i, nullptr);
+    char* out = node->data();
+    std::memcpy(out, key.data(), key.size());
+    out += key.size();
+    std::memcpy(out, v1.data(), v1.size());
+    out += v1.size();
+    if (!v2.empty()) std::memcpy(out, v2.data(), v2.size());
+    return node;
+  }
+  // Head-node flavor (empty key/value, fixed full height).
+  Node* NewNode(std::string_view key, uint64_t seqno, std::string_view v1,
+                std::string_view v2, int height) {
+    return NewNode(key, v1, v2, seqno, height);
+  }
+
+  static int RandomHeight() {
+    // Each inserting thread rolls its own stream; heights only shape the
+    // probabilistic balance, so cross-thread determinism is not needed.
+    static thread_local Rng rng(
+        0xC0FFEEull ^ reinterpret_cast<uintptr_t>(&rng));
     int h = 1;
-    while (h < kMaxHeight && (rng_.Next() & 3) == 0) ++h;  // p = 1/4
+    while (h < kMaxHeight && (rng.Next() & 3) == 0) ++h;  // p = 1/4
     return h;
   }
 
@@ -151,27 +237,56 @@ class SkipList {
   // position when its key is smaller, or the key matches and its seqno
   // is larger (newer versions first).
   static bool Precedes(const Node* n, std::string_view key, uint64_t seqno) {
-    int c = n->key.compare(key);
+    const int c = n->key().compare(key);
     if (c != 0) return c < 0;
     return n->seqno > seqno;
   }
 
   /// First node at or after position (key, seqno) in internal order.
-  Node* FindGreaterOrEqual(std::string_view key, uint64_t seqno,
-                           std::array<Node*, kMaxHeight>* prev) const {
+  Node* FindGreaterOrEqual(std::string_view key, uint64_t seqno) const {
     Node* node = head_;
     for (int level = kMaxHeight - 1; level >= 0; --level) {
-      Node* next = node->next[level].load(std::memory_order_acquire);
+      Node* next = node->Next(level);
       while (next != nullptr && Precedes(next, key, seqno)) {
         node = next;
-        next = node->next[level].load(std::memory_order_acquire);
+        next = node->Next(level);
       }
-      if (prev != nullptr) (*prev)[level] = node;
     }
-    return node->next[0].load(std::memory_order_acquire);
+    return node->Next(0);
   }
 
-  Rng rng_;
+  /// prev/next at every level for an insert at position (key, seqno).
+  void FindSplice(std::string_view key, uint64_t seqno,
+                  Node** prev, Node** next) const {
+    Node* node = head_;
+    for (int level = kMaxHeight - 1; level >= 0; --level) {
+      Node* nx = node->Next(level);
+      while (nx != nullptr && Precedes(nx, key, seqno)) {
+        node = nx;
+        nx = node->Next(level);
+      }
+      prev[level] = node;
+      next[level] = nx;
+    }
+  }
+
+  /// Recomputes one level's splice starting from `start` (which must
+  /// precede the target position at this level).
+  static void FindSpliceForLevel(std::string_view key, uint64_t seqno,
+                                 Node* start, int level, Node** prev,
+                                 Node** next) {
+    Node* node = start;
+    Node* nx = node->Next(level);
+    while (nx != nullptr && Precedes(nx, key, seqno)) {
+      node = nx;
+      nx = node->Next(level);
+    }
+    *prev = node;
+    *next = nx;
+  }
+
+  std::unique_ptr<Arena> owned_arena_;  // only when no arena was passed
+  Arena* arena_;
   Node* head_;
   std::atomic<uint64_t> size_{0};
 };

@@ -347,4 +347,61 @@ int SstReader::SeekInRange(std::string_view lo, std::string_view hi,
   return 1;
 }
 
+int SstReader::RangeCursor::Seek(std::string_view lo, std::string_view hi,
+                                 Status* status) {
+  block_ = reader_->index_.LowerBound(lo);
+  loaded_ = false;
+  pos_ = 0;
+  return ScanForward(lo, hi, status);
+}
+
+int SstReader::RangeCursor::SkipTo(std::string_view lo, std::string_view hi,
+                                   Status* status) {
+  // Resume from where the cursor stands; entries before `lo` (the old
+  // position's key and anything between) are skipped by the scan.
+  return ScanForward(lo, hi, status);
+}
+
+int SstReader::RangeCursor::ScanForward(std::string_view lo,
+                                        std::string_view hi, Status* status) {
+  for (;;) {
+    if (!loaded_) {
+      if (block_ >= reader_->n_blocks()) return 1;
+      Status s = reader_->ReadDataBlock(block_, &blockr_, opts_);
+      if (!s.ok()) {
+        if (status != nullptr) *status = std::move(s);
+        return -1;
+      }
+      loaded_ = true;
+      // Entries below the scan floor cannot win; binary-search past them
+      // whenever a block is entered fresh.
+      pos_ = blockr_.LowerBound(lo);
+    }
+    for (; pos_ < blockr_.n_entries(); ++pos_) {
+      std::string_view k = blockr_.KeyAt(pos_);
+      if (k < lo) continue;  // SkipTo resume: stale prefix of this block
+      if (k > hi) return 1;
+      ParsedValue parsed;
+      if (!ParseSstValue(reader_->footer_version_, blockr_.ValueAt(pos_),
+                         &parsed)) {
+        if (status != nullptr) {
+          *status = Status::Corruption("SST value malformed: " +
+                                       reader_->path_);
+        }
+        return -1;
+      }
+      // Newest-first version runs: the first entry at or under the
+      // horizon is the newest visible version of its key.
+      if (parsed.seqno > snapshot_) continue;
+      entry_.key.assign(k);
+      entry_.value.assign(parsed.user_value);
+      entry_.seqno = parsed.seqno;
+      entry_.tombstone = parsed.tombstone();
+      return 0;
+    }
+    ++block_;
+    loaded_ = false;
+  }
+}
+
 }  // namespace proteus

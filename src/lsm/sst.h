@@ -171,6 +171,48 @@ class SstReader {
                   const BlockReadOptions& opts, SeekEntry* out,
                   Status* status = nullptr) const;
 
+  /// A positioned SeekInRange: one Seek() descends the index, then
+  /// SkipTo() re-positions FORWARD from where the cursor stands instead
+  /// of descending again. The Db's Seek loop keeps one RangeCursor per
+  /// SST source, so walking a run of consecutive tombstones costs one
+  /// index descent per file total — not one per tombstone.
+  class RangeCursor {
+   public:
+    RangeCursor() = default;
+
+    void Init(const SstReader* reader, const BlockReadOptions& opts,
+              uint64_t snapshot) {
+      reader_ = reader;
+      opts_ = opts;
+      snapshot_ = snapshot;
+    }
+
+    /// Positions at the newest visible version of the smallest key in
+    /// [lo, hi]. Returns 0 = found (entry() is valid), 1 = nothing in
+    /// range, -1 = read error (details in `status`).
+    int Seek(std::string_view lo, std::string_view hi, Status* status);
+
+    /// Same contract as Seek(), but resumes from the current position —
+    /// valid only after a Seek() on this cursor, with `lo` at or past
+    /// the previous result's key (the Db's tombstone cursor only grows).
+    int SkipTo(std::string_view lo, std::string_view hi, Status* status);
+
+    const SeekEntry& entry() const { return entry_; }
+
+   private:
+    int ScanForward(std::string_view lo, std::string_view hi,
+                    Status* status);
+
+    const SstReader* reader_ = nullptr;
+    BlockReadOptions opts_;
+    uint64_t snapshot_ = ~uint64_t{0};
+    size_t block_ = 0;    // index of the block the cursor stands in
+    size_t pos_ = 0;      // entry index within block_
+    bool loaded_ = false; // blockr_ holds block_'s contents
+    BlockReader blockr_;
+    SeekEntry entry_;
+  };
+
   /// Reads every data block (bypassing the cache), verifying the v3
   /// per-block CRC32C and the in-block checksum. Returns the first
   /// failure as a Corruption/IOError status.
