@@ -22,6 +22,7 @@
 #include "trie/bit_trie.h"
 #include "util/random.h"
 #include "util/rank_select.h"
+#include "util/simd.h"
 #include "workload/datasets.h"
 #include "workload/queries.h"
 
@@ -64,6 +65,75 @@ void BM_BloomProbe(benchmark::State& state) {
 }
 BENCHMARK(BM_BloomProbe)->Arg(0)->Arg(1)
     ->ArgName("blocked");
+
+void BM_BloomMultiProbe(benchmark::State& state) {
+  // The batched probe kernel behind every MultiMayContain path, in the
+  // regime it actually runs in: one per-SST blocked filter (100k keys at
+  // 14 bpk ≈ 170 KB) that stays L2-resident across a query batch. avx2=0
+  // forces the scalar fallback, so the {0,64} vs {1,64} pair is the
+  // dispatch win; batch=1 shows the kernel's fixed overhead.
+  auto keys = GenerateKeys(Dataset::kUniform, 100000, 3);
+  BloomFilter bf(keys.size() * 14,
+                 BloomFilter::OptimalHashes(keys.size() * 14, keys.size()),
+                 /*blocked=*/true);
+  for (uint64_t k : keys) bf.InsertInt(k);
+  const size_t batch = static_cast<size_t>(state.range(1));
+  const bool prev = SetForceScalar(state.range(0) == 0);
+  Rng rng(4);
+  std::vector<uint64_t> h1(batch), h2(batch);
+  std::vector<uint8_t> out(batch);
+  for (auto _ : state) {
+    for (size_t i = 0; i < batch; ++i) {
+      BloomFilter::HashInt(rng.Next(), &h1[i], &h2[i]);
+    }
+    bf.MultiContainHash(h1.data(), h2.data(), batch, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  SetForceScalar(prev);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_BloomMultiProbe)
+    ->ArgNames({"avx2", "batch"})
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({0, 8})
+    ->Args({1, 8})
+    ->Args({0, 64})
+    ->Args({1, 64});
+
+void BM_MultiRank1(benchmark::State& state) {
+  // Batched rank9 lookups (the trie's MultiSeekGeq inner step) over a
+  // 1 Mbit vector; positions stride past L1 so the gather's parallel
+  // misses are what the AVX2 path buys.
+  Rng rng(5);
+  BitVector bv;
+  for (int i = 0; i < 1 << 20; ++i) bv.PushBack(rng.NextBelow(2));
+  RankSelect rs(&bv);
+  const size_t batch = static_cast<size_t>(state.range(1));
+  const bool prev = SetForceScalar(state.range(0) == 0);
+  std::vector<uint64_t> pos(batch), out(batch);
+  uint64_t x = 0;
+  for (auto _ : state) {
+    for (size_t i = 0; i < batch; ++i) {
+      pos[i] = x;
+      x = (x + 977) & ((1 << 20) - 1);
+    }
+    rs.MultiRank1(pos.data(), batch, out.data());
+    benchmark::DoNotOptimize(out.data());
+  }
+  SetForceScalar(prev);
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(batch));
+}
+BENCHMARK(BM_MultiRank1)
+    ->ArgNames({"avx2", "batch"})
+    ->Args({0, 1})
+    ->Args({1, 1})
+    ->Args({0, 8})
+    ->Args({1, 8})
+    ->Args({0, 64})
+    ->Args({1, 64});
 
 void BM_PrefixBloomWalk(benchmark::State& state) {
   // The Proteus inner loop: a multi-prefix walk over consecutive l2

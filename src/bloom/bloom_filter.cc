@@ -4,6 +4,12 @@
 #include <cmath>
 #include <cstring>
 
+#include "util/simd.h"
+
+#if PROTEUS_HAVE_AVX2_KERNELS
+#include <immintrin.h>
+#endif
+
 namespace proteus {
 
 BloomFilter::BloomFilter(uint64_t n_bits, uint32_t n_hashes, bool blocked)
@@ -121,6 +127,127 @@ bool BloomFilter::MayContainHash(uint64_t h1, uint64_t h2) const {
     if (((words_[bit >> 6] >> (bit & 63)) & 1) == 0) return false;
   }
   return true;
+}
+
+#if PROTEUS_HAVE_AVX2_KERNELS
+namespace {
+
+/// AVX2 batch probe of the blocked layout: 8 queries per iteration as two
+/// interleaved 4-lane streams, so eight independent gathers are in flight
+/// while each probe's shift/test resolves. Per probe round each lane
+/// computes bit = pos & 511 inside its own 512-bit block, gathers the
+/// containing word, and ANDs the tested bit into an accumulator; one
+/// testz pair early-exits the probe loop once all 8 lanes have failed.
+/// Block selection is the same multiply-shift as the scalar path, done
+/// with scalar 128-bit multiplies (AVX2 has no 64x64 high-half multiply;
+/// the gathers dominate regardless). Returns how many queries were
+/// resolved — always a multiple of 8; the caller finishes the tail.
+__attribute__((target("avx2"))) size_t MultiContainBlockedAvx2(
+    const uint64_t* words, uint64_t n_blocks, uint32_t n_hashes,
+    const uint64_t* h1, const uint64_t* h2, size_t n, uint8_t* out) {
+  const long long* base = reinterpret_cast<const long long*>(words);
+  const __m256i one = _mm256_set1_epi64x(1);
+  const __m256i block_mask = _mm256_set1_epi64x(BloomFilter::kBlockBits - 1);
+  const __m256i shift_mask = _mm256_set1_epi64x(63);
+  const auto block_word = [&](size_t q) {
+    return static_cast<long long>(
+        static_cast<uint64_t>(
+            (static_cast<unsigned __int128>(h1[q]) * n_blocks) >> 64) *
+        8);
+  };
+  // Split each chunk into a prefetch phase and a probe phase: every
+  // block a chunk will touch is exactly one cache line, so issuing all
+  // the prefetches first puts up to kChunk lines in flight before the
+  // first gather needs one — far more latency overlap than the scalar
+  // loop's one-query lookahead, and the chunk is small enough that the
+  // early lines are still resident when their group probes.
+  constexpr size_t kChunk = 256;
+  alignas(32) long long bases[kChunk];
+  size_t i = 0;
+  while (i + 8 <= n) {
+    const size_t m = std::min(n - i, kChunk) & ~size_t{7};
+    for (size_t q = 0; q < m; ++q) {
+      bases[q] = block_word(i + q);
+      __builtin_prefetch(words + bases[q]);
+    }
+    for (size_t g = 0; g + 8 <= m; g += 8, i += 8) {
+    const __m256i base_a =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(bases + g));
+    const __m256i base_b =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(bases + g + 4));
+    const __m256i h1_a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(h1 + i));
+    const __m256i h1_b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(h1 + i + 4));
+    const __m256i step_a = _mm256_or_si256(h1_a, one);
+    const __m256i step_b = _mm256_or_si256(h1_b, one);
+    __m256i pos_a =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(h2 + i));
+    __m256i pos_b =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(h2 + i + 4));
+    __m256i acc_a = one;
+    __m256i acc_b = one;
+    for (uint32_t p = 0; p < n_hashes; ++p) {
+      const __m256i bit_a = _mm256_and_si256(pos_a, block_mask);
+      const __m256i bit_b = _mm256_and_si256(pos_b, block_mask);
+      const __m256i idx_a =
+          _mm256_add_epi64(base_a, _mm256_srli_epi64(bit_a, 6));
+      const __m256i idx_b =
+          _mm256_add_epi64(base_b, _mm256_srli_epi64(bit_b, 6));
+      const __m256i word_a = _mm256_i64gather_epi64(base, idx_a, 8);
+      const __m256i word_b = _mm256_i64gather_epi64(base, idx_b, 8);
+      acc_a = _mm256_and_si256(
+          acc_a, _mm256_srlv_epi64(word_a, _mm256_and_si256(bit_a,
+                                                            shift_mask)));
+      acc_b = _mm256_and_si256(
+          acc_b, _mm256_srlv_epi64(word_b, _mm256_and_si256(bit_b,
+                                                            shift_mask)));
+      pos_a = _mm256_add_epi64(pos_a, step_a);
+      pos_b = _mm256_add_epi64(pos_b, step_b);
+      // Only bit 0 of each accumulator lane carries the verdict; stop
+      // probing once it is clear in all 8 lanes.
+      if (_mm256_testz_si256(acc_a, one) && _mm256_testz_si256(acc_b, one)) {
+        break;
+      }
+    }
+    alignas(32) uint64_t lanes[8];
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes),
+                       _mm256_and_si256(acc_a, one));
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes + 4),
+                       _mm256_and_si256(acc_b, one));
+    for (int j = 0; j < 8; ++j) out[i + j] = static_cast<uint8_t>(lanes[j]);
+    }
+  }
+  return i;
+}
+
+}  // namespace
+#endif  // PROTEUS_HAVE_AVX2_KERNELS
+
+void BloomFilter::MultiContainHash(const uint64_t* h1, const uint64_t* h2,
+                                   size_t n, uint8_t* out) const {
+  if (n == 0) return;
+  if (words_.empty()) {
+    std::memset(out, 1, n);  // conservative, matching MayContainHash
+    return;
+  }
+  size_t i = 0;
+#if PROTEUS_HAVE_AVX2_KERNELS
+  // The standard layout reduces each probe mod n_bits_ — an arbitrary
+  // 64-bit modulo with no efficient AVX2 form — so only the blocked
+  // layout (one multiply-shift block pick, then power-of-two masks)
+  // has a vector kernel.
+  if (blocked_ && SimdAvx2Enabled()) {
+    i = MultiContainBlockedAvx2(words_.data(), words_.size() / 8, n_hashes_,
+                                h1, h2, n, out);
+  }
+#endif
+  // Scalar fallback and tail: the whole batch's hashes are in hand, so
+  // prefetch one query ahead while the current probe's loads resolve.
+  for (; i < n; ++i) {
+    if (i + 1 < n) PrefetchHash(h1[i + 1]);
+    out[i] = MayContainHash(h1[i], h2[i]) ? 1 : 0;
+  }
 }
 
 void BloomFilter::AppendTo(std::string* out) const {

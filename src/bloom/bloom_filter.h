@@ -72,6 +72,15 @@ class BloomFilter {
   void InsertHash(uint64_t h1, uint64_t h2);
   bool MayContainHash(uint64_t h1, uint64_t h2) const;
 
+  /// Batch probe: out[i] = MayContainHash(h1[i], h2[i]) != 0 for i < n.
+  /// Blocked filters dispatch to an AVX2 gather kernel that resolves 8
+  /// queries per instruction stream (see util/simd.h for the switchery);
+  /// the standard layout and non-AVX2 machines take a pipelined scalar
+  /// loop that prefetches one query ahead. Both paths return identical
+  /// bits for identical inputs.
+  void MultiContainHash(const uint64_t* h1, const uint64_t* h2, size_t n,
+                        uint8_t* out) const;
+
   /// Issues a prefetch for the cache line the probe for h1 will touch
   /// first. Cheap enough to call speculatively one probe ahead.
   void PrefetchHash(uint64_t h1) const {

@@ -5,29 +5,37 @@
 namespace proteus {
 namespace {
 
-/// Shared "bpk" parameter handling for both key kinds.
-bool ParseBpk(const FilterSpec& spec, double* bpk, std::string* error) {
-  if (!spec.ExpectKeys({"bpk"}, error)) return false;
+/// Shared "bpk"/"blocked" parameter handling for both key kinds.
+bool ParseBpk(const FilterSpec& spec, double* bpk, bool* blocked,
+              std::string* error) {
+  if (!spec.ExpectKeys({"bpk", "blocked"}, error)) return false;
   if (!spec.GetDouble("bpk", 12.0, bpk, error)) return false;
   if (*bpk <= 0.0) {
     if (error != nullptr) *error = "bloom bpk must be positive";
     return false;
   }
+  uint32_t blocked_u32;
+  if (!spec.GetUint32("blocked", 1, &blocked_u32, error)) return false;
+  if (blocked_u32 > 1) {
+    if (error != nullptr) *error = "bloom blocked must be 0 or 1";
+    return false;
+  }
+  *blocked = blocked_u32 != 0;
   return true;
 }
 
-BloomFilter MakeBloom(uint64_t n_keys, double bits_per_key) {
+BloomFilter MakeBloom(uint64_t n_keys, double bits_per_key, bool blocked) {
   uint64_t bits = static_cast<uint64_t>(bits_per_key *
                                         static_cast<double>(n_keys));
-  return BloomFilter(bits, BloomFilter::OptimalHashes(bits, n_keys));
+  return BloomFilter(bits, BloomFilter::OptimalHashes(bits, n_keys), blocked);
 }
 
 }  // namespace
 
 std::unique_ptr<BloomIntFilter> BloomIntFilter::Build(
-    const std::vector<uint64_t>& keys, double bits_per_key) {
+    const std::vector<uint64_t>& keys, double bits_per_key, bool blocked) {
   auto filter = std::make_unique<BloomIntFilter>();
-  filter->bf_ = MakeBloom(keys.size(), bits_per_key);
+  filter->bf_ = MakeBloom(keys.size(), bits_per_key, blocked);
   for (uint64_t k : keys) filter->bf_.InsertInt(k);
   return filter;
 }
@@ -35,36 +43,38 @@ std::unique_ptr<BloomIntFilter> BloomIntFilter::Build(
 std::unique_ptr<BloomIntFilter> BloomIntFilter::BuildFromSpec(
     const FilterSpec& spec, FilterBuilder& builder, std::string* error) {
   double bpk;
-  if (!ParseBpk(spec, &bpk, error)) return nullptr;
-  return Build(builder.keys(), bpk);
+  bool blocked;
+  if (!ParseBpk(spec, &bpk, &blocked, error)) return nullptr;
+  return Build(builder.keys(), bpk, blocked);
 }
 
 void BloomIntFilter::MultiMayContain(const uint64_t* lo, const uint64_t* hi,
                                      size_t n, uint8_t* out) const {
-  // Depth-1 software pipeline over the point queries: while probe i
-  // resolves, the next point query's (h1, h2) is computed and its cache
-  // line pulled in. Non-point queries answer true without touching the
-  // filter (and without disturbing the pipeline).
-  auto hash_next = [&](size_t from, uint64_t* h1, uint64_t* h2) -> size_t {
-    for (size_t j = from; j < n; ++j) {
-      if (lo[j] != hi[j]) {
-        out[j] = 1;
-        continue;
-      }
-      BloomFilter::HashInt(lo[j], h1, h2);
-      bf_.PrefetchHash(*h1);
-      return j;
-    }
-    return n;
+  // Compact the point queries' hashes into stack chunks and resolve each
+  // chunk through the multi-query kernel (AVX2 gathers on blocked
+  // filters, the pipelined scalar loop otherwise — see
+  // BloomFilter::MultiContainHash). Non-point queries answer true without
+  // touching the filter and without occupying a chunk slot.
+  constexpr size_t kChunk = 64;
+  uint64_t h1[kChunk], h2[kChunk];
+  size_t query[kChunk];
+  uint8_t res[kChunk];
+  size_t m = 0;
+  auto flush = [&] {
+    bf_.MultiContainHash(h1, h2, m, res);
+    for (size_t j = 0; j < m; ++j) out[query[j]] = res[j];
+    m = 0;
   };
-  uint64_t h1 = 0, h2 = 0;
-  size_t i = hash_next(0, &h1, &h2);
-  while (i < n) {
-    const uint64_t cur1 = h1, cur2 = h2;
-    const size_t cur = i;
-    i = hash_next(i + 1, &h1, &h2);
-    out[cur] = bf_.MayContainHash(cur1, cur2) ? 1 : 0;
+  for (size_t j = 0; j < n; ++j) {
+    if (lo[j] != hi[j]) {
+      out[j] = 1;  // point filter: cannot rule out ranges
+      continue;
+    }
+    BloomFilter::HashInt(lo[j], &h1[m], &h2[m]);
+    query[m] = j;
+    if (++m == kChunk) flush();
   }
+  if (m > 0) flush();
 }
 
 void BloomIntFilter::SerializePayload(std::string* out) const {
@@ -79,9 +89,9 @@ std::unique_ptr<BloomIntFilter> BloomIntFilter::DeserializePayload(
 }
 
 std::unique_ptr<BloomStrFilter> BloomStrFilter::Build(
-    const std::vector<std::string>& keys, double bits_per_key) {
+    const std::vector<std::string>& keys, double bits_per_key, bool blocked) {
   auto filter = std::make_unique<BloomStrFilter>();
-  filter->bf_ = MakeBloom(keys.size(), bits_per_key);
+  filter->bf_ = MakeBloom(keys.size(), bits_per_key, blocked);
   for (const std::string& k : keys) filter->bf_.InsertBytes(k);
   return filter;
 }
@@ -89,34 +99,36 @@ std::unique_ptr<BloomStrFilter> BloomStrFilter::Build(
 std::unique_ptr<BloomStrFilter> BloomStrFilter::BuildFromSpec(
     const FilterSpec& spec, StrFilterBuilder& builder, std::string* error) {
   double bpk;
-  if (!ParseBpk(spec, &bpk, error)) return nullptr;
-  return Build(builder.keys(), bpk);
+  bool blocked;
+  if (!ParseBpk(spec, &bpk, &blocked, error)) return nullptr;
+  return Build(builder.keys(), bpk, blocked);
 }
 
 void BloomStrFilter::MultiMayContain(const std::string_view* lo,
                                      const std::string_view* hi, size_t n,
                                      uint8_t* out) const {
-  // Same pipeline as BloomIntFilter::MultiMayContain, over byte strings.
-  auto hash_next = [&](size_t from, uint64_t* h1, uint64_t* h2) -> size_t {
-    for (size_t j = from; j < n; ++j) {
-      if (lo[j] != hi[j]) {
-        out[j] = 1;
-        continue;
-      }
-      BloomFilter::HashBytes(lo[j], h1, h2);
-      bf_.PrefetchHash(*h1);
-      return j;
-    }
-    return n;
+  // Same chunked batching as BloomIntFilter::MultiMayContain, over byte
+  // strings.
+  constexpr size_t kChunk = 64;
+  uint64_t h1[kChunk], h2[kChunk];
+  size_t query[kChunk];
+  uint8_t res[kChunk];
+  size_t m = 0;
+  auto flush = [&] {
+    bf_.MultiContainHash(h1, h2, m, res);
+    for (size_t j = 0; j < m; ++j) out[query[j]] = res[j];
+    m = 0;
   };
-  uint64_t h1 = 0, h2 = 0;
-  size_t i = hash_next(0, &h1, &h2);
-  while (i < n) {
-    const uint64_t cur1 = h1, cur2 = h2;
-    const size_t cur = i;
-    i = hash_next(i + 1, &h1, &h2);
-    out[cur] = bf_.MayContainHash(cur1, cur2) ? 1 : 0;
+  for (size_t j = 0; j < n; ++j) {
+    if (lo[j] != hi[j]) {
+      out[j] = 1;
+      continue;
+    }
+    BloomFilter::HashBytes(lo[j], &h1[m], &h2[m]);
+    query[m] = j;
+    if (++m == kChunk) flush();
   }
+  if (m > 0) flush();
 }
 
 void BloomStrFilter::SerializePayload(std::string* out) const {

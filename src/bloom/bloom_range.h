@@ -30,7 +30,8 @@ class BloomIntFilter : public RangeFilter {
   static constexpr uint32_t kFamilyId = 8;
 
   static std::unique_ptr<BloomIntFilter> Build(
-      const std::vector<uint64_t>& keys, double bits_per_key);
+      const std::vector<uint64_t>& keys, double bits_per_key,
+      bool blocked = true);
   static std::unique_ptr<BloomIntFilter> BuildFromSpec(const FilterSpec& spec,
                                                        FilterBuilder& builder,
                                                        std::string* error);
@@ -39,8 +40,9 @@ class BloomIntFilter : public RangeFilter {
     if (lo != hi) return true;  // point filter: cannot rule out ranges
     return bf_.MayContainInt(lo);
   }
-  /// Pipelined point probes: hash query i+1 and prefetch its cache line
-  /// while query i's probe resolves.
+  /// Batched point probes: point queries' hashes are compacted into
+  /// stack chunks and resolved through BloomFilter::MultiContainHash
+  /// (AVX2 multi-query gathers on blocked filters).
   void MultiMayContain(const uint64_t* lo, const uint64_t* hi, size_t n,
                        uint8_t* out) const override;
   uint64_t SizeBits() const override { return bf_.SizeBits(); }
@@ -61,7 +63,8 @@ class BloomStrFilter : public StrRangeFilter {
   static constexpr uint32_t kFamilyId = 9;
 
   static std::unique_ptr<BloomStrFilter> Build(
-      const std::vector<std::string>& keys, double bits_per_key);
+      const std::vector<std::string>& keys, double bits_per_key,
+      bool blocked = true);
   static std::unique_ptr<BloomStrFilter> BuildFromSpec(
       const FilterSpec& spec, StrFilterBuilder& builder, std::string* error);
 

@@ -52,11 +52,50 @@ void PrefixBloom::HashPrefix(uint64_t prefix_value, uint64_t* h1,
   *h2 = Murmur3Int64(prefix_value, SaltedLen(kSeed2, prefix_len_));
 }
 
+void PrefixBloom::MultiProbePrefix(const uint64_t* prefix_values, size_t n,
+                                   uint8_t* out) const {
+  const uint64_t s1 = SaltedLen(kSeed1, prefix_len_);
+  const uint64_t s2 = SaltedLen(kSeed2, prefix_len_);
+  constexpr size_t kChunk = 64;
+  uint64_t h1[kChunk], h2[kChunk];
+  for (size_t i = 0; i < n; i += kChunk) {
+    const size_t m = std::min(n - i, kChunk);
+    for (size_t j = 0; j < m; ++j) {
+      h1[j] = Murmur3Int64(prefix_values[i + j], s1);
+      h2[j] = Murmur3Int64(prefix_values[i + j], s2);
+    }
+    bf_.MultiContainHash(h1, h2, m, out + i);
+  }
+}
+
 bool PrefixBloom::ProbeRange(uint64_t first, uint64_t last) const {
   const uint64_t s1 = SaltedLen(kSeed1, prefix_len_);
   const uint64_t s2 = SaltedLen(kSeed2, prefix_len_);
-  // Software-pipelined walk: while probe p resolves, hash p + 1 and pull
-  // its cache line in.
+  // Dense walks batch consecutive prefixes through the multi-query
+  // kernel, short-circuiting at chunk granularity; `last - first` (not
+  // the +1 count) so a full-domain range cannot wrap the comparison.
+  if (last - first >= 15) {
+    constexpr size_t kChunk = 64;
+    uint64_t h1[kChunk], h2[kChunk];
+    uint8_t res[kChunk];
+    for (uint64_t p = first;;) {
+      const uint64_t remaining = last - p;  // prefixes after p
+      const size_t m =
+          remaining >= kChunk - 1 ? kChunk : static_cast<size_t>(remaining) + 1;
+      for (size_t j = 0; j < m; ++j) {
+        h1[j] = Murmur3Int64(p + j, s1);
+        h2[j] = Murmur3Int64(p + j, s2);
+      }
+      bf_.MultiContainHash(h1, h2, m, res);
+      for (size_t j = 0; j < m; ++j) {
+        if (res[j] != 0) return true;
+      }
+      if (remaining < kChunk) return false;
+      p += kChunk;
+    }
+  }
+  // Short walks keep the software pipeline: while probe p resolves, hash
+  // p + 1 and pull its cache line in.
   uint64_t h1 = Murmur3Int64(first, s1);
   uint64_t h2 = Murmur3Int64(first, s2);
   bf_.PrefetchHash(h1);
@@ -82,6 +121,36 @@ bool PrefixBloom::MayContain(uint64_t lo, uint64_t hi,
   // wraps to 0) still trips the limit instead of walking forever.
   if (last - first >= probe_limit) return true;
   return ProbeRange(first, last);
+}
+
+void PrefixBloom::MultiMayContain(const uint64_t* lo, const uint64_t* hi,
+                                  size_t n, uint8_t* out) const {
+  constexpr size_t kChunk = 256;
+  uint64_t vals[kChunk];
+  uint32_t owner[kChunk];
+  uint8_t res[kChunk];
+  size_t m = 0;
+  auto flush = [&] {
+    MultiProbePrefix(vals, m, res);
+    for (size_t j = 0; j < m; ++j) out[owner[j]] |= res[j];
+    m = 0;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t first = PrefixBits64(lo[i], prefix_len_);
+    const uint64_t last = PrefixBits64(hi[i], prefix_len_);
+    if (last - first >= kFlattenLimit) {
+      out[i] = MayContain(lo[i], hi[i]) ? 1 : 0;
+      continue;
+    }
+    out[i] = 0;
+    for (uint64_t p = first;; ++p) {
+      vals[m] = p;
+      owner[m] = static_cast<uint32_t>(i);
+      if (++m == kChunk) flush();
+      if (p == last) break;
+    }
+  }
+  if (m > 0) flush();
 }
 
 StrPrefixBloom::StrPrefixBloom(const std::vector<std::string>& sorted_keys,
@@ -135,7 +204,11 @@ bool StrPrefixBloom::ProbeRange(std::string_view first,
   uint64_t h1 = ClHash64(cur, s1);
   uint64_t h2 = ClHash64(cur, s2);
   bf_.PrefetchHash(h1);
-  for (;;) {
+  // Most walks resolve within a handful of prefixes; pipeline those one
+  // ahead as before, and only a walk that survives kScalarProbes falls
+  // through to chunked multi-query probes below.
+  constexpr int kScalarProbes = 8;
+  for (int probes = 0; probes < kScalarProbes; ++probes) {
     const bool at_last = cur == last;
     uint64_t nh1 = 0, nh2 = 0;
     bool have_next = false;
@@ -153,6 +226,29 @@ bool StrPrefixBloom::ProbeRange(std::string_view first,
     cur.swap(next);
     h1 = nh1;
     h2 = nh2;
+  }
+  // Long walk: hash successors in chunks and resolve each chunk through
+  // the multi-query kernel, short-circuiting at chunk granularity.
+  constexpr size_t kChunk = 32;
+  uint64_t h1v[kChunk], h2v[kChunk];
+  uint8_t res[kChunk];
+  for (;;) {
+    size_t m = 0;
+    bool at_end = false;
+    while (m < kChunk) {
+      h1v[m] = ClHash64(cur, s1);
+      h2v[m] = ClHash64(cur, s2);
+      ++m;
+      if (cur == last || !StrPrefixIncrement(&cur, prefix_len_)) {
+        at_end = true;
+        break;
+      }
+    }
+    bf_.MultiContainHash(h1v, h2v, m, res);
+    for (size_t j = 0; j < m; ++j) {
+      if (res[j] != 0) return true;
+    }
+    if (at_end) return false;
   }
 }
 

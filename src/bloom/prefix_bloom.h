@@ -62,12 +62,38 @@ class PrefixBloom {
     return bf_.MayContainHash(h1, h2);
   }
 
+  /// Batch form of ProbeHash over parallel (h1, h2) arrays; dispatches to
+  /// the AVX2 multi-query kernel when available (util/simd.h). This is the
+  /// entry the 1PBF/2PBF coarse walks and Rosetta's per-level probes use
+  /// once a batch is dense enough to beat the one-ahead scalar pipeline.
+  void MultiProbeHash(const uint64_t* h1, const uint64_t* h2, size_t n,
+                      uint8_t* out) const {
+    bf_.MultiContainHash(h1, h2, n, out);
+  }
+
+  /// Hashes `n` right-aligned l-bit prefix values in stack-sized chunks
+  /// and batch-probes them: out[i] = ProbePrefix(prefix_values[i]).
+  void MultiProbePrefix(const uint64_t* prefix_values, size_t n,
+                        uint8_t* out) const;
+
   /// True if any l-bit prefix overlapping [lo, hi] probes positive.
   /// Probing short-circuits on the first positive. If the number of
   /// overlapping prefixes exceeds `probe_limit`, conservatively returns
   /// true (never a false negative).
   bool MayContain(uint64_t lo, uint64_t hi,
                   uint64_t probe_limit = kDefaultProbeLimit) const;
+
+  /// Batch MayContain: narrow queries' prefixes (usually one or two per
+  /// query) are flattened into one value array with an owner index per
+  /// entry and resolved through the multi-query kernel; queries spanning
+  /// kFlattenLimit or more prefixes keep the scalar short-circuiting
+  /// walk (and its probe-limit guard). Used by 1PBF directly and by 2PBF
+  /// for its degenerate no-coarse-filter configuration.
+  void MultiMayContain(const uint64_t* lo, const uint64_t* hi, size_t n,
+                       uint8_t* out) const;
+
+  /// Queries at least this wide bypass batch flattening.
+  static constexpr uint64_t kFlattenLimit = 16;
 
   uint32_t prefix_len() const { return prefix_len_; }
   uint64_t n_items() const { return n_items_; }

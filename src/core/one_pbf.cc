@@ -64,17 +64,10 @@ bool OnePbfFilter::MayContain(uint64_t lo, uint64_t hi) const {
 
 void OnePbfFilter::MultiMayContain(const uint64_t* lo, const uint64_t* hi,
                                    size_t n, uint8_t* out) const {
-  // ProbeRange pipelines hashing within one query's prefix walk; here the
-  // pipeline crosses query boundaries: before query i's walk starts, query
-  // i+1's first prefix is hashed and its cache line requested, so the
-  // first (often only) probe of each query finds its line resident.
-  if (n == 0) return;
-  const uint32_t l = bf_.prefix_len();
-  bf_.PrefetchPrefix(PrefixBits64(lo[0], l));
-  for (size_t i = 0; i < n; ++i) {
-    if (i + 1 < n) bf_.PrefetchPrefix(PrefixBits64(lo[i + 1], l));
-    out[i] = bf_.MayContain(lo[i], hi[i]) ? 1 : 0;
-  }
+  // Narrow queries' prefixes are flattened across query boundaries and
+  // resolved through the multi-query kernel; see
+  // PrefixBloom::MultiMayContain.
+  bf_.MultiMayContain(lo, hi, n, out);
 }
 
 void OnePbfFilter::SerializePayload(std::string* out) const {

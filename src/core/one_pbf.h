@@ -37,8 +37,9 @@ class OnePbfFilter : public RangeFilter {
       double bits_per_key, bool blocked_bloom = false);
 
   bool MayContain(uint64_t lo, uint64_t hi) const override;
-  /// Pipelined across queries: while query i's prefix walk resolves,
-  /// query i+1's first prefix is hashed and its cache line prefetched.
+  /// Batched across queries: narrow queries' prefixes are flattened into
+  /// one array and resolved through the AVX2 multi-query kernel
+  /// (PrefixBloom::MultiMayContain); wide queries keep the scalar walk.
   void MultiMayContain(const uint64_t* lo, const uint64_t* hi, size_t n,
                        uint8_t* out) const override;
   uint64_t SizeBits() const override { return bf_.SizeBits(); }

@@ -95,17 +95,23 @@ bool ProteusFilter::MayContain(uint64_t lo, uint64_t hi) const {
     if (l2 == 0) return true;  // no structure: always positive
     return bf_.MayContain(lo, hi);
   }
-  const uint64_t from = PrefixBits64(lo, l1);
-  const uint64_t to = PrefixBits64(hi, l1);
   // One cursor serves the whole leaf walk: Next() resumes from the current
   // leaf instead of re-descending from the root per visited leaf. Stack-
   // allocated and allocation-free for integer tries.
   BitTrie::Cursor cur(&trie_);
-  if (!cur.SeekGeq(from)) return false;
-  while (cur.value() <= to) {
+  if (!cur.SeekGeq(PrefixBits64(lo, l1))) return false;
+  return WalkFrom(&cur, lo, hi);
+}
+
+bool ProteusFilter::WalkFrom(BitTrie::Cursor* cur, uint64_t lo,
+                             uint64_t hi) const {
+  const uint32_t l1 = config_.trie_depth;
+  const uint32_t l2 = config_.bf_prefix_len;
+  const uint64_t to = PrefixBits64(hi, l1);
+  while (cur->value() <= to) {
     if (l2 == 0) return true;  // trie hit and nothing to refine with
     // Probe the l2-prefixes of Q that fall under the matched l1-prefix.
-    const uint64_t v = cur.value();
+    const uint64_t v = cur->value();
     uint64_t region_lo = PrefixRangeLo64(v, l1);
     uint64_t region_hi = PrefixRangeHi64(v, l1);
     uint64_t probe_lo = std::max(lo, region_lo);
@@ -116,9 +122,45 @@ bool ProteusFilter::MayContain(uint64_t lo, uint64_t hi) const {
     if (last - first >= PrefixBloom::kDefaultProbeLimit) return true;
     if (bf_.ProbeRange(first, last)) return true;
     // Advance to the next trie leaf.
-    if (v == to || !cur.Next()) break;
+    if (v == to || !cur->Next()) break;
   }
   return false;
+}
+
+void ProteusFilter::MultiMayContain(const uint64_t* lo, const uint64_t* hi,
+                                    size_t n, uint8_t* out) const {
+  const uint32_t l1 = config_.trie_depth;
+  if (l1 == 0) {
+    if (config_.bf_prefix_len == 0) {
+      for (size_t i = 0; i < n; ++i) out[i] = 1;
+      return;
+    }
+    bf_.MultiMayContain(lo, hi, n, out);
+    return;
+  }
+  // Batch the trie descents kChunk queries at a time; each positioned
+  // cursor then finishes its (usually single-leaf) walk independently.
+  constexpr size_t kChunk = 64;
+  uint64_t targets[kChunk];
+  std::vector<BitTrie::Cursor> cursors;
+  cursors.reserve(std::min(n, kChunk));
+  for (size_t q = 0; q < std::min(n, kChunk); ++q) {
+    cursors.emplace_back(&trie_);
+  }
+  for (size_t base = 0; base < n; base += kChunk) {
+    const size_t m = std::min(kChunk, n - base);
+    for (size_t q = 0; q < m; ++q) {
+      targets[q] = PrefixBits64(lo[base + q], l1);
+    }
+    trie_.MultiSeekGeq(targets, m, cursors.data());
+    for (size_t q = 0; q < m; ++q) {
+      out[base + q] =
+          cursors[q].valid() &&
+                  WalkFrom(&cursors[q], lo[base + q], hi[base + q])
+              ? 1
+              : 0;
+    }
+  }
 }
 
 uint64_t ProteusFilter::SizeBits() const {

@@ -62,6 +62,14 @@ class ProteusFilter : public RangeFilter {
       double bits_per_key, bool blocked_bloom = false);
 
   bool MayContain(uint64_t lo, uint64_t hi) const override;
+  /// Batch form: the queries' trie descents run in lockstep through
+  /// BitTrie::MultiSeekGeq (dense-level popcount ranks + batched rank9
+  /// lookups via RankSelect::MultiRank1), then each positioned cursor
+  /// finishes its leaf walk and Bloom doubting exactly as MayContain
+  /// would. Trie-less configurations delegate to the prefix Bloom batch
+  /// path. Same answers as per-query MayContain in every configuration.
+  void MultiMayContain(const uint64_t* lo, const uint64_t* hi, size_t n,
+                       uint8_t* out) const override;
   uint64_t SizeBits() const override;
   std::string Name() const override;
 
@@ -76,6 +84,10 @@ class ProteusFilter : public RangeFilter {
 
  private:
   ProteusFilter() = default;
+
+  /// The leaf walk of MayContain, starting from a cursor already
+  /// positioned by SeekGeq/MultiSeekGeq on the first candidate l1-prefix.
+  bool WalkFrom(BitTrie::Cursor* cur, uint64_t lo, uint64_t hi) const;
 
   Config config_;
   BitTrie trie_;

@@ -116,6 +116,58 @@ bool TwoPbfFilter::MayContain(uint64_t lo, uint64_t hi) const {
   return false;
 }
 
+void TwoPbfFilter::MultiMayContain(const uint64_t* lo, const uint64_t* hi,
+                                   size_t n, uint8_t* out) const {
+  const uint32_t l1 = config_.l1;
+  if (l1 == 0) {
+    // Degenerate 1PBF: flatten fine-filter prefixes across queries.
+    bf2_.MultiMayContain(lo, hi, n, out);
+    return;
+  }
+  // Flatten narrow queries' coarse prefixes across query boundaries and
+  // resolve them through the multi-query kernel; each coarse positive is
+  // then doubted at the fine filter exactly as the scalar walk would,
+  // clipped to the intersection of its region and its owner query. Fine
+  // detours only run for lanes whose owner is still negative, so a query
+  // never probes the fine filter more than the scalar short-circuit walk
+  // plus at most one extra region per chunk.
+  constexpr size_t kChunk = 256;
+  uint64_t vals[kChunk];
+  uint32_t owner[kChunk];
+  uint8_t res[kChunk];
+  size_t m = 0;
+  auto flush = [&] {
+    bf1_.MultiProbePrefix(vals, m, res);
+    for (size_t j = 0; j < m; ++j) {
+      const size_t i = owner[j];
+      if (res[j] == 0 || out[i] != 0) continue;
+      const uint64_t region_lo = PrefixRangeLo64(vals[j], l1);
+      const uint64_t region_hi = PrefixRangeHi64(vals[j], l1);
+      if (bf2_.MayContain(std::max(lo[i], region_lo),
+                          std::min(hi[i], region_hi))) {
+        out[i] = 1;
+      }
+    }
+    m = 0;
+  };
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t first = PrefixBits64(lo[i], l1);
+    const uint64_t last = PrefixBits64(hi[i], l1);
+    if (last - first >= PrefixBloom::kFlattenLimit) {
+      out[i] = MayContain(lo[i], hi[i]) ? 1 : 0;
+      continue;
+    }
+    out[i] = 0;
+    for (uint64_t p = first;; ++p) {
+      vals[m] = p;
+      owner[m] = static_cast<uint32_t>(i);
+      if (++m == kChunk) flush();
+      if (p == last) break;
+    }
+  }
+  if (m > 0) flush();
+}
+
 void TwoPbfFilter::SerializePayload(std::string* out) const {
   PutFixed32(out, config_.l1);
   PutFixed32(out, config_.l2);

@@ -44,6 +44,12 @@ class TwoPbfFilter : public RangeFilter {
       double bits_per_key, bool blocked_bloom = false);
 
   bool MayContain(uint64_t lo, uint64_t hi) const override;
+  /// Batched coarse walk: narrow queries' l1-prefixes are flattened into
+  /// one array and resolved through the AVX2 multi-query kernel; only the
+  /// (rare) coarse positives detour into the fine filter, scalar, exactly
+  /// as MayContain would. Wide queries keep the scalar pipelined walk.
+  void MultiMayContain(const uint64_t* lo, const uint64_t* hi, size_t n,
+                       uint8_t* out) const override;
   uint64_t SizeBits() const override {
     return bf1_.SizeBits() + bf2_.SizeBits();
   }

@@ -204,11 +204,65 @@ bool RosettaFilter::CheckNode(uint32_t level, uint64_t prefix, uint64_t lo,
   return false;
 }
 
+bool RosettaFilter::MayContainBfs(uint64_t first, uint64_t last, uint64_t lo,
+                                  uint64_t hi) const {
+  std::vector<uint64_t> frontier;
+  frontier.reserve(static_cast<size_t>(last - first) + 1);
+  for (uint64_t p = first;; ++p) {
+    frontier.push_back(p);
+    if (p == last) break;
+  }
+  std::vector<uint64_t> next;
+  std::vector<uint8_t> res;
+  for (uint32_t level = min_level_;; ++level) {
+    const PrefixBloom& pb = filters_[level - min_level_];
+    if (pb.SizeBits() != 0) {
+      probes_ += frontier.size();
+      if (probes_ > kProbeLimit) return true;  // conservative budget stop
+      res.resize(frontier.size());
+      pb.MultiProbePrefix(frontier.data(), frontier.size(), res.data());
+      size_t kept = 0;
+      for (size_t i = 0; i < frontier.size(); ++i) {
+        if (res[i] != 0) frontier[kept++] = frontier[i];
+      }
+      frontier.resize(kept);
+    }  // unfiltered level: every node survives, no probes
+    if (level == 64) return !frontier.empty();  // leaf positives confirm
+    next.clear();
+    for (uint64_t prefix : frontier) {
+      const uint64_t child0 = prefix << 1;
+      for (uint64_t child : {child0, child0 | 1}) {
+        const uint64_t clo = PrefixRangeLo64(child, level + 1);
+        const uint64_t chi = PrefixRangeHi64(child, level + 1);
+        if (chi < lo || clo > hi) continue;
+        next.push_back(child);
+      }
+    }
+    if (next.empty()) return false;
+    if (next.size() > kMaxFrontier) {
+      // Pathological survivor growth: finish the live subtrees with the
+      // recursive descent instead of materializing an ever-wider level.
+      for (uint64_t child : next) {
+        if (CheckNode(level + 1, child, lo, hi)) return true;
+      }
+      return false;
+    }
+    frontier.swap(next);
+  }
+}
+
 bool RosettaFilter::MayContain(uint64_t lo, uint64_t hi) const {
   probes_ = 0;
   uint64_t first = PrefixBits64(lo, min_level_);
   uint64_t last = PrefixBits64(hi, min_level_);
   if (last - first + 1 > kProbeLimit) return true;
+  // Dense top spans (the expensive queries) batch each level's probes
+  // through the multi-query kernel; sparse spans keep the depth-first
+  // doubting descent, which short-circuits on the first confirmed leaf.
+  if (last - first >= kBatchSpanMin - 1 &&
+      last - first < static_cast<uint64_t>(kMaxFrontier)) {
+    return MayContainBfs(first, last, lo, hi);
+  }
   for (uint64_t p = first;; ++p) {
     if (CheckNode(min_level_, p, lo, hi)) return true;
     if (p == last) break;

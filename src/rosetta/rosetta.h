@@ -88,6 +88,21 @@ class RosettaFilter : public RangeFilter {
   bool CheckNode(uint32_t level, uint64_t prefix, uint64_t lo,
                  uint64_t hi) const;
 
+  /// Level-by-level doubting walk over a dense top-level span: the whole
+  /// frontier of live nodes at each level is resolved with one batched
+  /// probe call (PrefixBloom::MultiProbePrefix → the AVX2 multi-query
+  /// kernel), survivors expand their in-range children into the next
+  /// frontier. Falls back to the recursive descent if a frontier ever
+  /// outgrows kMaxFrontier. Same answer as the descent; only the probe
+  /// count near kProbeLimit can differ (both stay conservative-true).
+  bool MayContainBfs(uint64_t first, uint64_t last, uint64_t lo,
+                     uint64_t hi) const;
+
+  /// Top-level spans at least this dense take the batched BFS walk.
+  static constexpr uint64_t kBatchSpanMin = 16;
+  /// BFS frontier cap (bounds the materialized node list to 512 KiB).
+  static constexpr size_t kMaxFrontier = size_t{1} << 16;
+
   /// Probes level l for an l-bit prefix; levels without a filter cannot
   /// rule anything out and answer true.
   bool ProbeLevel(uint32_t level, uint64_t prefix) const;

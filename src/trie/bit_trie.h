@@ -33,6 +33,7 @@
 #define PROTEUS_TRIE_BIT_TRIE_H_
 
 #include <algorithm>
+#include <bit>
 #include <cassert>
 #include <cstdint>
 #include <cstring>
@@ -297,51 +298,8 @@ class BitTrieT {
       const uint32_t d = trie_->depth_;
       if (d == 0 || trie_->n_values_ == 0) return false;
       Ops::Assign(&value_, target, d);
-      uint32_t* fr = frames();
-      uint32_t i = 0;
-      uint32_t j = 0;
-      for (;;) {
-        const Level& level = trie_->levels_[i];
-        fr[i] = j;
-        if (level.ext.Get(j)) {
-          // Pseudo-leaf: candidate value is target[0, i) + stored suffix.
-          trie_->ReadSuffix(i, j, &value_);
-          if (Ops::CompareFrom(value_, target, i, d) >= 0) {
-            leaf_level_ = i;
-            valid_ = true;
-            return true;
-          }
-          return BacktrackGeq(i, target);
-        }
-        const bool b = Ops::GetBit(target, i, d);
-        const uint32_t pos = 2 * j + (b ? 1 : 0);
-        if (level.child_bits.Get(pos)) {
-          const uint32_t child =
-              static_cast<uint32_t>(level.rank.Rank1(pos));
-          if (i + 1 == d) {
-            leaf_level_ = d;  // followed target exactly to full depth
-            valid_ = true;
-            return true;
-          }
-          i += 1;
-          j = child;
-          continue;
-        }
-        if (!b && level.child_bits.Get(2 * j + 1)) {
-          // Deviate upward: take the 1-branch, then go leftmost.
-          Ops::SetBit(&value_, i, true, d);
-          const uint32_t child =
-              static_cast<uint32_t>(level.rank.Rank1(2 * j + 1));
-          if (i + 1 == d) {
-            leaf_level_ = d;
-          } else {
-            DescendLeftmost(i + 1, child);
-          }
-          valid_ = true;
-          return true;
-        }
-        return BacktrackGeq(i, target);
-      }
+      valid_ = SeekFrom(0, 0, target);
+      return valid_;
     }
 
     /// Advances to the in-order successor of the current value. Returns
@@ -359,8 +317,7 @@ class BitTrieT {
         const uint32_t node = fr[lvl];
         if (!level.child_bits.Get(2 * node + 1)) continue;
         Ops::SetBit(&value_, lvl, true, d);
-        const uint32_t child =
-            static_cast<uint32_t>(level.rank.Rank1(2 * node + 1));
+        const uint32_t child = ChildRank1(level, 2 * node + 1);
         if (lvl + 1 == d) {
           leaf_level_ = d;
         } else {
@@ -373,7 +330,56 @@ class BitTrieT {
     }
 
    private:
+    friend BitTrieT;  // MultiSeekGeq drives cursors through SeekFrom
+
     static constexpr uint32_t kInlineDepth = 64;
+
+    /// The Geq descent from (level i, node j). Preconditions: frames
+    /// [0, i) follow the target bits exactly and value_[0, i) equals the
+    /// target bits — true at the root after Ops::Assign, and true when
+    /// the batched lockstep descent hands a diverged query over. Returns
+    /// whether a value >= target was found (leaving the cursor on it).
+    bool SeekFrom(uint32_t i, uint32_t j, const Key& target) {
+      const uint32_t d = trie_->depth_;
+      uint32_t* fr = frames();
+      for (;;) {
+        const Level& level = trie_->levels_[i];
+        fr[i] = j;
+        if (level.ext.Get(j)) {
+          // Pseudo-leaf: candidate value is target[0, i) + stored suffix.
+          trie_->ReadSuffix(i, j, &value_);
+          if (Ops::CompareFrom(value_, target, i, d) >= 0) {
+            leaf_level_ = i;
+            return true;
+          }
+          return BacktrackGeq(i, target);
+        }
+        const bool b = Ops::GetBit(target, i, d);
+        const uint32_t pos = 2 * j + (b ? 1 : 0);
+        if (level.child_bits.Get(pos)) {
+          const uint32_t child = ChildRank1(level, pos);
+          if (i + 1 == d) {
+            leaf_level_ = d;  // followed target exactly to full depth
+            return true;
+          }
+          i += 1;
+          j = child;
+          continue;
+        }
+        if (!b && level.child_bits.Get(2 * j + 1)) {
+          // Deviate upward: take the 1-branch, then go leftmost.
+          Ops::SetBit(&value_, i, true, d);
+          const uint32_t child = ChildRank1(level, 2 * j + 1);
+          if (i + 1 == d) {
+            leaf_level_ = d;
+          } else {
+            DescendLeftmost(i + 1, child);
+          }
+          return true;
+        }
+        return BacktrackGeq(i, target);
+      }
+    }
 
     uint32_t* frames() {
       return trie_->depth_ <= kInlineDepth ? inline_frames_
@@ -397,8 +403,7 @@ class BitTrieT {
         const uint32_t node = fr[lvl];
         if (!level.child_bits.Get(2 * node + 1)) continue;
         Ops::SetBit(&value_, lvl, true, d);
-        const uint32_t child =
-            static_cast<uint32_t>(level.rank.Rank1(2 * node + 1));
+        const uint32_t child = ChildRank1(level, 2 * node + 1);
         if (lvl + 1 == d) {
           leaf_level_ = d;
         } else {
@@ -425,8 +430,8 @@ class BitTrieT {
         }
         const bool go_right = !level.child_bits.Get(2 * j);
         Ops::SetBit(&value_, i, go_right, d);
-        const uint32_t child = static_cast<uint32_t>(
-            level.rank.Rank1(2 * j + (go_right ? 1 : 0)));
+        const uint32_t child =
+            ChildRank1(level, 2 * j + (go_right ? 1 : 0));
         if (i + 1 == d) {
           leaf_level_ = d;
           return;
@@ -459,6 +464,76 @@ class BitTrieT {
     if (!cur.SeekGeq(target)) return false;
     *out = cur.value();
     return true;
+  }
+
+  /// Batched SeekGeq: positions cursors[q] at the smallest stored value
+  /// >= targets[q] for q < n, identical to calling SeekGeq on each (each
+  /// cursor must have been constructed over this trie).
+  ///
+  /// All queries descend in lockstep while they follow their target bits
+  /// exactly — the common path of a Geq seek. Per level, the surviving
+  /// queries' child ranks are resolved together: dense top levels
+  /// (ChildRank1) are in-register popcounts, and deeper levels batch
+  /// their rank9 lookups through RankSelect::MultiRank1, which gathers
+  /// the directory with AVX2 when available. A query that diverges from
+  /// its target (pseudo-leaf, missing child) leaves the batch and
+  /// finishes through the scalar Cursor::SeekFrom machinery, which
+  /// safely redoes the level it diverged at.
+  void MultiSeekGeq(const Key* targets, size_t n, Cursor* cursors) const {
+    if (depth_ == 0 || n_values_ == 0) {
+      for (size_t q = 0; q < n; ++q) cursors[q].valid_ = false;
+      return;
+    }
+    const uint32_t d = depth_;
+    std::vector<uint32_t> active(n);   // query ids still in lockstep
+    std::vector<uint32_t> node(n, 0);  // node[q]: current node of query q
+    for (size_t q = 0; q < n; ++q) {
+      active[q] = static_cast<uint32_t>(q);
+      cursors[q].valid_ = false;
+      Ops::Assign(&cursors[q].value_, targets[q], d);
+    }
+    std::vector<uint32_t> keep;
+    std::vector<uint64_t> pos, rank;
+    for (uint32_t i = 0; i < d && !active.empty(); ++i) {
+      const Level& level = levels_[i];
+      keep.clear();
+      pos.clear();
+      for (uint32_t q : active) {
+        Cursor& c = cursors[q];
+        const uint32_t j = node[q];
+        c.frames()[i] = j;
+        if (level.ext.Get(j)) {
+          c.valid_ = c.SeekFrom(i, j, targets[q]);
+          continue;
+        }
+        const bool b = Ops::GetBit(targets[q], i, d);
+        const uint32_t p = 2 * j + (b ? 1 : 0);
+        if (!level.child_bits.Get(p)) {
+          c.valid_ = c.SeekFrom(i, j, targets[q]);
+          continue;
+        }
+        if (i + 1 == d) {
+          c.leaf_level_ = d;  // followed target exactly to full depth
+          c.valid_ = true;
+          continue;
+        }
+        keep.push_back(q);
+        pos.push_back(p);
+      }
+      if (level.dense) {
+        for (size_t k = 0; k < keep.size(); ++k) {
+          node[keep[k]] =
+              ChildRank1(level, static_cast<uint32_t>(pos[k]));
+        }
+      } else {
+        rank.resize(pos.size());
+        level.rank.MultiRank1(pos.data(), pos.size(), rank.data());
+        for (size_t k = 0; k < keep.size(); ++k) {
+          node[keep[k]] = static_cast<uint32_t>(rank[k]);
+        }
+      }
+      active = keep;
+    }
   }
 
   /// True if any stored value lies in [lo_prefix, hi_prefix] (inclusive,
@@ -530,13 +605,32 @@ class BitTrieT {
     BitVector ext;         // 1 bit per node: truncated single-prefix subtree
     RankSelect ext_rank;   // over ext
     BitVector suffixes;    // stride (depth - level) per pseudo-leaf
+    // LOUDS-dense-style fast path for the top of the trie: a level with at
+    // most 32 nodes keeps its whole child bitmap in one cached word, so a
+    // child rank is a masked in-register popcount — no directory reads.
+    bool dense = false;
+    uint64_t dense_child_word = 0;
   };
 
   void Finish() {
     for (Level& level : levels_) {
       level.rank.Build(&level.child_bits);
       level.ext_rank.Build(&level.ext);
+      level.dense = level.child_bits.size() <= 64;
+      level.dense_child_word =
+          level.child_bits.num_words() > 0 ? level.child_bits.word(0) : 0;
     }
+  }
+
+  /// Rank1 over a level's child bitmap: in-register popcount for dense
+  /// (top) levels, the rank9 directory otherwise. `pos` is a valid bit
+  /// index, so pos < 64 whenever the level is dense.
+  static uint32_t ChildRank1(const Level& level, uint32_t pos) {
+    if (level.dense) {
+      return static_cast<uint32_t>(std::popcount(
+          level.dense_child_word & ((uint64_t{1} << pos) - 1)));
+    }
+    return static_cast<uint32_t>(level.rank.Rank1(pos));
   }
 
   /// Copies the suffix of pseudo-leaf (level i, node j) into bits [i, d) of

@@ -3,6 +3,11 @@
 #include <bit>
 
 #include "util/bits.h"
+#include "util/simd.h"
+
+#if PROTEUS_HAVE_AVX2_KERNELS
+#include <immintrin.h>
+#endif
 
 namespace proteus {
 
@@ -36,6 +41,92 @@ void RankSelect::Build(const BitVector* bv) {
   // binary searches read one entry past the last block.
   index_[2 * n_blocks_] = ones;
   n_ones_ = ones;
+}
+
+#if PROTEUS_HAVE_AVX2_KERNELS
+namespace {
+
+/// Per-lane popcount of four 64-bit words: nibble-LUT shuffle, then a
+/// SAD against zero folds the 8 byte counts of each lane into its low
+/// 16 bits. The classic in-register popcount — no cross-lane traffic.
+__attribute__((target("avx2"))) inline __m256i PopcountEpi64(__m256i v) {
+  const __m256i lut = _mm256_setr_epi8(
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4,
+      0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i nib = _mm256_set1_epi8(0x0F);
+  const __m256i lo = _mm256_shuffle_epi8(lut, _mm256_and_si256(v, nib));
+  const __m256i hi = _mm256_shuffle_epi8(
+      lut, _mm256_and_si256(_mm256_srli_epi16(v, 4), nib));
+  return _mm256_sad_epu8(_mm256_add_epi8(lo, hi), _mm256_setzero_si256());
+}
+
+/// Four Rank1 queries per vector, mirroring the scalar path exactly:
+/// gather the interleaved (abs, packed) directory pair, unpack the 9-bit
+/// relative count (masked to zero for word 0 of a block, like the scalar
+/// `-(w != 0)` trick), gather the target data word, and add its masked
+/// popcount. Lanes with i % 64 == 0 contribute a zero mask — their data
+/// word index is blended to 0 so the gather never reads past the last
+/// word when i == size() lands on a word boundary.
+__attribute__((target("avx2"))) size_t MultiRank1Avx2(
+    const uint64_t* index, const uint64_t* words, const uint64_t* pos,
+    size_t n, uint64_t* out) {
+  const long long* idx_base = reinterpret_cast<const long long*>(index);
+  const long long* word_base = reinterpret_cast<const long long*>(words);
+  const __m256i one = _mm256_set1_epi64x(1);
+  const __m256i rel_mask = _mm256_set1_epi64x(0x1FF);
+  const __m256i low6 = _mm256_set1_epi64x(63);
+  const __m256i seven = _mm256_set1_epi64x(7);
+  const __m256i nine = _mm256_set1_epi64x(9);
+  const __m256i zero = _mm256_setzero_si256();
+  size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m256i i =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(pos + j));
+    const __m256i widx = _mm256_srli_epi64(i, 6);
+    const __m256i pair = _mm256_slli_epi64(_mm256_srli_epi64(i, 9), 1);
+    const __m256i abs = _mm256_i64gather_epi64(idx_base, pair, 8);
+    const __m256i packed =
+        _mm256_i64gather_epi64(idx_base, _mm256_add_epi64(pair, one), 8);
+    const __m256i w = _mm256_and_si256(widx, seven);
+    // shift = (9w - 9) & 63, exactly the scalar expression (w == 0 gives
+    // a garbage shift that the cmpeq mask below squashes).
+    const __m256i shift = _mm256_and_si256(
+        _mm256_sub_epi64(_mm256_mul_epu32(w, nine), nine), low6);
+    __m256i rel =
+        _mm256_and_si256(_mm256_srlv_epi64(packed, shift), rel_mask);
+    rel = _mm256_andnot_si256(_mm256_cmpeq_epi64(w, zero), rel);
+    __m256i rank = _mm256_add_epi64(abs, rel);
+    const __m256i rem = _mm256_and_si256(i, low6);
+    const __m256i rem_zero = _mm256_cmpeq_epi64(rem, zero);
+    // (1 << rem) - 1; rem == 0 correctly yields an all-zero mask, but its
+    // lane's word index must not be dereferenced (i == size() may sit one
+    // word past the end), so blend those indexes to word 0.
+    const __m256i bit_mask =
+        _mm256_sub_epi64(_mm256_sllv_epi64(one, rem), one);
+    const __m256i safe_widx = _mm256_andnot_si256(rem_zero, widx);
+    const __m256i data = _mm256_i64gather_epi64(word_base, safe_widx, 8);
+    rank = _mm256_add_epi64(
+        rank, PopcountEpi64(_mm256_and_si256(data, bit_mask)));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + j), rank);
+  }
+  return j;
+}
+
+}  // namespace
+#endif  // PROTEUS_HAVE_AVX2_KERNELS
+
+void RankSelect::MultiRank1(const uint64_t* pos, size_t n,
+                            uint64_t* out) const {
+  size_t j = 0;
+#if PROTEUS_HAVE_AVX2_KERNELS
+  // The kernel unconditionally gathers one data word per lane, so it
+  // needs the vector to be non-empty (Rank1(0) on an empty vector is the
+  // only legal query then, and the scalar loop handles it).
+  if (SimdAvx2Enabled() && bv_ != nullptr && bv_->num_words() > 0) {
+    j = MultiRank1Avx2(index_.data(), bv_->words(), pos, n, out);
+  }
+#endif
+  for (; j < n; ++j) out[j] = Rank1(pos[j]);
 }
 
 template <typename AbsFn>

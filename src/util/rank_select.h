@@ -62,6 +62,14 @@ class RankSelect {
     return rank;
   }
 
+  /// Batch rank: out[j] = Rank1(pos[j]) for j < n. Dispatches to an AVX2
+  /// kernel that gathers the rank9 directory pairs and data words for
+  /// four positions per vector (two vectors in flight) and popcounts the
+  /// masked words with an in-register nibble LUT; falls back to the
+  /// scalar Rank1 loop on non-AVX2 machines or under PROTEUS_FORCE_SCALAR
+  /// (util/simd.h). Identical results on both paths.
+  void MultiRank1(const uint64_t* pos, size_t n, uint64_t* out) const;
+
   /// Number of zeros in bv[0, i).
   uint64_t Rank0(uint64_t i) const { return i - Rank1(i); }
 

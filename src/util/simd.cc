@@ -1,0 +1,41 @@
+#include "util/simd.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+namespace proteus {
+namespace {
+
+bool EnvForceScalar() {
+  const char* e = std::getenv("PROTEUS_FORCE_SCALAR");
+  return e != nullptr && *e != '\0' && std::strcmp(e, "0") != 0;
+}
+
+// Relaxed is enough: the switch only selects between two kernels that
+// compute identical results.
+std::atomic<bool>& ForceScalarFlag() {
+  static std::atomic<bool> flag{EnvForceScalar()};
+  return flag;
+}
+
+}  // namespace
+
+bool CpuHasAvx2() {
+#if PROTEUS_HAVE_AVX2_KERNELS
+  static const bool have = __builtin_cpu_supports("avx2");
+  return have;
+#else
+  return false;
+#endif
+}
+
+bool ForceScalar() {
+  return ForceScalarFlag().load(std::memory_order_relaxed);
+}
+
+bool SetForceScalar(bool force) {
+  return ForceScalarFlag().exchange(force, std::memory_order_relaxed);
+}
+
+}  // namespace proteus

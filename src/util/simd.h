@@ -1,0 +1,44 @@
+// Runtime SIMD dispatch for the batch probe kernels.
+//
+// The AVX2 kernels (BloomFilter::MultiContainHash, RankSelect::MultiRank1)
+// follow the same one-binary-runs-everywhere idiom as the BMI2 Select64
+// fast path in bits.h and the SSE4.2 CRC32C in crc32c.cc: the vector body
+// is compiled behind a target attribute, a cached __builtin_cpu_supports
+// probe picks it at runtime, and the scalar path remains the
+// always-correct fallback on every machine.
+//
+// Two switches keep the scalar path reachable forever, even on AVX2
+// hardware:
+//  * the PROTEUS_FORCE_SCALAR environment variable (set and not "0"),
+//    read once at startup — this is what the CI forced-scalar matrix leg
+//    sets so both code paths stay gated by the full test suite;
+//  * SetForceScalar(), a runtime override the differential tests and
+//    benchmarks toggle to compare both kernels inside one process.
+
+#ifndef PROTEUS_UTIL_SIMD_H_
+#define PROTEUS_UTIL_SIMD_H_
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define PROTEUS_HAVE_AVX2_KERNELS 1
+#endif
+
+namespace proteus {
+
+/// True if this CPU executes AVX2 (cached cpuid probe).
+bool CpuHasAvx2();
+
+/// The scalar override: true if PROTEUS_FORCE_SCALAR was set in the
+/// environment (to anything but "0") or SetForceScalar(true) was called.
+bool ForceScalar();
+
+/// Runtime override of the force-scalar switch; returns the previous
+/// value. Used by differential tests and scalar-vs-SIMD benchmarks.
+bool SetForceScalar(bool force);
+
+/// The single dispatch predicate every batch kernel consults: AVX2 is
+/// available and the scalar override is off.
+inline bool SimdAvx2Enabled() { return CpuHasAvx2() && !ForceScalar(); }
+
+}  // namespace proteus
+
+#endif  // PROTEUS_UTIL_SIMD_H_
