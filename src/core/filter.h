@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 
@@ -47,6 +48,13 @@ class Filter {
   double Bpk(uint64_t n_keys) const {
     return n_keys == 0 ? 0.0 : static_cast<double>(SizeBits()) / n_keys;
   }
+
+  /// The FPR the design model predicted for this filter under the sample
+  /// it was built from, when the family self-designs (Proteus, 1PBF,
+  /// 2PBF). Families without a model (Bloom, SuRF, Rosetta) return
+  /// nullopt. The LSM compares this against the observed per-SST FPR to
+  /// detect workload drift.
+  virtual std::optional<double> ModeledFpr() const { return std::nullopt; }
 
   /// Stable identifier of the filter family on the wire (see
   /// FilterRegistry for the id <-> family mapping).

@@ -54,6 +54,7 @@ class OnePbfFilter : public RangeFilter {
 
   uint32_t prefix_len() const { return bf_.prefix_len(); }
   std::optional<double> modeled_fpr() const { return modeled_fpr_; }
+  std::optional<double> ModeledFpr() const override { return modeled_fpr_; }
 
  private:
   OnePbfFilter() = default;

@@ -81,6 +81,7 @@ class ProteusFilter : public RangeFilter {
   const Config& config() const { return config_; }
   /// The model's expected FPR; empty when built with a forced config.
   std::optional<double> modeled_fpr() const { return modeled_fpr_; }
+  std::optional<double> ModeledFpr() const override { return modeled_fpr_; }
 
  private:
   ProteusFilter() = default;

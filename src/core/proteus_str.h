@@ -72,6 +72,7 @@ class ProteusStrFilter : public StrRangeFilter {
 
   const Config& config() const { return config_; }
   std::optional<double> modeled_fpr() const { return modeled_fpr_; }
+  std::optional<double> ModeledFpr() const override { return modeled_fpr_; }
 
  private:
   ProteusStrFilter() = default;

@@ -65,6 +65,7 @@ class TwoPbfFilter : public RangeFilter {
 
   const Config& config() const { return config_; }
   std::optional<double> modeled_fpr() const { return modeled_fpr_; }
+  std::optional<double> ModeledFpr() const override { return modeled_fpr_; }
 
  private:
   TwoPbfFilter() = default;

@@ -13,6 +13,7 @@
 #include <thread>
 
 #include "core/filter.h"
+#include "model/bpk_alloc.h"
 #include "util/crc32c.h"
 #include "util/posix_io.h"
 #include "util/serial.h"
@@ -54,12 +55,17 @@ constexpr size_t kMaxLevels = 8;
 //                       n_added u64,  (level u64, file)* |
 //                       n_deleted u64, (file_id u64)*
 //   file := id u64 | smallest lp | largest lp | n_entries u64 |
-//           file_size u64        (lp = u64 length + raw bytes)
+//           file_size u64 |      (lp = u64 length + raw bytes)
+//           v4+: design_epoch u64 | modeled_fpr f64 |
+//                design_signature f64 | design_samples u64 |
+//                checks u64 | probes u64 | false_positives u64
+//           (f64 = IEEE-754 bit pattern as fixed u64; -1.0 = none)
 //
-// v2 manifests (pre-MVCC) have no last_seqno fields; they are read and
-// rewritten as v3 at open, so deltas never mix formats within one file.
+// v2 manifests (pre-MVCC) have no last_seqno fields; v3 has no per-file
+// design provenance. Both are read and rewritten as v4 at open, so
+// deltas never mix formats within one file.
 constexpr uint64_t kManifestMagic = 0x494E414D544F5250ull;  // "PROTMANI"
-constexpr uint64_t kManifestVersion = 3;  // 2 = pre-MVCC (no last_seqno)
+constexpr uint64_t kManifestVersion = 4;  // 3 = no provenance, 2 = pre-MVCC
 constexpr uint8_t kManifestRecordSnapshot = 1;
 constexpr uint8_t kManifestRecordDelta = 2;
 
@@ -79,22 +85,16 @@ void SyncDir(const std::string& dir) {
   }
 }
 
-void EncodeFileMeta(std::string* out, uint64_t id,
-                    const std::string& smallest, const std::string& largest,
-                    uint64_t n_entries, uint64_t file_size) {
-  PutFixed64(out, id);
-  PutLengthPrefixed(out, smallest);
-  PutLengthPrefixed(out, largest);
-  PutFixed64(out, n_entries);
-  PutFixed64(out, file_size);
+uint64_t DoubleBits(double v) {
+  uint64_t b;
+  std::memcpy(&b, &v, sizeof(b));
+  return b;
 }
 
-bool DecodeFileMeta(std::string_view* cursor, uint64_t* id,
-                    std::string* smallest, std::string* largest,
-                    uint64_t* n_entries, uint64_t* file_size) {
-  return GetFixed64(cursor, id) && GetLengthPrefixed(cursor, smallest) &&
-         GetLengthPrefixed(cursor, largest) &&
-         GetFixed64(cursor, n_entries) && GetFixed64(cursor, file_size);
+double BitsToDouble(uint64_t b) {
+  double v;
+  std::memcpy(&v, &b, sizeof(v));
+  return v;
 }
 
 void WipeDbFiles(const std::string& dir) {
@@ -405,7 +405,9 @@ struct RelaxedCounter {
   X(manifest_snapshots)                                                \
   X(queue_sampled)                                                     \
   X(write_stalls)                                                      \
-  X(stall_wait_us)
+  X(stall_wait_us)                                                     \
+  X(drift_detected)                                                    \
+  X(redesigns)
 
 }  // namespace
 
@@ -415,11 +417,31 @@ struct Db::AtomicStats {
   PROTEUS_DB_STAT_FIELDS(PROTEUS_DB_STAT_DEF)
 #undef PROTEUS_DB_STAT_DEF
 
+  // Per-level check / probe / false-positive breakdown (index = level).
+  RelaxedCounter level_filter_checks[kMaxLevels];
+  RelaxedCounter level_sst_seeks[kMaxLevels];
+  RelaxedCounter level_fp_files[kMaxLevels];
+
   DbStats Snapshot() const {
     DbStats out;
 #define PROTEUS_DB_STAT_COPY(name) out.name = name.load();
     PROTEUS_DB_STAT_FIELDS(PROTEUS_DB_STAT_COPY)
 #undef PROTEUS_DB_STAT_COPY
+    size_t deepest = 0;
+    for (size_t i = 0; i < kMaxLevels; ++i) {
+      if (level_filter_checks[i].load() != 0 ||
+          level_sst_seeks[i].load() != 0) {
+        deepest = i + 1;
+      }
+    }
+    out.level_filter_checks.resize(deepest);
+    out.level_sst_seeks.resize(deepest);
+    out.level_fp_files.resize(deepest);
+    for (size_t i = 0; i < deepest; ++i) {
+      out.level_filter_checks[i] = level_filter_checks[i].load();
+      out.level_sst_seeks[i] = level_sst_seeks[i].load();
+      out.level_fp_files[i] = level_fp_files[i].load();
+    }
     return out;
   }
 
@@ -427,6 +449,11 @@ struct Db::AtomicStats {
 #define PROTEUS_DB_STAT_RESET(name) name.reset();
     PROTEUS_DB_STAT_FIELDS(PROTEUS_DB_STAT_RESET)
 #undef PROTEUS_DB_STAT_RESET
+    for (size_t i = 0; i < kMaxLevels; ++i) {
+      level_filter_checks[i].reset();
+      level_sst_seeks[i].reset();
+      level_fp_files[i].reset();
+    }
   }
 };
 
@@ -503,6 +530,18 @@ Db::~Db() {
     if (!s.ok()) {
       std::fprintf(stderr, "proteus: flush on close failed: %s\n",
                    s.ToString().c_str());
+    }
+    // The observed-FPR counters advance on reads, which append no
+    // manifest records; one final snapshot carries the drift evidence
+    // across a clean reopen. Best-effort: losing it only resets the
+    // counters.
+    std::lock_guard<std::mutex> mlock(maint_mu_);
+    if (manifest_fd_ >= 0) {
+      Status ps = WriteManifestSnapshot();
+      if (!ps.ok()) {
+        std::fprintf(stderr, "proteus: manifest snapshot on close failed: %s\n",
+                     ps.ToString().c_str());
+      }
     }
   }
   if (manifest_fd_ >= 0) ::close(manifest_fd_);
@@ -761,6 +800,7 @@ bool Db::WorkPending() const {
   for (size_t level = 1; level + 1 < v->levels.size(); ++level) {
     if (LevelBytes(*v, level) > LevelLimitBytes(level)) return true;
   }
+  if (options_.adaptive_redesign && AnyDriftFlagged(*v)) return true;
   return false;
 }
 
@@ -986,7 +1026,8 @@ Status Db::CompactAll() {
 // ---------------------------------------------------------------------------
 
 Status Db::FinishFile(SstWriter* writer, std::vector<std::string>* keys,
-                      const std::string& path, FilePtr* out) {
+                      const std::string& path, int target_level,
+                      FilePtr* out) {
   auto meta = std::make_shared<FileMeta>();
   meta->id = next_file_id_++;
   meta->path = path;
@@ -994,12 +1035,24 @@ Status Db::FinishFile(SstWriter* writer, std::vector<std::string>* keys,
   meta->largest = writer->largest();
   meta->n_entries = writer->n_entries();
   meta->format_version = 4;
+  meta->level = target_level;
   if (options_.filter_policy != nullptr) {
+    FilterBuildContext ctx;
+    ctx.level = target_level;
+    ctx.bpk_override = MonkeyBpkForLevel(target_level, keys->size());
+    // Capture the window state the design is about to consume — the
+    // drift detector later compares the live window against it.
+    const double design_signature = query_queue_.Signature();
+    const uint64_t design_samples = query_queue_.sampled();
     Stopwatch timer;
     meta->filter =
-        options_.filter_policy->Build(*keys, query_queue_.Snapshot());
+        options_.filter_policy->Build(*keys, query_queue_.Snapshot(), ctx);
     stats_->filter_build_ns += timer.ElapsedNanos();
     if (meta->filter != nullptr) {
+      meta->design_epoch = design_epoch_.load(std::memory_order_relaxed);
+      meta->modeled_fpr = meta->filter->ModeledFpr().value_or(-1.0);
+      meta->design_signature = design_signature;
+      meta->design_samples = design_samples;
       stats_->filter_bits_built += meta->filter->SizeBits();
       stats_->keys_filtered += keys->size();
       // Persist the filter in the SST itself so reopening the database
@@ -1059,7 +1112,7 @@ Status Db::WriteSstFiles(EntrySource& entries, int target_level,
     if (!in.ok()) return in;
     if (writer.n_entries() == 0) continue;
     FilePtr meta;
-    Status s = FinishFile(&writer, &keys, path, &meta);
+    Status s = FinishFile(&writer, &keys, path, target_level, &meta);
     if (!s.ok()) return s;
     out->push_back(std::move(meta));
   }
@@ -1249,12 +1302,248 @@ Status Db::MaybeCompactLocked() {
       if (!s.ok()) return s;
     }
   }
+  if (options_.adaptive_redesign) return MaybeRedesignLocked();
   return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Adaptive redesign (drift-triggered single-file rewrites)
+// ---------------------------------------------------------------------------
+
+bool Db::AnyDriftFlagged(const Version& v) {
+  for (const auto& level : v.levels) {
+    for (const auto& f : level) {
+      if (f->drift_flagged.load(std::memory_order_relaxed) &&
+          !f->obsolete.load(std::memory_order_relaxed)) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+Status Db::MaybeRedesignLocked() {
+  // Each pass retires exactly one flagged file and installs replacements
+  // with fresh (unflagged) designs, so the loop terminates.
+  for (;;) {
+    VersionPtr base = CurrentVersion();
+    size_t level = 0;
+    FilePtr victim;
+    for (size_t l = 0; l < base->levels.size() && victim == nullptr; ++l) {
+      for (const auto& f : base->levels[l]) {
+        if (f->drift_flagged.load(std::memory_order_relaxed) &&
+            !f->obsolete.load(std::memory_order_relaxed)) {
+          level = l;
+          victim = f;
+          break;
+        }
+      }
+    }
+    if (victim == nullptr) return Status::OK();
+    Status s = RedesignFileLocked(level, victim);
+    if (!s.ok()) return s;
+  }
+}
+
+Status Db::RedesignFileLocked(size_t level, const FilePtr& input) {
+  // A redesign is a same-level, same-data rewrite: the point is the new
+  // filter, built by re-running Sample() -> Design() -> Build() against
+  // the live query window (and the current per-level budget). Bump the
+  // epoch first so the replacement's provenance outranks the original.
+  design_epoch_.fetch_add(1, std::memory_order_relaxed);
+
+  MergeSource merge;
+  merge.Add(input->reader.get(), 0);
+  merge.Init();
+  // Never drop tombstones here: unlike a real compaction this rewrite
+  // sees only one file, and other L0 files or deeper levels may still
+  // hold the older versions a tombstone shadows.
+  CollapseSource entries(merge, LiveSnapshots(), /*drop_tombstones=*/false);
+  std::vector<FilePtr> outputs;
+  Status s = WriteSstFiles(entries, static_cast<int>(level),
+                           /*max_data_bytes=*/~size_t{0}, &outputs);
+  if (!s.ok()) return s;
+
+  ManifestEdit edit;
+  edit.deleted.push_back(input->id);
+  for (const auto& f : outputs) edit.added.emplace_back(level, f);
+  s = AppendManifestDelta(edit);
+  if (!s.ok()) return s;
+
+  {
+    std::lock_guard<std::mutex> vl(view_mu_);
+    auto nv = std::make_shared<Version>(*version_);
+    auto& files = nv->levels[level];
+    for (size_t i = 0; i < files.size(); ++i) {
+      if (files[i] == input) {
+        // Positional splice keeps L0's newest-first recency order; a
+        // sorted level is re-sorted below anyway.
+        files.erase(files.begin() + i);
+        files.insert(files.begin() + i, outputs.begin(), outputs.end());
+        break;
+      }
+    }
+    if (level >= 1) {
+      std::sort(files.begin(), files.end(),
+                [](const FilePtr& a, const FilePtr& b) {
+                  return a->smallest < b->smallest;
+                });
+    }
+    version_ = std::move(nv);
+  }
+  RetireFile(input);
+  ++stats_->redesigns;
+  return Status::OK();
+}
+
+double Db::MonkeyBpkForLevel(int target_level, uint64_t incoming_keys) const {
+  if (options_.bpk_policy != BpkPolicy::kMonkey ||
+      options_.filter_policy == nullptr) {
+    return 0.0;
+  }
+  const double global_bpk = options_.filter_policy->SpecBpk();
+  if (global_bpk <= 0.0) return 0.0;  // no tunable budget to split
+
+  VersionPtr v = CurrentVersion();
+  std::vector<LevelLoad> loads(v->levels.size());
+  for (size_t level = 0; level < v->levels.size(); ++level) {
+    uint64_t level_keys = 0;
+    for (const auto& f : v->levels[level]) level_keys += f->n_entries;
+    loads[level].keys = level_keys;
+    // Every L0 file is probed by every query that reaches L0; a sorted
+    // level is probed at most once. Weight L0's false positives by its
+    // file count so the allocator prices the fan-out.
+    loads[level].probe_weight =
+        level == 0 ? static_cast<double>(
+                         std::max<size_t>(v->levels[0].size(), 1))
+                   : 1.0;
+  }
+  auto& target = loads[static_cast<size_t>(target_level)];
+  target.keys += incoming_keys;  // the file being built counts too
+  if (target_level == 0) target.probe_weight += 1.0;
+
+  std::vector<double> split = MonkeyBpkSplit(global_bpk, loads);
+  return split[static_cast<size_t>(target_level)];
+}
+
+void Db::NoteFilterChecks(const FileMeta& f, uint64_t n) {
+  f.checks.fetch_add(n, std::memory_order_relaxed);
+  const auto level = static_cast<size_t>(f.level);
+  if (level < kMaxLevels) stats_->level_filter_checks[level] += n;
+}
+
+void Db::NoteSstProbe(const FileMeta& f) {
+  f.probes.fetch_add(1, std::memory_order_relaxed);
+  const auto level = static_cast<size_t>(f.level);
+  if (level < kMaxLevels) ++stats_->level_sst_seeks[level];
+}
+
+void Db::NoteFalsePositive(const FileMeta& f) {
+  f.false_positives.fetch_add(1, std::memory_order_relaxed);
+  const auto level = static_cast<size_t>(f.level);
+  if (level < kMaxLevels) ++stats_->level_fp_files[level];
+
+  if (!options_.adaptive_redesign || f.filter == nullptr) return;
+  if (f.drift_flagged.load(std::memory_order_relaxed)) return;
+
+  DriftSignal sig;
+  sig.checks = f.checks.load(std::memory_order_relaxed);
+  sig.probes = f.probes.load(std::memory_order_relaxed);
+  sig.false_positives = f.false_positives.load(std::memory_order_relaxed);
+  // Cheap pre-gate before touching the queue's mutex.
+  if (sig.probes < options_.drift.min_probes) return;
+  sig.modeled_fpr = f.modeled_fpr;
+  sig.design_signature = f.design_signature;
+  sig.live_signature = query_queue_.Signature();
+  const uint64_t sampled = query_queue_.sampled();
+  sig.window_samples =
+      sampled > f.design_samples ? sampled - f.design_samples : 0;
+  if (DetectDrift(sig, options_.drift) == DriftReason::kNone) return;
+
+  bool expected = false;
+  if (f.drift_flagged.compare_exchange_strong(expected, true,
+                                              std::memory_order_relaxed)) {
+    ++stats_->drift_detected;
+    MaybeScheduleMaintenance();
+  }
+}
+
+std::vector<Db::SstDesignInfo> Db::DesignInfo() const {
+  VersionPtr v = CurrentVersion();
+  std::vector<SstDesignInfo> out;
+  for (const auto& level : v->levels) {
+    for (const auto& f : level) {
+      SstDesignInfo info;
+      info.file_id = f->id;
+      info.level = f->level;
+      info.design_epoch = f->design_epoch;
+      info.modeled_fpr = f->modeled_fpr;
+      info.design_signature = f->design_signature;
+      info.design_samples = f->design_samples;
+      info.checks = f->checks.load(std::memory_order_relaxed);
+      info.probes = f->probes.load(std::memory_order_relaxed);
+      info.false_positives =
+          f->false_positives.load(std::memory_order_relaxed);
+      info.filter_bits = f->filter != nullptr ? f->filter->SizeBits() : 0;
+      info.drift_flagged = f->drift_flagged.load(std::memory_order_relaxed);
+      out.push_back(std::move(info));
+    }
+  }
+  return out;
 }
 
 // ---------------------------------------------------------------------------
 // MANIFEST delta log
 // ---------------------------------------------------------------------------
+
+void Db::EncodeFileMeta(std::string* out, const FileMeta& f) {
+  PutFixed64(out, f.id);
+  PutLengthPrefixed(out, f.smallest);
+  PutLengthPrefixed(out, f.largest);
+  PutFixed64(out, f.n_entries);
+  PutFixed64(out, f.file_size);
+  // v4 design provenance + observed-FPR counters. Persisting the probe
+  // counters keeps drift evidence accumulating across clean reopens.
+  PutFixed64(out, f.design_epoch);
+  PutFixed64(out, DoubleBits(f.modeled_fpr));
+  PutFixed64(out, DoubleBits(f.design_signature));
+  PutFixed64(out, f.design_samples);
+  PutFixed64(out, f.checks.load(std::memory_order_relaxed));
+  PutFixed64(out, f.probes.load(std::memory_order_relaxed));
+  PutFixed64(out, f.false_positives.load(std::memory_order_relaxed));
+}
+
+bool Db::DecodeFileMeta(std::string_view* cursor, uint64_t version,
+                        FileMeta* f) {
+  if (!GetFixed64(cursor, &f->id) ||
+      !GetLengthPrefixed(cursor, &f->smallest) ||
+      !GetLengthPrefixed(cursor, &f->largest) ||
+      !GetFixed64(cursor, &f->n_entries) ||
+      !GetFixed64(cursor, &f->file_size)) {
+    return false;
+  }
+  if (version < 4) {
+    // Legacy entry: no provenance. design_epoch 0 marks the design as
+    // predating the provenance format; modeled_fpr/design_signature
+    // keep their "not available" defaults.
+    return true;
+  }
+  uint64_t modeled_bits, signature_bits, checks, probes, fps;
+  if (!GetFixed64(cursor, &f->design_epoch) ||
+      !GetFixed64(cursor, &modeled_bits) ||
+      !GetFixed64(cursor, &signature_bits) ||
+      !GetFixed64(cursor, &f->design_samples) ||
+      !GetFixed64(cursor, &checks) || !GetFixed64(cursor, &probes) ||
+      !GetFixed64(cursor, &fps)) {
+    return false;
+  }
+  f->modeled_fpr = BitsToDouble(modeled_bits);
+  f->design_signature = BitsToDouble(signature_bits);
+  f->checks.store(checks, std::memory_order_relaxed);
+  f->probes.store(probes, std::memory_order_relaxed);
+  f->false_positives.store(fps, std::memory_order_relaxed);
+  return true;
+}
 
 Status Db::WriteManifestSnapshot(const ManifestEdit* pending) {
   VersionPtr v = CurrentVersion();
@@ -1291,10 +1580,7 @@ Status Db::WriteManifestSnapshot(const ManifestEdit* pending) {
   PutFixed64(&payload, levels.size());
   for (const auto& level : levels) {
     PutFixed64(&payload, level.size());
-    for (const auto& f : level) {
-      EncodeFileMeta(&payload, f->id, f->smallest, f->largest, f->n_entries,
-                     f->file_size);
-    }
+    for (const auto& f : level) EncodeFileMeta(&payload, *f);
   }
   const std::string framed = FrameRecord(payload);
 
@@ -1343,8 +1629,7 @@ Status Db::AppendManifestDelta(const ManifestEdit& edit) {
   PutFixed64(&payload, edit.added.size());
   for (const auto& [level, f] : edit.added) {
     PutFixed64(&payload, level);
-    EncodeFileMeta(&payload, f->id, f->smallest, f->largest, f->n_entries,
-                   f->file_size);
+    EncodeFileMeta(&payload, *f);
   }
   PutFixed64(&payload, edit.deleted.size());
   for (uint64_t id : edit.deleted) PutFixed64(&payload, id);
@@ -1419,8 +1704,8 @@ Status Db::RecoverManifest(bool* needs_rewrite) {
       if (!GetFixed64(&cursor, &magic) || magic != kManifestMagic) {
         return Status::Corruption("bad manifest magic");
       }
-      if (!GetFixed64(&cursor, &version) ||
-          (version != 2 && version != kManifestVersion)) {
+      if (!GetFixed64(&cursor, &version) || version < 2 ||
+          version > kManifestVersion) {
         return Status::NotSupported("unsupported manifest version");
       }
       current_version = version;
@@ -1441,13 +1726,12 @@ Status Db::RecoverManifest(bool* needs_rewrite) {
         }
         for (uint64_t i = 0; i < n_files; ++i) {
           auto meta = std::make_shared<FileMeta>();
-          if (!DecodeFileMeta(&cursor, &meta->id, &meta->smallest,
-                              &meta->largest, &meta->n_entries,
-                              &meta->file_size)) {
+          if (!DecodeFileMeta(&cursor, version, meta.get())) {
             return Status::Corruption("corrupt manifest file entry");
           }
           meta->path =
               options_.dir + "/" + std::to_string(meta->id) + ".sst";
+          meta->level = static_cast<int>(level);
           levels[level].push_back(std::move(meta));
         }
       }
@@ -1471,12 +1755,11 @@ Status Db::RecoverManifest(bool* needs_rewrite) {
         uint64_t level;
         auto meta = std::make_shared<FileMeta>();
         if (!GetFixed64(&cursor, &level) || level >= kMaxLevels ||
-            !DecodeFileMeta(&cursor, &meta->id, &meta->smallest,
-                            &meta->largest, &meta->n_entries,
-                            &meta->file_size)) {
+            !DecodeFileMeta(&cursor, current_version, meta.get())) {
           return Status::Corruption("corrupt manifest delta add");
         }
         meta->path = options_.dir + "/" + std::to_string(meta->id) + ".sst";
+        meta->level = static_cast<int>(level);
         if (level == 0) {
           // L0 deltas list newest first, matching the in-memory order.
           levels[0].insert(levels[0].begin(), std::move(meta));
@@ -1534,14 +1817,18 @@ Status Db::RecoverManifest(bool* needs_rewrite) {
   }
 
   uint64_t max_id = 0;
+  uint64_t max_epoch = 0;
   for (const auto& level : levels) {
     for (const auto& f : level) {
       Status s = LoadFile(f);
       if (!s.ok()) return s;
       max_id = std::max(max_id, f->id);
+      max_epoch = std::max(max_epoch, f->design_epoch);
     }
   }
   next_file_id_ = std::max(recovered_next_id, max_id + 1);
+  // New designs must outrank every recovered one (legacy files are 0).
+  design_epoch_.store(max_epoch + 1, std::memory_order_relaxed);
   manifest_deltas_since_snapshot_ = deltas_since_snapshot;
   last_seqno_.store(recovered_last_seqno, std::memory_order_relaxed);
   next_seqno_ = recovered_last_seqno + 1;
@@ -1553,8 +1840,9 @@ Status Db::RecoverManifest(bool* needs_rewrite) {
     version_ = std::move(nv);
   }
 
-  // A torn tail or a pre-MVCC (v2) file must be rewritten as one clean
-  // v3 snapshot before any delta is appended; leaving the append fd
+  // A torn tail or an older-format file must be rewritten as one clean
+  // current-version snapshot before any delta is appended; leaving the
+  // append fd
   // closed routes the next manifest write through WriteManifestSnapshot.
   *needs_rewrite = torn_tail || current_version < kManifestVersion;
   if (!*needs_rewrite) {
@@ -1591,14 +1879,21 @@ Status Db::LoadFile(const FilePtr& meta) {
             if (keys.empty() || keys.back() != k) keys.emplace_back(k);
           });
       if (all_keys) {
+        // The recovery-time tree is still being assembled, so no
+        // per-level budget override here — the spec's own bpk applies.
+        FilterBuildContext ctx;
+        ctx.level = meta->level;
         Stopwatch timer;
         meta->filter =
-            options_.filter_policy->Build(keys, query_queue_.Snapshot());
+            options_.filter_policy->Build(keys, query_queue_.Snapshot(), ctx);
         stats_->filter_build_ns += timer.ElapsedNanos();
         if (meta->filter != nullptr) {
           ++stats_->filter_rebuilds;
           stats_->filter_bits_built += meta->filter->SizeBits();
           stats_->keys_filtered += keys.size();
+          // The rebuilt filter replaces the persisted design; its manifest
+          // provenance (modeled FPR in particular) no longer applies.
+          meta->modeled_fpr = meta->filter->ModeledFpr().value_or(-1.0);
         }
       }
     }
@@ -1871,10 +2166,13 @@ bool Db::SeekLoop(const ReadView& view, const ReadOptions& ro,
       std::string_view clip_hi =
           hi < f.largest ? hi : std::string_view(f.largest);
       ++stats_->filter_checks;
-      if (f.filter != nullptr && !f.filter->MayContain(clip_lo, clip_hi)) {
-        ++stats_->filter_negatives;
-        src.dead = true;
-        return;
+      if (f.filter != nullptr) {
+        NoteFilterChecks(f, 1);
+        if (!f.filter->MayContain(clip_lo, clip_hi)) {
+          ++stats_->filter_negatives;
+          src.dead = true;
+          return;
+        }
       }
       src.cur.Init(f.reader.get(), bro, view.snapshot);
     }
@@ -1882,6 +2180,7 @@ bool Db::SeekLoop(const ReadView& view, const ReadOptions& ro,
     int rc;
     if (!src.seeked) {
       ++stats_->sst_seeks;
+      NoteSstProbe(f);
       rc = src.cur.Seek(lo, hi, &read_status);
       src.seeked = true;
     } else {
@@ -1899,6 +2198,7 @@ bool Db::SeekLoop(const ReadView& view, const ReadOptions& ro,
       src.dead = true;
       if (!src.found_any && f.filter != nullptr) {
         ++stats_->false_positive_files;  // filter passed, file had nothing
+        NoteFalsePositive(f);
       }
     } else {
       note_error(std::move(read_status));
@@ -2143,6 +2443,7 @@ void Db::MultiSeek(const QueryBatch& batch, const Scheduler& scheduler,
     stats_->filter_checks += group.size();
     verdicts.assign(group.size(), 1);
     if (f.filter != nullptr) {
+      NoteFilterChecks(f, group.size());
       f.filter->MultiMayContain(clip_lo.data(), clip_hi.data(), group.size(),
                                 verdicts.data());
       for (uint8_t v : verdicts) {
@@ -2155,6 +2456,7 @@ void Db::MultiSeek(const QueryBatch& batch, const Scheduler& scheduler,
       bool done = false;
       if (verdicts[g] != 0) {
         ++stats_->sst_seeks;
+        NoteSstProbe(f);
         Status read_status;
         int rc = f.reader->SeekInRange(q.lo, q.hi, view.snapshot, bro, &se,
                                        &read_status);
@@ -2163,6 +2465,7 @@ void Db::MultiSeek(const QueryBatch& batch, const Scheduler& scheduler,
           done = true;
         } else if (rc == 1 && f.filter != nullptr) {
           ++stats_->false_positive_files;
+          NoteFalsePositive(f);
         } else if (rc == -1) {
           ++stats_->read_errors;
           if (cands[qi].first_error.ok()) {

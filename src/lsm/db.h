@@ -76,6 +76,7 @@
 
 #include "engine/scheduler.h"
 #include "lsm/block_cache.h"
+#include "lsm/drift.h"
 #include "lsm/filter_policy.h"
 #include "lsm/ikey.h"
 #include "lsm/memtable.h"
@@ -131,6 +132,17 @@ struct WriteOptions {
   bool sync = true;
 };
 
+/// How the filter budget is spread across levels (DbOptions::bpk_policy).
+enum class BpkPolicy {
+  /// Every SST gets the filter spec's own bits-per-key.
+  kFixed,
+  /// Monkey-style: the same global budget, split across levels by
+  /// marginal false-positive reduction per bit (model/bpk_alloc.h).
+  /// Needs a filter spec with an explicit bpk parameter; other specs
+  /// silently behave like kFixed.
+  kMonkey,
+};
+
 struct DbOptions {
   std::string dir = "/tmp/proteus_db";
   size_t memtable_bytes = 8u << 20;
@@ -168,6 +180,16 @@ struct DbOptions {
   size_t manifest_compact_threshold = 16;
   std::shared_ptr<FilterPolicy> filter_policy;  // null = no filters
   SampleQueryQueue::Options queue_options;
+  /// Per-level filter budget allocation (see BpkPolicy).
+  BpkPolicy bpk_policy = BpkPolicy::kFixed;
+  /// Continuous self-design: background maintenance rewrites an SST in
+  /// place — re-running Sample() -> Design() -> Build() with the live
+  /// query window — once the drift detector flags its filter as designed
+  /// for a workload that no longer exists (stats().redesigns counts the
+  /// rewrites). Off = every design is frozen at first build.
+  bool adaptive_redesign = true;
+  /// Thresholds for the drift detector (src/lsm/drift.h).
+  DriftOptions drift;
 };
 
 /// A point-in-time copy of the Db's counters (stats() snapshots the
@@ -197,6 +219,8 @@ struct DbStats {
   uint64_t queue_sampled = 0;    // empty queries recorded in the sample queue
   uint64_t write_stalls = 0;     // writer batches that hit the imm limit
   uint64_t stall_wait_us = 0;    // total time writers spent stalled
+  uint64_t drift_detected = 0;   // SSTs flagged by the drift detector
+  uint64_t redesigns = 0;        // drift-triggered single-file rewrites
 
   /// Entries applied per memtable shard (index = shard id, cumulative
   /// across memtable rotations, including WAL replay). A flat histogram
@@ -205,6 +229,14 @@ struct DbStats {
   /// Bytes reserved by the live memtables' arenas (active + immutable).
   uint64_t memtable_arena_bytes = 0;
 
+  /// Per-level breakdown of filter checks / sst_seeks /
+  /// false_positive_files (index = level; sized to the deepest level
+  /// that saw filter traffic). Checks count only files that have a
+  /// filter.
+  std::vector<uint64_t> level_filter_checks;
+  std::vector<uint64_t> level_sst_seeks;
+  std::vector<uint64_t> level_fp_files;
+
   /// Observed per-file FPR: of the filter passes that led to an SST
   /// probe, the fraction that found nothing in range — the live
   /// counterpart of the CPFPR model's predicted FPR.
@@ -212,6 +244,17 @@ struct DbStats {
     return sst_seeks == 0 ? 0.0
                           : static_cast<double>(false_positive_files) /
                                 static_cast<double>(sst_seeks);
+  }
+
+  /// One level's live FPR: false positives over the filter checks whose
+  /// range was empty at that level (checks minus true-positive probes) —
+  /// directly comparable to the designs' modeled FPR.
+  double LevelObservedFpr(size_t level) const {
+    if (level >= level_filter_checks.size()) return 0.0;
+    const uint64_t tp = level_sst_seeks[level] - level_fp_files[level];
+    if (level_filter_checks[level] <= tp) return 0.0;
+    return static_cast<double>(level_fp_files[level]) /
+           static_cast<double>(level_filter_checks[level] - tp);
   }
 };
 
@@ -359,6 +402,34 @@ class Db {
   /// Test hook: the live WAL writer (null when use_wal is off).
   WalWriter* TEST_wal() { return wal_.get(); }
 
+  /// Design provenance and live probe counters of one resident SST
+  /// (diagnostics / tests; snapshot of concurrently updated counters).
+  struct SstDesignInfo {
+    uint64_t file_id = 0;
+    int level = 0;
+    uint64_t design_epoch = 0;       // 0 = legacy (pre-provenance) design
+    double modeled_fpr = -1.0;       // model's promise (< 0: none)
+    double design_signature = -1.0;  // query-window signature at design
+    uint64_t design_samples = 0;     // queue.sampled() at design time
+    uint64_t checks = 0;             // filter consultations
+    uint64_t probes = 0;             // filter passes that probed the SST
+    uint64_t false_positives = 0;    // of those, probes finding nothing
+    uint64_t filter_bits = 0;
+    bool drift_flagged = false;
+
+    /// Live FPR: false positives over empty-range checks (see
+    /// drift.h's ObservedFpr; same formula).
+    double ObservedFpr() const {
+      const uint64_t true_positives = probes - false_positives;
+      if (checks <= true_positives) return 0.0;
+      return static_cast<double>(false_positives) /
+             static_cast<double>(checks - true_positives);
+    }
+  };
+
+  /// One entry per live SST, L0 first.
+  std::vector<SstDesignInfo> DesignInfo() const;
+
  private:
   struct FileMeta {
     uint64_t id = 0;
@@ -369,6 +440,23 @@ class Db {
     uint32_t format_version = 4;  // footer generation (value encoding)
     std::unique_ptr<SstReader> reader;
     std::unique_ptr<SstFilter> filter;
+    // The level the file lives at (set at install/recovery) — feeds the
+    // per-level stats and lets a redesign rewrite in place.
+    int level = 0;
+    // Design provenance, persisted in MANIFEST v4 (negative doubles =
+    // not available; design_epoch 0 = legacy pre-provenance design).
+    uint64_t design_epoch = 0;
+    double modeled_fpr = -1.0;
+    double design_signature = -1.0;
+    uint64_t design_samples = 0;
+    // Live observed-FPR evidence, updated lock-free by readers and
+    // persisted at manifest snapshots so drift detection survives
+    // reopen. drift_flagged latches the detector's verdict until a
+    // background redesign retires the file.
+    mutable std::atomic<uint64_t> checks{0};
+    mutable std::atomic<uint64_t> probes{0};
+    mutable std::atomic<uint64_t> false_positives{0};
+    mutable std::atomic<bool> drift_flagged{false};
     // Retired by a compaction: unlink on destruction. The last ReadView
     // holding the containing Version keeps the file readable until then.
     std::atomic<bool> obsolete{false};
@@ -455,7 +543,22 @@ class Db {
                        size_t max_data_bytes, std::vector<FilePtr>* out);
 
   Status FinishFile(SstWriter* writer, std::vector<std::string>* keys,
-                    const std::string& path, FilePtr* out);
+                    const std::string& path, int target_level, FilePtr* out);
+
+  /// The Monkey per-level bits-per-key for a file of `incoming_keys`
+  /// keys landing at `target_level`, or 0 (no override) under kFixed /
+  /// no tunable budget. Prices the current tree shape plus the incoming
+  /// file through model/bpk_alloc.h.
+  double MonkeyBpkForLevel(int target_level, uint64_t incoming_keys) const;
+
+  /// Read-path accounting: `f`'s filter answered `n` queries.
+  void NoteFilterChecks(const FileMeta& f, uint64_t n);
+  /// A filter pass probed `f` on disk.
+  void NoteSstProbe(const FileMeta& f);
+  /// ... and the probe found nothing in range (a false positive). Feeds
+  /// the drift detector; a firing latches f.drift_flagged and wakes
+  /// background maintenance.
+  void NoteFalsePositive(const FileMeta& f);
 
   /// Charges the filter's pinned bytes to the block cache.
   void ChargeFilter(const FileMeta& meta);
@@ -502,11 +605,22 @@ class Db {
   /// filter block, or rebuilds the filter from keys as a fallback.
   Status LoadFile(const FilePtr& meta);
 
+  /// MANIFEST file-entry codec (v4 adds the design provenance and the
+  /// observed-FPR counters; `version` < 4 decodes with legacy defaults).
+  static void EncodeFileMeta(std::string* out, const FileMeta& f);
+  static bool DecodeFileMeta(std::string_view* cursor, uint64_t version,
+                             FileMeta* f);
+
   // Maintenance bodies; callers hold maint_mu_.
   Status FlushImmLocked();
   Status MaybeCompactLocked();
   Status CompactL0Locked();
   Status CompactLevelLocked(size_t level);
+  /// Rewrites every drift-flagged SST in place (same level, same data),
+  /// rebuilding its filter from the live query window.
+  Status MaybeRedesignLocked();
+  Status RedesignFileLocked(size_t level, const FilePtr& input);
+  static bool AnyDriftFlagged(const Version& v);
   void DeleteObsoleteWalSegments();
   uint64_t LevelLimitBytes(size_t level) const;
   static uint64_t LevelBytes(const Version& v, size_t level);
@@ -581,6 +695,10 @@ class Db {
   std::vector<std::atomic<uint64_t>> shard_applies_;
 
   uint64_t next_file_id_ = 1;           // maint_mu_ / recovery
+  // Stamped into every built filter's provenance; bumped by each
+  // redesign wave, so tests can tell a rebuilt filter from its ancestor.
+  // Starts at 1: epoch 0 is reserved for legacy (pre-v4) manifests.
+  std::atomic<uint64_t> design_epoch_{1};
   std::vector<size_t> compact_cursor_;  // round-robin pick per level
   int manifest_fd_ = -1;
   size_t manifest_deltas_since_snapshot_ = 0;

@@ -73,6 +73,9 @@ class IntFilterAdapter : public SstFilter {
     filter_->MultiMayContain(los.data(), his.data(), n, out);
   }
   uint64_t SizeBits() const override { return filter_->SizeBits(); }
+  std::optional<double> ModeledFpr() const override {
+    return filter_->ModeledFpr();
+  }
   bool Serialize(std::string* out) const override {
     filter_->Serialize(out);
     return true;
@@ -94,6 +97,9 @@ class StrFilterAdapter : public SstFilter {
     filter_->MultiMayContain(lo, hi, n, out);
   }
   uint64_t SizeBits() const override { return filter_->SizeBits(); }
+  std::optional<double> ModeledFpr() const override {
+    return filter_->ModeledFpr();
+  }
   bool Serialize(std::string* out) const override {
     filter_->Serialize(out);
     return true;
@@ -123,18 +129,46 @@ class NullPolicy : public FilterPolicy {
 /// see raw keys).
 class RegistryPolicy : public FilterPolicy {
  public:
-  RegistryPolicy(FilterSpec spec, bool str_mode)
-      : spec_(std::move(spec)), str_mode_(str_mode) {}
+  RegistryPolicy(FilterSpec spec, bool str_mode, bool bpk_overridable)
+      : spec_(std::move(spec)),
+        str_mode_(str_mode),
+        bpk_overridable_(bpk_overridable) {
+    spec_.GetDouble("bpk", 0.0, &spec_bpk_);
+  }
 
   std::unique_ptr<SstFilter> Build(
       const std::vector<std::string>& keys,
       const std::vector<std::pair<std::string, std::string>>& samples)
       const override {
+    return BuildWithSpec(keys, samples, spec_);
+  }
+
+  std::unique_ptr<SstFilter> Build(
+      const std::vector<std::string>& keys,
+      const std::vector<std::pair<std::string, std::string>>& samples,
+      const FilterBuildContext& context) const override {
+    if (context.bpk_override <= 0.0 || !bpk_overridable_) {
+      return BuildWithSpec(keys, samples, spec_);
+    }
+    FilterSpec spec = spec_;
+    spec.Set("bpk", FormatSpecDouble(context.bpk_override));
+    return BuildWithSpec(keys, samples, spec);
+  }
+
+  double SpecBpk() const override { return spec_bpk_; }
+
+  std::string Name() const override { return spec_.ToString(); }
+
+ private:
+  std::unique_ptr<SstFilter> BuildWithSpec(
+      const std::vector<std::string>& keys,
+      const std::vector<std::pair<std::string, std::string>>& samples,
+      const FilterSpec& spec) const {
     if (keys.empty()) return nullptr;
     if (str_mode_) {
       StrFilterBuilder builder(keys);
       builder.Sample(ClipStrQueries(samples, keys.front(), keys.back()));
-      auto filter = builder.Build(spec_);
+      auto filter = builder.Build(spec);
       if (filter == nullptr) return nullptr;
       return std::make_unique<StrFilterAdapter>(std::move(filter));
     }
@@ -142,16 +176,15 @@ class RegistryPolicy : public FilterPolicy {
     FilterBuilder builder(int_keys);
     builder.Sample(
         DecodeAndClipQueries(samples, int_keys.front(), int_keys.back()));
-    auto filter = builder.Build(spec_);
+    auto filter = builder.Build(spec);
     if (filter == nullptr) return nullptr;
     return std::make_unique<IntFilterAdapter>(std::move(filter));
   }
 
-  std::string Name() const override { return spec_.ToString(); }
-
- private:
   FilterSpec spec_;
   bool str_mode_;
+  bool bpk_overridable_;
+  double spec_bpk_ = 0.0;
 };
 
 }  // namespace
@@ -182,6 +215,12 @@ std::unique_ptr<FilterPolicy> MakeFilterPolicy(const std::string& spec,
 
   // Dry-run against a tiny key set so malformed parameter values fail at
   // policy creation instead of silently disabling filters at flush time.
+  // A second dry run with the bpk parameter set decides whether per-level
+  // (Monkey) budget overrides apply to this family — families without a
+  // bpk knob (SuRF) reject the key and keep their spec untouched.
+  FilterSpec overridden = parsed;
+  overridden.Set("bpk", "12");
+  bool bpk_overridable;
   if (str_mode) {
     std::vector<std::string> dummy = {"a", "b"};
     StrFilterBuilder builder(dummy);
@@ -189,6 +228,7 @@ std::unique_ptr<FilterPolicy> MakeFilterPolicy(const std::string& spec,
       SetStatus(status, Status::InvalidArgument(error));
       return nullptr;
     }
+    bpk_overridable = builder.Build(overridden) != nullptr;
   } else {
     std::vector<uint64_t> dummy = {1, uint64_t{1} << 40};
     FilterBuilder builder(dummy);
@@ -196,8 +236,10 @@ std::unique_ptr<FilterPolicy> MakeFilterPolicy(const std::string& spec,
       SetStatus(status, Status::InvalidArgument(error));
       return nullptr;
     }
+    bpk_overridable = builder.Build(overridden) != nullptr;
   }
-  return std::make_unique<RegistryPolicy>(std::move(parsed), str_mode);
+  return std::make_unique<RegistryPolicy>(std::move(parsed), str_mode,
+                                          bpk_overridable);
 }
 
 std::unique_ptr<SstFilter> DeserializeSstFilter(std::string_view blob,

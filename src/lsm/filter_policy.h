@@ -22,6 +22,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -47,9 +48,24 @@ class SstFilter {
 
   virtual uint64_t SizeBits() const = 0;
 
+  /// The design model's predicted FPR for this filter (nullopt for
+  /// families without a model, or for filters deserialized from disk —
+  /// the MANIFEST carries the value across reopen instead).
+  virtual std::optional<double> ModeledFpr() const { return std::nullopt; }
+
   /// Appends the filter's persistent form (Filter::Serialize wire
   /// format). Returns false if this filter cannot be serialized.
   virtual bool Serialize(std::string* /*out*/) const { return false; }
+};
+
+/// Where in the tree a filter is being built, and under what budget.
+/// Passed by the LSM so per-level (Monkey-style) allocations can override
+/// the spec's global bits-per-key for one build.
+struct FilterBuildContext {
+  int level = 0;
+  /// When > 0, build under this bits-per-key budget instead of the
+  /// spec's own. Ignored by families without a bpk parameter.
+  double bpk_override = 0.0;
 };
 
 class FilterPolicy {
@@ -62,6 +78,20 @@ class FilterPolicy {
       const std::vector<std::string>& keys,
       const std::vector<std::pair<std::string, std::string>>& sample_queries)
       const = 0;
+
+  /// Context-aware build: the LSM's flush/compaction path passes the
+  /// target level and any per-level bpk override. The default ignores
+  /// the context (policies without a tunable budget need nothing more).
+  virtual std::unique_ptr<SstFilter> Build(
+      const std::vector<std::string>& keys,
+      const std::vector<std::pair<std::string, std::string>>& sample_queries,
+      const FilterBuildContext& /*context*/) const {
+    return Build(keys, sample_queries);
+  }
+
+  /// The spec's global bits-per-key budget, or 0 when the spec does not
+  /// carry one (then per-level allocation has no budget to split).
+  virtual double SpecBpk() const { return 0.0; }
 
   virtual std::string Name() const = 0;
 };

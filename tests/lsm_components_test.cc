@@ -327,19 +327,37 @@ TEST(BlockCacheTest, EraseFile) {
   EXPECT_NE(cache.Get(8, 0), nullptr);
 }
 
-TEST(QueryQueueTest, FifoAndSampling) {
+TEST(QueryQueueTest, ReservoirEvictionAndSampling) {
   SampleQueryQueue::Options opts;
   opts.capacity = 10;
   opts.sample_rate = 3;
   SampleQueryQueue queue(opts);
-  for (int i = 0; i < 60; ++i) {
+  for (int i = 0; i < 6000; ++i) {
     queue.OnEmptyQuery("lo" + std::to_string(i), "hi" + std::to_string(i));
   }
-  // Every 3rd of 60 queries = 20 recorded, capacity keeps the last 10.
+  // Every 3rd of 6000 queries = 2000 recorded; the reservoir never grows
+  // past capacity, and the monotonic counters see everything.
   EXPECT_EQ(queue.size(), 10u);
-  auto snap = queue.Snapshot();
-  EXPECT_EQ(snap.front().first, "lo32");  // queries 2,5,...,59; last ten from 32
-  EXPECT_EQ(snap.back().first, "lo59");
+  EXPECT_EQ(queue.seen(), 6000u);
+  EXPECT_EQ(queue.sampled(), 2000u);
+  // Geometric decay: the window is dominated by recent traffic. With
+  // 2000 samples through 10 slots, expecting all survivors from the
+  // last three quarters is conservative (P[slot older than 500 samples]
+  // = 0.9^500 per slot).
+  for (const auto& [lo, hi] : queue.Snapshot()) {
+    EXPECT_GE(std::stoi(lo.substr(2)), 6000 / 4) << lo;
+  }
+}
+
+TEST(QueryQueueTest, ZeroCapacityNeverGrows) {
+  SampleQueryQueue::Options opts;
+  opts.capacity = 0;
+  opts.sample_rate = 1;
+  SampleQueryQueue queue(opts);
+  for (int i = 0; i < 100; ++i) queue.OnEmptyQuery("a", "b");
+  EXPECT_EQ(queue.size(), 0u);
+  EXPECT_EQ(queue.sampled(), 100u);  // signature still tracks the stream
+  EXPECT_GE(queue.Signature(), 0.0);
 }
 
 TEST(QueryQueueTest, SeedBypassesSampling) {
